@@ -1,0 +1,413 @@
+//! The flat architecture netlist.
+
+use crate::component::{CompId, Component, ComponentKind, Connection, Port, PortRef};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use std::fmt;
+
+/// Errors arising while constructing or validating an [`Architecture`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ArchError {
+    /// A component name was used twice.
+    DuplicateName(String),
+    /// A component id was out of range.
+    InvalidComponent(CompId),
+    /// A port reference was out of range for its component.
+    InvalidPort {
+        /// Offending component name.
+        comp: String,
+        /// Offending port.
+        port: Port,
+    },
+    /// A connection's `from` is not an output port, or `to` not an input.
+    WrongDirection {
+        /// The offending connection rendered as text.
+        connection: String,
+    },
+    /// Two connections drive the same input port of a non-merge point.
+    /// (Multiple drivers are only meaningful on multiplexer-like merge
+    /// nodes, which this model expresses with explicit [`ComponentKind::Mux`]
+    /// components.)
+    MultipleDrivers {
+        /// Component whose input is driven twice.
+        comp: String,
+        /// The input port index.
+        input: u8,
+    },
+    /// An input port is undriven.
+    UndrivenInput {
+        /// Component with the undriven input.
+        comp: String,
+        /// The input port index.
+        input: u8,
+    },
+    /// A mux was declared with fewer than two inputs.
+    DegenerateMux {
+        /// The offending mux name.
+        comp: String,
+    },
+    /// A functional unit was declared with an empty op set or `ii == 0`.
+    DegenerateFuncUnit {
+        /// The offending unit name.
+        comp: String,
+    },
+}
+
+impl fmt::Display for ArchError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ArchError::DuplicateName(n) => write!(f, "duplicate component name `{n}`"),
+            ArchError::InvalidComponent(id) => write!(f, "invalid component id {id:?}"),
+            ArchError::InvalidPort { comp, port } => {
+                write!(f, "invalid port `{port}` on component `{comp}`")
+            }
+            ArchError::WrongDirection { connection } => {
+                write!(f, "connection has wrong port direction: {connection}")
+            }
+            ArchError::MultipleDrivers { comp, input } => {
+                write!(f, "input in{input} of `{comp}` has multiple drivers")
+            }
+            ArchError::UndrivenInput { comp, input } => {
+                write!(f, "input in{input} of `{comp}` is undriven")
+            }
+            ArchError::DegenerateMux { comp } => {
+                write!(f, "mux `{comp}` has fewer than two inputs")
+            }
+            ArchError::DegenerateFuncUnit { comp } => {
+                write!(f, "functional unit `{comp}` has an empty op set or ii = 0")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ArchError {}
+
+/// A CGRA architecture: a named, flat netlist of primitive components.
+///
+/// The architecture is an *input* to the mapper, exactly as in the paper:
+/// nothing in the mapping flow assumes any particular topology.
+///
+/// # Examples
+///
+/// ```
+/// use cgra_arch::{alu_ops, Architecture, ComponentKind, PortRef};
+/// # fn main() -> Result<(), cgra_arch::ArchError> {
+/// let mut a = Architecture::new("tiny");
+/// let mux = a.add_component("mux", ComponentKind::Mux { inputs: 2 })?;
+/// let fu = a.add_component(
+///     "alu",
+///     ComponentKind::FuncUnit { ops: alu_ops(true), latency: 0, ii: 1 },
+/// )?;
+/// a.connect(PortRef::out(mux), PortRef::input(fu, 0))?;
+/// a.connect(PortRef::out(fu), PortRef::input(mux, 0))?;
+/// assert_eq!(a.components().len(), 2);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Architecture {
+    name: String,
+    components: Vec<Component>,
+    connections: Vec<Connection>,
+    names: HashMap<String, CompId>,
+}
+
+impl Architecture {
+    /// Creates an empty architecture.
+    pub fn new(name: impl Into<String>) -> Self {
+        Architecture {
+            name: name.into(),
+            components: Vec::new(),
+            connections: Vec::new(),
+            names: HashMap::new(),
+        }
+    }
+
+    /// The architecture's name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Adds a component.
+    ///
+    /// # Errors
+    ///
+    /// Fails on duplicate names and degenerate kinds.
+    pub fn add_component(
+        &mut self,
+        name: impl Into<String>,
+        kind: ComponentKind,
+    ) -> Result<CompId, ArchError> {
+        let name = name.into();
+        if self.names.contains_key(&name) {
+            return Err(ArchError::DuplicateName(name));
+        }
+        match &kind {
+            ComponentKind::Mux { inputs } if *inputs < 2 => {
+                return Err(ArchError::DegenerateMux { comp: name })
+            }
+            ComponentKind::FuncUnit { ops, ii, .. } if ops.is_empty() || *ii == 0 => {
+                return Err(ArchError::DegenerateFuncUnit { comp: name })
+            }
+            _ => {}
+        }
+        let id = CompId(self.components.len() as u32);
+        self.names.insert(name.clone(), id);
+        self.components.push(Component { name, kind });
+        Ok(id)
+    }
+
+    /// Connects an output port to an input port.
+    ///
+    /// # Errors
+    ///
+    /// Fails on dangling references, direction mismatches, out-of-range
+    /// ports, and doubly-driven inputs.
+    pub fn connect(&mut self, from: PortRef, to: PortRef) -> Result<(), ArchError> {
+        let from_comp = self.component(from.comp)?;
+        if from.port != Port::Out {
+            return Err(ArchError::WrongDirection {
+                connection: format!("{}.{} -> ...", from_comp.name, from.port),
+            });
+        }
+        let to_comp = self.component(to.comp)?.clone();
+        let Port::In(idx) = to.port else {
+            return Err(ArchError::WrongDirection {
+                connection: format!("... -> {}.{}", to_comp.name, to.port),
+            });
+        };
+        if usize::from(idx) >= to_comp.kind.num_inputs() {
+            return Err(ArchError::InvalidPort {
+                comp: to_comp.name,
+                port: to.port,
+            });
+        }
+        if self.connections.iter().any(|c| c.to == to) {
+            return Err(ArchError::MultipleDrivers {
+                comp: to_comp.name,
+                input: idx,
+            });
+        }
+        self.connections.push(Connection { from, to });
+        Ok(())
+    }
+
+    /// Looks up a component by id.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ArchError::InvalidComponent`] for foreign ids.
+    pub fn component(&self, id: CompId) -> Result<&Component, ArchError> {
+        self.components
+            .get(id.index())
+            .ok_or(ArchError::InvalidComponent(id))
+    }
+
+    /// Looks up a component by name.
+    pub fn component_by_name(&self, name: &str) -> Option<CompId> {
+        self.names.get(name).copied()
+    }
+
+    /// All components, indexable by [`CompId::index`].
+    pub fn components(&self) -> &[Component] {
+        &self.components
+    }
+
+    /// All connections.
+    pub fn connections(&self) -> &[Connection] {
+        &self.connections
+    }
+
+    /// Iterates over component ids.
+    pub fn comp_ids(&self) -> impl Iterator<Item = CompId> + '_ {
+        (0..self.components.len() as u32).map(CompId)
+    }
+
+    /// The connections driven by `comp`'s output.
+    pub fn fanout_of(&self, comp: CompId) -> impl Iterator<Item = &Connection> + '_ {
+        self.connections.iter().filter(move |c| c.from.comp == comp)
+    }
+
+    /// The connection driving input `idx` of `comp`, if any.
+    pub fn driver_of(&self, comp: CompId, idx: u8) -> Option<&Connection> {
+        self.connections
+            .iter()
+            .find(|c| c.to == PortRef::input(comp, idx))
+    }
+
+    /// Validates that every input port of every component is driven.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first undriven input found.
+    pub fn validate(&self) -> Result<(), ArchError> {
+        let mut driven = vec![false; 0];
+        let offsets: Vec<usize> = {
+            let mut acc = 0;
+            self.components
+                .iter()
+                .map(|c| {
+                    let o = acc;
+                    acc += c.kind.num_inputs();
+                    o
+                })
+                .collect()
+        };
+        let total: usize = self.components.iter().map(|c| c.kind.num_inputs()).sum();
+        driven.resize(total, false);
+        for c in &self.connections {
+            if let Port::In(i) = c.to.port {
+                driven[offsets[c.to.comp.index()] + usize::from(i)] = true;
+            }
+        }
+        for (ci, comp) in self.components.iter().enumerate() {
+            for i in 0..comp.kind.num_inputs() {
+                if !driven[offsets[ci] + i] {
+                    return Err(ArchError::UndrivenInput {
+                        comp: comp.name.clone(),
+                        input: i as u8,
+                    });
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Counts components of each kind: `(func_units, muxes, registers)`.
+    pub fn kind_counts(&self) -> (usize, usize, usize) {
+        let mut fu = 0;
+        let mut mux = 0;
+        let mut reg = 0;
+        for c in &self.components {
+            match c.kind {
+                ComponentKind::FuncUnit { .. } => fu += 1,
+                ComponentKind::Mux { .. } => mux += 1,
+                ComponentKind::Register => reg += 1,
+            }
+        }
+        (fu, mux, reg)
+    }
+}
+
+impl fmt::Display for Architecture {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let (fu, mux, reg) = self.kind_counts();
+        write!(
+            f,
+            "arch {} ({fu} FUs, {mux} muxes, {reg} registers, {} connections)",
+            self.name,
+            self.connections.len()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::component::alu_ops;
+
+    fn fu_kind() -> ComponentKind {
+        ComponentKind::FuncUnit {
+            ops: alu_ops(true),
+            latency: 0,
+            ii: 1,
+        }
+    }
+
+    #[test]
+    fn duplicate_names_rejected() {
+        let mut a = Architecture::new("t");
+        a.add_component("x", fu_kind()).unwrap();
+        assert!(matches!(
+            a.add_component("x", ComponentKind::Register),
+            Err(ArchError::DuplicateName(_))
+        ));
+    }
+
+    #[test]
+    fn degenerate_components_rejected() {
+        let mut a = Architecture::new("t");
+        assert!(matches!(
+            a.add_component("m", ComponentKind::Mux { inputs: 1 }),
+            Err(ArchError::DegenerateMux { .. })
+        ));
+        assert!(matches!(
+            a.add_component(
+                "f",
+                ComponentKind::FuncUnit {
+                    ops: cgra_dfg::OpSet::EMPTY,
+                    latency: 0,
+                    ii: 1
+                }
+            ),
+            Err(ArchError::DegenerateFuncUnit { .. })
+        ));
+    }
+
+    #[test]
+    fn connection_direction_checked() {
+        let mut a = Architecture::new("t");
+        let f = a.add_component("f", fu_kind()).unwrap();
+        let r = a.add_component("r", ComponentKind::Register).unwrap();
+        assert!(matches!(
+            a.connect(PortRef::input(f, 0), PortRef::input(r, 0)),
+            Err(ArchError::WrongDirection { .. })
+        ));
+        assert!(matches!(
+            a.connect(PortRef::out(f), PortRef::out(r)),
+            Err(ArchError::WrongDirection { .. })
+        ));
+        a.connect(PortRef::out(f), PortRef::input(r, 0)).unwrap();
+    }
+
+    #[test]
+    fn out_of_range_port_rejected() {
+        let mut a = Architecture::new("t");
+        let f = a.add_component("f", fu_kind()).unwrap();
+        let r = a.add_component("r", ComponentKind::Register).unwrap();
+        assert!(matches!(
+            a.connect(PortRef::out(r), PortRef::input(f, 2)),
+            Err(ArchError::InvalidPort { .. })
+        ));
+    }
+
+    #[test]
+    fn double_driver_rejected() {
+        let mut a = Architecture::new("t");
+        let f = a.add_component("f", fu_kind()).unwrap();
+        let r = a.add_component("r", ComponentKind::Register).unwrap();
+        a.connect(PortRef::out(f), PortRef::input(r, 0)).unwrap();
+        assert!(matches!(
+            a.connect(PortRef::out(f), PortRef::input(r, 0)),
+            Err(ArchError::MultipleDrivers { .. })
+        ));
+    }
+
+    #[test]
+    fn validate_finds_undriven_inputs() {
+        let mut a = Architecture::new("t");
+        let f = a.add_component("f", fu_kind()).unwrap();
+        let r = a.add_component("r", ComponentKind::Register).unwrap();
+        a.connect(PortRef::out(r), PortRef::input(f, 0)).unwrap();
+        a.connect(PortRef::out(r), PortRef::input(f, 1)).unwrap();
+        assert!(matches!(
+            a.validate(),
+            Err(ArchError::UndrivenInput { input: 0, .. })
+        ));
+        a.connect(PortRef::out(f), PortRef::input(r, 0)).unwrap();
+        a.validate().unwrap();
+    }
+
+    #[test]
+    fn queries() {
+        let mut a = Architecture::new("t");
+        let f = a.add_component("f", fu_kind()).unwrap();
+        let r = a.add_component("r", ComponentKind::Register).unwrap();
+        a.connect(PortRef::out(f), PortRef::input(r, 0)).unwrap();
+        assert_eq!(a.fanout_of(f).count(), 1);
+        assert_eq!(a.driver_of(r, 0).unwrap().from, PortRef::out(f));
+        assert!(a.driver_of(f, 0).is_none());
+        assert_eq!(a.component_by_name("f"), Some(f));
+        assert_eq!(a.kind_counts(), (1, 0, 1));
+    }
+}

@@ -1,0 +1,223 @@
+//! Primitive architecture components and port references.
+//!
+//! A CGRA architecture in this model is a flat netlist of three primitive
+//! component kinds — functional units, multiplexers and registers — wired
+//! port-to-port. This mirrors what the paper's MRRG fragments are built
+//! from (Figs 1-3): multiplexers provide dynamic routing choice, registers
+//! move values between cycles/contexts, and functional units execute
+//! operations with a latency and an initiation interval.
+//!
+//! I/O pads and memory ports are functional units too: a pad is a
+//! functional unit supporting the `input`/`output` pseudo-operations, a
+//! memory port one supporting `load`/`store` (paper Section 5 models the
+//! row memory port as "a special functional unit that can only perform
+//! load and store operations").
+
+use cgra_dfg::{OpKind, OpSet};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Identifier of a component within an [`crate::Architecture`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct CompId(pub u32);
+
+impl CompId {
+    /// Dense index into [`crate::Architecture::components`].
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// The kind of a primitive component.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ComponentKind {
+    /// A functional unit: executes any of `ops`, producing its result
+    /// `latency` cycles after operand consumption, accepting new inputs
+    /// every `ii` cycles.
+    FuncUnit {
+        /// Operations the unit can execute (`SupportedOps(p)` in the
+        /// paper's constraint (3)).
+        ops: OpSet,
+        /// Result latency in cycles.
+        latency: u32,
+        /// Initiation interval in cycles (1 = fully pipelined).
+        ii: u32,
+    },
+    /// A dynamically-reconfigurable multiplexer with `inputs` inputs: in
+    /// every cycle it routes exactly one input to its output.
+    Mux {
+        /// Number of selectable inputs (>= 1).
+        inputs: u32,
+    },
+    /// A register: moves a value from one cycle to the next.
+    Register,
+}
+
+impl ComponentKind {
+    /// Number of input ports of this component.
+    pub fn num_inputs(&self) -> usize {
+        match self {
+            ComponentKind::FuncUnit { ops, .. } => ops.iter().map(|k| k.arity()).max().unwrap_or(0),
+            ComponentKind::Mux { inputs } => *inputs as usize,
+            ComponentKind::Register => 1,
+        }
+    }
+
+    /// Whether the component has an output port. Every primitive does;
+    /// a functional unit that only executes non-value-producing operations
+    /// (e.g. a store-only port) still exposes an (unused) output.
+    pub fn has_output(&self) -> bool {
+        true
+    }
+}
+
+/// A named component.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Component {
+    /// Hierarchical name, unique within the architecture (e.g.
+    /// `"b0_0.alu"`).
+    pub name: String,
+    /// The primitive kind.
+    pub kind: ComponentKind,
+}
+
+/// A port of a component: either input `i` or the single output.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum Port {
+    /// Input port `0..kind.num_inputs()`.
+    In(u8),
+    /// The output port.
+    Out,
+}
+
+impl fmt::Display for Port {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Port::In(i) => write!(f, "in{i}"),
+            Port::Out => write!(f, "out"),
+        }
+    }
+}
+
+/// A reference to a specific port of a specific component.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct PortRef {
+    /// The component.
+    pub comp: CompId,
+    /// The port.
+    pub port: Port,
+}
+
+impl PortRef {
+    /// Output port of `comp`.
+    pub fn out(comp: CompId) -> Self {
+        PortRef {
+            comp,
+            port: Port::Out,
+        }
+    }
+
+    /// Input port `i` of `comp`.
+    pub fn input(comp: CompId, i: u8) -> Self {
+        PortRef {
+            comp,
+            port: Port::In(i),
+        }
+    }
+}
+
+/// A directed wire from an output port to an input port.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Connection {
+    /// Driving output port.
+    pub from: PortRef,
+    /// Driven input port.
+    pub to: PortRef,
+}
+
+/// Builds the op set of a full ALU, optionally including a multiplier
+/// (paper Section 5: Homogeneous blocks have "full fledged ALUs including
+/// a multiplier", Heterogeneous ones only half).
+pub fn alu_ops(with_multiplier: bool) -> OpSet {
+    let mut ops = OpSet::from_iter([
+        OpKind::Add,
+        OpKind::Sub,
+        OpKind::Shl,
+        OpKind::Shr,
+        OpKind::And,
+        OpKind::Or,
+        OpKind::Xor,
+        OpKind::Const,
+    ]);
+    if with_multiplier {
+        ops.insert(OpKind::Mul);
+    }
+    ops
+}
+
+/// Op set of an I/O pad (supports the `input`/`output` pseudo-operations).
+pub fn io_ops() -> OpSet {
+    OpSet::from_iter([OpKind::Input, OpKind::Output])
+}
+
+/// Op set of a memory access port (`load`/`store`).
+pub fn memory_ops() -> OpSet {
+    OpSet::from_iter([OpKind::Load, OpKind::Store])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn num_inputs_per_kind() {
+        assert_eq!(
+            ComponentKind::FuncUnit {
+                ops: alu_ops(true),
+                latency: 0,
+                ii: 1
+            }
+            .num_inputs(),
+            2
+        );
+        assert_eq!(
+            ComponentKind::FuncUnit {
+                ops: io_ops(),
+                latency: 0,
+                ii: 1
+            }
+            .num_inputs(),
+            1
+        );
+        assert_eq!(ComponentKind::Mux { inputs: 5 }.num_inputs(), 5);
+        assert_eq!(ComponentKind::Register.num_inputs(), 1);
+    }
+
+    #[test]
+    fn alu_ops_multiplier_gating() {
+        assert!(alu_ops(true).contains(OpKind::Mul));
+        assert!(!alu_ops(false).contains(OpKind::Mul));
+        assert!(alu_ops(false).contains(OpKind::Add));
+    }
+
+    #[test]
+    fn port_display() {
+        assert_eq!(Port::In(3).to_string(), "in3");
+        assert_eq!(Port::Out.to_string(), "out");
+    }
+
+    #[test]
+    fn special_unit_op_sets() {
+        assert!(io_ops().contains(OpKind::Input));
+        assert!(memory_ops().contains(OpKind::Store));
+        assert_eq!(
+            ComponentKind::FuncUnit {
+                ops: memory_ops(),
+                latency: 1,
+                ii: 1
+            }
+            .num_inputs(),
+            2 // store has two operands: address and datum
+        );
+    }
+}

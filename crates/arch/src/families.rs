@@ -1,0 +1,791 @@
+//! Generators for the paper's test architecture families (Section 5).
+//!
+//! Each test architecture is an R x C 2D array of functional blocks with
+//! bus-based interconnect. Each block (paper Fig 3) contains one ALU
+//! functional unit (latency 0), a register, two operand input
+//! multiplexers, an output multiplexer that can also pass an input
+//! straight through, and a register-input multiplexer that lets the
+//! register capture the ALU result, hold its own value, or capture a raw
+//! block input (so pass-through values can cross execution contexts).
+//! The periphery carries I/O pads and each row shares one memory access
+//! port (paper Fig 6).
+//!
+//! Two block mixes and two interconnect styles are generated:
+//!
+//! * [`FuMix::Homogeneous`] — every ALU contains a multiplier;
+//!   [`FuMix::Heterogeneous`] — only half do (checkerboard pattern).
+//! * [`Interconnect::Orthogonal`] — nearest-neighbour N/S/E/W connectivity;
+//!   [`Interconnect::Diagonal`] — additionally the four diagonal
+//!   neighbours, with correspondingly larger input multiplexers.
+//!
+//! The number of execution contexts is *not* part of the architecture: it
+//! is a parameter of MRRG generation, exactly as in the CGRA-ME flow.
+
+use crate::arch::Architecture;
+use crate::component::{alu_ops, io_ops, memory_ops, CompId, ComponentKind, PortRef};
+
+/// Functional-block mix of the array.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FuMix {
+    /// Every ALU has a multiplier.
+    Homogeneous,
+    /// Only half of the ALUs have a multiplier (checkerboard).
+    Heterogeneous,
+}
+
+/// Interconnect style of the array.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Interconnect {
+    /// 4-neighbour (N/S/E/W) connectivity.
+    Orthogonal,
+    /// 8-neighbour connectivity (orthogonal + diagonal).
+    Diagonal,
+}
+
+/// Parameters of a generated grid architecture.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GridParams {
+    /// Number of block rows.
+    pub rows: usize,
+    /// Number of block columns.
+    pub cols: usize,
+    /// Functional-block mix.
+    pub fu_mix: FuMix,
+    /// Interconnect style.
+    pub interconnect: Interconnect,
+    /// Whether to place I/O pads around the periphery (one per edge block
+    /// per side, as in paper Fig 6).
+    pub io_pads: bool,
+    /// Whether each row shares a memory access port.
+    pub memory_ports: bool,
+    /// Whether the interconnect wraps around the array edges (torus).
+    /// The paper's test architectures do not wrap; this is an exploration
+    /// knob.
+    pub toroidal: bool,
+    /// Result latency of every ALU, in cycles. The paper's blocks use
+    /// latency 0 (combinational ALU + separate register, Fig 3); a
+    /// non-zero value models pipelined ALUs (Fig 2's L=1/L=2 variants).
+    pub alu_latency: u32,
+    /// Whether each block gets a dedicated *bypass channel*: a second
+    /// output multiplexer that can only pass block inputs through. The
+    /// paper's blocks have a single shared output bus, which bottlenecks
+    /// single-context routing (see EXPERIMENTS.md E2); a bypass channel
+    /// is the natural architectural fix an explorer would evaluate.
+    pub bypass_channel: bool,
+}
+
+impl GridParams {
+    /// The paper's 4x4 configuration for the given mix and interconnect.
+    pub fn paper(fu_mix: FuMix, interconnect: Interconnect) -> Self {
+        GridParams {
+            rows: 4,
+            cols: 4,
+            fu_mix,
+            interconnect,
+            io_pads: true,
+            memory_ports: true,
+            toroidal: false,
+            alu_latency: 0,
+            bypass_channel: false,
+        }
+    }
+}
+
+/// An external value source visible to a block.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Source {
+    BlockOut(usize, usize),
+    BlockBypass(usize, usize),
+    Pad(usize),
+    MemResult(usize),
+}
+
+/// One of the paper's eight experimental configurations: an architecture
+/// plus the number of contexts to map with.
+#[derive(Debug, Clone)]
+pub struct PaperConfig {
+    /// Short label used in tables (e.g. `"hetero-orth"`).
+    pub label: &'static str,
+    /// The architecture.
+    pub arch: Architecture,
+    /// Number of execution contexts (the mapping II).
+    pub contexts: u32,
+}
+
+/// The eight benchmark configurations of the paper's Table 2, in column
+/// order: Hetero-Orth, Hetero-Diag, Homo-Orth, Homo-Diag — first with one
+/// context (II=1), then with two (II=2).
+pub fn paper_configs() -> Vec<PaperConfig> {
+    let mut out = Vec::new();
+    for &contexts in &[1u32, 2] {
+        for &(label, mix, ic) in &[
+            (
+                "hetero-orth",
+                FuMix::Heterogeneous,
+                Interconnect::Orthogonal,
+            ),
+            ("hetero-diag", FuMix::Heterogeneous, Interconnect::Diagonal),
+            ("homo-orth", FuMix::Homogeneous, Interconnect::Orthogonal),
+            ("homo-diag", FuMix::Homogeneous, Interconnect::Diagonal),
+        ] {
+            out.push(PaperConfig {
+                label,
+                arch: grid(GridParams::paper(mix, ic)),
+                contexts,
+            });
+        }
+    }
+    out
+}
+
+/// Generates a grid architecture.
+///
+/// # Panics
+///
+/// Panics if `rows == 0` or `cols == 0`.
+pub fn grid(p: GridParams) -> Architecture {
+    assert!(p.rows > 0 && p.cols > 0, "grid must be non-empty");
+    let mix_name = match p.fu_mix {
+        FuMix::Homogeneous => "homo",
+        FuMix::Heterogeneous => "hetero",
+    };
+    let ic_name = match p.interconnect {
+        Interconnect::Orthogonal => "orth",
+        Interconnect::Diagonal => "diag",
+    };
+    let mut a = Architecture::new(format!("{mix_name}-{ic_name}-{}x{}", p.rows, p.cols));
+
+    let must = |r: Result<CompId, crate::arch::ArchError>| -> CompId {
+        r.expect("family generation is statically correct")
+    };
+
+    // ---- Phase 1: functional units and registers ----------------------
+    let mut alu = vec![vec![CompId(0); p.cols]; p.rows];
+    let mut reg = vec![vec![CompId(0); p.cols]; p.rows];
+    for y in 0..p.rows {
+        for x in 0..p.cols {
+            let has_mul = match p.fu_mix {
+                FuMix::Homogeneous => true,
+                FuMix::Heterogeneous => (x + y) % 2 == 0,
+            };
+            alu[y][x] = must(a.add_component(
+                format!("b{x}_{y}.alu"),
+                ComponentKind::FuncUnit {
+                    ops: alu_ops(has_mul),
+                    latency: p.alu_latency,
+                    ii: 1,
+                },
+            ));
+            reg[y][x] = must(a.add_component(format!("b{x}_{y}.reg"), ComponentKind::Register));
+        }
+    }
+
+    // I/O pads: one per edge block per side, ordered N, S, W, E.
+    // pad_at[k] = (attached x, attached y).
+    let mut pads: Vec<CompId> = Vec::new();
+    let mut pad_at: Vec<(usize, usize)> = Vec::new();
+    if p.io_pads {
+        let mut spots: Vec<(usize, usize, &str)> = Vec::new();
+        for x in 0..p.cols {
+            spots.push((x, 0, "n"));
+        }
+        for x in 0..p.cols {
+            spots.push((x, p.rows - 1, "s"));
+        }
+        for y in 0..p.rows {
+            spots.push((0, y, "w"));
+        }
+        for y in 0..p.rows {
+            spots.push((p.cols - 1, y, "e"));
+        }
+        for (i, &(x, y, side)) in spots.iter().enumerate() {
+            let pad = must(a.add_component(
+                format!("io_{side}{i}"),
+                ComponentKind::FuncUnit {
+                    ops: io_ops(),
+                    latency: 0,
+                    ii: 1,
+                },
+            ));
+            pads.push(pad);
+            pad_at.push((x, y));
+        }
+    }
+
+    // Memory ports: one per row.
+    let mut mem: Vec<CompId> = Vec::new();
+    if p.memory_ports {
+        for y in 0..p.rows {
+            mem.push(must(a.add_component(
+                format!("mem{y}"),
+                ComponentKind::FuncUnit {
+                    ops: memory_ops(),
+                    latency: 1,
+                    ii: 1,
+                },
+            )));
+        }
+    }
+
+    // ---- Phase 2: external source lists and multiplexers ---------------
+    let neighbours = |x: usize, y: usize| -> Vec<(usize, usize)> {
+        let mut deltas: Vec<(i64, i64)> = vec![(0, -1), (0, 1), (-1, 0), (1, 0)];
+        if p.interconnect == Interconnect::Diagonal {
+            deltas.extend([(-1, -1), (1, -1), (-1, 1), (1, 1)]);
+        }
+        let mut out: Vec<(usize, usize)> = deltas
+            .into_iter()
+            .filter_map(|(dx, dy)| {
+                let nx = x as i64 + dx;
+                let ny = y as i64 + dy;
+                if p.toroidal {
+                    Some((
+                        nx.rem_euclid(p.cols as i64) as usize,
+                        ny.rem_euclid(p.rows as i64) as usize,
+                    ))
+                } else {
+                    (nx >= 0 && ny >= 0 && (nx as usize) < p.cols && (ny as usize) < p.rows)
+                        .then_some((nx as usize, ny as usize))
+                }
+            })
+            .collect();
+        // Wrap-around can alias neighbours on small tori; keep each once
+        // and never the block itself.
+        out.retain(|&n| n != (x, y));
+        out.dedup();
+        let mut seen = Vec::new();
+        out.retain(|n| {
+            if seen.contains(n) {
+                false
+            } else {
+                seen.push(*n);
+                true
+            }
+        });
+        out
+    };
+
+    let mut externals: Vec<Vec<Vec<Source>>> = vec![vec![Vec::new(); p.cols]; p.rows];
+    for y in 0..p.rows {
+        for x in 0..p.cols {
+            let mut ext: Vec<Source> = Vec::new();
+            for (nx, ny) in neighbours(x, y) {
+                ext.push(Source::BlockOut(nx, ny));
+                if p.bypass_channel {
+                    ext.push(Source::BlockBypass(nx, ny));
+                }
+            }
+            for (i, &(px, py)) in pad_at.iter().enumerate() {
+                if px == x && py == y {
+                    ext.push(Source::Pad(i));
+                }
+            }
+            if p.memory_ports {
+                ext.push(Source::MemResult(y));
+            }
+            externals[y][x] = ext;
+        }
+    }
+
+    let mut opa = vec![vec![CompId(0); p.cols]; p.rows];
+    let mut opb = vec![vec![CompId(0); p.cols]; p.rows];
+    let mut outm = vec![vec![CompId(0); p.cols]; p.rows];
+    let mut regm = vec![vec![CompId(0); p.cols]; p.rows];
+    let mut bypm = vec![vec![None::<CompId>; p.cols]; p.rows];
+    for y in 0..p.rows {
+        for x in 0..p.cols {
+            let n_ext = externals[y][x].len() as u32;
+            // Operand muxes select among externals plus the register
+            // feedback path.
+            opa[y][x] = must(a.add_component(
+                format!("b{x}_{y}.opa"),
+                ComponentKind::Mux { inputs: n_ext + 1 },
+            ));
+            opb[y][x] = must(a.add_component(
+                format!("b{x}_{y}.opb"),
+                ComponentKind::Mux { inputs: n_ext + 1 },
+            ));
+            // The output mux selects the ALU result, the registered result,
+            // or passes one external input through (routing support).
+            outm[y][x] = must(a.add_component(
+                format!("b{x}_{y}.out"),
+                ComponentKind::Mux { inputs: n_ext + 2 },
+            ));
+            // The register's input mux: the ALU result, a self-hold path,
+            // or any block input. Letting the register capture raw block
+            // inputs is what allows *pass-through* values to cross
+            // execution contexts in multi-context mappings.
+            regm[y][x] = must(a.add_component(
+                format!("b{x}_{y}.regm"),
+                ComponentKind::Mux { inputs: n_ext + 2 },
+            ));
+            // Optional dedicated pass-through channel.
+            if p.bypass_channel {
+                bypm[y][x] = Some(must(a.add_component(
+                    format!("b{x}_{y}.byp"),
+                    ComponentKind::Mux {
+                        inputs: n_ext.max(2),
+                    },
+                )));
+            }
+        }
+    }
+
+    // Memory-port operand muxes (address and datum), selecting among the
+    // outputs of the row's blocks.
+    let mut mem_addr: Vec<CompId> = Vec::new();
+    let mut mem_data: Vec<CompId> = Vec::new();
+    if p.memory_ports {
+        for y in 0..p.rows {
+            mem_addr.push(must(a.add_component(
+                format!("mem{y}.addr"),
+                ComponentKind::Mux {
+                    inputs: p.cols.max(2) as u32,
+                },
+            )));
+            mem_data.push(must(a.add_component(
+                format!("mem{y}.data"),
+                ComponentKind::Mux {
+                    inputs: p.cols.max(2) as u32,
+                },
+            )));
+        }
+    }
+
+    // ---- Phase 3: wiring ----------------------------------------------
+    let resolve = |s: &Source| -> PortRef {
+        match *s {
+            Source::BlockOut(nx, ny) => PortRef::out(outm[ny][nx]),
+            Source::BlockBypass(nx, ny) => {
+                PortRef::out(bypm[ny][nx].expect("bypass muxes exist when enabled"))
+            }
+            Source::Pad(i) => PortRef::out(pads[i]),
+            Source::MemResult(row) => PortRef::out(mem[row]),
+        }
+    };
+    let wire = |a: &mut Architecture, from: PortRef, to: PortRef| {
+        a.connect(from, to)
+            .expect("family generation is statically correct");
+    };
+
+    for y in 0..p.rows {
+        for x in 0..p.cols {
+            let ext = &externals[y][x];
+            for (i, s) in ext.iter().enumerate() {
+                wire(&mut a, resolve(s), PortRef::input(opa[y][x], i as u8));
+                wire(&mut a, resolve(s), PortRef::input(opb[y][x], i as u8));
+                // Pass-through inputs of the output and register muxes come
+                // after the ALU and register inputs.
+                wire(
+                    &mut a,
+                    resolve(s),
+                    PortRef::input(outm[y][x], (i + 2) as u8),
+                );
+                wire(
+                    &mut a,
+                    resolve(s),
+                    PortRef::input(regm[y][x], (i + 2) as u8),
+                );
+                if let Some(byp) = bypm[y][x] {
+                    wire(&mut a, resolve(s), PortRef::input(byp, i as u8));
+                }
+            }
+            // A degenerate bypass mux (single external) ties its spare
+            // input to the same source.
+            if let Some(byp) = bypm[y][x] {
+                if ext.len() == 1 {
+                    wire(&mut a, resolve(&ext[0]), PortRef::input(byp, 1));
+                }
+            }
+            let n_ext = ext.len() as u8;
+            // Register feedback into the operand muxes.
+            wire(
+                &mut a,
+                PortRef::out(reg[y][x]),
+                PortRef::input(opa[y][x], n_ext),
+            );
+            wire(
+                &mut a,
+                PortRef::out(reg[y][x]),
+                PortRef::input(opb[y][x], n_ext),
+            );
+            // Operand muxes feed the ALU.
+            wire(
+                &mut a,
+                PortRef::out(opa[y][x]),
+                PortRef::input(alu[y][x], 0),
+            );
+            wire(
+                &mut a,
+                PortRef::out(opb[y][x]),
+                PortRef::input(alu[y][x], 1),
+            );
+            // ALU result into the register mux and the output mux.
+            wire(
+                &mut a,
+                PortRef::out(alu[y][x]),
+                PortRef::input(regm[y][x], 0),
+            );
+            wire(
+                &mut a,
+                PortRef::out(reg[y][x]),
+                PortRef::input(regm[y][x], 1),
+            );
+            wire(
+                &mut a,
+                PortRef::out(regm[y][x]),
+                PortRef::input(reg[y][x], 0),
+            );
+            wire(
+                &mut a,
+                PortRef::out(alu[y][x]),
+                PortRef::input(outm[y][x], 0),
+            );
+            wire(
+                &mut a,
+                PortRef::out(reg[y][x]),
+                PortRef::input(outm[y][x], 1),
+            );
+        }
+    }
+
+    // Pads: driven by their attached block's output.
+    for (i, &(x, y)) in pad_at.iter().enumerate() {
+        wire(&mut a, PortRef::out(outm[y][x]), PortRef::input(pads[i], 0));
+    }
+
+    // Memory ports: address/datum muxes select among the row's blocks.
+    if p.memory_ports {
+        for y in 0..p.rows {
+            for x in 0..p.cols {
+                wire(
+                    &mut a,
+                    PortRef::out(outm[y][x]),
+                    PortRef::input(mem_addr[y], x as u8),
+                );
+                wire(
+                    &mut a,
+                    PortRef::out(outm[y][x]),
+                    PortRef::input(mem_data[y], x as u8),
+                );
+            }
+            // Degenerate single-column grids still declare 2-input muxes;
+            // tie the spare input to the same block output.
+            if p.cols == 1 {
+                wire(
+                    &mut a,
+                    PortRef::out(outm[y][0]),
+                    PortRef::input(mem_addr[y], 1),
+                );
+                wire(
+                    &mut a,
+                    PortRef::out(outm[y][0]),
+                    PortRef::input(mem_data[y], 1),
+                );
+            }
+            wire(&mut a, PortRef::out(mem_addr[y]), PortRef::input(mem[y], 0));
+            wire(&mut a, PortRef::out(mem_data[y]), PortRef::input(mem[y], 1));
+        }
+    }
+
+    a
+}
+
+/// A small fragment reproducing the paper's **Example 2 / Fig 4 MRRG B**
+/// situation: a "cloud" of multiplexers containing a routing loop sits
+/// between a source pad and a shared multiplexer that two values must
+/// compete for. With the Multiplexer Input Exclusivity constraint (9)
+/// this is provably unmappable for a two-input/two-output DFG; without
+/// it, the ILP admits a self-reinforcing loop that satisfies Fanout
+/// Routing (5) while never reaching the sink.
+///
+/// Components: pads `pa`, `pb`, `poa`, `pob`; loop muxes `ml1`, `ml2`
+/// (mutually connected); shared mux `ms` feeding both output pads.
+pub fn example2_fragment() -> Architecture {
+    let mut a = Architecture::new("example2");
+    let must = |r: Result<CompId, crate::arch::ArchError>| -> CompId {
+        r.expect("fragment generation is statically correct")
+    };
+    let io = |a: &mut Architecture, name: &str| -> CompId {
+        must(a.add_component(
+            name,
+            ComponentKind::FuncUnit {
+                ops: io_ops(),
+                latency: 0,
+                ii: 1,
+            },
+        ))
+    };
+    let pa = io(&mut a, "pa");
+    let pb = io(&mut a, "pb");
+    let poa = io(&mut a, "poa");
+    let pob = io(&mut a, "pob");
+    let ml1 = must(a.add_component("ml1", ComponentKind::Mux { inputs: 2 }));
+    let ml2 = must(a.add_component("ml2", ComponentKind::Mux { inputs: 2 }));
+    let ms = must(a.add_component("ms", ComponentKind::Mux { inputs: 2 }));
+    let wire = |a: &mut Architecture, f: PortRef, t: PortRef| {
+        a.connect(f, t)
+            .expect("fragment generation is statically correct");
+    };
+    // Source A enters the loop cloud; the cloud's only exit is the shared
+    // mux; the cloud can also feed back onto itself.
+    wire(&mut a, PortRef::out(pa), PortRef::input(ml1, 1));
+    wire(&mut a, PortRef::out(pa), PortRef::input(ml2, 1));
+    wire(&mut a, PortRef::out(ml1), PortRef::input(ml2, 0));
+    wire(&mut a, PortRef::out(ml2), PortRef::input(ml1, 0));
+    wire(&mut a, PortRef::out(ml2), PortRef::input(ms, 0));
+    // Source B reaches the shared mux directly.
+    wire(&mut a, PortRef::out(pb), PortRef::input(ms, 1));
+    // The shared mux feeds both output pads (and closes the input pads'
+    // operand ports, which bidirectional pads expose).
+    wire(&mut a, PortRef::out(ms), PortRef::input(poa, 0));
+    wire(&mut a, PortRef::out(ms), PortRef::input(pob, 0));
+    wire(&mut a, PortRef::out(ms), PortRef::input(pa, 0));
+    wire(&mut a, PortRef::out(ms), PortRef::input(pb, 0));
+    a
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cgra_dfg::OpKind;
+
+    #[test]
+    fn paper_grid_validates() {
+        for mix in [FuMix::Homogeneous, FuMix::Heterogeneous] {
+            for ic in [Interconnect::Orthogonal, Interconnect::Diagonal] {
+                let a = grid(GridParams::paper(mix, ic));
+                a.validate().unwrap_or_else(|e| panic!("{}: {e}", a.name()));
+            }
+        }
+    }
+
+    #[test]
+    fn paper_grid_component_counts() {
+        let a = grid(GridParams::paper(
+            FuMix::Homogeneous,
+            Interconnect::Orthogonal,
+        ));
+        let (fu, mux, reg) = a.kind_counts();
+        // 16 ALUs + 16 pads + 4 memory ports
+        assert_eq!(fu, 36);
+        // 16 blocks x 4 muxes + 4 memory ports x 2 muxes
+        assert_eq!(mux, 72);
+        assert_eq!(reg, 16);
+    }
+
+    #[test]
+    fn heterogeneous_has_half_the_multipliers() {
+        let a = grid(GridParams::paper(
+            FuMix::Heterogeneous,
+            Interconnect::Orthogonal,
+        ));
+        let with_mul = a
+            .components()
+            .iter()
+            .filter(|c| match &c.kind {
+                ComponentKind::FuncUnit { ops, .. } => ops.contains(OpKind::Mul),
+                _ => false,
+            })
+            .count();
+        assert_eq!(with_mul, 8);
+        let homo = grid(GridParams::paper(
+            FuMix::Homogeneous,
+            Interconnect::Orthogonal,
+        ));
+        let with_mul_homo = homo
+            .components()
+            .iter()
+            .filter(|c| match &c.kind {
+                ComponentKind::FuncUnit { ops, .. } => ops.contains(OpKind::Mul),
+                _ => false,
+            })
+            .count();
+        assert_eq!(with_mul_homo, 16);
+    }
+
+    #[test]
+    fn diagonal_muxes_are_larger() {
+        let orth = grid(GridParams::paper(
+            FuMix::Homogeneous,
+            Interconnect::Orthogonal,
+        ));
+        let diag = grid(GridParams::paper(
+            FuMix::Homogeneous,
+            Interconnect::Diagonal,
+        ));
+        let mux_size = |a: &Architecture, name: &str| -> usize {
+            let id = a.component_by_name(name).expect("mux exists");
+            a.component(id).unwrap().kind.num_inputs()
+        };
+        // Interior block b1_1: orth has 4 neighbours, diag has 8.
+        assert_eq!(mux_size(&orth, "b1_1.opa"), 4 + 1 + 1); // +mem +reg
+        assert_eq!(mux_size(&diag, "b1_1.opa"), 8 + 1 + 1);
+        assert!(mux_size(&diag, "b1_1.out") > mux_size(&orth, "b1_1.out"));
+    }
+
+    #[test]
+    fn sixteen_pads_on_paper_grid() {
+        let a = grid(GridParams::paper(
+            FuMix::Homogeneous,
+            Interconnect::Orthogonal,
+        ));
+        let pads = a
+            .components()
+            .iter()
+            .filter(|c| match &c.kind {
+                ComponentKind::FuncUnit { ops, .. } => ops.contains(OpKind::Input),
+                _ => false,
+            })
+            .count();
+        assert_eq!(pads, 16);
+    }
+
+    #[test]
+    fn memory_port_per_row() {
+        let a = grid(GridParams::paper(
+            FuMix::Homogeneous,
+            Interconnect::Orthogonal,
+        ));
+        let mems = a
+            .components()
+            .iter()
+            .filter(|c| match &c.kind {
+                ComponentKind::FuncUnit { ops, .. } => ops.contains(OpKind::Load),
+                _ => false,
+            })
+            .count();
+        assert_eq!(mems, 4);
+    }
+
+    #[test]
+    fn paper_configs_are_eight() {
+        let cfgs = paper_configs();
+        assert_eq!(cfgs.len(), 8);
+        assert!(cfgs[..4].iter().all(|c| c.contexts == 1));
+        assert!(cfgs[4..].iter().all(|c| c.contexts == 2));
+        let labels: Vec<_> = cfgs[..4].iter().map(|c| c.label).collect();
+        assert_eq!(
+            labels,
+            vec!["hetero-orth", "hetero-diag", "homo-orth", "homo-diag"]
+        );
+    }
+
+    #[test]
+    fn small_grids_supported() {
+        for (r, c) in [(1, 1), (1, 4), (2, 2), (3, 5)] {
+            let a = grid(GridParams {
+                rows: r,
+                cols: c,
+                fu_mix: FuMix::Homogeneous,
+                interconnect: Interconnect::Diagonal,
+                io_pads: true,
+                memory_ports: true,
+                toroidal: false,
+                alu_latency: 0,
+            bypass_channel: false,
+            });
+            a.validate().unwrap_or_else(|e| panic!("{}x{}: {e}", r, c));
+        }
+    }
+
+    #[test]
+    fn toroidal_grid_gives_uniform_neighbourhoods() {
+        let flat = grid(GridParams::paper(
+            FuMix::Homogeneous,
+            Interconnect::Orthogonal,
+        ));
+        let torus = grid(GridParams {
+            toroidal: true,
+            ..GridParams::paper(FuMix::Homogeneous, Interconnect::Orthogonal)
+        });
+        torus.validate().unwrap();
+        let mux_size = |a: &Architecture, name: &str| {
+            a.component(a.component_by_name(name).expect("exists"))
+                .unwrap()
+                .kind
+                .num_inputs()
+        };
+        // Corner block: 2 neighbours flat, 4 on the torus.
+        assert_eq!(mux_size(&flat, "b0_0.opa"), 2 + 2 + 1 + 1); // n + pads + mem + reg
+        assert_eq!(mux_size(&torus, "b0_0.opa"), 4 + 2 + 1 + 1);
+        // Interior block unchanged.
+        assert_eq!(mux_size(&flat, "b1_1.opa"), mux_size(&torus, "b1_1.opa"));
+    }
+
+    #[test]
+    fn toroidal_2x2_deduplicates_aliased_neighbours() {
+        // On a 2x2 torus, left and right neighbour coincide.
+        let torus = grid(GridParams {
+            rows: 2,
+            cols: 2,
+            toroidal: true,
+            ..GridParams::paper(FuMix::Homogeneous, Interconnect::Orthogonal)
+        });
+        torus.validate().unwrap();
+    }
+
+    #[test]
+    fn bypass_channel_adds_one_mux_and_doubles_block_sources() {
+        let base = GridParams::paper(FuMix::Homogeneous, Interconnect::Orthogonal);
+        let plain = grid(base);
+        let byp = grid(GridParams {
+            bypass_channel: true,
+            ..base
+        });
+        byp.validate().unwrap();
+        let (_, plain_mux, _) = plain.kind_counts();
+        let (_, byp_mux, _) = byp.kind_counts();
+        // One extra mux per block.
+        assert_eq!(byp_mux, plain_mux + 16);
+        // Interior block sees each neighbour twice (out + bypass).
+        let mux_size = |a: &Architecture, name: &str| {
+            a.component(a.component_by_name(name).expect("exists"))
+                .unwrap()
+                .kind
+                .num_inputs()
+        };
+        // plain: 4 neighbours + mem + reg; bypass: 8 sources + mem + reg.
+        assert_eq!(mux_size(&plain, "b1_1.opa"), 4 + 1 + 1);
+        assert_eq!(mux_size(&byp, "b1_1.opa"), 8 + 1 + 1);
+        assert!(byp.component_by_name("b1_1.byp").is_some());
+    }
+
+    #[test]
+    fn pipelined_alu_latency_respected() {
+        let a = grid(GridParams {
+            alu_latency: 1,
+            ..GridParams::paper(FuMix::Homogeneous, Interconnect::Orthogonal)
+        });
+        let id = a.component_by_name("b0_0.alu").expect("exists");
+        match &a.component(id).unwrap().kind {
+            ComponentKind::FuncUnit { latency, .. } => assert_eq!(*latency, 1),
+            other => panic!("unexpected kind {other:?}"),
+        }
+    }
+
+    #[test]
+    fn example2_fragment_validates() {
+        let a = example2_fragment();
+        a.validate().unwrap();
+        assert_eq!(a.kind_counts(), (4, 3, 0));
+    }
+
+    #[test]
+    fn grid_without_io_or_memory() {
+        let a = grid(GridParams {
+            rows: 2,
+            cols: 2,
+            fu_mix: FuMix::Homogeneous,
+            interconnect: Interconnect::Orthogonal,
+            io_pads: false,
+            memory_ports: false,
+            toroidal: false,
+            alu_latency: 0,
+            bypass_channel: false,
+        });
+        a.validate().unwrap();
+        let (fu, ..) = a.kind_counts();
+        assert_eq!(fu, 4); // no pads, no memory ports
+    }
+}

@@ -1,0 +1,42 @@
+//! # cgra-arch — generic CGRA architecture modelling
+//!
+//! The architecture-side input of the CGRA mapping problem from *"An
+//! Architecture-Agnostic Integer Linear Programming Approach to CGRA
+//! Mapping"* (Chin & Anderson, DAC 2018). An architecture is a flat
+//! netlist of primitive components — functional units, multiplexers and
+//! registers — that the `cgra-mrrg` crate translates into a Modulo Routing
+//! Resource Graph for mapping. I/O pads and memory ports are modelled as
+//! functional units supporting the `input`/`output` and `load`/`store`
+//! pseudo-operations, as in the paper.
+//!
+//! The [`families`] module generates the paper's test architectures: R x C
+//! arrays of ALU blocks with orthogonal or diagonal interconnect,
+//! homogeneous or heterogeneous multiplier provisioning, peripheral I/O
+//! pads and row-shared memory ports (paper Section 5, Figs 3 and 6).
+//!
+//! The [`text`] module is a small architecture description language
+//! standing in for CGRA-ME's XML format.
+//!
+//! # Examples
+//!
+//! ```
+//! use cgra_arch::families::{grid, FuMix, GridParams, Interconnect};
+//! let arch = grid(GridParams::paper(FuMix::Heterogeneous, Interconnect::Diagonal));
+//! arch.validate()?;
+//! assert_eq!(arch.name(), "hetero-diag-4x4");
+//! # Ok::<(), cgra_arch::ArchError>(())
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+#[allow(clippy::module_inception)]
+mod arch;
+mod component;
+pub mod families;
+pub mod text;
+
+pub use arch::{ArchError, Architecture};
+pub use component::{
+    alu_ops, io_ops, memory_ops, CompId, Component, ComponentKind, Connection, Port, PortRef,
+};

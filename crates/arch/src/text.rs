@@ -1,0 +1,311 @@
+//! A small line-oriented textual architecture description language.
+//!
+//! CGRA-ME describes architectures in a high-level XML language; this
+//! repository uses a self-contained text format with the same role: the
+//! architecture is written down as data and handed to the mapper, keeping
+//! the mapper architecture-agnostic.
+//!
+//! ```text
+//! arch tiny
+//! fu alu ops=add,sub,mul latency=0 ii=1
+//! mux sel inputs=2
+//! reg r
+//! connect sel.out -> alu.in0
+//! connect alu.out -> r.in0
+//! connect r.out -> sel.in0
+//! connect alu.out -> sel.in1
+//! ```
+
+use crate::arch::{ArchError, Architecture};
+use crate::component::{ComponentKind, Port, PortRef};
+use cgra_dfg::{OpKind, OpSet};
+use std::fmt;
+
+/// Errors returned by [`parse`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ParseArchError {
+    /// A line could not be parsed.
+    Syntax {
+        /// 1-based line number.
+        line: usize,
+        /// Description of the problem.
+        message: String,
+    },
+    /// The parsed structure violated an architecture invariant.
+    Arch(ArchError),
+    /// The input was missing the leading `arch <name>` header.
+    MissingHeader,
+}
+
+impl fmt::Display for ParseArchError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ParseArchError::Syntax { line, message } => write!(f, "line {line}: {message}"),
+            ParseArchError::Arch(e) => write!(f, "architecture error: {e}"),
+            ParseArchError::MissingHeader => write!(f, "missing `arch <name>` header"),
+        }
+    }
+}
+
+impl std::error::Error for ParseArchError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ParseArchError::Arch(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<ArchError> for ParseArchError {
+    fn from(e: ArchError) -> Self {
+        ParseArchError::Arch(e)
+    }
+}
+
+/// Serialises an architecture to the textual format; [`parse`] restores an
+/// identical architecture.
+pub fn print(arch: &Architecture) -> String {
+    let mut out = String::new();
+    out.push_str(&format!("arch {}\n", arch.name()));
+    for c in arch.components() {
+        match &c.kind {
+            ComponentKind::FuncUnit { ops, latency, ii } => {
+                let ops_str: Vec<String> = ops.iter().map(|k| k.mnemonic().to_owned()).collect();
+                out.push_str(&format!(
+                    "fu {} ops={} latency={latency} ii={ii}\n",
+                    c.name,
+                    ops_str.join(",")
+                ));
+            }
+            ComponentKind::Mux { inputs } => {
+                out.push_str(&format!("mux {} inputs={inputs}\n", c.name));
+            }
+            ComponentKind::Register => {
+                out.push_str(&format!("reg {}\n", c.name));
+            }
+        }
+    }
+    for conn in arch.connections() {
+        let from = arch.components()[conn.from.comp.index()].name.clone();
+        let to = arch.components()[conn.to.comp.index()].name.clone();
+        out.push_str(&format!(
+            "connect {}.{} -> {}.{}\n",
+            from, conn.from.port, to, conn.to.port
+        ));
+    }
+    out
+}
+
+fn parse_port_ref(
+    arch: &Architecture,
+    token: &str,
+    lineno: usize,
+) -> Result<PortRef, ParseArchError> {
+    let syntax = |message: String| ParseArchError::Syntax {
+        line: lineno,
+        message,
+    };
+    let (comp_name, port_name) = token
+        .rsplit_once('.')
+        .ok_or_else(|| syntax(format!("expected `component.port`, found `{token}`")))?;
+    let comp = arch
+        .component_by_name(comp_name)
+        .ok_or_else(|| syntax(format!("unknown component `{comp_name}`")))?;
+    let port = if port_name == "out" {
+        Port::Out
+    } else if let Some(idx) = port_name.strip_prefix("in") {
+        Port::In(
+            idx.parse()
+                .map_err(|e| syntax(format!("bad input port `{port_name}`: {e}")))?,
+        )
+    } else {
+        return Err(syntax(format!("unknown port `{port_name}`")));
+    };
+    Ok(PortRef { comp, port })
+}
+
+fn parse_kv<'a>(token: &'a str, key: &str, lineno: usize) -> Result<&'a str, ParseArchError> {
+    token
+        .strip_prefix(key)
+        .and_then(|r| r.strip_prefix('='))
+        .ok_or_else(|| ParseArchError::Syntax {
+            line: lineno,
+            message: format!("expected `{key}=...`, found `{token}`"),
+        })
+}
+
+/// Parses the textual architecture format produced by [`print()`](fn@print).
+///
+/// Blank lines and `#` comments are ignored.
+///
+/// # Errors
+///
+/// Returns a [`ParseArchError`] for the first offending line or violated
+/// architecture invariant.
+pub fn parse(text: &str) -> Result<Architecture, ParseArchError> {
+    let mut arch: Option<Architecture> = None;
+    for (lineno, raw) in text.lines().enumerate() {
+        let line = raw.split('#').next().unwrap_or("").trim();
+        if line.is_empty() {
+            continue;
+        }
+        let lineno = lineno + 1;
+        let syntax = |message: String| ParseArchError::Syntax {
+            line: lineno,
+            message,
+        };
+        let mut tokens = line.split_whitespace();
+        let head = tokens.next().expect("non-empty line has a token");
+        match head {
+            "arch" => {
+                let name = tokens
+                    .next()
+                    .ok_or_else(|| syntax("expected architecture name".into()))?;
+                if arch.is_some() {
+                    return Err(syntax("duplicate `arch` header".into()));
+                }
+                arch = Some(Architecture::new(name));
+            }
+            "fu" => {
+                let a = arch.as_mut().ok_or(ParseArchError::MissingHeader)?;
+                let name = tokens
+                    .next()
+                    .ok_or_else(|| syntax("expected component name".into()))?;
+                let ops_tok = tokens
+                    .next()
+                    .ok_or_else(|| syntax("expected ops=...".into()))?;
+                let ops_str = parse_kv(ops_tok, "ops", lineno)?;
+                let mut ops = OpSet::new();
+                for m in ops_str.split(',') {
+                    let k: OpKind = m.parse().map_err(|e| syntax(format!("{e}")))?;
+                    ops.insert(k);
+                }
+                let lat_tok = tokens
+                    .next()
+                    .ok_or_else(|| syntax("expected latency=...".into()))?;
+                let latency: u32 = parse_kv(lat_tok, "latency", lineno)?
+                    .parse()
+                    .map_err(|e| syntax(format!("bad latency: {e}")))?;
+                let ii_tok = tokens
+                    .next()
+                    .ok_or_else(|| syntax("expected ii=...".into()))?;
+                let ii: u32 = parse_kv(ii_tok, "ii", lineno)?
+                    .parse()
+                    .map_err(|e| syntax(format!("bad ii: {e}")))?;
+                a.add_component(name, ComponentKind::FuncUnit { ops, latency, ii })?;
+            }
+            "mux" => {
+                let a = arch.as_mut().ok_or(ParseArchError::MissingHeader)?;
+                let name = tokens
+                    .next()
+                    .ok_or_else(|| syntax("expected component name".into()))?;
+                let in_tok = tokens
+                    .next()
+                    .ok_or_else(|| syntax("expected inputs=...".into()))?;
+                let inputs: u32 = parse_kv(in_tok, "inputs", lineno)?
+                    .parse()
+                    .map_err(|e| syntax(format!("bad inputs: {e}")))?;
+                a.add_component(name, ComponentKind::Mux { inputs })?;
+            }
+            "reg" => {
+                let a = arch.as_mut().ok_or(ParseArchError::MissingHeader)?;
+                let name = tokens
+                    .next()
+                    .ok_or_else(|| syntax("expected component name".into()))?;
+                a.add_component(name, ComponentKind::Register)?;
+            }
+            "connect" => {
+                let from_tok = tokens
+                    .next()
+                    .ok_or_else(|| syntax("expected source port".into()))?
+                    .to_owned();
+                let arrow = tokens
+                    .next()
+                    .ok_or_else(|| syntax("expected `->`".into()))?;
+                if arrow != "->" {
+                    return Err(syntax(format!("expected `->`, found `{arrow}`")));
+                }
+                let to_tok = tokens
+                    .next()
+                    .ok_or_else(|| syntax("expected destination port".into()))?
+                    .to_owned();
+                let a = arch.as_mut().ok_or(ParseArchError::MissingHeader)?;
+                let from = parse_port_ref(a, &from_tok, lineno)?;
+                let to = parse_port_ref(a, &to_tok, lineno)?;
+                a.connect(from, to)?;
+            }
+            other => return Err(syntax(format!("unknown directive `{other}`"))),
+        }
+        if tokens.next().is_some() {
+            return Err(ParseArchError::Syntax {
+                line: lineno,
+                message: "trailing tokens".into(),
+            });
+        }
+    }
+    arch.ok_or(ParseArchError::MissingHeader)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::families::{grid, FuMix, GridParams, Interconnect};
+
+    #[test]
+    fn roundtrip_paper_architectures() {
+        for mix in [FuMix::Homogeneous, FuMix::Heterogeneous] {
+            for ic in [Interconnect::Orthogonal, Interconnect::Diagonal] {
+                let a = grid(GridParams::paper(mix, ic));
+                let text = print(&a);
+                let b = parse(&text).expect("roundtrip parse");
+                assert_eq!(a, b, "roundtrip mismatch for {}", a.name());
+            }
+        }
+    }
+
+    #[test]
+    fn parses_hand_written_example() {
+        let a = parse(
+            "arch tiny\n\
+             fu alu ops=add,sub,mul latency=0 ii=1\n\
+             mux sel inputs=2\n\
+             reg r\n\
+             connect sel.out -> alu.in0\n\
+             connect sel.out -> alu.in1\n\
+             connect alu.out -> r.in0\n\
+             connect r.out -> sel.in0\n\
+             connect alu.out -> sel.in1\n",
+        )
+        .expect("valid example");
+        assert_eq!(a.kind_counts(), (1, 1, 1));
+        a.validate().unwrap();
+    }
+
+    #[test]
+    fn dotted_names_parse() {
+        let a = parse(
+            "arch t\nreg b0_0.reg\nmux b0_0.m inputs=2\n\
+             connect b0_0.reg.out -> b0_0.m.in0\n\
+             connect b0_0.reg.out -> b0_0.m.in1\n\
+             connect b0_0.m.out -> b0_0.reg.in0\n",
+        )
+        .expect("dotted names");
+        assert!(a.component_by_name("b0_0.reg").is_some());
+    }
+
+    #[test]
+    fn errors_carry_line_numbers() {
+        let err = parse("arch t\nbogus x\n").unwrap_err();
+        assert!(matches!(err, ParseArchError::Syntax { line: 2, .. }));
+        let err = parse("arch t\nmux m inputs=zero\n").unwrap_err();
+        assert!(matches!(err, ParseArchError::Syntax { line: 2, .. }));
+        let err = parse("reg r\n").unwrap_err();
+        assert!(matches!(err, ParseArchError::MissingHeader));
+    }
+
+    #[test]
+    fn arch_invariants_enforced() {
+        let err = parse("arch t\nmux m inputs=1\n").unwrap_err();
+        assert!(matches!(err, ParseArchError::Arch(_)));
+    }
+}

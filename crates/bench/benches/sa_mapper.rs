@@ -1,0 +1,28 @@
+//! Criterion bench: the simulated-annealing baseline on an easy cell
+//! (accum on homo-diag), where it converges reliably.
+
+use cgra_arch::families::{grid, FuMix, GridParams, Interconnect};
+use cgra_dfg::benchmarks;
+use cgra_mapper::{AnnealParams, AnnealingMapper, MapperOptions};
+use cgra_mrrg::build_mrrg;
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench_sa(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sa_mapper");
+    group.sample_size(10);
+    let dfg = (benchmarks::by_name("accum").expect("known").build)();
+    let arch = grid(GridParams::paper(
+        FuMix::Homogeneous,
+        Interconnect::Diagonal,
+    ));
+    let mrrg = build_mrrg(&arch, 1);
+    group.bench_function("accum-homo-diag-II1", |b| {
+        b.iter(|| {
+            AnnealingMapper::new(MapperOptions::default(), AnnealParams::default()).map(&dfg, &mrrg)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_sa);
+criterion_main!(benches);

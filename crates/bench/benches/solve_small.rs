@@ -1,0 +1,73 @@
+//! Criterion bench: end-to-end exact mapping of small kernels on a 2x2
+//! array (build + solve + decode + validate).
+
+use cgra_arch::families::{grid, FuMix, GridParams, Interconnect};
+use cgra_dfg::{Dfg, OpKind};
+use cgra_mapper::{IlpMapper, MapperOptions};
+use cgra_mrrg::build_mrrg;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn axpy() -> Dfg {
+    let mut g = Dfg::new("axpy");
+    let a = g.add_op("a", OpKind::Input).expect("static");
+    let x = g.add_op("x", OpKind::Input).expect("static");
+    let y = g.add_op("y", OpKind::Input).expect("static");
+    let m = g.add_op("m", OpKind::Mul).expect("static");
+    let s = g.add_op("s", OpKind::Add).expect("static");
+    let o = g.add_op("o", OpKind::Output).expect("static");
+    g.connect(a, m, 0).expect("static");
+    g.connect(x, m, 1).expect("static");
+    g.connect(m, s, 0).expect("static");
+    g.connect(y, s, 1).expect("static");
+    g.connect(s, o, 0).expect("static");
+    g
+}
+
+fn dot2() -> Dfg {
+    let mut g = Dfg::new("dot2");
+    let ins: Vec<_> = (0..4)
+        .map(|i| g.add_op(format!("i{i}"), OpKind::Input).expect("static"))
+        .collect();
+    let m0 = g.add_op("m0", OpKind::Mul).expect("static");
+    let m1 = g.add_op("m1", OpKind::Mul).expect("static");
+    let s = g.add_op("s", OpKind::Add).expect("static");
+    let o = g.add_op("o", OpKind::Output).expect("static");
+    g.connect(ins[0], m0, 0).expect("static");
+    g.connect(ins[1], m0, 1).expect("static");
+    g.connect(ins[2], m1, 0).expect("static");
+    g.connect(ins[3], m1, 1).expect("static");
+    g.connect(m0, s, 0).expect("static");
+    g.connect(m1, s, 1).expect("static");
+    g.connect(s, o, 0).expect("static");
+    g
+}
+
+fn bench_solve_small(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ilp_map_small");
+    group.sample_size(10);
+    let arch = grid(GridParams {
+        rows: 2,
+        cols: 2,
+        fu_mix: FuMix::Homogeneous,
+        interconnect: Interconnect::Orthogonal,
+        io_pads: true,
+        memory_ports: true,
+        toroidal: false,
+        alu_latency: 0,
+            bypass_channel: false,
+    });
+    for (name, dfg) in [("axpy", axpy()), ("dot2", dot2())] {
+        for contexts in [1u32, 2] {
+            let mrrg = build_mrrg(&arch, contexts);
+            group.bench_with_input(
+                BenchmarkId::from_parameter(format!("{name}-II{contexts}")),
+                &(dfg.clone(), mrrg),
+                |b, (dfg, mrrg)| b.iter(|| IlpMapper::new(MapperOptions::default()).map(dfg, mrrg)),
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_solve_small);
+criterion_main!(benches);

@@ -1,0 +1,76 @@
+//! Criterion bench / ablation A3: bilp engine feature toggles
+//! (VSIDS, phase saving, clause minimisation, restarts) on a fixed
+//! mapping formulation.
+
+use bilp::{EngineFeatures, Solver, SolverConfig};
+use std::time::Duration;
+use cgra_arch::families::{grid, FuMix, GridParams, Interconnect};
+use cgra_dfg::benchmarks;
+use cgra_mapper::{Formulation, MapperOptions};
+use cgra_mrrg::build_mrrg;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench_features(c: &mut Criterion) {
+    let mut group = c.benchmark_group("solver_features");
+    group.sample_size(10);
+    let dfg = (benchmarks::by_name("accum").expect("known").build)();
+    let arch = grid(GridParams::paper(
+        FuMix::Homogeneous,
+        Interconnect::Diagonal,
+    ));
+    let mrrg = build_mrrg(&arch, 1);
+    let formulation =
+        Formulation::build(&dfg, &mrrg, MapperOptions::default()).expect("feasible instance");
+
+    let variants: [(&str, EngineFeatures); 5] = [
+        ("all-on", EngineFeatures::default()),
+        (
+            "no-vsids",
+            EngineFeatures {
+                vsids: false,
+                ..EngineFeatures::default()
+            },
+        ),
+        (
+            "no-phase-saving",
+            EngineFeatures {
+                phase_saving: false,
+                ..EngineFeatures::default()
+            },
+        ),
+        (
+            "no-minimization",
+            EngineFeatures {
+                minimization: false,
+                ..EngineFeatures::default()
+            },
+        ),
+        (
+            "no-restarts",
+            EngineFeatures {
+                restarts: false,
+                ..EngineFeatures::default()
+            },
+        ),
+    ];
+    for (name, features) in variants {
+        group.bench_with_input(BenchmarkId::from_parameter(name), &features, |b, f| {
+            b.iter(|| {
+                // Cap each solve: a crippled variant (e.g. no restarts)
+                // can be orders of magnitude slower, and the comparison
+                // "decided within the cap or not, and how fast" is what
+                // the ablation needs.
+                let mut solver = Solver::with_config(SolverConfig {
+                    features: *f,
+                    time_limit: Some(Duration::from_secs(10)),
+                    ..SolverConfig::default()
+                });
+                solver.solve(formulation.model())
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_features);
+criterion_main!(benches);

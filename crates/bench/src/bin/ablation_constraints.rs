@@ -1,0 +1,121 @@
+//! Ablation A2 (DESIGN.md): drop the Multiplexer Input Exclusivity
+//! constraint (paper constraint (9)) and show that self-reinforcing
+//! routing loops appear, exactly as the paper's Example 2 warns.
+//!
+//! Part 1 uses the crafted Example 2 fragment
+//! ([`cgra_arch::families::example2_fragment`]): with (9) the instance is
+//! proven infeasible; without it the solver returns "feasible"
+//! assignments whose routes loop forever and never reach their sinks
+//! (exposed by fallible decoding).
+//!
+//! Part 2 repeats the check over paper benchmark cells that Table 2
+//! reports infeasible, counting how many flip to bogus SAT.
+
+use bilp::{Outcome, Solver, SolverConfig};
+use cgra_arch::families::{example2_fragment, paper_configs};
+use cgra_dfg::{benchmarks, Dfg, OpKind};
+use cgra_mapper::{Formulation, MapperOptions};
+use cgra_mrrg::{build_mrrg, Mrrg};
+use std::time::Duration;
+
+fn two_in_two_out() -> Dfg {
+    let mut g = Dfg::new("copy2");
+    let a = g.add_op("a", OpKind::Input).expect("static");
+    let b = g.add_op("b", OpKind::Input).expect("static");
+    let oa = g.add_op("oa", OpKind::Output).expect("static");
+    let ob = g.add_op("ob", OpKind::Output).expect("static");
+    g.connect(a, oa, 0).expect("static");
+    g.connect(b, ob, 0).expect("static");
+    g
+}
+
+/// Solves with/without constraint (9); returns (verdict, decoded-ok).
+fn probe(
+    dfg: &Dfg,
+    mrrg: &Mrrg,
+    mux_exclusivity: bool,
+    budget: Duration,
+) -> (String, Option<bool>) {
+    let options = MapperOptions {
+        mux_exclusivity,
+        time_limit: Some(budget),
+        ..MapperOptions::default()
+    };
+    let formulation = match Formulation::build(dfg, mrrg, options) {
+        Ok(f) => f,
+        Err(e) => return (format!("infeasible at presolve ({e})"), None),
+    };
+    let mut solver = Solver::with_config(SolverConfig {
+        time_limit: Some(budget),
+        ..SolverConfig::default()
+    });
+    match solver.solve(formulation.model()) {
+        Outcome::Optimal { solution, .. } | Outcome::Feasible { solution, .. } => {
+            match formulation.try_decode(dfg, mrrg, &solution) {
+                Ok(mapping) => {
+                    let valid = cgra_mapper::validate_mapping(dfg, mrrg, &mapping).is_ok();
+                    ("sat".into(), Some(valid))
+                }
+                Err(e) => (format!("sat, but {e}"), Some(false)),
+            }
+        }
+        Outcome::Infeasible => ("infeasible".into(), None),
+        Outcome::Unknown => ("timeout".into(), None),
+    }
+}
+
+fn main() {
+    println!("Part 1: the Example 2 fragment (loop cloud + shared mux)\n");
+    let dfg = two_in_two_out();
+    let mrrg = build_mrrg(&example2_fragment(), 1);
+    let budget = Duration::from_secs(30);
+
+    let (with9, _) = probe(&dfg, &mrrg, true, budget);
+    println!("  with constraint (9):    {with9}");
+    let (without9, decoded) = probe(&dfg, &mrrg, false, budget);
+    println!("  without constraint (9): {without9}");
+    match decoded {
+        Some(false) => println!(
+            "  -> as Example 2 predicts, dropping (9) admits a self-reinforcing\n\
+             \u{20}    loop that satisfies Fanout Routing (5) without ever reaching\n\
+             \u{20}    the sink: the \"solution\" does not decode to a real mapping."
+        ),
+        Some(true) => println!("  -> unexpectedly decoded to a valid mapping"),
+        None => {}
+    }
+
+    println!("\nPart 2: paper cells that Table 2 reports infeasible\n");
+    let configs = paper_configs();
+    let cells: [(&str, &str, u32); 4] = [
+        ("cos_4", "homo-diag", 1),
+        ("weighted_sum", "hetero-orth", 1),
+        ("exp_5", "homo-orth", 1),
+        ("sinh_4", "hetero-diag", 1),
+    ];
+    let mut flips = 0;
+    for (bench, arch, ctx) in cells {
+        let entry = benchmarks::by_name(bench).expect("known");
+        let dfg = (entry.build)();
+        let config = configs
+            .iter()
+            .find(|c| c.label == arch && c.contexts == ctx)
+            .expect("config exists");
+        let mrrg = build_mrrg(&config.arch, config.contexts);
+        let (with9, _) = probe(&dfg, &mrrg, true, budget);
+        let (without9, decoded) = probe(&dfg, &mrrg, false, budget);
+        // A "bogus SAT": the ablated model is satisfied by an assignment
+        // whose routing never reaches some sink.
+        let bogus = matches!(decoded, Some(false));
+        if bogus {
+            flips += 1;
+        }
+        println!(
+            "  {bench:<14} {arch}/{ctx}: with (9) {with9}; without (9) {without9}{}",
+            if bogus { "  [BOGUS SAT]" } else { "" }
+        );
+    }
+    println!(
+        "\n{flips} of {} cells accepted a non-mapping \"solution\" once (9) was dropped.",
+        cells.len()
+    );
+}

@@ -1,0 +1,96 @@
+//! Ablation A1 (DESIGN.md): the paper's objective (10) on vs off.
+//!
+//! For a set of feasible cells, compares the routing-resource usage of
+//! the *first feasible* mapping against the *proven-minimal* mapping, and
+//! the solve-time cost of optimality. This quantifies the paper's claim
+//! that the ILP can "produce an optimal mapping", not merely a feasible
+//! one.
+//!
+//! Usage: `ablation_objective [--time-limit <seconds>] [benchmark ...]`
+
+use cgra_arch::families::paper_configs;
+use cgra_dfg::benchmarks;
+use cgra_mapper::{IlpMapper, MapOutcome, MapperOptions};
+use cgra_mrrg::build_mrrg;
+use std::time::Duration;
+
+fn main() {
+    let mut time_limit = Duration::from_secs(120);
+    let mut filter: Vec<String> = Vec::new();
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--time-limit" => {
+                let secs: u64 = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--time-limit takes seconds");
+                time_limit = Duration::from_secs(secs);
+            }
+            name => filter.push(name.to_owned()),
+        }
+    }
+    if filter.is_empty() {
+        // A default set that maps quickly on the easiest architecture.
+        filter = ["accum", "mac", "2x2-f", "2x2-p", "exp_4", "tay_4"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+    }
+
+    let configs = paper_configs();
+    let config = configs
+        .iter()
+        .find(|c| c.label == "homo-diag" && c.contexts == 1)
+        .expect("homo-diag II=1 exists");
+
+    println!(
+        "{:<14} {:>14} {:>14} {:>10} {:>12} {:>12}",
+        "Benchmark", "first-feasible", "optimal", "saved", "t_feas", "t_opt"
+    );
+    for name in &filter {
+        let entry = benchmarks::by_name(name).expect("known benchmark");
+        let dfg = (entry.build)();
+        let mrrg = build_mrrg(&config.arch, config.contexts);
+
+        // Deliberately cold (no warm start): the first feasible solution the
+        // exact search stumbles on, versus the optimizer's best.
+        let feas = IlpMapper::new(MapperOptions {
+            time_limit: Some(time_limit),
+            optimize: false,
+            ..MapperOptions::default()
+        })
+        .map(&dfg, &mrrg);
+        let opt = IlpMapper::new(MapperOptions {
+            time_limit: Some(time_limit),
+            optimize: true,
+            warm_start: true,
+            ..MapperOptions::default()
+        })
+        .map(&dfg, &mrrg);
+
+        let usage = |o: &MapOutcome| match o {
+            MapOutcome::Mapped { routing_usage, .. } => Some(*routing_usage),
+            _ => None,
+        };
+        let (uf, uo) = (usage(&feas.outcome), usage(&opt.outcome));
+        let optimal_proven = matches!(opt.outcome, MapOutcome::Mapped { optimal: true, .. });
+        println!(
+            "{:<14} {:>14} {:>14} {:>10} {:>12} {:>12}",
+            name,
+            uf.map_or("-".into(), |u| u.to_string()),
+            uo.map_or("-".into(), |u| format!(
+                "{}{}",
+                u,
+                if optimal_proven { "*" } else { "+" }
+            )),
+            match (uf, uo) {
+                (Some(a), Some(b)) => format!("{:.0}%", 100.0 * (a - b) as f64 / a as f64),
+                _ => "-".into(),
+            },
+            format!("{:.2?}", feas.elapsed),
+            format!("{:.2?}", opt.elapsed),
+        );
+    }
+    println!("\n(* proven optimal; + best found within budget)");
+}

@@ -1,0 +1,109 @@
+//! Regenerates the MRRG-construction figures of the paper (Figs 1-3):
+//! prints the per-context node/edge structure the translation rules
+//! produce for a dynamically-reconfigurable multiplexer, a register, the
+//! three latency/initiation-interval functional-unit variants, and the
+//! full functional block of Fig 3.
+
+use cgra_arch::{alu_ops, Architecture, ComponentKind, PortRef};
+use cgra_mrrg::{build_mrrg, Mrrg};
+
+fn dump(title: &str, mrrg: &Mrrg, prefixes: &[&str]) {
+    println!("--- {title} ({}) ---", mrrg);
+    for id in mrrg.node_ids() {
+        let n = &mrrg.nodes()[id.index()];
+        if !prefixes.iter().any(|p| n.name.starts_with(p)) {
+            continue;
+        }
+        let outs: Vec<&str> = mrrg
+            .fanouts(id)
+            .iter()
+            .map(|&t| mrrg.nodes()[t.index()].name.as_str())
+            .collect();
+        println!("  {:<12} -> {}", n.name, outs.join(", "));
+    }
+    println!();
+}
+
+fn closed_test_arch(latency: u32, unit_ii: u32) -> Architecture {
+    let mut a = Architecture::new("fragment");
+    let mux = a
+        .add_component("mux", ComponentKind::Mux { inputs: 2 })
+        .expect("static");
+    let fu = a
+        .add_component(
+            "fu",
+            ComponentKind::FuncUnit {
+                ops: alu_ops(true),
+                latency,
+                ii: unit_ii,
+            },
+        )
+        .expect("static");
+    let reg = a
+        .add_component("reg", ComponentKind::Register)
+        .expect("static");
+    a.connect(PortRef::out(mux), PortRef::input(fu, 0))
+        .expect("static");
+    a.connect(PortRef::out(mux), PortRef::input(fu, 1))
+        .expect("static");
+    a.connect(PortRef::out(fu), PortRef::input(reg, 0))
+        .expect("static");
+    a.connect(PortRef::out(reg), PortRef::input(mux, 0))
+        .expect("static");
+    a.connect(PortRef::out(fu), PortRef::input(mux, 1))
+        .expect("static");
+    a
+}
+
+fn main() {
+    // Fig 1: multiplexer and register over two contexts.
+    let g = build_mrrg(&closed_test_arch(0, 1), 2);
+    dump("Fig 1 (left): 2:1 multiplexer, two contexts", &g, &["mux."]);
+    dump(
+        "Fig 1 (right): register crossing contexts (in@c -> out@(c+1) mod II)",
+        &g,
+        &["reg."],
+    );
+
+    // Fig 2: the three latency/II functional-unit variants.
+    dump(
+        "Fig 2 (top): multiply L=1, II=1 — slot every cycle, result next cycle",
+        &build_mrrg(&closed_test_arch(1, 1), 2),
+        &["fu."],
+    );
+    dump(
+        "Fig 2 (middle): multiply L=2, II=2 — slot every other cycle",
+        &build_mrrg(&closed_test_arch(2, 2), 2),
+        &["fu."],
+    );
+    dump(
+        "Fig 2 (bottom): multiply L=2, II=1 — fully pipelined",
+        &build_mrrg(&closed_test_arch(2, 1), 4),
+        &["fu."],
+    );
+
+    // Fig 3: a full functional block of the test architecture.
+    use cgra_arch::families::{grid, FuMix, GridParams, Interconnect};
+    let arch = grid(GridParams {
+        rows: 1,
+        cols: 2,
+        fu_mix: FuMix::Homogeneous,
+        interconnect: Interconnect::Orthogonal,
+        io_pads: true,
+        memory_ports: false,
+        toroidal: false,
+        alu_latency: 0,
+            bypass_channel: false,
+    });
+    let g = build_mrrg(&arch, 1);
+    dump(
+        "Fig 3: one functional block (ALU latency 0, register, operand/output muxes)",
+        &g,
+        &["b0_0."],
+    );
+    println!(
+        "Full MRRG of the two-block fragment: {} nodes, {} edges",
+        g.node_count(),
+        g.edge_count()
+    );
+}

@@ -1,0 +1,38 @@
+//! Regenerates the paper's **Table 1**: benchmark characteristics
+//! (I/Os, internal operations, multiplies) from the reconstructed suite,
+//! and checks every row against the published values.
+
+use cgra_dfg::benchmarks;
+
+fn main() {
+    println!(
+        "{:<14} {:>6} {:>12} {:>12}   (paper: ios/ops/muls)",
+        "Benchmark", "I/Os", "Operations", "#Multiplies"
+    );
+    let mut mismatches = 0;
+    for entry in benchmarks::all() {
+        let dfg = (entry.build)();
+        let s = dfg.stats();
+        let ok = s == entry.expected;
+        if !ok {
+            mismatches += 1;
+        }
+        println!(
+            "{:<14} {:>6} {:>12} {:>12}   ({}/{}/{}) {}",
+            entry.name,
+            s.ios,
+            s.operations,
+            s.multiplies,
+            entry.expected.ios,
+            entry.expected.operations,
+            entry.expected.multiplies,
+            if ok { "ok" } else { "MISMATCH" }
+        );
+    }
+    if mismatches == 0 {
+        println!("\nAll 19 rows match the paper's Table 1 exactly.");
+    } else {
+        println!("\n{mismatches} rows mismatch the paper's Table 1.");
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,60 @@
+//! Regenerates the paper's **Table 2**: ILP-mapper feasibility of the 19
+//! benchmarks over the 8 test architectures (4 families x 1/2 contexts),
+//! plus the solve-time summary behind the paper's ">80% of runs completed
+//! within one hour" statement (E6 in DESIGN.md).
+//!
+//! Usage:
+//!
+//! ```text
+//! table2 [--time-limit <seconds>] [--no-warm-start] [benchmark ...]
+//! ```
+//!
+//! The per-cell budget defaults to 60 s (the paper used 1 h / 24 h on a
+//! server; see EXPERIMENTS.md for the scaling rationale). Cells that
+//! exceed the budget print as `T`, exactly as in the paper.
+
+use cgra_bench::{compare_to_paper, render_matrix, run_matrix, time_summary, WhichMapper};
+use std::time::Duration;
+
+fn main() {
+    let mut time_limit = Duration::from_secs(60);
+    let mut warm_start = true;
+    let mut filter: Vec<String> = Vec::new();
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--time-limit" => {
+                let secs: u64 = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--time-limit takes seconds");
+                time_limit = Duration::from_secs(secs);
+            }
+            "--no-warm-start" => warm_start = false,
+            name => filter.push(name.to_owned()),
+        }
+    }
+
+    eprintln!("Running Table 2 sweep (budget {time_limit:?}/cell, warm start {warm_start}) ...");
+    let cells = run_matrix(
+        WhichMapper::Ilp { warm_start },
+        time_limit,
+        &filter,
+        |cell| {
+            eprintln!(
+                "  {:<14} {:>12}/{}  ->  {}  ({:.2?})",
+                cell.benchmark, cell.arch, cell.contexts, cell.symbol, cell.elapsed
+            );
+        },
+    );
+
+    println!("\nTable 2: ILP mapping feasibility (1 feasible, 0 infeasible, T timeout)\n");
+    println!("{}", render_matrix(&cells));
+
+    let (agree, total, mismatches) = compare_to_paper(&cells);
+    println!("Agreement with the paper's Table 2: {agree}/{total} cells");
+    for (bench, col, paper, ours) in &mismatches {
+        println!("  mismatch: {bench} @ {col}: paper {paper}, measured {ours}");
+    }
+    println!("\nRuntime (paper E6): {}", time_summary(&cells, time_limit));
+}

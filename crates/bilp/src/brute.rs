@@ -1,0 +1,103 @@
+//! Exhaustive reference solver, used to validate the CDCL engine on small
+//! models (property tests cross-check every outcome).
+
+use crate::model::{Model, Var};
+use crate::solve::Assignment;
+
+/// Result of [`solve_exhaustive`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BruteOutcome {
+    /// The best (minimum-objective) satisfying assignment.
+    Optimal {
+        /// One optimal assignment (ties broken by enumeration order).
+        solution: Assignment,
+        /// The optimal objective value (0 when no objective is set).
+        objective: i64,
+    },
+    /// No assignment satisfies the constraints.
+    Infeasible,
+}
+
+impl BruteOutcome {
+    /// The objective value, if feasible.
+    pub fn objective(&self) -> Option<i64> {
+        match self {
+            BruteOutcome::Optimal { objective, .. } => Some(*objective),
+            BruteOutcome::Infeasible => None,
+        }
+    }
+}
+
+/// Solves a model by enumerating all `2^n` assignments.
+///
+/// # Panics
+///
+/// Panics if the model has more than 24 variables (the enumeration would
+/// be too slow to be useful).
+pub fn solve_exhaustive(model: &Model) -> BruteOutcome {
+    let n = model.num_vars();
+    assert!(n <= 24, "exhaustive solving limited to 24 variables");
+    let mut best: Option<(u64, i64)> = None;
+    for bits in 0..(1u64 << n) {
+        let value = |v: Var| bits >> v.index() & 1 == 1;
+        if model.check(value).is_err() {
+            continue;
+        }
+        let obj = model.objective().map(|o| o.evaluate(value)).unwrap_or(0);
+        match best {
+            Some((_, b)) if b <= obj => {}
+            _ => best = Some((bits, obj)),
+        }
+        if model.objective().is_none() {
+            break; // any satisfying assignment is enough
+        }
+    }
+    match best {
+        Some((bits, objective)) => BruteOutcome::Optimal {
+            solution: assignment_from_bits(n, bits),
+            objective,
+        },
+        None => BruteOutcome::Infeasible,
+    }
+}
+
+fn assignment_from_bits(n: usize, bits: u64) -> Assignment {
+    let mut m = Model::new();
+    let vars = m.new_vars(n);
+    // Assignment has no public constructor; synthesise via trues() of a
+    // trivially solved model would be overkill. Instead we rebuild through
+    // the crate-private constructor below.
+    let values = vars
+        .iter()
+        .map(|v| bits >> v.index() & 1 == 1)
+        .collect::<Vec<_>>();
+    Assignment::from_values(values)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::LinExpr;
+
+    #[test]
+    fn brute_matches_hand_computation() {
+        let mut m = Model::new();
+        let a = m.new_var();
+        let b = m.new_var();
+        m.add_clause([a.lit(), b.lit()]);
+        let mut obj = LinExpr::new();
+        obj.add_term(2, a);
+        obj.add_term(3, b);
+        m.minimize(obj);
+        assert_eq!(solve_exhaustive(&m).objective(), Some(2));
+    }
+
+    #[test]
+    fn brute_detects_infeasible() {
+        let mut m = Model::new();
+        let a = m.new_var();
+        m.fix(a, true);
+        m.fix(a, false);
+        assert_eq!(solve_exhaustive(&m), BruteOutcome::Infeasible);
+    }
+}

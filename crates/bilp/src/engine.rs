@@ -1,0 +1,1102 @@
+//! The CDCL search engine with native pseudo-Boolean propagation.
+//!
+//! This is a conflict-driven clause-learning SAT core in the MiniSat
+//! lineage (two-watched-literal clause propagation, 1UIP learning, VSIDS
+//! decision ordering with phase saving, Luby restarts, learnt-clause
+//! database reduction) extended with a counting propagator for
+//! pseudo-Boolean *at-most* constraints. PB propagations and conflicts are
+//! explained with clauses, which keeps CDCL learning sound without
+//! cutting-planes reasoning.
+//!
+//! The engine supports adding constraints between successive `solve` calls
+//! (always at decision level 0), which is what the branch-and-bound
+//! optimisation loop in [`crate::solve`] uses to strengthen the objective
+//! bound while keeping everything learnt so far.
+
+use crate::model::{Lit, Var};
+use crate::normalize::NormConstraint;
+use std::time::Instant;
+
+const UNASSIGNED: i8 = 2;
+
+/// Feature toggles for the search engine (ablation studies; all default
+/// to enabled).
+#[derive(Debug, Clone, Copy)]
+pub struct EngineFeatures {
+    /// VSIDS activity-driven decision ordering (off = static order).
+    pub vsids: bool,
+    /// Phase saving (off = always decide negative first).
+    pub phase_saving: bool,
+    /// Conflict-clause minimisation.
+    pub minimization: bool,
+    /// Luby restarts.
+    pub restarts: bool,
+}
+
+impl Default for EngineFeatures {
+    fn default() -> Self {
+        EngineFeatures {
+            vsids: true,
+            phase_saving: true,
+            minimization: true,
+            restarts: true,
+        }
+    }
+}
+
+/// Search budget for one `solve` call.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Budget {
+    /// Wall-clock deadline.
+    pub deadline: Option<Instant>,
+    /// Maximum number of conflicts.
+    pub conflict_limit: Option<u64>,
+}
+
+impl Budget {
+    /// An unlimited budget.
+    pub fn unlimited() -> Self {
+        Budget::default()
+    }
+}
+
+/// Result of one engine search.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SatResult {
+    /// A satisfying assignment was found (query it with
+    /// [`Engine::model_value`]).
+    Sat,
+    /// The constraint set is unsatisfiable.
+    Unsat,
+    /// The budget was exhausted first.
+    Unknown,
+}
+
+/// Cumulative search statistics.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct EngineStats {
+    /// Number of conflicts encountered.
+    pub conflicts: u64,
+    /// Number of decisions made.
+    pub decisions: u64,
+    /// Number of literals propagated.
+    pub propagations: u64,
+    /// Number of restarts performed.
+    pub restarts: u64,
+    /// Number of learnt clauses deleted by database reduction.
+    pub deleted_clauses: u64,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Reason {
+    None,
+    Clause(u32),
+    Linear(u32),
+}
+
+#[derive(Debug)]
+struct Clause {
+    lits: Vec<Lit>,
+    learnt: bool,
+    activity: f64,
+    deleted: bool,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Watch {
+    clause: u32,
+    blocker: Lit,
+}
+
+#[derive(Debug)]
+struct Linear {
+    terms: Vec<(u64, Lit)>,
+    bound: u64,
+    sum_true: u64,
+    max_coeff: u64,
+}
+
+#[derive(Debug, Clone, Copy)]
+enum Conflict {
+    Clause(u32),
+    Linear(u32),
+}
+
+/// Indexed max-heap over variable activities.
+#[derive(Debug, Default)]
+struct VarOrder {
+    heap: Vec<u32>,
+    pos: Vec<i32>,
+    activity: Vec<f64>,
+}
+
+impl VarOrder {
+    fn grow_to(&mut self, n: usize) {
+        while self.activity.len() < n {
+            let v = self.activity.len() as u32;
+            self.activity.push(0.0);
+            self.pos.push(-1);
+            self.insert(v);
+        }
+    }
+
+    fn in_heap(&self, v: u32) -> bool {
+        self.pos[v as usize] >= 0
+    }
+
+    fn insert(&mut self, v: u32) {
+        if self.in_heap(v) {
+            return;
+        }
+        self.pos[v as usize] = self.heap.len() as i32;
+        self.heap.push(v);
+        self.sift_up(self.heap.len() - 1);
+    }
+
+    fn pop_max(&mut self) -> Option<u32> {
+        if self.heap.is_empty() {
+            return None;
+        }
+        let top = self.heap[0];
+        let last = self.heap.pop().expect("non-empty");
+        self.pos[top as usize] = -1;
+        if !self.heap.is_empty() {
+            self.heap[0] = last;
+            self.pos[last as usize] = 0;
+            self.sift_down(0);
+        }
+        Some(top)
+    }
+
+    fn bump(&mut self, v: u32, inc: f64) -> bool {
+        self.activity[v as usize] += inc;
+        let rescale = self.activity[v as usize] > 1e100;
+        if self.in_heap(v) {
+            let p = self.pos[v as usize] as usize;
+            self.sift_up(p);
+        }
+        rescale
+    }
+
+    fn rescale(&mut self) {
+        for a in &mut self.activity {
+            *a *= 1e-100;
+        }
+    }
+
+    fn sift_up(&mut self, mut i: usize) {
+        while i > 0 {
+            let parent = (i - 1) / 2;
+            if self.activity[self.heap[i] as usize] <= self.activity[self.heap[parent] as usize] {
+                break;
+            }
+            self.swap(i, parent);
+            i = parent;
+        }
+    }
+
+    fn sift_down(&mut self, mut i: usize) {
+        loop {
+            let l = 2 * i + 1;
+            let r = 2 * i + 2;
+            let mut best = i;
+            if l < self.heap.len()
+                && self.activity[self.heap[l] as usize] > self.activity[self.heap[best] as usize]
+            {
+                best = l;
+            }
+            if r < self.heap.len()
+                && self.activity[self.heap[r] as usize] > self.activity[self.heap[best] as usize]
+            {
+                best = r;
+            }
+            if best == i {
+                break;
+            }
+            self.swap(i, best);
+            i = best;
+        }
+    }
+
+    fn swap(&mut self, i: usize, j: usize) {
+        self.heap.swap(i, j);
+        self.pos[self.heap[i] as usize] = i as i32;
+        self.pos[self.heap[j] as usize] = j as i32;
+    }
+}
+
+/// The CDCL + pseudo-Boolean search engine.
+///
+/// Construct with [`Engine::new`], add constraints (only at decision level
+/// zero, i.e. before or between `solve` calls), then call
+/// [`Engine::solve`].
+#[derive(Debug)]
+pub struct Engine {
+    num_vars: usize,
+    assign: Vec<i8>,
+    level: Vec<u32>,
+    reason: Vec<Reason>,
+    trail_pos: Vec<u32>,
+    trail: Vec<Lit>,
+    trail_lim: Vec<usize>,
+    qhead: usize,
+    clauses: Vec<Clause>,
+    watches: Vec<Vec<Watch>>,
+    linears: Vec<Linear>,
+    lin_occ: Vec<Vec<(u32, u32)>>,
+    order: VarOrder,
+    phase: Vec<bool>,
+    var_inc: f64,
+    var_decay: f64,
+    cla_inc: f64,
+    ok: bool,
+    n_learnt: usize,
+    learnt_cap: usize,
+    stats: EngineStats,
+    seen: Vec<bool>,
+    features: EngineFeatures,
+}
+
+impl Engine {
+    /// Creates an engine over `num_vars` binary variables.
+    pub fn new(num_vars: usize) -> Self {
+        let mut order = VarOrder::default();
+        order.grow_to(num_vars);
+        Engine {
+            num_vars,
+            assign: vec![UNASSIGNED; num_vars],
+            level: vec![0; num_vars],
+            reason: vec![Reason::None; num_vars],
+            trail_pos: vec![0; num_vars],
+            trail: Vec::with_capacity(num_vars),
+            trail_lim: Vec::new(),
+            qhead: 0,
+            clauses: Vec::new(),
+            watches: vec![Vec::new(); num_vars * 2],
+            linears: Vec::new(),
+            lin_occ: vec![Vec::new(); num_vars * 2],
+            order,
+            phase: vec![false; num_vars],
+            var_inc: 1.0,
+            var_decay: 0.95,
+            cla_inc: 1.0,
+            ok: true,
+            n_learnt: 0,
+            learnt_cap: 20_000,
+            stats: EngineStats::default(),
+            seen: vec![false; num_vars],
+            features: EngineFeatures::default(),
+        }
+    }
+
+    /// Configures the engine's feature toggles (ablation studies).
+    pub fn set_features(&mut self, features: EngineFeatures) {
+        self.features = features;
+    }
+
+    /// Number of variables.
+    pub fn num_vars(&self) -> usize {
+        self.num_vars
+    }
+
+    /// Search statistics so far.
+    pub fn stats(&self) -> EngineStats {
+        self.stats
+    }
+
+    /// Whether the constraint database is already known unsatisfiable.
+    pub fn is_ok(&self) -> bool {
+        self.ok
+    }
+
+    /// Applies a branching hint: initial activity and preferred polarity.
+    pub fn set_branch_hint(&mut self, var: Var, priority: f64, phase: bool) {
+        self.phase[var.index()] = phase;
+        self.order.bump(var.0, priority);
+    }
+
+    fn value_lit(&self, l: Lit) -> i8 {
+        let a = self.assign[l.var().index()];
+        if a == UNASSIGNED {
+            UNASSIGNED
+        } else if l.is_negative() {
+            1 - a
+        } else {
+            a
+        }
+    }
+
+    fn is_true(&self, l: Lit) -> bool {
+        self.value_lit(l) == 1
+    }
+
+    fn is_false(&self, l: Lit) -> bool {
+        self.value_lit(l) == 0
+    }
+
+    fn is_unassigned(&self, l: Lit) -> bool {
+        self.value_lit(l) == UNASSIGNED
+    }
+
+    /// The value of `var` in the most recent satisfying assignment.
+    ///
+    /// Only meaningful immediately after [`Engine::solve`] returned
+    /// [`SatResult::Sat`] (the full trail is the model then).
+    pub fn model_value(&self, var: Var) -> bool {
+        self.assign[var.index()] == 1
+    }
+
+    fn decision_level(&self) -> u32 {
+        self.trail_lim.len() as u32
+    }
+
+    /// Adds a normalised constraint at decision level 0.
+    ///
+    /// Returns `false` if the database became unsatisfiable.
+    pub fn add_norm(&mut self, nc: NormConstraint) -> bool {
+        self.cancel_until(0);
+        if !self.ok {
+            return false;
+        }
+        match nc {
+            NormConstraint::False => {
+                self.ok = false;
+            }
+            NormConstraint::Unit(l) => {
+                if self.is_false(l) {
+                    self.ok = false;
+                } else if self.is_unassigned(l) {
+                    self.enqueue(l, Reason::None);
+                }
+            }
+            NormConstraint::Clause(mut lits) => {
+                // Deduplicate; drop if tautological or already satisfied;
+                // remove false literals (all at level 0 here).
+                lits.sort_by_key(|l| l.code());
+                lits.dedup();
+                if lits.windows(2).any(|w| w[0].var() == w[1].var()) {
+                    return self.ok; // contains l and !l: tautology
+                }
+                if lits.iter().any(|&l| self.is_true(l)) {
+                    return self.ok;
+                }
+                lits.retain(|&l| !self.is_false(l));
+                match lits.len() {
+                    0 => self.ok = false,
+                    1 => {
+                        self.enqueue(lits[0], Reason::None);
+                    }
+                    _ => {
+                        self.attach_clause(lits, false);
+                    }
+                }
+            }
+            NormConstraint::AtMost { terms, bound } => {
+                let max_coeff = terms.iter().map(|&(a, _)| a).max().unwrap_or(0);
+                let mut sum_true = 0u64;
+                for &(a, l) in &terms {
+                    if self.is_true(l) {
+                        sum_true += a;
+                    }
+                }
+                let idx = self.linears.len() as u32;
+                for (ti, &(_, l)) in terms.iter().enumerate() {
+                    self.lin_occ[l.code()].push((idx, ti as u32));
+                }
+                self.linears.push(Linear {
+                    terms,
+                    bound,
+                    sum_true,
+                    max_coeff,
+                });
+                if sum_true > bound {
+                    self.ok = false;
+                } else {
+                    // Propagate any literal already forced at level 0.
+                    if let Some(confl) = self.propagate_linear_scan(idx) {
+                        let _ = confl;
+                        self.ok = false;
+                    }
+                }
+            }
+        }
+        if self.ok {
+            // Settle root-level propagation.
+            if self.propagate().is_some() {
+                self.ok = false;
+            }
+        }
+        self.ok
+    }
+
+    fn attach_clause(&mut self, lits: Vec<Lit>, learnt: bool) -> u32 {
+        debug_assert!(lits.len() >= 2);
+        let idx = self.clauses.len() as u32;
+        let w0 = lits[0];
+        let w1 = lits[1];
+        self.clauses.push(Clause {
+            lits,
+            learnt,
+            activity: 0.0,
+            deleted: false,
+        });
+        if learnt {
+            self.n_learnt += 1;
+        }
+        self.watches[(!w0).code()].push(Watch {
+            clause: idx,
+            blocker: w1,
+        });
+        self.watches[(!w1).code()].push(Watch {
+            clause: idx,
+            blocker: w0,
+        });
+        idx
+    }
+
+    fn enqueue(&mut self, l: Lit, reason: Reason) {
+        debug_assert!(self.is_unassigned(l));
+        // Linear counters update eagerly so that backtracking (which
+        // decrements for every popped literal) stays symmetric even when a
+        // conflict interrupts propagation before this literal is processed.
+        for k in 0..self.lin_occ[l.code()].len() {
+            let (lin, term) = self.lin_occ[l.code()][k];
+            let c = self.linears[lin as usize].terms[term as usize].0;
+            self.linears[lin as usize].sum_true += c;
+        }
+        let v = l.var().index();
+        self.assign[v] = if l.is_negative() { 0 } else { 1 };
+        self.level[v] = self.decision_level();
+        self.reason[v] = if self.decision_level() == 0 {
+            // Level-0 assignments never participate in conflict analysis,
+            // so dropping the reason keeps learnt-DB reduction safe.
+            Reason::None
+        } else {
+            reason
+        };
+        self.trail_pos[v] = self.trail.len() as u32;
+        self.trail.push(l);
+        self.stats.propagations += 1;
+    }
+
+    /// Propagates until fixpoint; returns a conflict if one arises.
+    fn propagate(&mut self) -> Option<Conflict> {
+        while self.qhead < self.trail.len() {
+            let p = self.trail[self.qhead];
+            self.qhead += 1;
+
+            // Clause propagation: clauses watching !p (p became true, so
+            // the watched literal !p became false).
+            let mut i = 0;
+            let mut watches = std::mem::take(&mut self.watches[p.code()]);
+            let mut keep = watches.len();
+            let mut conflict = None;
+            'watches: while i < keep {
+                let w = watches[i];
+                if self.is_true(w.blocker) {
+                    i += 1;
+                    continue;
+                }
+                let cidx = w.clause as usize;
+                // Deleted clauses may linger in watch lists until rebuild.
+                if self.clauses[cidx].deleted {
+                    watches.swap(i, keep - 1);
+                    keep -= 1;
+                    continue;
+                }
+                let false_lit = !p;
+                {
+                    let lits = &mut self.clauses[cidx].lits;
+                    if lits[0] == false_lit {
+                        lits.swap(0, 1);
+                    }
+                }
+                let first = self.clauses[cidx].lits[0];
+                if first != w.blocker && self.is_true(first) {
+                    watches[i].blocker = first;
+                    i += 1;
+                    continue;
+                }
+                // Look for a new literal to watch.
+                let len = self.clauses[cidx].lits.len();
+                for k in 2..len {
+                    let cand = self.clauses[cidx].lits[k];
+                    if !self.is_false(cand) {
+                        self.clauses[cidx].lits.swap(1, k);
+                        self.watches[(!cand).code()].push(Watch {
+                            clause: w.clause,
+                            blocker: first,
+                        });
+                        watches.swap(i, keep - 1);
+                        keep -= 1;
+                        continue 'watches;
+                    }
+                }
+                // No new watch: unit or conflict on lits[0].
+                if self.is_false(first) {
+                    conflict = Some(Conflict::Clause(w.clause));
+                    break;
+                }
+                self.enqueue(first, Reason::Clause(w.clause));
+                i += 1;
+            }
+            watches.truncate(keep);
+            debug_assert!(self.watches[p.code()].is_empty());
+            self.watches[p.code()] = watches;
+            if conflict.is_some() {
+                return conflict;
+            }
+
+            // Linear propagation: counters were updated at enqueue time;
+            // here we only check for conflicts and force literals.
+            let occs = std::mem::take(&mut self.lin_occ[p.code()]);
+            let mut conflict = None;
+            for &(lin, _term) in &occs {
+                let l = &self.linears[lin as usize];
+                if l.sum_true > l.bound {
+                    conflict = Some(Conflict::Linear(lin));
+                    break;
+                }
+                let slack = l.bound - l.sum_true;
+                if l.max_coeff > slack {
+                    if let Some(c) = self.propagate_linear_scan(lin) {
+                        conflict = Some(c);
+                        break;
+                    }
+                }
+            }
+            self.lin_occ[p.code()] = occs;
+            if conflict.is_some() {
+                return conflict;
+            }
+        }
+        None
+    }
+
+    /// Forces to false every unassigned literal whose coefficient exceeds
+    /// the constraint's remaining slack.
+    fn propagate_linear_scan(&mut self, lin: u32) -> Option<Conflict> {
+        let l = &self.linears[lin as usize];
+        if l.sum_true > l.bound {
+            return Some(Conflict::Linear(lin));
+        }
+        let slack = l.bound - l.sum_true;
+        let mut forced: Vec<Lit> = Vec::new();
+        for &(a, lit) in &l.terms {
+            if a > slack && self.is_unassigned(lit) {
+                forced.push(!lit);
+            }
+        }
+        for f in forced {
+            if self.is_false(f) {
+                return Some(Conflict::Linear(lin));
+            }
+            if self.is_unassigned(f) {
+                self.enqueue(f, Reason::Linear(lin));
+            }
+        }
+        None
+    }
+
+    /// Antecedent literals (all currently false) that imply `implied`
+    /// under the given reason; `implied = None` explains a conflict.
+    fn explain(&self, conflict: Conflict, implied: Option<Lit>) -> Vec<Lit> {
+        match conflict {
+            Conflict::Clause(c) => self.clauses[c as usize]
+                .lits
+                .iter()
+                .copied()
+                .filter(|&l| Some(l) != implied)
+                .collect(),
+            Conflict::Linear(lin) => {
+                let l = &self.linears[lin as usize];
+                // Needed weight: enough true literals to exceed the bound
+                // (conflict) or the bound minus the implied literal's
+                // coefficient (propagation).
+                let mut needed: u128 = u128::from(l.bound) + 1;
+                let limit_pos = implied.map(|il| self.trail_pos[il.var().index()]);
+                if let Some(il) = implied {
+                    let a = l
+                        .terms
+                        .iter()
+                        .find(|&&(_, t)| t == !il)
+                        .map(|&(a, _)| a)
+                        .expect("implied literal negates a term of the constraint");
+                    needed = needed.saturating_sub(u128::from(a));
+                }
+                let mut trues: Vec<(u64, Lit)> = l
+                    .terms
+                    .iter()
+                    .copied()
+                    .filter(|&(_, t)| {
+                        self.is_true(t)
+                            && limit_pos
+                                .map(|p| self.trail_pos[t.var().index()] < p)
+                                .unwrap_or(true)
+                    })
+                    .collect();
+                // Prefer large coefficients for a short explanation.
+                trues.sort_by(|a, b| b.0.cmp(&a.0));
+                let mut acc: u128 = 0;
+                let mut out = Vec::new();
+                for (a, t) in trues {
+                    if acc >= needed {
+                        break;
+                    }
+                    acc += u128::from(a);
+                    out.push(!t);
+                }
+                debug_assert!(acc >= needed, "explanation must justify propagation");
+                out
+            }
+        }
+    }
+
+    fn reason_conflict(&self, v: usize) -> Option<Conflict> {
+        match self.reason[v] {
+            Reason::None => None,
+            Reason::Clause(c) => Some(Conflict::Clause(c)),
+            Reason::Linear(l) => Some(Conflict::Linear(l)),
+        }
+    }
+
+    /// First-UIP conflict analysis. Returns the learnt clause (asserting
+    /// literal first) and the backjump level.
+    fn analyze(&mut self, conflict: Conflict) -> (Vec<Lit>, u32) {
+        let mut learnt: Vec<Lit> = vec![Lit(0)]; // slot for asserting literal
+        let mut path = 0usize;
+        let mut idx = self.trail.len();
+        let mut antecedent = self.explain(conflict, None);
+        if let Conflict::Clause(c) = conflict {
+            self.bump_clause(c);
+        }
+        let current = self.decision_level();
+        let mut rescale = false;
+        loop {
+            for &q in &antecedent {
+                let v = q.var().index();
+                if !self.seen[v] && self.level[v] > 0 {
+                    self.seen[v] = true;
+                    if self.features.vsids {
+                        rescale |= self.order.bump(q.var().0, self.var_inc);
+                    }
+                    if self.level[v] == current {
+                        path += 1;
+                    } else {
+                        learnt.push(q);
+                    }
+                }
+            }
+            // Walk the trail backwards to the next marked literal.
+            loop {
+                idx -= 1;
+                if self.seen[self.trail[idx].var().index()] {
+                    break;
+                }
+            }
+            let p = self.trail[idx];
+            self.seen[p.var().index()] = false;
+            path -= 1;
+            if path == 0 {
+                learnt[0] = !p;
+                break;
+            }
+            let r = self
+                .reason_conflict(p.var().index())
+                .expect("non-decision literal has a reason");
+            if let Conflict::Clause(c) = r {
+                self.bump_clause(c);
+            }
+            antecedent = self.explain(r, Some(p));
+        }
+        if !self.features.minimization {
+            for &l in &learnt[1..] {
+                self.seen[l.var().index()] = false;
+            }
+            return self.finish_analysis(learnt, rescale);
+        }
+        // Conflict-clause minimisation: a literal is redundant if its
+        // reason's antecedents are all already in the clause (or at level
+        // 0). One non-recursive pass catches most redundancies.
+        for &l in &learnt[1..] {
+            self.seen[l.var().index()] = true;
+        }
+        let mut minimized = vec![learnt[0]];
+        for idx in 1..learnt.len() {
+            let l = learnt[idx];
+            let keep = match self.reason_conflict(l.var().index()) {
+                None => true,
+                Some(r) => {
+                    let ante = self.explain(r, Some(!l));
+                    !ante
+                        .iter()
+                        .all(|a| self.seen[a.var().index()] || self.level[a.var().index()] == 0)
+                }
+            };
+            if keep {
+                minimized.push(l);
+            } else {
+                self.seen[l.var().index()] = false;
+            }
+        }
+        for &l in &minimized[1..] {
+            self.seen[l.var().index()] = false;
+        }
+        self.finish_analysis(minimized, rescale)
+    }
+
+    fn finish_analysis(&mut self, mut learnt: Vec<Lit>, rescale: bool) -> (Vec<Lit>, u32) {
+        if rescale {
+            self.order.rescale();
+            self.var_inc *= 1e-100;
+        }
+        self.var_inc /= self.var_decay;
+
+        // Backjump level: highest level among learnt[1..].
+        let mut bt = 0;
+        if learnt.len() > 1 {
+            let mut max_i = 1;
+            for i in 2..learnt.len() {
+                if self.level[learnt[i].var().index()] > self.level[learnt[max_i].var().index()] {
+                    max_i = i;
+                }
+            }
+            learnt.swap(1, max_i);
+            bt = self.level[learnt[1].var().index()];
+        }
+        (learnt, bt)
+    }
+
+    fn bump_clause(&mut self, c: u32) {
+        let cl = &mut self.clauses[c as usize];
+        if !cl.learnt {
+            return;
+        }
+        cl.activity += self.cla_inc;
+        if cl.activity > 1e20 {
+            for cl in &mut self.clauses {
+                cl.activity *= 1e-20;
+            }
+            self.cla_inc *= 1e-20;
+        }
+        self.cla_inc /= 0.999;
+    }
+
+    fn cancel_until(&mut self, target: u32) {
+        if self.decision_level() <= target {
+            return;
+        }
+        let lim = self.trail_lim[target as usize];
+        for i in (lim..self.trail.len()).rev() {
+            let p = self.trail[i];
+            let v = p.var().index();
+            if self.features.phase_saving {
+                self.phase[v] = self.assign[v] == 1;
+            }
+            self.assign[v] = UNASSIGNED;
+            self.reason[v] = Reason::None;
+            self.order.insert(p.var().0);
+            for &(lin, term) in &self.lin_occ[p.code()] {
+                let l = &mut self.linears[lin as usize];
+                l.sum_true -= l.terms[term as usize].0;
+            }
+        }
+        self.trail.truncate(lim);
+        self.trail_lim.truncate(target as usize);
+        self.qhead = self.trail.len();
+    }
+
+    fn decide(&mut self) -> bool {
+        while let Some(v) = self.order.pop_max() {
+            if self.assign[v as usize] == UNASSIGNED {
+                self.trail_lim.push(self.trail.len());
+                let var = Var(v);
+                let lit = if self.phase[v as usize] {
+                    Lit::positive(var)
+                } else {
+                    Lit::negative(var)
+                };
+                self.enqueue(lit, Reason::None);
+                self.stats.decisions += 1;
+                return true;
+            }
+        }
+        false
+    }
+
+    fn reduce_db(&mut self) {
+        debug_assert_eq!(self.decision_level(), 0);
+        let mut acts: Vec<f64> = self
+            .clauses
+            .iter()
+            .filter(|c| c.learnt && !c.deleted)
+            .map(|c| c.activity)
+            .collect();
+        if acts.len() < 2 {
+            return;
+        }
+        acts.sort_by(|a, b| a.partial_cmp(b).expect("activities are finite"));
+        let median = acts[acts.len() / 2];
+        let mut deleted = 0;
+        for c in &mut self.clauses {
+            if c.learnt && !c.deleted && c.activity < median {
+                c.deleted = true;
+                c.lits.clear();
+                c.lits.shrink_to_fit();
+                deleted += 1;
+            }
+        }
+        self.n_learnt -= deleted;
+        self.stats.deleted_clauses += deleted as u64;
+        // Rebuild watches from scratch (we are at level 0; re-propagation
+        // is unnecessary because the assignment did not change).
+        for w in &mut self.watches {
+            w.clear();
+        }
+        for (idx, c) in self.clauses.iter().enumerate() {
+            if c.deleted {
+                continue;
+            }
+            let (w0, w1) = (c.lits[0], c.lits[1]);
+            self.watches[(!w0).code()].push(Watch {
+                clause: idx as u32,
+                blocker: w1,
+            });
+            self.watches[(!w1).code()].push(Watch {
+                clause: idx as u32,
+                blocker: w0,
+            });
+        }
+    }
+
+    /// Runs CDCL search under the given budget.
+    pub fn solve(&mut self, budget: Budget) -> SatResult {
+        if !self.ok {
+            return SatResult::Unsat;
+        }
+        self.cancel_until(0);
+        if self.propagate().is_some() {
+            self.ok = false;
+            return SatResult::Unsat;
+        }
+        let mut restart_idx = 0u64;
+        let mut conflicts_until_restart = luby(restart_idx) * 256;
+        let start_conflicts = self.stats.conflicts;
+
+        loop {
+            if let Some(confl) = self.propagate() {
+                self.stats.conflicts += 1;
+                if self.decision_level() == 0 {
+                    self.ok = false;
+                    return SatResult::Unsat;
+                }
+                let (learnt, bt) = self.analyze(confl);
+                self.cancel_until(bt);
+                if learnt.len() == 1 {
+                    self.enqueue(learnt[0], Reason::None);
+                } else {
+                    let asserting = learnt[0];
+                    let cidx = self.attach_clause(learnt, true);
+                    self.enqueue(asserting, Reason::Clause(cidx));
+                }
+                if conflicts_until_restart > 0 {
+                    conflicts_until_restart -= 1;
+                }
+                if self.stats.conflicts % 512 == 0 {
+                    if let Some(deadline) = budget.deadline {
+                        if Instant::now() >= deadline {
+                            return SatResult::Unknown;
+                        }
+                    }
+                }
+                if let Some(limit) = budget.conflict_limit {
+                    if self.stats.conflicts - start_conflicts >= limit {
+                        return SatResult::Unknown;
+                    }
+                }
+            } else {
+                if conflicts_until_restart == 0 && self.features.restarts {
+                    restart_idx += 1;
+                    conflicts_until_restart = luby(restart_idx) * 256;
+                    self.stats.restarts += 1;
+                    self.cancel_until(0);
+                    if self.n_learnt > self.learnt_cap {
+                        self.reduce_db();
+                        self.learnt_cap += self.learnt_cap / 2;
+                    }
+                    continue;
+                }
+                if !self.decide() {
+                    return SatResult::Sat;
+                }
+                if self.stats.decisions % 4096 == 0 {
+                    if let Some(deadline) = budget.deadline {
+                        if Instant::now() >= deadline {
+                            return SatResult::Unknown;
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// The Luby restart sequence (1, 1, 2, 1, 1, 2, 4, ...), 0-indexed.
+fn luby(i: u64) -> u64 {
+    // Standard closed-form recursion on the 1-indexed sequence: if
+    // n = 2^k - 1 the value is 2^(k-1); otherwise recurse on the tail.
+    let mut n = i + 1;
+    loop {
+        let k = 64 - n.leading_zeros() as u64; // floor(log2(n)) + 1
+        if n == (1u64 << k) - 1 {
+            return 1u64 << (k - 1);
+        }
+        n -= (1u64 << (k - 1)) - 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::Model;
+    use crate::normalize::normalize;
+
+    fn engine_from(m: &Model) -> Engine {
+        let mut e = Engine::new(m.num_vars());
+        for c in m.constraints() {
+            for nc in normalize(c) {
+                e.add_norm(nc);
+            }
+        }
+        e
+    }
+
+    #[test]
+    fn luby_sequence() {
+        let expect = [1u64, 1, 2, 1, 1, 2, 4, 1, 1, 2, 1, 1, 2, 4, 8];
+        let got: Vec<u64> = (0..expect.len() as u64).map(luby).collect();
+        assert_eq!(got, expect);
+    }
+
+    #[test]
+    fn trivial_sat() {
+        let mut m = Model::new();
+        let x = m.new_var();
+        m.add_clause([x.lit()]);
+        let mut e = engine_from(&m);
+        assert_eq!(e.solve(Budget::unlimited()), SatResult::Sat);
+        assert!(e.model_value(x));
+    }
+
+    #[test]
+    fn trivial_unsat() {
+        let mut m = Model::new();
+        let x = m.new_var();
+        m.add_clause([x.lit()]);
+        m.add_clause([!x.lit()]);
+        let mut e = engine_from(&m);
+        assert_eq!(e.solve(Budget::unlimited()), SatResult::Unsat);
+    }
+
+    #[test]
+    fn pigeonhole_3_into_2_unsat() {
+        // 3 pigeons, 2 holes: each pigeon in >=1 hole, each hole <=1 pigeon.
+        let mut m = Model::new();
+        let p: Vec<Vec<_>> = (0..3).map(|_| m.new_vars(2)).collect();
+        for row in &p {
+            m.add_clause(row.iter().map(|v| v.lit()));
+        }
+        for h in 0..2 {
+            m.add_at_most_one((0..3).map(|i| p[i][h]));
+        }
+        let mut e = engine_from(&m);
+        assert_eq!(e.solve(Budget::unlimited()), SatResult::Unsat);
+    }
+
+    #[test]
+    fn exactly_one_chain_sat() {
+        let mut m = Model::new();
+        let cells: Vec<Vec<_>> = (0..4).map(|_| m.new_vars(4)).collect();
+        for row in &cells {
+            m.add_exactly_one(row.iter().copied());
+        }
+        for c in 0..4 {
+            m.add_at_most_one((0..4).map(|r| cells[r][c]));
+        }
+        let mut e = engine_from(&m);
+        assert_eq!(e.solve(Budget::unlimited()), SatResult::Sat);
+        // Verify it is a permutation matrix.
+        for row in &cells {
+            assert_eq!(row.iter().filter(|v| e.model_value(**v)).count(), 1);
+        }
+        for c in 0..4 {
+            assert!((0..4).filter(|&r| e.model_value(cells[r][c])).count() <= 1);
+        }
+    }
+
+    #[test]
+    fn weighted_pb_propagation() {
+        // 3a + 2b + 2c <= 4 with a forced true leaves slack 1: b, c forced false.
+        let mut m = Model::new();
+        let a = m.new_var();
+        let b = m.new_var();
+        let c = m.new_var();
+        let mut e = LinExprHelper::expr(&[(3, a), (2, b), (2, c)]);
+        m.add_le(std::mem::take(&mut e), 4);
+        m.add_clause([a.lit()]);
+        let mut eng = engine_from(&m);
+        assert_eq!(eng.solve(Budget::unlimited()), SatResult::Sat);
+        assert!(eng.model_value(a));
+        assert!(!eng.model_value(b));
+        assert!(!eng.model_value(c));
+    }
+
+    struct LinExprHelper;
+
+    impl LinExprHelper {
+        fn expr(terms: &[(i64, Var)]) -> crate::model::LinExpr {
+            let mut e = crate::model::LinExpr::new();
+            for &(c, v) in terms {
+                e.add_term(c, v);
+            }
+            e
+        }
+    }
+
+    #[test]
+    fn conflict_limit_returns_unknown() {
+        // A hard pigeonhole instance with a conflict budget of 1.
+        let n = 8;
+        let mut m = Model::new();
+        let p: Vec<Vec<_>> = (0..n + 1).map(|_| m.new_vars(n)).collect();
+        for row in &p {
+            m.add_clause(row.iter().map(|v| v.lit()));
+        }
+        for h in 0..n {
+            m.add_at_most_one((0..n + 1).map(|i| p[i][h]));
+        }
+        let mut e = engine_from(&m);
+        let r = e.solve(Budget {
+            deadline: None,
+            conflict_limit: Some(1),
+        });
+        assert_eq!(r, SatResult::Unknown);
+    }
+
+    #[test]
+    fn incremental_add_between_solves() {
+        let mut m = Model::new();
+        let vs = m.new_vars(3);
+        m.add_ge(crate::model::LinExpr::sum(vs.clone()), 1);
+        let mut e = engine_from(&m);
+        assert_eq!(e.solve(Budget::unlimited()), SatResult::Sat);
+        // Now force all false: unsat.
+        e.cancel_until(0);
+        for v in &vs {
+            if !e.add_norm(NormConstraint::Unit(!v.lit())) {
+                break;
+            }
+        }
+        assert_eq!(e.solve(Budget::unlimited()), SatResult::Unsat);
+    }
+}

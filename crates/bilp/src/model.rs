@@ -1,0 +1,566 @@
+//! Model construction API: binary variables, linear constraints, and a
+//! linear objective.
+//!
+//! The paper solves its formulation with Gurobi; this crate is the
+//! repository's self-contained substitute. Every variable is binary, which
+//! is all the CGRA-mapping formulation requires (`F`, `R` and sink-specific
+//! `R` variables are all 0/1).
+
+use std::fmt;
+
+/// A binary decision variable.
+///
+/// Variables are created by [`Model::new_var`] and are only meaningful for
+/// the model that created them.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Var(pub(crate) u32);
+
+impl Var {
+    /// The variable's dense index (`0..model.num_vars()`).
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// The positive literal of this variable.
+    pub fn lit(self) -> Lit {
+        Lit::positive(self)
+    }
+}
+
+impl fmt::Display for Var {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "x{}", self.0)
+    }
+}
+
+/// A literal: a variable or its negation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Lit(pub(crate) u32);
+
+impl Lit {
+    /// The positive literal of `var` (true when the variable is 1).
+    pub fn positive(var: Var) -> Lit {
+        Lit(var.0 << 1)
+    }
+
+    /// The negative literal of `var` (true when the variable is 0).
+    pub fn negative(var: Var) -> Lit {
+        Lit(var.0 << 1 | 1)
+    }
+
+    /// The underlying variable.
+    pub fn var(self) -> Var {
+        Var(self.0 >> 1)
+    }
+
+    /// Whether this is the negated literal.
+    pub fn is_negative(self) -> bool {
+        self.0 & 1 == 1
+    }
+
+    /// The dense code of this literal (`2*var` or `2*var+1`).
+    pub fn code(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl std::ops::Not for Lit {
+    type Output = Lit;
+
+    fn not(self) -> Lit {
+        Lit(self.0 ^ 1)
+    }
+}
+
+impl fmt::Display for Lit {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_negative() {
+            write!(f, "!x{}", self.0 >> 1)
+        } else {
+            write!(f, "x{}", self.0 >> 1)
+        }
+    }
+}
+
+/// A linear expression over binary variables: `Σ coeff·var + constant`.
+///
+/// # Examples
+///
+/// ```
+/// use bilp::{LinExpr, Model};
+/// let mut m = Model::new();
+/// let x = m.new_var();
+/// let y = m.new_var();
+/// let e = LinExpr::new() + x + (3, y) + 2;
+/// assert_eq!(e.constant(), 2);
+/// assert_eq!(e.terms().len(), 2);
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct LinExpr {
+    terms: Vec<(i64, Var)>,
+    constant: i64,
+}
+
+impl LinExpr {
+    /// The empty expression (zero).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// An expression that is the sum of the given variables.
+    pub fn sum<I: IntoIterator<Item = Var>>(vars: I) -> Self {
+        let mut e = LinExpr::new();
+        for v in vars {
+            e.add_term(1, v);
+        }
+        e
+    }
+
+    /// Adds `coeff * var` to the expression.
+    pub fn add_term(&mut self, coeff: i64, var: Var) -> &mut Self {
+        self.terms.push((coeff, var));
+        self
+    }
+
+    /// Adds a constant.
+    pub fn add_constant(&mut self, c: i64) -> &mut Self {
+        self.constant += c;
+        self
+    }
+
+    /// The terms of the expression (coefficients may repeat variables;
+    /// normalisation merges them).
+    pub fn terms(&self) -> &[(i64, Var)] {
+        &self.terms
+    }
+
+    /// The constant part.
+    pub fn constant(&self) -> i64 {
+        self.constant
+    }
+
+    /// Evaluates the expression under a 0/1 assignment.
+    pub fn evaluate(&self, value: impl Fn(Var) -> bool) -> i64 {
+        self.constant
+            + self
+                .terms
+                .iter()
+                .map(|&(c, v)| if value(v) { c } else { 0 })
+                .sum::<i64>()
+    }
+
+    /// Merges duplicate variables and drops zero coefficients.
+    pub fn normalized(&self) -> LinExpr {
+        let mut terms = self.terms.clone();
+        terms.sort_by_key(|&(_, v)| v);
+        let mut merged: Vec<(i64, Var)> = Vec::with_capacity(terms.len());
+        for (c, v) in terms {
+            match merged.last_mut() {
+                Some((mc, mv)) if *mv == v => *mc += c,
+                _ => merged.push((c, v)),
+            }
+        }
+        merged.retain(|&(c, _)| c != 0);
+        LinExpr {
+            terms: merged,
+            constant: self.constant,
+        }
+    }
+}
+
+impl From<Var> for LinExpr {
+    fn from(v: Var) -> Self {
+        let mut e = LinExpr::new();
+        e.add_term(1, v);
+        e
+    }
+}
+
+impl std::ops::Add<Var> for LinExpr {
+    type Output = LinExpr;
+
+    fn add(mut self, v: Var) -> LinExpr {
+        self.add_term(1, v);
+        self
+    }
+}
+
+impl std::ops::Add<(i64, Var)> for LinExpr {
+    type Output = LinExpr;
+
+    fn add(mut self, (c, v): (i64, Var)) -> LinExpr {
+        self.add_term(c, v);
+        self
+    }
+}
+
+impl std::ops::Add<i64> for LinExpr {
+    type Output = LinExpr;
+
+    fn add(mut self, c: i64) -> LinExpr {
+        self.add_constant(c);
+        self
+    }
+}
+
+/// Comparison operator of a linear constraint.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Cmp {
+    /// `expr <= rhs`
+    Le,
+    /// `expr >= rhs`
+    Ge,
+    /// `expr == rhs`
+    Eq,
+}
+
+impl fmt::Display for Cmp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Cmp::Le => "<=",
+            Cmp::Ge => ">=",
+            Cmp::Eq => "==",
+        })
+    }
+}
+
+/// A linear constraint `expr cmp rhs`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Constraint {
+    /// Left-hand side.
+    pub expr: LinExpr,
+    /// Comparison operator.
+    pub cmp: Cmp,
+    /// Right-hand side constant.
+    pub rhs: i64,
+}
+
+impl Constraint {
+    /// Whether the constraint holds under a 0/1 assignment.
+    pub fn is_satisfied(&self, value: impl Fn(Var) -> bool) -> bool {
+        let lhs = self.expr.evaluate(value);
+        match self.cmp {
+            Cmp::Le => lhs <= self.rhs,
+            Cmp::Ge => lhs >= self.rhs,
+            Cmp::Eq => lhs == self.rhs,
+        }
+    }
+}
+
+/// A 0-1 integer linear program: binary variables, linear constraints and
+/// an optional linear objective to *minimize*.
+///
+/// # Examples
+///
+/// Exactly-one with a preference for the cheaper option:
+///
+/// ```
+/// use bilp::{LinExpr, Model, Solver, Outcome};
+/// let mut m = Model::new();
+/// let a = m.new_var();
+/// let b = m.new_var();
+/// m.add_eq(LinExpr::sum([a, b]), 1);
+/// m.minimize(LinExpr::new() + (5, a) + (3, b));
+/// match Solver::new().solve(&m) {
+///     Outcome::Optimal { objective, solution } => {
+///         assert_eq!(objective, 3);
+///         assert!(solution.value(b));
+///     }
+///     other => panic!("unexpected outcome {other:?}"),
+/// }
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Model {
+    num_vars: u32,
+    constraints: Vec<Constraint>,
+    objective: Option<LinExpr>,
+    hints: Vec<(Var, f64, bool)>,
+}
+
+impl Model {
+    /// Creates an empty model.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a fresh binary variable.
+    pub fn new_var(&mut self) -> Var {
+        let v = Var(self.num_vars);
+        self.num_vars += 1;
+        v
+    }
+
+    /// Adds `n` fresh binary variables.
+    pub fn new_vars(&mut self, n: usize) -> Vec<Var> {
+        (0..n).map(|_| self.new_var()).collect()
+    }
+
+    /// Number of variables.
+    pub fn num_vars(&self) -> usize {
+        self.num_vars as usize
+    }
+
+    /// The constraints added so far.
+    pub fn constraints(&self) -> &[Constraint] {
+        &self.constraints
+    }
+
+    /// The objective, if one was set.
+    pub fn objective(&self) -> Option<&LinExpr> {
+        self.objective.as_ref()
+    }
+
+    /// Adds a constraint `expr cmp rhs`.
+    pub fn add(&mut self, expr: LinExpr, cmp: Cmp, rhs: i64) {
+        self.constraints.push(Constraint { expr, cmp, rhs });
+    }
+
+    /// Adds `expr <= rhs`.
+    pub fn add_le(&mut self, expr: LinExpr, rhs: i64) {
+        self.add(expr, Cmp::Le, rhs);
+    }
+
+    /// Adds `expr >= rhs`.
+    pub fn add_ge(&mut self, expr: LinExpr, rhs: i64) {
+        self.add(expr, Cmp::Ge, rhs);
+    }
+
+    /// Adds `expr == rhs`.
+    pub fn add_eq(&mut self, expr: LinExpr, rhs: i64) {
+        self.add(expr, Cmp::Eq, rhs);
+    }
+
+    /// Adds the clause `l1 ∨ l2 ∨ ...` (at least one literal true).
+    pub fn add_clause<I: IntoIterator<Item = Lit>>(&mut self, lits: I) {
+        // Σ lit >= 1, where a negative literal contributes (1 - var).
+        let mut e = LinExpr::new();
+        for l in lits {
+            if l.is_negative() {
+                e.add_term(-1, l.var());
+                e.add_constant(1);
+            } else {
+                e.add_term(1, l.var());
+            }
+        }
+        self.add_ge(e, 1);
+    }
+
+    /// Adds `a -> b` (if `a` is true then `b` is true).
+    pub fn add_implies(&mut self, a: Lit, b: Lit) {
+        self.add_clause([!a, b]);
+    }
+
+    /// Fixes a variable to a value.
+    pub fn fix(&mut self, var: Var, value: bool) {
+        self.add_eq(LinExpr::from(var), i64::from(value));
+    }
+
+    /// Adds `Σ vars == 1`.
+    pub fn add_exactly_one<I: IntoIterator<Item = Var>>(&mut self, vars: I) {
+        self.add_eq(LinExpr::sum(vars), 1);
+    }
+
+    /// Adds `Σ vars <= 1`.
+    pub fn add_at_most_one<I: IntoIterator<Item = Var>>(&mut self, vars: I) {
+        self.add_le(LinExpr::sum(vars), 1);
+    }
+
+    /// Sets the objective to *minimize*.
+    pub fn minimize(&mut self, expr: LinExpr) {
+        self.objective = Some(expr);
+    }
+
+    /// Suggests a branching priority and initial polarity for a variable.
+    ///
+    /// Higher-priority variables are decided first; `phase` is the value
+    /// tried first. Hints never affect correctness, only search order —
+    /// e.g. the CGRA mapper suggests deciding placement variables before
+    /// routing variables.
+    pub fn suggest_branch(&mut self, var: Var, priority: f64, phase: bool) {
+        self.hints.push((var, priority, phase));
+    }
+
+    /// The branching hints registered so far.
+    pub fn branch_hints(&self) -> &[(Var, f64, bool)] {
+        &self.hints
+    }
+
+    /// Checks a full assignment against every constraint, returning the
+    /// index of the first violated constraint.
+    pub fn check(&self, value: impl Fn(Var) -> bool + Copy) -> Result<(), usize> {
+        for (i, c) in self.constraints.iter().enumerate() {
+            if !c.is_satisfied(value) {
+                return Err(i);
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn literal_codes() {
+        let v = Var(3);
+        assert_eq!(v.lit().code(), 6);
+        assert_eq!((!v.lit()).code(), 7);
+        assert_eq!(!(!v.lit()), v.lit());
+        assert!((!v.lit()).is_negative());
+        assert_eq!((!v.lit()).var(), v);
+    }
+
+    #[test]
+    fn linexpr_evaluate_and_normalize() {
+        let mut m = Model::new();
+        let x = m.new_var();
+        let y = m.new_var();
+        let e = LinExpr::new() + (2, x) + (3, y) + (-2, x) + 1;
+        let n = e.normalized();
+        assert_eq!(n.terms(), &[(3, y)]);
+        assert_eq!(n.constant(), 1);
+        assert_eq!(e.evaluate(|v| v == y), 4);
+    }
+
+    #[test]
+    fn clause_encoding() {
+        let mut m = Model::new();
+        let x = m.new_var();
+        let y = m.new_var();
+        m.add_clause([x.lit(), !y.lit()]);
+        let c = &m.constraints()[0];
+        // x + (1 - y) >= 1  <=>  x - y >= 0
+        assert!(c.is_satisfied(|_| false)); // x=0,y=0 -> 1 >= 1
+        assert!(!c.is_satisfied(|v| v == y)); // x=0,y=1 -> 0 >= 1 fails
+    }
+
+    #[test]
+    fn check_reports_violation_index() {
+        let mut m = Model::new();
+        let x = m.new_var();
+        m.add_ge(LinExpr::from(x), 1);
+        m.add_le(LinExpr::from(x), 0);
+        assert_eq!(m.check(|_| true), Err(1));
+        assert_eq!(m.check(|_| false), Err(0));
+    }
+
+    #[test]
+    fn exactly_one_helpers() {
+        let mut m = Model::new();
+        let vs = m.new_vars(3);
+        m.add_exactly_one(vs.clone());
+        assert!(m.constraints()[0].is_satisfied(|v| v == vs[1]));
+        assert!(!m.constraints()[0].is_satisfied(|_| true));
+        assert!(!m.constraints()[0].is_satisfied(|_| false));
+    }
+}
+
+/// Serialises a model in the CPLEX LP text format, which Gurobi, CPLEX,
+/// SCIP and most other MIP solvers read. Useful for cross-checking this
+/// crate's verdicts against an external solver.
+///
+/// Variables are named `x0..xN` and declared binary.
+///
+/// # Examples
+///
+/// ```
+/// use bilp::{LinExpr, Model};
+/// let mut m = Model::new();
+/// let a = m.new_var();
+/// let b = m.new_var();
+/// m.add_ge(LinExpr::sum([a, b]), 1);
+/// m.minimize(LinExpr::from(a));
+/// let lp = bilp::to_lp_format(&m);
+/// assert!(lp.contains("Minimize"));
+/// assert!(lp.contains("Binaries"));
+/// ```
+pub fn to_lp_format(model: &Model) -> String {
+    use std::fmt::Write as _;
+    fn write_expr(out: &mut String, expr: &LinExpr) {
+        let norm = expr.normalized();
+        if norm.terms().is_empty() {
+            out.push('0');
+            return;
+        }
+        for (i, &(c, v)) in norm.terms().iter().enumerate() {
+            if i == 0 {
+                if c < 0 {
+                    let _ = write!(out, "- ");
+                }
+            } else if c < 0 {
+                let _ = write!(out, " - ");
+            } else {
+                let _ = write!(out, " + ");
+            }
+            let mag = c.unsigned_abs();
+            if mag == 1 {
+                let _ = write!(out, "x{}", v.0);
+            } else {
+                let _ = write!(out, "{mag} x{}", v.0);
+            }
+        }
+    }
+
+    let mut out = String::new();
+    out.push_str("Minimize\n obj: ");
+    match model.objective() {
+        Some(obj) => write_expr(&mut out, obj),
+        None => out.push('0'),
+    }
+    out.push_str("\nSubject To\n");
+    for (i, c) in model.constraints().iter().enumerate() {
+        let _ = write!(out, " c{i}: ");
+        write_expr(&mut out, &c.expr);
+        let cmp = match c.cmp {
+            Cmp::Le => "<=",
+            Cmp::Ge => ">=",
+            Cmp::Eq => "=",
+        };
+        let _ = writeln!(out, " {cmp} {}", c.rhs - c.expr.constant());
+    }
+    out.push_str("Binaries\n");
+    for i in 0..model.num_vars() {
+        let _ = writeln!(out, " x{i}");
+    }
+    out.push_str("End\n");
+    out
+}
+
+#[cfg(test)]
+mod lp_tests {
+    use super::*;
+
+    #[test]
+    fn lp_format_structure() {
+        let mut m = Model::new();
+        let a = m.new_var();
+        let b = m.new_var();
+        let mut e = LinExpr::new();
+        e.add_term(2, a);
+        e.add_term(-3, b);
+        e.add_constant(1);
+        m.add_le(e, 4);
+        m.add_exactly_one([a, b]);
+        let mut obj = LinExpr::new();
+        obj.add_term(1, a);
+        obj.add_term(5, b);
+        m.minimize(obj);
+        let lp = to_lp_format(&m);
+        assert!(lp.contains("obj: x0 + 5 x1"));
+        // Constant folded into the rhs: 2a - 3b <= 3.
+        assert!(lp.contains("c0: 2 x0 - 3 x1 <= 3"));
+        assert!(lp.contains("c1: x0 + x1 = 1"));
+        assert!(lp.contains(" x0\n x1\n"));
+        assert!(lp.ends_with("End\n"));
+    }
+
+    #[test]
+    fn lp_format_feasibility_only() {
+        let mut m = Model::new();
+        let a = m.new_var();
+        m.add_clause([a.lit()]);
+        let lp = to_lp_format(&m);
+        assert!(lp.contains("obj: 0"));
+    }
+}

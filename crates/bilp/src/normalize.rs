@@ -1,0 +1,239 @@
+//! Normalisation of linear constraints into pseudo-Boolean normal form.
+//!
+//! Every constraint is rewritten as `Σ aᵢ·litᵢ <= bound` with strictly
+//! positive integer coefficients (a "PB at-most" constraint). `>=`
+//! constraints are negated; `==` constraints become two inequalities.
+//! Clauses and fixed literals are recognised as special cases so the search
+//! engine can use the cheaper dedicated propagators.
+
+use crate::model::{Cmp, Constraint, Lit};
+
+/// A constraint in solver normal form.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum NormConstraint {
+    /// The literal must be true (root-level fixing).
+    Unit(Lit),
+    /// At least one of the literals must be true.
+    Clause(Vec<Lit>),
+    /// `Σ aᵢ·[litᵢ true] <= bound`, all `aᵢ >= 1`, `0 < bound < Σ aᵢ`.
+    AtMost {
+        /// Weighted literals; coefficients are strictly positive.
+        terms: Vec<(u64, Lit)>,
+        /// Upper bound on the weighted count of true literals.
+        bound: u64,
+    },
+    /// The constraint can never be satisfied.
+    False,
+}
+
+/// Normalises one model constraint into zero or more [`NormConstraint`]s.
+///
+/// Trivially-true constraints produce nothing. A single model constraint
+/// may expand into several normal-form constraints (e.g. `==` splits into
+/// two, coefficient elimination emits units).
+pub fn normalize(c: &Constraint) -> Vec<NormConstraint> {
+    match c.cmp {
+        Cmp::Le => normalize_le(c.expr.terms(), c.expr.constant(), c.rhs),
+        Cmp::Ge => {
+            // expr >= rhs  <=>  -expr <= -rhs
+            let negated: Vec<(i64, crate::model::Var)> =
+                c.expr.terms().iter().map(|&(a, v)| (-a, v)).collect();
+            normalize_le(&negated, -c.expr.constant(), -c.rhs)
+        }
+        Cmp::Eq => {
+            let mut out = normalize_le(c.expr.terms(), c.expr.constant(), c.rhs);
+            let negated: Vec<(i64, crate::model::Var)> =
+                c.expr.terms().iter().map(|&(a, v)| (-a, v)).collect();
+            out.extend(normalize_le(&negated, -c.expr.constant(), -c.rhs));
+            out
+        }
+    }
+}
+
+fn normalize_le(
+    terms: &[(i64, crate::model::Var)],
+    constant: i64,
+    rhs: i64,
+) -> Vec<NormConstraint> {
+    // Merge duplicate variables first.
+    let mut merged: Vec<(i64, crate::model::Var)> = terms.to_vec();
+    merged.sort_by_key(|&(_, v)| v);
+    let mut compact: Vec<(i64, crate::model::Var)> = Vec::with_capacity(merged.len());
+    for (a, v) in merged {
+        match compact.last_mut() {
+            Some((ca, cv)) if *cv == v => *ca += a,
+            _ => compact.push((a, v)),
+        }
+    }
+    compact.retain(|&(a, _)| a != 0);
+
+    let mut bound: i128 = i128::from(rhs) - i128::from(constant);
+    let mut lits: Vec<(u64, Lit)> = Vec::with_capacity(compact.len());
+    for (a, v) in compact {
+        if a > 0 {
+            lits.push((a as u64, Lit::positive(v)));
+        } else {
+            // a·v = a - a·(1-v) = a + |a|·(¬v)
+            bound += i128::from(-a);
+            lits.push(((-a) as u64, Lit::negative(v)));
+        }
+    }
+
+    if bound < 0 {
+        return vec![NormConstraint::False];
+    }
+    let bound = bound as u128;
+
+    let total: u128 = lits.iter().map(|&(a, _)| u128::from(a)).sum();
+    if total <= bound {
+        return Vec::new(); // trivially satisfied
+    }
+
+    let mut out = Vec::new();
+    // Literals whose coefficient alone exceeds the bound must be false.
+    let mut kept: Vec<(u64, Lit)> = Vec::with_capacity(lits.len());
+    for (a, l) in lits {
+        if u128::from(a) > bound {
+            out.push(NormConstraint::Unit(!l));
+        } else {
+            kept.push((a, l));
+        }
+    }
+    let kept_total: u128 = kept.iter().map(|&(a, _)| u128::from(a)).sum();
+    if kept_total <= bound {
+        return out; // residual is trivially satisfied
+    }
+    let bound = bound as u64;
+
+    if kept.iter().all(|&(a, _)| a == 1) {
+        let n = kept.len() as u64;
+        if bound == n - 1 {
+            // "not all true" = clause of negations
+            out.push(NormConstraint::Clause(
+                kept.into_iter().map(|(_, l)| !l).collect(),
+            ));
+            return out;
+        }
+    }
+    out.push(NormConstraint::AtMost { terms: kept, bound });
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::{LinExpr, Model};
+
+    fn con(expr: LinExpr, cmp: Cmp, rhs: i64) -> Constraint {
+        Constraint { expr, cmp, rhs }
+    }
+
+    #[test]
+    fn ge_one_becomes_clause() {
+        let mut m = Model::new();
+        let x = m.new_var();
+        let y = m.new_var();
+        let n = normalize(&con(LinExpr::sum([x, y]), Cmp::Ge, 1));
+        assert_eq!(n, vec![NormConstraint::Clause(vec![x.lit(), y.lit()])]);
+    }
+
+    #[test]
+    fn le_zero_becomes_units() {
+        let mut m = Model::new();
+        let x = m.new_var();
+        let y = m.new_var();
+        let n = normalize(&con(LinExpr::sum([x, y]), Cmp::Le, 0));
+        assert_eq!(
+            n,
+            vec![
+                NormConstraint::Unit(!x.lit()),
+                NormConstraint::Unit(!y.lit())
+            ]
+        );
+    }
+
+    #[test]
+    fn at_most_one_is_pb() {
+        let mut m = Model::new();
+        let vs = m.new_vars(3);
+        let n = normalize(&con(LinExpr::sum(vs.clone()), Cmp::Le, 1));
+        assert_eq!(
+            n,
+            vec![NormConstraint::AtMost {
+                terms: vs.iter().map(|v| (1, v.lit())).collect(),
+                bound: 1
+            }]
+        );
+    }
+
+    #[test]
+    fn eq_one_splits() {
+        let mut m = Model::new();
+        let vs = m.new_vars(3);
+        let n = normalize(&con(LinExpr::sum(vs.clone()), Cmp::Eq, 1));
+        assert_eq!(n.len(), 2);
+        assert!(matches!(&n[0], NormConstraint::AtMost { bound: 1, .. }));
+        assert!(matches!(&n[1], NormConstraint::Clause(c) if c.len() == 3));
+    }
+
+    #[test]
+    fn negative_coefficients_flip_literals() {
+        let mut m = Model::new();
+        let x = m.new_var();
+        let y = m.new_var();
+        // x - y <= 0  <=>  x + ¬y <= 1, which for two unit terms is the
+        // clause (¬x ∨ y).
+        let n = normalize(&con(LinExpr::new() + x + (-1, y), Cmp::Le, 0));
+        assert_eq!(n, vec![NormConstraint::Clause(vec![!x.lit(), y.lit()])]);
+    }
+
+    #[test]
+    fn trivially_true_dropped() {
+        let mut m = Model::new();
+        let vs = m.new_vars(2);
+        assert!(normalize(&con(LinExpr::sum(vs.clone()), Cmp::Le, 2)).is_empty());
+        assert!(normalize(&con(LinExpr::sum(vs), Cmp::Ge, 0)).is_empty());
+    }
+
+    #[test]
+    fn infeasible_detected() {
+        let mut m = Model::new();
+        let vs = m.new_vars(2);
+        assert_eq!(
+            normalize(&con(LinExpr::sum(vs.clone()), Cmp::Le, -1)),
+            vec![NormConstraint::False]
+        );
+        assert_eq!(
+            normalize(&con(LinExpr::sum(vs), Cmp::Ge, 3)),
+            vec![NormConstraint::False]
+        );
+    }
+
+    #[test]
+    fn duplicate_vars_merged() {
+        let mut m = Model::new();
+        let x = m.new_var();
+        // x + x <= 1 => 2x <= 1 => x must be false
+        let n = normalize(&con(LinExpr::new() + x + x, Cmp::Le, 1));
+        assert_eq!(n, vec![NormConstraint::Unit(!x.lit())]);
+    }
+
+    #[test]
+    fn constant_moves_to_bound() {
+        let mut m = Model::new();
+        let vs = m.new_vars(3);
+        // sum + 1 <= 2  <=>  sum <= 1
+        let n = normalize(&con(LinExpr::sum(vs) + 1, Cmp::Le, 2));
+        assert!(matches!(&n[0], NormConstraint::AtMost { bound: 1, .. }));
+    }
+
+    #[test]
+    fn weighted_unit_elimination() {
+        let mut m = Model::new();
+        let x = m.new_var();
+        let y = m.new_var();
+        // 5x + y <= 3 => x false, residual y <= 3 trivially true
+        let n = normalize(&con(LinExpr::new() + (5, x) + y, Cmp::Le, 3));
+        assert_eq!(n, vec![NormConstraint::Unit(!x.lit())]);
+    }
+}

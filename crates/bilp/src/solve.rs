@@ -1,0 +1,401 @@
+//! The public solving interface: feasibility and branch-and-bound
+//! optimisation on top of the CDCL engine.
+
+use crate::engine::{Budget, Engine, EngineFeatures, EngineStats, SatResult};
+use crate::model::{Cmp, Constraint, LinExpr, Model, Var};
+use crate::normalize::normalize;
+use std::time::{Duration, Instant};
+
+/// Solver configuration.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SolverConfig {
+    /// Wall-clock limit for the whole solve (feasibility + optimisation).
+    pub time_limit: Option<Duration>,
+    /// Conflict limit per engine search (mainly for tests).
+    pub conflict_limit: Option<u64>,
+    /// Engine feature toggles (ablation studies; default all enabled).
+    pub features: EngineFeatures,
+}
+
+/// A complete 0/1 assignment to the model's variables.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Assignment {
+    values: Vec<bool>,
+}
+
+impl Assignment {
+    pub(crate) fn from_values(values: Vec<bool>) -> Self {
+        Assignment { values }
+    }
+
+    /// The value assigned to `var`.
+    pub fn value(&self, var: Var) -> bool {
+        self.values[var.index()]
+    }
+
+    /// Number of variables.
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Whether the assignment covers zero variables.
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// Iterates over the variables assigned `true`.
+    pub fn trues(&self) -> impl Iterator<Item = Var> + '_ {
+        self.values
+            .iter()
+            .enumerate()
+            .filter(|&(_, v)| *v)
+            .map(|(i, _)| Var(i as u32))
+    }
+}
+
+/// Result of [`Solver::solve`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Outcome {
+    /// A provably optimal solution (for pure feasibility problems, any
+    /// satisfying solution is optimal with objective 0).
+    Optimal {
+        /// The optimal assignment.
+        solution: Assignment,
+        /// Objective value of the solution.
+        objective: i64,
+    },
+    /// The budget expired with an incumbent whose optimality is unproven.
+    Feasible {
+        /// The best assignment found.
+        solution: Assignment,
+        /// Objective value of the incumbent.
+        objective: i64,
+    },
+    /// The model is provably infeasible.
+    Infeasible,
+    /// The budget expired before feasibility could be decided. This is how
+    /// the paper's Table 2 `T` entries manifest.
+    Unknown,
+}
+
+impl Outcome {
+    /// The solution, if any.
+    pub fn solution(&self) -> Option<&Assignment> {
+        match self {
+            Outcome::Optimal { solution, .. } | Outcome::Feasible { solution, .. } => {
+                Some(solution)
+            }
+            _ => None,
+        }
+    }
+
+    /// The objective value, if a solution exists.
+    pub fn objective(&self) -> Option<i64> {
+        match self {
+            Outcome::Optimal { objective, .. } | Outcome::Feasible { objective, .. } => {
+                Some(*objective)
+            }
+            _ => None,
+        }
+    }
+
+    /// Whether feasibility was decided (either way) within budget.
+    pub fn is_decided(&self) -> bool {
+        !matches!(self, Outcome::Unknown)
+    }
+}
+
+/// Solve statistics.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SolveStats {
+    /// Engine statistics accumulated over all branch-and-bound rounds.
+    pub engine: EngineStats,
+    /// Number of incumbent solutions found during optimisation.
+    pub incumbents: u64,
+    /// Total wall-clock time.
+    pub elapsed: Duration,
+}
+
+/// The 0-1 ILP solver.
+///
+/// # Examples
+///
+/// ```
+/// use bilp::{LinExpr, Model, Outcome, Solver};
+/// let mut m = Model::new();
+/// let vs = m.new_vars(4);
+/// m.add_ge(LinExpr::sum(vs.clone()), 2);
+/// m.minimize(LinExpr::sum(vs.clone()));
+/// let outcome = Solver::new().solve(&m);
+/// assert_eq!(outcome.objective(), Some(2));
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Solver {
+    config: SolverConfig,
+    stats: SolveStats,
+}
+
+impl Solver {
+    /// Creates a solver with an unlimited budget.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates a solver with the given configuration.
+    pub fn with_config(config: SolverConfig) -> Self {
+        Solver {
+            config,
+            stats: SolveStats::default(),
+        }
+    }
+
+    /// Statistics of the most recent [`Solver::solve`] call.
+    pub fn stats(&self) -> SolveStats {
+        self.stats
+    }
+
+    /// Solves the model: pure feasibility when no objective is set,
+    /// branch-and-bound minimisation otherwise.
+    ///
+    /// Returned solutions always satisfy every model constraint (this is
+    /// re-checked internally; see [`Model::check`]).
+    pub fn solve(&mut self, model: &Model) -> Outcome {
+        let start = Instant::now();
+        let deadline = self.config.time_limit.map(|d| start + d);
+        self.stats = SolveStats::default();
+
+        let mut engine = Engine::new(model.num_vars());
+        engine.set_features(self.config.features);
+        for &(var, priority, phase) in model.branch_hints() {
+            engine.set_branch_hint(var, priority, phase);
+        }
+        let mut root_infeasible = false;
+        'add: for c in model.constraints() {
+            for nc in normalize(c) {
+                if !engine.add_norm(nc) {
+                    root_infeasible = true;
+                    break 'add;
+                }
+            }
+        }
+        if root_infeasible {
+            self.stats.elapsed = start.elapsed();
+            self.stats.engine = engine.stats();
+            return Outcome::Infeasible;
+        }
+
+        let budget = Budget {
+            deadline,
+            conflict_limit: self.config.conflict_limit,
+        };
+
+        let objective = model.objective().map(LinExpr::normalized);
+        let mut best: Option<(Assignment, i64)> = None;
+
+        loop {
+            let result = engine.solve(budget);
+            self.stats.engine = engine.stats();
+            match result {
+                SatResult::Unsat => {
+                    self.stats.elapsed = start.elapsed();
+                    return match best {
+                        Some((solution, objective)) => Outcome::Optimal {
+                            solution,
+                            objective,
+                        },
+                        None => Outcome::Infeasible,
+                    };
+                }
+                SatResult::Unknown => {
+                    self.stats.elapsed = start.elapsed();
+                    return match best {
+                        Some((solution, objective)) => Outcome::Feasible {
+                            solution,
+                            objective,
+                        },
+                        None => Outcome::Unknown,
+                    };
+                }
+                SatResult::Sat => {
+                    let solution = Assignment {
+                        values: (0..model.num_vars())
+                            .map(|i| engine.model_value(Var(i as u32)))
+                            .collect(),
+                    };
+                    debug_assert_eq!(model.check(|v| solution.value(v)), Ok(()));
+                    let Some(obj) = &objective else {
+                        self.stats.elapsed = start.elapsed();
+                        return Outcome::Optimal {
+                            solution,
+                            objective: 0,
+                        };
+                    };
+                    let val = obj.evaluate(|v| solution.value(v));
+                    self.stats.incumbents += 1;
+                    best = Some((solution, val));
+                    // Strengthen: objective <= val - 1.
+                    let bound = Constraint {
+                        expr: obj.clone(),
+                        cmp: Cmp::Le,
+                        rhs: val - 1,
+                    };
+                    let mut closed = false;
+                    for nc in normalize(&bound) {
+                        if !engine.add_norm(nc) {
+                            closed = true;
+                            break;
+                        }
+                    }
+                    if closed {
+                        let (solution, objective) = best.take().expect("incumbent recorded above");
+                        self.stats.elapsed = start.elapsed();
+                        return Outcome::Optimal {
+                            solution,
+                            objective,
+                        };
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::Model;
+
+    #[test]
+    fn feasibility_without_objective() {
+        let mut m = Model::new();
+        let x = m.new_var();
+        let y = m.new_var();
+        m.add_clause([x.lit(), y.lit()]);
+        m.add_clause([!x.lit()]);
+        let out = Solver::new().solve(&m);
+        let Outcome::Optimal {
+            solution,
+            objective,
+        } = out
+        else {
+            panic!("expected optimal, got {out:?}");
+        };
+        assert_eq!(objective, 0);
+        assert!(!solution.value(x));
+        assert!(solution.value(y));
+    }
+
+    #[test]
+    fn infeasible_model() {
+        let mut m = Model::new();
+        let x = m.new_var();
+        m.fix(x, true);
+        m.fix(x, false);
+        assert_eq!(Solver::new().solve(&m), Outcome::Infeasible);
+    }
+
+    #[test]
+    fn minimization_finds_optimum() {
+        // Cover problem: choose a subset of {3,5,7} summing >= 8, minimize count.
+        let mut m = Model::new();
+        let a = m.new_var(); // weight 3
+        let b = m.new_var(); // weight 5
+        let c = m.new_var(); // weight 7
+        let mut e = LinExpr::new();
+        e.add_term(3, a);
+        e.add_term(5, b);
+        e.add_term(7, c);
+        m.add_ge(e, 8);
+        m.minimize(LinExpr::sum([a, b, c]));
+        let out = Solver::new().solve(&m);
+        let Outcome::Optimal {
+            solution,
+            objective,
+        } = out
+        else {
+            panic!("expected optimal, got {out:?}");
+        };
+        assert_eq!(objective, 2);
+        let w = [(a, 3), (b, 5), (c, 7)]
+            .iter()
+            .filter(|(v, _)| solution.value(*v))
+            .map(|&(_, w)| w)
+            .sum::<i64>();
+        assert!(w >= 8);
+    }
+
+    #[test]
+    fn weighted_objective() {
+        let mut m = Model::new();
+        let a = m.new_var();
+        let b = m.new_var();
+        m.add_clause([a.lit(), b.lit()]);
+        let mut obj = LinExpr::new();
+        obj.add_term(10, a);
+        obj.add_term(1, b);
+        m.minimize(obj);
+        let out = Solver::new().solve(&m);
+        assert_eq!(out.objective(), Some(1));
+        assert!(out.solution().expect("has solution").value(b));
+    }
+
+    #[test]
+    fn negative_objective_coefficients() {
+        // Maximize a (minimize -a): a free variable should go to 1.
+        let mut m = Model::new();
+        let a = m.new_var();
+        let mut obj = LinExpr::new();
+        obj.add_term(-1, a);
+        m.minimize(obj);
+        let out = Solver::new().solve(&m);
+        assert_eq!(out.objective(), Some(-1));
+    }
+
+    #[test]
+    fn unknown_on_tiny_conflict_budget() {
+        let n = 9;
+        let mut m = Model::new();
+        let p: Vec<Vec<_>> = (0..n + 1).map(|_| m.new_vars(n)).collect();
+        for row in &p {
+            m.add_clause(row.iter().map(|v| v.lit()));
+        }
+        for h in 0..n {
+            m.add_at_most_one((0..n + 1).map(|i| p[i][h]));
+        }
+        let mut s = Solver::with_config(SolverConfig {
+            conflict_limit: Some(2),
+            ..SolverConfig::default()
+        });
+        assert_eq!(s.solve(&m), Outcome::Unknown);
+    }
+
+    #[test]
+    fn branch_hints_do_not_change_verdicts() {
+        // Same model, adversarial hints (wrong phases, scrambled
+        // priorities): identical optimum.
+        let mut m = Model::new();
+        let vs = m.new_vars(8);
+        for w in vs.windows(2) {
+            m.add_clause([w[0].lit(), w[1].lit()]);
+        }
+        m.minimize(LinExpr::sum(vs.clone()));
+        let base = Solver::new().solve(&m).objective();
+        for (i, v) in vs.iter().enumerate() {
+            m.suggest_branch(*v, (i as f64) * 0.3 + 1.0, i % 2 == 0);
+        }
+        let hinted = Solver::new().solve(&m).objective();
+        assert_eq!(base, hinted);
+    }
+
+    #[test]
+    fn stats_populated() {
+        let mut m = Model::new();
+        let vs = m.new_vars(6);
+        m.add_ge(LinExpr::sum(vs.clone()), 3);
+        m.minimize(LinExpr::sum(vs));
+        let mut s = Solver::new();
+        let out = s.solve(&m);
+        assert_eq!(out.objective(), Some(3));
+        assert!(s.stats().incumbents >= 1);
+    }
+}

@@ -1,0 +1,103 @@
+//! Property tests: the CDCL branch-and-bound solver must agree with the
+//! exhaustive reference solver on feasibility and optimal objective value
+//! for arbitrary small 0-1 ILPs.
+
+use bilp::brute::{solve_exhaustive, BruteOutcome};
+use bilp::{Cmp, LinExpr, Model, Outcome, Solver};
+use proptest::prelude::*;
+
+#[derive(Debug, Clone)]
+struct RawConstraint {
+    terms: Vec<(i64, usize)>,
+    cmp: Cmp,
+    rhs: i64,
+}
+
+fn cmp_strategy() -> impl Strategy<Value = Cmp> {
+    prop_oneof![Just(Cmp::Le), Just(Cmp::Ge), Just(Cmp::Eq)]
+}
+
+fn constraint_strategy(n_vars: usize) -> impl Strategy<Value = RawConstraint> {
+    (
+        prop::collection::vec((-4i64..=4, 0..n_vars), 1..=5),
+        cmp_strategy(),
+        -6i64..=8,
+    )
+        .prop_map(|(terms, cmp, rhs)| RawConstraint { terms, cmp, rhs })
+}
+
+#[derive(Debug, Clone)]
+struct RawModel {
+    n_vars: usize,
+    constraints: Vec<RawConstraint>,
+    objective: Option<Vec<(i64, usize)>>,
+}
+
+fn model_strategy() -> impl Strategy<Value = RawModel> {
+    (2usize..=9).prop_flat_map(|n_vars| {
+        (
+            prop::collection::vec(constraint_strategy(n_vars), 1..=10),
+            prop::option::of(prop::collection::vec((-5i64..=5, 0..n_vars), 1..=n_vars)),
+        )
+            .prop_map(move |(constraints, objective)| RawModel {
+                n_vars,
+                constraints,
+                objective,
+            })
+    })
+}
+
+fn build(raw: &RawModel) -> Model {
+    let mut m = Model::new();
+    let vars = m.new_vars(raw.n_vars);
+    for c in &raw.constraints {
+        let mut e = LinExpr::new();
+        for &(coeff, vi) in &c.terms {
+            e.add_term(coeff, vars[vi]);
+        }
+        m.add(e, c.cmp, c.rhs);
+    }
+    if let Some(obj) = &raw.objective {
+        let mut e = LinExpr::new();
+        for &(coeff, vi) in obj {
+            e.add_term(coeff, vars[vi]);
+        }
+        m.minimize(e);
+    }
+    m
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(400))]
+
+    #[test]
+    fn solver_agrees_with_brute_force(raw in model_strategy()) {
+        let model = build(&raw);
+        let brute = solve_exhaustive(&model);
+        let outcome = Solver::new().solve(&model);
+        match (&brute, &outcome) {
+            (BruteOutcome::Infeasible, Outcome::Infeasible) => {}
+            (BruteOutcome::Optimal { objective: bo, .. }, Outcome::Optimal { objective: so, solution }) => {
+                prop_assert_eq!(bo, so, "objective mismatch");
+                prop_assert_eq!(model.check(|v| solution.value(v)), Ok(()));
+            }
+            other => prop_assert!(false, "outcome mismatch: {:?}", other),
+        }
+    }
+
+    #[test]
+    fn feasibility_only_agrees(raw in model_strategy()) {
+        let mut raw = raw;
+        raw.objective = None;
+        let model = build(&raw);
+        let brute = solve_exhaustive(&model);
+        let outcome = Solver::new().solve(&model);
+        match (&brute, &outcome) {
+            (BruteOutcome::Infeasible, Outcome::Infeasible) => {}
+            (BruteOutcome::Optimal { .. }, Outcome::Optimal { solution, .. }) => {
+                prop_assert_eq!(model.check(|v| solution.value(v)), Ok(()));
+            }
+            other => prop_assert!(false, "outcome mismatch: {:?}", other),
+        }
+    }
+}

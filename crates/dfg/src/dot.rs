@@ -1,0 +1,87 @@
+//! Graphviz DOT export for data-flow graphs.
+
+use crate::graph::Dfg;
+use crate::op::OpKind;
+use std::fmt::Write as _;
+
+/// Renders a DFG as a Graphviz `digraph`.
+///
+/// Inputs/outputs are drawn as houses, memory operations as boxes, and
+/// compute operations as ellipses; multi-operand edges are labelled with
+/// their operand index.
+///
+/// # Examples
+///
+/// ```
+/// let g = cgra_dfg::benchmarks::mac();
+/// let dot = cgra_dfg::dot::to_dot(&g);
+/// assert!(dot.starts_with("digraph mac"));
+/// assert!(dot.contains("->"));
+/// ```
+pub fn to_dot(dfg: &Dfg) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "digraph {} {{", sanitize(dfg.name()));
+    let _ = writeln!(out, "  rankdir=TB;");
+    for (i, op) in dfg.ops().iter().enumerate() {
+        let shape = match op.kind {
+            OpKind::Input => "invhouse",
+            OpKind::Output => "house",
+            OpKind::Load | OpKind::Store => "box",
+            OpKind::Const => "diamond",
+            _ => "ellipse",
+        };
+        let label = match op.kind {
+            OpKind::Const => format!("{}\\n{}", op.name, op.constant.unwrap_or(0)),
+            k => format!("{}\\n{}", op.name, k.mnemonic()),
+        };
+        let _ = writeln!(out, "  n{i} [label=\"{label}\", shape={shape}];");
+    }
+    for e in dfg.edges() {
+        let _ = writeln!(
+            out,
+            "  n{} -> n{} [label=\"{}\"];",
+            e.src.index(),
+            e.dst.index(),
+            e.operand
+        );
+    }
+    out.push_str("}\n");
+    out
+}
+
+fn sanitize(name: &str) -> String {
+    let cleaned: String = name
+        .chars()
+        .map(|c| if c.is_ascii_alphanumeric() { c } else { '_' })
+        .collect();
+    if cleaned.chars().next().is_some_and(|c| c.is_ascii_digit()) {
+        format!("g{cleaned}")
+    } else if cleaned.is_empty() {
+        "g".to_owned()
+    } else {
+        cleaned
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::benchmarks;
+
+    #[test]
+    fn dot_contains_every_op_and_edge() {
+        let g = benchmarks::accum();
+        let dot = to_dot(&g);
+        for (i, _) in g.ops().iter().enumerate() {
+            assert!(dot.contains(&format!("n{i} ")), "missing node n{i}");
+        }
+        assert_eq!(dot.matches("->").count(), g.edge_count());
+    }
+
+    #[test]
+    fn names_are_sanitised() {
+        assert_eq!(sanitize("2x2-f"), "g2x2_f");
+        assert_eq!(sanitize("ok"), "ok");
+        assert_eq!(sanitize(""), "g");
+    }
+}

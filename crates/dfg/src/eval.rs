@@ -1,0 +1,337 @@
+//! Reference interpreter for data-flow graphs.
+//!
+//! The interpreter is the *functional oracle* of the repository: the
+//! [`cgra-sim`](https://crates.io/crates/cgra-sim) simulator executes a
+//! mapped CGRA and compares its outputs against this evaluator to certify a
+//! mapping end-to-end.
+
+use crate::graph::{Dfg, DfgError, OpId};
+use crate::op::OpKind;
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A tiny word-addressed data memory shared by `load`/`store` operations.
+///
+/// Addresses are masked to the memory size, mimicking an address decoder.
+///
+/// # Examples
+///
+/// ```
+/// use cgra_dfg::Memory;
+/// let mut m = Memory::new(16);
+/// m.write(3, 42);
+/// assert_eq!(m.read(3), 42);
+/// assert_eq!(m.read(3 + 16), 42); // addresses wrap
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Memory {
+    words: Vec<i64>,
+}
+
+impl Memory {
+    /// Creates a zero-initialised memory of `size` words.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `size` is not a power of two (the address mask requires it).
+    pub fn new(size: usize) -> Self {
+        assert!(size.is_power_of_two(), "memory size must be a power of two");
+        Memory {
+            words: vec![0; size],
+        }
+    }
+
+    fn mask(&self, addr: i64) -> usize {
+        (addr as usize) & (self.words.len() - 1)
+    }
+
+    /// Reads the word at `addr` (masked).
+    pub fn read(&self, addr: i64) -> i64 {
+        self.words[self.mask(addr)]
+    }
+
+    /// Writes the word at `addr` (masked).
+    pub fn write(&mut self, addr: i64, value: i64) {
+        let a = self.mask(addr);
+        self.words[a] = value;
+    }
+
+    /// Number of words.
+    pub fn len(&self) -> usize {
+        self.words.len()
+    }
+
+    /// Whether the memory has zero words (never true for a constructed one).
+    pub fn is_empty(&self) -> bool {
+        self.words.is_empty()
+    }
+
+    /// The raw words.
+    pub fn words(&self) -> &[i64] {
+        &self.words
+    }
+}
+
+impl Default for Memory {
+    fn default() -> Self {
+        Memory::new(64)
+    }
+}
+
+/// Errors produced by [`evaluate`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EvalError {
+    /// The graph failed validation or is cyclic.
+    Graph(DfgError),
+    /// An `input` operation had no value supplied.
+    MissingInput(String),
+    /// A `const` operation had no payload.
+    MissingConstant(String),
+}
+
+impl fmt::Display for EvalError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EvalError::Graph(e) => write!(f, "graph error: {e}"),
+            EvalError::MissingInput(n) => write!(f, "no value supplied for input `{n}`"),
+            EvalError::MissingConstant(n) => write!(f, "const `{n}` has no payload"),
+        }
+    }
+}
+
+impl std::error::Error for EvalError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            EvalError::Graph(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<DfgError> for EvalError {
+    fn from(e: DfgError) -> Self {
+        EvalError::Graph(e)
+    }
+}
+
+/// The result of evaluating a DFG: values observed at each `output`
+/// operation, plus every intermediate operation value.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Evaluation {
+    /// Value observed by each `output` operation, keyed by op name.
+    pub outputs: BTreeMap<String, i64>,
+    /// Value of every value-producing operation, keyed by [`OpId`].
+    pub values: BTreeMap<OpId, i64>,
+}
+
+/// Evaluates an acyclic DFG with the given input values and memory.
+///
+/// `inputs` maps `input` operation names to values. The memory is read by
+/// `load` and mutated by `store` operations.
+///
+/// # Errors
+///
+/// Fails if the graph is invalid or cyclic, or an input/const value is
+/// missing.
+///
+/// # Examples
+///
+/// ```
+/// use cgra_dfg::{benchmarks, evaluate, Memory};
+/// use std::collections::BTreeMap;
+/// let g = benchmarks::accum();
+/// let inputs: BTreeMap<String, i64> = g
+///     .ops()
+///     .iter()
+///     .filter(|o| o.kind == cgra_dfg::OpKind::Input)
+///     .enumerate()
+///     .map(|(i, o)| (o.name.clone(), i as i64 + 1))
+///     .collect();
+/// let mut mem = Memory::default();
+/// let result = evaluate(&g, &inputs, &mut mem)?;
+/// assert_eq!(result.outputs.len(), 1);
+/// # Ok::<(), cgra_dfg::EvalError>(())
+/// ```
+pub fn evaluate(
+    dfg: &Dfg,
+    inputs: &BTreeMap<String, i64>,
+    memory: &mut Memory,
+) -> Result<Evaluation, EvalError> {
+    dfg.validate()?;
+    let order = dfg.topological_order()?;
+    let mut values: BTreeMap<OpId, i64> = BTreeMap::new();
+    let mut outputs = BTreeMap::new();
+
+    let operand = |values: &BTreeMap<OpId, i64>, id: OpId, idx: u8| -> i64 {
+        let e = dfg
+            .operand_edge(id, idx)
+            .expect("validated graph has all operands driven");
+        let src = dfg.edges()[e.index()].src;
+        *values.get(&src).expect("topological order")
+    };
+
+    for id in order {
+        let op = dfg.op(id)?;
+        match op.kind {
+            OpKind::Input => {
+                let v = *inputs
+                    .get(&op.name)
+                    .ok_or_else(|| EvalError::MissingInput(op.name.clone()))?;
+                values.insert(id, v);
+            }
+            OpKind::Const => {
+                let v = op
+                    .constant
+                    .ok_or_else(|| EvalError::MissingConstant(op.name.clone()))?;
+                values.insert(id, v);
+            }
+            OpKind::Output => {
+                let v = operand(&values, id, 0);
+                outputs.insert(op.name.clone(), v);
+            }
+            OpKind::Load => {
+                let addr = operand(&values, id, 0);
+                values.insert(id, memory.read(addr));
+            }
+            OpKind::Store => {
+                let addr = operand(&values, id, 0);
+                let datum = operand(&values, id, 1);
+                memory.write(addr, datum);
+            }
+            k => {
+                let a = operand(&values, id, 0);
+                let b = operand(&values, id, 1);
+                values.insert(id, k.eval_binary(a, b));
+            }
+        }
+    }
+
+    Ok(Evaluation { outputs, values })
+}
+
+/// Convenience: evaluates a DFG by assigning `input` operations the values
+/// of `inputs` in declaration order.
+///
+/// # Errors
+///
+/// Same failure modes as [`evaluate`]; additionally fails with
+/// [`EvalError::MissingInput`] when fewer values than inputs are supplied.
+pub fn evaluate_ordered(
+    dfg: &Dfg,
+    inputs: &[i64],
+    memory: &mut Memory,
+) -> Result<Evaluation, EvalError> {
+    let mut map = BTreeMap::new();
+    let mut it = inputs.iter();
+    for op in dfg.ops() {
+        if op.kind == OpKind::Input {
+            match it.next() {
+                Some(v) => {
+                    map.insert(op.name.clone(), *v);
+                }
+                None => return Err(EvalError::MissingInput(op.name.clone())),
+            }
+        }
+    }
+    evaluate(dfg, &map, memory)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::Dfg;
+
+    fn axpy() -> Dfg {
+        let mut g = Dfg::new("axpy");
+        let a = g.add_op("a", OpKind::Input).unwrap();
+        let x = g.add_op("x", OpKind::Input).unwrap();
+        let y = g.add_op("y", OpKind::Input).unwrap();
+        let m = g.add_op("m", OpKind::Mul).unwrap();
+        let s = g.add_op("s", OpKind::Add).unwrap();
+        let o = g.add_op("o", OpKind::Output).unwrap();
+        g.connect(a, m, 0).unwrap();
+        g.connect(x, m, 1).unwrap();
+        g.connect(m, s, 0).unwrap();
+        g.connect(y, s, 1).unwrap();
+        g.connect(s, o, 0).unwrap();
+        g
+    }
+
+    #[test]
+    fn evaluates_axpy() {
+        let g = axpy();
+        let mut mem = Memory::default();
+        let r = evaluate_ordered(&g, &[3, 4, 5], &mut mem).unwrap();
+        assert_eq!(r.outputs["o"], 17);
+    }
+
+    #[test]
+    fn missing_input_reported() {
+        let g = axpy();
+        let mut mem = Memory::default();
+        let err = evaluate_ordered(&g, &[3], &mut mem).unwrap_err();
+        assert!(matches!(err, EvalError::MissingInput(_)));
+    }
+
+    #[test]
+    fn load_store_roundtrip() {
+        let mut g = Dfg::new("ls");
+        let a = g.add_op("addr", OpKind::Input).unwrap();
+        let d = g.add_op("data", OpKind::Input).unwrap();
+        let st = g.add_op("st", OpKind::Store).unwrap();
+        g.connect(a, st, 0).unwrap();
+        g.connect(d, st, 1).unwrap();
+        let mut mem = Memory::new(16);
+        evaluate_ordered(&g, &[5, 99], &mut mem).unwrap();
+        assert_eq!(mem.read(5), 99);
+
+        let mut g2 = Dfg::new("ld");
+        let a2 = g2.add_op("addr", OpKind::Input).unwrap();
+        let ld = g2.add_op("ld", OpKind::Load).unwrap();
+        let o = g2.add_op("o", OpKind::Output).unwrap();
+        g2.connect(a2, ld, 0).unwrap();
+        g2.connect(ld, o, 0).unwrap();
+        let r = evaluate_ordered(&g2, &[5], &mut mem).unwrap();
+        assert_eq!(r.outputs["o"], 99);
+    }
+
+    #[test]
+    fn const_flows() {
+        let mut g = Dfg::new("c");
+        let c = g.add_const("c", 7).unwrap();
+        let x = g.add_op("x", OpKind::Input).unwrap();
+        let s = g.add_op("s", OpKind::Add).unwrap();
+        let o = g.add_op("o", OpKind::Output).unwrap();
+        g.connect(c, s, 0).unwrap();
+        g.connect(x, s, 1).unwrap();
+        g.connect(s, o, 0).unwrap();
+        let mut mem = Memory::default();
+        let r = evaluate_ordered(&g, &[10], &mut mem).unwrap();
+        assert_eq!(r.outputs["o"], 17);
+    }
+
+    #[test]
+    fn cyclic_graph_rejected() {
+        let mut g = Dfg::new("cyc");
+        let one = g.add_const("one", 1).unwrap();
+        let x = g.add_op("x", OpKind::Add).unwrap();
+        g.connect(x, x, 0).unwrap();
+        g.connect(one, x, 1).unwrap();
+        let o = g.add_op("o", OpKind::Output).unwrap();
+        g.connect(x, o, 0).unwrap();
+        let mut mem = Memory::default();
+        assert!(matches!(
+            evaluate_ordered(&g, &[], &mut mem),
+            Err(EvalError::Graph(DfgError::Cyclic))
+        ));
+    }
+
+    #[test]
+    fn intermediate_values_exposed() {
+        let g = axpy();
+        let mut mem = Memory::default();
+        let r = evaluate_ordered(&g, &[3, 4, 5], &mut mem).unwrap();
+        let m = g.op_by_name("m").unwrap();
+        assert_eq!(r.values[&m], 12);
+    }
+}

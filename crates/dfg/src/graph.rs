@@ -1,0 +1,586 @@
+//! The data-flow graph (DFG) structure.
+//!
+//! A DFG is a directed graph where vertices represent operations and edges
+//! are data dependencies between operations (paper Section 3.1). Each edge
+//! carries the operand index it feeds on the consumer, which is what makes
+//! operand correctness for non-commutative operations expressible in the
+//! ILP formulation (paper constraint (6)).
+
+use crate::op::OpKind;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use std::fmt;
+
+/// Identifier of an operation inside a [`Dfg`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct OpId(pub u32);
+
+impl OpId {
+    /// The operation's index into [`Dfg::ops`].
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// Identifier of an edge (a sub-value, in the paper's terminology) inside a
+/// [`Dfg`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct EdgeId(pub u32);
+
+impl EdgeId {
+    /// The edge's index into [`Dfg::edges`].
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// An operation vertex.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Op {
+    /// Unique name within the graph.
+    pub name: String,
+    /// Operation kind.
+    pub kind: OpKind,
+    /// Constant payload; only meaningful for [`OpKind::Const`].
+    pub constant: Option<i64>,
+}
+
+/// A data-dependence edge: the value produced by `src` feeds operand
+/// `operand` of `dst`.
+///
+/// In the paper's terminology each edge is one *sub-value*: a source-to-sink
+/// connection of a (possibly multi-fanout) value.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Edge {
+    /// Producing operation.
+    pub src: OpId,
+    /// Consuming operation.
+    pub dst: OpId,
+    /// Operand index on the consumer (`0..dst.kind.arity()`).
+    pub operand: u8,
+}
+
+/// Errors arising while constructing or validating a [`Dfg`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DfgError {
+    /// An operation name was used twice.
+    DuplicateName(String),
+    /// `connect` referenced an operand index outside the consumer's arity.
+    OperandOutOfRange {
+        /// Consumer operation name.
+        op: String,
+        /// Offending operand index.
+        operand: u8,
+        /// The consumer's arity.
+        arity: usize,
+    },
+    /// Two edges feed the same operand of the same operation.
+    OperandAlreadyDriven {
+        /// Consumer operation name.
+        op: String,
+        /// Operand index driven twice.
+        operand: u8,
+    },
+    /// The source of an edge does not produce a value (e.g. a store).
+    SourceProducesNoValue {
+        /// Offending source operation name.
+        op: String,
+    },
+    /// After construction, an operand was left unconnected.
+    OperandUndriven {
+        /// Consumer operation name.
+        op: String,
+        /// Undriven operand index.
+        operand: u8,
+    },
+    /// A value-producing non-output operation has no consumers.
+    DeadValue {
+        /// The producing operation name.
+        op: String,
+    },
+    /// The graph contains a cycle but an acyclic graph was required.
+    Cyclic,
+    /// An operation id was out of range for this graph.
+    InvalidOpId(OpId),
+}
+
+impl fmt::Display for DfgError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DfgError::DuplicateName(n) => write!(f, "duplicate operation name `{n}`"),
+            DfgError::OperandOutOfRange { op, operand, arity } => write!(
+                f,
+                "operand {operand} out of range for `{op}` (arity {arity})"
+            ),
+            DfgError::OperandAlreadyDriven { op, operand } => {
+                write!(f, "operand {operand} of `{op}` is driven twice")
+            }
+            DfgError::SourceProducesNoValue { op } => {
+                write!(
+                    f,
+                    "operation `{op}` produces no value and cannot drive an edge"
+                )
+            }
+            DfgError::OperandUndriven { op, operand } => {
+                write!(f, "operand {operand} of `{op}` is not driven")
+            }
+            DfgError::DeadValue { op } => {
+                write!(f, "value produced by `{op}` has no consumers")
+            }
+            DfgError::Cyclic => write!(f, "graph contains a cycle"),
+            DfgError::InvalidOpId(id) => write!(f, "invalid operation id {id:?}"),
+        }
+    }
+}
+
+impl std::error::Error for DfgError {}
+
+/// A data-flow graph: operations plus operand-indexed dependence edges.
+///
+/// # Examples
+///
+/// ```
+/// use cgra_dfg::{Dfg, OpKind};
+/// # fn main() -> Result<(), cgra_dfg::DfgError> {
+/// let mut g = Dfg::new("axpy");
+/// let a = g.add_op("a", OpKind::Input)?;
+/// let x = g.add_op("x", OpKind::Input)?;
+/// let y = g.add_op("y", OpKind::Input)?;
+/// let m = g.add_op("m", OpKind::Mul)?;
+/// let s = g.add_op("s", OpKind::Add)?;
+/// let o = g.add_op("o", OpKind::Output)?;
+/// g.connect(a, m, 0)?;
+/// g.connect(x, m, 1)?;
+/// g.connect(m, s, 0)?;
+/// g.connect(y, s, 1)?;
+/// g.connect(s, o, 0)?;
+/// g.validate()?;
+/// assert_eq!(g.stats().operations, 2);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Dfg {
+    name: String,
+    ops: Vec<Op>,
+    edges: Vec<Edge>,
+    /// Outgoing edge ids per op, in insertion order.
+    fanouts: Vec<Vec<EdgeId>>,
+    /// Incoming edge per (op, operand index); `None` while unconnected.
+    operands: Vec<Vec<Option<EdgeId>>>,
+    names: HashMap<String, OpId>,
+}
+
+/// Headline statistics of a DFG, matching the columns of the paper's
+/// Table 1.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DfgStats {
+    /// Number of `input` plus `output` operations ("I/Os" column).
+    pub ios: usize,
+    /// Number of internal operations — everything that is not an I/O.
+    /// Loads and stores count as internal operations, as in the paper.
+    pub operations: usize,
+    /// Number of multiply operations ("# Multiplies" column).
+    pub multiplies: usize,
+}
+
+impl Dfg {
+    /// Creates an empty graph with the given name.
+    pub fn new(name: impl Into<String>) -> Self {
+        Dfg {
+            name: name.into(),
+            ops: Vec::new(),
+            edges: Vec::new(),
+            fanouts: Vec::new(),
+            operands: Vec::new(),
+            names: HashMap::new(),
+        }
+    }
+
+    /// The graph's name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Adds an operation.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DfgError::DuplicateName`] if the name is already used.
+    pub fn add_op(&mut self, name: impl Into<String>, kind: OpKind) -> Result<OpId, DfgError> {
+        let name = name.into();
+        if self.names.contains_key(&name) {
+            return Err(DfgError::DuplicateName(name));
+        }
+        let id = OpId(self.ops.len() as u32);
+        self.names.insert(name.clone(), id);
+        self.ops.push(Op {
+            name,
+            kind,
+            constant: None,
+        });
+        self.fanouts.push(Vec::new());
+        self.operands.push(vec![None; kind.arity()]);
+        Ok(id)
+    }
+
+    /// Adds a constant operation with the given payload.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DfgError::DuplicateName`] if the name is already used.
+    pub fn add_const(&mut self, name: impl Into<String>, value: i64) -> Result<OpId, DfgError> {
+        let id = self.add_op(name, OpKind::Const)?;
+        self.ops[id.index()].constant = Some(value);
+        Ok(id)
+    }
+
+    /// Connects the value produced by `src` to operand `operand` of `dst`.
+    ///
+    /// # Errors
+    ///
+    /// Fails if `src` produces no value, the operand index is out of range,
+    /// or the operand is already driven.
+    pub fn connect(&mut self, src: OpId, dst: OpId, operand: u8) -> Result<EdgeId, DfgError> {
+        let src_op = self.op(src)?;
+        if !src_op.kind.produces_value() {
+            return Err(DfgError::SourceProducesNoValue {
+                op: src_op.name.clone(),
+            });
+        }
+        let dst_op = self.op(dst)?.clone();
+        let arity = dst_op.kind.arity();
+        if usize::from(operand) >= arity {
+            return Err(DfgError::OperandOutOfRange {
+                op: dst_op.name,
+                operand,
+                arity,
+            });
+        }
+        if self.operands[dst.index()][usize::from(operand)].is_some() {
+            return Err(DfgError::OperandAlreadyDriven {
+                op: dst_op.name,
+                operand,
+            });
+        }
+        let id = EdgeId(self.edges.len() as u32);
+        self.edges.push(Edge { src, dst, operand });
+        self.fanouts[src.index()].push(id);
+        self.operands[dst.index()][usize::from(operand)] = Some(id);
+        Ok(id)
+    }
+
+    /// Looks up an operation by id.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DfgError::InvalidOpId`] for ids from another graph.
+    pub fn op(&self, id: OpId) -> Result<&Op, DfgError> {
+        self.ops.get(id.index()).ok_or(DfgError::InvalidOpId(id))
+    }
+
+    /// Looks up an operation by name.
+    pub fn op_by_name(&self, name: &str) -> Option<OpId> {
+        self.names.get(name).copied()
+    }
+
+    /// The operations of the graph, indexable by [`OpId::index`].
+    pub fn ops(&self) -> &[Op] {
+        &self.ops
+    }
+
+    /// The edges of the graph, indexable by [`EdgeId::index`].
+    pub fn edges(&self) -> &[Edge] {
+        &self.edges
+    }
+
+    /// Iterates over operation ids.
+    pub fn op_ids(&self) -> impl Iterator<Item = OpId> + '_ {
+        (0..self.ops.len() as u32).map(OpId)
+    }
+
+    /// Iterates over edge ids.
+    pub fn edge_ids(&self) -> impl Iterator<Item = EdgeId> + '_ {
+        (0..self.edges.len() as u32).map(EdgeId)
+    }
+
+    /// Outgoing edges (the sub-values) of the value produced by `op`.
+    pub fn fanout(&self, op: OpId) -> &[EdgeId] {
+        &self.fanouts[op.index()]
+    }
+
+    /// The edge driving operand `operand` of `op`, if connected.
+    pub fn operand_edge(&self, op: OpId, operand: u8) -> Option<EdgeId> {
+        self.operands[op.index()]
+            .get(usize::from(operand))
+            .copied()
+            .flatten()
+    }
+
+    /// Number of operations.
+    pub fn op_count(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// Number of edges.
+    pub fn edge_count(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Operations that produce a value consumed by at least one other
+    /// operation — the `Vals` set of the paper's formulation.
+    pub fn value_producers(&self) -> impl Iterator<Item = OpId> + '_ {
+        self.op_ids().filter(|id| {
+            self.ops[id.index()].kind.produces_value() && !self.fanouts[id.index()].is_empty()
+        })
+    }
+
+    /// Validates structural invariants: every operand of every operation is
+    /// driven, and every produced value is consumed.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first violated invariant.
+    pub fn validate(&self) -> Result<(), DfgError> {
+        for id in self.op_ids() {
+            let op = &self.ops[id.index()];
+            for (idx, e) in self.operands[id.index()].iter().enumerate() {
+                if e.is_none() {
+                    return Err(DfgError::OperandUndriven {
+                        op: op.name.clone(),
+                        operand: idx as u8,
+                    });
+                }
+            }
+            if op.kind.produces_value()
+                && op.kind != OpKind::Input
+                && self.fanouts[id.index()].is_empty()
+            {
+                return Err(DfgError::DeadValue {
+                    op: op.name.clone(),
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// A topological order of the operations.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DfgError::Cyclic`] if the graph has a cycle (loop-carried
+    /// dependence back-edges are not distinguished; callers that allow
+    /// cycles should not request a topological order).
+    pub fn topological_order(&self) -> Result<Vec<OpId>, DfgError> {
+        let n = self.ops.len();
+        let mut indeg = vec![0usize; n];
+        for e in &self.edges {
+            indeg[e.dst.index()] += 1;
+        }
+        let mut queue: Vec<OpId> = self.op_ids().filter(|id| indeg[id.index()] == 0).collect();
+        let mut order = Vec::with_capacity(n);
+        while let Some(id) = queue.pop() {
+            order.push(id);
+            for &e in &self.fanouts[id.index()] {
+                let d = self.edges[e.index()].dst;
+                indeg[d.index()] -= 1;
+                if indeg[d.index()] == 0 {
+                    queue.push(d);
+                }
+            }
+        }
+        if order.len() == n {
+            Ok(order)
+        } else {
+            Err(DfgError::Cyclic)
+        }
+    }
+
+    /// Whether the graph is acyclic.
+    pub fn is_acyclic(&self) -> bool {
+        self.topological_order().is_ok()
+    }
+
+    /// Statistics matching the paper's Table 1 columns.
+    pub fn stats(&self) -> DfgStats {
+        let mut ios = 0;
+        let mut operations = 0;
+        let mut multiplies = 0;
+        for op in &self.ops {
+            if op.kind.is_io() {
+                ios += 1;
+            } else {
+                operations += 1;
+            }
+            if op.kind == OpKind::Mul {
+                multiplies += 1;
+            }
+        }
+        DfgStats {
+            ios,
+            operations,
+            multiplies,
+        }
+    }
+
+    /// The maximum fanout of any value in the graph.
+    pub fn max_fanout(&self) -> usize {
+        self.fanouts.iter().map(Vec::len).max().unwrap_or(0)
+    }
+}
+
+impl fmt::Display for Dfg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "dfg {} ({} ops, {} edges)",
+            self.name,
+            self.op_count(),
+            self.edge_count()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> (Dfg, OpId, OpId, OpId) {
+        let mut g = Dfg::new("t");
+        let a = g.add_op("a", OpKind::Input).unwrap();
+        let b = g.add_op("b", OpKind::Input).unwrap();
+        let s = g.add_op("s", OpKind::Add).unwrap();
+        g.connect(a, s, 0).unwrap();
+        g.connect(b, s, 1).unwrap();
+        (g, a, b, s)
+    }
+
+    #[test]
+    fn duplicate_names_rejected() {
+        let mut g = Dfg::new("t");
+        g.add_op("x", OpKind::Input).unwrap();
+        assert!(matches!(
+            g.add_op("x", OpKind::Input),
+            Err(DfgError::DuplicateName(_))
+        ));
+    }
+
+    #[test]
+    fn operand_range_checked() {
+        let (mut g, a, _, s) = small();
+        assert!(matches!(
+            g.connect(a, s, 2),
+            Err(DfgError::OperandOutOfRange { .. })
+        ));
+    }
+
+    #[test]
+    fn operand_double_drive_rejected() {
+        let (mut g, a, _, s) = small();
+        assert!(matches!(
+            g.connect(a, s, 0),
+            Err(DfgError::OperandAlreadyDriven { .. })
+        ));
+    }
+
+    #[test]
+    fn store_cannot_drive() {
+        let mut g = Dfg::new("t");
+        let a = g.add_op("a", OpKind::Input).unwrap();
+        let st = g.add_op("st", OpKind::Store).unwrap();
+        g.connect(a, st, 0).unwrap();
+        g.connect(a, st, 1).unwrap();
+        let o = g.add_op("o", OpKind::Output).unwrap();
+        assert!(matches!(
+            g.connect(st, o, 0),
+            Err(DfgError::SourceProducesNoValue { .. })
+        ));
+    }
+
+    #[test]
+    fn validate_catches_undriven() {
+        let (g, ..) = small();
+        // `s` has no consumer -> dead value.
+        assert!(matches!(g.validate(), Err(DfgError::DeadValue { .. })));
+        let (mut g, ..) = small();
+        let s = g.op_by_name("s").unwrap();
+        let o = g.add_op("o", OpKind::Output).unwrap();
+        g.connect(s, o, 0).unwrap();
+        g.validate().unwrap();
+        let mut g2 = Dfg::new("t2");
+        g2.add_op("y", OpKind::Output).unwrap();
+        assert!(matches!(
+            g2.validate(),
+            Err(DfgError::OperandUndriven { .. })
+        ));
+    }
+
+    #[test]
+    fn topological_order_and_cycles() {
+        let (mut g, ..) = small();
+        let s = g.op_by_name("s").unwrap();
+        let o = g.add_op("o", OpKind::Output).unwrap();
+        g.connect(s, o, 0).unwrap();
+        let order = g.topological_order().unwrap();
+        let pos = |id: OpId| order.iter().position(|x| *x == id).unwrap();
+        assert!(pos(s) > pos(g.op_by_name("a").unwrap()));
+        assert!(pos(o) > pos(s));
+        assert!(g.is_acyclic());
+
+        // Build a cycle: x = x + 1 without input.
+        let mut c = Dfg::new("cyc");
+        let one = c.add_const("one", 1).unwrap();
+        let x = c.add_op("x", OpKind::Add).unwrap();
+        c.connect(x, x, 0).unwrap();
+        c.connect(one, x, 1).unwrap();
+        assert!(!c.is_acyclic());
+        assert!(matches!(c.topological_order(), Err(DfgError::Cyclic)));
+    }
+
+    #[test]
+    fn stats_counts_io_and_internal() {
+        let mut g = Dfg::new("t");
+        let a = g.add_op("a", OpKind::Input).unwrap();
+        let l = g.add_op("l", OpKind::Load).unwrap();
+        let m = g.add_op("m", OpKind::Mul).unwrap();
+        let o = g.add_op("o", OpKind::Output).unwrap();
+        g.connect(a, l, 0).unwrap();
+        g.connect(l, m, 0).unwrap();
+        g.connect(a, m, 1).unwrap();
+        g.connect(m, o, 0).unwrap();
+        let s = g.stats();
+        assert_eq!(s.ios, 2);
+        assert_eq!(s.operations, 2); // load counts as internal, as in the paper
+        assert_eq!(s.multiplies, 1);
+    }
+
+    #[test]
+    fn value_producers_excludes_dead_and_sinks() {
+        let (mut g, a, b, s) = small();
+        let o = g.add_op("o", OpKind::Output).unwrap();
+        g.connect(s, o, 0).unwrap();
+        let vals: Vec<_> = g.value_producers().collect();
+        assert_eq!(vals, vec![a, b, s]);
+    }
+
+    #[test]
+    fn max_fanout() {
+        let (mut g, a, _, s) = small();
+        let o = g.add_op("o", OpKind::Output).unwrap();
+        g.connect(s, o, 0).unwrap();
+        let t = g.add_op("t", OpKind::Add).unwrap();
+        g.connect(a, t, 0).unwrap();
+        g.connect(a, t, 1).unwrap();
+        let o2 = g.add_op("o2", OpKind::Output).unwrap();
+        g.connect(t, o2, 0).unwrap();
+        assert_eq!(g.max_fanout(), 3); // a feeds s.0, t.0, t.1
+    }
+
+    #[test]
+    fn const_payload() {
+        let mut g = Dfg::new("t");
+        let c = g.add_const("c", 42).unwrap();
+        assert_eq!(g.op(c).unwrap().constant, Some(42));
+        assert_eq!(g.op(c).unwrap().kind, OpKind::Const);
+    }
+}

@@ -1,0 +1,40 @@
+//! # cgra-dfg — data-flow graphs for CGRA mapping
+//!
+//! This crate provides the application-side input of the CGRA mapping
+//! problem described in *"An Architecture-Agnostic Integer Linear
+//! Programming Approach to CGRA Mapping"* (Chin & Anderson, DAC 2018):
+//! data-flow graphs (DFGs) whose vertices are operations and whose edges
+//! are operand-indexed data dependencies.
+//!
+//! It contains:
+//!
+//! * [`OpKind`] / [`OpSet`] — the RISC-like operation alphabet,
+//! * [`Dfg`] — the graph structure with validation and Table 1 statistics,
+//! * [`evaluate`] — a reference interpreter used as a functional oracle,
+//! * [`text`] — a self-contained textual serialisation format,
+//! * [`dot`] — Graphviz export,
+//! * [`benchmarks`] — the paper's 19-benchmark suite (Table 1).
+//!
+//! # Examples
+//!
+//! ```
+//! use cgra_dfg::{benchmarks, Dfg};
+//! let g: Dfg = benchmarks::mac();
+//! let s = g.stats();
+//! assert_eq!((s.ios, s.operations, s.multiplies), (1, 9, 3));
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod benchmarks;
+pub mod dot;
+mod eval;
+mod graph;
+mod op;
+pub mod random;
+pub mod text;
+
+pub use eval::{evaluate, evaluate_ordered, EvalError, Evaluation, Memory};
+pub use graph::{Dfg, DfgError, DfgStats, Edge, EdgeId, Op, OpId};
+pub use op::{OpKind, OpSet, ParseOpKindError, ALL_OP_KINDS};

@@ -1,0 +1,424 @@
+//! The operation set of the data-flow graphs.
+//!
+//! The paper's test architecture performs "RISC-like operations such as
+//! `add`, `mul`, `shl`, etc." (Section 5). We model a small RISC-like
+//! integer operation set plus the pseudo-operations needed by CGRA mapping:
+//! `input`/`output` (I/O pads) and `load`/`store` (row memory ports).
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::str::FromStr;
+
+/// Kind of a data-flow graph operation.
+///
+/// Each kind has a fixed operand arity (see [`OpKind::arity`]) and either
+/// produces one value or none (see [`OpKind::produces_value`]).
+///
+/// # Examples
+///
+/// ```
+/// use cgra_dfg::OpKind;
+/// assert_eq!(OpKind::Add.arity(), 2);
+/// assert!(OpKind::Add.is_commutative());
+/// assert!(!OpKind::Sub.is_commutative());
+/// assert!(!OpKind::Store.produces_value());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum OpKind {
+    /// External input; produces a value and has no operands. Mapped onto
+    /// I/O pads of the architecture.
+    Input,
+    /// External output; consumes one value. Mapped onto I/O pads.
+    Output,
+    /// Compile-time constant; produces a value and has no operands.
+    Const,
+    /// Integer addition (commutative).
+    Add,
+    /// Integer subtraction.
+    Sub,
+    /// Integer multiplication (commutative).
+    Mul,
+    /// Logical shift left; operand 0 is the datum, operand 1 the amount.
+    Shl,
+    /// Logical shift right; operand 0 is the datum, operand 1 the amount.
+    Shr,
+    /// Bitwise AND (commutative).
+    And,
+    /// Bitwise OR (commutative).
+    Or,
+    /// Bitwise XOR (commutative).
+    Xor,
+    /// Memory load; operand 0 is the address; produces the loaded value.
+    /// Mapped onto memory-port functional units.
+    Load,
+    /// Memory store; operand 0 is the address, operand 1 the datum;
+    /// produces no value. Mapped onto memory-port functional units.
+    Store,
+}
+
+/// All operation kinds, in a stable order.
+pub const ALL_OP_KINDS: [OpKind; 13] = [
+    OpKind::Input,
+    OpKind::Output,
+    OpKind::Const,
+    OpKind::Add,
+    OpKind::Sub,
+    OpKind::Mul,
+    OpKind::Shl,
+    OpKind::Shr,
+    OpKind::And,
+    OpKind::Or,
+    OpKind::Xor,
+    OpKind::Load,
+    OpKind::Store,
+];
+
+impl OpKind {
+    /// Number of operands the operation consumes.
+    pub fn arity(self) -> usize {
+        match self {
+            OpKind::Input | OpKind::Const => 0,
+            OpKind::Output | OpKind::Load => 1,
+            OpKind::Add
+            | OpKind::Sub
+            | OpKind::Mul
+            | OpKind::Shl
+            | OpKind::Shr
+            | OpKind::And
+            | OpKind::Or
+            | OpKind::Xor
+            | OpKind::Store => 2,
+        }
+    }
+
+    /// Whether the operation produces a value that downstream operations
+    /// may consume.
+    pub fn produces_value(self) -> bool {
+        !matches!(self, OpKind::Output | OpKind::Store)
+    }
+
+    /// Whether swapping the two operands leaves the result unchanged.
+    ///
+    /// Only meaningful for arity-2 operations; arity 0/1 returns `false`.
+    pub fn is_commutative(self) -> bool {
+        matches!(
+            self,
+            OpKind::Add | OpKind::Mul | OpKind::And | OpKind::Or | OpKind::Xor
+        )
+    }
+
+    /// Whether this is an I/O pseudo-operation (`input` or `output`).
+    pub fn is_io(self) -> bool {
+        matches!(self, OpKind::Input | OpKind::Output)
+    }
+
+    /// Whether this is a memory operation (`load` or `store`).
+    pub fn is_memory(self) -> bool {
+        matches!(self, OpKind::Load | OpKind::Store)
+    }
+
+    /// The canonical lower-case mnemonic, as used in the textual DFG format.
+    pub fn mnemonic(self) -> &'static str {
+        match self {
+            OpKind::Input => "input",
+            OpKind::Output => "output",
+            OpKind::Const => "const",
+            OpKind::Add => "add",
+            OpKind::Sub => "sub",
+            OpKind::Mul => "mul",
+            OpKind::Shl => "shl",
+            OpKind::Shr => "shr",
+            OpKind::And => "and",
+            OpKind::Or => "or",
+            OpKind::Xor => "xor",
+            OpKind::Load => "load",
+            OpKind::Store => "store",
+        }
+    }
+
+    /// Evaluate a binary arithmetic operation on wrapping 32-bit semantics
+    /// (the paper's architectures are 32-bit datapaths).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the kind is not an arity-2 arithmetic/logic operation
+    /// (`Load`/`Store`/`Input`/`Output`/`Const` are evaluated by the
+    /// interpreter, not here).
+    pub fn eval_binary(self, a: i64, b: i64) -> i64 {
+        let (a, b) = (a as i32, b as i32);
+        let r = match self {
+            OpKind::Add => a.wrapping_add(b),
+            OpKind::Sub => a.wrapping_sub(b),
+            OpKind::Mul => a.wrapping_mul(b),
+            OpKind::Shl => a.wrapping_shl(b as u32 & 31),
+            OpKind::Shr => ((a as u32).wrapping_shr(b as u32 & 31)) as i32,
+            OpKind::And => a & b,
+            OpKind::Or => a | b,
+            OpKind::Xor => a ^ b,
+            other => panic!("eval_binary called on non-binary op {other:?}"),
+        };
+        i64::from(r)
+    }
+}
+
+impl fmt::Display for OpKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.mnemonic())
+    }
+}
+
+/// Error returned when parsing an [`OpKind`] mnemonic fails.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseOpKindError {
+    text: String,
+}
+
+impl fmt::Display for ParseOpKindError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "unknown operation mnemonic `{}`", self.text)
+    }
+}
+
+impl std::error::Error for ParseOpKindError {}
+
+impl FromStr for OpKind {
+    type Err = ParseOpKindError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        ALL_OP_KINDS
+            .iter()
+            .copied()
+            .find(|k| k.mnemonic() == s)
+            .ok_or_else(|| ParseOpKindError { text: s.to_owned() })
+    }
+}
+
+/// A set of [`OpKind`]s, stored as a bitmask.
+///
+/// Used to describe which operations a functional unit supports
+/// (`SupportedOps(p)` in the paper's constraint (3)).
+///
+/// # Examples
+///
+/// ```
+/// use cgra_dfg::{OpKind, OpSet};
+/// let alu = OpSet::from_iter([OpKind::Add, OpKind::Sub]);
+/// assert!(alu.contains(OpKind::Add));
+/// assert!(!alu.contains(OpKind::Mul));
+/// assert_eq!(alu.len(), 2);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub struct OpSet {
+    bits: u16,
+}
+
+impl OpSet {
+    /// The empty set.
+    pub const EMPTY: OpSet = OpSet { bits: 0 };
+
+    /// Creates an empty set.
+    pub fn new() -> Self {
+        Self::EMPTY
+    }
+
+    fn bit(kind: OpKind) -> u16 {
+        let idx = ALL_OP_KINDS
+            .iter()
+            .position(|k| *k == kind)
+            .expect("kind present in ALL_OP_KINDS");
+        1 << idx
+    }
+
+    /// Adds a kind to the set. Returns `true` if it was newly inserted.
+    pub fn insert(&mut self, kind: OpKind) -> bool {
+        let b = Self::bit(kind);
+        let newly = self.bits & b == 0;
+        self.bits |= b;
+        newly
+    }
+
+    /// Removes a kind from the set. Returns `true` if it was present.
+    pub fn remove(&mut self, kind: OpKind) -> bool {
+        let b = Self::bit(kind);
+        let present = self.bits & b != 0;
+        self.bits &= !b;
+        present
+    }
+
+    /// Whether the set contains `kind`.
+    pub fn contains(self, kind: OpKind) -> bool {
+        self.bits & Self::bit(kind) != 0
+    }
+
+    /// Number of kinds in the set.
+    pub fn len(self) -> usize {
+        self.bits.count_ones() as usize
+    }
+
+    /// Whether the set is empty.
+    pub fn is_empty(self) -> bool {
+        self.bits == 0
+    }
+
+    /// Union of two sets.
+    pub fn union(self, other: OpSet) -> OpSet {
+        OpSet {
+            bits: self.bits | other.bits,
+        }
+    }
+
+    /// Intersection of two sets.
+    pub fn intersection(self, other: OpSet) -> OpSet {
+        OpSet {
+            bits: self.bits & other.bits,
+        }
+    }
+
+    /// Iterates over the kinds in the set in stable order.
+    pub fn iter(self) -> impl Iterator<Item = OpKind> {
+        ALL_OP_KINDS.into_iter().filter(move |k| self.contains(*k))
+    }
+}
+
+impl FromIterator<OpKind> for OpSet {
+    fn from_iter<T: IntoIterator<Item = OpKind>>(iter: T) -> Self {
+        let mut s = OpSet::new();
+        for k in iter {
+            s.insert(k);
+        }
+        s
+    }
+}
+
+impl Extend<OpKind> for OpSet {
+    fn extend<T: IntoIterator<Item = OpKind>>(&mut self, iter: T) {
+        for k in iter {
+            self.insert(k);
+        }
+    }
+}
+
+impl fmt::Display for OpSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{{")?;
+        for (i, k) in self.iter().enumerate() {
+            if i > 0 {
+                write!(f, ",")?;
+            }
+            write!(f, "{k}")?;
+        }
+        write!(f, "}}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arity_matches_kind() {
+        assert_eq!(OpKind::Input.arity(), 0);
+        assert_eq!(OpKind::Const.arity(), 0);
+        assert_eq!(OpKind::Output.arity(), 1);
+        assert_eq!(OpKind::Load.arity(), 1);
+        for k in [
+            OpKind::Add,
+            OpKind::Sub,
+            OpKind::Mul,
+            OpKind::Shl,
+            OpKind::Shr,
+            OpKind::And,
+            OpKind::Or,
+            OpKind::Xor,
+            OpKind::Store,
+        ] {
+            assert_eq!(k.arity(), 2, "{k}");
+        }
+    }
+
+    #[test]
+    fn produces_value() {
+        assert!(OpKind::Input.produces_value());
+        assert!(OpKind::Load.produces_value());
+        assert!(!OpKind::Output.produces_value());
+        assert!(!OpKind::Store.produces_value());
+    }
+
+    #[test]
+    fn commutativity() {
+        assert!(OpKind::Add.is_commutative());
+        assert!(OpKind::Mul.is_commutative());
+        assert!(OpKind::Xor.is_commutative());
+        assert!(!OpKind::Sub.is_commutative());
+        assert!(!OpKind::Shl.is_commutative());
+        assert!(!OpKind::Store.is_commutative());
+    }
+
+    #[test]
+    fn mnemonic_roundtrip() {
+        for k in ALL_OP_KINDS {
+            let parsed: OpKind = k.mnemonic().parse().expect("parse mnemonic");
+            assert_eq!(parsed, k);
+        }
+        assert!("frobnicate".parse::<OpKind>().is_err());
+    }
+
+    #[test]
+    fn eval_binary_semantics() {
+        assert_eq!(OpKind::Add.eval_binary(2, 3), 5);
+        assert_eq!(OpKind::Sub.eval_binary(2, 3), -1);
+        assert_eq!(OpKind::Mul.eval_binary(-4, 3), -12);
+        assert_eq!(OpKind::Shl.eval_binary(1, 4), 16);
+        assert_eq!(OpKind::Shr.eval_binary(16, 4), 1);
+        assert_eq!(OpKind::And.eval_binary(0b1100, 0b1010), 0b1000);
+        assert_eq!(OpKind::Or.eval_binary(0b1100, 0b1010), 0b1110);
+        assert_eq!(OpKind::Xor.eval_binary(0b1100, 0b1010), 0b0110);
+    }
+
+    #[test]
+    fn eval_binary_wraps_at_32_bits() {
+        assert_eq!(
+            OpKind::Add.eval_binary(i64::from(i32::MAX), 1),
+            i64::from(i32::MIN)
+        );
+        // Shift amounts are masked to 5 bits like common RISC ISAs.
+        assert_eq!(OpKind::Shl.eval_binary(1, 32), 1);
+    }
+
+    #[test]
+    fn opset_basics() {
+        let mut s = OpSet::new();
+        assert!(s.is_empty());
+        assert!(s.insert(OpKind::Add));
+        assert!(!s.insert(OpKind::Add));
+        s.insert(OpKind::Mul);
+        assert_eq!(s.len(), 2);
+        assert!(s.contains(OpKind::Mul));
+        assert!(s.remove(OpKind::Mul));
+        assert!(!s.remove(OpKind::Mul));
+        assert_eq!(s.len(), 1);
+    }
+
+    #[test]
+    fn opset_union_intersection() {
+        let a = OpSet::from_iter([OpKind::Add, OpKind::Sub]);
+        let b = OpSet::from_iter([OpKind::Sub, OpKind::Mul]);
+        assert_eq!(a.union(b).len(), 3);
+        let i = a.intersection(b);
+        assert_eq!(i.len(), 1);
+        assert!(i.contains(OpKind::Sub));
+    }
+
+    #[test]
+    fn opset_iter_stable_order() {
+        let s = OpSet::from_iter([OpKind::Mul, OpKind::Input, OpKind::Store]);
+        let v: Vec<_> = s.iter().collect();
+        assert_eq!(v, vec![OpKind::Input, OpKind::Mul, OpKind::Store]);
+    }
+
+    #[test]
+    fn opset_display() {
+        let s = OpSet::from_iter([OpKind::Add, OpKind::Mul]);
+        assert_eq!(s.to_string(), "{add,mul}");
+    }
+}

@@ -1,0 +1,250 @@
+//! A small line-oriented textual format for data-flow graphs.
+//!
+//! CGRA-ME ingests LLVM-compiled DFGs; this repository uses a
+//! self-contained text format instead so benchmarks can be stored, diffed
+//! and hand-written without an LLVM dependency:
+//!
+//! ```text
+//! dfg accum
+//! # operations
+//! op a input
+//! op k const 42
+//! op s add
+//! op o output
+//! # edges: <src> -> <dst> <operand-index>
+//! edge a -> s 0
+//! edge k -> s 1
+//! edge s -> o 0
+//! ```
+
+use crate::graph::{Dfg, DfgError};
+use crate::op::OpKind;
+use std::fmt;
+
+/// Errors returned by [`parse`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ParseDfgError {
+    /// A line could not be parsed.
+    Syntax {
+        /// 1-based line number.
+        line: usize,
+        /// Human-readable description.
+        message: String,
+    },
+    /// The parsed structure violated a graph invariant.
+    Graph(DfgError),
+    /// The input was missing the leading `dfg <name>` header.
+    MissingHeader,
+}
+
+impl fmt::Display for ParseDfgError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ParseDfgError::Syntax { line, message } => {
+                write!(f, "line {line}: {message}")
+            }
+            ParseDfgError::Graph(e) => write!(f, "graph error: {e}"),
+            ParseDfgError::MissingHeader => write!(f, "missing `dfg <name>` header"),
+        }
+    }
+}
+
+impl std::error::Error for ParseDfgError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ParseDfgError::Graph(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<DfgError> for ParseDfgError {
+    fn from(e: DfgError) -> Self {
+        ParseDfgError::Graph(e)
+    }
+}
+
+/// Serialises a DFG to the textual format.
+///
+/// The output parses back to an identical graph via [`parse`].
+pub fn print(dfg: &Dfg) -> String {
+    let mut out = String::new();
+    out.push_str(&format!("dfg {}\n", dfg.name()));
+    for op in dfg.ops() {
+        match op.kind {
+            OpKind::Const => {
+                out.push_str(&format!(
+                    "op {} const {}\n",
+                    op.name,
+                    op.constant.unwrap_or(0)
+                ));
+            }
+            k => out.push_str(&format!("op {} {}\n", op.name, k.mnemonic())),
+        }
+    }
+    for e in dfg.edges() {
+        let src = &dfg.ops()[e.src.index()].name;
+        let dst = &dfg.ops()[e.dst.index()].name;
+        out.push_str(&format!("edge {} -> {} {}\n", src, dst, e.operand));
+    }
+    out
+}
+
+/// Parses the textual format produced by [`print()`](fn@print).
+///
+/// Blank lines and `#` comments are ignored.
+///
+/// # Errors
+///
+/// Returns a [`ParseDfgError`] describing the first offending line or graph
+/// invariant violation.
+///
+/// # Examples
+///
+/// ```
+/// let g = cgra_dfg::text::parse("dfg t\nop a input\nop o output\nedge a -> o 0\n")?;
+/// assert_eq!(g.name(), "t");
+/// assert_eq!(g.op_count(), 2);
+/// # Ok::<(), cgra_dfg::text::ParseDfgError>(())
+/// ```
+pub fn parse(text: &str) -> Result<Dfg, ParseDfgError> {
+    let mut dfg: Option<Dfg> = None;
+    for (lineno, raw) in text.lines().enumerate() {
+        let line = raw.split('#').next().unwrap_or("").trim();
+        if line.is_empty() {
+            continue;
+        }
+        let lineno = lineno + 1;
+        let syntax = |message: String| ParseDfgError::Syntax {
+            line: lineno,
+            message,
+        };
+        let mut tokens = line.split_whitespace();
+        let head = tokens.next().expect("non-empty line has a token");
+        match head {
+            "dfg" => {
+                let name = tokens
+                    .next()
+                    .ok_or_else(|| syntax("expected graph name after `dfg`".into()))?;
+                if dfg.is_some() {
+                    return Err(syntax("duplicate `dfg` header".into()));
+                }
+                dfg = Some(Dfg::new(name));
+            }
+            "op" => {
+                let g = dfg.as_mut().ok_or(ParseDfgError::MissingHeader)?;
+                let name = tokens
+                    .next()
+                    .ok_or_else(|| syntax("expected operation name".into()))?;
+                let kind_tok = tokens
+                    .next()
+                    .ok_or_else(|| syntax("expected operation kind".into()))?;
+                let kind: OpKind = kind_tok.parse().map_err(|e| syntax(format!("{e}")))?;
+                if kind == OpKind::Const {
+                    let val: i64 = tokens
+                        .next()
+                        .ok_or_else(|| syntax("expected const payload".into()))?
+                        .parse()
+                        .map_err(|e| syntax(format!("bad const payload: {e}")))?;
+                    g.add_const(name, val)?;
+                } else {
+                    g.add_op(name, kind)?;
+                }
+            }
+            "edge" => {
+                let g = dfg.as_mut().ok_or(ParseDfgError::MissingHeader)?;
+                let src = tokens
+                    .next()
+                    .ok_or_else(|| syntax("expected edge source".into()))?;
+                let arrow = tokens
+                    .next()
+                    .ok_or_else(|| syntax("expected `->`".into()))?;
+                if arrow != "->" {
+                    return Err(syntax(format!("expected `->`, found `{arrow}`")));
+                }
+                let dst = tokens
+                    .next()
+                    .ok_or_else(|| syntax("expected edge destination".into()))?;
+                let operand: u8 = tokens
+                    .next()
+                    .ok_or_else(|| syntax("expected operand index".into()))?
+                    .parse()
+                    .map_err(|e| syntax(format!("bad operand index: {e}")))?;
+                let s = g
+                    .op_by_name(src)
+                    .ok_or_else(|| syntax(format!("unknown operation `{src}`")))?;
+                let d = g
+                    .op_by_name(dst)
+                    .ok_or_else(|| syntax(format!("unknown operation `{dst}`")))?;
+                g.connect(s, d, operand)?;
+            }
+            other => {
+                return Err(syntax(format!("unknown directive `{other}`")));
+            }
+        }
+        if tokens.next().is_some() {
+            return Err(ParseDfgError::Syntax {
+                line: lineno,
+                message: "trailing tokens".into(),
+            });
+        }
+    }
+    dfg.ok_or(ParseDfgError::MissingHeader)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::benchmarks;
+
+    #[test]
+    fn roundtrip_all_benchmarks() {
+        for entry in benchmarks::all() {
+            let g = (entry.build)();
+            let text = print(&g);
+            let g2 = parse(&text).expect("roundtrip parse");
+            assert_eq!(g, g2, "roundtrip mismatch for {}", entry.name);
+        }
+    }
+
+    #[test]
+    fn comments_and_blanks_ignored() {
+        let g = parse("\n# hi\ndfg t # trailing\n\nop a input\nop o output # out\nedge a -> o 0\n")
+            .unwrap();
+        assert_eq!(g.op_count(), 2);
+    }
+
+    #[test]
+    fn missing_header_rejected() {
+        assert!(matches!(
+            parse("op a input\n"),
+            Err(ParseDfgError::MissingHeader)
+        ));
+    }
+
+    #[test]
+    fn bad_arrow_rejected() {
+        let err = parse("dfg t\nop a input\nop o output\nedge a => o 0\n").unwrap_err();
+        assert!(matches!(err, ParseDfgError::Syntax { line: 4, .. }));
+    }
+
+    #[test]
+    fn unknown_op_name_in_edge() {
+        let err = parse("dfg t\nop a input\nedge a -> nope 0\n").unwrap_err();
+        assert!(matches!(err, ParseDfgError::Syntax { line: 3, .. }));
+    }
+
+    #[test]
+    fn const_payload_roundtrip() {
+        let text = "dfg t\nop k const -9\nop o output\nedge k -> o 0\n";
+        let g = parse(text).unwrap();
+        assert_eq!(g.ops()[0].constant, Some(-9));
+        assert_eq!(print(&g), text);
+    }
+
+    #[test]
+    fn trailing_tokens_rejected() {
+        assert!(parse("dfg t extra_stuff\n").is_err());
+        assert!(parse("dfg t\nop a input junk\n").is_err());
+    }
+}

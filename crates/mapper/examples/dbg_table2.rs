@@ -1,0 +1,32 @@
+use cgra_arch::families::paper_configs;
+use cgra_dfg::benchmarks;
+use cgra_mapper::*;
+use cgra_mrrg::build_mrrg;
+use std::time::Duration;
+
+fn main() {
+    let names: Vec<String> = std::env::args().skip(1).collect();
+    let configs = paper_configs();
+    for name in &names {
+        let entry = benchmarks::by_name(name).expect("benchmark");
+        let dfg = (entry.build)();
+        print!("{:14}", name);
+        for cfg in &configs {
+            let mrrg = build_mrrg(&cfg.arch, cfg.contexts);
+            let r = IlpMapper::new(MapperOptions {
+                time_limit: Some(Duration::from_secs(60)),
+                warm_start: true,
+                ..Default::default()
+            })
+            .map(&dfg, &mrrg);
+            print!(
+                " {}({:>5.1}s)",
+                r.outcome.table_symbol(),
+                r.elapsed.as_secs_f64()
+            );
+            use std::io::Write;
+            std::io::stdout().flush().unwrap();
+        }
+        println!();
+    }
+}

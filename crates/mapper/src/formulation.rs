@@ -1,0 +1,819 @@
+//! The paper's ILP formulation (Section 4), built over a DFG x MRRG pair.
+//!
+//! Variables (paper Section 4.1):
+//!
+//! * `F[p][q]` — functional-unit node `p` hosts operation `q`;
+//! * `R[i][j]` — routing node `i` carries value `j`;
+//! * `Rs[e][i]` — routing node `i` carries value `j` on its way to sink
+//!   `k` (we index sink-specific variables by the DFG edge `e`, which *is*
+//!   the paper's sub-value: one source-to-sink connection).
+//!
+//! Constraints (paper Section 4.2): Operation Placement (1), Functional
+//! Unit Exclusivity (2), Functional Unit Legality (3, by variable
+//! omission), Route Exclusivity (4), Fanout Routing (5), Implied Placement
+//! (6), Initial Fanout (7), Routing Resource Usage (8), Multiplexer Input
+//! Exclusivity (9) and the routing-resource-minimisation objective (10).
+//!
+//! Two practical refinements that leave the formulation's meaning intact:
+//!
+//! * **Reachability pruning** — `Rs[e][i]` variables are only created for
+//!   nodes forward-reachable from some legal source of the value *and*
+//!   backward-reachable from the sink's legal termination ports. Pruned
+//!   variables are implicitly zero.
+//! * **Matching presolve** — a maximum bipartite matching between
+//!   operations and compatible slots detects capacity infeasibility
+//!   (e.g. 13 multiplies onto 8 multiplier-capable ALUs) without entering
+//!   search; a commercial solver gets this from its LP relaxation.
+//!
+//! Commutative operations optionally receive one *swap* variable that
+//! exchanges their two physical operand ports.
+
+use crate::mapping::{expected_port, Mapping};
+use crate::options::MapperOptions;
+use bilp::{Assignment, LinExpr, Model, Var};
+use cgra_dfg::{Dfg, EdgeId, OpId, OpKind};
+use cgra_mrrg::{Mrrg, NodeId, NodeKind};
+use std::collections::{BTreeMap, HashMap, VecDeque};
+use std::fmt;
+
+/// Reasons a formulation cannot be built (each implies the instance is
+/// infeasible before search).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BuildInfeasible {
+    /// An operation has no compatible functional-unit slot at all.
+    NoCompatibleSlot {
+        /// The operation name.
+        op: String,
+        /// The operation kind.
+        kind: OpKind,
+    },
+    /// Operations outnumber compatible slots (no injective placement
+    /// exists, by maximum bipartite matching).
+    CapacityExceeded {
+        /// Size of the maximum operation-to-slot matching found.
+        matched: usize,
+        /// Number of operations that need slots.
+        ops: usize,
+    },
+    /// Some sink of a value cannot be reached from any legal source.
+    UnroutableSink {
+        /// Source operation name.
+        from: String,
+        /// Destination operation name.
+        to: String,
+    },
+}
+
+impl fmt::Display for BuildInfeasible {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BuildInfeasible::NoCompatibleSlot { op, kind } => {
+                write!(
+                    f,
+                    "operation `{op}` ({kind}) has no compatible functional unit"
+                )
+            }
+            BuildInfeasible::CapacityExceeded { matched, ops } => {
+                write!(
+                    f,
+                    "only {matched} of {ops} operations can obtain distinct slots"
+                )
+            }
+            BuildInfeasible::UnroutableSink { from, to } => {
+                write!(f, "no route can exist for edge {from}->{to}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for BuildInfeasible {}
+
+/// Errors from [`Formulation::try_decode`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DecodeError {
+    /// A sub-value's used routing nodes never reach its sink (only
+    /// possible when constraint (9) is ablated — the paper's Example 2
+    /// failure mode).
+    NoTermination {
+        /// Source operation name.
+        from: String,
+        /// Destination operation name.
+        to: String,
+    },
+}
+
+impl fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DecodeError::NoTermination { from, to } => {
+                write!(f, "routing for {from}->{to} never reaches its sink")
+            }
+        }
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+/// Size statistics of a built formulation.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FormulationStats {
+    /// Placement variables `F`.
+    pub f_vars: usize,
+    /// Sink-agnostic routing variables `R`.
+    pub r_vars: usize,
+    /// Sink-specific routing variables (the paper's `R_{i,j,k}`).
+    pub rs_vars: usize,
+    /// Commutative swap variables.
+    pub swap_vars: usize,
+    /// Total constraints in the model.
+    pub constraints: usize,
+}
+
+/// A built ILP formulation, ready to be solved and decoded.
+#[derive(Debug)]
+pub struct Formulation {
+    model: Model,
+    /// `F[p][q]`, keyed by (function node, op).
+    f: HashMap<(NodeId, OpId), Var>,
+    /// Compatible slots per op (after pruning).
+    slots: BTreeMap<OpId, Vec<NodeId>>,
+    /// `R[i][j]`, keyed by (route node, value-producing op).
+    r: HashMap<(NodeId, OpId), Var>,
+    /// `Rs[e][i]`, keyed by (edge, route node).
+    rs: HashMap<(EdgeId, NodeId), Var>,
+    /// Swap variable per commutative destination op.
+    swap: HashMap<OpId, Var>,
+    options: MapperOptions,
+}
+
+impl Formulation {
+    /// Builds the formulation.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BuildInfeasible`] when the instance is provably
+    /// infeasible before search (no slot, capacity, or no possible route).
+    pub fn build(
+        dfg: &Dfg,
+        mrrg: &Mrrg,
+        options: MapperOptions,
+    ) -> Result<Formulation, BuildInfeasible> {
+        let mut model = Model::new();
+
+        // ---- Compatible slots (constraint (3) by omission) -------------
+        let mut slots: BTreeMap<OpId, Vec<NodeId>> = BTreeMap::new();
+        for q in dfg.op_ids() {
+            let kind = dfg.ops()[q.index()].kind;
+            let compatible: Vec<NodeId> = mrrg
+                .function_nodes()
+                .filter(|&p| match &mrrg.nodes()[p.index()].kind {
+                    NodeKind::Function { ops } => ops.contains(kind),
+                    _ => false,
+                })
+                .collect();
+            if compatible.is_empty() {
+                return Err(BuildInfeasible::NoCompatibleSlot {
+                    op: dfg.ops()[q.index()].name.clone(),
+                    kind,
+                });
+            }
+            slots.insert(q, compatible);
+        }
+
+        // ---- Matching presolve ------------------------------------------
+        if options.redundant_capacity {
+            let matched = max_matching(dfg, &slots);
+            if matched < dfg.op_count() {
+                return Err(BuildInfeasible::CapacityExceeded {
+                    matched,
+                    ops: dfg.op_count(),
+                });
+            }
+        }
+
+        // ---- Reachability pruning ---------------------------------------
+        // Forward-reachable sets per value, backward-reachable per edge.
+        let n_nodes = mrrg.node_count();
+        let mut cand_edge: BTreeMap<EdgeId, Vec<bool>> = BTreeMap::new();
+        let mut term_ports: BTreeMap<EdgeId, Vec<(NodeId, NodeId, u8)>> = BTreeMap::new();
+
+        for j in dfg.value_producers().collect::<Vec<_>>() {
+            // Sources: route fanouts of every compatible slot of j.
+            let mut forward = vec![false; n_nodes];
+            let mut queue = VecDeque::new();
+            for &p in &slots[&j] {
+                for &i in mrrg.fanouts(p) {
+                    if mrrg.nodes()[i.index()].kind.is_route() && !forward[i.index()] {
+                        forward[i.index()] = true;
+                        queue.push_back(i);
+                    }
+                }
+            }
+            while let Some(i) = queue.pop_front() {
+                for &m in mrrg.fanouts(i) {
+                    if mrrg.nodes()[m.index()].kind.is_route() && !forward[m.index()] {
+                        forward[m.index()] = true;
+                        queue.push_back(m);
+                    }
+                }
+            }
+
+            for &e in dfg.fanout(j) {
+                let edge = dfg.edges()[e.index()];
+                let dst_kind = dfg.ops()[edge.dst.index()].kind;
+                // Termination ports: operand nodes of compatible units
+                // whose tag matches the operand (or either port for a
+                // commutative op with swapping enabled).
+                let mut terms: Vec<(NodeId, NodeId, u8)> = Vec::new();
+                for &p in &slots[&edge.dst] {
+                    for &i in mrrg.fanins(p) {
+                        if let NodeKind::Route { operand: Some(t) } = mrrg.nodes()[i.index()].kind {
+                            let matches = t == edge.operand
+                                || (options.commutativity
+                                    && dst_kind.is_commutative()
+                                    && dst_kind.arity() == 2);
+                            if matches {
+                                terms.push((i, p, t));
+                            }
+                        }
+                    }
+                }
+                // Backward reachability from termination ports.
+                let mut backward = vec![false; n_nodes];
+                let mut queue = VecDeque::new();
+                for &(i, _, _) in &terms {
+                    if !backward[i.index()] {
+                        backward[i.index()] = true;
+                        queue.push_back(i);
+                    }
+                }
+                while let Some(i) = queue.pop_front() {
+                    for &m in mrrg.fanins(i) {
+                        if mrrg.nodes()[m.index()].kind.is_route() && !backward[m.index()] {
+                            backward[m.index()] = true;
+                            queue.push_back(m);
+                        }
+                    }
+                }
+                let cand: Vec<bool> = (0..n_nodes).map(|i| forward[i] && backward[i]).collect();
+                if !cand.iter().any(|&b| b) {
+                    return Err(BuildInfeasible::UnroutableSink {
+                        from: dfg.ops()[edge.src.index()].name.clone(),
+                        to: dfg.ops()[edge.dst.index()].name.clone(),
+                    });
+                }
+                cand_edge.insert(e, cand);
+                term_ports.insert(e, terms);
+            }
+        }
+
+        // ---- Slot filtering from (7): a slot whose output cannot reach
+        //      some sink of its value cannot host the producing op --------
+        let mut slot_filtered = slots.clone();
+        for (q, slot_list) in slot_filtered.iter_mut() {
+            let sinks: Vec<EdgeId> = dfg.fanout(*q).to_vec();
+            if sinks.is_empty() {
+                continue;
+            }
+            slot_list.retain(|&p| {
+                // A producing op needs somewhere for its value to go: a
+                // slot must have at least one (route) fanout, and every
+                // fanout must be able to reach every sink (constraint (7)
+                // forces all of them to carry the value).
+                !mrrg.fanouts(p).is_empty()
+                    && mrrg
+                        .fanouts(p)
+                        .iter()
+                        .all(|&i| sinks.iter().all(|e| cand_edge[e][i.index()]))
+            });
+            if slot_list.is_empty() {
+                return Err(BuildInfeasible::UnroutableSink {
+                    from: dfg.ops()[q.index()].name.clone(),
+                    to: "any sink".into(),
+                });
+            }
+        }
+        let slots = slot_filtered;
+
+        // ---- Variables ---------------------------------------------------
+        let mut f: HashMap<(NodeId, OpId), Var> = HashMap::new();
+        for (q, ps) in &slots {
+            for &p in ps {
+                let v = model.new_var();
+                // Decide placements first, and positively: assigning an op
+                // to a slot drives routing by propagation, whereas the
+                // default negative phase only discovers placements through
+                // conflicts on the exactly-one constraints.
+                model.suggest_branch(v, 1.0, true);
+                f.insert((p, *q), v);
+            }
+        }
+        let mut rs: HashMap<(EdgeId, NodeId), Var> = HashMap::new();
+        let mut cand_value: HashMap<OpId, Vec<bool>> = HashMap::new();
+        for (e, cand) in &cand_edge {
+            let j = dfg.edges()[e.index()].src;
+            let mask = cand_value.entry(j).or_insert_with(|| vec![false; n_nodes]);
+            for (idx, &c) in cand.iter().enumerate() {
+                if c {
+                    mask[idx] = true;
+                    rs.entry((*e, NodeId(idx as u32)))
+                        .or_insert_with(|| model.new_var());
+                }
+            }
+        }
+        let mut r: HashMap<(NodeId, OpId), Var> = HashMap::new();
+        for (j, mask) in &cand_value {
+            for (idx, &c) in mask.iter().enumerate() {
+                if c {
+                    r.insert((NodeId(idx as u32), *j), model.new_var());
+                }
+            }
+        }
+        let mut swap: HashMap<OpId, Var> = HashMap::new();
+        if options.commutativity {
+            for q in dfg.op_ids() {
+                let kind = dfg.ops()[q.index()].kind;
+                if kind.is_commutative() && kind.arity() == 2 {
+                    swap.insert(q, model.new_var());
+                }
+            }
+        }
+
+        // ---- (1) Operation Placement ------------------------------------
+        for (q, ps) in &slots {
+            model.add_exactly_one(ps.iter().map(|&p| f[&(p, *q)]));
+        }
+
+        // ---- (2) Functional Unit Exclusivity ----------------------------
+        {
+            let mut by_slot: HashMap<NodeId, Vec<Var>> = HashMap::new();
+            for ((p, _q), v) in &f {
+                by_slot.entry(*p).or_default().push(*v);
+            }
+            for (_p, vars) in by_slot {
+                if vars.len() > 1 {
+                    model.add_at_most_one(vars);
+                }
+            }
+        }
+
+        // ---- (4) Route Exclusivity --------------------------------------
+        {
+            let mut by_node: HashMap<NodeId, Vec<Var>> = HashMap::new();
+            for ((i, _j), v) in &r {
+                by_node.entry(*i).or_default().push(*v);
+            }
+            for (_i, vars) in by_node {
+                if vars.len() > 1 {
+                    model.add_at_most_one(vars);
+                }
+            }
+        }
+
+        // ---- (5) Fanout Routing & (6) Implied Placement ------------------
+        for (e, cand) in &cand_edge {
+            let edge = dfg.edges()[e.index()];
+            let dst = edge.dst;
+            // Termination lookup: operand node -> (unit, tag).
+            let mut term_at: HashMap<NodeId, Vec<(NodeId, u8)>> = HashMap::new();
+            for &(i, p, t) in &term_ports[e] {
+                term_at.entry(i).or_default().push((p, t));
+            }
+            for (idx, &c) in cand.iter().enumerate() {
+                if !c {
+                    continue;
+                }
+                let i = NodeId(idx as u32);
+                let rs_i = rs[&(*e, i)];
+                // (5): continue through a used route fanout or terminate.
+                let mut clause = vec![!rs_i.lit()];
+                for &m in mrrg.fanouts(i) {
+                    if mrrg.nodes()[m.index()].kind.is_route() && cand[m.index()] {
+                        clause.push(rs[&(*e, m)].lit());
+                    }
+                }
+                if let Some(terms) = term_at.get(&i) {
+                    for &(p, _t) in terms {
+                        clause.push(f[&(p, dst)].lit());
+                    }
+                }
+                model.add_clause(clause);
+                // (6): terminating at p's operand implies placing dst on p,
+                // with swap consistency on commutative operations.
+                if let Some(terms) = term_at.get(&i) {
+                    for &(p, t) in terms {
+                        model.add_implies(rs_i.lit(), f[&(p, dst)].lit());
+                        if let Some(&s) = swap.get(&dst) {
+                            if t == edge.operand {
+                                model.add_implies(rs_i.lit(), !s.lit());
+                            } else {
+                                model.add_implies(rs_i.lit(), s.lit());
+                            }
+                        }
+                    }
+                }
+            }
+        }
+
+        // ---- (7) Initial Fanout ------------------------------------------
+        for (q, ps) in &slots {
+            for &e in dfg.fanout(*q) {
+                for &p in ps {
+                    let fv = f[&(p, *q)];
+                    for &i in mrrg.fanouts(p) {
+                        let rv = rs[&(e, i)]; // guaranteed by slot filtering
+                        model.add_implies(fv.lit(), rv.lit());
+                        model.add_implies(rv.lit(), fv.lit());
+                    }
+                }
+            }
+        }
+
+        // ---- (8) Routing Resource Usage ----------------------------------
+        for ((e, i), &rs_v) in &rs {
+            let j = dfg.edges()[e.index()].src;
+            model.add_implies(rs_v.lit(), r[&(*i, j)].lit());
+        }
+
+        // ---- (9) Multiplexer Input Exclusivity ---------------------------
+        for (j, mask) in cand_value.iter().filter(|_| options.mux_exclusivity) {
+            for (idx, &c) in mask.iter().enumerate() {
+                if !c {
+                    continue;
+                }
+                let i = NodeId(idx as u32);
+                let fanins = mrrg.fanins(i);
+                if fanins.len() <= 1 {
+                    continue;
+                }
+                debug_assert!(
+                    fanins
+                        .iter()
+                        .all(|&m| mrrg.nodes()[m.index()].kind.is_route()),
+                    "multi-fanin nodes are multiplexing points over routes"
+                );
+                let mut expr = LinExpr::new();
+                expr.add_term(-1, r[&(i, *j)]);
+                for &m in fanins {
+                    if mask[m.index()] {
+                        if let Some(&rv) = r.get(&(m, *j)) {
+                            expr.add_term(1, rv);
+                        }
+                    }
+                }
+                model.add_eq(expr, 0);
+            }
+        }
+
+        // ---- (10) Objective ----------------------------------------------
+        if options.optimize {
+            let mut obj = LinExpr::new();
+            for ((i, _j), &v) in &r {
+                let cost = options.objective.cost_of(mrrg.nodes()[i.index()].role);
+                if cost != 0 {
+                    obj.add_term(cost, v);
+                }
+            }
+            model.minimize(obj);
+        }
+
+        Ok(Formulation {
+            model,
+            f,
+            slots,
+            r,
+            rs,
+            swap,
+            options,
+        })
+    }
+
+    /// The underlying ILP model.
+    pub fn model(&self) -> &Model {
+        &self.model
+    }
+
+    /// Registers a known-good mapping as solver branch hints (a MIP
+    /// start): the variables the mapping sets are decided first and
+    /// positively, so the solver reconstructs the solution immediately and
+    /// then, when optimising, improves on it. Hints never change verdicts.
+    pub fn warm_start(&mut self, dfg: &Dfg, mapping: &Mapping) {
+        for (q, p) in &mapping.placement {
+            if let Some(&v) = self.f.get(&(*p, *q)) {
+                self.model.suggest_branch(v, 3.0, true);
+            }
+        }
+        for (e, path) in &mapping.routes {
+            let j = dfg.edges()[e.index()].src;
+            for &i in path {
+                if let Some(&v) = self.rs.get(&(*e, i)) {
+                    self.model.suggest_branch(v, 2.0, true);
+                }
+                if let Some(&v) = self.r.get(&(i, j)) {
+                    self.model.suggest_branch(v, 2.0, true);
+                }
+            }
+        }
+        for (q, s) in &self.swap {
+            let swapped = mapping.swapped.contains(q);
+            self.model.suggest_branch(*s, 2.0, swapped);
+        }
+    }
+
+    /// Size statistics.
+    pub fn stats(&self) -> FormulationStats {
+        FormulationStats {
+            f_vars: self.f.len(),
+            r_vars: self.r.len(),
+            rs_vars: self.rs.len(),
+            swap_vars: self.swap.len(),
+            constraints: self.model.constraints().len(),
+        }
+    }
+
+    /// The mapper options this formulation was built with.
+    pub fn options(&self) -> MapperOptions {
+        self.options
+    }
+
+    /// Decodes a satisfying assignment into a [`Mapping`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the assignment does not actually satisfy the full
+    /// formulation (cannot happen for assignments the solver returns for
+    /// an un-ablated model; see [`Formulation::try_decode`]).
+    pub fn decode(&self, dfg: &Dfg, mrrg: &Mrrg, solution: &Assignment) -> Mapping {
+        self.try_decode(dfg, mrrg, solution)
+            .unwrap_or_else(|e| panic!("constraints (5)-(7)+(9) connect source to sink: {e}"))
+    }
+
+    /// Fallible decoding: returns an error when a sub-value's used routing
+    /// nodes do not actually connect its source to its sink. With the full
+    /// constraint set this cannot happen; it *does* happen when the
+    /// Multiplexer Input Exclusivity constraint (9) is ablated, exactly as
+    /// the paper's Example 2 predicts.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DecodeError::NoTermination`] naming the offending edge.
+    pub fn try_decode(
+        &self,
+        dfg: &Dfg,
+        mrrg: &Mrrg,
+        solution: &Assignment,
+    ) -> Result<Mapping, DecodeError> {
+        let mut mapping = Mapping::new();
+        for (q, ps) in &self.slots {
+            let p = ps
+                .iter()
+                .copied()
+                .find(|&p| solution.value(self.f[&(p, *q)]))
+                .expect("constraint (1) places every operation");
+            mapping.placement.insert(*q, p);
+        }
+        for (q, s) in &self.swap {
+            if solution.value(*s) {
+                mapping.swapped.insert(*q);
+            }
+        }
+        for e in dfg.edge_ids() {
+            let edge = dfg.edges()[e.index()];
+            let src_fu = mapping.placement[&edge.src];
+            let dst_fu = mapping.placement[&edge.dst];
+            let dst_kind = dfg.ops()[edge.dst.index()].kind;
+            let want_tag =
+                expected_port(dst_kind, edge.operand, mapping.swapped.contains(&edge.dst));
+            // Walk the used sub-value nodes from the source output to the
+            // termination port (spurious used nodes, e.g. optimisation-free
+            // islands, are simply never visited).
+            let used = |i: NodeId| self.rs.get(&(e, i)).is_some_and(|v| solution.value(*v));
+            let mut parent: HashMap<NodeId, NodeId> = HashMap::new();
+            let mut queue: VecDeque<NodeId> = VecDeque::new();
+            let mut target: Option<NodeId> = None;
+            for &i in mrrg.fanouts(src_fu) {
+                if used(i) {
+                    parent.insert(i, i);
+                    queue.push_back(i);
+                }
+            }
+            'walk: while let Some(i) = queue.pop_front() {
+                // Termination?
+                if let NodeKind::Route { operand: Some(t) } = mrrg.nodes()[i.index()].kind {
+                    if t == want_tag && mrrg.fanouts(i).contains(&dst_fu) {
+                        target = Some(i);
+                        break 'walk;
+                    }
+                }
+                for &m in mrrg.fanouts(i) {
+                    if mrrg.nodes()[m.index()].kind.is_route()
+                        && used(m)
+                        && !parent.contains_key(&m)
+                    {
+                        parent.insert(m, i);
+                        queue.push_back(m);
+                    }
+                }
+            }
+            let Some(target) = target else {
+                return Err(DecodeError::NoTermination {
+                    from: dfg.ops()[edge.src.index()].name.clone(),
+                    to: dfg.ops()[edge.dst.index()].name.clone(),
+                });
+            };
+            let mut path = vec![target];
+            let mut cur = target;
+            while parent[&cur] != cur {
+                cur = parent[&cur];
+                path.push(cur);
+            }
+            path.reverse();
+            mapping.routes.insert(e, path);
+        }
+        Ok(mapping)
+    }
+}
+
+/// Maximum bipartite matching (Kuhn's algorithm) between operations and
+/// compatible functional-unit slots.
+fn max_matching(dfg: &Dfg, slots: &BTreeMap<OpId, Vec<NodeId>>) -> usize {
+    // Dense ids for slots.
+    let mut slot_ids: HashMap<NodeId, usize> = HashMap::new();
+    for ps in slots.values() {
+        for &p in ps {
+            let next = slot_ids.len();
+            slot_ids.entry(p).or_insert(next);
+        }
+    }
+    let mut matched_slot: Vec<Option<OpId>> = vec![None; slot_ids.len()];
+    let mut total = 0;
+
+    fn try_assign(
+        q: OpId,
+        slots: &BTreeMap<OpId, Vec<NodeId>>,
+        slot_ids: &HashMap<NodeId, usize>,
+        matched_slot: &mut Vec<Option<OpId>>,
+        visited: &mut Vec<bool>,
+    ) -> bool {
+        for &p in &slots[&q] {
+            let sid = slot_ids[&p];
+            if visited[sid] {
+                continue;
+            }
+            visited[sid] = true;
+            let current = matched_slot[sid];
+            if current.is_none()
+                || try_assign(
+                    current.expect("checked above"),
+                    slots,
+                    slot_ids,
+                    matched_slot,
+                    visited,
+                )
+            {
+                matched_slot[sid] = Some(q);
+                return true;
+            }
+        }
+        false
+    }
+
+    for q in dfg.op_ids() {
+        let mut visited = vec![false; slot_ids.len()];
+        if try_assign(q, slots, &slot_ids, &mut matched_slot, &mut visited) {
+            total += 1;
+        }
+    }
+    total
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cgra_arch::families::{grid, FuMix, GridParams, Interconnect};
+    use cgra_mrrg::build_mrrg;
+
+    fn small_arch_mrrg() -> Mrrg {
+        let arch = grid(GridParams {
+            rows: 2,
+            cols: 2,
+            fu_mix: FuMix::Homogeneous,
+            interconnect: Interconnect::Orthogonal,
+            io_pads: true,
+            memory_ports: false,
+            toroidal: false,
+            alu_latency: 0,
+            bypass_channel: false,
+        });
+        build_mrrg(&arch, 1)
+    }
+
+    fn tiny_dfg() -> Dfg {
+        let mut g = Dfg::new("t");
+        let a = g.add_op("a", OpKind::Input).unwrap();
+        let b = g.add_op("b", OpKind::Input).unwrap();
+        let s = g.add_op("s", OpKind::Add).unwrap();
+        let o = g.add_op("o", OpKind::Output).unwrap();
+        g.connect(a, s, 0).unwrap();
+        g.connect(b, s, 1).unwrap();
+        g.connect(s, o, 0).unwrap();
+        g
+    }
+
+    #[test]
+    fn builds_for_tiny_instance() {
+        let mrrg = small_arch_mrrg();
+        let dfg = tiny_dfg();
+        let f = Formulation::build(&dfg, &mrrg, MapperOptions::default()).expect("builds");
+        let s = f.stats();
+        assert!(s.f_vars > 0 && s.r_vars > 0 && s.rs_vars > 0);
+        assert!(s.constraints > 0);
+        assert_eq!(s.swap_vars, 1); // the single add
+    }
+
+    #[test]
+    fn no_compatible_slot_detected() {
+        let mrrg = small_arch_mrrg(); // no memory ports
+        let mut g = Dfg::new("t");
+        let a = g.add_op("a", OpKind::Input).unwrap();
+        let l = g.add_op("l", OpKind::Load).unwrap();
+        let o = g.add_op("o", OpKind::Output).unwrap();
+        g.connect(a, l, 0).unwrap();
+        g.connect(l, o, 0).unwrap();
+        let err = Formulation::build(&g, &mrrg, MapperOptions::default()).unwrap_err();
+        assert!(matches!(err, BuildInfeasible::NoCompatibleSlot { .. }));
+    }
+
+    #[test]
+    fn capacity_exceeded_detected_by_matching() {
+        // 2x2 grid without pads has 4 ALUs; 5 adds cannot fit.
+        let arch = grid(GridParams {
+            rows: 2,
+            cols: 2,
+            fu_mix: FuMix::Homogeneous,
+            interconnect: Interconnect::Orthogonal,
+            io_pads: true,
+            memory_ports: false,
+            toroidal: false,
+            alu_latency: 0,
+            bypass_channel: false,
+        });
+        let mrrg = build_mrrg(&arch, 1);
+        let mut g = Dfg::new("t");
+        let mut prev = g.add_op("i", OpKind::Input).unwrap();
+        for k in 0..5 {
+            let s = g.add_op(format!("s{k}"), OpKind::Add).unwrap();
+            g.connect(prev, s, 0).unwrap();
+            g.connect(prev, s, 1).unwrap();
+            prev = s;
+        }
+        let o = g.add_op("o", OpKind::Output).unwrap();
+        g.connect(prev, o, 0).unwrap();
+        let err = Formulation::build(&g, &mrrg, MapperOptions::default()).unwrap_err();
+        assert!(matches!(err, BuildInfeasible::CapacityExceeded { .. }));
+    }
+
+    #[test]
+    fn capacity_check_can_be_disabled() {
+        let arch = grid(GridParams {
+            rows: 2,
+            cols: 2,
+            fu_mix: FuMix::Homogeneous,
+            interconnect: Interconnect::Orthogonal,
+            io_pads: true,
+            memory_ports: false,
+            toroidal: false,
+            alu_latency: 0,
+            bypass_channel: false,
+        });
+        let mrrg = build_mrrg(&arch, 1);
+        let mut g = Dfg::new("t");
+        let mut prev = g.add_op("i", OpKind::Input).unwrap();
+        for k in 0..5 {
+            let s = g.add_op(format!("s{k}"), OpKind::Add).unwrap();
+            g.connect(prev, s, 0).unwrap();
+            g.connect(prev, s, 1).unwrap();
+            prev = s;
+        }
+        let o = g.add_op("o", OpKind::Output).unwrap();
+        g.connect(prev, o, 0).unwrap();
+        let opts = MapperOptions {
+            redundant_capacity: false,
+            ..MapperOptions::default()
+        };
+        // Without the presolve the build succeeds; the solver will still
+        // prove infeasibility (exercised in the mapper tests).
+        assert!(Formulation::build(&g, &mrrg, opts).is_ok());
+    }
+
+    #[test]
+    fn pruning_reduces_variables() {
+        let mrrg = small_arch_mrrg();
+        let dfg = tiny_dfg();
+        let f = Formulation::build(&dfg, &mrrg, MapperOptions::default()).expect("builds");
+        let (routes, _) = mrrg.kind_counts();
+        let values = dfg.value_producers().count();
+        // Without pruning R would have routes x values variables.
+        assert!(f.stats().r_vars < routes * values);
+    }
+}

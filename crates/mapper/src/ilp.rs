@@ -1,0 +1,423 @@
+//! The exact ILP mapper: builds the paper's formulation and solves it.
+
+use crate::formulation::{BuildInfeasible, Formulation, FormulationStats};
+use crate::mapping::{validate_mapping, Mapping};
+use crate::options::MapperOptions;
+use bilp::{Outcome, Solver, SolverConfig};
+use cgra_dfg::Dfg;
+use cgra_mrrg::Mrrg;
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// Result of a mapping attempt.
+///
+/// Mirrors how the paper reports Table 2: `1` (feasible, a mapping is
+/// produced), `0` (proven infeasible) or `T` (solver timeout: neither a
+/// mapping nor an infeasibility proof within budget).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MapOutcome {
+    /// A valid mapping was found.
+    Mapped {
+        /// The mapping (already validated against the DFG and MRRG).
+        mapping: Mapping,
+        /// Number of routing resources used (the paper's objective (10)).
+        routing_usage: usize,
+        /// Whether the routing usage was proven minimal.
+        optimal: bool,
+    },
+    /// The instance is provably unmappable.
+    Infeasible {
+        /// A presolve-stage explanation, when one exists (`None` means the
+        /// search itself derived the infeasibility proof).
+        reason: Option<BuildInfeasible>,
+    },
+    /// The budget expired before feasibility could be decided — the
+    /// paper's `T` entries.
+    Timeout,
+}
+
+impl MapOutcome {
+    /// Whether a mapping was produced.
+    pub fn is_mapped(&self) -> bool {
+        matches!(self, MapOutcome::Mapped { .. })
+    }
+
+    /// The mapping, if one was produced.
+    pub fn mapping(&self) -> Option<&Mapping> {
+        match self {
+            MapOutcome::Mapped { mapping, .. } => Some(mapping),
+            _ => None,
+        }
+    }
+
+    /// The Table 2 cell symbol for this outcome: `"1"`, `"0"` or `"T"`.
+    pub fn table_symbol(&self) -> &'static str {
+        match self {
+            MapOutcome::Mapped { .. } => "1",
+            MapOutcome::Infeasible { .. } => "0",
+            MapOutcome::Timeout => "T",
+        }
+    }
+}
+
+impl fmt::Display for MapOutcome {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MapOutcome::Mapped {
+                routing_usage,
+                optimal,
+                ..
+            } => write!(
+                f,
+                "mapped ({routing_usage} routing resources{})",
+                if *optimal { ", optimal" } else { "" }
+            ),
+            MapOutcome::Infeasible { reason: Some(r) } => write!(f, "infeasible ({r})"),
+            MapOutcome::Infeasible { reason: None } => write!(f, "infeasible"),
+            MapOutcome::Timeout => write!(f, "timeout"),
+        }
+    }
+}
+
+/// A mapping attempt's outcome plus diagnostics.
+#[derive(Debug, Clone)]
+pub struct MapReport {
+    /// The outcome.
+    pub outcome: MapOutcome,
+    /// Wall-clock time spent.
+    pub elapsed: Duration,
+    /// Size of the built formulation (zeros when presolve refuted the
+    /// instance before the model was built).
+    pub formulation: FormulationStats,
+}
+
+/// The exact, architecture-agnostic ILP mapper (the paper's contribution).
+///
+/// # Examples
+///
+/// ```
+/// use cgra_arch::families::{grid, FuMix, GridParams, Interconnect};
+/// use cgra_mapper::{IlpMapper, MapperOptions};
+/// use cgra_mrrg::build_mrrg;
+///
+/// let arch = grid(GridParams::paper(FuMix::Homogeneous, Interconnect::Diagonal));
+/// let mrrg = build_mrrg(&arch, 1);
+/// let dfg = cgra_dfg::benchmarks::accum();
+/// let report = IlpMapper::new(MapperOptions::default()).map(&dfg, &mrrg);
+/// assert!(report.outcome.is_mapped());
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct IlpMapper {
+    options: MapperOptions,
+}
+
+impl IlpMapper {
+    /// Creates a mapper with the given options.
+    pub fn new(options: MapperOptions) -> Self {
+        IlpMapper { options }
+    }
+
+    /// The mapper's options.
+    pub fn options(&self) -> MapperOptions {
+        self.options
+    }
+
+    /// Maps `dfg` onto `mrrg`.
+    ///
+    /// Returned mappings are re-validated structurally against both graphs
+    /// before being handed back, so a `Mapped` outcome is always a
+    /// certified mapping.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the solver returns a solution that fails validation —
+    /// that would be a bug in the formulation, never an input property.
+    pub fn map(&self, dfg: &Dfg, mrrg: &Mrrg) -> MapReport {
+        let start = Instant::now();
+        let mut formulation = match Formulation::build(dfg, mrrg, self.options) {
+            Ok(f) => f,
+            Err(reason) => {
+                return MapReport {
+                    outcome: MapOutcome::Infeasible {
+                        reason: Some(reason),
+                    },
+                    elapsed: start.elapsed(),
+                    formulation: FormulationStats::default(),
+                }
+            }
+        };
+        let stats = formulation.stats();
+
+        if self.options.warm_start {
+            if let Some(mapping) = self.run_warm_start_portfolio(dfg, mrrg, start) {
+                formulation.warm_start(dfg, &mapping);
+            }
+        }
+        let remaining = self
+            .options
+            .time_limit
+            .map(|l| l.saturating_sub(start.elapsed()));
+        let mut solver = Solver::with_config(SolverConfig {
+            time_limit: remaining,
+            ..SolverConfig::default()
+        });
+        let outcome = match solver.solve(formulation.model()) {
+            Outcome::Optimal { solution, .. } => {
+                let mapping = formulation.decode(dfg, mrrg, &solution);
+                validate_mapping(dfg, mrrg, &mapping)
+                    .unwrap_or_else(|e| panic!("ILP mapping failed validation: {e}"));
+                let routing_usage = mapping.routing_resource_usage(dfg);
+                MapOutcome::Mapped {
+                    mapping,
+                    routing_usage,
+                    optimal: self.options.optimize,
+                }
+            }
+            Outcome::Feasible { solution, .. } => {
+                let mapping = formulation.decode(dfg, mrrg, &solution);
+                validate_mapping(dfg, mrrg, &mapping)
+                    .unwrap_or_else(|e| panic!("ILP mapping failed validation: {e}"));
+                let routing_usage = mapping.routing_resource_usage(dfg);
+                MapOutcome::Mapped {
+                    mapping,
+                    routing_usage,
+                    optimal: false,
+                }
+            }
+            Outcome::Infeasible => MapOutcome::Infeasible { reason: None },
+            Outcome::Unknown => MapOutcome::Timeout,
+        };
+        MapReport {
+            outcome,
+            elapsed: start.elapsed(),
+            formulation: stats,
+        }
+    }
+
+    /// A short simulated-annealing portfolio used only to seed branch
+    /// hints. Budget: at most a third of the remaining time, split over a
+    /// few seeds.
+    fn run_warm_start_portfolio(
+        &self,
+        dfg: &Dfg,
+        mrrg: &Mrrg,
+        start: Instant,
+    ) -> Option<crate::mapping::Mapping> {
+        use crate::anneal::{AnnealParams, AnnealingMapper};
+        let total = match self.options.time_limit {
+            Some(limit) => (limit.saturating_sub(start.elapsed())).mul_f64(0.45),
+            None => Duration::from_secs(30),
+        };
+        let per_attempt = Duration::from_secs(10).min(total);
+        if per_attempt < Duration::from_millis(50) {
+            return None;
+        }
+        let portfolio_start = Instant::now();
+        for k in 0.. {
+            if portfolio_start.elapsed() >= total {
+                break;
+            }
+            let mapper = AnnealingMapper::new(
+                MapperOptions {
+                    seed: self.options.seed.wrapping_add(k),
+                    time_limit: Some(per_attempt),
+                    warm_start: false,
+                    ..self.options
+                },
+                AnnealParams {
+                    outer_iterations: 400,
+                    moves_per_temperature: 400,
+                    initial_temperature: 10.0,
+                    cooling: 0.97,
+                    congestion_growth: 0.15,
+                },
+            );
+            let report = mapper.map(dfg, mrrg);
+            if let MapOutcome::Mapped { mapping, .. } = report.outcome {
+                return Some(mapping);
+            }
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cgra_arch::families::{grid, FuMix, GridParams, Interconnect};
+    use cgra_dfg::OpKind;
+    use cgra_mrrg::build_mrrg;
+
+    fn small_mrrg(contexts: u32) -> Mrrg {
+        let arch = grid(GridParams {
+            rows: 2,
+            cols: 2,
+            fu_mix: FuMix::Homogeneous,
+            interconnect: Interconnect::Orthogonal,
+            io_pads: true,
+            memory_ports: true,
+            toroidal: false,
+            alu_latency: 0,
+            bypass_channel: false,
+        });
+        build_mrrg(&arch, contexts)
+    }
+
+    fn tiny_dfg() -> Dfg {
+        let mut g = Dfg::new("t");
+        let a = g.add_op("a", OpKind::Input).unwrap();
+        let b = g.add_op("b", OpKind::Input).unwrap();
+        let s = g.add_op("s", OpKind::Add).unwrap();
+        let o = g.add_op("o", OpKind::Output).unwrap();
+        g.connect(a, s, 0).unwrap();
+        g.connect(b, s, 1).unwrap();
+        g.connect(s, o, 0).unwrap();
+        g
+    }
+
+    #[test]
+    fn maps_tiny_add() {
+        let mrrg = small_mrrg(1);
+        let report = IlpMapper::new(MapperOptions::default()).map(&tiny_dfg(), &mrrg);
+        assert!(report.outcome.is_mapped(), "{}", report.outcome);
+        assert_eq!(report.outcome.table_symbol(), "1");
+    }
+
+    #[test]
+    fn maps_with_multi_fanout() {
+        // One input feeding two adds, results combined: multi-fanout value.
+        let mut g = Dfg::new("fan");
+        let a = g.add_op("a", OpKind::Input).unwrap();
+        let b = g.add_op("b", OpKind::Input).unwrap();
+        let s1 = g.add_op("s1", OpKind::Add).unwrap();
+        let s2 = g.add_op("s2", OpKind::Add).unwrap();
+        let s3 = g.add_op("s3", OpKind::Add).unwrap();
+        let o = g.add_op("o", OpKind::Output).unwrap();
+        g.connect(a, s1, 0).unwrap();
+        g.connect(b, s1, 1).unwrap();
+        g.connect(a, s2, 0).unwrap();
+        g.connect(b, s2, 1).unwrap();
+        g.connect(s1, s3, 0).unwrap();
+        g.connect(s2, s3, 1).unwrap();
+        g.connect(s3, o, 0).unwrap();
+        // On the 2x2 orthogonal array each block's single output mux is
+        // the only inter-block conduit, so this diamond needs II=2.
+        let mrrg = small_mrrg(2);
+        let report = IlpMapper::new(MapperOptions::default()).map(&g, &mrrg);
+        assert!(report.outcome.is_mapped(), "{}", report.outcome);
+    }
+
+    #[test]
+    fn maps_load_store_through_memory_port() {
+        let mut g = Dfg::new("mem");
+        let a = g.add_op("addr", OpKind::Input).unwrap();
+        let l = g.add_op("l", OpKind::Load).unwrap();
+        let s = g.add_op("s", OpKind::Add).unwrap();
+        let st = g.add_op("st", OpKind::Store).unwrap();
+        g.connect(a, l, 0).unwrap();
+        g.connect(l, s, 0).unwrap();
+        g.connect(a, s, 1).unwrap();
+        g.connect(a, st, 0).unwrap();
+        g.connect(s, st, 1).unwrap();
+        let mrrg = small_mrrg(2);
+        let report = IlpMapper::new(MapperOptions::default()).map(&g, &mrrg);
+        assert!(report.outcome.is_mapped(), "{}", report.outcome);
+    }
+
+    #[test]
+    fn capacity_infeasible_is_reported() {
+        // 5 adds on a 2x2 array (4 ALUs).
+        let mut g = Dfg::new("big");
+        let a = g.add_op("a", OpKind::Input).unwrap();
+        let mut prev = a;
+        for k in 0..5 {
+            let s = g.add_op(format!("s{k}"), OpKind::Add).unwrap();
+            g.connect(prev, s, 0).unwrap();
+            g.connect(a, s, 1).unwrap();
+            prev = s;
+        }
+        let o = g.add_op("o", OpKind::Output).unwrap();
+        g.connect(prev, o, 0).unwrap();
+        let mrrg = small_mrrg(1);
+        let report = IlpMapper::new(MapperOptions::default()).map(&g, &mrrg);
+        assert!(matches!(
+            report.outcome,
+            MapOutcome::Infeasible { reason: Some(_) }
+        ));
+        assert_eq!(report.outcome.table_symbol(), "0");
+
+        // Without the presolve the solver itself proves infeasibility.
+        let opts = MapperOptions {
+            redundant_capacity: false,
+            ..MapperOptions::default()
+        };
+        let report = IlpMapper::new(opts).map(&g, &mrrg);
+        assert!(matches!(
+            report.outcome,
+            MapOutcome::Infeasible { reason: None }
+        ));
+    }
+
+    #[test]
+    fn optimized_mapping_uses_no_more_routing_than_first_feasible() {
+        let mrrg = small_mrrg(1);
+        let feas = IlpMapper::new(MapperOptions::default()).map(&tiny_dfg(), &mrrg);
+        let opt = IlpMapper::new(MapperOptions {
+            optimize: true,
+            ..MapperOptions::default()
+        })
+        .map(&tiny_dfg(), &mrrg);
+        let (
+            MapOutcome::Mapped {
+                routing_usage: u1, ..
+            },
+            MapOutcome::Mapped {
+                routing_usage: u2,
+                optimal,
+                ..
+            },
+        ) = (&feas.outcome, &opt.outcome)
+        else {
+            panic!("both attempts should map");
+        };
+        assert!(optimal);
+        assert!(u2 <= u1, "optimal {u2} must not exceed feasible {u1}");
+    }
+
+    #[test]
+    fn non_commutative_operand_order_respected() {
+        // sub(a, b) must route a to port 0 and b to port 1.
+        let mut g = Dfg::new("sub");
+        let a = g.add_op("a", OpKind::Input).unwrap();
+        let b = g.add_op("b", OpKind::Input).unwrap();
+        let s = g.add_op("s", OpKind::Sub).unwrap();
+        let o = g.add_op("o", OpKind::Output).unwrap();
+        g.connect(a, s, 0).unwrap();
+        g.connect(b, s, 1).unwrap();
+        g.connect(s, o, 0).unwrap();
+        let mrrg = small_mrrg(1);
+        let report = IlpMapper::new(MapperOptions::default()).map(&g, &mrrg);
+        let mapping = report.outcome.mapping().expect("maps").clone();
+        assert!(!mapping.swapped.contains(&s));
+        // Validation inside map() already guarantees port correctness;
+        // check the terminal tags explicitly for good measure.
+        let e0 = g.operand_edge(s, 0).unwrap();
+        let last = *mapping.routes[&e0].last().unwrap();
+        match mrrg.node(last).unwrap().kind {
+            cgra_mrrg::NodeKind::Route { operand: Some(t) } => assert_eq!(t, 0),
+            ref k => panic!("unexpected terminal {k:?}"),
+        }
+    }
+
+    #[test]
+    fn commutativity_can_be_disabled() {
+        let mrrg = small_mrrg(1);
+        let opts = MapperOptions {
+            commutativity: false,
+            ..MapperOptions::default()
+        };
+        let report = IlpMapper::new(opts).map(&tiny_dfg(), &mrrg);
+        let mapping = report.outcome.mapping().expect("maps");
+        assert!(mapping.swapped.is_empty());
+    }
+}

@@ -1,0 +1,57 @@
+//! # cgra-mapper — architecture-agnostic CGRA mapping
+//!
+//! The core contribution of *"An Architecture-Agnostic Integer Linear
+//! Programming Approach to CGRA Mapping"* (Chin & Anderson, DAC 2018):
+//! given a data-flow graph ([`cgra_dfg::Dfg`]) and a Modulo Routing
+//! Resource Graph ([`cgra_mrrg::Mrrg`]) — both *inputs*, nothing about the
+//! architecture is baked in — decide whether the application can be
+//! scheduled, placed and routed onto the device, and produce the mapping.
+//!
+//! Two mappers are provided:
+//!
+//! * [`IlpMapper`] — exact: builds the paper's ILP formulation
+//!   (constraints (1)-(9), objective (10)) in [`formulation`] and solves
+//!   it with the [`bilp`] branch-and-bound solver. It can *prove*
+//!   feasibility or infeasibility, and optionally minimises
+//!   routing-resource usage.
+//! * [`AnnealingMapper`] — the heuristic baseline in the DRESC/SPR
+//!   lineage: simulated-annealing placement with negotiated-congestion
+//!   routing. It can only find mappings, never refute them — the gap the
+//!   paper's Fig 8 quantifies.
+//!
+//! Every returned mapping is re-validated structurally by
+//! [`validate_mapping`], independent of which mapper produced it.
+//!
+//! # Examples
+//!
+//! ```
+//! use cgra_arch::families::{grid, FuMix, GridParams, Interconnect};
+//! use cgra_mapper::{IlpMapper, MapperOptions};
+//! use cgra_mrrg::build_mrrg;
+//!
+//! let arch = grid(GridParams::paper(FuMix::Homogeneous, Interconnect::Diagonal));
+//! let mrrg = build_mrrg(&arch, 1);
+//! let dfg = cgra_dfg::benchmarks::accum();
+//! let report = IlpMapper::new(MapperOptions::default()).map(&dfg, &mrrg);
+//! assert_eq!(report.outcome.table_symbol(), "1");
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod anneal;
+pub mod formulation;
+mod ilp;
+mod mapping;
+mod options;
+mod report;
+mod search;
+pub mod text;
+
+pub use anneal::{AnnealParams, AnnealingMapper};
+pub use formulation::{BuildInfeasible, DecodeError, Formulation, FormulationStats};
+pub use ilp::{IlpMapper, MapOutcome, MapReport};
+pub use mapping::{expected_port, validate_mapping, Mapping, MappingError};
+pub use options::{MapperOptions, Objective, ObjectiveWeights};
+pub use report::{render_mapping, render_route};
+pub use search::{map_min_ii, MinIiReport};

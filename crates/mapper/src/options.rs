@@ -1,0 +1,151 @@
+//! Mapper configuration.
+
+use cgra_mrrg::NodeRole;
+use std::time::Duration;
+
+/// Objective function used when [`MapperOptions::optimize`] is set.
+///
+/// The paper minimises the number of routing resources (objective (10))
+/// and notes that "it is straightforward to apply alternative objective
+/// functions, where, for example, specific types of resources have unique
+/// costs ... registers, register files or other data value routing
+/// structures contribute significantly to power consumption and these
+/// nodes could be weighted to optimize for power."
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Objective {
+    /// Minimise the count of routing resources used — the paper's (10).
+    RoutingResources,
+    /// Minimise a role-weighted cost of the routing resources used.
+    Weighted(ObjectiveWeights),
+}
+
+/// Per-role costs for [`Objective::Weighted`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ObjectiveWeights {
+    /// Cost of plain wires and port nodes.
+    pub wire: i64,
+    /// Cost of occupying a multiplexing point.
+    pub mux: i64,
+    /// Cost of occupying a register (charged once, on the register's
+    /// input node).
+    pub register: i64,
+}
+
+impl Default for ObjectiveWeights {
+    fn default() -> Self {
+        // A plausible dynamic-power flavoured weighting: registers clock
+        // every cycle, multiplexers toggle wide buses, wires are cheap.
+        ObjectiveWeights {
+            wire: 1,
+            mux: 2,
+            register: 6,
+        }
+    }
+}
+
+impl ObjectiveWeights {
+    /// The cost this weighting assigns to a routing node of the given
+    /// role.
+    pub fn cost_of(&self, role: NodeRole) -> i64 {
+        match role {
+            NodeRole::MuxCore => self.mux,
+            NodeRole::RegIn => self.register,
+            NodeRole::RegOut => 0, // the register was charged at its input
+            _ => self.wire,
+        }
+    }
+}
+
+impl Objective {
+    /// The per-node cost under this objective.
+    pub fn cost_of(&self, role: NodeRole) -> i64 {
+        match self {
+            Objective::RoutingResources => 1,
+            Objective::Weighted(w) => w.cost_of(role),
+        }
+    }
+}
+
+/// Options shared by the ILP and simulated-annealing mappers.
+#[derive(Debug, Clone, Copy)]
+pub struct MapperOptions {
+    /// Wall-clock budget for one mapping attempt. `None` = unlimited.
+    /// The paper ran its ILP solver with 1 h / 24 h limits and reported
+    /// timeouts as `T`.
+    pub time_limit: Option<Duration>,
+    /// Whether to minimise routing-resource usage (the paper's objective
+    /// (10)). When `false` the mapper stops at the first feasible mapping,
+    /// which is how the Table 2 feasibility study is run.
+    pub optimize: bool,
+    /// Which objective to minimise when `optimize` is set.
+    pub objective: Objective,
+    /// Whether commutative operations may have their operands swapped
+    /// during placement. The formulation adds one swap variable per
+    /// commutative operation.
+    pub commutativity: bool,
+    /// Whether the Multiplexer Input Exclusivity constraint (paper (9)) is
+    /// emitted. **Ablation-only**: disabling it re-admits the
+    /// self-reinforcing routing loops of the paper's Example 2, producing
+    /// assignments that satisfy the remaining constraints but do not route
+    /// values to their sinks.
+    pub mux_exclusivity: bool,
+    /// Whether to add redundant per-operation-kind capacity constraints
+    /// (`Σ placements of kind k onto capable slots <= capable slots`).
+    /// These are implied by constraints (1)-(3) but give the solver short
+    /// counting refutations for over-subscribed instances.
+    pub redundant_capacity: bool,
+    /// RNG seed (used by the simulated-annealing mapper; the ILP mapper is
+    /// deterministic).
+    pub seed: u64,
+    /// Whether the ILP mapper may warm-start from a quick
+    /// simulated-annealing portfolio: a found mapping is handed to the
+    /// exact solver as *branch hints* (the MIP-start mechanism commercial
+    /// solvers offer). Verdicts — feasible, infeasible, optimal — are
+    /// still produced by the exact solver; hints only steer search order.
+    pub warm_start: bool,
+}
+
+impl Default for MapperOptions {
+    fn default() -> Self {
+        MapperOptions {
+            time_limit: None,
+            optimize: false,
+            objective: Objective::RoutingResources,
+            commutativity: true,
+            mux_exclusivity: true,
+            redundant_capacity: true,
+            seed: 1,
+            warm_start: false,
+        }
+    }
+}
+
+impl MapperOptions {
+    /// Default options with a time limit.
+    pub fn with_time_limit(limit: Duration) -> Self {
+        MapperOptions {
+            time_limit: Some(limit),
+            ..Self::default()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_feasibility_oriented() {
+        let o = MapperOptions::default();
+        assert!(!o.optimize);
+        assert!(o.commutativity);
+        assert!(o.redundant_capacity);
+        assert!(o.time_limit.is_none());
+    }
+
+    #[test]
+    fn with_time_limit_sets_limit() {
+        let o = MapperOptions::with_time_limit(Duration::from_secs(5));
+        assert_eq!(o.time_limit, Some(Duration::from_secs(5)));
+    }
+}

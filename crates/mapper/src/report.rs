@@ -1,0 +1,167 @@
+//! Human-readable rendering of mappings: the per-context placement and
+//! routing tables a CGRA engineer reads, and per-value routing summaries.
+
+use crate::mapping::Mapping;
+use cgra_dfg::Dfg;
+use cgra_mrrg::{Mrrg, NodeRole};
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// Renders a mapping as a per-context placement table plus per-value
+/// routing summary.
+///
+/// # Examples
+///
+/// ```
+/// use cgra_arch::families::{grid, FuMix, GridParams, Interconnect};
+/// use cgra_mapper::{render_mapping, IlpMapper, MapperOptions};
+/// use cgra_mrrg::build_mrrg;
+///
+/// let arch = grid(GridParams::paper(FuMix::Homogeneous, Interconnect::Diagonal));
+/// let mrrg = build_mrrg(&arch, 1);
+/// let dfg = cgra_dfg::benchmarks::accum();
+/// let report = IlpMapper::new(MapperOptions::default()).map(&dfg, &mrrg);
+/// let text = render_mapping(&dfg, &mrrg, report.outcome.mapping().expect("maps"));
+/// assert!(text.contains("context 0"));
+/// assert!(text.contains("accum"));
+/// ```
+pub fn render_mapping(dfg: &Dfg, mrrg: &Mrrg, mapping: &Mapping) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "mapping of `{}` onto `{}` (II={})",
+        dfg.name(),
+        mrrg.name(),
+        mrrg.contexts()
+    );
+
+    // Placement grouped by context.
+    let mut by_context: BTreeMap<u32, Vec<String>> = BTreeMap::new();
+    for (q, p) in &mapping.placement {
+        let node = &mrrg.nodes()[p.index()];
+        let op = &dfg.ops()[q.index()];
+        let swap = if mapping.swapped.contains(q) {
+            " (operands swapped)"
+        } else {
+            ""
+        };
+        by_context.entry(node.context).or_default().push(format!(
+            "{:<12} {} -> {}{}",
+            op.name, op.kind, node.name, swap
+        ));
+    }
+    for (ctx, mut rows) in by_context {
+        let _ = writeln!(out, "  context {ctx}:");
+        rows.sort();
+        for r in rows {
+            let _ = writeln!(out, "    {r}");
+        }
+    }
+
+    // Routing summary per value.
+    let _ = writeln!(
+        out,
+        "  routing: {} resources total",
+        mapping.routing_resource_usage(dfg)
+    );
+    for (j, nodes) in mapping.nodes_by_value(dfg) {
+        let producer = &dfg.ops()[j.index()].name;
+        let (mut wires, mut muxes, mut regs) = (0usize, 0usize, 0usize);
+        for &n in &nodes {
+            match mrrg.nodes()[n.index()].role {
+                NodeRole::MuxCore => muxes += 1,
+                NodeRole::RegIn => regs += 1,
+                NodeRole::RegOut => {}
+                _ => wires += 1,
+            }
+        }
+        let _ = writeln!(
+            out,
+            "    value {producer:<12} {:>3} nodes ({wires} wires, {muxes} muxes, {regs} registers)",
+            nodes.len()
+        );
+    }
+    out
+}
+
+/// Renders one sub-value's route as an arrow chain of node names.
+pub fn render_route(dfg: &Dfg, mrrg: &Mrrg, mapping: &Mapping, edge: cgra_dfg::EdgeId) -> String {
+    let e = dfg.edges()[edge.index()];
+    let from = &dfg.ops()[e.src.index()].name;
+    let to = &dfg.ops()[e.dst.index()].name;
+    let path = match mapping.routes.get(&edge) {
+        Some(p) => p
+            .iter()
+            .map(|n| mrrg.nodes()[n.index()].name.clone())
+            .collect::<Vec<_>>()
+            .join(" -> "),
+        None => "(unrouted)".to_owned(),
+    };
+    format!("{from} -> {to} [operand {}]: {path}", e.operand)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ilp::IlpMapper;
+    use crate::options::MapperOptions;
+    use cgra_arch::families::{grid, FuMix, GridParams, Interconnect};
+    use cgra_dfg::OpKind;
+    use cgra_mrrg::build_mrrg;
+
+    fn mapped() -> (Dfg, Mrrg, Mapping) {
+        let mut g = Dfg::new("t");
+        let a = g.add_op("a", OpKind::Input).unwrap();
+        let b = g.add_op("b", OpKind::Input).unwrap();
+        let s = g.add_op("s", OpKind::Add).unwrap();
+        let o = g.add_op("o", OpKind::Output).unwrap();
+        g.connect(a, s, 0).unwrap();
+        g.connect(b, s, 1).unwrap();
+        g.connect(s, o, 0).unwrap();
+        let arch = grid(GridParams {
+            rows: 2,
+            cols: 2,
+            fu_mix: FuMix::Homogeneous,
+            interconnect: Interconnect::Orthogonal,
+            io_pads: true,
+            memory_ports: false,
+            toroidal: false,
+            alu_latency: 0,
+            bypass_channel: false,
+        });
+        let mrrg = build_mrrg(&arch, 1);
+        let report = IlpMapper::new(MapperOptions::default()).map(&g, &mrrg);
+        let m = report.outcome.mapping().expect("maps").clone();
+        (g, mrrg, m)
+    }
+
+    #[test]
+    fn render_mentions_every_op() {
+        let (g, mrrg, m) = mapped();
+        let text = render_mapping(&g, &mrrg, &m);
+        for op in g.ops() {
+            assert!(text.contains(&op.name), "missing op {}", op.name);
+        }
+        assert!(text.contains("routing:"));
+    }
+
+    #[test]
+    fn render_route_chains_nodes() {
+        let (g, mrrg, m) = mapped();
+        let s = g.op_by_name("s").unwrap();
+        let e = g.operand_edge(s, 0).unwrap();
+        let text = render_route(&g, &mrrg, &m, e);
+        assert!(text.starts_with("a -> s [operand 0]:"));
+        assert!(text.contains(" -> "));
+    }
+
+    #[test]
+    fn unrouted_edge_rendered_gracefully() {
+        let (g, mrrg, mut m) = mapped();
+        let s = g.op_by_name("s").unwrap();
+        let e = g.operand_edge(s, 0).unwrap();
+        m.routes.remove(&e);
+        let text = render_route(&g, &mrrg, &m, e);
+        assert!(text.contains("(unrouted)"));
+    }
+}

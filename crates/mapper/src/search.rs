@@ -1,0 +1,142 @@
+//! Minimum-II search: the DRESC-style outer loop around the exact mapper.
+//!
+//! Modulo-scheduling flows try the smallest initiation interval first and
+//! increase it until the kernel maps; the paper runs its experiments at
+//! fixed II ∈ {1, 2}, but the natural tool a user wants is "what is the
+//! best throughput this architecture can give my kernel?" — which the
+//! exact mapper answers definitively, II by II.
+
+use crate::ilp::{IlpMapper, MapOutcome, MapReport};
+use crate::options::MapperOptions;
+use cgra_arch::Architecture;
+use cgra_dfg::Dfg;
+use cgra_mrrg::build_mrrg;
+
+/// Result of [`map_min_ii`].
+#[derive(Debug, Clone)]
+pub struct MinIiReport {
+    /// Every attempted II with its mapping report, in increasing order.
+    pub attempts: Vec<(u32, MapReport)>,
+    /// The smallest II that mapped, if any did.
+    pub min_ii: Option<u32>,
+}
+
+impl MinIiReport {
+    /// The mapping at the minimum II.
+    pub fn mapping(&self) -> Option<&crate::mapping::Mapping> {
+        let ii = self.min_ii?;
+        self.attempts
+            .iter()
+            .find(|(i, _)| *i == ii)
+            .and_then(|(_, r)| r.outcome.mapping())
+    }
+}
+
+/// Finds the smallest initiation interval (context count) at which `dfg`
+/// maps onto `arch`, trying `1..=max_ii` in order.
+///
+/// Because the mapper is exact, a `0` verdict at some II genuinely means
+/// that II is impossible — the search never skips a feasible II the way
+/// a heuristic-based loop can. Timeouts are recorded and the search
+/// continues (a larger II is often *easier* to decide).
+///
+/// # Examples
+///
+/// ```
+/// use cgra_arch::families::{grid, FuMix, GridParams, Interconnect};
+/// use cgra_mapper::{map_min_ii, MapperOptions};
+///
+/// let arch = grid(GridParams::paper(FuMix::Heterogeneous, Interconnect::Diagonal));
+/// let dfg = cgra_dfg::benchmarks::accum();
+/// let report = map_min_ii(&dfg, &arch, MapperOptions::default(), 2);
+/// assert_eq!(report.min_ii, Some(1)); // accum maps everywhere at II=1
+/// ```
+pub fn map_min_ii(
+    dfg: &Dfg,
+    arch: &Architecture,
+    options: MapperOptions,
+    max_ii: u32,
+) -> MinIiReport {
+    let mut attempts = Vec::new();
+    let mut min_ii = None;
+    for ii in 1..=max_ii {
+        let mrrg = build_mrrg(arch, ii);
+        let report = IlpMapper::new(options).map(dfg, &mrrg);
+        let mapped = matches!(report.outcome, MapOutcome::Mapped { .. });
+        attempts.push((ii, report));
+        if mapped {
+            min_ii = Some(ii);
+            break;
+        }
+    }
+    MinIiReport { attempts, min_ii }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cgra_arch::families::{grid, FuMix, GridParams, Interconnect};
+
+    #[test]
+    fn cos4_needs_two_contexts() {
+        // Paper Table 2: cos_4 is infeasible on every single-context
+        // architecture and feasible on every dual-context one. Within a
+        // short budget II=1 may end `0` or `T` — either way it must not
+        // map, and II=2 must.
+        let arch = grid(GridParams::paper(
+            FuMix::Homogeneous,
+            Interconnect::Diagonal,
+        ));
+        let dfg = (cgra_dfg::benchmarks::by_name("cos_4").expect("known").build)();
+        let options = MapperOptions {
+            time_limit: Some(std::time::Duration::from_secs(20)),
+            warm_start: true,
+            ..MapperOptions::default()
+        };
+        let report = map_min_ii(&dfg, &arch, options, 2);
+        assert_eq!(report.min_ii, Some(2));
+        assert_ne!(report.attempts[0].1.outcome.table_symbol(), "1");
+        assert!(report.mapping().is_some());
+    }
+
+    #[test]
+    fn capacity_bound_is_never_beaten() {
+        // extreme (19 internal ops) cannot map at II=1 (16 ALUs), but two
+        // contexts double the slots.
+        let arch = grid(GridParams::paper(
+            FuMix::Homogeneous,
+            Interconnect::Diagonal,
+        ));
+        let dfg = (cgra_dfg::benchmarks::by_name("extreme")
+            .expect("known")
+            .build)();
+        let options = MapperOptions {
+            time_limit: Some(std::time::Duration::from_secs(60)),
+            warm_start: true,
+            ..MapperOptions::default()
+        };
+        let report = map_min_ii(&dfg, &arch, options, 2);
+        assert_eq!(report.min_ii, Some(2));
+    }
+
+    #[test]
+    fn unmappable_within_bound_reports_none() {
+        // mult_16 needs 15 multipliers; heterogeneous arrays have 8 per
+        // context, so II=1 is out; II=2 has 16 and works.
+        let arch = grid(GridParams::paper(
+            FuMix::Heterogeneous,
+            Interconnect::Orthogonal,
+        ));
+        let dfg = (cgra_dfg::benchmarks::by_name("mult_16")
+            .expect("known")
+            .build)();
+        let options = MapperOptions {
+            time_limit: Some(std::time::Duration::from_secs(60)),
+            warm_start: true,
+            ..MapperOptions::default()
+        };
+        let at_one = map_min_ii(&dfg, &arch, options, 1);
+        assert_eq!(at_one.min_ii, None);
+        assert_eq!(at_one.attempts.len(), 1);
+    }
+}

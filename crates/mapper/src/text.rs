@@ -1,0 +1,264 @@
+//! Textual serialisation of mappings — the place-and-route result file.
+//!
+//! A mapping references DFG operations and MRRG nodes *by name*, so the
+//! file survives id-assignment changes and is human-diffable:
+//!
+//! ```text
+//! mapping axpy onto homo-orth-4x4@1
+//! place m -> b1_1.alu.fu@0
+//! swap s
+//! route a -> m 0 : io_n0.res@0, b0_0.opa.in4@0, ...
+//! ```
+
+use crate::mapping::Mapping;
+use cgra_dfg::Dfg;
+use cgra_mrrg::{Mrrg, NodeId};
+use std::fmt;
+
+/// Errors returned by [`parse_mapping`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ParseMappingError {
+    /// A line could not be parsed.
+    Syntax {
+        /// 1-based line number.
+        line: usize,
+        /// Problem description.
+        message: String,
+    },
+    /// The header line is missing.
+    MissingHeader,
+    /// A named operation does not exist in the DFG.
+    UnknownOp(String),
+    /// A named node does not exist in the MRRG.
+    UnknownNode(String),
+}
+
+impl fmt::Display for ParseMappingError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ParseMappingError::Syntax { line, message } => write!(f, "line {line}: {message}"),
+            ParseMappingError::MissingHeader => write!(f, "missing `mapping` header"),
+            ParseMappingError::UnknownOp(n) => write!(f, "unknown operation `{n}`"),
+            ParseMappingError::UnknownNode(n) => write!(f, "unknown MRRG node `{n}`"),
+        }
+    }
+}
+
+impl std::error::Error for ParseMappingError {}
+
+/// Serialises a mapping; [`parse_mapping`] restores an identical one
+/// against the same DFG and MRRG.
+pub fn print_mapping(dfg: &Dfg, mrrg: &Mrrg, mapping: &Mapping) -> String {
+    let mut out = String::new();
+    out.push_str(&format!("mapping {} onto {}\n", dfg.name(), mrrg.name()));
+    for (q, p) in &mapping.placement {
+        out.push_str(&format!(
+            "place {} -> {}\n",
+            dfg.ops()[q.index()].name,
+            mrrg.nodes()[p.index()].name
+        ));
+    }
+    for q in &mapping.swapped {
+        out.push_str(&format!("swap {}\n", dfg.ops()[q.index()].name));
+    }
+    for (e, path) in &mapping.routes {
+        let edge = dfg.edges()[e.index()];
+        let nodes: Vec<&str> = path
+            .iter()
+            .map(|n| mrrg.nodes()[n.index()].name.as_str())
+            .collect();
+        out.push_str(&format!(
+            "route {} -> {} {} : {}\n",
+            dfg.ops()[edge.src.index()].name,
+            dfg.ops()[edge.dst.index()].name,
+            edge.operand,
+            nodes.join(", ")
+        ));
+    }
+    out
+}
+
+/// Parses the format produced by [`print_mapping`] against the same DFG
+/// and MRRG.
+///
+/// # Errors
+///
+/// Fails on syntax errors and on names unknown to the given graphs. The
+/// parsed mapping is *not* validated here — run
+/// [`crate::validate_mapping`] afterwards, as for any untrusted mapping.
+pub fn parse_mapping(
+    dfg: &Dfg,
+    mrrg: &Mrrg,
+    text: &str,
+) -> Result<Mapping, ParseMappingError> {
+    let mut mapping = Mapping::new();
+    let mut saw_header = false;
+    let node_by_name = |name: &str| -> Result<NodeId, ParseMappingError> {
+        mrrg.node_by_name(name)
+            .ok_or_else(|| ParseMappingError::UnknownNode(name.to_owned()))
+    };
+    let op_by_name = |name: &str| {
+        dfg.op_by_name(name)
+            .ok_or_else(|| ParseMappingError::UnknownOp(name.to_owned()))
+    };
+    for (lineno, raw) in text.lines().enumerate() {
+        let line = raw.split('#').next().unwrap_or("").trim();
+        if line.is_empty() {
+            continue;
+        }
+        let lineno = lineno + 1;
+        let syntax = |message: String| ParseMappingError::Syntax {
+            line: lineno,
+            message,
+        };
+        if let Some(rest) = line.strip_prefix("mapping ") {
+            let _ = rest;
+            saw_header = true;
+            continue;
+        }
+        if !saw_header {
+            return Err(ParseMappingError::MissingHeader);
+        }
+        if let Some(rest) = line.strip_prefix("place ") {
+            let (op, node) = rest
+                .split_once("->")
+                .ok_or_else(|| syntax("expected `place <op> -> <node>`".into()))?;
+            mapping
+                .placement
+                .insert(op_by_name(op.trim())?, node_by_name(node.trim())?);
+        } else if let Some(rest) = line.strip_prefix("swap ") {
+            mapping.swapped.insert(op_by_name(rest.trim())?);
+        } else if let Some(rest) = line.strip_prefix("route ") {
+            let (head, path) = rest
+                .split_once(':')
+                .ok_or_else(|| syntax("expected `route <src> -> <dst> <operand> : ...`".into()))?;
+            let (src, rest2) = head
+                .split_once("->")
+                .ok_or_else(|| syntax("expected `->` in route header".into()))?;
+            let mut tail = rest2.trim().split_whitespace();
+            let dst = tail
+                .next()
+                .ok_or_else(|| syntax("expected destination op".into()))?;
+            let operand: u8 = tail
+                .next()
+                .ok_or_else(|| syntax("expected operand index".into()))?
+                .parse()
+                .map_err(|e| syntax(format!("bad operand index: {e}")))?;
+            let src_id = op_by_name(src.trim())?;
+            let dst_id = op_by_name(dst)?;
+            let edge = dfg
+                .operand_edge(dst_id, operand)
+                .filter(|e| dfg.edges()[e.index()].src == src_id)
+                .ok_or_else(|| {
+                    syntax(format!("no DFG edge {}->{dst} operand {operand}", src.trim()))
+                })?;
+            let mut nodes = Vec::new();
+            for name in path.split(',') {
+                let name = name.trim();
+                if name.is_empty() {
+                    continue;
+                }
+                nodes.push(node_by_name(name)?);
+            }
+            mapping.routes.insert(edge, nodes);
+        } else {
+            return Err(syntax(format!("unknown directive in `{line}`")));
+        }
+    }
+    if !saw_header {
+        return Err(ParseMappingError::MissingHeader);
+    }
+    Ok(mapping)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ilp::IlpMapper;
+    use crate::mapping::validate_mapping;
+    use crate::options::MapperOptions;
+    use cgra_arch::families::{grid, FuMix, GridParams, Interconnect};
+    use cgra_dfg::OpKind;
+    use cgra_mrrg::build_mrrg;
+
+    fn mapped() -> (Dfg, Mrrg, Mapping) {
+        let mut g = Dfg::new("t");
+        let a = g.add_op("a", OpKind::Input).unwrap();
+        let b = g.add_op("b", OpKind::Input).unwrap();
+        let s = g.add_op("s", OpKind::Add).unwrap();
+        let o = g.add_op("o", OpKind::Output).unwrap();
+        g.connect(a, s, 0).unwrap();
+        g.connect(b, s, 1).unwrap();
+        g.connect(s, o, 0).unwrap();
+        let arch = grid(GridParams {
+            rows: 2,
+            cols: 2,
+            fu_mix: FuMix::Homogeneous,
+            interconnect: Interconnect::Diagonal,
+            io_pads: true,
+            memory_ports: false,
+            toroidal: false,
+            alu_latency: 0,
+            bypass_channel: false,
+        });
+        let mrrg = build_mrrg(&arch, 2);
+        let report = IlpMapper::new(MapperOptions::default()).map(&g, &mrrg);
+        let m = report.outcome.mapping().expect("maps").clone();
+        (g, mrrg, m)
+    }
+
+    #[test]
+    fn roundtrip_preserves_mapping() {
+        let (g, mrrg, m) = mapped();
+        let text = print_mapping(&g, &mrrg, &m);
+        let parsed = parse_mapping(&g, &mrrg, &text).expect("roundtrip parse");
+        assert_eq!(m, parsed);
+        validate_mapping(&g, &mrrg, &parsed).expect("still valid");
+    }
+
+    #[test]
+    fn unknown_names_rejected() {
+        let (g, mrrg, _) = mapped();
+        let err = parse_mapping(&g, &mrrg, "mapping t onto x\nplace zz -> b0_0.alu.fu@0\n")
+            .unwrap_err();
+        assert!(matches!(err, ParseMappingError::UnknownOp(_)));
+        let err =
+            parse_mapping(&g, &mrrg, "mapping t onto x\nplace s -> nowhere@9\n").unwrap_err();
+        assert!(matches!(err, ParseMappingError::UnknownNode(_)));
+    }
+
+    #[test]
+    fn header_required() {
+        let (g, mrrg, _) = mapped();
+        assert!(matches!(
+            parse_mapping(&g, &mrrg, "place s -> b0_0.alu.fu@0\n"),
+            Err(ParseMappingError::MissingHeader)
+        ));
+        assert!(matches!(
+            parse_mapping(&g, &mrrg, ""),
+            Err(ParseMappingError::MissingHeader)
+        ));
+    }
+
+    #[test]
+    fn comments_tolerated() {
+        let (g, mrrg, m) = mapped();
+        let mut text = print_mapping(&g, &mrrg, &m);
+        text.insert_str(0, "# produced by the exact mapper\n");
+        let parsed = parse_mapping(&g, &mrrg, &text).expect("parses with comments");
+        assert_eq!(m, parsed);
+    }
+
+    #[test]
+    fn route_must_name_real_edge() {
+        let (g, mrrg, _) = mapped();
+        // o has no operand-1 edge.
+        let err = parse_mapping(
+            &g,
+            &mrrg,
+            "mapping t onto x\nroute s -> o 1 : b0_0.out.core@0\n",
+        )
+        .unwrap_err();
+        assert!(matches!(err, ParseMappingError::Syntax { .. }));
+    }
+}

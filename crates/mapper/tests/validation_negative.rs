@@ -1,0 +1,190 @@
+//! Negative tests for the structural mapping validator: start from a
+//! known-good mapping and corrupt it in every way the paper's constraints
+//! forbid, checking the validator names the right violation.
+
+use cgra_arch::families::{grid, FuMix, GridParams, Interconnect};
+use cgra_dfg::{Dfg, OpKind};
+use cgra_mapper::{validate_mapping, IlpMapper, Mapping, MapperOptions, MappingError};
+use cgra_mrrg::{build_mrrg, Mrrg, NodeKind};
+
+fn setup() -> (Dfg, Mrrg, Mapping) {
+    let mut g = Dfg::new("t");
+    let a = g.add_op("a", OpKind::Input).unwrap();
+    let b = g.add_op("b", OpKind::Input).unwrap();
+    let s = g.add_op("s", OpKind::Sub).unwrap();
+    let o = g.add_op("o", OpKind::Output).unwrap();
+    g.connect(a, s, 0).unwrap();
+    g.connect(b, s, 1).unwrap();
+    g.connect(s, o, 0).unwrap();
+    let arch = grid(GridParams {
+        rows: 2,
+        cols: 2,
+        fu_mix: FuMix::Homogeneous,
+        interconnect: Interconnect::Orthogonal,
+        io_pads: true,
+        memory_ports: true,
+        toroidal: false,
+        alu_latency: 0,
+            bypass_channel: false,
+    });
+    let mrrg = build_mrrg(&arch, 1);
+    let report = IlpMapper::new(MapperOptions::default()).map(&g, &mrrg);
+    let mapping = report.outcome.mapping().expect("maps").clone();
+    (g, mrrg, mapping)
+}
+
+#[test]
+fn good_mapping_validates() {
+    let (g, mrrg, mapping) = setup();
+    validate_mapping(&g, &mrrg, &mapping).expect("pristine mapping is valid");
+}
+
+#[test]
+fn unplaced_op_detected() {
+    let (g, mrrg, mut mapping) = setup();
+    let s = g.op_by_name("s").unwrap();
+    mapping.placement.remove(&s);
+    assert!(matches!(
+        validate_mapping(&g, &mrrg, &mapping),
+        Err(MappingError::Unplaced(_))
+    ));
+}
+
+#[test]
+fn placement_on_route_node_detected() {
+    let (g, mrrg, mut mapping) = setup();
+    let s = g.op_by_name("s").unwrap();
+    let route = mrrg.route_nodes().next().expect("has route nodes");
+    mapping.placement.insert(s, route);
+    assert!(matches!(
+        validate_mapping(&g, &mrrg, &mapping),
+        Err(MappingError::IllegalPlacement { .. })
+    ));
+}
+
+#[test]
+fn incompatible_unit_detected() {
+    let (g, mrrg, mut mapping) = setup();
+    // Put the subtraction on a memory port (supports only load/store).
+    let s = g.op_by_name("s").unwrap();
+    let mem_slot = mrrg
+        .function_nodes()
+        .find(|&p| match &mrrg.nodes()[p.index()].kind {
+            NodeKind::Function { ops } => {
+                ops.contains(OpKind::Load) && !ops.contains(OpKind::Sub)
+            }
+            _ => false,
+        })
+        .expect("memory slot exists");
+    mapping.placement.insert(s, mem_slot);
+    assert!(matches!(
+        validate_mapping(&g, &mrrg, &mapping),
+        Err(MappingError::IllegalPlacement { .. })
+    ));
+}
+
+#[test]
+fn placement_overlap_detected() {
+    let (g, mrrg, mut mapping) = setup();
+    let a = g.op_by_name("a").unwrap();
+    let b = g.op_by_name("b").unwrap();
+    let pa = mapping.placement[&a];
+    mapping.placement.insert(b, pa);
+    assert!(matches!(
+        validate_mapping(&g, &mrrg, &mapping),
+        Err(MappingError::PlacementOverlap { .. })
+    ));
+}
+
+#[test]
+fn missing_route_detected() {
+    let (g, mrrg, mut mapping) = setup();
+    let s = g.op_by_name("s").unwrap();
+    let e = g.operand_edge(s, 0).unwrap();
+    mapping.routes.remove(&e);
+    assert!(matches!(
+        validate_mapping(&g, &mrrg, &mapping),
+        Err(MappingError::Unrouted { .. })
+    ));
+}
+
+#[test]
+fn disconnected_route_detected() {
+    let (g, mrrg, mut mapping) = setup();
+    let s = g.op_by_name("s").unwrap();
+    let e = g.operand_edge(s, 0).unwrap();
+    let path = mapping.routes.get_mut(&e).unwrap();
+    if path.len() >= 2 {
+        // Remove a middle node to break connectivity.
+        path.remove(path.len() / 2);
+    }
+    let err = validate_mapping(&g, &mrrg, &mapping).unwrap_err();
+    assert!(
+        matches!(
+            err,
+            MappingError::BrokenRoute { .. } | MappingError::BadRouteEnd { .. }
+        ),
+        "unexpected error {err:?}"
+    );
+}
+
+#[test]
+fn wrong_operand_port_detected() {
+    let (g, mrrg, mut mapping) = setup();
+    // Swap the two routes of the non-commutative subtraction: each now
+    // terminates at the wrong port.
+    let s = g.op_by_name("s").unwrap();
+    let e0 = g.operand_edge(s, 0).unwrap();
+    let e1 = g.operand_edge(s, 1).unwrap();
+    let r0 = mapping.routes[&e0].clone();
+    let r1 = mapping.routes[&e1].clone();
+    mapping.routes.insert(e0, r1);
+    mapping.routes.insert(e1, r0);
+    let err = validate_mapping(&g, &mrrg, &mapping).unwrap_err();
+    // The swapped route is caught at its start (it no longer leaves the
+    // right source) or, failing that, at its mismatched terminal port.
+    assert!(
+        matches!(
+            err,
+            MappingError::BadRouteEnd { .. } | MappingError::BadRouteStart { .. }
+        ),
+        "unexpected error {err:?}"
+    );
+}
+
+#[test]
+fn illegal_swap_detected() {
+    let (g, mrrg, mut mapping) = setup();
+    let s = g.op_by_name("s").unwrap(); // Sub is non-commutative
+    mapping.swapped.insert(s);
+    assert!(matches!(
+        validate_mapping(&g, &mrrg, &mapping),
+        Err(MappingError::IllegalSwap { .. })
+    ));
+}
+
+#[test]
+fn route_overuse_detected() {
+    let (g, mrrg, mut mapping) = setup();
+    // Force edge b->s to reuse a's route nodes: distinct values on one
+    // routing resource.
+    let s = g.op_by_name("s").unwrap();
+    let e0 = g.operand_edge(s, 0).unwrap();
+    let e1 = g.operand_edge(s, 1).unwrap();
+    let mut stolen = mapping.routes[&e0].clone();
+    // Keep b's own terminal so the end check passes, but splice a's spine.
+    let own_tail = *mapping.routes[&e1].last().unwrap();
+    stolen.pop();
+    stolen.push(own_tail);
+    mapping.routes.insert(e1, stolen);
+    let err = validate_mapping(&g, &mrrg, &mapping).unwrap_err();
+    assert!(
+        matches!(
+            err,
+            MappingError::RouteOveruse { .. }
+                | MappingError::BrokenRoute { .. }
+                | MappingError::BadRouteStart { .. }
+        ),
+        "unexpected error {err:?}"
+    );
+}

@@ -1,0 +1,374 @@
+//! MRRG generation from an architecture description.
+//!
+//! Translation rules (paper Figs 1-3):
+//!
+//! * **Multiplexer** — per context: one route node per input plus one
+//!   multiplexing core node (which doubles as the output). The core has
+//!   fanin > 1, which is what subjects it to the paper's Multiplexer
+//!   Input Exclusivity constraint (9).
+//! * **Register** — per context: an input node at context `c` whose value
+//!   emerges at the output node in context `(c + 1) mod II` — "a special
+//!   wire that moves a value from one cycle to the next".
+//! * **Functional unit** with latency `L` and initiation interval `ii` —
+//!   per context: operand-port route nodes (tagged with their operand
+//!   index) feeding a function node, whose result appears on the
+//!   unit's output route node at context `(c + L) mod II`. Function nodes
+//!   exist only at contexts `c ≡ 0 (mod ii)`, and only when `ii` divides
+//!   the MRRG's context count — a unit that is busy for `ii` cycles cannot
+//!   sustain a modulo schedule whose period it does not divide.
+//! * **Connections** — replicated in every context, linking the source
+//!   component's output node to the destination's input node within the
+//!   same context (context crossings happen only inside registers and
+//!   multi-cycle functional units).
+
+use crate::graph::{Mrrg, Node, NodeId, NodeKind, NodeRole};
+use cgra_arch::{Architecture, ComponentKind, Port};
+
+/// Generates the MRRG of `arch` for a given number of contexts (the
+/// mapping initiation interval).
+///
+/// # Panics
+///
+/// Panics if `contexts == 0`.
+///
+/// # Examples
+///
+/// ```
+/// use cgra_arch::families::{grid, FuMix, GridParams, Interconnect};
+/// use cgra_mrrg::build_mrrg;
+/// let arch = grid(GridParams::paper(FuMix::Homogeneous, Interconnect::Orthogonal));
+/// let mrrg = build_mrrg(&arch, 2);
+/// assert_eq!(mrrg.contexts(), 2);
+/// mrrg.validate()?;
+/// # Ok::<(), cgra_mrrg::MrrgError>(())
+/// ```
+pub fn build_mrrg(arch: &Architecture, contexts: u32) -> Mrrg {
+    assert!(contexts > 0, "an MRRG needs at least one context");
+    let ii = contexts;
+    let mut g = Mrrg::new(format!("{}@{}", arch.name(), ii), ii);
+
+    let n_comps = arch.components().len();
+    // Node lookup tables: the node a component's output port presents in
+    // context c, and the node its input port k consumes in context c.
+    let mut out_node: Vec<Vec<Option<NodeId>>> = vec![vec![None; ii as usize]; n_comps];
+    let mut in_node: Vec<Vec<Vec<Option<NodeId>>>> = arch
+        .components()
+        .iter()
+        .map(|c| vec![vec![None; ii as usize]; c.kind.num_inputs()])
+        .collect();
+
+    for (ci, comp) in arch.components().iter().enumerate() {
+        let comp_id = cgra_arch::CompId(ci as u32);
+        match &comp.kind {
+            ComponentKind::Mux { inputs } => {
+                for c in 0..ii {
+                    let core = g.add_node(Node {
+                        name: format!("{}.core@{c}", comp.name),
+                        context: c,
+                        kind: NodeKind::Route { operand: None },
+                        comp: comp_id,
+                        role: NodeRole::MuxCore,
+                    });
+                    out_node[ci][c as usize] = Some(core);
+                    for i in 0..*inputs {
+                        let input = g.add_node(Node {
+                            name: format!("{}.in{i}@{c}", comp.name),
+                            context: c,
+                            kind: NodeKind::Route { operand: None },
+                            comp: comp_id,
+                            role: NodeRole::MuxIn(i as u8),
+                        });
+                        g.add_edge(input, core);
+                        in_node[ci][i as usize][c as usize] = Some(input);
+                    }
+                }
+            }
+            ComponentKind::Register => {
+                let ins: Vec<NodeId> = (0..ii)
+                    .map(|c| {
+                        let n = g.add_node(Node {
+                            name: format!("{}.in@{c}", comp.name),
+                            context: c,
+                            kind: NodeKind::Route { operand: None },
+                            comp: comp_id,
+                            role: NodeRole::RegIn,
+                        });
+                        in_node[ci][0][c as usize] = Some(n);
+                        n
+                    })
+                    .collect();
+                let outs: Vec<NodeId> = (0..ii)
+                    .map(|c| {
+                        let n = g.add_node(Node {
+                            name: format!("{}.out@{c}", comp.name),
+                            context: c,
+                            kind: NodeKind::Route { operand: None },
+                            comp: comp_id,
+                            role: NodeRole::RegOut,
+                        });
+                        out_node[ci][c as usize] = Some(n);
+                        n
+                    })
+                    .collect();
+                for c in 0..ii {
+                    // The registered value crosses into the next context.
+                    g.add_edge(ins[c as usize], outs[((c + 1) % ii) as usize]);
+                }
+            }
+            ComponentKind::FuncUnit {
+                ops,
+                latency,
+                ii: unit_ii,
+            } => {
+                let n_operands = comp.kind.num_inputs();
+                let mut operand_nodes: Vec<Vec<NodeId>> = Vec::with_capacity(ii as usize);
+                let mut result_nodes: Vec<NodeId> = Vec::with_capacity(ii as usize);
+                for c in 0..ii {
+                    let mut row = Vec::with_capacity(n_operands);
+                    for i in 0..n_operands {
+                        let n = g.add_node(Node {
+                            name: format!("{}.op{i}@{c}", comp.name),
+                            context: c,
+                            kind: NodeKind::Route {
+                                operand: Some(i as u8),
+                            },
+                            comp: comp_id,
+                            role: NodeRole::FuOperand(i as u8),
+                        });
+                        in_node[ci][i][c as usize] = Some(n);
+                        row.push(n);
+                    }
+                    operand_nodes.push(row);
+                    let out = g.add_node(Node {
+                        name: format!("{}.res@{c}", comp.name),
+                        context: c,
+                        kind: NodeKind::Route { operand: None },
+                        comp: comp_id,
+                        role: NodeRole::FuOut,
+                    });
+                    out_node[ci][c as usize] = Some(out);
+                    result_nodes.push(out);
+                }
+                // Execution slots: only if the unit's initiation interval
+                // divides the modulo period.
+                if ii % unit_ii == 0 {
+                    for c in (0..ii).step_by(*unit_ii as usize) {
+                        let core = g.add_node(Node {
+                            name: format!("{}.fu@{c}", comp.name),
+                            context: c,
+                            kind: NodeKind::Function { ops: *ops },
+                            comp: comp_id,
+                            role: NodeRole::FuCore,
+                        });
+                        for &op in &operand_nodes[c as usize] {
+                            g.add_edge(op, core);
+                        }
+                        let res_ctx = ((c + latency) % ii) as usize;
+                        g.add_edge(core, result_nodes[res_ctx]);
+                    }
+                }
+            }
+        }
+    }
+
+    // Replicate every architecture connection in every context.
+    for conn in arch.connections() {
+        let Port::In(k) = conn.to.port else {
+            unreachable!("architecture connections always end on inputs");
+        };
+        for c in 0..ii as usize {
+            let from = out_node[conn.from.comp.index()][c]
+                .expect("every component has an output node per context");
+            let to = in_node[conn.to.comp.index()][usize::from(k)][c]
+                .expect("every input port has a node per context");
+            g.add_edge(from, to);
+        }
+    }
+
+    g
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::NodeKind;
+    use cgra_arch::{alu_ops, Architecture, ComponentKind, PortRef};
+    use cgra_dfg::{OpKind, OpSet};
+
+    /// A minimal closed architecture: mux -> fu -> reg -> mux.
+    fn tiny(latency: u32, unit_ii: u32) -> Architecture {
+        let mut a = Architecture::new("tiny");
+        let mux = a
+            .add_component("m", ComponentKind::Mux { inputs: 2 })
+            .unwrap();
+        let fu = a
+            .add_component(
+                "f",
+                ComponentKind::FuncUnit {
+                    ops: alu_ops(true),
+                    latency,
+                    ii: unit_ii,
+                },
+            )
+            .unwrap();
+        let reg = a.add_component("r", ComponentKind::Register).unwrap();
+        a.connect(PortRef::out(mux), PortRef::input(fu, 0)).unwrap();
+        a.connect(PortRef::out(mux), PortRef::input(fu, 1)).unwrap();
+        a.connect(PortRef::out(fu), PortRef::input(reg, 0)).unwrap();
+        a.connect(PortRef::out(reg), PortRef::input(mux, 0))
+            .unwrap();
+        a.connect(PortRef::out(fu), PortRef::input(mux, 1)).unwrap();
+        a
+    }
+
+    #[test]
+    fn fig1_mux_structure() {
+        // Paper Fig 1: a dynamically-reconfigurable 2:1 mux guarantees
+        // exclusivity through an internal node replicated per context.
+        let g = build_mrrg(&tiny(0, 1), 2);
+        for c in 0..2 {
+            let core = g.node_by_name(&format!("m.core@{c}")).expect("core");
+            assert_eq!(g.fanins(core).len(), 2, "mux core has one fanin per input");
+            let in0 = g.node_by_name(&format!("m.in{}@{c}", 0)).expect("in0");
+            assert!(g.fanouts(in0).contains(&core));
+        }
+        g.validate().unwrap();
+    }
+
+    #[test]
+    fn fig1_register_crosses_contexts() {
+        let g = build_mrrg(&tiny(0, 1), 2);
+        let in0 = g.node_by_name("r.in@0").expect("reg in");
+        let out1 = g.node_by_name("r.out@1").expect("reg out");
+        assert_eq!(g.fanouts(in0), &[out1], "value written at 0 emerges at 1");
+        let in1 = g.node_by_name("r.in@1").expect("reg in");
+        let out0 = g.node_by_name("r.out@0").expect("reg out");
+        assert_eq!(g.fanouts(in1), &[out0], "modulo wrap-around");
+    }
+
+    #[test]
+    fn fig1_register_single_context_self_loop_pattern() {
+        // With II=1 the register still exists: in@0 -> out@0 (the value
+        // reappears one cycle later at the same modulo position).
+        let g = build_mrrg(&tiny(0, 1), 1);
+        let i = g.node_by_name("r.in@0").unwrap();
+        let o = g.node_by_name("r.out@0").unwrap();
+        assert_eq!(g.fanouts(i), &[o]);
+    }
+
+    #[test]
+    fn fig2_latency1_fullypipelined() {
+        // L=1, ii=1: function node in every context; result lands one
+        // context later.
+        let g = build_mrrg(&tiny(1, 1), 2);
+        for c in 0..2u32 {
+            let fu = g.node_by_name(&format!("f.fu@{c}")).expect("slot per ctx");
+            let res = g
+                .node_by_name(&format!("f.res@{}", (c + 1) % 2))
+                .expect("res");
+            assert!(g.fanouts(fu).contains(&res));
+        }
+    }
+
+    #[test]
+    fn fig2_latency2_unpipelined() {
+        // L=2, ii=2 in a 2-context MRRG: a single execution slot at
+        // context 0, result back at context (0+2)%2 = 0.
+        let g = build_mrrg(&tiny(2, 2), 2);
+        assert!(g.node_by_name("f.fu@0").is_some());
+        assert!(g.node_by_name("f.fu@1").is_none(), "busy every other cycle");
+        let fu = g.node_by_name("f.fu@0").unwrap();
+        let res0 = g.node_by_name("f.res@0").unwrap();
+        assert!(g.fanouts(fu).contains(&res0));
+    }
+
+    #[test]
+    fn fig2_latency2_pipelined() {
+        // L=2, ii=1: slot in every context, result two contexts later.
+        let g = build_mrrg(&tiny(2, 1), 4);
+        for c in 0..4u32 {
+            let fu = g.node_by_name(&format!("f.fu@{c}")).unwrap();
+            let res = g.node_by_name(&format!("f.res@{}", (c + 2) % 4)).unwrap();
+            assert!(g.fanouts(fu).contains(&res));
+        }
+    }
+
+    #[test]
+    fn unit_ii_must_divide_modulo_period() {
+        // ii=2 unit in a 1-context MRRG: unusable, no execution slots.
+        let g = build_mrrg(&tiny(0, 2), 1);
+        assert!(g.node_by_name("f.fu@0").is_none());
+        // ...but in a 2-context MRRG it gets one slot.
+        let g = build_mrrg(&tiny(0, 2), 2);
+        assert!(g.node_by_name("f.fu@0").is_some());
+        assert!(g.node_by_name("f.fu@1").is_none());
+    }
+
+    #[test]
+    fn operand_nodes_are_tagged() {
+        let g = build_mrrg(&tiny(0, 1), 1);
+        let op1 = g.node_by_name("f.op1@0").unwrap();
+        assert_eq!(
+            g.node(op1).unwrap().kind,
+            NodeKind::Route { operand: Some(1) }
+        );
+        g.validate().unwrap();
+    }
+
+    #[test]
+    fn store_only_unit_has_two_operands_no_useful_result() {
+        let mut a = Architecture::new("st");
+        let st_ops = OpSet::from_iter([OpKind::Store]);
+        let m = a
+            .add_component("m", ComponentKind::Mux { inputs: 2 })
+            .unwrap();
+        let f = a
+            .add_component(
+                "f",
+                ComponentKind::FuncUnit {
+                    ops: st_ops,
+                    latency: 0,
+                    ii: 1,
+                },
+            )
+            .unwrap();
+        a.connect(PortRef::out(m), PortRef::input(f, 0)).unwrap();
+        a.connect(PortRef::out(m), PortRef::input(f, 1)).unwrap();
+        a.connect(PortRef::out(f), PortRef::input(m, 0)).unwrap();
+        a.connect(PortRef::out(f), PortRef::input(m, 1)).unwrap();
+        let g = build_mrrg(&a, 1);
+        g.validate().unwrap();
+        assert!(g.node_by_name("f.op0@0").is_some());
+        assert!(g.node_by_name("f.op1@0").is_some());
+    }
+
+    #[test]
+    fn contexts_scale_node_count_linearly() {
+        let a = tiny(0, 1);
+        let g1 = build_mrrg(&a, 1);
+        let g2 = build_mrrg(&a, 2);
+        let g3 = build_mrrg(&a, 3);
+        assert_eq!(g2.node_count(), 2 * g1.node_count());
+        assert_eq!(g3.node_count(), 3 * g1.node_count());
+        assert_eq!(g2.edge_count(), 2 * g1.edge_count());
+    }
+
+    #[test]
+    fn paper_architecture_mrrg_validates() {
+        use cgra_arch::families::{grid, FuMix, GridParams, Interconnect};
+        for contexts in [1u32, 2] {
+            let arch = grid(GridParams::paper(
+                FuMix::Heterogeneous,
+                Interconnect::Diagonal,
+            ));
+            let g = build_mrrg(&arch, contexts);
+            g.validate()
+                .unwrap_or_else(|e| panic!("II={contexts}: {e}"));
+            let (routes, funcs) = g.kind_counts();
+            assert!(routes > funcs);
+            // 36 physical FUs (16 ALU + 16 pads + 4 mem), all ii=1, so one
+            // execution slot each per context.
+            assert_eq!(funcs, 36 * contexts as usize);
+        }
+    }
+}

@@ -1,0 +1,388 @@
+//! The Modulo Routing Resource Graph structure.
+//!
+//! An MRRG (Mei et al., DRESC; paper Section 3.2) is a directed graph with
+//! one vertex per CGRA resource *per execution context*. Vertices are
+//! either routing resources (`RouteRes`) or functional-unit execution
+//! slots (`FuncUnits`); edges express which resource can feed which on
+//! consistent cycles, with register edges crossing from context `i` to
+//! context `(i + 1) mod II`.
+
+use cgra_arch::CompId;
+use cgra_dfg::OpSet;
+use std::fmt;
+
+/// Identifier of an MRRG node.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct NodeId(pub u32);
+
+impl NodeId {
+    /// Dense index into [`Mrrg::nodes`].
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// The structural role a node plays inside its originating component.
+///
+/// Roles drive configuration extraction (turning a mapping back into mux
+/// select values and FU opcodes) in the simulator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum NodeRole {
+    /// Input `i` of a multiplexer.
+    MuxIn(u8),
+    /// The multiplexing point of a multiplexer (also its output).
+    MuxCore,
+    /// Register input (value enters at cycle `c`...).
+    RegIn,
+    /// Register output (...and leaves at cycle `c + 1`).
+    RegOut,
+    /// Operand port `i` of a functional unit.
+    FuOperand(u8),
+    /// The execution slot of a functional unit.
+    FuCore,
+    /// Result port of a functional unit.
+    FuOut,
+}
+
+/// Node kind: routing resource or functional-unit execution slot.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NodeKind {
+    /// A routing resource. `operand` is set on functional-unit operand
+    /// ports and names which operand of the downstream unit this port
+    /// feeds — the hook for operand correctness in the paper's
+    /// constraint (6).
+    Route {
+        /// Operand index, for FU operand ports.
+        operand: Option<u8>,
+    },
+    /// A functional-unit execution slot supporting `ops`.
+    Function {
+        /// Operations executable in this slot (`SupportedOps(p)`).
+        ops: OpSet,
+    },
+}
+
+impl NodeKind {
+    /// Whether this is a routing resource.
+    pub fn is_route(&self) -> bool {
+        matches!(self, NodeKind::Route { .. })
+    }
+
+    /// Whether this is a functional-unit slot.
+    pub fn is_function(&self) -> bool {
+        matches!(self, NodeKind::Function { .. })
+    }
+}
+
+/// One MRRG vertex.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Node {
+    /// Human-readable name, `component.role@context`.
+    pub name: String,
+    /// Execution context (`0..mrrg.contexts()`).
+    pub context: u32,
+    /// Route or function.
+    pub kind: NodeKind,
+    /// Originating architecture component.
+    pub comp: CompId,
+    /// Structural role within the component.
+    pub role: NodeRole,
+}
+
+/// Errors from MRRG structural validation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MrrgError {
+    /// An edge connects two function nodes (values must traverse routing).
+    FunctionToFunction {
+        /// Source node name.
+        from: String,
+        /// Destination node name.
+        to: String,
+    },
+    /// A functional-unit operand port has a fanout other than exactly its
+    /// own function node, which would break the paper's constraint (6).
+    BadOperandFanout {
+        /// The offending operand node name.
+        node: String,
+    },
+    /// A node id was out of range.
+    InvalidNode(NodeId),
+}
+
+impl fmt::Display for MrrgError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MrrgError::FunctionToFunction { from, to } => {
+                write!(f, "edge connects two function nodes: {from} -> {to}")
+            }
+            MrrgError::BadOperandFanout { node } => {
+                write!(
+                    f,
+                    "operand node `{node}` must feed exactly its function node"
+                )
+            }
+            MrrgError::InvalidNode(id) => write!(f, "invalid node id {id:?}"),
+        }
+    }
+}
+
+impl std::error::Error for MrrgError {}
+
+/// The Modulo Routing Resource Graph.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Mrrg {
+    name: String,
+    contexts: u32,
+    nodes: Vec<Node>,
+    fanouts: Vec<Vec<NodeId>>,
+    fanins: Vec<Vec<NodeId>>,
+}
+
+impl Mrrg {
+    /// Creates an empty MRRG with the given name and context count.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `contexts == 0`.
+    pub fn new(name: impl Into<String>, contexts: u32) -> Self {
+        assert!(contexts > 0, "an MRRG needs at least one context");
+        Mrrg {
+            name: name.into(),
+            contexts,
+            nodes: Vec::new(),
+            fanouts: Vec::new(),
+            fanins: Vec::new(),
+        }
+    }
+
+    /// The MRRG's name (usually derived from the architecture).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Number of execution contexts (the mapping initiation interval).
+    pub fn contexts(&self) -> u32 {
+        self.contexts
+    }
+
+    /// Adds a node.
+    pub fn add_node(&mut self, node: Node) -> NodeId {
+        let id = NodeId(self.nodes.len() as u32);
+        self.nodes.push(node);
+        self.fanouts.push(Vec::new());
+        self.fanins.push(Vec::new());
+        id
+    }
+
+    /// Adds a directed edge.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either endpoint is out of range or the edge duplicates an
+    /// existing one.
+    pub fn add_edge(&mut self, from: NodeId, to: NodeId) {
+        assert!(from.index() < self.nodes.len() && to.index() < self.nodes.len());
+        debug_assert!(
+            !self.fanouts[from.index()].contains(&to),
+            "duplicate edge {} -> {}",
+            self.nodes[from.index()].name,
+            self.nodes[to.index()].name
+        );
+        self.fanouts[from.index()].push(to);
+        self.fanins[to.index()].push(from);
+    }
+
+    /// All nodes, indexable by [`NodeId::index`].
+    pub fn nodes(&self) -> &[Node] {
+        &self.nodes
+    }
+
+    /// Looks up a node.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MrrgError::InvalidNode`] for foreign ids.
+    pub fn node(&self, id: NodeId) -> Result<&Node, MrrgError> {
+        self.nodes.get(id.index()).ok_or(MrrgError::InvalidNode(id))
+    }
+
+    /// Looks up a node by its full name (`component.role@context`).
+    pub fn node_by_name(&self, name: &str) -> Option<NodeId> {
+        self.nodes
+            .iter()
+            .position(|n| n.name == name)
+            .map(|i| NodeId(i as u32))
+    }
+
+    /// Iterates over node ids.
+    pub fn node_ids(&self) -> impl Iterator<Item = NodeId> + '_ {
+        (0..self.nodes.len() as u32).map(NodeId)
+    }
+
+    /// Fanout of a node.
+    pub fn fanouts(&self, id: NodeId) -> &[NodeId] {
+        &self.fanouts[id.index()]
+    }
+
+    /// Fanin of a node.
+    pub fn fanins(&self, id: NodeId) -> &[NodeId] {
+        &self.fanins[id.index()]
+    }
+
+    /// Number of nodes.
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Number of edges.
+    pub fn edge_count(&self) -> usize {
+        self.fanouts.iter().map(Vec::len).sum()
+    }
+
+    /// Iterates over functional-unit slots (the `FuncUnits` set).
+    pub fn function_nodes(&self) -> impl Iterator<Item = NodeId> + '_ {
+        self.node_ids()
+            .filter(|id| self.nodes[id.index()].kind.is_function())
+    }
+
+    /// Iterates over routing resources (the `RouteRes` set).
+    pub fn route_nodes(&self) -> impl Iterator<Item = NodeId> + '_ {
+        self.node_ids()
+            .filter(|id| self.nodes[id.index()].kind.is_route())
+    }
+
+    /// Counts `(route, function)` nodes.
+    pub fn kind_counts(&self) -> (usize, usize) {
+        let f = self.function_nodes().count();
+        (self.node_count() - f, f)
+    }
+
+    /// Validates the structural invariants the ILP formulation relies on:
+    /// values travel through routing (no function-to-function edges) and
+    /// operand ports feed exactly their own function node.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first violated invariant.
+    pub fn validate(&self) -> Result<(), MrrgError> {
+        for id in self.node_ids() {
+            let n = &self.nodes[id.index()];
+            if n.kind.is_function() {
+                for &t in self.fanouts(id) {
+                    if self.nodes[t.index()].kind.is_function() {
+                        return Err(MrrgError::FunctionToFunction {
+                            from: n.name.clone(),
+                            to: self.nodes[t.index()].name.clone(),
+                        });
+                    }
+                }
+            }
+            if let NodeKind::Route { operand: Some(_) } = n.kind {
+                let outs = self.fanouts(id);
+                let ok = outs.len() == 1
+                    && self.nodes[outs[0].index()].kind.is_function()
+                    && self.nodes[outs[0].index()].comp == n.comp;
+                if !ok {
+                    return Err(MrrgError::BadOperandFanout {
+                        node: n.name.clone(),
+                    });
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Display for Mrrg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let (r, fu) = self.kind_counts();
+        write!(
+            f,
+            "mrrg {} (II={}, {r} route + {fu} function nodes, {} edges)",
+            self.name,
+            self.contexts,
+            self.edge_count()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cgra_dfg::OpKind;
+
+    fn route(name: &str, ctx: u32, operand: Option<u8>) -> Node {
+        Node {
+            name: name.into(),
+            context: ctx,
+            kind: NodeKind::Route { operand },
+            comp: CompId(0),
+            role: if operand.is_some() {
+                NodeRole::FuOperand(operand.unwrap_or(0))
+            } else {
+                NodeRole::MuxCore
+            },
+        }
+    }
+
+    fn function(name: &str, ctx: u32) -> Node {
+        Node {
+            name: name.into(),
+            context: ctx,
+            kind: NodeKind::Function {
+                ops: OpSet::from_iter([OpKind::Add]),
+            },
+            comp: CompId(0),
+            role: NodeRole::FuCore,
+        }
+    }
+
+    #[test]
+    fn basic_graph_queries() {
+        let mut g = Mrrg::new("t", 1);
+        let a = g.add_node(route("a", 0, None));
+        let b = g.add_node(route("b", 0, None));
+        g.add_edge(a, b);
+        assert_eq!(g.fanouts(a), &[b]);
+        assert_eq!(g.fanins(b), &[a]);
+        assert_eq!(g.node_count(), 2);
+        assert_eq!(g.edge_count(), 1);
+        assert_eq!(g.node_by_name("b"), Some(b));
+        assert_eq!(g.kind_counts(), (2, 0));
+        g.validate().unwrap();
+    }
+
+    #[test]
+    fn function_to_function_rejected() {
+        let mut g = Mrrg::new("t", 1);
+        let f1 = g.add_node(function("f1", 0));
+        let f2 = g.add_node(function("f2", 0));
+        g.add_edge(f1, f2);
+        assert!(matches!(
+            g.validate(),
+            Err(MrrgError::FunctionToFunction { .. })
+        ));
+    }
+
+    #[test]
+    fn operand_fanout_invariant() {
+        let mut g = Mrrg::new("t", 1);
+        let op = g.add_node(route("op", 0, Some(0)));
+        let f = g.add_node(function("f", 0));
+        let r = g.add_node(route("r", 0, None));
+        g.add_edge(op, f);
+        g.validate().unwrap();
+        // A second fanout from an operand port breaks the invariant.
+        g.add_edge(op, r);
+        assert!(matches!(
+            g.validate(),
+            Err(MrrgError::BadOperandFanout { .. })
+        ));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one context")]
+    fn zero_contexts_panics() {
+        let _ = Mrrg::new("t", 0);
+    }
+}

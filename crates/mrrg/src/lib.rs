@@ -1,0 +1,37 @@
+//! # cgra-mrrg — Modulo Routing Resource Graphs
+//!
+//! The device-side abstraction of the CGRA mapping problem from *"An
+//! Architecture-Agnostic Integer Linear Programming Approach to CGRA
+//! Mapping"* (Chin & Anderson, DAC 2018): the Modulo Routing Resource
+//! Graph of Mei et al. (DRESC). The MRRG frames modulo scheduling,
+//! operator placement and value routing as one graph problem — the ILP
+//! formulation in `cgra-mapper` is written entirely against this
+//! structure, which is what makes the mapper architecture-agnostic.
+//!
+//! * [`Mrrg`] — the graph: `RouteRes` and `FuncUnits` nodes per context,
+//! * [`build_mrrg`] — generation from a [`cgra_arch::Architecture`]
+//!   following the paper's translation rules (Figs 1-3),
+//! * [`to_dot`] — Graphviz export, clustered per context.
+//!
+//! # Examples
+//!
+//! ```
+//! use cgra_arch::families::{grid, FuMix, GridParams, Interconnect};
+//! use cgra_mrrg::build_mrrg;
+//! let arch = grid(GridParams::paper(FuMix::Homogeneous, Interconnect::Diagonal));
+//! let mrrg = build_mrrg(&arch, 2); // II = 2: dual context
+//! assert_eq!(mrrg.contexts(), 2);
+//! let (routes, functions) = mrrg.kind_counts();
+//! assert!(routes > 0 && functions > 0);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod build;
+mod dot;
+mod graph;
+
+pub use build::build_mrrg;
+pub use dot::to_dot;
+pub use graph::{Mrrg, MrrgError, Node, NodeId, NodeKind, NodeRole};

@@ -1,0 +1,86 @@
+//! The fundamental modulo invariant of MRRG generation: an edge never
+//! skips time. Within a context, edges are combinational; registers move
+//! exactly one context forward; a functional unit's result lands exactly
+//! `latency` contexts after its operands (all modulo II).
+
+use cgra_arch::families::{grid, FuMix, GridParams, Interconnect};
+use cgra_arch::{Architecture, ComponentKind};
+use cgra_mrrg::{build_mrrg, Mrrg, NodeRole};
+
+fn check_context_consistency(arch: &Architecture, mrrg: &Mrrg) {
+    let ii = mrrg.contexts();
+    for u in mrrg.node_ids() {
+        let un = &mrrg.nodes()[u.index()];
+        for &v in mrrg.fanouts(u) {
+            let vn = &mrrg.nodes()[v.index()];
+            let expected = match un.role {
+                NodeRole::RegIn => (un.context + 1) % ii,
+                NodeRole::FuCore => {
+                    let latency = match &arch.components()[un.comp.index()].kind {
+                        ComponentKind::FuncUnit { latency, .. } => *latency,
+                        other => panic!("FuCore on non-FU component {other:?}"),
+                    };
+                    (un.context + latency) % ii
+                }
+                _ => un.context,
+            };
+            assert_eq!(
+                vn.context, expected,
+                "edge {} -> {} crosses time inconsistently",
+                un.name, vn.name
+            );
+        }
+    }
+}
+
+#[test]
+fn paper_architectures_are_time_consistent() {
+    for mix in [FuMix::Homogeneous, FuMix::Heterogeneous] {
+        for ic in [Interconnect::Orthogonal, Interconnect::Diagonal] {
+            for contexts in [1u32, 2, 3] {
+                let arch = grid(GridParams::paper(mix, ic));
+                let mrrg = build_mrrg(&arch, contexts);
+                check_context_consistency(&arch, &mrrg);
+            }
+        }
+    }
+}
+
+#[test]
+fn pipelined_and_toroidal_variants_are_time_consistent() {
+    for alu_latency in [1u32, 2] {
+        for toroidal in [false, true] {
+            let arch = grid(GridParams {
+                rows: 3,
+                cols: 3,
+                alu_latency,
+                toroidal,
+                ..GridParams::paper(FuMix::Homogeneous, Interconnect::Diagonal)
+            });
+            for contexts in [1u32, 2, 4] {
+                let mrrg = build_mrrg(&arch, contexts);
+                check_context_consistency(&arch, &mrrg);
+                mrrg.validate().expect("structurally valid");
+            }
+        }
+    }
+}
+
+#[test]
+fn every_route_node_context_within_bounds() {
+    let arch = grid(GridParams::paper(FuMix::Homogeneous, Interconnect::Orthogonal));
+    for contexts in [1u32, 2, 5] {
+        let mrrg = build_mrrg(&arch, contexts);
+        for id in mrrg.node_ids() {
+            assert!(mrrg.nodes()[id.index()].context < contexts);
+        }
+    }
+}
+
+#[test]
+fn function_slot_count_scales_with_contexts_for_ii1_units() {
+    let arch = grid(GridParams::paper(FuMix::Heterogeneous, Interconnect::Orthogonal));
+    let f1 = build_mrrg(&arch, 1).function_nodes().count();
+    let f3 = build_mrrg(&arch, 3).function_nodes().count();
+    assert_eq!(f3, 3 * f1);
+}

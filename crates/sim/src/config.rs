@@ -1,0 +1,233 @@
+//! Configuration extraction: turning a mapping back into per-context
+//! hardware configuration (multiplexer select values and functional-unit
+//! opcodes) — what a bitstream generator would emit.
+
+use cgra_arch::{Architecture, CompId, ComponentKind};
+use cgra_dfg::{Dfg, OpId, OpKind};
+use cgra_mapper::Mapping;
+use cgra_mrrg::{Mrrg, NodeRole};
+use std::fmt;
+
+/// What a functional unit does in one context.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FuAction {
+    /// The DFG operation executed.
+    pub op: OpId,
+    /// Operation kind (cached from the DFG).
+    pub kind: OpKind,
+    /// Whether the two physical operand ports are swapped relative to the
+    /// DFG operand order (commutative operations only).
+    pub swapped: bool,
+}
+
+/// Per-context configuration of one architecture.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Configuration {
+    /// Number of contexts.
+    pub contexts: u32,
+    /// `mux_sel[comp][ctx]` — selected input of each multiplexer, when
+    /// the multiplexer routes a value in that context.
+    pub mux_sel: Vec<Vec<Option<u8>>>,
+    /// `fu_action[comp][ctx]` — operation executed by each functional
+    /// unit, when one is scheduled in that context.
+    pub fu_action: Vec<Vec<Option<FuAction>>>,
+}
+
+/// Errors from [`extract_configuration`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ConfigError {
+    /// An operation is placed on a node that is not a functional-unit
+    /// execution slot.
+    NotAFunctionSlot {
+        /// The operation name.
+        op: String,
+    },
+    /// Two different values program the same multiplexer in the same
+    /// context with different selections.
+    MuxSelectionConflict {
+        /// The multiplexer's component name.
+        comp: String,
+        /// The context.
+        context: u32,
+    },
+    /// Two operations program the same functional unit in the same
+    /// context.
+    FuConflict {
+        /// The unit's component name.
+        comp: String,
+        /// The context.
+        context: u32,
+    },
+    /// A route path is malformed (a mux core not preceded by one of its
+    /// input nodes).
+    MalformedRoute {
+        /// The node where extraction failed.
+        node: String,
+    },
+}
+
+impl fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ConfigError::NotAFunctionSlot { op } => {
+                write!(f, "operation `{op}` is not placed on an execution slot")
+            }
+            ConfigError::MuxSelectionConflict { comp, context } => {
+                write!(
+                    f,
+                    "mux `{comp}` has conflicting selections in context {context}"
+                )
+            }
+            ConfigError::FuConflict { comp, context } => {
+                write!(
+                    f,
+                    "unit `{comp}` executes two operations in context {context}"
+                )
+            }
+            ConfigError::MalformedRoute { node } => {
+                write!(f, "route is malformed at node `{node}`")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
+/// Extracts the per-context configuration a mapping implies.
+///
+/// # Errors
+///
+/// Returns a [`ConfigError`] if the mapping is internally inconsistent
+/// (validated mappings never are).
+pub fn extract_configuration(
+    arch: &Architecture,
+    mrrg: &Mrrg,
+    dfg: &Dfg,
+    mapping: &Mapping,
+) -> Result<Configuration, ConfigError> {
+    let n = arch.components().len();
+    let contexts = mrrg.contexts();
+    let mut config = Configuration {
+        contexts,
+        mux_sel: vec![vec![None; contexts as usize]; n],
+        fu_action: vec![vec![None; contexts as usize]; n],
+    };
+
+    // Functional-unit opcodes from the placement.
+    for (q, &p) in &mapping.placement {
+        let node = mrrg.node(p).map_err(|_| ConfigError::NotAFunctionSlot {
+            op: dfg.ops()[q.index()].name.clone(),
+        })?;
+        if node.role != NodeRole::FuCore {
+            return Err(ConfigError::NotAFunctionSlot {
+                op: dfg.ops()[q.index()].name.clone(),
+            });
+        }
+        let slot = &mut config.fu_action[node.comp.index()][node.context as usize];
+        if slot.is_some() {
+            return Err(ConfigError::FuConflict {
+                comp: arch.components()[node.comp.index()].name.clone(),
+                context: node.context,
+            });
+        }
+        *slot = Some(FuAction {
+            op: *q,
+            kind: dfg.ops()[q.index()].kind,
+            swapped: mapping.swapped.contains(q),
+        });
+    }
+
+    // Multiplexer selections from the routes.
+    for path in mapping.routes.values() {
+        for w in 0..path.len() {
+            let cur = mrrg
+                .node(path[w])
+                .map_err(|_| ConfigError::MalformedRoute {
+                    node: format!("{:?}", path[w]),
+                })?;
+            if cur.role != NodeRole::MuxCore {
+                continue;
+            }
+            // The predecessor on the path must be one of this mux's input
+            // nodes.
+            let Some(&prev_id) = w.checked_sub(1).and_then(|i| path.get(i)) else {
+                return Err(ConfigError::MalformedRoute {
+                    node: cur.name.clone(),
+                });
+            };
+            let prev = mrrg.node(prev_id).expect("path validated");
+            let NodeRole::MuxIn(sel) = prev.role else {
+                return Err(ConfigError::MalformedRoute {
+                    node: cur.name.clone(),
+                });
+            };
+            if prev.comp != cur.comp {
+                return Err(ConfigError::MalformedRoute {
+                    node: cur.name.clone(),
+                });
+            }
+            let slot = &mut config.mux_sel[cur.comp.index()][cur.context as usize];
+            match slot {
+                Some(existing) if *existing != sel => {
+                    return Err(ConfigError::MuxSelectionConflict {
+                        comp: arch.components()[cur.comp.index()].name.clone(),
+                        context: cur.context,
+                    });
+                }
+                _ => *slot = Some(sel),
+            }
+        }
+    }
+
+    Ok(config)
+}
+
+impl Configuration {
+    /// The configured selection of mux `comp` in `ctx`.
+    pub fn mux_selection(&self, comp: CompId, ctx: u32) -> Option<u8> {
+        self.mux_sel[comp.index()][ctx as usize]
+    }
+
+    /// The configured action of unit `comp` in `ctx`.
+    pub fn fu(&self, comp: CompId, ctx: u32) -> Option<&FuAction> {
+        self.fu_action[comp.index()][ctx as usize].as_ref()
+    }
+
+    /// Number of configured (mux-context, unit-context) slots — a proxy
+    /// for configuration memory usage.
+    pub fn configured_slots(&self) -> usize {
+        self.mux_sel
+            .iter()
+            .flatten()
+            .filter(|s| s.is_some())
+            .count()
+            + self
+                .fu_action
+                .iter()
+                .flatten()
+                .filter(|s| s.is_some())
+                .count()
+    }
+
+    /// Used by the simulator: whether `comp` is a multiplexer in `arch`.
+    pub(crate) fn check_shapes(&self, arch: &Architecture) -> bool {
+        self.mux_sel.len() == arch.components().len()
+            && self.fu_action.len() == arch.components().len()
+    }
+}
+
+/// Convenience for tests: panics if any mux selection is out of range for
+/// its component.
+pub fn assert_selections_in_range(arch: &Architecture, config: &Configuration) {
+    for (ci, comp) in arch.components().iter().enumerate() {
+        if let ComponentKind::Mux { inputs } = comp.kind {
+            for sel in config.mux_sel[ci].iter().flatten() {
+                assert!(
+                    u32::from(*sel) < inputs,
+                    "mux {} selection {sel} out of range",
+                    comp.name
+                );
+            }
+        }
+    }
+}

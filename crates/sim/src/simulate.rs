@@ -1,0 +1,397 @@
+//! The cycle-accurate netlist simulator.
+//!
+//! Executes a configured architecture the way the silicon would: every
+//! cycle `t` the fabric applies configuration context `t mod II`,
+//! combinational components (multiplexers, latency-0 functional units)
+//! settle in dependency order, then sequential elements (registers,
+//! multi-cycle units, the data memory) update.
+//!
+//! **Execution model and the oracle check.** Input pads stream their
+//! value every cycle, so the fabric executes the kernel's steady state —
+//! iteration *i* overlaps iterations *i±1*, as modulo-scheduled loops do.
+//! The simulator records, for each output pad and each store, the *first*
+//! produced value: these belong to iteration 0, which sees the initial
+//! memory image, and are therefore comparable against the reference DFG
+//! interpreter ([`cgra_dfg::evaluate`]). Later iterations may legitimately
+//! diverge when stores alias loads (a loop-carried memory dependence);
+//! they are not part of the check.
+
+use crate::config::Configuration;
+use crate::trace::Trace;
+use cgra_arch::{Architecture, ComponentKind, Port};
+use cgra_dfg::{Memory, OpKind};
+use std::collections::{BTreeMap, VecDeque};
+use std::fmt;
+
+/// Errors from [`simulate`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SimError {
+    /// The configured combinational logic of some context contains a
+    /// dependency cycle (cannot happen for validated mappings).
+    CombinationalCycle {
+        /// The context in which the cycle closes.
+        context: u32,
+    },
+    /// An `input` operation had no value supplied.
+    MissingInput(String),
+    /// The simulation ran for the full budget without every output and
+    /// store producing a value.
+    NotSettled {
+        /// Outputs that never produced a value.
+        missing: Vec<String>,
+    },
+    /// The configuration's shape does not match the architecture.
+    ShapeMismatch,
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::CombinationalCycle { context } => {
+                write!(f, "combinational cycle in context {context}")
+            }
+            SimError::MissingInput(n) => write!(f, "no value supplied for input `{n}`"),
+            SimError::NotSettled { missing } => {
+                write!(
+                    f,
+                    "simulation did not settle; missing: {}",
+                    missing.join(", ")
+                )
+            }
+            SimError::ShapeMismatch => write!(f, "configuration does not match architecture"),
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
+
+/// What the fabric produced: first-iteration outputs and stores.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SimOutcome {
+    /// First value sampled at each output pad, keyed by the DFG output
+    /// operation's name.
+    pub outputs: BTreeMap<String, i64>,
+    /// First (address, value) written by each store operation, keyed by
+    /// the store operation's name.
+    pub stores: BTreeMap<String, (i64, i64)>,
+    /// Number of cycles simulated.
+    pub cycles: u64,
+}
+
+/// Simulates a configured architecture.
+///
+/// `inputs` maps DFG `input` operation names to streamed values; `memory`
+/// is the initial data-memory image read by loads (stores write to a
+/// private copy so the caller's image stays pristine for the oracle).
+///
+/// # Errors
+///
+/// Fails on malformed configurations, missing inputs, or if the pipeline
+/// never produces all outputs (see [`SimError`]).
+pub fn simulate(
+    arch: &Architecture,
+    config: &Configuration,
+    dfg: &cgra_dfg::Dfg,
+    inputs: &BTreeMap<String, i64>,
+    memory: &Memory,
+) -> Result<SimOutcome, SimError> {
+    simulate_inner(arch, config, dfg, inputs, memory, None)
+}
+
+/// Like [`simulate`], additionally recording a per-cycle [`Trace`] of
+/// every component output (text- or VCD-renderable).
+///
+/// # Errors
+///
+/// Same failure modes as [`simulate`]; the trace covers the cycles that
+/// ran before the error.
+pub fn simulate_traced(
+    arch: &Architecture,
+    config: &Configuration,
+    dfg: &cgra_dfg::Dfg,
+    inputs: &BTreeMap<String, i64>,
+    memory: &Memory,
+) -> Result<(SimOutcome, Trace), SimError> {
+    let mut trace = Trace::new(arch);
+    let outcome = simulate_inner(arch, config, dfg, inputs, memory, Some(&mut trace))?;
+    Ok((outcome, trace))
+}
+
+fn simulate_inner(
+    arch: &Architecture,
+    config: &Configuration,
+    dfg: &cgra_dfg::Dfg,
+    inputs: &BTreeMap<String, i64>,
+    memory: &Memory,
+    mut trace: Option<&mut Trace>,
+) -> Result<SimOutcome, SimError> {
+    if !config.check_shapes(arch) {
+        return Err(SimError::ShapeMismatch);
+    }
+    let n = arch.components().len();
+    let contexts = config.contexts;
+
+    // Precompute, per context, a topological order of the *configured*
+    // combinational components.
+    let mut orders: Vec<Vec<usize>> = Vec::with_capacity(contexts as usize);
+    for ctx in 0..contexts {
+        orders.push(topo_order(arch, config, ctx)?);
+    }
+
+    // Driver of each input port: comp index of the source.
+    let driver: Vec<Vec<Option<usize>>> = {
+        let mut d: Vec<Vec<Option<usize>>> = arch
+            .components()
+            .iter()
+            .map(|c| vec![None; c.kind.num_inputs()])
+            .collect();
+        for conn in arch.connections() {
+            let Port::In(i) = conn.to.port else { continue };
+            d[conn.to.comp.index()][usize::from(i)] = Some(conn.from.comp.index());
+        }
+        d
+    };
+
+    let mut mem = memory.clone();
+    let mut out: Vec<Option<i64>> = vec![None; n];
+    let mut reg_state: Vec<Option<i64>> = vec![None; n];
+    let mut pipelines: Vec<VecDeque<(u64, i64)>> = vec![VecDeque::new(); n];
+    let mut outcome = SimOutcome {
+        outputs: BTreeMap::new(),
+        stores: BTreeMap::new(),
+        cycles: 0,
+    };
+    let mut stores_pending: usize = dfg.ops().iter().filter(|o| o.kind == OpKind::Store).count();
+    let mut outputs_pending: usize = dfg
+        .ops()
+        .iter()
+        .filter(|o| o.kind == OpKind::Output)
+        .count();
+
+    let input_value = |name: &str| -> Result<i64, SimError> {
+        inputs
+            .get(name)
+            .copied()
+            .ok_or_else(|| SimError::MissingInput(name.to_owned()))
+    };
+    let port_value = |out: &[Option<i64>], ci: usize, port: usize| -> Option<i64> {
+        driver[ci][port].and_then(|d| out[d])
+    };
+
+    let budget = (n as u64 + 16) * u64::from(contexts) + 64;
+    for t in 0..budget {
+        let ctx = (t % u64::from(contexts)) as u32;
+        outcome.cycles = t + 1;
+
+        // ---- Combinational settle --------------------------------------
+        for i in 0..n {
+            out[i] = match &arch.components()[i].kind {
+                ComponentKind::Register => reg_state[i],
+                ComponentKind::FuncUnit { latency, .. } if *latency > 0 => {
+                    // Result becomes visible when due.
+                    match pipelines[i].front() {
+                        Some(&(due, v)) if due == t => Some(v),
+                        _ => None,
+                    }
+                }
+                _ => None,
+            };
+        }
+        for &i in &orders[ctx as usize] {
+            match &arch.components()[i].kind {
+                ComponentKind::Mux { .. } => {
+                    out[i] = config.mux_sel[i][ctx as usize]
+                        .and_then(|sel| port_value(&out, i, usize::from(sel)));
+                }
+                ComponentKind::FuncUnit { latency: 0, .. } => {
+                    let action = config.fu_action[i][ctx as usize]
+                        .as_ref()
+                        .expect("ordered comps are configured");
+                    out[i] = match action.kind {
+                        OpKind::Input => Some(input_value(&dfg.ops()[action.op.index()].name)?),
+                        OpKind::Const => dfg.ops()[action.op.index()].constant,
+                        OpKind::Output => {
+                            // Sample; produces nothing.
+                            if let Some(v) = port_value(&out, i, 0) {
+                                let name = &dfg.ops()[action.op.index()].name;
+                                if !outcome.outputs.contains_key(name) {
+                                    outcome.outputs.insert(name.clone(), v);
+                                    outputs_pending -= 1;
+                                }
+                            }
+                            None
+                        }
+                        kind => {
+                            let a = port_value(&out, i, 0);
+                            let b = port_value(&out, i, 1);
+                            let (a, b) = if action.swapped { (b, a) } else { (a, b) };
+                            match (a, b) {
+                                (Some(a), Some(b)) => Some(kind.eval_binary(a, b)),
+                                _ => None,
+                            }
+                        }
+                    };
+                }
+                _ => {}
+            }
+        }
+
+        // ---- Sequential update ------------------------------------------
+        for i in 0..n {
+            match &arch.components()[i].kind {
+                ComponentKind::Register => {
+                    reg_state[i] = port_value(&out, i, 0);
+                }
+                ComponentKind::FuncUnit { latency, .. } if *latency > 0 => {
+                    // Retire the result that was visible this cycle.
+                    if let Some(&(due, _)) = pipelines[i].front() {
+                        if due == t {
+                            pipelines[i].pop_front();
+                        }
+                    }
+                    let Some(action) = &config.fu_action[i][ctx as usize] else {
+                        continue;
+                    };
+                    match action.kind {
+                        OpKind::Load => {
+                            if let Some(addr) = port_value(&out, i, 0) {
+                                pipelines[i].push_back((t + u64::from(*latency), mem.read(addr)));
+                            }
+                        }
+                        OpKind::Store => {
+                            let addr = port_value(&out, i, 0);
+                            let datum = port_value(&out, i, 1);
+                            let (a, d) = if action.swapped {
+                                (datum, addr)
+                            } else {
+                                (addr, datum)
+                            };
+                            if let (Some(a), Some(d)) = (a, d) {
+                                let name = &dfg.ops()[action.op.index()].name;
+                                if !outcome.stores.contains_key(name) {
+                                    outcome.stores.insert(name.clone(), (a, d));
+                                    stores_pending -= 1;
+                                }
+                                mem.write(a, d);
+                            }
+                        }
+                        kind if kind.arity() == 2 => {
+                            let a = port_value(&out, i, 0);
+                            let b = port_value(&out, i, 1);
+                            let (a, b) = if action.swapped { (b, a) } else { (a, b) };
+                            if let (Some(a), Some(b)) = (a, b) {
+                                pipelines[i]
+                                    .push_back((t + u64::from(*latency), kind.eval_binary(a, b)));
+                            }
+                        }
+                        OpKind::Input => {
+                            let v = input_value(&dfg.ops()[action.op.index()].name)?;
+                            pipelines[i].push_back((t + u64::from(*latency), v));
+                        }
+                        _ => {}
+                    }
+                }
+                _ => {}
+            }
+        }
+
+        if let Some(t) = trace.as_deref_mut() {
+            t.record(&out);
+        }
+        if outputs_pending == 0 && stores_pending == 0 {
+            return Ok(outcome);
+        }
+    }
+
+    let missing: Vec<String> = dfg
+        .ops()
+        .iter()
+        .filter(|o| {
+            (o.kind == OpKind::Output && !outcome.outputs.contains_key(&o.name))
+                || (o.kind == OpKind::Store && !outcome.stores.contains_key(&o.name))
+        })
+        .map(|o| o.name.clone())
+        .collect();
+    Err(SimError::NotSettled { missing })
+}
+
+/// Topological order of the configured combinational components of one
+/// context (multiplexers and latency-0 functional units), following only
+/// the dependencies the configuration actually enables.
+fn topo_order(
+    arch: &Architecture,
+    config: &Configuration,
+    ctx: u32,
+) -> Result<Vec<usize>, SimError> {
+    let n = arch.components().len();
+    // Combinational dependency edges dep -> comp.
+    let mut deps: Vec<Vec<usize>> = vec![Vec::new(); n];
+    let mut active = vec![false; n];
+    let driver_of = |comp: usize, port: u8| -> Option<usize> {
+        arch.connections()
+            .iter()
+            .find(|c| c.to.comp.index() == comp && c.to.port == Port::In(port))
+            .map(|c| c.from.comp.index())
+    };
+    let is_comb = |i: usize| -> bool {
+        match &arch.components()[i].kind {
+            ComponentKind::Mux { .. } => config.mux_sel[i][ctx as usize].is_some(),
+            ComponentKind::FuncUnit { latency: 0, .. } => {
+                config.fu_action[i][ctx as usize].is_some()
+            }
+            _ => false,
+        }
+    };
+    for i in 0..n {
+        if !is_comb(i) {
+            continue;
+        }
+        active[i] = true;
+        match &arch.components()[i].kind {
+            ComponentKind::Mux { .. } => {
+                let sel = config.mux_sel[i][ctx as usize].expect("checked by is_comb");
+                if let Some(d) = driver_of(i, sel) {
+                    deps[i].push(d);
+                }
+            }
+            ComponentKind::FuncUnit { .. } => {
+                let action = config.fu_action[i][ctx as usize]
+                    .as_ref()
+                    .expect("checked by is_comb");
+                for port in 0..action.kind.arity() {
+                    if let Some(d) = driver_of(i, port as u8) {
+                        deps[i].push(d);
+                    }
+                }
+            }
+            ComponentKind::Register => unreachable!("registers are not combinational"),
+        }
+    }
+    // Kahn over active components (dependencies on non-combinational
+    // components are free: their values are ready before the settle).
+    let mut indeg = vec![0usize; n];
+    let mut fanout: Vec<Vec<usize>> = vec![Vec::new(); n];
+    for i in 0..n {
+        for &d in &deps[i] {
+            if active[d] {
+                indeg[i] += 1;
+                fanout[d].push(i);
+            }
+        }
+    }
+    let mut queue: Vec<usize> = (0..n).filter(|&i| active[i] && indeg[i] == 0).collect();
+    let mut order = Vec::new();
+    while let Some(i) = queue.pop() {
+        order.push(i);
+        for &m in &fanout[i] {
+            indeg[m] -= 1;
+            if indeg[m] == 0 {
+                queue.push(m);
+            }
+        }
+    }
+    if order.len() != active.iter().filter(|&&a| a).count() {
+        return Err(SimError::CombinationalCycle { context: ctx });
+    }
+    Ok(order)
+}

@@ -1,0 +1,195 @@
+//! Simulation traces: per-cycle component output values, renderable as a
+//! text table or a VCD waveform for inspection in GTKWave & friends.
+
+use cgra_arch::Architecture;
+use std::fmt::Write as _;
+
+/// A recorded simulation trace: one sampled value per component output
+/// per cycle (`None` = undriven / not valid that cycle).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Trace {
+    names: Vec<String>,
+    cycles: Vec<Vec<Option<i64>>>,
+}
+
+impl Trace {
+    /// Creates an empty trace over the architecture's components.
+    pub fn new(arch: &Architecture) -> Self {
+        Trace {
+            names: arch.components().iter().map(|c| c.name.clone()).collect(),
+            cycles: Vec::new(),
+        }
+    }
+
+    /// Appends one cycle's sampled component outputs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `values` does not have one entry per component.
+    pub fn record(&mut self, values: &[Option<i64>]) {
+        assert_eq!(values.len(), self.names.len(), "one value per component");
+        self.cycles.push(values.to_vec());
+    }
+
+    /// Number of recorded cycles.
+    pub fn len(&self) -> usize {
+        self.cycles.len()
+    }
+
+    /// Whether no cycles were recorded.
+    pub fn is_empty(&self) -> bool {
+        self.cycles.is_empty()
+    }
+
+    /// The recorded value of component `name` at `cycle`.
+    pub fn value(&self, name: &str, cycle: usize) -> Option<i64> {
+        let idx = self.names.iter().position(|n| n == name)?;
+        self.cycles.get(cycle)?.get(idx).copied().flatten()
+    }
+
+    /// Renders the trace as a text table, restricted to components whose
+    /// output was ever driven (quiet components are noise).
+    pub fn render(&self) -> String {
+        let active: Vec<usize> = (0..self.names.len())
+            .filter(|&i| self.cycles.iter().any(|c| c[i].is_some()))
+            .collect();
+        let mut out = String::new();
+        let _ = write!(out, "{:<16}", "cycle");
+        for &i in &active {
+            let _ = write!(out, " {:>12}", truncate(&self.names[i], 12));
+        }
+        out.push('\n');
+        for (t, row) in self.cycles.iter().enumerate() {
+            let _ = write!(out, "{t:<16}");
+            for &i in &active {
+                match row[i] {
+                    Some(v) => {
+                        let _ = write!(out, " {v:>12}");
+                    }
+                    None => {
+                        let _ = write!(out, " {:>12}", "-");
+                    }
+                }
+            }
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Renders the trace as a Value Change Dump (VCD) waveform.
+    ///
+    /// Every component output becomes a 32-bit wire; undriven cycles dump
+    /// as `x`.
+    pub fn to_vcd(&self) -> String {
+        let mut out = String::new();
+        out.push_str("$timescale 1ns $end\n$scope module cgra $end\n");
+        let ids: Vec<String> = (0..self.names.len()).map(vcd_id).collect();
+        for (name, id) in self.names.iter().zip(&ids) {
+            let clean: String = name
+                .chars()
+                .map(|c| if c.is_ascii_graphic() { c } else { '_' })
+                .collect();
+            let _ = writeln!(out, "$var wire 32 {id} {clean} $end");
+        }
+        out.push_str("$upscope $end\n$enddefinitions $end\n");
+        let mut last: Vec<Option<Option<i64>>> = vec![None; self.names.len()];
+        for (t, row) in self.cycles.iter().enumerate() {
+            let _ = writeln!(out, "#{t}");
+            for (i, &v) in row.iter().enumerate() {
+                if last[i] == Some(v) {
+                    continue;
+                }
+                last[i] = Some(v);
+                match v {
+                    Some(v) => {
+                        let _ = writeln!(out, "b{:032b} {}", v as u32, ids[i]);
+                    }
+                    None => {
+                        let _ = writeln!(out, "bx {}", ids[i]);
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+/// Short printable VCD identifier for signal `i`.
+fn vcd_id(mut i: usize) -> String {
+    // Base-94 over the printable ASCII range VCD allows.
+    let mut s = String::new();
+    loop {
+        s.push((33 + (i % 94)) as u8 as char);
+        i /= 94;
+        if i == 0 {
+            break;
+        }
+    }
+    s
+}
+
+fn truncate(s: &str, n: usize) -> String {
+    if s.len() <= n {
+        s.to_owned()
+    } else {
+        format!("..{}", &s[s.len() - (n - 2)..])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cgra_arch::{Architecture, ComponentKind};
+
+    fn tiny_arch() -> Architecture {
+        let mut a = Architecture::new("t");
+        a.add_component("r1", ComponentKind::Register).unwrap();
+        a.add_component("r2", ComponentKind::Register).unwrap();
+        a
+    }
+
+    #[test]
+    fn record_and_query() {
+        let mut t = Trace::new(&tiny_arch());
+        t.record(&[Some(1), None]);
+        t.record(&[Some(2), Some(9)]);
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.value("r1", 0), Some(1));
+        assert_eq!(t.value("r2", 0), None);
+        assert_eq!(t.value("r2", 1), Some(9));
+        assert_eq!(t.value("nope", 0), None);
+    }
+
+    #[test]
+    fn render_skips_quiet_components() {
+        let mut t = Trace::new(&tiny_arch());
+        t.record(&[Some(1), None]);
+        let text = t.render();
+        assert!(text.contains("r1"));
+        assert!(!text.contains("r2"), "r2 never drove a value");
+    }
+
+    #[test]
+    fn vcd_structure() {
+        let mut t = Trace::new(&tiny_arch());
+        t.record(&[Some(5), None]);
+        t.record(&[Some(5), Some(1)]);
+        let vcd = t.to_vcd();
+        assert!(vcd.contains("$var wire 32 ! r1 $end"));
+        assert!(vcd.contains("#0"));
+        assert!(vcd.contains("#1"));
+        // r1 unchanged in cycle 1: only r2's change dumped after #1.
+        let after = vcd.split("#1").nth(1).expect("has cycle 1");
+        assert_eq!(after.matches('\n').count(), 2); // "#1\n" then one change line
+    }
+
+    #[test]
+    fn vcd_ids_unique_and_printable() {
+        let ids: Vec<String> = (0..500).map(vcd_id).collect();
+        let mut dedup = ids.clone();
+        dedup.sort();
+        dedup.dedup();
+        assert_eq!(dedup.len(), ids.len());
+        assert!(ids.iter().all(|s| s.chars().all(|c| c.is_ascii_graphic())));
+    }
+}

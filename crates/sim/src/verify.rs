@@ -1,0 +1,165 @@
+//! End-to-end mapping verification: execute the mapped fabric and compare
+//! against the reference DFG interpreter.
+
+use crate::config::extract_configuration;
+use crate::simulate::{simulate, SimOutcome};
+use cgra_arch::Architecture;
+use cgra_dfg::{evaluate, Dfg, Memory, OpKind};
+use cgra_mapper::Mapping;
+use cgra_mrrg::Mrrg;
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Errors from [`verify_mapping`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum VerifyError {
+    /// Configuration extraction failed.
+    Config(crate::config::ConfigError),
+    /// Simulation failed.
+    Sim(crate::simulate::SimError),
+    /// The reference interpreter failed (bad test vector).
+    Oracle(String),
+    /// The fabric produced a different value than the interpreter.
+    Mismatch {
+        /// Which output/store diverged.
+        at: String,
+        /// The interpreter's value.
+        expected: i64,
+        /// The fabric's value.
+        measured: i64,
+    },
+}
+
+impl fmt::Display for VerifyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            VerifyError::Config(e) => write!(f, "configuration: {e}"),
+            VerifyError::Sim(e) => write!(f, "simulation: {e}"),
+            VerifyError::Oracle(e) => write!(f, "oracle: {e}"),
+            VerifyError::Mismatch {
+                at,
+                expected,
+                measured,
+            } => write!(f, "`{at}`: interpreter {expected}, fabric {measured}"),
+        }
+    }
+}
+
+impl std::error::Error for VerifyError {}
+
+impl From<crate::config::ConfigError> for VerifyError {
+    fn from(e: crate::config::ConfigError) -> Self {
+        VerifyError::Config(e)
+    }
+}
+
+impl From<crate::simulate::SimError> for VerifyError {
+    fn from(e: crate::simulate::SimError) -> Self {
+        VerifyError::Sim(e)
+    }
+}
+
+/// Executes one test vector on the mapped fabric and checks every output
+/// and store against the reference interpreter.
+///
+/// # Errors
+///
+/// Returns the first divergence (or infrastructure failure).
+pub fn verify_mapping(
+    arch: &Architecture,
+    mrrg: &Mrrg,
+    dfg: &Dfg,
+    mapping: &Mapping,
+    inputs: &BTreeMap<String, i64>,
+    memory: &Memory,
+) -> Result<SimOutcome, VerifyError> {
+    let config = extract_configuration(arch, mrrg, dfg, mapping)?;
+    let fabric = simulate(arch, &config, dfg, inputs, memory)?;
+
+    let mut oracle_mem = memory.clone();
+    let oracle =
+        evaluate(dfg, inputs, &mut oracle_mem).map_err(|e| VerifyError::Oracle(e.to_string()))?;
+
+    for (name, expected) in &oracle.outputs {
+        let measured = fabric
+            .outputs
+            .get(name)
+            .copied()
+            .ok_or_else(|| VerifyError::Mismatch {
+                at: name.clone(),
+                expected: *expected,
+                measured: i64::MIN,
+            })?;
+        if measured != *expected {
+            return Err(VerifyError::Mismatch {
+                at: name.clone(),
+                expected: *expected,
+                measured,
+            });
+        }
+    }
+    // Stores: compare the first-written (address, value) pairs against
+    // the interpreter's memory effects by re-deriving them.
+    for op in dfg.ops().iter().filter(|o| o.kind == OpKind::Store) {
+        let q = dfg.op_by_name(&op.name).expect("op exists");
+        let addr_src = dfg.edges()[dfg.operand_edge(q, 0).expect("validated DFG").index()].src;
+        let data_src = dfg.edges()[dfg.operand_edge(q, 1).expect("validated DFG").index()].src;
+        let expected_addr = oracle.values[&addr_src];
+        let expected_data = oracle.values[&data_src];
+        let (addr, data) =
+            fabric
+                .stores
+                .get(&op.name)
+                .copied()
+                .ok_or_else(|| VerifyError::Mismatch {
+                    at: op.name.clone(),
+                    expected: expected_data,
+                    measured: i64::MIN,
+                })?;
+        if addr != expected_addr || data != expected_data {
+            return Err(VerifyError::Mismatch {
+                at: op.name.clone(),
+                expected: expected_data,
+                measured: data,
+            });
+        }
+    }
+    Ok(fabric)
+}
+
+/// Runs [`verify_mapping`] over several deterministic pseudo-random test
+/// vectors.
+///
+/// # Errors
+///
+/// Returns the first failing vector's divergence.
+pub fn verify_mapping_vectors(
+    arch: &Architecture,
+    mrrg: &Mrrg,
+    dfg: &Dfg,
+    mapping: &Mapping,
+    vectors: usize,
+) -> Result<(), VerifyError> {
+    for k in 0..vectors {
+        let mut state = 0x9E3779B97F4A7C15u64.wrapping_mul(k as u64 + 1);
+        let mut next = || {
+            // xorshift*
+            state ^= state >> 12;
+            state ^= state << 25;
+            state ^= state >> 27;
+            (state.wrapping_mul(0x2545F4914F6CDD1D) >> 40) as i64 % 97
+        };
+        let inputs: BTreeMap<String, i64> = dfg
+            .ops()
+            .iter()
+            .filter(|o| o.kind == OpKind::Input)
+            .map(|o| (o.name.clone(), next()))
+            .collect();
+        let mut memory = Memory::new(64);
+        for a in 0..memory.len() {
+            memory.write(a as i64, next());
+        }
+        verify_mapping(arch, mrrg, dfg, mapping, &inputs, &memory)?;
+    }
+    Ok(())
+}

@@ -1,0 +1,93 @@
+//! Architecture exploration — the workflow the paper's introduction
+//! motivates: an architect tunes flexibility (interconnect richness,
+//! multiplier provisioning, context count) "down to the limit of
+//! mappability" for a benchmark set, using the exact mapper's verdicts.
+//!
+//! This example sweeps array sizes and families for three kernels and
+//! prints the cheapest configuration that maps all of them.
+//!
+//! Run with: `cargo run --release --example architecture_explorer`
+
+use cgra::arch::families::{grid, FuMix, GridParams, Interconnect};
+use cgra::mapper::{IlpMapper, MapperOptions};
+use cgra::mrrg::build_mrrg;
+use std::time::Duration;
+
+fn main() {
+    let kernels = ["accum", "2x2-p", "exp_4"];
+    let mut best: Option<(String, usize)> = None;
+
+    println!(
+        "{:<24} {:>8} {:>8} {:>10}  verdicts",
+        "configuration", "muxes", "mapped", "mux-bits"
+    );
+    for (rows, cols) in [(2usize, 2usize), (3, 3), (4, 4)] {
+        for mix in [FuMix::Heterogeneous, FuMix::Homogeneous] {
+            for ic in [Interconnect::Orthogonal, Interconnect::Diagonal] {
+                for contexts in [1u32, 2] {
+                    let arch = grid(GridParams {
+                        rows,
+                        cols,
+                        fu_mix: mix,
+                        interconnect: ic,
+                        io_pads: true,
+                        memory_ports: true,
+                        toroidal: false,
+                        alu_latency: 0,
+            bypass_channel: false,
+                    });
+                    let mrrg = build_mrrg(&arch, contexts);
+                    let mapper = IlpMapper::new(MapperOptions {
+                        time_limit: Some(Duration::from_secs(20)),
+                        warm_start: true,
+                        ..MapperOptions::default()
+                    });
+                    let mut verdicts = Vec::new();
+                    let mut mapped = 0;
+                    for k in kernels {
+                        let dfg = (cgra::dfg::benchmarks::by_name(k)
+                            .expect("known benchmark")
+                            .build)();
+                        let r = mapper.map(&dfg, &mrrg);
+                        if r.outcome.is_mapped() {
+                            mapped += 1;
+                        }
+                        verdicts.push(format!("{k}:{}", r.outcome.table_symbol()));
+                    }
+                    // A crude area proxy: total mux input count across the
+                    // array, times contexts (configuration memory).
+                    let mux_bits: usize = arch
+                        .components()
+                        .iter()
+                        .filter_map(|c| match c.kind {
+                            cgra::arch::ComponentKind::Mux { inputs } => {
+                                Some(inputs as usize * contexts as usize)
+                            }
+                            _ => None,
+                        })
+                        .sum();
+                    let label = format!("{}@{}ctx", arch.name(), contexts);
+                    println!(
+                        "{:<24} {:>8} {:>8} {:>10}  {}",
+                        label,
+                        arch.kind_counts().1,
+                        mapped,
+                        mux_bits,
+                        verdicts.join(" ")
+                    );
+                    if mapped == kernels.len()
+                        && best.as_ref().map(|(_, b)| mux_bits < *b).unwrap_or(true)
+                    {
+                        best = Some((label, mux_bits));
+                    }
+                }
+            }
+        }
+    }
+    match best {
+        Some((label, bits)) => {
+            println!("\ncheapest fully-mappable configuration: {label} ({bits} mux config bits)")
+        }
+        None => println!("\nno configuration mapped all kernels"),
+    }
+}

@@ -1,0 +1,116 @@
+//! Cross-mapper consistency: the exact mapper must never contradict the
+//! heuristic one. Whenever simulated annealing finds a mapping, the
+//! instance is feasible — the ILP mapper must find one too, and both
+//! mappings must certify on the simulated fabric.
+
+use cgra::arch::families::{grid, FuMix, GridParams, Interconnect};
+use cgra::dfg::{Dfg, OpKind};
+use cgra::mapper::{AnnealParams, AnnealingMapper, IlpMapper, MapperOptions};
+use cgra::mrrg::build_mrrg;
+use cgra::sim::verify_mapping_vectors;
+
+fn kernels() -> Vec<Dfg> {
+    let mut out = Vec::new();
+
+    let mut g = Dfg::new("pass");
+    let a = g.add_op("a", OpKind::Input).unwrap();
+    let o = g.add_op("o", OpKind::Output).unwrap();
+    g.connect(a, o, 0).unwrap();
+    out.push(g);
+
+    let mut g = Dfg::new("two_chain");
+    let a = g.add_op("a", OpKind::Input).unwrap();
+    let b = g.add_op("b", OpKind::Input).unwrap();
+    let s = g.add_op("s", OpKind::Add).unwrap();
+    let t = g.add_op("t", OpKind::Xor).unwrap();
+    let o = g.add_op("o", OpKind::Output).unwrap();
+    g.connect(a, s, 0).unwrap();
+    g.connect(b, s, 1).unwrap();
+    g.connect(s, t, 0).unwrap();
+    g.connect(a, t, 1).unwrap();
+    g.connect(t, o, 0).unwrap();
+    out.push(g);
+
+    let mut g = Dfg::new("shared");
+    let a = g.add_op("a", OpKind::Input).unwrap();
+    let m = g.add_op("m", OpKind::Mul).unwrap();
+    let s = g.add_op("s", OpKind::Sub).unwrap();
+    let o1 = g.add_op("o1", OpKind::Output).unwrap();
+    let o2 = g.add_op("o2", OpKind::Output).unwrap();
+    g.connect(a, m, 0).unwrap();
+    g.connect(a, m, 1).unwrap();
+    g.connect(m, s, 0).unwrap();
+    g.connect(a, s, 1).unwrap();
+    g.connect(m, o1, 0).unwrap();
+    g.connect(s, o2, 0).unwrap();
+    out.push(g);
+
+    out
+}
+
+#[test]
+fn sa_success_implies_ilp_success() {
+    let arch = grid(GridParams {
+        rows: 2,
+        cols: 2,
+        fu_mix: FuMix::Homogeneous,
+        interconnect: Interconnect::Diagonal,
+        io_pads: true,
+        memory_ports: true,
+        toroidal: false,
+        alu_latency: 0,
+            bypass_channel: false,
+    });
+    for contexts in [1u32, 2] {
+        let mrrg = build_mrrg(&arch, contexts);
+        for dfg in kernels() {
+            let sa = AnnealingMapper::new(MapperOptions::default(), AnnealParams::default())
+                .map(&dfg, &mrrg);
+            let ilp = IlpMapper::new(MapperOptions::default()).map(&dfg, &mrrg);
+            if let Some(sa_mapping) = sa.outcome.mapping() {
+                assert!(
+                    ilp.outcome.is_mapped(),
+                    "{} II={contexts}: SA mapped but ILP said {}",
+                    dfg.name(),
+                    ilp.outcome
+                );
+                verify_mapping_vectors(&arch, &mrrg, &dfg, sa_mapping, 3)
+                    .unwrap_or_else(|e| panic!("{} SA mapping diverged: {e}", dfg.name()));
+            }
+            if let Some(ilp_mapping) = ilp.outcome.mapping() {
+                verify_mapping_vectors(&arch, &mrrg, &dfg, ilp_mapping, 3)
+                    .unwrap_or_else(|e| panic!("{} ILP mapping diverged: {e}", dfg.name()));
+            }
+        }
+    }
+}
+
+#[test]
+fn warm_started_ilp_agrees_with_cold_ilp() {
+    let arch = grid(GridParams {
+        rows: 2,
+        cols: 2,
+        fu_mix: FuMix::Heterogeneous,
+        interconnect: Interconnect::Orthogonal,
+        io_pads: true,
+        memory_ports: true,
+        toroidal: false,
+        alu_latency: 0,
+            bypass_channel: false,
+    });
+    let mrrg = build_mrrg(&arch, 1);
+    for dfg in kernels() {
+        let cold = IlpMapper::new(MapperOptions::default()).map(&dfg, &mrrg);
+        let warm = IlpMapper::new(MapperOptions {
+            warm_start: true,
+            ..MapperOptions::default()
+        })
+        .map(&dfg, &mrrg);
+        assert_eq!(
+            cold.outcome.table_symbol(),
+            warm.outcome.table_symbol(),
+            "{}: warm start changed the verdict",
+            dfg.name()
+        );
+    }
+}

@@ -1,0 +1,164 @@
+//! Property tests over random kernels: every mapping the exact mapper
+//! produces — for arbitrary small DFGs — must validate structurally and
+//! execute correctly on the simulated fabric.
+
+use cgra::arch::families::{grid, FuMix, GridParams, Interconnect};
+use cgra::dfg::{Dfg, OpKind};
+use cgra::mapper::{IlpMapper, MapOutcome, MapperOptions};
+use cgra::mrrg::build_mrrg;
+use cgra::sim::verify_mapping_vectors;
+use proptest::prelude::*;
+
+/// A recipe for a random acyclic kernel: each internal op consumes two of
+/// the previously-produced values.
+#[derive(Debug, Clone)]
+struct KernelRecipe {
+    n_inputs: usize,
+    ops: Vec<(u8, usize, usize)>, // (kind selector, operand picks)
+    n_outputs: usize,
+}
+
+fn recipe() -> impl Strategy<Value = KernelRecipe> {
+    (1usize..=3, 1usize..=5, 1usize..=2).prop_flat_map(|(n_inputs, n_ops, n_outputs)| {
+        prop::collection::vec((0u8..6, 0usize..64, 0usize..64), n_ops).prop_map(move |ops| {
+            KernelRecipe {
+                n_inputs,
+                ops,
+                n_outputs,
+            }
+        })
+    })
+}
+
+fn build(recipe: &KernelRecipe) -> Dfg {
+    let mut g = Dfg::new("random");
+    let mut values: Vec<_> = (0..recipe.n_inputs)
+        .map(|i| {
+            g.add_op(format!("i{i}"), OpKind::Input)
+                .expect("fresh name")
+        })
+        .collect();
+    for (k, (sel, pa, pb)) in recipe.ops.iter().enumerate() {
+        let kind = match sel % 6 {
+            0 => OpKind::Add,
+            1 => OpKind::Sub,
+            2 => OpKind::Mul,
+            3 => OpKind::Xor,
+            4 => OpKind::And,
+            _ => OpKind::Or,
+        };
+        let op = g.add_op(format!("n{k}"), kind).expect("fresh name");
+        let a = values[pa % values.len()];
+        let b = values[pb % values.len()];
+        g.connect(a, op, 0).expect("valid operand");
+        g.connect(b, op, 1).expect("valid operand");
+        values.push(op);
+    }
+    // Drain dead values through outputs (every produced value needs a
+    // consumer for the DFG to validate).
+    let mut dead: Vec<_> = values
+        .iter()
+        .copied()
+        .filter(|v| g.fanout(*v).is_empty())
+        .collect();
+    // Always at least n_outputs outputs; prefer late values.
+    dead.reverse();
+    let mut n_out = 0;
+    for (i, v) in dead.iter().enumerate() {
+        let o = g
+            .add_op(format!("o{i}"), OpKind::Output)
+            .expect("fresh name");
+        g.connect(*v, o, 0).expect("valid connection");
+        n_out += 1;
+    }
+    let _ = n_out.max(recipe.n_outputs);
+    g
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn random_kernels_map_and_certify(r in recipe()) {
+        let dfg = build(&r);
+        prop_assume!(dfg.validate().is_ok());
+        let arch = grid(GridParams {
+            rows: 3,
+            cols: 3,
+            fu_mix: FuMix::Homogeneous,
+            interconnect: Interconnect::Diagonal,
+            io_pads: true,
+            memory_ports: false,
+            toroidal: false,
+            alu_latency: 0,
+            bypass_channel: false,
+        });
+        let mrrg = build_mrrg(&arch, 2);
+        let report = IlpMapper::new(MapperOptions::default()).map(&dfg, &mrrg);
+        match &report.outcome {
+            MapOutcome::Mapped { mapping, .. } => {
+                // map() already validated structurally; certify on the
+                // fabric as well.
+                verify_mapping_vectors(&arch, &mrrg, &dfg, mapping, 2)
+                    .map_err(|e| TestCaseError::fail(format!("fabric diverged: {e}")))?;
+            }
+            MapOutcome::Infeasible { .. } => {
+                // Small kernels on a roomy 3x3/II=2 array should fit; an
+                // infeasibility here would point at an over-constrained
+                // formulation. Capacity is the only legitimate reason.
+                prop_assert!(
+                    dfg.op_count() > 9 + 12,
+                    "unexpected infeasibility for {} ops: {}",
+                    dfg.op_count(),
+                    report.outcome
+                );
+            }
+            MapOutcome::Timeout => {}
+        }
+    }
+
+    #[test]
+    fn random_kernels_roundtrip_text_format(r in recipe()) {
+        let dfg = build(&r);
+        prop_assume!(dfg.validate().is_ok());
+        let text = cgra::dfg::text::print(&dfg);
+        let parsed = cgra::dfg::text::parse(&text).expect("roundtrip parse");
+        prop_assert_eq!(dfg, parsed);
+    }
+}
+
+/// Seeded fuzzing with the library's own generator, including memory
+/// operations: whatever maps must certify on the fabric.
+#[test]
+fn seeded_memory_kernels_certify() {
+    use cgra::dfg::random::{random_dfg, RandomDfgParams};
+    let arch = grid(GridParams {
+        rows: 3,
+        cols: 3,
+        fu_mix: FuMix::Homogeneous,
+        interconnect: Interconnect::Diagonal,
+        io_pads: true,
+        memory_ports: true,
+        toroidal: false,
+        alu_latency: 0,
+            bypass_channel: false,
+    });
+    let mrrg = build_mrrg(&arch, 2);
+    let params = RandomDfgParams {
+        inputs: 2,
+        internal_ops: 5,
+        allow_multiplies: true,
+        allow_memory: true,
+    };
+    let mut mapped = 0;
+    for seed in 0..6 {
+        let dfg = random_dfg(params, seed);
+        let report = IlpMapper::new(MapperOptions::default()).map(&dfg, &mrrg);
+        if let MapOutcome::Mapped { mapping, .. } = &report.outcome {
+            mapped += 1;
+            verify_mapping_vectors(&arch, &mrrg, &dfg, mapping, 2)
+                .unwrap_or_else(|e| panic!("seed {seed}: fabric diverged: {e}"));
+        }
+    }
+    assert!(mapped >= 3, "most small kernels should map, got {mapped}/6");
+}
