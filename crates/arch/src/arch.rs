@@ -1,7 +1,6 @@
 //! The flat architecture netlist.
 
 use crate::component::{CompId, Component, ComponentKind, Connection, Port, PortRef};
-use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 use std::fmt;
 
@@ -104,7 +103,7 @@ impl std::error::Error for ArchError {}
 /// # Ok(())
 /// # }
 /// ```
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Architecture {
     name: String,
     components: Vec<Component>,

@@ -14,11 +14,10 @@
 //! load and store operations").
 
 use cgra_dfg::{OpKind, OpSet};
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// Identifier of a component within an [`crate::Architecture`].
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct CompId(pub u32);
 
 impl CompId {
@@ -29,7 +28,7 @@ impl CompId {
 }
 
 /// The kind of a primitive component.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub enum ComponentKind {
     /// A functional unit: executes any of `ops`, producing its result
     /// `latency` cycles after operand consumption, accepting new inputs
@@ -72,7 +71,7 @@ impl ComponentKind {
 }
 
 /// A named component.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Component {
     /// Hierarchical name, unique within the architecture (e.g.
     /// `"b0_0.alu"`).
@@ -82,7 +81,7 @@ pub struct Component {
 }
 
 /// A port of a component: either input `i` or the single output.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum Port {
     /// Input port `0..kind.num_inputs()`.
     In(u8),
@@ -100,7 +99,7 @@ impl fmt::Display for Port {
 }
 
 /// A reference to a specific port of a specific component.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct PortRef {
     /// The component.
     pub comp: CompId,
@@ -127,7 +126,7 @@ impl PortRef {
 }
 
 /// A directed wire from an output port to an input port.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Connection {
     /// Driving output port.
     pub from: PortRef,

@@ -266,6 +266,7 @@ pub fn grid(p: GridParams) -> Architecture {
     };
 
     let mut externals: Vec<Vec<Vec<Source>>> = vec![vec![Vec::new(); p.cols]; p.rows];
+    #[allow(clippy::needless_range_loop)] // x/y are grid coordinates, not indices
     for y in 0..p.rows {
         for x in 0..p.cols {
             let mut ext: Vec<Source> = Vec::new();
@@ -456,6 +457,7 @@ pub fn grid(p: GridParams) -> Architecture {
 
     // Memory ports: address/datum muxes select among the row's blocks.
     if p.memory_ports {
+        #[allow(clippy::needless_range_loop)] // x/y are grid coordinates
         for y in 0..p.rows {
             for x in 0..p.cols {
                 wire(

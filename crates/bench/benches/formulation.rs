@@ -1,14 +1,14 @@
-//! Criterion bench: ILP formulation construction time versus MRRG size
+//! Timing bench: ILP formulation construction time versus MRRG size
 //! (paper Section 4 model building, before any solving).
 
 use cgra_arch::families::{grid, FuMix, GridParams, Interconnect};
+use cgra_bench::timing::Group;
 use cgra_dfg::benchmarks;
 use cgra_mapper::{Formulation, MapperOptions};
 use cgra_mrrg::build_mrrg;
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
-fn bench_formulation(c: &mut Criterion) {
-    let mut group = c.benchmark_group("formulation_build");
+fn main() {
+    let mut group = Group::new("formulation_build");
     group.sample_size(10);
     for bench_name in ["accum", "extreme"] {
         for contexts in [1u32, 2] {
@@ -18,15 +18,9 @@ fn bench_formulation(c: &mut Criterion) {
                 Interconnect::Diagonal,
             ));
             let mrrg = build_mrrg(&arch, contexts);
-            group.bench_with_input(
-                BenchmarkId::from_parameter(format!("{bench_name}-II{contexts}")),
-                &(dfg, mrrg),
-                |b, (dfg, mrrg)| b.iter(|| Formulation::build(dfg, mrrg, MapperOptions::default())),
-            );
+            group.bench(&format!("{bench_name}-II{contexts}"), || {
+                Formulation::build(&dfg, &mrrg, MapperOptions::default())
+            });
         }
     }
-    group.finish();
 }
-
-criterion_group!(benches, bench_formulation);
-criterion_main!(benches);

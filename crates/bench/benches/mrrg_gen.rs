@@ -1,11 +1,11 @@
-//! Criterion bench: MRRG generation scaling over array size and contexts.
+//! Timing bench: MRRG generation scaling over array size and contexts.
 
 use cgra_arch::families::{grid, FuMix, GridParams, Interconnect};
+use cgra_bench::timing::Group;
 use cgra_mrrg::build_mrrg;
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
-fn bench_mrrg_gen(c: &mut Criterion) {
-    let mut group = c.benchmark_group("mrrg_gen");
+fn main() {
+    let mut group = Group::new("mrrg_gen");
     for size in [2usize, 4, 8] {
         for contexts in [1u32, 2, 4] {
             let arch = grid(GridParams {
@@ -17,17 +17,11 @@ fn bench_mrrg_gen(c: &mut Criterion) {
                 memory_ports: true,
                 toroidal: false,
                 alu_latency: 0,
-            bypass_channel: false,
+                bypass_channel: false,
             });
-            group.bench_with_input(
-                BenchmarkId::from_parameter(format!("{size}x{size}xII{contexts}")),
-                &(arch, contexts),
-                |b, (arch, contexts)| b.iter(|| build_mrrg(arch, *contexts)),
-            );
+            group.bench(&format!("{size}x{size}xII{contexts}"), || {
+                build_mrrg(&arch, contexts)
+            });
         }
     }
-    group.finish();
 }
-
-criterion_group!(benches, bench_mrrg_gen);
-criterion_main!(benches);

@@ -1,14 +1,14 @@
-//! Criterion bench: the simulated-annealing baseline on an easy cell
+//! Timing bench: the simulated-annealing baseline on an easy cell
 //! (accum on homo-diag), where it converges reliably.
 
 use cgra_arch::families::{grid, FuMix, GridParams, Interconnect};
+use cgra_bench::timing::Group;
 use cgra_dfg::benchmarks;
 use cgra_mapper::{AnnealParams, AnnealingMapper, MapperOptions};
 use cgra_mrrg::build_mrrg;
-use criterion::{criterion_group, criterion_main, Criterion};
 
-fn bench_sa(c: &mut Criterion) {
-    let mut group = c.benchmark_group("sa_mapper");
+fn main() {
+    let mut group = Group::new("sa_mapper");
     group.sample_size(10);
     let dfg = (benchmarks::by_name("accum").expect("known").build)();
     let arch = grid(GridParams::paper(
@@ -16,13 +16,7 @@ fn bench_sa(c: &mut Criterion) {
         Interconnect::Diagonal,
     ));
     let mrrg = build_mrrg(&arch, 1);
-    group.bench_function("accum-homo-diag-II1", |b| {
-        b.iter(|| {
-            AnnealingMapper::new(MapperOptions::default(), AnnealParams::default()).map(&dfg, &mrrg)
-        })
+    group.bench("accum-homo-diag-II1", || {
+        AnnealingMapper::new(MapperOptions::default(), AnnealParams::default()).map(&dfg, &mrrg)
     });
-    group.finish();
 }
-
-criterion_group!(benches, bench_sa);
-criterion_main!(benches);

@@ -1,11 +1,11 @@
-//! Criterion bench: end-to-end exact mapping of small kernels on a 2x2
+//! Timing bench: end-to-end exact mapping of small kernels on a 2x2
 //! array (build + solve + decode + validate).
 
 use cgra_arch::families::{grid, FuMix, GridParams, Interconnect};
+use cgra_bench::timing::Group;
 use cgra_dfg::{Dfg, OpKind};
 use cgra_mapper::{IlpMapper, MapperOptions};
 use cgra_mrrg::build_mrrg;
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
 fn axpy() -> Dfg {
     let mut g = Dfg::new("axpy");
@@ -42,8 +42,8 @@ fn dot2() -> Dfg {
     g
 }
 
-fn bench_solve_small(c: &mut Criterion) {
-    let mut group = c.benchmark_group("ilp_map_small");
+fn main() {
+    let mut group = Group::new("ilp_map_small");
     group.sample_size(10);
     let arch = grid(GridParams {
         rows: 2,
@@ -54,20 +54,14 @@ fn bench_solve_small(c: &mut Criterion) {
         memory_ports: true,
         toroidal: false,
         alu_latency: 0,
-            bypass_channel: false,
+        bypass_channel: false,
     });
     for (name, dfg) in [("axpy", axpy()), ("dot2", dot2())] {
         for contexts in [1u32, 2] {
             let mrrg = build_mrrg(&arch, contexts);
-            group.bench_with_input(
-                BenchmarkId::from_parameter(format!("{name}-II{contexts}")),
-                &(dfg.clone(), mrrg),
-                |b, (dfg, mrrg)| b.iter(|| IlpMapper::new(MapperOptions::default()).map(dfg, mrrg)),
-            );
+            group.bench(&format!("{name}-II{contexts}"), || {
+                IlpMapper::new(MapperOptions::default()).map(&dfg, &mrrg)
+            });
         }
     }
-    group.finish();
 }
-
-criterion_group!(benches, bench_solve_small);
-criterion_main!(benches);

@@ -1,17 +1,17 @@
-//! Criterion bench / ablation A3: bilp engine feature toggles
+//! Timing bench / ablation A3: bilp engine feature toggles
 //! (VSIDS, phase saving, clause minimisation, restarts) on a fixed
-//! mapping formulation.
+//! mapping formulation, plus the portfolio at 2 and 4 workers.
 
 use bilp::{EngineFeatures, Solver, SolverConfig};
-use std::time::Duration;
 use cgra_arch::families::{grid, FuMix, GridParams, Interconnect};
+use cgra_bench::timing::Group;
 use cgra_dfg::benchmarks;
 use cgra_mapper::{Formulation, MapperOptions};
 use cgra_mrrg::build_mrrg;
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Duration;
 
-fn bench_features(c: &mut Criterion) {
-    let mut group = c.benchmark_group("solver_features");
+fn main() {
+    let mut group = Group::new("solver_features");
     group.sample_size(10);
     let dfg = (benchmarks::by_name("accum").expect("known").build)();
     let arch = grid(GridParams::paper(
@@ -54,23 +54,27 @@ fn bench_features(c: &mut Criterion) {
         ),
     ];
     for (name, features) in variants {
-        group.bench_with_input(BenchmarkId::from_parameter(name), &features, |b, f| {
-            b.iter(|| {
-                // Cap each solve: a crippled variant (e.g. no restarts)
-                // can be orders of magnitude slower, and the comparison
-                // "decided within the cap or not, and how fast" is what
-                // the ablation needs.
-                let mut solver = Solver::with_config(SolverConfig {
-                    features: *f,
-                    time_limit: Some(Duration::from_secs(10)),
-                    ..SolverConfig::default()
-                });
-                solver.solve(formulation.model())
-            })
+        group.bench(name, || {
+            // Cap each solve: a crippled variant (e.g. no restarts)
+            // can be orders of magnitude slower, and the comparison
+            // "decided within the cap or not, and how fast" is what
+            // the ablation needs.
+            let mut solver = Solver::with_config(SolverConfig {
+                features,
+                time_limit: Some(Duration::from_secs(10)),
+                ..SolverConfig::default()
+            });
+            solver.solve(formulation.model())
         });
     }
-    group.finish();
+    for threads in [2usize, 4] {
+        group.bench(&format!("portfolio-{threads}-threads"), || {
+            let mut solver = Solver::with_config(SolverConfig {
+                threads,
+                time_limit: Some(Duration::from_secs(10)),
+                ..SolverConfig::default()
+            });
+            solver.solve(formulation.model())
+        });
+    }
 }
-
-criterion_group!(benches, bench_features);
-criterion_main!(benches);

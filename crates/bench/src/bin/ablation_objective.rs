@@ -6,7 +6,9 @@
 //! that the ILP can "produce an optimal mapping", not merely a feasible
 //! one.
 //!
-//! Usage: `ablation_objective [--time-limit <seconds>] [benchmark ...]`
+//! Usage: `ablation_objective [--time-limit <seconds>] [--jobs <n>]
+//! [benchmark ...]` — `--jobs n` evaluates n benchmarks concurrently
+//! (0 = all cores).
 
 use cgra_arch::families::paper_configs;
 use cgra_dfg::benchmarks;
@@ -16,6 +18,7 @@ use std::time::Duration;
 
 fn main() {
     let mut time_limit = Duration::from_secs(120);
+    let mut jobs = 1usize;
     let mut filter: Vec<String> = Vec::new();
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
@@ -27,9 +30,20 @@ fn main() {
                     .expect("--time-limit takes seconds");
                 time_limit = Duration::from_secs(secs);
             }
+            "--jobs" => {
+                jobs = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--jobs takes a count");
+            }
             name => filter.push(name.to_owned()),
         }
     }
+    let jobs = if jobs == 0 {
+        cgra_par::default_jobs(1)
+    } else {
+        jobs
+    };
     if filter.is_empty() {
         // A default set that maps quickly on the easiest architecture.
         filter = ["accum", "mac", "2x2-f", "2x2-p", "exp_4", "tay_4"]
@@ -48,7 +62,7 @@ fn main() {
         "{:<14} {:>14} {:>14} {:>10} {:>12} {:>12}",
         "Benchmark", "first-feasible", "optimal", "saved", "t_feas", "t_opt"
     );
-    for name in &filter {
+    let rows = cgra_par::par_map(jobs, &filter, |name| {
         let entry = benchmarks::by_name(name).expect("known benchmark");
         let dfg = (entry.build)();
         let mrrg = build_mrrg(&config.arch, config.contexts);
@@ -68,7 +82,9 @@ fn main() {
             ..MapperOptions::default()
         })
         .map(&dfg, &mrrg);
-
+        (feas, opt)
+    });
+    for (name, (feas, opt)) in filter.iter().zip(&rows) {
         let usage = |o: &MapOutcome| match o {
             MapOutcome::Mapped { routing_usage, .. } => Some(*routing_usage),
             _ => None,

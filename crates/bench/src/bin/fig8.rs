@@ -8,15 +8,18 @@
 //! Usage:
 //!
 //! ```text
-//! fig8 [--time-limit <seconds>] [benchmark ...]
+//! fig8 [--time-limit <seconds>] [--jobs <n>] [benchmark ...]
 //! ```
+//!
+//! `--jobs n` sweeps n matrix cells concurrently (0 = all cores).
 
 use cgra_arch::families::paper_configs;
-use cgra_bench::{run_matrix, WhichMapper};
+use cgra_bench::{run_matrix_parallel, WhichMapper};
 use std::time::Duration;
 
 fn main() {
     let mut time_limit = Duration::from_secs(60);
+    let mut jobs = 1usize;
     let mut filter: Vec<String> = Vec::new();
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
@@ -28,22 +31,34 @@ fn main() {
                     .expect("--time-limit takes seconds");
                 time_limit = Duration::from_secs(secs);
             }
+            "--jobs" => {
+                jobs = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--jobs takes a count");
+            }
             name => filter.push(name.to_owned()),
         }
     }
+    let jobs = if jobs == 0 {
+        cgra_par::default_jobs(1)
+    } else {
+        jobs
+    };
 
-    eprintln!("Running SA sweep ...");
-    let sa = run_matrix(WhichMapper::Annealing, time_limit, &filter, |cell| {
+    eprintln!("Running SA sweep ({jobs} jobs) ...");
+    let sa = run_matrix_parallel(WhichMapper::Annealing, time_limit, &filter, jobs, |cell| {
         eprintln!(
             "  SA  {:<14} {:>12}/{}  ->  {}  ({:.2?})",
             cell.benchmark, cell.arch, cell.contexts, cell.symbol, cell.elapsed
         );
     });
-    eprintln!("Running ILP sweep ...");
-    let ilp = run_matrix(
-        WhichMapper::Ilp { warm_start: true },
+    eprintln!("Running ILP sweep ({jobs} jobs) ...");
+    let ilp = run_matrix_parallel(
+        WhichMapper::ilp(),
         time_limit,
         &filter,
+        jobs,
         |cell| {
             eprintln!(
                 "  ILP {:<14} {:>12}/{}  ->  {}  ({:.2?})",

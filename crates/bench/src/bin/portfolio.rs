@@ -1,0 +1,154 @@
+//! Portfolio scaling measurement: per-instance wall-clock of the exact
+//! mapper at 1/2/4/8 solver threads on a hard subset of the Table 2
+//! matrix, plus a `jobs=1` versus `jobs=4` parallel-sweep comparison.
+//! Results are written as JSON (hand-rendered — no serde in this build
+//! environment) to `BENCH_portfolio.json`.
+//!
+//! Usage:
+//!
+//! ```text
+//! portfolio [--time-limit <seconds>] [--out <path>] [benchmark ...]
+//! ```
+//!
+//! Interpreting the output: wall-clock speedups require real hardware
+//! parallelism — `host_cores` is recorded so single-core CI runs are not
+//! mistaken for scaling regressions. Verdict columns must be identical
+//! across thread counts (the portfolio is exact at every width).
+
+use cgra_arch::families::paper_configs;
+use cgra_bench::{run_cell, run_matrix_parallel, Cell, WhichMapper};
+use cgra_dfg::benchmarks;
+use std::fmt::Write as _;
+use std::time::{Duration, Instant};
+
+const THREAD_COUNTS: [usize; 4] = [1, 2, 4, 8];
+
+/// Benchmarks whose homo-diag cells are feasible but non-trivial — the
+/// "hard subset" the portfolio is meant to accelerate.
+const HARD_SUBSET: [&str; 6] = ["exp_4", "exp_5", "sinh_4", "tay_4", "cos_4", "extreme"];
+
+fn main() {
+    let mut time_limit = Duration::from_secs(20);
+    let mut out_path = String::from("BENCH_portfolio.json");
+    let mut filter: Vec<String> = Vec::new();
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--time-limit" => {
+                let secs: u64 = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--time-limit takes seconds");
+                time_limit = Duration::from_secs(secs);
+            }
+            "--out" => {
+                out_path = args.next().expect("--out takes a path");
+            }
+            name => filter.push(name.to_owned()),
+        }
+    }
+    if filter.is_empty() {
+        filter = HARD_SUBSET.iter().map(|s| s.to_string()).collect();
+    }
+
+    let cores = cgra_par::default_jobs(1);
+    let configs = paper_configs();
+    let subset: Vec<_> = configs
+        .iter()
+        .filter(|c| c.label == "homo-diag")
+        .collect();
+
+    // Part 1: each instance at every thread count, sequentially (so each
+    // measurement gets the whole machine).
+    let mut instance_rows: Vec<String> = Vec::new();
+    for name in &filter {
+        let entry = benchmarks::by_name(name).unwrap_or_else(|| panic!("unknown benchmark `{name}`"));
+        for config in &subset {
+            let mut runs: Vec<(usize, Cell)> = Vec::new();
+            for threads in THREAD_COUNTS {
+                let cell = run_cell(
+                    entry,
+                    config,
+                    WhichMapper::Ilp {
+                        warm_start: false,
+                        threads,
+                    },
+                    time_limit,
+                );
+                eprintln!(
+                    "  {:<14} {:>10}/{}  threads={:<2} ->  {}  ({:.2?})",
+                    cell.benchmark, cell.arch, cell.contexts, threads, cell.symbol, cell.elapsed
+                );
+                runs.push((threads, cell));
+            }
+            let verdicts: Vec<&str> = runs.iter().map(|(_, c)| c.symbol).collect();
+            if verdicts.iter().any(|&v| v != verdicts[0]) {
+                eprintln!(
+                    "  WARNING: verdicts differ across thread counts for {name}: {verdicts:?} \
+                     (only legitimate for timeout-boundary cells)"
+                );
+            }
+            let mut row = String::new();
+            let first = &runs[0].1;
+            write!(
+                row,
+                "    {{\"benchmark\": \"{}\", \"arch\": \"{}\", \"contexts\": {}, \"runs\": [",
+                first.benchmark, first.arch, first.contexts
+            )
+            .unwrap();
+            for (i, (threads, cell)) in runs.iter().enumerate() {
+                if i > 0 {
+                    row.push_str(", ");
+                }
+                write!(
+                    row,
+                    "{{\"threads\": {}, \"wall_seconds\": {:.6}, \"symbol\": \"{}\"}}",
+                    threads,
+                    cell.elapsed.as_secs_f64(),
+                    cell.symbol
+                )
+                .unwrap();
+            }
+            row.push_str("]}");
+            instance_rows.push(row);
+        }
+    }
+
+    // Part 2: the same subset swept with 1 and 4 concurrent jobs
+    // (sequential solver per cell) — the Table 2 sweep parallelism.
+    let mut sweep_rows: Vec<String> = Vec::new();
+    let mut sweep_times: Vec<(usize, f64)> = Vec::new();
+    for jobs in [1usize, 4] {
+        let start = Instant::now();
+        let cells = run_matrix_parallel(
+            WhichMapper::ilp(),
+            time_limit,
+            &filter,
+            jobs,
+            |_cell| {},
+        );
+        let wall = start.elapsed().as_secs_f64();
+        eprintln!(
+            "  sweep jobs={jobs}: {} cells in {wall:.2}s",
+            cells.len()
+        );
+        sweep_times.push((jobs, wall));
+        sweep_rows.push(format!(
+            "    {{\"jobs\": {jobs}, \"cells\": {}, \"wall_seconds\": {wall:.6}}}",
+            cells.len()
+        ));
+    }
+    let speedup = sweep_times[0].1 / sweep_times[1].1.max(1e-9);
+
+    let json = format!(
+        "{{\n  \"host_cores\": {cores},\n  \"time_limit_secs\": {},\n  \
+         \"thread_counts\": [1, 2, 4, 8],\n  \"instances\": [\n{}\n  ],\n  \
+         \"sweep\": [\n{}\n  ],\n  \"sweep_speedup_4jobs\": {speedup:.3}\n}}\n",
+        time_limit.as_secs(),
+        instance_rows.join(",\n"),
+        sweep_rows.join(",\n"),
+    );
+    std::fs::write(&out_path, &json).unwrap_or_else(|e| panic!("write {out_path}: {e}"));
+    println!("wrote {out_path} ({} instances, sweep speedup at 4 jobs: {speedup:.2}x on {cores} cores)",
+        instance_rows.len());
+}

@@ -6,19 +6,29 @@
 //! Usage:
 //!
 //! ```text
-//! table2 [--time-limit <seconds>] [--no-warm-start] [benchmark ...]
+//! table2 [--time-limit <seconds>] [--no-warm-start] [--jobs <n>]
+//!        [--threads <n>] [benchmark ...]
 //! ```
+//!
+//! `--jobs n` sweeps n matrix cells concurrently (0 = all cores);
+//! `--threads n` gives each cell's solver a portfolio of n racing
+//! engines. The two compose, so keep `jobs x threads` near the core
+//! count.
 //!
 //! The per-cell budget defaults to 60 s (the paper used 1 h / 24 h on a
 //! server; see EXPERIMENTS.md for the scaling rationale). Cells that
 //! exceed the budget print as `T`, exactly as in the paper.
 
-use cgra_bench::{compare_to_paper, render_matrix, run_matrix, time_summary, WhichMapper};
+use cgra_bench::{
+    compare_to_paper, render_matrix, run_matrix_parallel, time_summary, WhichMapper,
+};
 use std::time::Duration;
 
 fn main() {
     let mut time_limit = Duration::from_secs(60);
     let mut warm_start = true;
+    let mut jobs = 1usize;
+    let mut threads = bilp::threads_from_env().unwrap_or(1);
     let mut filter: Vec<String> = Vec::new();
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
@@ -31,15 +41,39 @@ fn main() {
                 time_limit = Duration::from_secs(secs);
             }
             "--no-warm-start" => warm_start = false,
+            "--jobs" => {
+                jobs = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--jobs takes a count");
+            }
+            "--threads" => {
+                threads = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--threads takes a count");
+            }
             name => filter.push(name.to_owned()),
         }
     }
+    let jobs = if jobs == 0 {
+        cgra_par::default_jobs(1)
+    } else {
+        jobs
+    };
 
-    eprintln!("Running Table 2 sweep (budget {time_limit:?}/cell, warm start {warm_start}) ...");
-    let cells = run_matrix(
-        WhichMapper::Ilp { warm_start },
+    eprintln!(
+        "Running Table 2 sweep (budget {time_limit:?}/cell, warm start {warm_start}, \
+         {jobs} jobs x {threads} solver threads) ..."
+    );
+    let cells = run_matrix_parallel(
+        WhichMapper::Ilp {
+            warm_start,
+            threads,
+        },
         time_limit,
         &filter,
+        jobs,
         |cell| {
             eprintln!(
                 "  {:<14} {:>12}/{}  ->  {}  ({:.2?})",

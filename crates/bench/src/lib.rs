@@ -16,6 +16,8 @@
 
 #![warn(missing_docs)]
 
+pub mod timing;
+
 use cgra_arch::families::{paper_configs, PaperConfig};
 use cgra_dfg::benchmarks::{self, BenchmarkEntry};
 use cgra_mapper::{AnnealParams, AnnealingMapper, IlpMapper, MapOutcome, MapperOptions};
@@ -74,9 +76,23 @@ pub enum WhichMapper {
     Ilp {
         /// Enable the SA warm-start portfolio (MIP start).
         warm_start: bool,
+        /// Portfolio solver threads per instance (1 = the sequential
+        /// engine, 0 = all cores, n = race n diversified engines).
+        threads: usize,
     },
     /// The simulated-annealing baseline with "moderate parameters".
     Annealing,
+}
+
+impl WhichMapper {
+    /// The exact mapper with warm start and the sequential engine — the
+    /// configuration every paper experiment defaults to.
+    pub fn ilp() -> Self {
+        WhichMapper::Ilp {
+            warm_start: true,
+            threads: 1,
+        }
+    }
 }
 
 /// Runs one benchmark x configuration cell.
@@ -90,7 +106,11 @@ pub fn run_cell(
     let mrrg = build_mrrg(&config.arch, config.contexts);
     let options = MapperOptions {
         time_limit: Some(time_limit),
-        warm_start: matches!(mapper, WhichMapper::Ilp { warm_start: true }),
+        warm_start: matches!(mapper, WhichMapper::Ilp { warm_start: true, .. }),
+        threads: match mapper {
+            WhichMapper::Ilp { threads, .. } => threads,
+            WhichMapper::Annealing => 1,
+        },
         ..MapperOptions::default()
     };
     let report = match mapper {
@@ -138,6 +158,37 @@ pub fn run_matrix(
     cells
 }
 
+/// Runs the full (or filtered) matrix with `jobs` worker threads.
+///
+/// Cells come back in the same row-major order as [`run_matrix`]; each
+/// instance's wall-clock is captured inside [`run_cell`] so the parallel
+/// sweep reports per-instance times, not wall-clock shares. `progress`
+/// is invoked from worker threads as cells complete (i.e. possibly out
+/// of order). With `jobs <= 1` this degenerates to the sequential sweep.
+pub fn run_matrix_parallel(
+    mapper: WhichMapper,
+    time_limit: Duration,
+    filter: &[String],
+    jobs: usize,
+    progress: impl Fn(&Cell) + Sync,
+) -> Vec<Cell> {
+    let configs = paper_configs();
+    let mut work: Vec<(&BenchmarkEntry, &PaperConfig)> = Vec::new();
+    for entry in benchmarks::all() {
+        if !filter.is_empty() && !filter.iter().any(|f| f == entry.name) {
+            continue;
+        }
+        for config in &configs {
+            work.push((entry, config));
+        }
+    }
+    cgra_par::par_map(jobs, &work, |&(entry, config)| {
+        let cell = run_cell(entry, config, mapper, time_limit);
+        progress(&cell);
+        cell
+    })
+}
+
 /// Renders a feasibility matrix in the paper's Table 2 layout, including
 /// the "Total Feasible" row.
 pub fn render_matrix(cells: &[Cell]) -> String {
@@ -181,16 +232,12 @@ pub fn render_matrix(cells: &[Cell]) -> String {
     out
 }
 
+/// One Table 2 disagreement: `(benchmark, column, paper, measured)`.
+pub type Mismatch = (String, String, &'static str, &'static str);
+
 /// Compares measured cells against the paper's Table 2, returning
-/// `(agreements, comparisons, mismatches)` where mismatches lists
-/// `(benchmark, column, paper, measured)`.
-pub fn compare_to_paper(
-    cells: &[Cell],
-) -> (
-    usize,
-    usize,
-    Vec<(String, String, &'static str, &'static str)>,
-) {
+/// `(agreements, comparisons, mismatches)`.
+pub fn compare_to_paper(cells: &[Cell]) -> (usize, usize, Vec<Mismatch>) {
     let configs = paper_configs();
     let mut agree = 0;
     let mut total = 0;
@@ -278,7 +325,10 @@ mod tests {
         let cell = run_cell(
             entry,
             homo_diag_2,
-            WhichMapper::Ilp { warm_start: false },
+            WhichMapper::Ilp {
+                warm_start: false,
+                threads: 1,
+            },
             Duration::from_secs(120),
         );
         assert_eq!(cell.symbol, "1");

@@ -1,0 +1,76 @@
+//! A minimal wall-clock micro-benchmark harness.
+//!
+//! The repository originally used `criterion` for its `cargo bench`
+//! targets; the build environment has no registry access, so this module
+//! provides the thin slice those benches need: named groups, a
+//! configurable sample count, and min/median/max reporting. No
+//! statistical machinery — the benches here compare orders of magnitude
+//! (feature ablations, scaling curves), not single-digit percents.
+
+use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+/// A named group of benchmark measurements, printed as it runs.
+#[derive(Debug)]
+pub struct Group {
+    name: String,
+    sample_size: usize,
+}
+
+impl Group {
+    /// Creates a group; prints a header line.
+    pub fn new(name: &str) -> Self {
+        println!("== {name} ==");
+        Group {
+            name: name.to_owned(),
+            sample_size: 20,
+        }
+    }
+
+    /// Sets how many timed samples each `bench` call collects.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        assert!(n > 0, "sample size must be positive");
+        self.sample_size = n;
+        self
+    }
+
+    /// Times `f` (one untimed warm-up, then `sample_size` samples) and
+    /// prints `group/id  min / median / max`.
+    pub fn bench<R>(&mut self, id: &str, mut f: impl FnMut() -> R) {
+        black_box(f());
+        let mut samples: Vec<Duration> = (0..self.sample_size)
+            .map(|_| {
+                let t = Instant::now();
+                black_box(f());
+                t.elapsed()
+            })
+            .collect();
+        samples.sort();
+        let min = samples[0];
+        let median = samples[samples.len() / 2];
+        let max = *samples.last().expect("non-empty");
+        println!(
+            "{:<44} min {:>12}  median {:>12}  max {:>12}  ({} samples)",
+            format!("{}/{}", self.name, id),
+            format!("{min:.2?}"),
+            format!("{median:.2?}"),
+            format!("{max:.2?}"),
+            self.sample_size
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_runs_closure_expected_times() {
+        let mut calls = 0usize;
+        let mut g = Group::new("test");
+        g.sample_size(3);
+        g.bench("count", || calls += 1);
+        // One warm-up plus three samples.
+        assert_eq!(calls, 4);
+    }
+}

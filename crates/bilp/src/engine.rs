@@ -15,13 +15,29 @@
 
 use crate::model::{Lit, Var};
 use crate::normalize::NormConstraint;
+use crate::portfolio::UnitExchange;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
 use std::time::Instant;
 
 const UNASSIGNED: i8 = 2;
 
-/// Feature toggles for the search engine (ablation studies; all default
-/// to enabled).
-#[derive(Debug, Clone, Copy)]
+/// How many propagations + conflicts may pass between two wall-clock /
+/// interrupt polls. Checking `Instant::now()` on every propagation would
+/// dominate the hot loop; checking only on conflicts makes deadlines
+/// unresponsive on propagation-heavy instances. 1024 combined events
+/// keeps the overhead unmeasurable while bounding the poll latency to a
+/// few microseconds of solver work.
+const POLL_INTERVAL: u64 = 1024;
+
+/// Feature toggles and diversification knobs for the search engine.
+///
+/// The boolean toggles exist for ablation studies (all default to
+/// enabled). The `seed` / `random_tiebreak` / `default_phase` /
+/// `restart_base` knobs diversify engines for portfolio solving
+/// ([`crate::portfolio`]): each portfolio worker runs the same constraint
+/// database under a different configuration, racing to the first answer.
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct EngineFeatures {
     /// VSIDS activity-driven decision ordering (off = static order).
     pub vsids: bool,
@@ -31,6 +47,17 @@ pub struct EngineFeatures {
     pub minimization: bool,
     /// Luby restarts.
     pub restarts: bool,
+    /// Seed for the engine's internal tie-breaking RNG.
+    pub seed: u64,
+    /// Occasionally (about 1 decision in 64) branch on a random variable
+    /// instead of the activity-ordered one. Off by default: the baseline
+    /// single-threaded engine stays fully deterministic.
+    pub random_tiebreak: bool,
+    /// Initial decision polarity before any phase has been saved.
+    pub default_phase: bool,
+    /// Base conflict interval of the Luby restart schedule (the classic
+    /// MiniSat value 256 by default; portfolio workers vary it).
+    pub restart_base: u64,
 }
 
 impl Default for EngineFeatures {
@@ -40,6 +67,10 @@ impl Default for EngineFeatures {
             phase_saving: true,
             minimization: true,
             restarts: true,
+            seed: 0,
+            random_tiebreak: false,
+            default_phase: false,
+            restart_base: 256,
         }
     }
 }
@@ -168,6 +199,31 @@ impl VarOrder {
         Some(top)
     }
 
+    fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    fn peek_at(&self, i: usize) -> u32 {
+        self.heap[i]
+    }
+
+    /// Removes the element at heap position `i` (used by randomised
+    /// decision tie-breaking, which picks a heap slot uniformly).
+    fn remove_at(&mut self, i: usize) -> u32 {
+        let v = self.heap[i];
+        let last = self.heap.pop().expect("non-empty");
+        self.pos[v as usize] = -1;
+        if i < self.heap.len() {
+            self.heap[i] = last;
+            self.pos[last as usize] = i as i32;
+            // The displaced element may need to move either direction.
+            self.sift_up(i);
+            let p = self.pos[last as usize] as usize;
+            self.sift_down(p);
+        }
+        v
+    }
+
     fn bump(&mut self, v: u32, inc: f64) -> bool {
         self.activity[v as usize] += inc;
         let rescale = self.activity[v as usize] > 1e100;
@@ -255,6 +311,11 @@ pub struct Engine {
     stats: EngineStats,
     seen: Vec<bool>,
     features: EngineFeatures,
+    rng_state: u64,
+    interrupt: Option<Arc<AtomicBool>>,
+    exchange: Option<Arc<UnitExchange>>,
+    exchange_cursor: usize,
+    bound_tag: i64,
 }
 
 impl Engine {
@@ -286,12 +347,56 @@ impl Engine {
             stats: EngineStats::default(),
             seen: vec![false; num_vars],
             features: EngineFeatures::default(),
+            rng_state: 0x9e37_79b9_7f4a_7c15,
+            interrupt: None,
+            exchange: None,
+            exchange_cursor: 0,
+            bound_tag: i64::MAX,
         }
     }
 
-    /// Configures the engine's feature toggles (ablation studies).
+    /// Configures the engine's feature toggles and diversification knobs.
+    ///
+    /// Intended to be called before the first `solve`; it resets every
+    /// saved phase to the configured default polarity.
     pub fn set_features(&mut self, features: EngineFeatures) {
         self.features = features;
+        self.rng_state = features.seed ^ 0x9e37_79b9_7f4a_7c15;
+        if self.rng_state == 0 {
+            self.rng_state = 1;
+        }
+        self.phase.fill(features.default_phase);
+    }
+
+    /// Installs a cooperative-cancellation flag: when another thread sets
+    /// it, the next budget poll returns [`SatResult::Unknown`].
+    pub fn set_interrupt(&mut self, flag: Arc<AtomicBool>) {
+        self.interrupt = Some(flag);
+    }
+
+    /// Connects this engine to a portfolio unit-clause exchange. Learnt
+    /// unit literals are published with the engine's current objective
+    /// bound tag; foreign units are imported at restart boundaries.
+    pub fn set_exchange(&mut self, exchange: Arc<UnitExchange>) {
+        self.exchange_cursor = exchange.len();
+        self.exchange = Some(exchange);
+    }
+
+    /// Records the objective bound under which subsequently learnt units
+    /// are valid (`i64::MAX` = no bound constraint added yet). Bounds in
+    /// branch-and-bound only ever tighten, so the tag is monotone.
+    pub fn set_bound_tag(&mut self, bound: i64) {
+        self.bound_tag = bound;
+    }
+
+    fn next_rand(&mut self) -> u64 {
+        // xorshift64*: plenty for decision tie-breaking.
+        let mut x = self.rng_state;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.rng_state = x;
+        x.wrapping_mul(0x2545_f491_4f6c_dd1d)
     }
 
     /// Number of variables.
@@ -636,7 +741,7 @@ impl Engine {
                     })
                     .collect();
                 // Prefer large coefficients for a short explanation.
-                trues.sort_by(|a, b| b.0.cmp(&a.0));
+                trues.sort_by_key(|t| std::cmp::Reverse(t.0));
                 let mut acc: u128 = 0;
                 let mut out = Vec::new();
                 for (a, t) in trues {
@@ -722,8 +827,7 @@ impl Engine {
             self.seen[l.var().index()] = true;
         }
         let mut minimized = vec![learnt[0]];
-        for idx in 1..learnt.len() {
-            let l = learnt[idx];
+        for &l in &learnt[1..] {
             let keep = match self.reason_conflict(l.var().index()) {
                 None => true,
                 Some(r) => {
@@ -807,21 +911,42 @@ impl Engine {
     }
 
     fn decide(&mut self) -> bool {
+        if self.features.random_tiebreak && self.next_rand().is_multiple_of(64) {
+            // Diversification: probe a few random heap slots for an
+            // unassigned variable and branch on it instead of the
+            // activity maximum.
+            for _ in 0..4 {
+                if self.order.len() == 0 {
+                    break;
+                }
+                let i = (self.next_rand() % self.order.len() as u64) as usize;
+                let v = self.order.peek_at(i);
+                if self.assign[v as usize] == UNASSIGNED {
+                    self.order.remove_at(i);
+                    self.make_decision(v);
+                    return true;
+                }
+            }
+        }
         while let Some(v) = self.order.pop_max() {
             if self.assign[v as usize] == UNASSIGNED {
-                self.trail_lim.push(self.trail.len());
-                let var = Var(v);
-                let lit = if self.phase[v as usize] {
-                    Lit::positive(var)
-                } else {
-                    Lit::negative(var)
-                };
-                self.enqueue(lit, Reason::None);
-                self.stats.decisions += 1;
+                self.make_decision(v);
                 return true;
             }
         }
         false
+    }
+
+    fn make_decision(&mut self, v: u32) {
+        self.trail_lim.push(self.trail.len());
+        let var = Var(v);
+        let lit = if self.phase[v as usize] {
+            Lit::positive(var)
+        } else {
+            Lit::negative(var)
+        };
+        self.enqueue(lit, Reason::None);
+        self.stats.decisions += 1;
     }
 
     fn reduce_db(&mut self) {
@@ -869,6 +994,59 @@ impl Engine {
         }
     }
 
+    /// Polls the wall-clock deadline and the cooperative interrupt flag.
+    /// Called every [`POLL_INTERVAL`] propagations + conflicts.
+    fn budget_exhausted(&self, budget: &Budget) -> bool {
+        if let Some(flag) = &self.interrupt {
+            if flag.load(Ordering::Relaxed) {
+                return true;
+            }
+        }
+        if let Some(deadline) = budget.deadline {
+            if Instant::now() >= deadline {
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Publishes a freshly learnt level-0 unit to the portfolio exchange.
+    fn publish_unit(&self, lit: Lit) {
+        if let Some(ex) = &self.exchange {
+            ex.publish(lit, self.bound_tag);
+        }
+    }
+
+    /// Imports foreign units learnt by other portfolio workers. Must be
+    /// called at decision level 0. Returns `false` on derived conflict.
+    fn import_units(&mut self) -> bool {
+        debug_assert_eq!(self.decision_level(), 0);
+        let Some(ex) = self.exchange.clone() else {
+            return true;
+        };
+        let my_bound = self.bound_tag;
+        let mut cursor = self.exchange_cursor;
+        let mut ok = true;
+        ex.import_since(&mut cursor, my_bound, |lit| {
+            if !ok {
+                return;
+            }
+            if self.is_false(lit) {
+                ok = false;
+            } else if self.is_unassigned(lit) {
+                self.enqueue(lit, Reason::None);
+            }
+        });
+        self.exchange_cursor = cursor;
+        if ok && self.propagate().is_some() {
+            ok = false;
+        }
+        if !ok {
+            self.ok = false;
+        }
+        ok
+    }
+
     /// Runs CDCL search under the given budget.
     pub fn solve(&mut self, budget: Budget) -> SatResult {
         if !self.ok {
@@ -879,11 +1057,26 @@ impl Engine {
             self.ok = false;
             return SatResult::Unsat;
         }
+        if !self.import_units() {
+            return SatResult::Unsat;
+        }
+        let restart_base = self.features.restart_base.max(1);
         let mut restart_idx = 0u64;
-        let mut conflicts_until_restart = luby(restart_idx) * 256;
+        let mut conflicts_until_restart = luby(restart_idx) * restart_base;
         let start_conflicts = self.stats.conflicts;
+        // Deadline / interrupt polling is amortised over a counter of
+        // propagations + conflicts so the hot loop never calls
+        // `Instant::now()` more than once per POLL_INTERVAL events.
+        let mut next_poll = self.stats.propagations + self.stats.conflicts + POLL_INTERVAL;
 
         loop {
+            let polled_ops = self.stats.propagations + self.stats.conflicts;
+            if polled_ops >= next_poll {
+                next_poll = polled_ops + POLL_INTERVAL;
+                if self.budget_exhausted(&budget) {
+                    return SatResult::Unknown;
+                }
+            }
             if let Some(confl) = self.propagate() {
                 self.stats.conflicts += 1;
                 if self.decision_level() == 0 {
@@ -893,22 +1086,14 @@ impl Engine {
                 let (learnt, bt) = self.analyze(confl);
                 self.cancel_until(bt);
                 if learnt.len() == 1 {
+                    self.publish_unit(learnt[0]);
                     self.enqueue(learnt[0], Reason::None);
                 } else {
                     let asserting = learnt[0];
                     let cidx = self.attach_clause(learnt, true);
                     self.enqueue(asserting, Reason::Clause(cidx));
                 }
-                if conflicts_until_restart > 0 {
-                    conflicts_until_restart -= 1;
-                }
-                if self.stats.conflicts % 512 == 0 {
-                    if let Some(deadline) = budget.deadline {
-                        if Instant::now() >= deadline {
-                            return SatResult::Unknown;
-                        }
-                    }
-                }
+                conflicts_until_restart = conflicts_until_restart.saturating_sub(1);
                 if let Some(limit) = budget.conflict_limit {
                     if self.stats.conflicts - start_conflicts >= limit {
                         return SatResult::Unknown;
@@ -917,9 +1102,12 @@ impl Engine {
             } else {
                 if conflicts_until_restart == 0 && self.features.restarts {
                     restart_idx += 1;
-                    conflicts_until_restart = luby(restart_idx) * 256;
+                    conflicts_until_restart = luby(restart_idx) * restart_base;
                     self.stats.restarts += 1;
                     self.cancel_until(0);
+                    if !self.import_units() {
+                        return SatResult::Unsat;
+                    }
                     if self.n_learnt > self.learnt_cap {
                         self.reduce_db();
                         self.learnt_cap += self.learnt_cap / 2;
@@ -928,13 +1116,6 @@ impl Engine {
                 }
                 if !self.decide() {
                     return SatResult::Sat;
-                }
-                if self.stats.decisions % 4096 == 0 {
-                    if let Some(deadline) = budget.deadline {
-                        if Instant::now() >= deadline {
-                            return SatResult::Unknown;
-                        }
-                    }
                 }
             }
         }
@@ -956,6 +1137,7 @@ fn luby(i: u64) -> u64 {
 }
 
 #[cfg(test)]
+#[allow(clippy::needless_range_loop)] // column-index loops in incidence constructions
 mod tests {
     use super::*;
     use crate::model::Model;

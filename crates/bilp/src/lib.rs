@@ -43,9 +43,11 @@ pub mod brute;
 mod engine;
 mod model;
 mod normalize;
+pub mod portfolio;
 mod solve;
 
 pub use engine::{Budget, Engine, EngineFeatures, EngineStats, SatResult};
 pub use model::{to_lp_format, Cmp, Constraint, LinExpr, Lit, Model, Var};
 pub use normalize::{normalize, NormConstraint};
-pub use solve::{Assignment, Outcome, SolveStats, Solver, SolverConfig};
+pub use portfolio::UnitExchange;
+pub use solve::{threads_from_env, Assignment, Outcome, SolveStats, Solver, SolverConfig};

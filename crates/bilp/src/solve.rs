@@ -7,7 +7,7 @@ use crate::normalize::normalize;
 use std::time::{Duration, Instant};
 
 /// Solver configuration.
-#[derive(Debug, Clone, Copy, Default)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct SolverConfig {
     /// Wall-clock limit for the whole solve (feasibility + optimisation).
     pub time_limit: Option<Duration>,
@@ -15,6 +15,48 @@ pub struct SolverConfig {
     pub conflict_limit: Option<u64>,
     /// Engine feature toggles (ablation studies; default all enabled).
     pub features: EngineFeatures,
+    /// Number of portfolio workers: `1` (the default) solves on the
+    /// calling thread exactly as before; `0` means "one per available
+    /// core"; `n > 1` races `n` diversified engines (see
+    /// [`crate::portfolio`]).
+    pub threads: usize,
+    /// Base seed for engine diversification (worker seeds derive from
+    /// it). With `threads = 1` the seed only matters if
+    /// `features.random_tiebreak` is enabled.
+    pub seed: u64,
+}
+
+impl Default for SolverConfig {
+    fn default() -> Self {
+        SolverConfig {
+            time_limit: None,
+            conflict_limit: None,
+            features: EngineFeatures::default(),
+            threads: 1,
+            seed: 0,
+        }
+    }
+}
+
+impl SolverConfig {
+    /// The worker count this configuration resolves to: `threads`, with
+    /// `0` mapped to the machine's available parallelism.
+    pub fn effective_threads(&self) -> usize {
+        match self.threads {
+            0 => std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1),
+            n => n,
+        }
+    }
+}
+
+/// Reads the `BILP_THREADS` environment variable: the conventional way
+/// for binaries and examples in this repository to default their
+/// `--threads` flag. Unset, empty or unparsable values yield `None`;
+/// `0` means "all cores" (see [`SolverConfig::threads`]).
+pub fn threads_from_env() -> Option<usize> {
+    std::env::var("BILP_THREADS").ok()?.trim().parse().ok()
 }
 
 /// A complete 0/1 assignment to the model's variables.
@@ -108,12 +150,18 @@ impl Outcome {
 /// Solve statistics.
 #[derive(Debug, Clone, Copy, Default)]
 pub struct SolveStats {
-    /// Engine statistics accumulated over all branch-and-bound rounds.
+    /// Engine statistics accumulated over all branch-and-bound rounds
+    /// (summed across every portfolio worker when `threads > 1`).
     pub engine: EngineStats,
     /// Number of incumbent solutions found during optimisation.
     pub incumbents: u64,
     /// Total wall-clock time.
     pub elapsed: Duration,
+    /// Number of portfolio workers that ran (1 for the sequential path).
+    pub workers: u32,
+    /// Index of the first worker that produced a decisive verdict, when
+    /// the portfolio ran.
+    pub winner: Option<u32>,
 }
 
 /// The 0-1 ILP solver.
@@ -160,9 +208,14 @@ impl Solver {
     /// Returned solutions always satisfy every model constraint (this is
     /// re-checked internally; see [`Model::check`]).
     pub fn solve(&mut self, model: &Model) -> Outcome {
+        self.stats = SolveStats::default();
+        let threads = self.config.effective_threads();
+        if threads > 1 {
+            return crate::portfolio::solve_portfolio(model, &self.config, threads, &mut self.stats);
+        }
         let start = Instant::now();
         let deadline = self.config.time_limit.map(|d| start + d);
-        self.stats = SolveStats::default();
+        self.stats.workers = 1;
 
         let mut engine = Engine::new(model.num_vars());
         engine.set_features(self.config.features);
@@ -261,6 +314,7 @@ impl Solver {
 }
 
 #[cfg(test)]
+#[allow(clippy::needless_range_loop)] // column-index loops in incidence constructions
 mod tests {
     use super::*;
     use crate::model::Model;

@@ -1,0 +1,155 @@
+//! Portfolio-solver integration tests: determinism of the sequential
+//! path, agreement across thread counts, deadline responsiveness with
+//! the amortised budget polling, and UNSAT race cancellation.
+
+// Column-index loops over 2-D incidence structures read clearest as-is.
+#![allow(clippy::needless_range_loop)]
+
+use bilp::{LinExpr, Model, Outcome, Solver, SolverConfig, UnitExchange};
+use std::time::{Duration, Instant};
+
+/// n+1 pigeons into n holes: UNSAT, with proof cost growing steeply in n.
+fn pigeonhole(n: usize) -> Model {
+    let mut m = Model::new();
+    let p: Vec<Vec<_>> = (0..n + 1).map(|_| m.new_vars(n)).collect();
+    for row in &p {
+        m.add_clause(row.iter().map(|v| v.lit()));
+    }
+    for h in 0..n {
+        m.add_at_most_one((0..n + 1).map(|i| p[i][h]));
+    }
+    m
+}
+
+/// Minimum vertex cover of an n-cycle (optimum = ceil(n/2)).
+fn cycle_cover(n: usize) -> Model {
+    let mut m = Model::new();
+    let v = m.new_vars(n);
+    for i in 0..n {
+        m.add_clause([v[i].lit(), v[(i + 1) % n].lit()]);
+    }
+    m.minimize(LinExpr::sum(v));
+    m
+}
+
+/// `threads = 1` takes the classic sequential code path, so two runs —
+/// and a run against the default config — must agree bit-for-bit, down
+/// to the engine counters.
+#[test]
+fn threads_one_is_bit_for_bit_sequential() {
+    let m = cycle_cover(11);
+    let mut default_solver = Solver::new();
+    let default_out = default_solver.solve(&m);
+    let mut one_thread = Solver::with_config(SolverConfig {
+        threads: 1,
+        ..SolverConfig::default()
+    });
+    let one_out = one_thread.solve(&m);
+    assert_eq!(default_out, one_out);
+    let (a, b) = (default_solver.stats(), one_thread.stats());
+    assert_eq!(a.engine.conflicts, b.engine.conflicts);
+    assert_eq!(a.engine.decisions, b.engine.decisions);
+    assert_eq!(a.engine.propagations, b.engine.propagations);
+    assert_eq!(a.incumbents, b.incumbents);
+    assert_eq!(a.workers, 1);
+    assert_eq!(b.workers, 1);
+}
+
+/// Optimal objective values must be identical at every thread count;
+/// which optimal *solution* is returned may differ.
+#[test]
+fn portfolio_objective_matches_sequential() {
+    let m = cycle_cover(13);
+    let sequential = Solver::new().solve(&m);
+    assert_eq!(sequential.objective(), Some(7));
+    for threads in [2usize, 4] {
+        let mut s = Solver::with_config(SolverConfig {
+            threads,
+            ..SolverConfig::default()
+        });
+        let out = s.solve(&m);
+        assert!(
+            matches!(out, Outcome::Optimal { .. }),
+            "threads={threads}: {out:?}"
+        );
+        assert_eq!(out.objective(), Some(7), "threads={threads}");
+        let solution = out.solution().expect("optimal has a solution");
+        assert_eq!(m.check(|v| solution.value(v)), Ok(()));
+        assert_eq!(s.stats().workers, threads as u32);
+    }
+}
+
+/// The 50 ms deadline must surface as `Unknown` promptly. Budget checks
+/// are amortised to every ~1024 propagations/conflicts, which costs
+/// microseconds per poll — the bound here is ~2x the deadline plus
+/// scheduler margin, far above any legitimate overshoot.
+#[test]
+fn deadline_returns_unknown_within_twice_the_budget() {
+    let m = pigeonhole(10);
+    for threads in [1usize, 4] {
+        let mut s = Solver::with_config(SolverConfig {
+            time_limit: Some(Duration::from_millis(50)),
+            threads,
+            ..SolverConfig::default()
+        });
+        let start = Instant::now();
+        let out = s.solve(&m);
+        let elapsed = start.elapsed();
+        assert_eq!(out, Outcome::Unknown, "threads={threads}");
+        assert!(
+            elapsed < Duration::from_millis(200),
+            "threads={threads}: 50 ms deadline overshot to {elapsed:?}"
+        );
+    }
+}
+
+/// An UNSAT race: the first worker to finish its infeasibility proof
+/// must cancel the rest, and the verdict must be attributed.
+#[test]
+fn unsat_race_cancels_and_attributes_winner() {
+    let m = pigeonhole(6);
+    let mut s = Solver::with_config(SolverConfig {
+        threads: 4,
+        ..SolverConfig::default()
+    });
+    let out = s.solve(&m);
+    assert_eq!(out, Outcome::Infeasible);
+    let stats = s.stats();
+    assert_eq!(stats.workers, 4);
+    assert!(stats.winner.is_some(), "decisive worker not attributed");
+    // Aggregated engine counters must include every worker's effort —
+    // at minimum the winner's full UNSAT proof.
+    assert!(stats.engine.conflicts > 0);
+}
+
+/// Unit sharing respects objective-bound tags: a unit learnt under a
+/// tighter bound is only imported by workers whose own bound is at
+/// least as tight.
+#[test]
+fn unit_exchange_bound_tags() {
+    let mut source = Model::new();
+    let v = source.new_vars(3);
+    let exchange = UnitExchange::new();
+    exchange.publish(v[0].lit(), i64::MAX); // bound-free fact
+    exchange.publish(v[1].lit(), 5); // learnt under obj <= 5
+    exchange.publish(v[2].lit(), -3); // learnt under obj <= -3
+
+    // A worker at bound 5 (or tighter) may import tags >= its bound.
+    let mut cursor = 0;
+    let mut seen = Vec::new();
+    exchange.import_since(&mut cursor, 5, |lit| seen.push(lit));
+    assert_eq!(seen, vec![v[0].lit(), v[1].lit()]);
+    assert_eq!(cursor, 3);
+
+    // A bound-free worker only gets bound-free facts.
+    let mut cursor = 0;
+    let mut seen = Vec::new();
+    exchange.import_since(&mut cursor, i64::MAX, |lit| seen.push(lit));
+    assert_eq!(seen, vec![v[0].lit()]);
+
+    // A very tight bound entails everything published.
+    let mut cursor = 0;
+    let mut seen = Vec::new();
+    exchange.import_since(&mut cursor, -10, |lit| seen.push(lit));
+    assert_eq!(seen.len(), 3);
+}

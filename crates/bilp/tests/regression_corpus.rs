@@ -2,6 +2,9 @@
 //! exercised across every engine feature combination — a regression net
 //! for the search core.
 
+// Column-index loops over 2-D incidence structures read clearest as-is.
+#![allow(clippy::needless_range_loop)]
+
 use bilp::{EngineFeatures, LinExpr, Model, Outcome, Solver, SolverConfig};
 
 fn all_feature_variants() -> Vec<EngineFeatures> {
@@ -15,6 +18,7 @@ fn all_feature_variants() -> Vec<EngineFeatures> {
                         phase_saving,
                         minimization,
                         restarts,
+                        ..EngineFeatures::default()
                     });
                 }
             }

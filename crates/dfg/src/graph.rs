@@ -7,12 +7,11 @@
 //! ILP formulation (paper constraint (6)).
 
 use crate::op::OpKind;
-use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 use std::fmt;
 
 /// Identifier of an operation inside a [`Dfg`].
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct OpId(pub u32);
 
 impl OpId {
@@ -24,7 +23,7 @@ impl OpId {
 
 /// Identifier of an edge (a sub-value, in the paper's terminology) inside a
 /// [`Dfg`].
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct EdgeId(pub u32);
 
 impl EdgeId {
@@ -35,7 +34,7 @@ impl EdgeId {
 }
 
 /// An operation vertex.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Op {
     /// Unique name within the graph.
     pub name: String,
@@ -50,7 +49,7 @@ pub struct Op {
 ///
 /// In the paper's terminology each edge is one *sub-value*: a source-to-sink
 /// connection of a (possibly multi-fanout) value.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Edge {
     /// Producing operation.
     pub src: OpId,
@@ -159,7 +158,7 @@ impl std::error::Error for DfgError {}
 /// # Ok(())
 /// # }
 /// ```
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Dfg {
     name: String,
     ops: Vec<Op>,
@@ -173,7 +172,7 @@ pub struct Dfg {
 
 /// Headline statistics of a DFG, matching the columns of the paper's
 /// Table 1.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct DfgStats {
     /// Number of `input` plus `output` operations ("I/Os" column).
     pub ios: usize,

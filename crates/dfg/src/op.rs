@@ -5,7 +5,6 @@
 //! integer operation set plus the pseudo-operations needed by CGRA mapping:
 //! `input`/`output` (I/O pads) and `load`/`store` (row memory ports).
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 use std::str::FromStr;
 
@@ -23,7 +22,7 @@ use std::str::FromStr;
 /// assert!(!OpKind::Sub.is_commutative());
 /// assert!(!OpKind::Store.produces_value());
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum OpKind {
     /// External input; produces a value and has no operands. Mapped onto
     /// I/O pads of the architecture.
@@ -207,7 +206,7 @@ impl FromStr for OpKind {
 /// assert!(!alu.contains(OpKind::Mul));
 /// assert_eq!(alu.len(), 2);
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
 pub struct OpSet {
     bits: u16,
 }

@@ -7,8 +7,7 @@
 
 use crate::graph::{Dfg, OpId};
 use crate::op::OpKind;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use cgra_rng::Rng;
 
 /// Shape parameters for [`random_dfg`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -54,7 +53,7 @@ impl Default for RandomDfgParams {
 /// ```
 pub fn random_dfg(params: RandomDfgParams, seed: u64) -> Dfg {
     assert!(params.inputs >= 1, "kernels need at least one input");
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = Rng::seed_from_u64(seed);
     let mut g = Dfg::new(format!("random_{seed}"));
     let mut values: Vec<OpId> = (0..params.inputs)
         .map(|i| {

@@ -26,8 +26,7 @@ use crate::mapping::{validate_mapping, Mapping};
 use crate::options::MapperOptions;
 use cgra_dfg::{Dfg, EdgeId, OpId};
 use cgra_mrrg::{Mrrg, NodeId, NodeKind};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use cgra_rng::Rng;
 use std::collections::{BTreeMap, BinaryHeap, HashMap};
 use std::time::Instant;
 
@@ -327,7 +326,7 @@ impl AnnealingMapper {
     /// mapper uses.
     pub fn map(&self, dfg: &Dfg, mrrg: &Mrrg) -> MapReport {
         let start = Instant::now();
-        let mut rng = StdRng::seed_from_u64(self.options.seed);
+        let mut rng = Rng::seed_from_u64(self.options.seed);
 
         // Compatible slots per op.
         let mut slots: Vec<Vec<NodeId>> = Vec::with_capacity(dfg.op_count());
@@ -437,7 +436,7 @@ impl AnnealingMapper {
                 let after = st.cost();
                 let delta = after - before;
                 let accept =
-                    delta <= 0.0 || rng.gen::<f64>() < (-delta / temperature.max(1e-9)).exp();
+                    delta <= 0.0 || rng.gen_f64() < (-delta / temperature.max(1e-9)).exp();
                 if accept {
                     slot_owner.remove(&old_slot);
                     slot_owner.insert(new_slot, q);
@@ -517,7 +516,7 @@ impl AnnealingMapper {
 }
 
 /// Random injective placement: shuffle-greedy with augmenting-path repair.
-fn initial_placement(slots: &[Vec<NodeId>], rng: &mut StdRng) -> Option<Vec<NodeId>> {
+fn initial_placement(slots: &[Vec<NodeId>], rng: &mut Rng) -> Option<Vec<NodeId>> {
     let mut owner: HashMap<NodeId, usize> = HashMap::new();
     let mut assigned: Vec<Option<NodeId>> = vec![None; slots.len()];
 
@@ -527,12 +526,12 @@ fn initial_placement(slots: &[Vec<NodeId>], rng: &mut StdRng) -> Option<Vec<Node
         owner: &mut HashMap<NodeId, usize>,
         assigned: &mut Vec<Option<NodeId>>,
         visited: &mut HashMap<NodeId, bool>,
-        rng: &mut StdRng,
+        rng: &mut Rng,
     ) -> bool {
         let mut order: Vec<NodeId> = slots[q].clone();
         // Light shuffle for placement diversity.
         for i in (1..order.len()).rev() {
-            let j = rng.gen_range(0..=i);
+            let j = rng.gen_range_inclusive(0..=i);
             order.swap(i, j);
         }
         for p in order {
@@ -666,7 +665,7 @@ mod tests {
 
     #[test]
     fn initial_placement_is_injective() {
-        let mut rng = StdRng::seed_from_u64(3);
+        let mut rng = Rng::seed_from_u64(3);
         let slots = vec![
             vec![NodeId(1), NodeId(2)],
             vec![NodeId(1)],

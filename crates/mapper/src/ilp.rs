@@ -159,6 +159,8 @@ impl IlpMapper {
             .map(|l| l.saturating_sub(start.elapsed()));
         let mut solver = Solver::with_config(SolverConfig {
             time_limit: remaining,
+            threads: self.options.threads,
+            seed: self.options.seed,
             ..SolverConfig::default()
         });
         let outcome = match solver.solve(formulation.model()) {

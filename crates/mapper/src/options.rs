@@ -103,6 +103,13 @@ pub struct MapperOptions {
     /// solvers offer). Verdicts — feasible, infeasible, optimal — are
     /// still produced by the exact solver; hints only steer search order.
     pub warm_start: bool,
+    /// Number of portfolio solver threads for the ILP mapper. `1` runs
+    /// the classic sequential engine (bit-for-bit deterministic); `0`
+    /// uses all available cores; `n > 1` races `n` diversified engines
+    /// and returns the first decisive verdict. Verdicts and optimal
+    /// objective values are identical across thread counts; which
+    /// optimal *solution* is returned may differ.
+    pub threads: usize,
 }
 
 impl Default for MapperOptions {
@@ -116,6 +123,7 @@ impl Default for MapperOptions {
             redundant_capacity: true,
             seed: 1,
             warm_start: false,
+            threads: 1,
         }
     }
 }

@@ -135,7 +135,7 @@ pub fn parse_mapping(
             let (src, rest2) = head
                 .split_once("->")
                 .ok_or_else(|| syntax("expected `->` in route header".into()))?;
-            let mut tail = rest2.trim().split_whitespace();
+            let mut tail = rest2.split_whitespace();
             let dst = tail
                 .next()
                 .ok_or_else(|| syntax("expected destination op".into()))?;

@@ -125,6 +125,7 @@ pub fn build_mrrg(arch: &Architecture, contexts: u32) -> Mrrg {
                 let mut result_nodes: Vec<NodeId> = Vec::with_capacity(ii as usize);
                 for c in 0..ii {
                     let mut row = Vec::with_capacity(n_operands);
+                    #[allow(clippy::needless_range_loop)] // i is an operand index across several structures
                     for i in 0..n_operands {
                         let n = g.add_node(Node {
                             name: format!("{}.op{i}@{c}", comp.name),
@@ -151,7 +152,7 @@ pub fn build_mrrg(arch: &Architecture, contexts: u32) -> Mrrg {
                 }
                 // Execution slots: only if the unit's initiation interval
                 // divides the modulo period.
-                if ii % unit_ii == 0 {
+                if ii.is_multiple_of(*unit_ii) {
                     for c in (0..ii).step_by(*unit_ii as usize) {
                         let core = g.add_node(Node {
                             name: format!("{}.fu@{c}", comp.name),

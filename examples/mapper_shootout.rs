@@ -3,7 +3,10 @@
 //! harder cells and watch the heuristic start failing where the exact
 //! mapper still decides.
 //!
-//! Run with: `cargo run --release --example mapper_shootout [benchmark]`
+//! Run with: `cargo run --release --example mapper_shootout [benchmark] [--threads N]`
+//!
+//! `--threads N` (or `BILP_THREADS`) gives the ILP mapper a portfolio of
+//! N racing engines; the annealing baseline stays single-threaded.
 
 use cgra::arch::families::paper_configs;
 use cgra::mapper::{AnnealParams, AnnealingMapper, IlpMapper, MapperOptions};
@@ -11,7 +14,20 @@ use cgra::mrrg::build_mrrg;
 use std::time::Duration;
 
 fn main() {
-    let name = std::env::args().nth(1).unwrap_or_else(|| "exp_5".into());
+    let mut name = String::from("exp_5");
+    let mut threads = bilp::threads_from_env().unwrap_or(1);
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--threads" => {
+                threads = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--threads needs a number");
+            }
+            other => name = other.to_owned(),
+        }
+    }
     let entry = cgra::dfg::benchmarks::by_name(&name)
         .unwrap_or_else(|| panic!("unknown benchmark `{name}`"));
     let dfg = (entry.build)();
@@ -35,6 +51,7 @@ fn main() {
         let sa = AnnealingMapper::new(options, AnnealParams::default()).map(&dfg, &mrrg);
         let ilp = IlpMapper::new(MapperOptions {
             warm_start: true,
+            threads,
             ..options
         })
         .map(&dfg, &mrrg);

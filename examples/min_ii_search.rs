@@ -2,22 +2,43 @@
 //! give my kernel?" — answered exactly, II by II, with the DRESC-style
 //! outer loop around the exact mapper.
 //!
-//! Run with: `cargo run --release --example min_ii_search [benchmark]`
+//! Run with: `cargo run --release --example min_ii_search [benchmark] [--threads N]`
+//!
+//! `--threads N` (or the `BILP_THREADS` environment variable) races N
+//! diversified solver engines per II attempt; verdicts are identical to
+//! the sequential run, usually sooner.
 
 use cgra::arch::families::{grid, FuMix, GridParams, Interconnect};
 use cgra::mapper::{map_min_ii, MapperOptions};
 use std::time::Duration;
 
 fn main() {
-    let name = std::env::args().nth(1).unwrap_or_else(|| "cos_4".into());
+    let mut name = String::from("cos_4");
+    let mut threads = bilp::threads_from_env().unwrap_or(1);
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--threads" => {
+                threads = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--threads needs a number");
+            }
+            other => name = other.to_owned(),
+        }
+    }
     let entry = cgra::dfg::benchmarks::by_name(&name)
         .unwrap_or_else(|| panic!("unknown benchmark `{name}`"));
     let dfg = (entry.build)();
     println!("kernel {name}: {}\n", dfg);
+    if threads != 1 {
+        println!("(portfolio solving with {threads} threads; 0 = all cores)\n");
+    }
 
     let options = MapperOptions {
         time_limit: Some(Duration::from_secs(60)),
         warm_start: true,
+        threads,
         ..MapperOptions::default()
     };
     for (label, mix, ic) in [

@@ -1,13 +1,18 @@
 //! Property tests over random kernels: every mapping the exact mapper
 //! produces — for arbitrary small DFGs — must validate structurally and
 //! execute correctly on the simulated fabric.
+//!
+//! Random recipes are drawn with the in-repo seeded generator (the
+//! original proptest strategies are mirrored: 1..=3 inputs, 1..=5
+//! internal ops over 6 kinds, operands picked from prior values), so a
+//! failing case reproduces from its case index.
 
 use cgra::arch::families::{grid, FuMix, GridParams, Interconnect};
 use cgra::dfg::{Dfg, OpKind};
 use cgra::mapper::{IlpMapper, MapOutcome, MapperOptions};
 use cgra::mrrg::build_mrrg;
 use cgra::sim::verify_mapping_vectors;
-use proptest::prelude::*;
+use cgra_rng::Rng;
 
 /// A recipe for a random acyclic kernel: each internal op consumes two of
 /// the previously-produced values.
@@ -15,19 +20,21 @@ use proptest::prelude::*;
 struct KernelRecipe {
     n_inputs: usize,
     ops: Vec<(u8, usize, usize)>, // (kind selector, operand picks)
-    n_outputs: usize,
 }
 
-fn recipe() -> impl Strategy<Value = KernelRecipe> {
-    (1usize..=3, 1usize..=5, 1usize..=2).prop_flat_map(|(n_inputs, n_ops, n_outputs)| {
-        prop::collection::vec((0u8..6, 0usize..64, 0usize..64), n_ops).prop_map(move |ops| {
-            KernelRecipe {
-                n_inputs,
-                ops,
-                n_outputs,
-            }
+fn random_recipe(rng: &mut Rng) -> KernelRecipe {
+    let n_inputs = rng.gen_range_inclusive(1..=3);
+    let n_ops = rng.gen_range_inclusive(1..=5);
+    let ops = (0..n_ops)
+        .map(|_| {
+            (
+                rng.below(6) as u8,
+                rng.gen_range(0..64),
+                rng.gen_range(0..64),
+            )
         })
-    })
+        .collect();
+    KernelRecipe { n_inputs, ops }
 }
 
 fn build(recipe: &KernelRecipe) -> Dfg {
@@ -61,54 +68,60 @@ fn build(recipe: &KernelRecipe) -> Dfg {
         .copied()
         .filter(|v| g.fanout(*v).is_empty())
         .collect();
-    // Always at least n_outputs outputs; prefer late values.
     dead.reverse();
-    let mut n_out = 0;
     for (i, v) in dead.iter().enumerate() {
         let o = g
             .add_op(format!("o{i}"), OpKind::Output)
             .expect("fresh name");
         g.connect(*v, o, 0).expect("valid connection");
-        n_out += 1;
     }
-    let _ = n_out.max(recipe.n_outputs);
     g
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(12))]
+fn roomy_grid(memory_ports: bool) -> cgra::arch::Architecture {
+    grid(GridParams {
+        rows: 3,
+        cols: 3,
+        fu_mix: FuMix::Homogeneous,
+        interconnect: Interconnect::Diagonal,
+        io_pads: true,
+        memory_ports,
+        toroidal: false,
+        alu_latency: 0,
+        bypass_channel: false,
+    })
+}
 
-    #[test]
-    fn random_kernels_map_and_certify(r in recipe()) {
+#[test]
+fn random_kernels_map_and_certify() {
+    let mut rng = Rng::seed_from_u64(0xD_F_6_1);
+    let arch = roomy_grid(false);
+    let mrrg = build_mrrg(&arch, 2);
+    let mut checked = 0;
+    let mut case = 0;
+    while checked < 12 {
+        case += 1;
+        let r = random_recipe(&mut rng);
         let dfg = build(&r);
-        prop_assume!(dfg.validate().is_ok());
-        let arch = grid(GridParams {
-            rows: 3,
-            cols: 3,
-            fu_mix: FuMix::Homogeneous,
-            interconnect: Interconnect::Diagonal,
-            io_pads: true,
-            memory_ports: false,
-            toroidal: false,
-            alu_latency: 0,
-            bypass_channel: false,
-        });
-        let mrrg = build_mrrg(&arch, 2);
+        if dfg.validate().is_err() {
+            continue;
+        }
+        checked += 1;
         let report = IlpMapper::new(MapperOptions::default()).map(&dfg, &mrrg);
         match &report.outcome {
             MapOutcome::Mapped { mapping, .. } => {
                 // map() already validated structurally; certify on the
                 // fabric as well.
                 verify_mapping_vectors(&arch, &mrrg, &dfg, mapping, 2)
-                    .map_err(|e| TestCaseError::fail(format!("fabric diverged: {e}")))?;
+                    .unwrap_or_else(|e| panic!("case {case}: fabric diverged: {e}\n{r:?}"));
             }
             MapOutcome::Infeasible { .. } => {
                 // Small kernels on a roomy 3x3/II=2 array should fit; an
                 // infeasibility here would point at an over-constrained
                 // formulation. Capacity is the only legitimate reason.
-                prop_assert!(
+                assert!(
                     dfg.op_count() > 9 + 12,
-                    "unexpected infeasibility for {} ops: {}",
+                    "case {case}: unexpected infeasibility for {} ops: {}\n{r:?}",
                     dfg.op_count(),
                     report.outcome
                 );
@@ -116,14 +129,22 @@ proptest! {
             MapOutcome::Timeout => {}
         }
     }
+}
 
-    #[test]
-    fn random_kernels_roundtrip_text_format(r in recipe()) {
+#[test]
+fn random_kernels_roundtrip_text_format() {
+    let mut rng = Rng::seed_from_u64(0xD_F_6_2);
+    let mut checked = 0;
+    while checked < 12 {
+        let r = random_recipe(&mut rng);
         let dfg = build(&r);
-        prop_assume!(dfg.validate().is_ok());
+        if dfg.validate().is_err() {
+            continue;
+        }
+        checked += 1;
         let text = cgra::dfg::text::print(&dfg);
         let parsed = cgra::dfg::text::parse(&text).expect("roundtrip parse");
-        prop_assert_eq!(dfg, parsed);
+        assert_eq!(dfg, parsed, "roundtrip mismatch for {r:?}");
     }
 }
 
@@ -132,17 +153,7 @@ proptest! {
 #[test]
 fn seeded_memory_kernels_certify() {
     use cgra::dfg::random::{random_dfg, RandomDfgParams};
-    let arch = grid(GridParams {
-        rows: 3,
-        cols: 3,
-        fu_mix: FuMix::Homogeneous,
-        interconnect: Interconnect::Diagonal,
-        io_pads: true,
-        memory_ports: true,
-        toroidal: false,
-        alu_latency: 0,
-            bypass_channel: false,
-    });
+    let arch = roomy_grid(true);
     let mrrg = build_mrrg(&arch, 2);
     let params = RandomDfgParams {
         inputs: 2,
