@@ -685,7 +685,7 @@ mod tests {
                 memory_ports: true,
                 toroidal: false,
                 alu_latency: 0,
-            bypass_channel: false,
+                bypass_channel: false,
             });
             a.validate().unwrap_or_else(|e| panic!("{}x{}: {e}", r, c));
         }

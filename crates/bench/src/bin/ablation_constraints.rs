@@ -93,18 +93,22 @@ fn main() {
         ("sinh_4", "hetero-diag", 1),
     ];
     // The four probes are independent; sweep them concurrently.
-    let probed = cgra_par::par_map(cgra_par::default_jobs(1).min(cells.len()), &cells, |&(bench, arch, ctx)| {
-        let entry = benchmarks::by_name(bench).expect("known");
-        let dfg = (entry.build)();
-        let config = configs
-            .iter()
-            .find(|c| c.label == arch && c.contexts == ctx)
-            .expect("config exists");
-        let mrrg = build_mrrg(&config.arch, config.contexts);
-        let (with9, _) = probe(&dfg, &mrrg, true, budget);
-        let (without9, decoded) = probe(&dfg, &mrrg, false, budget);
-        (with9, without9, decoded)
-    });
+    let probed = cgra_par::par_map(
+        cgra_par::default_jobs(1).min(cells.len()),
+        &cells,
+        |&(bench, arch, ctx)| {
+            let entry = benchmarks::by_name(bench).expect("known");
+            let dfg = (entry.build)();
+            let config = configs
+                .iter()
+                .find(|c| c.label == arch && c.contexts == ctx)
+                .expect("config exists");
+            let mrrg = build_mrrg(&config.arch, config.contexts);
+            let (with9, _) = probe(&dfg, &mrrg, true, budget);
+            let (without9, decoded) = probe(&dfg, &mrrg, false, budget);
+            (with9, without9, decoded)
+        },
+    );
     let mut flips = 0;
     for ((bench, arch, ctx), (with9, without9, decoded)) in cells.iter().zip(&probed) {
         // A "bogus SAT": the ablated model is satisfied by an assignment

@@ -54,18 +54,12 @@ fn main() {
         );
     });
     eprintln!("Running ILP sweep ({jobs} jobs) ...");
-    let ilp = run_matrix_parallel(
-        WhichMapper::ilp(),
-        time_limit,
-        &filter,
-        jobs,
-        |cell| {
-            eprintln!(
-                "  ILP {:<14} {:>12}/{}  ->  {}  ({:.2?})",
-                cell.benchmark, cell.arch, cell.contexts, cell.symbol, cell.elapsed
-            );
-        },
-    );
+    let ilp = run_matrix_parallel(WhichMapper::ilp(), time_limit, &filter, jobs, |cell| {
+        eprintln!(
+            "  ILP {:<14} {:>12}/{}  ->  {}  ({:.2?})",
+            cell.benchmark, cell.arch, cell.contexts, cell.symbol, cell.elapsed
+        );
+    });
 
     let configs = paper_configs();
     println!("\nFig 8: number of benchmarks mapped per architecture\n");

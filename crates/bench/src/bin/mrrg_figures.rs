@@ -93,7 +93,7 @@ fn main() {
         memory_ports: false,
         toroidal: false,
         alu_latency: 0,
-            bypass_channel: false,
+        bypass_channel: false,
     });
     let g = build_mrrg(&arch, 1);
     dump(

@@ -53,16 +53,14 @@ fn main() {
 
     let cores = cgra_par::default_jobs(1);
     let configs = paper_configs();
-    let subset: Vec<_> = configs
-        .iter()
-        .filter(|c| c.label == "homo-diag")
-        .collect();
+    let subset: Vec<_> = configs.iter().filter(|c| c.label == "homo-diag").collect();
 
     // Part 1: each instance at every thread count, sequentially (so each
     // measurement gets the whole machine).
     let mut instance_rows: Vec<String> = Vec::new();
     for name in &filter {
-        let entry = benchmarks::by_name(name).unwrap_or_else(|| panic!("unknown benchmark `{name}`"));
+        let entry =
+            benchmarks::by_name(name).unwrap_or_else(|| panic!("unknown benchmark `{name}`"));
         for config in &subset {
             let mut runs: Vec<(usize, Cell)> = Vec::new();
             for threads in THREAD_COUNTS {
@@ -72,6 +70,7 @@ fn main() {
                     WhichMapper::Ilp {
                         warm_start: false,
                         threads,
+                        presolve: true,
                     },
                     time_limit,
                 );
@@ -120,18 +119,9 @@ fn main() {
     let mut sweep_times: Vec<(usize, f64)> = Vec::new();
     for jobs in [1usize, 4] {
         let start = Instant::now();
-        let cells = run_matrix_parallel(
-            WhichMapper::ilp(),
-            time_limit,
-            &filter,
-            jobs,
-            |_cell| {},
-        );
+        let cells = run_matrix_parallel(WhichMapper::ilp(), time_limit, &filter, jobs, |_cell| {});
         let wall = start.elapsed().as_secs_f64();
-        eprintln!(
-            "  sweep jobs={jobs}: {} cells in {wall:.2}s",
-            cells.len()
-        );
+        eprintln!("  sweep jobs={jobs}: {} cells in {wall:.2}s", cells.len());
         sweep_times.push((jobs, wall));
         sweep_rows.push(format!(
             "    {{\"jobs\": {jobs}, \"cells\": {}, \"wall_seconds\": {wall:.6}}}",
@@ -149,6 +139,8 @@ fn main() {
         sweep_rows.join(",\n"),
     );
     std::fs::write(&out_path, &json).unwrap_or_else(|e| panic!("write {out_path}: {e}"));
-    println!("wrote {out_path} ({} instances, sweep speedup at 4 jobs: {speedup:.2}x on {cores} cores)",
-        instance_rows.len());
+    println!(
+        "wrote {out_path} ({} instances, sweep speedup at 4 jobs: {speedup:.2}x on {cores} cores)",
+        instance_rows.len()
+    );
 }

@@ -1,0 +1,236 @@
+//! Measures what the PR's two problem-reduction layers buy on the
+//! paper's Table 2 instances, and writes `BENCH_presolve.json`:
+//!
+//! * **model size** — formulation (vars + constraints) for the textbook
+//!   all-candidates encoding (`reach_reduction` off), for the
+//!   reachability-reduced encoding, and after the `bilp` presolve
+//!   pipeline on top of it;
+//! * **wall-clock** — the end-to-end solve with presolve on vs off
+//!   (both with the reachability reduction, i.e. off = the solver path
+//!   before this PR), with the feasibility verdict of each run.
+//!
+//! Usage:
+//!
+//! ```text
+//! presolve [--time-limit <seconds>] [--output <path>] [benchmark ...]
+//! ```
+//!
+//! The summary reports the geometric-mean size reduction (the PR's
+//! headline ≥ 25% criterion) and the geomean wall-clock ratio
+//! (presolve-on / presolve-off); both runs must agree on every decided
+//! verdict, and the binary exits nonzero if they do not.
+
+use bilp::{presolve, PresolveConfig, Presolved};
+use cgra_arch::families::paper_configs;
+use cgra_dfg::benchmarks;
+use cgra_mapper::{Formulation, IlpMapper, MapperOptions};
+use cgra_mrrg::build_mrrg;
+use std::fmt::Write as _;
+use std::time::Duration;
+
+struct Row {
+    benchmark: &'static str,
+    arch: &'static str,
+    contexts: u32,
+    /// (vars, constraints) for raw / reach-reduced / presolved, when the
+    /// formulation builds at all (`None` = refuted before any model).
+    sizes: Option<[(u64, u64); 3]>,
+    presolve_ms: f64,
+    on_wall: f64,
+    on_symbol: &'static str,
+    off_wall: f64,
+    off_symbol: &'static str,
+}
+
+fn main() {
+    let mut time_limit = Duration::from_secs(10);
+    let mut output = String::from("BENCH_presolve.json");
+    let mut filter: Vec<String> = Vec::new();
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--time-limit" => {
+                let secs: u64 = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--time-limit takes seconds");
+                time_limit = Duration::from_secs(secs);
+            }
+            "--output" => {
+                output = args.next().expect("--output takes a path");
+            }
+            name => filter.push(name.to_owned()),
+        }
+    }
+
+    let configs = paper_configs();
+    let mut rows: Vec<Row> = Vec::new();
+    for entry in benchmarks::all() {
+        if !filter.is_empty() && !filter.iter().any(|f| f == entry.name) {
+            continue;
+        }
+        for config in &configs {
+            let dfg = (entry.build)();
+            let mrrg = build_mrrg(&config.arch, config.contexts);
+
+            // Model sizes: textbook, reach-reduced, reach + presolve.
+            let raw = Formulation::build(
+                &dfg,
+                &mrrg,
+                MapperOptions {
+                    reach_reduction: false,
+                    ..MapperOptions::default()
+                },
+            );
+            let reduced = Formulation::build(&dfg, &mrrg, MapperOptions::default());
+            let mut presolve_ms = 0.0;
+            let sizes = match (&raw, &reduced) {
+                (Ok(raw), Ok(reduced)) => {
+                    let size = |f: &Formulation| {
+                        let m = f.model();
+                        (m.num_vars() as u64, m.constraints().len() as u64)
+                    };
+                    let after = match presolve(reduced.model(), &PresolveConfig::default()) {
+                        Presolved::Reduced { stats, .. } => {
+                            presolve_ms = stats.elapsed.as_secs_f64() * 1e3;
+                            (stats.vars_after, stats.constraints_after)
+                        }
+                        Presolved::Infeasible { stats } => {
+                            presolve_ms = stats.elapsed.as_secs_f64() * 1e3;
+                            (0, 0)
+                        }
+                    };
+                    Some([size(raw), size(reduced), after])
+                }
+                // Build-level refutations (capacity, no slot, unroutable)
+                // never reach the solver; there is no model to measure.
+                _ => None,
+            };
+
+            // Wall-clock: presolve on vs off, reachability reduction on
+            // for both — the "off" run is the solver path before this PR.
+            let run = |presolve: bool| {
+                let t = std::time::Instant::now();
+                let report = IlpMapper::new(MapperOptions {
+                    presolve,
+                    time_limit: Some(time_limit),
+                    ..MapperOptions::default()
+                })
+                .map(&dfg, &mrrg);
+                (t.elapsed().as_secs_f64(), report.outcome.table_symbol())
+            };
+            let (on_wall, on_symbol) = run(true);
+            let (off_wall, off_symbol) = run(false);
+
+            eprintln!(
+                "  {:<14} {:>12}/{}  on {on_symbol} ({on_wall:.2}s)  off {off_symbol} ({off_wall:.2}s)",
+                entry.name, config.label, config.contexts
+            );
+            rows.push(Row {
+                benchmark: entry.name,
+                arch: config.label,
+                contexts: config.contexts,
+                sizes,
+                presolve_ms,
+                on_wall,
+                on_symbol,
+                off_wall,
+                off_symbol,
+            });
+        }
+    }
+
+    // Geomean size reduction over instances that build a model.
+    let kept: Vec<f64> = rows
+        .iter()
+        .filter_map(|r| r.sizes)
+        .filter(|s| s[2] != (0, 0))
+        .map(|s| (s[2].0 + s[2].1) as f64 / (s[0].0 + s[0].1) as f64)
+        .collect();
+    let geo_kept = geomean(&kept);
+    // Geomean wall ratio; sub-millisecond cells are all noise.
+    let ratios: Vec<f64> = rows
+        .iter()
+        .filter(|r| r.on_wall.max(r.off_wall) > 1e-3)
+        .map(|r| r.on_wall.max(1e-3) / r.off_wall.max(1e-3))
+        .collect();
+    let geo_wall = geomean(&ratios);
+    let mismatches: Vec<&Row> = rows
+        .iter()
+        .filter(|r| r.on_symbol != r.off_symbol && r.on_symbol != "T" && r.off_symbol != "T")
+        .collect();
+
+    let mut json = String::new();
+    let _ = writeln!(json, "{{");
+    let _ = writeln!(
+        json,
+        "  \"host_cores\": {},\n  \"time_limit_secs\": {},",
+        std::thread::available_parallelism().map_or(1, |n| n.get()),
+        time_limit.as_secs()
+    );
+    let _ = writeln!(json, "  \"instances\": [");
+    for (i, r) in rows.iter().enumerate() {
+        let sizes = match r.sizes {
+            Some(s) => format!(
+                "\"raw_vars\": {}, \"raw_constraints\": {}, \"reach_vars\": {}, \
+                 \"reach_constraints\": {}, \"presolved_vars\": {}, \"presolved_constraints\": {}",
+                s[0].0, s[0].1, s[1].0, s[1].1, s[2].0, s[2].1
+            ),
+            None => String::from("\"build_infeasible\": true"),
+        };
+        let _ = writeln!(
+            json,
+            "    {{\"benchmark\": \"{}\", \"arch\": \"{}\", \"contexts\": {}, {}, \
+             \"presolve_ms\": {:.3}, \"on\": {{\"wall_seconds\": {:.6}, \"symbol\": \"{}\"}}, \
+             \"off\": {{\"wall_seconds\": {:.6}, \"symbol\": \"{}\"}}}}{}",
+            r.benchmark,
+            r.arch,
+            r.contexts,
+            sizes,
+            r.presolve_ms,
+            r.on_wall,
+            r.on_symbol,
+            r.off_wall,
+            r.off_symbol,
+            if i + 1 == rows.len() { "" } else { "," }
+        );
+    }
+    let _ = writeln!(json, "  ],");
+    let _ = writeln!(
+        json,
+        "  \"geomean_size_kept\": {geo_kept:.4},\n  \
+           \"geomean_size_reduction\": {:.4},\n  \
+           \"geomean_wall_ratio_on_over_off\": {geo_wall:.4},\n  \
+           \"verdict_mismatches\": {}\n}}",
+        1.0 - geo_kept,
+        mismatches.len()
+    );
+    std::fs::write(&output, &json).expect("write bench json");
+
+    println!(
+        "geomean size reduction (raw -> reach + presolve): {:.1}%",
+        100.0 * (1.0 - geo_kept)
+    );
+    println!("geomean wall-clock ratio (presolve on / off):     {geo_wall:.3}");
+    println!(
+        "decided-verdict mismatches:                       {}",
+        mismatches.len()
+    );
+    println!("wrote {output}");
+    for r in &mismatches {
+        println!(
+            "  MISMATCH {}/{}/{}: on {} vs off {}",
+            r.benchmark, r.arch, r.contexts, r.on_symbol, r.off_symbol
+        );
+    }
+    if !mismatches.is_empty() {
+        std::process::exit(1);
+    }
+}
+
+fn geomean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return 1.0;
+    }
+    (xs.iter().map(|x| x.ln()).sum::<f64>() / xs.len() as f64).exp()
+}

@@ -6,8 +6,8 @@
 //! Usage:
 //!
 //! ```text
-//! table2 [--time-limit <seconds>] [--no-warm-start] [--jobs <n>]
-//!        [--threads <n>] [benchmark ...]
+//! table2 [--time-limit <seconds>] [--no-warm-start] [--no-presolve]
+//!        [--jobs <n>] [--threads <n>] [--smoke] [benchmark ...]
 //! ```
 //!
 //! `--jobs n` sweeps n matrix cells concurrently (0 = all cores);
@@ -18,15 +18,20 @@
 //! The per-cell budget defaults to 60 s (the paper used 1 h / 24 h on a
 //! server; see EXPERIMENTS.md for the scaling rationale). Cells that
 //! exceed the budget print as `T`, exactly as in the paper.
+//!
+//! `--no-presolve` disables the `bilp` presolve pipeline (the env var
+//! `BILP_PRESOLVE=0` does the same for any binary). `--smoke` runs a
+//! 2-benchmark x 1-architecture subset and exits nonzero if any cell
+//! disagrees with the paper — a fast CI gate, not an experiment.
 
-use cgra_bench::{
-    compare_to_paper, render_matrix, run_matrix_parallel, time_summary, WhichMapper,
-};
+use cgra_bench::{compare_to_paper, render_matrix, run_matrix_parallel, time_summary, WhichMapper};
 use std::time::Duration;
 
 fn main() {
     let mut time_limit = Duration::from_secs(60);
     let mut warm_start = true;
+    let mut presolve = true;
+    let mut smoke = false;
     let mut jobs = 1usize;
     let mut threads = bilp::threads_from_env().unwrap_or(1);
     let mut filter: Vec<String> = Vec::new();
@@ -41,6 +46,8 @@ fn main() {
                 time_limit = Duration::from_secs(secs);
             }
             "--no-warm-start" => warm_start = false,
+            "--no-presolve" => presolve = false,
+            "--smoke" => smoke = true,
             "--jobs" => {
                 jobs = args
                     .next()
@@ -61,26 +68,27 @@ fn main() {
     } else {
         jobs
     };
+    let mapper = WhichMapper::Ilp {
+        warm_start,
+        threads,
+        presolve,
+    };
+
+    if smoke {
+        run_smoke(mapper, time_limit);
+        return;
+    }
 
     eprintln!(
         "Running Table 2 sweep (budget {time_limit:?}/cell, warm start {warm_start}, \
-         {jobs} jobs x {threads} solver threads) ..."
+         presolve {presolve}, {jobs} jobs x {threads} solver threads) ..."
     );
-    let cells = run_matrix_parallel(
-        WhichMapper::Ilp {
-            warm_start,
-            threads,
-        },
-        time_limit,
-        &filter,
-        jobs,
-        |cell| {
-            eprintln!(
-                "  {:<14} {:>12}/{}  ->  {}  ({:.2?})",
-                cell.benchmark, cell.arch, cell.contexts, cell.symbol, cell.elapsed
-            );
-        },
-    );
+    let cells = run_matrix_parallel(mapper, time_limit, &filter, jobs, |cell| {
+        eprintln!(
+            "  {:<14} {:>12}/{}  ->  {}  ({:.2?})",
+            cell.benchmark, cell.arch, cell.contexts, cell.symbol, cell.elapsed
+        );
+    });
 
     println!("\nTable 2: ILP mapping feasibility (1 feasible, 0 infeasible, T timeout)\n");
     println!("{}", render_matrix(&cells));
@@ -91,4 +99,35 @@ fn main() {
         println!("  mismatch: {bench} @ {col}: paper {paper}, measured {ours}");
     }
     println!("\nRuntime (paper E6): {}", time_summary(&cells, time_limit));
+}
+
+/// The CI smoke gate: two cheap benchmarks on one architecture — one
+/// feasible, one provably infeasible — checked against the paper's
+/// published verdicts. Exits nonzero on any disagreement or timeout.
+fn run_smoke(mapper: WhichMapper, time_limit: Duration) {
+    let configs = cgra_arch::families::paper_configs();
+    let config = configs
+        .iter()
+        .find(|c| c.label == "hetero-orth" && c.contexts == 1)
+        .expect("paper config exists");
+    let mut failed = false;
+    for (bench, expected) in [("accum", "1"), ("mult_10", "0")] {
+        let entry = cgra_dfg::benchmarks::by_name(bench).expect("known benchmark");
+        let cell = cgra_bench::run_cell(entry, config, mapper, time_limit);
+        let ok = cell.symbol == expected;
+        println!(
+            "smoke {:<10} {}/{}: {} (expected {}, {:.2?}) {}",
+            cell.benchmark,
+            cell.arch,
+            cell.contexts,
+            cell.symbol,
+            expected,
+            cell.elapsed,
+            if ok { "ok" } else { "FAIL" }
+        );
+        failed |= !ok;
+    }
+    if failed {
+        std::process::exit(1);
+    }
 }

@@ -79,6 +79,8 @@ pub enum WhichMapper {
         /// Portfolio solver threads per instance (1 = the sequential
         /// engine, 0 = all cores, n = race n diversified engines).
         threads: usize,
+        /// Run the `bilp` presolve pipeline before search.
+        presolve: bool,
     },
     /// The simulated-annealing baseline with "moderate parameters".
     Annealing,
@@ -91,6 +93,7 @@ impl WhichMapper {
         WhichMapper::Ilp {
             warm_start: true,
             threads: 1,
+            presolve: true,
         }
     }
 }
@@ -106,10 +109,20 @@ pub fn run_cell(
     let mrrg = build_mrrg(&config.arch, config.contexts);
     let options = MapperOptions {
         time_limit: Some(time_limit),
-        warm_start: matches!(mapper, WhichMapper::Ilp { warm_start: true, .. }),
+        warm_start: matches!(
+            mapper,
+            WhichMapper::Ilp {
+                warm_start: true,
+                ..
+            }
+        ),
         threads: match mapper {
             WhichMapper::Ilp { threads, .. } => threads,
             WhichMapper::Annealing => 1,
+        },
+        presolve: match mapper {
+            WhichMapper::Ilp { presolve, .. } => presolve,
+            WhichMapper::Annealing => false,
         },
         ..MapperOptions::default()
     };
@@ -328,6 +341,7 @@ mod tests {
             WhichMapper::Ilp {
                 warm_start: false,
                 threads: 1,
+                presolve: true,
             },
             Duration::from_secs(120),
         );

@@ -44,10 +44,14 @@ mod engine;
 mod model;
 mod normalize;
 pub mod portfolio;
+pub mod presolve;
 mod solve;
 
 pub use engine::{Budget, Engine, EngineFeatures, EngineStats, SatResult};
 pub use model::{to_lp_format, Cmp, Constraint, LinExpr, Lit, Model, Var};
 pub use normalize::{normalize, NormConstraint};
 pub use portfolio::UnitExchange;
-pub use solve::{threads_from_env, Assignment, Outcome, SolveStats, Solver, SolverConfig};
+pub use presolve::{presolve, PresolveConfig, PresolveStats, Presolved, Reconstruction};
+pub use solve::{
+    presolve_from_env, threads_from_env, Assignment, Outcome, SolveStats, Solver, SolverConfig,
+};

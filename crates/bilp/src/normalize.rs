@@ -82,40 +82,105 @@ fn normalize_le(
     if bound < 0 {
         return vec![NormConstraint::False];
     }
-    let bound = bound as u128;
 
     let total: u128 = lits.iter().map(|&(a, _)| u128::from(a)).sum();
-    if total <= bound {
+    if total <= bound as u128 {
         return Vec::new(); // trivially satisfied
     }
+    // `bound < total` fits comfortably in u64 for any model built from i64
+    // coefficients of realistic size (matches the pre-tightening code).
+    let mut strengthened = 0;
+    tighten_at_most(lits, bound as u64, &mut strengthened)
+}
 
+/// Greatest common divisor.
+fn gcd(a: u64, b: u64) -> u64 {
+    if b == 0 {
+        a
+    } else {
+        gcd(b, a % b)
+    }
+}
+
+/// Tightens a PB at-most constraint `Σ aᵢ·litᵢ <= bound` to fixpoint:
+///
+/// * **unit elimination** — `aᵢ > bound` forces `litᵢ` false;
+/// * **coefficient saturation** — in the equivalent `>=`-form
+///   `Σ aᵢ·(1-litᵢ) >= d` with `d = Σaᵢ - bound`, any `aᵢ > d` can be
+///   lowered to `d` (the standard pseudo-Boolean saturation rule; note the
+///   naive `<=`-form rule "replace `aᵢ > bound` with `bound`" is *unsound*
+///   — `5x <= 3` would become `3x <= 3`, which admits `x = 1`);
+/// * **gcd division** — all coefficients are divided by their gcd and the
+///   bound floored, which strengthens whenever the bound was not a
+///   multiple (e.g. `2x + 2y <= 3` becomes `x + y <= 1`).
+///
+/// Each rule strictly decreases `Σ aᵢ`, so the loop terminates. Emitted
+/// units precede the residual constraint; a unit-coefficient residual with
+/// `bound = n - 1` is recognised as a clause of negations. `strengthened`
+/// counts saturation/gcd applications that genuinely changed the
+/// constraint (pure rescaling where the bound divides evenly is not
+/// counted, though it is still applied for canonical form).
+pub(crate) fn tighten_at_most(
+    mut terms: Vec<(u64, Lit)>,
+    mut bound: u64,
+    strengthened: &mut u64,
+) -> Vec<NormConstraint> {
     let mut out = Vec::new();
-    // Literals whose coefficient alone exceeds the bound must be false.
-    let mut kept: Vec<(u64, Lit)> = Vec::with_capacity(lits.len());
-    for (a, l) in lits {
-        if u128::from(a) > bound {
-            out.push(NormConstraint::Unit(!l));
-        } else {
-            kept.push((a, l));
+    loop {
+        terms.retain(|&(a, _)| a > 0);
+        let total: u128 = terms.iter().map(|&(a, _)| u128::from(a)).sum();
+        if total <= u128::from(bound) {
+            return out; // trivially satisfied
         }
-    }
-    let kept_total: u128 = kept.iter().map(|&(a, _)| u128::from(a)).sum();
-    if kept_total <= bound {
-        return out; // residual is trivially satisfied
-    }
-    let bound = bound as u64;
-
-    if kept.iter().all(|&(a, _)| a == 1) {
-        let n = kept.len() as u64;
-        if bound == n - 1 {
-            // "not all true" = clause of negations
-            out.push(NormConstraint::Clause(
-                kept.into_iter().map(|(_, l)| !l).collect(),
-            ));
-            return out;
+        // Literals whose coefficient alone exceeds the bound must be false.
+        if terms.iter().any(|&(a, _)| a > bound) {
+            terms.retain(|&(a, l)| {
+                if a > bound {
+                    out.push(NormConstraint::Unit(!l));
+                    false
+                } else {
+                    true
+                }
+            });
+            continue;
         }
+        // Saturation (>=-space): d is invariant under the rewrite, so one
+        // pass suffices before re-checking the other rules.
+        let d = total - u128::from(bound);
+        let d64 = u64::try_from(d).unwrap_or(u64::MAX);
+        if terms.iter().any(|&(a, _)| u128::from(a) > d) {
+            let mut new_total: u128 = 0;
+            for t in &mut terms {
+                if u128::from(t.0) > d {
+                    t.0 = d64;
+                }
+                new_total += u128::from(t.0);
+            }
+            *strengthened += 1;
+            bound = u64::try_from(new_total - d).expect("saturation shrinks the bound");
+            continue;
+        }
+        let g = terms.iter().fold(0, |g, &(a, _)| gcd(g, a));
+        if g > 1 {
+            if !bound.is_multiple_of(g) {
+                *strengthened += 1;
+            }
+            for t in &mut terms {
+                t.0 /= g;
+            }
+            bound /= g;
+            continue;
+        }
+        break;
     }
-    out.push(NormConstraint::AtMost { terms: kept, bound });
+    if terms.iter().all(|&(a, _)| a == 1) && bound == terms.len() as u64 - 1 {
+        // "not all true" = clause of negations
+        out.push(NormConstraint::Clause(
+            terms.into_iter().map(|(_, l)| !l).collect(),
+        ));
+        return out;
+    }
+    out.push(NormConstraint::AtMost { terms, bound });
     out
 }
 
@@ -225,6 +290,90 @@ mod tests {
         // sum + 1 <= 2  <=>  sum <= 1
         let n = normalize(&con(LinExpr::sum(vs) + 1, Cmp::Le, 2));
         assert!(matches!(&n[0], NormConstraint::AtMost { bound: 1, .. }));
+    }
+
+    #[test]
+    fn saturation_tightens_weighted_at_most() {
+        let mut m = Model::new();
+        let x = m.new_var();
+        let y = m.new_var();
+        // 3x + 3y <= 4: d = 2, both coefficients saturate to 2, giving
+        // 2x + 2y <= 2; gcd division yields x + y <= 1, which for two unit
+        // terms is the clause (¬x ∨ ¬y).
+        let n = normalize(&con(LinExpr::new() + (3, x) + (3, y), Cmp::Le, 4));
+        assert_eq!(n, vec![NormConstraint::Clause(vec![!x.lit(), !y.lit()])]);
+    }
+
+    #[test]
+    fn gcd_division_floors_the_bound() {
+        let mut m = Model::new();
+        let vs = m.new_vars(3);
+        // 2a + 2b + 2c <= 3  =>  a + b + c <= 1 (floor(3/2) = 1).
+        let e = LinExpr::new() + (2, vs[0]) + (2, vs[1]) + (2, vs[2]);
+        let n = normalize(&con(e, Cmp::Le, 3));
+        assert_eq!(
+            n,
+            vec![NormConstraint::AtMost {
+                terms: vs.iter().map(|v| (1, v.lit())).collect(),
+                bound: 1
+            }]
+        );
+    }
+
+    #[test]
+    fn saturation_cascades_into_units() {
+        let mut m = Model::new();
+        let x = m.new_var();
+        let y = m.new_var();
+        // 4x + 2y <= 5: d = 1, both saturate to 1, bound 2 - 1 = 1; the
+        // residual x + y <= 1 is recognised as the clause (¬x ∨ ¬y).
+        let n = normalize(&con(LinExpr::new() + (4, x) + (2, y), Cmp::Le, 5));
+        assert_eq!(n, vec![NormConstraint::Clause(vec![!x.lit(), !y.lit()])]);
+    }
+
+    #[test]
+    fn eq_split_with_negative_coefficients() {
+        let mut m = Model::new();
+        let x = m.new_var();
+        let y = m.new_var();
+        // x - y == 0, i.e. x == y: the <=-side gives clause (¬x ∨ y), the
+        // >=-side gives clause (x ∨ ¬y).
+        let n = normalize(&con(LinExpr::new() + x + (-1, y), Cmp::Eq, 0));
+        assert_eq!(
+            n,
+            vec![
+                NormConstraint::Clause(vec![!x.lit(), y.lit()]),
+                NormConstraint::Clause(vec![x.lit(), !y.lit()]),
+            ]
+        );
+    }
+
+    #[test]
+    fn eq_split_weighted_emits_units_on_both_sides() {
+        let mut m = Model::new();
+        let x = m.new_var();
+        let y = m.new_var();
+        // 3x + y == 3: <=-side is satisfied only with y's coefficient
+        // eliminated when x is true; the >=-side forces x true (since
+        // y alone cannot reach 3), then y <= 0.
+        let n = normalize(&con(LinExpr::new() + (3, x) + y, Cmp::Eq, 3));
+        // <=-side: 3x + y <= 3 -> d = 1 -> saturates to x + y <= 1, the
+        // clause (¬x ∨ ¬y).
+        assert!(n.contains(&NormConstraint::Clause(vec![!x.lit(), !y.lit()])));
+        // >=-side: 3x + y >= 3 <=> 3¬x + ¬y <= 1 -> ¬x eliminated (x
+        // forced true), residual ¬y <= 1 trivially satisfied.
+        assert!(n.contains(&NormConstraint::Unit(x.lit())));
+    }
+
+    #[test]
+    fn negative_constant_on_ge_side() {
+        let mut m = Model::new();
+        let x = m.new_var();
+        let y = m.new_var();
+        // -2x - 2y >= -3  <=>  2x + 2y <= 3  <=>  x + y <= 1, the clause
+        // (¬x ∨ ¬y).
+        let n = normalize(&con(LinExpr::new() + (-2, x) + (-2, y), Cmp::Ge, -3));
+        assert_eq!(n, vec![NormConstraint::Clause(vec![!x.lit(), !y.lit()])]);
     }
 
     #[test]

@@ -272,9 +272,9 @@ pub(crate) fn solve_portfolio(
     config: &SolverConfig,
     threads: usize,
     stats: &mut SolveStats,
+    deadline: Option<Instant>,
 ) -> Outcome {
     let start = Instant::now();
-    let deadline = config.time_limit.map(|d| start + d);
     let budget = Budget {
         deadline,
         conflict_limit: config.conflict_limit,
@@ -297,14 +297,8 @@ pub(crate) fn solve_portfolio(
                 let objective = objective.as_ref();
                 let incumbents_found = &incumbents_found;
                 scope.spawn(move || {
-                    let out = run_worker(
-                        model,
-                        objective,
-                        features,
-                        budget,
-                        shared,
-                        incumbents_found,
-                    );
+                    let out =
+                        run_worker(model, objective, features, budget, shared, incumbents_found);
                     // A decisive verdict ends the race for everyone.
                     if out.0 != WorkerVerdict::Inconclusive {
                         shared.stop.store(true, Ordering::SeqCst);
@@ -338,14 +332,8 @@ pub(crate) fn solve_portfolio(
     stats.winner = winner;
     stats.elapsed = start.elapsed();
 
-    let incumbent = shared
-        .incumbent
-        .lock()
-        .expect("incumbent poisoned")
-        .take();
-    let infeasible = results
-        .iter()
-        .any(|(v, _)| *v == WorkerVerdict::Infeasible);
+    let incumbent = shared.incumbent.lock().expect("incumbent poisoned").take();
+    let infeasible = results.iter().any(|(v, _)| *v == WorkerVerdict::Infeasible);
     let exhausted = results
         .iter()
         .filter_map(|(v, _)| match v {

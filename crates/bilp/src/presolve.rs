@@ -1,0 +1,1438 @@
+//! Presolve: root-level problem reduction ahead of search.
+//!
+//! The CDCL engine is strongest on a *small* model: every variable it never
+//! sees is a variable it never branches on, and every constraint removed is
+//! one fewer watch list to walk. This module shrinks a [`Model`] with a
+//! fixpoint of cheap, sound transformations before any search begins:
+//!
+//! 1. **Root propagation** — unit constraints are applied and their
+//!    consequences propagated to fixpoint across clauses and PB at-most
+//!    constraints.
+//! 2. **Coefficient saturation + gcd division** — at-most constraints are
+//!    tightened with the standard pseudo-Boolean saturation rule (applied in
+//!    ≥-space, where it is sound) and divided by the gcd of their
+//!    coefficients with a floored bound (see [`crate::normalize`]).
+//! 3. **Equivalent-literal substitution** — the binary clauses `(¬a ∨ b)`
+//!    and `(a ∨ ¬b)` together mean `a ≡ b`; such classes are merged with a
+//!    union-find over literals and every occurrence rewritten to the class
+//!    representative. ILP mapping formulations are full of `f ⇔ r`
+//!    implication pairs, which makes this the single biggest reduction.
+//! 4. **Duplicate and subsumed constraint elimination** — syntactic
+//!    duplicates are dropped, and a budgeted occurrence-list pass removes
+//!    clauses subsumed by shorter ones.
+//! 5. **At-most-one clique detection** — pairwise exclusions (binary
+//!    clauses) are collected into an adjacency structure together with
+//!    existing at-most-one constraints; greedily grown cliques replace the
+//!    covered binaries with a single cardinality constraint.
+//! 6. **Failed-literal probing (budgeted)** — each polarity of
+//!    high-occurrence variables is temporarily assumed and unit-propagated;
+//!    a conflict fixes the opposite literal at the root. Both polarities
+//!    failing proves infeasibility.
+//! 7. **Fixed-variable elimination** — fixed and aliased variables are
+//!    removed and the survivors densely renumbered.
+//!
+//! # Why reconstruction is sound
+//!
+//! Every pass preserves the solution set exactly, up to the recorded
+//! variable [`Reconstruction`]: a variable is either *kept* (renamed to a
+//! dense index, possibly with flipped polarity when its equivalence-class
+//! representative is a negated literal) or *fixed* (its value is forced in
+//! every solution, or — for variables appearing in no constraint — chosen
+//! to the objective-optimal polarity, which preserves both feasibility and
+//! the optimum). Fixed objective contributions are folded into the reduced
+//! objective's *constant* term, so objective values reported against the
+//! reduced model equal objective values of the expanded assignment against
+//! the original model; no post-hoc adjustment is needed.
+
+use crate::model::{LinExpr, Lit, Model, Var};
+use crate::normalize::{normalize, NormConstraint};
+use crate::solve::Assignment;
+use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet, VecDeque};
+use std::time::{Duration, Instant};
+
+const UNASSIGNED: i8 = -1;
+/// Hard cap on simplification rounds; each round is near-linear and the
+/// fixpoint is almost always reached in two or three.
+const MAX_ROUNDS: u32 = 12;
+/// Upper bound on pairwise expansion of an existing at-most-one when
+/// seeding the exclusion adjacency (quadratic in the constraint length).
+const CLIQUE_SEED_LIMIT: usize = 32;
+/// Budget (in pairwise lit comparisons) for the clause subsumption pass.
+const SUBSUME_BUDGET: u64 = 2_000_000;
+
+/// Presolve configuration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PresolveConfig {
+    /// Propagation-step budget for failed-literal probing; `0` disables
+    /// probing entirely.
+    pub probe_budget: u64,
+    /// Absolute deadline shared with the solver: presolve time counts
+    /// against the solve budget, and every pass polls this.
+    pub deadline: Option<Instant>,
+}
+
+impl Default for PresolveConfig {
+    fn default() -> Self {
+        PresolveConfig {
+            probe_budget: 200_000,
+            deadline: None,
+        }
+    }
+}
+
+/// Reduction counters for one presolve run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PresolveStats {
+    /// Variables in the original model.
+    pub vars_before: u64,
+    /// Variables in the reduced model.
+    pub vars_after: u64,
+    /// Constraints in the original model.
+    pub constraints_before: u64,
+    /// Constraints in the reduced model.
+    pub constraints_after: u64,
+    /// Variables fixed at the root (propagation, probing, free-variable
+    /// elimination).
+    pub fixed_vars: u64,
+    /// Variables merged into another variable by equivalent-literal
+    /// substitution.
+    pub aliased_vars: u64,
+    /// Constraints removed (satisfied, trivial, duplicate, subsumed, or
+    /// replaced by a clique).
+    pub removed_constraints: u64,
+    /// At-most constraints tightened by saturation or gcd division.
+    pub strengthened: u64,
+    /// At-most-one cliques synthesised from pairwise exclusions.
+    pub cliques: u64,
+    /// Variables probed (both polarities counted once).
+    pub probed_vars: u64,
+    /// Probes that failed and therefore fixed the opposite literal.
+    pub failed_literals: u64,
+    /// Simplification rounds until fixpoint.
+    pub rounds: u32,
+    /// Wall-clock time spent in presolve.
+    pub elapsed: Duration,
+}
+
+impl PresolveStats {
+    /// Fraction of variables + constraints removed, in `[0, 1]`.
+    pub fn reduction_ratio(&self) -> f64 {
+        let before = (self.vars_before + self.constraints_before) as f64;
+        let after = (self.vars_after + self.constraints_after) as f64;
+        if before == 0.0 {
+            0.0
+        } else {
+            1.0 - after / before
+        }
+    }
+}
+
+/// How one original variable is recovered from a reduced-model assignment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Disposition {
+    /// The variable is fixed in every solution of the reduced model.
+    Fixed(bool),
+    /// The variable maps to a reduced-model variable (possibly negated).
+    Mapped { var: Var, negated: bool },
+}
+
+/// Maps assignments of the reduced model back to the original variables.
+#[derive(Debug, Clone)]
+pub struct Reconstruction {
+    dispositions: Vec<Disposition>,
+}
+
+impl Reconstruction {
+    /// Expands a reduced-model assignment to the original variable space.
+    pub fn expand(&self, reduced: &Assignment) -> Assignment {
+        Assignment::from_values(
+            self.dispositions
+                .iter()
+                .map(|d| match *d {
+                    Disposition::Fixed(b) => b,
+                    Disposition::Mapped { var, negated } => reduced.value(var) ^ negated,
+                })
+                .collect(),
+        )
+    }
+
+    /// Number of variables in the original model.
+    pub fn num_original_vars(&self) -> usize {
+        self.dispositions.len()
+    }
+}
+
+/// Result of [`presolve`].
+#[derive(Debug, Clone)]
+pub enum Presolved {
+    /// Presolve proved the model infeasible.
+    Infeasible {
+        /// Reduction counters up to the refutation.
+        stats: PresolveStats,
+    },
+    /// An equivalent reduced model plus the variable map back.
+    Reduced {
+        /// The reduced model.
+        model: Model,
+        /// Maps reduced assignments back to original variables.
+        reconstruction: Reconstruction,
+        /// Reduction counters.
+        stats: PresolveStats,
+    },
+}
+
+impl Presolved {
+    /// The reduction counters, whichever way presolve ended.
+    pub fn stats(&self) -> &PresolveStats {
+        match self {
+            Presolved::Infeasible { stats } | Presolved::Reduced { stats, .. } => stats,
+        }
+    }
+}
+
+/// A working constraint; literals are rewritten in place as substitutions
+/// and fixings land, so stored literals are current as of the last
+/// simplification sweep.
+#[derive(Debug, Clone)]
+enum Con {
+    Clause(Vec<Lit>),
+    AtMost(Vec<(u64, Lit)>, u64),
+}
+
+struct Work {
+    value: Vec<i8>,
+    rep: Vec<Lit>,
+    cons: Vec<Option<Con>>,
+    queue: VecDeque<Lit>,
+    stats: PresolveStats,
+    deadline: Option<Instant>,
+    poll: u32,
+    out_of_time: bool,
+}
+
+/// Signal that a root-level contradiction was derived.
+struct Conflict;
+
+impl Work {
+    fn new(n: usize, deadline: Option<Instant>) -> Self {
+        Work {
+            value: vec![UNASSIGNED; n],
+            rep: (0..n).map(|i| Var(i as u32).lit()).collect(),
+            cons: Vec::new(),
+            queue: VecDeque::new(),
+            stats: PresolveStats::default(),
+            deadline,
+            poll: 0,
+            out_of_time: false,
+        }
+    }
+
+    /// Amortised deadline poll; once expired, passes wind down and the
+    /// (still sound) partially-reduced model is emitted.
+    fn time_up(&mut self) -> bool {
+        if self.out_of_time {
+            return true;
+        }
+        self.poll += 1;
+        if self.poll & 0x3ff == 0 {
+            if let Some(d) = self.deadline {
+                if Instant::now() >= d {
+                    self.out_of_time = true;
+                }
+            }
+        }
+        self.out_of_time
+    }
+
+    /// Resolves a literal to its equivalence-class representative, with
+    /// path compression.
+    fn find(&mut self, l: Lit) -> Lit {
+        let mut cur = l;
+        let mut chain: Vec<Lit> = Vec::new();
+        loop {
+            let r = self.rep[cur.var().index()];
+            let mapped = if cur.is_negative() { !r } else { r };
+            if mapped == cur {
+                break;
+            }
+            chain.push(cur);
+            cur = mapped;
+        }
+        for c in chain {
+            self.rep[c.var().index()] = if c.is_negative() { !cur } else { cur };
+        }
+        cur
+    }
+
+    fn enqueue(&mut self, l: Lit) {
+        self.queue.push_back(l);
+    }
+
+    /// Records `a ≡ b`. Returns whether anything changed.
+    fn union(&mut self, a: Lit, b: Lit) -> Result<bool, Conflict> {
+        let ra = self.find(a);
+        let rb = self.find(b);
+        if ra == rb {
+            return Ok(false);
+        }
+        if ra == !rb {
+            return Err(Conflict);
+        }
+        // If either side is already assigned, the equivalence is just a
+        // unit on the other side.
+        let va = self.value[ra.var().index()];
+        let vb = self.value[rb.var().index()];
+        if va != UNASSIGNED {
+            let b_true = (va == 1) != ra.is_negative();
+            self.enqueue(if b_true { rb } else { !rb });
+            return Ok(true);
+        }
+        if vb != UNASSIGNED {
+            let a_true = (vb == 1) != rb.is_negative();
+            self.enqueue(if a_true { ra } else { !ra });
+            return Ok(true);
+        }
+        // Lower variable index wins as representative: deterministic.
+        let (child, root) = if ra.var().index() < rb.var().index() {
+            (rb, ra)
+        } else {
+            (ra, rb)
+        };
+        self.rep[child.var().index()] = if child.is_negative() { !root } else { root };
+        self.stats.aliased_vars += 1;
+        Ok(true)
+    }
+
+    /// Drains the unit queue into root assignments.
+    fn drain_queue(&mut self) -> Result<bool, Conflict> {
+        let mut changed = false;
+        while let Some(l) = self.queue.pop_front() {
+            let r = self.find(l);
+            let want: i8 = if r.is_negative() { 0 } else { 1 };
+            let slot = &mut self.value[r.var().index()];
+            match *slot {
+                UNASSIGNED => {
+                    *slot = want;
+                    changed = true;
+                }
+                v if v == want => {}
+                _ => return Err(Conflict),
+            }
+        }
+        Ok(changed)
+    }
+
+    fn accept_norm(&mut self, nc: NormConstraint) -> Result<(), Conflict> {
+        match nc {
+            NormConstraint::Unit(l) => self.enqueue(l),
+            NormConstraint::Clause(lits) => self.cons.push(Some(Con::Clause(lits))),
+            NormConstraint::AtMost { terms, bound } => {
+                self.cons.push(Some(Con::AtMost(terms, bound)))
+            }
+            NormConstraint::False => return Err(Conflict),
+        }
+        Ok(())
+    }
+
+    /// Rewrites one constraint under the current substitution/assignment.
+    /// `None` means the constraint was satisfied or replaced by units.
+    fn simplify_con(&mut self, con: Con, changed: &mut bool) -> Result<Option<Con>, Conflict> {
+        match con {
+            Con::Clause(lits) => {
+                let mut out: Vec<Lit> = Vec::with_capacity(lits.len());
+                let mut any = false;
+                for l in lits {
+                    let r = self.find(l);
+                    if r != l {
+                        any = true;
+                    }
+                    match self.value[r.var().index()] {
+                        UNASSIGNED => out.push(r),
+                        v => {
+                            any = true;
+                            if (v == 1) != r.is_negative() {
+                                // Satisfied.
+                                *changed = true;
+                                self.stats.removed_constraints += 1;
+                                return Ok(None);
+                            }
+                            // False literal: dropped.
+                        }
+                    }
+                }
+                out.sort_unstable();
+                out.dedup();
+                // Codes of l and ¬l are adjacent, so a tautology shows up
+                // as consecutive entries after sorting.
+                if out.windows(2).any(|w| w[0].var() == w[1].var()) {
+                    *changed = true;
+                    self.stats.removed_constraints += 1;
+                    return Ok(None);
+                }
+                match out.len() {
+                    0 => Err(Conflict),
+                    1 => {
+                        self.enqueue(out[0]);
+                        *changed = true;
+                        Ok(None)
+                    }
+                    _ => {
+                        if any {
+                            *changed = true;
+                        }
+                        Ok(Some(Con::Clause(out)))
+                    }
+                }
+            }
+            Con::AtMost(terms, bound) => {
+                // Merge per-variable, tracking coefficients on both
+                // polarities: a·x + b·¬x = min(a,b) + |a-b|·(dominant lit).
+                let mut per_var: BTreeMap<Var, (u64, u64)> = BTreeMap::new();
+                let mut bound = i128::from(bound);
+                let mut any = false;
+                for (a, l) in &terms {
+                    let r = self.find(*l);
+                    if r != *l {
+                        any = true;
+                    }
+                    match self.value[r.var().index()] {
+                        UNASSIGNED => {
+                            let e = per_var.entry(r.var()).or_insert((0, 0));
+                            if r.is_negative() {
+                                e.1 += a;
+                            } else {
+                                e.0 += a;
+                            }
+                        }
+                        v => {
+                            any = true;
+                            if (v == 1) != r.is_negative() {
+                                bound -= i128::from(*a);
+                            }
+                        }
+                    }
+                }
+                let mut kept: Vec<(u64, Lit)> = Vec::with_capacity(per_var.len());
+                for (v, (pos, neg)) in per_var {
+                    let base = pos.min(neg);
+                    if base > 0 {
+                        any = true;
+                    }
+                    bound -= i128::from(base);
+                    match pos.cmp(&neg) {
+                        std::cmp::Ordering::Greater => kept.push((pos - neg, Lit::positive(v))),
+                        std::cmp::Ordering::Less => kept.push((neg - pos, Lit::negative(v))),
+                        std::cmp::Ordering::Equal => {}
+                    }
+                }
+                if bound < 0 {
+                    return Err(Conflict);
+                }
+                let norm = crate::normalize::tighten_at_most(
+                    kept.clone(),
+                    bound as u64,
+                    &mut self.stats.strengthened,
+                );
+                // The common case: the constraint survives unchanged as a
+                // single at-most.
+                if let [NormConstraint::AtMost { terms: t, bound: b }] = norm.as_slice() {
+                    if any || *t != kept || i128::from(*b) != bound {
+                        *changed = true;
+                    }
+                    return Ok(Some(Con::AtMost(t.clone(), *b)));
+                }
+                *changed = true;
+                let mut replacement = None;
+                for nc in norm {
+                    match nc {
+                        NormConstraint::Unit(l) => self.enqueue(l),
+                        NormConstraint::False => return Err(Conflict),
+                        NormConstraint::Clause(lits) => {
+                            debug_assert!(replacement.is_none());
+                            replacement = Some(Con::Clause(lits));
+                        }
+                        NormConstraint::AtMost { terms, bound } => {
+                            debug_assert!(replacement.is_none());
+                            replacement = Some(Con::AtMost(terms, bound));
+                        }
+                    }
+                }
+                if replacement.is_none() {
+                    self.stats.removed_constraints += 1;
+                }
+                Ok(replacement)
+            }
+        }
+    }
+
+    /// One full sweep over all active constraints.
+    fn simplify_all(&mut self) -> Result<bool, Conflict> {
+        let mut changed = false;
+        for i in 0..self.cons.len() {
+            if self.time_up() {
+                break;
+            }
+            if let Some(con) = self.cons[i].take() {
+                self.cons[i] = self.simplify_con(con, &mut changed)?;
+            }
+        }
+        Ok(changed)
+    }
+
+    /// Propagates queued units to fixpoint using occurrence lists, so a
+    /// long implication chain does not trigger repeated full sweeps.
+    fn propagate(&mut self) -> Result<bool, Conflict> {
+        let mut changed = false;
+        loop {
+            if !self.drain_queue()? {
+                return Ok(changed);
+            }
+            changed = true;
+            if self.time_up() {
+                return Ok(changed);
+            }
+            // Occurrence lists keyed by the variables as currently stored;
+            // valid until the next union (none happen inside this loop).
+            let mut occ: HashMap<Var, Vec<u32>> = HashMap::new();
+            for (i, con) in self.cons.iter().enumerate() {
+                let Some(con) = con else { continue };
+                let mut push = |v: Var| occ.entry(v).or_default().push(i as u32);
+                match con {
+                    Con::Clause(lits) => lits.iter().for_each(|l| push(l.var())),
+                    Con::AtMost(terms, _) => terms.iter().for_each(|(_, l)| push(l.var())),
+                }
+            }
+            let mut dirty: VecDeque<u32> = VecDeque::new();
+            let mut in_dirty: HashSet<u32> = HashSet::new();
+            let mark = |v: Var,
+                        occ: &HashMap<Var, Vec<u32>>,
+                        dirty: &mut VecDeque<u32>,
+                        in_dirty: &mut HashSet<u32>| {
+                if let Some(list) = occ.get(&v) {
+                    for &i in list {
+                        if in_dirty.insert(i) {
+                            dirty.push_back(i);
+                        }
+                    }
+                }
+            };
+            // Everything assigned since the occurrence lists were built is
+            // unknown, so seed from all currently-assigned variables once,
+            // then incrementally from fresh units.
+            for v in 0..self.value.len() {
+                if self.value[v] != UNASSIGNED {
+                    mark(Var(v as u32), &occ, &mut dirty, &mut in_dirty);
+                }
+            }
+            while let Some(i) = dirty.pop_front() {
+                in_dirty.remove(&i);
+                if self.time_up() {
+                    break;
+                }
+                if let Some(con) = self.cons[i as usize].take() {
+                    let mut local = false;
+                    self.cons[i as usize] = self.simplify_con(con, &mut local)?;
+                    if local {
+                        changed = true;
+                    }
+                }
+                // Fresh units dirty their occurrence lists (under the
+                // old variable naming, which units do not change).
+                let fresh: Vec<Lit> = self.queue.iter().copied().collect();
+                self.drain_queue()?;
+                for l in fresh {
+                    mark(l.var(), &occ, &mut dirty, &mut in_dirty);
+                }
+            }
+        }
+    }
+
+    /// Merges equivalent-literal classes: strongly connected components of
+    /// the binary implication graph (each binary clause `(a ∨ b)`
+    /// contributes `¬a → b` and `¬b → a`) are literal equivalence classes.
+    /// A component containing both polarities of a variable is a
+    /// contradiction.
+    fn equiv_pass(&mut self) -> Result<bool, Conflict> {
+        let n = self.value.len();
+        let mut adj: Vec<Vec<u32>> = vec![Vec::new(); 2 * n];
+        let mut any_edge = false;
+        for con in self.cons.iter().flatten() {
+            if let Con::Clause(lits) = con {
+                if let [a, b] = lits.as_slice() {
+                    adj[(!*a).code()].push(b.code() as u32);
+                    adj[(!*b).code()].push(a.code() as u32);
+                    any_edge = true;
+                }
+            }
+        }
+        if !any_edge {
+            return Ok(false);
+        }
+        // Iterative Tarjan SCC.
+        const UNVISITED: u32 = u32::MAX;
+        let mut index = vec![UNVISITED; 2 * n];
+        let mut low = vec![0u32; 2 * n];
+        let mut on_stack = vec![false; 2 * n];
+        let mut stack: Vec<u32> = Vec::new();
+        let mut next_index = 0u32;
+        let mut sccs: Vec<Vec<u32>> = Vec::new();
+        let mut call: Vec<(u32, u32)> = Vec::new(); // (node, edge cursor)
+        for s in 0..2 * n {
+            if index[s] != UNVISITED {
+                continue;
+            }
+            call.push((s as u32, 0));
+            while let Some(frame) = call.last_mut() {
+                let (v, cursor) = (frame.0 as usize, frame.1 as usize);
+                if cursor == 0 {
+                    index[v] = next_index;
+                    low[v] = next_index;
+                    next_index += 1;
+                    stack.push(v as u32);
+                    on_stack[v] = true;
+                }
+                if let Some(&w) = adj[v].get(cursor) {
+                    frame.1 += 1;
+                    let w = w as usize;
+                    if index[w] == UNVISITED {
+                        call.push((w as u32, 0));
+                    } else if on_stack[w] {
+                        low[v] = low[v].min(index[w]);
+                    }
+                } else {
+                    if low[v] == index[v] {
+                        let mut comp: Vec<u32> = Vec::new();
+                        loop {
+                            let w = stack.pop().expect("SCC stack holds the root");
+                            on_stack[w as usize] = false;
+                            comp.push(w);
+                            if w as usize == v {
+                                break;
+                            }
+                        }
+                        if comp.len() > 1 {
+                            comp.sort_unstable();
+                            sccs.push(comp);
+                        }
+                    }
+                    call.pop();
+                    if let Some(parent) = call.last() {
+                        let p = parent.0 as usize;
+                        low[p] = low[p].min(low[v]);
+                    }
+                }
+            }
+        }
+        let mut changed = false;
+        for comp in sccs {
+            // Both polarities of one variable in the same component means
+            // x → ¬x and ¬x → x: infeasible.
+            if comp.windows(2).any(|w| w[0] >> 1 == w[1] >> 1) {
+                return Err(Conflict);
+            }
+            let root = Lit(comp[0]);
+            for &c in &comp[1..] {
+                changed |= self.union(root, Lit(c))?;
+            }
+        }
+        Ok(changed)
+    }
+
+    /// Removes syntactic duplicates (clauses and at-mosts).
+    fn dedup_pass(&mut self) -> bool {
+        let mut seen: HashSet<Vec<u64>> = HashSet::new();
+        let mut changed = false;
+        for slot in &mut self.cons {
+            let Some(con) = slot else { continue };
+            let key: Vec<u64> = match con {
+                Con::Clause(lits) => std::iter::once(0u64)
+                    .chain(lits.iter().map(|l| l.code() as u64))
+                    .collect(),
+                Con::AtMost(terms, bound) => std::iter::once(1u64)
+                    .chain(std::iter::once(*bound))
+                    .chain(terms.iter().flat_map(|&(a, l)| [a, l.code() as u64]))
+                    .collect(),
+            };
+            if !seen.insert(key) {
+                *slot = None;
+                self.stats.removed_constraints += 1;
+                changed = true;
+            }
+        }
+        changed
+    }
+
+    /// Budgeted clause-subsumes-clause elimination via occurrence lists on
+    /// the rarest literal.
+    fn subsume_pass(&mut self) -> bool {
+        let mut occ: HashMap<Lit, Vec<u32>> = HashMap::new();
+        for (i, con) in self.cons.iter().enumerate() {
+            if let Some(Con::Clause(lits)) = con {
+                for l in lits {
+                    occ.entry(*l).or_default().push(i as u32);
+                }
+            }
+        }
+        let mut budget = SUBSUME_BUDGET;
+        let mut changed = false;
+        for i in 0..self.cons.len() {
+            if budget == 0 || self.time_up() {
+                break;
+            }
+            let Some(Con::Clause(sub)) = self.cons[i].clone() else {
+                continue;
+            };
+            let Some(rarest) = sub
+                .iter()
+                .min_by_key(|l| occ.get(l).map_or(0, Vec::len))
+                .copied()
+            else {
+                continue;
+            };
+            let Some(candidates) = occ.get(&rarest) else {
+                continue;
+            };
+            for &j in candidates {
+                let j = j as usize;
+                if j == i {
+                    continue;
+                }
+                let Some(Con::Clause(sup)) = &self.cons[j] else {
+                    continue;
+                };
+                if sup.len() < sub.len() {
+                    continue;
+                }
+                budget = budget.saturating_sub((sub.len() + sup.len()) as u64);
+                if is_subset(&sub, sup) {
+                    self.cons[j] = None;
+                    self.stats.removed_constraints += 1;
+                    changed = true;
+                }
+                if budget == 0 {
+                    break;
+                }
+            }
+        }
+        changed
+    }
+
+    /// Grows at-most-one cliques from pairwise exclusions and replaces the
+    /// covered binary clauses.
+    fn clique_pass(&mut self) -> bool {
+        let mut adj: BTreeMap<Lit, BTreeSet<Lit>> = BTreeMap::new();
+        let edge = |a: Lit, b: Lit, adj: &mut BTreeMap<Lit, BTreeSet<Lit>>| {
+            adj.entry(a).or_default().insert(b);
+            adj.entry(b).or_default().insert(a);
+        };
+        // (idx, x, y): clause #idx forbids x ∧ y.
+        let mut binaries: Vec<(usize, Lit, Lit)> = Vec::new();
+        for (i, con) in self.cons.iter().enumerate() {
+            match con {
+                Some(Con::Clause(lits)) => {
+                    if let [a, b] = lits.as_slice() {
+                        edge(!*a, !*b, &mut adj);
+                        binaries.push((i, !*a, !*b));
+                    }
+                }
+                Some(Con::AtMost(terms, 1))
+                    if terms.len() <= CLIQUE_SEED_LIMIT && terms.iter().all(|&(a, _)| a == 1) =>
+                {
+                    for x in 0..terms.len() {
+                        for y in x + 1..terms.len() {
+                            edge(terms[x].1, terms[y].1, &mut adj);
+                        }
+                    }
+                }
+                _ => {}
+            }
+        }
+        let mut emitted: Vec<BTreeSet<Lit>> = Vec::new();
+        let mut changed = false;
+        for (idx, a, b) in binaries {
+            if self.time_up() {
+                break;
+            }
+            if emitted.iter().any(|s| s.contains(&a) && s.contains(&b)) {
+                self.cons[idx] = None;
+                self.stats.removed_constraints += 1;
+                changed = true;
+                continue;
+            }
+            let (Some(na), Some(nb)) = (adj.get(&a), adj.get(&b)) else {
+                continue;
+            };
+            let mut clique: BTreeSet<Lit> = [a, b].into_iter().collect();
+            for &c in na.intersection(nb) {
+                if clique
+                    .iter()
+                    .all(|m| adj.get(&c).is_some_and(|n| n.contains(m)))
+                {
+                    clique.insert(c);
+                }
+            }
+            if clique.len() >= 3 {
+                self.cons.push(Some(Con::AtMost(
+                    clique.iter().map(|&l| (1, l)).collect(),
+                    1,
+                )));
+                emitted.push(clique);
+                self.stats.cliques += 1;
+                self.cons[idx] = None;
+                self.stats.removed_constraints += 1;
+                changed = true;
+            }
+        }
+        changed
+    }
+}
+
+fn is_subset(sub: &[Lit], sup: &[Lit]) -> bool {
+    // Both sorted.
+    let mut it = sup.iter();
+    'outer: for l in sub {
+        for s in it.by_ref() {
+            match s.cmp(l) {
+                std::cmp::Ordering::Less => continue,
+                std::cmp::Ordering::Equal => continue 'outer,
+                std::cmp::Ordering::Greater => return false,
+            }
+        }
+        return false;
+    }
+    true
+}
+
+/// Failed-literal probing: a counter-based unit propagator with an undo
+/// trail, run over a snapshot of the simplified constraints.
+struct Probe {
+    clauses: Vec<Vec<Lit>>,
+    amts: Vec<(Vec<(u64, Lit)>, u64)>,
+    /// Per literal code: `(constraint id, coefficient)`; clause ids are
+    /// `0..clauses.len()`, at-most ids follow. Coefficient is 0 for
+    /// clauses.
+    occ: Vec<Vec<(u32, u64)>>,
+    val: Vec<i8>,
+    trail: Vec<Lit>,
+    cl_false: Vec<u32>,
+    cl_true: Vec<u32>,
+    am_sum: Vec<u64>,
+    steps: u64,
+    budget: u64,
+    deadline: Option<Instant>,
+    polls: u32,
+}
+
+impl Probe {
+    fn new(work: &Work, budget: u64) -> Self {
+        let n = work.value.len();
+        let mut clauses = Vec::new();
+        let mut amts = Vec::new();
+        for con in work.cons.iter().flatten() {
+            match con {
+                Con::Clause(lits) => clauses.push(lits.clone()),
+                Con::AtMost(terms, bound) => amts.push((terms.clone(), *bound)),
+            }
+        }
+        let nc = clauses.len();
+        let mut occ: Vec<Vec<(u32, u64)>> = vec![Vec::new(); 2 * n];
+        for (i, c) in clauses.iter().enumerate() {
+            for l in c {
+                occ[l.code()].push((i as u32, 0));
+            }
+        }
+        for (i, (terms, _)) in amts.iter().enumerate() {
+            for (a, l) in terms {
+                occ[l.code()].push(((nc + i) as u32, *a));
+            }
+        }
+        Probe {
+            cl_false: vec![0; clauses.len()],
+            cl_true: vec![0; clauses.len()],
+            am_sum: vec![0; amts.len()],
+            clauses,
+            amts,
+            occ,
+            val: work.value.clone(),
+            trail: Vec::new(),
+            steps: 0,
+            budget,
+            deadline: work.deadline,
+            polls: 0,
+        }
+    }
+
+    fn lit_true(&self, l: Lit) -> Option<bool> {
+        match self.val[l.var().index()] {
+            UNASSIGNED => None,
+            v => Some((v == 1) != l.is_negative()),
+        }
+    }
+
+    /// Assigns `l` and propagates. Returns `false` on conflict. Does not
+    /// undo — callers snapshot `trail.len()` and call [`Probe::undo`].
+    ///
+    /// Counter updates for one literal are never interrupted (a conflict
+    /// or exhausted budget takes effect only *between* literals), so the
+    /// trail always matches the counters exactly and `undo` is safe.
+    fn run(&mut self, l: Lit) -> bool {
+        let mut queue: VecDeque<Lit> = VecDeque::new();
+        queue.push_back(l);
+        while let Some(l) = queue.pop_front() {
+            match self.lit_true(l) {
+                Some(true) => continue,
+                Some(false) => return false,
+                None => {}
+            }
+            if self.steps >= self.budget {
+                return true; // budget out: treat as "no conflict"
+            }
+            if let Some(d) = self.deadline {
+                self.polls += 1;
+                if self.polls & 0xff == 0 && Instant::now() >= d {
+                    self.budget = 0;
+                    return true;
+                }
+            }
+            self.val[l.var().index()] = if l.is_negative() { 0 } else { 1 };
+            self.trail.push(l);
+            let nc = self.clauses.len();
+            let mut conflict = false;
+            // The literal is now true.
+            for k in 0..self.occ[l.code()].len() {
+                let (c, coeff) = self.occ[l.code()][k];
+                let c = c as usize;
+                self.steps += 1;
+                if c < nc {
+                    self.cl_true[c] += 1;
+                } else {
+                    let a = c - nc;
+                    self.am_sum[a] += coeff;
+                    let (terms, bound) = &self.amts[a];
+                    if self.am_sum[a] > *bound {
+                        conflict = true;
+                    } else if !conflict {
+                        let slack = *bound - self.am_sum[a];
+                        for &(w, t) in terms {
+                            if w > slack && self.lit_true(t).is_none() {
+                                queue.push_back(!t);
+                            }
+                        }
+                        self.steps += terms.len() as u64;
+                    }
+                }
+            }
+            // Its negation is now false. (A false literal in an at-most
+            // only loosens it; only clauses can propagate here.)
+            let neg = (!l).code();
+            for k in 0..self.occ[neg].len() {
+                let (c, _) = self.occ[neg][k];
+                let c = c as usize;
+                self.steps += 1;
+                if c < nc {
+                    self.cl_false[c] += 1;
+                    if conflict || self.cl_true[c] > 0 {
+                        continue;
+                    }
+                    let len = self.clauses[c].len() as u32;
+                    if self.cl_false[c] == len {
+                        conflict = true;
+                    } else if self.cl_false[c] == len - 1 {
+                        if let Some(&u) = self.clauses[c]
+                            .iter()
+                            .find(|t| self.lit_true(**t).is_none())
+                        {
+                            queue.push_back(u);
+                        }
+                        self.steps += len as u64;
+                    }
+                }
+            }
+            if conflict {
+                return false;
+            }
+        }
+        true
+    }
+
+    fn undo(&mut self, mark: usize) {
+        while self.trail.len() > mark {
+            let l = self.trail.pop().expect("trail above mark");
+            self.val[l.var().index()] = UNASSIGNED;
+            let nc = self.clauses.len();
+            for &(c, coeff) in &self.occ[l.code()] {
+                let c = c as usize;
+                if c < nc {
+                    self.cl_true[c] -= 1;
+                } else {
+                    self.am_sum[c - nc] -= coeff;
+                }
+            }
+            for &(c, _) in &self.occ[(!l).code()] {
+                let c = c as usize;
+                if c < nc {
+                    self.cl_false[c] -= 1;
+                }
+            }
+        }
+    }
+}
+
+/// Runs the probing phase. Returns the root-fixed literals, or `Err` when
+/// both polarities of some variable fail (the model is infeasible).
+fn probe_phase(work: &mut Work, budget: u64) -> Result<Vec<Lit>, Conflict> {
+    let mut probe = Probe::new(work, budget);
+    // Highest-occurrence variables first: their assignments propagate the
+    // furthest, so a failed literal prunes the most.
+    let n = work.value.len();
+    let mut order: Vec<(usize, usize)> = (0..n)
+        .filter(|&v| probe.val[v] == UNASSIGNED)
+        .map(|v| {
+            let occ = probe.occ[2 * v].len() + probe.occ[2 * v + 1].len();
+            (occ, v)
+        })
+        .filter(|&(occ, _)| occ > 0)
+        .collect();
+    order.sort_by(|a, b| b.0.cmp(&a.0).then(a.1.cmp(&b.1)));
+
+    let mut fixed: Vec<Lit> = Vec::new();
+    for (_, v) in order {
+        if probe.steps >= probe.budget {
+            break;
+        }
+        if probe.val[v] != UNASSIGNED {
+            continue;
+        }
+        work.stats.probed_vars += 1;
+        for lit in [Lit::positive(Var(v as u32)), Lit::negative(Var(v as u32))] {
+            if probe.val[v] != UNASSIGNED {
+                break;
+            }
+            let mark = probe.trail.len();
+            let ok = probe.run(lit);
+            probe.undo(mark);
+            if !ok {
+                // `lit` fails: ¬lit holds at the root. The root-level
+                // propagation is kept on the trail (not undone), so later
+                // probes run against the strengthened root state.
+                work.stats.failed_literals += 1;
+                if !probe.run(!lit) {
+                    return Err(Conflict);
+                }
+                let new_roots: Vec<Lit> = probe.trail[fixed.len()..].to_vec();
+                fixed.extend(new_roots);
+            }
+        }
+    }
+    Ok(fixed)
+}
+
+/// Presolves `model` into an equivalent reduced model.
+///
+/// The reduction is deterministic: the same model and configuration always
+/// produce the same reduced model, so the portfolio's "presolve once,
+/// share across workers" scheme keeps `threads = 1` runs reproducible.
+pub fn presolve(model: &Model, config: &PresolveConfig) -> Presolved {
+    let start = Instant::now();
+    let n = model.num_vars();
+    let mut work = Work::new(n, config.deadline);
+    work.stats.vars_before = n as u64;
+    work.stats.constraints_before = model.constraints().len() as u64;
+
+    let infeasible = |mut stats: PresolveStats, start: Instant| {
+        stats.elapsed = start.elapsed();
+        Presolved::Infeasible { stats }
+    };
+
+    for c in model.constraints() {
+        for nc in normalize(c) {
+            if work.accept_norm(nc).is_err() {
+                return infeasible(work.stats, start);
+            }
+        }
+    }
+
+    // Main simplification loop.
+    let mut probed = false;
+    loop {
+        let round_result = (|| -> Result<bool, Conflict> {
+            work.stats.rounds += 1;
+            let mut changed = work.propagate()?;
+            if work.time_up() {
+                return Ok(false);
+            }
+            changed |= work.simplify_all()?;
+            changed |= work.propagate()?;
+            if work.time_up() {
+                return Ok(false);
+            }
+            changed |= work.equiv_pass()?;
+            if changed {
+                return Ok(true);
+            }
+            changed |= work.dedup_pass();
+            changed |= work.subsume_pass();
+            changed |= work.clique_pass();
+            Ok(changed)
+        })();
+        match round_result {
+            Err(Conflict) => return infeasible(work.stats, start),
+            Ok(true) if work.stats.rounds < MAX_ROUNDS && !work.out_of_time => continue,
+            Ok(_) => {}
+        }
+        if probed || config.probe_budget == 0 || work.out_of_time {
+            break;
+        }
+        probed = true;
+        match probe_phase(&mut work, config.probe_budget) {
+            Err(Conflict) => return infeasible(work.stats, start),
+            Ok(fixed) => {
+                if fixed.is_empty() {
+                    break;
+                }
+                for l in fixed {
+                    work.enqueue(l);
+                }
+                // Loop once more to apply the probe fixings.
+            }
+        }
+    }
+
+    match emit(model, &mut work) {
+        Err(Conflict) => infeasible(work.stats, start),
+        Ok((reduced, reconstruction)) => {
+            let mut stats = work.stats;
+            stats.vars_after = reduced.num_vars() as u64;
+            stats.constraints_after = reduced.constraints().len() as u64;
+            stats.fixed_vars = reconstruction
+                .dispositions
+                .iter()
+                .filter(|d| matches!(d, Disposition::Fixed(_)))
+                .count() as u64;
+            stats.elapsed = start.elapsed();
+            Presolved::Reduced {
+                model: reduced,
+                reconstruction,
+                stats,
+            }
+        }
+    }
+}
+
+/// Final phase: free-variable elimination, dense renumbering, and emission
+/// of the reduced [`Model`].
+fn emit(model: &Model, work: &mut Work) -> Result<(Model, Reconstruction), Conflict> {
+    let n = model.num_vars();
+    // Flush any pending units before counting.
+    work.propagate()?;
+
+    // Substituted objective, keyed by representative variable.
+    let mut obj_terms: BTreeMap<Var, i64> = BTreeMap::new();
+    let mut obj_constant: i64 = 0;
+    let has_objective = model.objective().is_some();
+    if let Some(obj) = model.objective() {
+        obj_constant = obj.constant();
+        for &(c, v) in obj.terms() {
+            let r = work.find(v.lit());
+            match work.value[r.var().index()] {
+                UNASSIGNED => {
+                    if r.is_negative() {
+                        // c·v = c·(1 - rep) = c - c·rep
+                        obj_constant += c;
+                        *obj_terms.entry(r.var()).or_insert(0) -= c;
+                    } else {
+                        *obj_terms.entry(r.var()).or_insert(0) += c;
+                    }
+                }
+                val => {
+                    let v_true = (val == 1) != r.is_negative();
+                    if v_true {
+                        obj_constant += c;
+                    }
+                }
+            }
+        }
+        obj_terms.retain(|_, c| *c != 0);
+    }
+
+    // Representative variables that still appear in some constraint.
+    let mut occurs = vec![false; n];
+    for con in work.cons.iter().flatten() {
+        match con {
+            Con::Clause(lits) => {
+                for l in lits {
+                    occurs[l.var().index()] = true;
+                }
+            }
+            Con::AtMost(terms, _) => {
+                for (_, l) in terms {
+                    occurs[l.var().index()] = true;
+                }
+            }
+        }
+    }
+    // A representative constrained by nothing is free: fix it to its
+    // objective-preferred polarity (false when indifferent). This is sound
+    // for feasibility and preserves the optimum.
+    for (v, &occ) in occurs.iter().enumerate() {
+        let var = Var(v as u32);
+        let is_rep = work.find(var.lit()) == var.lit();
+        if is_rep && work.value[v] == UNASSIGNED && !occ {
+            let coeff = obj_terms.get(&var).copied().unwrap_or(0);
+            work.value[v] = i8::from(coeff < 0);
+            if coeff != 0 && coeff < 0 {
+                obj_constant += coeff;
+            }
+            obj_terms.remove(&var);
+        }
+    }
+
+    // Dense renumbering of surviving representatives, in index order.
+    let mut reduced = Model::new();
+    let mut new_var: Vec<Option<Var>> = vec![None; n];
+    for (v, slot) in new_var.iter_mut().enumerate() {
+        let var = Var(v as u32);
+        if work.find(var.lit()) == var.lit() && work.value[v] == UNASSIGNED {
+            *slot = Some(reduced.new_var());
+        }
+    }
+    let map_lit = |l: Lit, new_var: &[Option<Var>]| -> Lit {
+        let nv = new_var[l.var().index()].expect("surviving rep has a new index");
+        if l.is_negative() {
+            Lit::negative(nv)
+        } else {
+            Lit::positive(nv)
+        }
+    };
+
+    for con in work.cons.iter().flatten() {
+        match con {
+            Con::Clause(lits) => {
+                reduced.add_clause(lits.iter().map(|&l| map_lit(l, &new_var)));
+            }
+            Con::AtMost(terms, bound) => {
+                let mut expr = LinExpr::new();
+                let mut rhs = i128::from(*bound);
+                for &(a, l) in terms {
+                    let nv = new_var[l.var().index()].expect("surviving rep has a new index");
+                    if l.is_negative() {
+                        // a·¬v = a - a·v
+                        rhs -= i128::from(a);
+                        expr.add_term(-(a as i64), nv);
+                    } else {
+                        expr.add_term(a as i64, nv);
+                    }
+                }
+                reduced.add_le(expr, rhs.clamp(i64::MIN as i128, i64::MAX as i128) as i64);
+            }
+        }
+    }
+
+    if has_objective {
+        let mut expr = LinExpr::new();
+        for (v, c) in &obj_terms {
+            expr.add_term(*c, new_var[v.index()].expect("objective var survives"));
+        }
+        expr.add_constant(obj_constant);
+        reduced.minimize(expr);
+    }
+
+    // Branch hints follow their representative, with phase flipped when the
+    // representative is the negated literal.
+    for &(v, priority, phase) in model.branch_hints() {
+        let r = work.find(v.lit());
+        if let Some(nv) = new_var[r.var().index()] {
+            reduced.suggest_branch(nv, priority, phase != r.is_negative());
+        }
+    }
+
+    let mut dispositions = Vec::with_capacity(n);
+    for v in 0..n {
+        let r = work.find(Var(v as u32).lit());
+        let d = match work.value[r.var().index()] {
+            UNASSIGNED => Disposition::Mapped {
+                var: new_var[r.var().index()].expect("unassigned rep survives"),
+                negated: r.is_negative(),
+            },
+            val => Disposition::Fixed((val == 1) != r.is_negative()),
+        };
+        dispositions.push(d);
+    }
+
+    Ok((reduced, Reconstruction { dispositions }))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::Model;
+
+    fn reduced(p: &Presolved) -> (&Model, &Reconstruction, &PresolveStats) {
+        match p {
+            Presolved::Reduced {
+                model,
+                reconstruction,
+                stats,
+            } => (model, reconstruction, stats),
+            Presolved::Infeasible { .. } => panic!("expected reduced, got infeasible"),
+        }
+    }
+
+    #[test]
+    fn propagation_fixes_chain() {
+        let mut m = Model::new();
+        let vs = m.new_vars(5);
+        m.fix(vs[0], true);
+        for w in vs.windows(2) {
+            m.add_implies(w[0].lit(), w[1].lit());
+        }
+        let p = presolve(&m, &PresolveConfig::default());
+        let (red, recon, stats) = reduced(&p);
+        assert_eq!(red.num_vars(), 0);
+        assert_eq!(stats.fixed_vars, 5);
+        let full = recon.expand(&Assignment::from_values(vec![]));
+        assert!(vs.iter().all(|&v| full.value(v)));
+    }
+
+    #[test]
+    fn equivalence_merges_implication_cycles() {
+        let mut m = Model::new();
+        let a = m.new_var();
+        let b = m.new_var();
+        let c = m.new_var();
+        m.add_implies(a.lit(), b.lit());
+        m.add_implies(b.lit(), c.lit());
+        m.add_implies(c.lit(), a.lit());
+        // One extra constraint so the class is not free-eliminated away
+        // trivially: a ∨ d.
+        let d = m.new_var();
+        m.add_clause([a.lit(), d.lit()]);
+        let p = presolve(&m, &PresolveConfig::default());
+        let (red, recon, stats) = reduced(&p);
+        assert!(stats.aliased_vars >= 2, "{stats:?}");
+        assert!(red.num_vars() <= 2);
+        // Any reduced solution must expand so that a == b == c.
+        let vals = Assignment::from_values(vec![true; red.num_vars()]);
+        let full = recon.expand(&vals);
+        assert_eq!(full.value(a), full.value(b));
+        assert_eq!(full.value(b), full.value(c));
+    }
+
+    #[test]
+    fn duplicate_and_subsumed_clauses_removed() {
+        let mut m = Model::new();
+        let vs = m.new_vars(4);
+        m.add_clause([vs[0].lit(), vs[1].lit()]);
+        m.add_clause([vs[0].lit(), vs[1].lit()]); // duplicate
+        m.add_clause([vs[0].lit(), vs[1].lit(), vs[2].lit()]); // subsumed
+        m.add_clause([vs[2].lit(), vs[3].lit()]);
+        let p = presolve(&m, &PresolveConfig::default());
+        let (red, _, stats) = reduced(&p);
+        assert!(stats.removed_constraints >= 2, "{stats:?}");
+        assert_eq!(red.constraints().len(), 2);
+    }
+
+    #[test]
+    fn clique_detection_builds_at_most_one() {
+        let mut m = Model::new();
+        let vs = m.new_vars(4);
+        // Pairwise exclusion between all four variables, as binary
+        // clauses: should collapse into a single at-most-one.
+        for i in 0..4 {
+            for j in i + 1..4 {
+                m.add_clause([!vs[i].lit(), !vs[j].lit()]);
+            }
+        }
+        // Anchor so the variables stay constrained.
+        m.add_clause(vs.iter().map(|v| v.lit()));
+        let p = presolve(&m, &PresolveConfig::default());
+        let (red, _, stats) = reduced(&p);
+        assert!(stats.cliques >= 1, "{stats:?}");
+        assert!(
+            red.constraints().len() <= 3,
+            "{} constraints left",
+            red.constraints().len()
+        );
+    }
+
+    #[test]
+    fn probing_fixes_forced_variable() {
+        let mut m = Model::new();
+        let x = m.new_var();
+        let y = m.new_var();
+        let z = m.new_var();
+        // x → y, x → ¬y: probing x=true conflicts, so x is fixed false.
+        m.add_implies(x.lit(), y.lit());
+        m.add_implies(x.lit(), !y.lit());
+        m.add_clause([x.lit(), z.lit()]); // then z is forced true
+        let p = presolve(&m, &PresolveConfig::default());
+        let (red, recon, stats) = reduced(&p);
+        assert!(stats.failed_literals >= 1, "{stats:?}");
+        assert_eq!(red.num_vars(), 0, "everything should collapse");
+        let full = recon.expand(&Assignment::from_values(vec![]));
+        assert!(!full.value(x));
+        assert!(full.value(z));
+    }
+
+    #[test]
+    fn probing_both_polarities_failing_is_infeasible() {
+        let mut m = Model::new();
+        let x = m.new_var();
+        let y = m.new_var();
+        m.add_implies(x.lit(), y.lit());
+        m.add_implies(x.lit(), !y.lit());
+        m.add_implies(!x.lit(), y.lit());
+        m.add_implies(!x.lit(), !y.lit());
+        let p = presolve(&m, &PresolveConfig::default());
+        assert!(matches!(p, Presolved::Infeasible { .. }));
+    }
+
+    #[test]
+    fn free_variables_follow_the_objective() {
+        let mut m = Model::new();
+        let a = m.new_var();
+        let b = m.new_var();
+        let mut obj = LinExpr::new();
+        obj.add_term(3, a);
+        obj.add_term(-2, b);
+        m.minimize(obj);
+        let p = presolve(&m, &PresolveConfig::default());
+        let (red, recon, _) = reduced(&p);
+        assert_eq!(red.num_vars(), 0);
+        assert_eq!(red.objective().map(|o| o.constant()), Some(-2));
+        let full = recon.expand(&Assignment::from_values(vec![]));
+        assert!(!full.value(a));
+        assert!(full.value(b));
+    }
+
+    #[test]
+    fn infeasible_root_detected() {
+        let mut m = Model::new();
+        let x = m.new_var();
+        m.fix(x, true);
+        m.fix(x, false);
+        assert!(matches!(
+            presolve(&m, &PresolveConfig::default()),
+            Presolved::Infeasible { .. }
+        ));
+    }
+
+    #[test]
+    fn expired_deadline_still_emits_a_sound_model() {
+        let mut m = Model::new();
+        let vs = m.new_vars(20);
+        for w in vs.windows(2) {
+            m.add_clause([w[0].lit(), w[1].lit()]);
+        }
+        let cfg = PresolveConfig {
+            deadline: Some(Instant::now() - Duration::from_millis(1)),
+            ..PresolveConfig::default()
+        };
+        let p = presolve(&m, &cfg);
+        let (red, recon, _) = reduced(&p);
+        // Nothing is guaranteed to be reduced, but the model must still be
+        // equivalent: expanding any solution must satisfy the original.
+        assert_eq!(recon.num_original_vars(), 20);
+        assert!(red.num_vars() <= 20);
+    }
+}

@@ -4,6 +4,7 @@
 use crate::engine::{Budget, Engine, EngineFeatures, EngineStats, SatResult};
 use crate::model::{Cmp, Constraint, LinExpr, Model, Var};
 use crate::normalize::normalize;
+use crate::presolve::{presolve, PresolveConfig, PresolveStats, Presolved, Reconstruction};
 use std::time::{Duration, Instant};
 
 /// Solver configuration.
@@ -24,6 +25,13 @@ pub struct SolverConfig {
     /// it). With `threads = 1` the seed only matters if
     /// `features.random_tiebreak` is enabled.
     pub seed: u64,
+    /// Run the presolve pipeline before search (see [`crate::presolve`]).
+    /// When `false`, solving follows the exact pre-presolve code path.
+    /// Defaults to the `BILP_PRESOLVE` environment variable, or `true`.
+    pub presolve: bool,
+    /// Propagation-step budget for failed-literal probing inside presolve;
+    /// `0` disables probing (the cheap passes still run).
+    pub presolve_probe_budget: u64,
 }
 
 impl Default for SolverConfig {
@@ -34,6 +42,8 @@ impl Default for SolverConfig {
             features: EngineFeatures::default(),
             threads: 1,
             seed: 0,
+            presolve: presolve_from_env().unwrap_or(true),
+            presolve_probe_budget: PresolveConfig::default().probe_budget,
         }
     }
 }
@@ -57,6 +67,18 @@ impl SolverConfig {
 /// `0` means "all cores" (see [`SolverConfig::threads`]).
 pub fn threads_from_env() -> Option<usize> {
     std::env::var("BILP_THREADS").ok()?.trim().parse().ok()
+}
+
+/// Reads the `BILP_PRESOLVE` environment variable: the escape hatch for
+/// disabling presolve globally. `0`, `off`, `false` and `no` disable it;
+/// any other non-empty value enables it; unset/empty yields `None`.
+pub fn presolve_from_env() -> Option<bool> {
+    let v = std::env::var("BILP_PRESOLVE").ok()?;
+    match v.trim() {
+        "" => None,
+        "0" | "off" | "false" | "no" => Some(false),
+        _ => Some(true),
+    }
 }
 
 /// A complete 0/1 assignment to the model's variables.
@@ -162,6 +184,8 @@ pub struct SolveStats {
     /// Index of the first worker that produced a decisive verdict, when
     /// the portfolio ran.
     pub winner: Option<u32>,
+    /// Presolve reduction counters (all zero when presolve is disabled).
+    pub presolve: PresolveStats,
 }
 
 /// The 0-1 ILP solver.
@@ -209,12 +233,83 @@ impl Solver {
     /// re-checked internally; see [`Model::check`]).
     pub fn solve(&mut self, model: &Model) -> Outcome {
         self.stats = SolveStats::default();
+        let start = Instant::now();
+        // One absolute deadline covers presolve *and* search, so a long
+        // probe pass eats into — never extends — the solve budget.
+        let deadline = self.config.time_limit.map(|d| start + d);
+        if !self.config.presolve {
+            return self.solve_reduced(model, start, deadline);
+        }
+        let pcfg = PresolveConfig {
+            probe_budget: self.config.presolve_probe_budget,
+            deadline,
+        };
+        match presolve(model, &pcfg) {
+            Presolved::Infeasible { stats } => {
+                self.stats.presolve = stats;
+                self.stats.workers = 1;
+                self.stats.elapsed = start.elapsed();
+                Outcome::Infeasible
+            }
+            Presolved::Reduced {
+                model: red,
+                reconstruction,
+                stats,
+            } => {
+                self.stats.presolve = stats;
+                let out = self.solve_reduced(&red, start, deadline);
+                self.stats.elapsed = start.elapsed();
+                Self::expand_outcome(out, &reconstruction, model)
+            }
+        }
+    }
+
+    /// Maps an outcome on the reduced model back to original variables.
+    fn expand_outcome(out: Outcome, recon: &Reconstruction, original: &Model) -> Outcome {
+        let expand = |solution: &Assignment| {
+            let full = recon.expand(solution);
+            debug_assert_eq!(original.check(|v| full.value(v)), Ok(()));
+            full
+        };
+        match out {
+            Outcome::Optimal {
+                solution,
+                objective,
+            } => Outcome::Optimal {
+                solution: expand(&solution),
+                objective,
+            },
+            Outcome::Feasible {
+                solution,
+                objective,
+            } => Outcome::Feasible {
+                solution: expand(&solution),
+                objective,
+            },
+            other => other,
+        }
+    }
+
+    /// Solves `model` as-is (no presolve): the sequential engine or the
+    /// portfolio, charged against an absolute deadline.
+    fn solve_reduced(
+        &mut self,
+        model: &Model,
+        start: Instant,
+        deadline: Option<Instant>,
+    ) -> Outcome {
         let threads = self.config.effective_threads();
         if threads > 1 {
-            return crate::portfolio::solve_portfolio(model, &self.config, threads, &mut self.stats);
+            let out = crate::portfolio::solve_portfolio(
+                model,
+                &self.config,
+                threads,
+                &mut self.stats,
+                deadline,
+            );
+            self.stats.elapsed = start.elapsed();
+            return out;
         }
-        let start = Instant::now();
-        let deadline = self.config.time_limit.map(|d| start + d);
         self.stats.workers = 1;
 
         let mut engine = Engine::new(model.num_vars());

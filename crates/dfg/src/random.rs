@@ -112,7 +112,9 @@ pub fn random_dfg(params: RandomDfgParams, seed: u64) -> Dfg {
         .filter(|v| g.fanout(*v).is_empty())
         .collect();
     for (i, v) in dead.into_iter().enumerate() {
-        let o = g.add_op(format!("o{i}"), OpKind::Output).expect("fresh names");
+        let o = g
+            .add_op(format!("o{i}"), OpKind::Output)
+            .expect("fresh names");
         g.connect(v, o, 0).expect("valid connection");
     }
     g
@@ -179,8 +181,7 @@ mod tests {
             let n = g.stats().ios; // upper bound on inputs
             let inputs: Vec<i64> = (0..n as i64).collect();
             let mut mem = Memory::default();
-            evaluate_ordered(&g, &inputs, &mut mem)
-                .unwrap_or_else(|e| panic!("seed {seed}: {e}"));
+            evaluate_ordered(&g, &inputs, &mut mem).unwrap_or_else(|e| panic!("seed {seed}: {e}"));
         }
     }
 }

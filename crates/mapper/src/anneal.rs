@@ -344,6 +344,7 @@ impl AnnealingMapper {
                     outcome: MapOutcome::Timeout,
                     elapsed: start.elapsed(),
                     formulation: Default::default(),
+                    solver: Default::default(),
                 };
             }
             slots.push(compatible);
@@ -355,6 +356,7 @@ impl AnnealingMapper {
                 outcome: MapOutcome::Timeout,
                 elapsed: start.elapsed(),
                 formulation: Default::default(),
+                solver: Default::default(),
             };
         };
 
@@ -394,6 +396,7 @@ impl AnnealingMapper {
                             outcome: MapOutcome::Timeout,
                             elapsed: start.elapsed(),
                             formulation: Default::default(),
+                            solver: Default::default(),
                         };
                     }
                 }
@@ -435,8 +438,7 @@ impl AnnealingMapper {
                 }
                 let after = st.cost();
                 let delta = after - before;
-                let accept =
-                    delta <= 0.0 || rng.gen_f64() < (-delta / temperature.max(1e-9)).exp();
+                let accept = delta <= 0.0 || rng.gen_f64() < (-delta / temperature.max(1e-9)).exp();
                 if accept {
                     slot_owner.remove(&old_slot);
                     slot_owner.insert(new_slot, q);
@@ -481,6 +483,7 @@ impl AnnealingMapper {
             outcome: MapOutcome::Timeout,
             elapsed: start.elapsed(),
             formulation: Default::default(),
+            solver: Default::default(),
         }
     }
 
@@ -511,6 +514,7 @@ impl AnnealingMapper {
             },
             elapsed,
             formulation: Default::default(),
+            solver: Default::default(),
         })
     }
 }

@@ -127,6 +127,9 @@ pub struct FormulationStats {
     pub swap_vars: usize,
     /// Total constraints in the model.
     pub constraints: usize,
+    /// Rounds of iterated reachability reduction that ran (0 when
+    /// [`MapperOptions::reach_reduction`] is off).
+    pub reach_rounds: usize,
 }
 
 /// A built ILP formulation, ready to be solved and decoded.
@@ -144,6 +147,7 @@ pub struct Formulation {
     /// Swap variable per commutative destination op.
     swap: HashMap<OpId, Var>,
     options: MapperOptions,
+    reach_rounds: usize,
 }
 
 impl Formulation {
@@ -191,32 +195,43 @@ impl Formulation {
             }
         }
 
-        // ---- Reachability pruning ---------------------------------------
+        // ---- Reachability pruning (first round) --------------------------
         // Forward-reachable sets per value, backward-reachable per edge.
+        // With `reach_reduction` off, every routing node is a candidate for
+        // every value — the textbook formulation, kept as the baseline the
+        // reduction is benchmarked against.
         let n_nodes = mrrg.node_count();
+        let route_mask: Vec<bool> = (0..n_nodes)
+            .map(|i| mrrg.nodes()[i].kind.is_route())
+            .collect();
         let mut cand_edge: BTreeMap<EdgeId, Vec<bool>> = BTreeMap::new();
         let mut term_ports: BTreeMap<EdgeId, Vec<(NodeId, NodeId, u8)>> = BTreeMap::new();
 
         for j in dfg.value_producers().collect::<Vec<_>>() {
             // Sources: route fanouts of every compatible slot of j.
-            let mut forward = vec![false; n_nodes];
-            let mut queue = VecDeque::new();
-            for &p in &slots[&j] {
-                for &i in mrrg.fanouts(p) {
-                    if mrrg.nodes()[i.index()].kind.is_route() && !forward[i.index()] {
-                        forward[i.index()] = true;
-                        queue.push_back(i);
+            let forward = if options.reach_reduction {
+                let mut forward = vec![false; n_nodes];
+                let mut queue = VecDeque::new();
+                for &p in &slots[&j] {
+                    for &i in mrrg.fanouts(p) {
+                        if mrrg.nodes()[i.index()].kind.is_route() && !forward[i.index()] {
+                            forward[i.index()] = true;
+                            queue.push_back(i);
+                        }
                     }
                 }
-            }
-            while let Some(i) = queue.pop_front() {
-                for &m in mrrg.fanouts(i) {
-                    if mrrg.nodes()[m.index()].kind.is_route() && !forward[m.index()] {
-                        forward[m.index()] = true;
-                        queue.push_back(m);
+                while let Some(i) = queue.pop_front() {
+                    for &m in mrrg.fanouts(i) {
+                        if mrrg.nodes()[m.index()].kind.is_route() && !forward[m.index()] {
+                            forward[m.index()] = true;
+                            queue.push_back(m);
+                        }
                     }
                 }
-            }
+                forward
+            } else {
+                route_mask.clone()
+            };
 
             for &e in dfg.fanout(j) {
                 let edge = dfg.edges()[e.index()];
@@ -238,23 +253,36 @@ impl Formulation {
                         }
                     }
                 }
-                // Backward reachability from termination ports.
-                let mut backward = vec![false; n_nodes];
-                let mut queue = VecDeque::new();
-                for &(i, _, _) in &terms {
-                    if !backward[i.index()] {
-                        backward[i.index()] = true;
-                        queue.push_back(i);
-                    }
+                // No matching operand port at any compatible slot is a
+                // structural impossibility, independent of reachability.
+                if terms.is_empty() {
+                    return Err(BuildInfeasible::UnroutableSink {
+                        from: dfg.ops()[edge.src.index()].name.clone(),
+                        to: dfg.ops()[edge.dst.index()].name.clone(),
+                    });
                 }
-                while let Some(i) = queue.pop_front() {
-                    for &m in mrrg.fanins(i) {
-                        if mrrg.nodes()[m.index()].kind.is_route() && !backward[m.index()] {
-                            backward[m.index()] = true;
-                            queue.push_back(m);
+                // Backward reachability from termination ports.
+                let backward = if options.reach_reduction {
+                    let mut backward = vec![false; n_nodes];
+                    let mut queue = VecDeque::new();
+                    for &(i, _, _) in &terms {
+                        if !backward[i.index()] {
+                            backward[i.index()] = true;
+                            queue.push_back(i);
                         }
                     }
-                }
+                    while let Some(i) = queue.pop_front() {
+                        for &m in mrrg.fanins(i) {
+                            if mrrg.nodes()[m.index()].kind.is_route() && !backward[m.index()] {
+                                backward[m.index()] = true;
+                                queue.push_back(m);
+                            }
+                        }
+                    }
+                    backward
+                } else {
+                    route_mask.clone()
+                };
                 let cand: Vec<bool> = (0..n_nodes).map(|i| forward[i] && backward[i]).collect();
                 if !cand.iter().any(|&b| b) {
                     return Err(BuildInfeasible::UnroutableSink {
@@ -293,7 +321,28 @@ impl Formulation {
                 });
             }
         }
-        let slots = slot_filtered;
+        let mut slots = slot_filtered;
+
+        // ---- Iterated reachability reduction -----------------------------
+        // Slot filtering and candidate pruning feed each other: fewer slots
+        // mean fewer forward seeds and fewer termination ports, which shrink
+        // the candidate sets, which can disqualify further slots. Iterating
+        // to a fixpoint is sound because any source→termination path whose
+        // nodes are all candidates keeps every one of its nodes forward- and
+        // backward-reachable *within* the candidate set — so paths are
+        // preserved verbatim and only nodes on no such path are pruned.
+        let reach_rounds = if options.reach_reduction {
+            refine_reachability(
+                dfg,
+                mrrg,
+                &options,
+                &mut slots,
+                &mut cand_edge,
+                &mut term_ports,
+            )?
+        } else {
+            0
+        };
 
         // ---- Variables ---------------------------------------------------
         let mut f: HashMap<(NodeId, OpId), Var> = HashMap::new();
@@ -485,6 +534,7 @@ impl Formulation {
             rs,
             swap,
             options,
+            reach_rounds,
         })
     }
 
@@ -528,6 +578,7 @@ impl Formulation {
             rs_vars: self.rs.len(),
             swap_vars: self.swap.len(),
             constraints: self.model.constraints().len(),
+            reach_rounds: self.reach_rounds,
         }
     }
 
@@ -631,6 +682,152 @@ impl Formulation {
             mapping.routes.insert(e, path);
         }
         Ok(mapping)
+    }
+}
+
+/// Iterates reachability pruning and slot filtering to a mutual fixpoint.
+///
+/// Each round recomputes, per DFG edge, the termination ports offered by
+/// the destination's *surviving* slots, then re-runs the forward BFS
+/// (seeded from the source's surviving slots' fanouts) and backward BFS
+/// (from the surviving termination ports) **restricted to the previous
+/// round's candidate set**, and finally re-applies the slot filter against
+/// the shrunken candidates. Restricting the traversals is what makes the
+/// iteration productive: the first round's forward set may pass through
+/// nodes that are not backward-reachable (and vice versa), and such
+/// stepping stones disappear once candidates are intersected.
+///
+/// Soundness: a node survives iff it lies on some source-fanout →
+/// termination path whose nodes are all candidates of the previous round.
+/// Any such path keeps all of its nodes both forward- and
+/// backward-reachable within the candidate set, so entire paths are
+/// preserved across rounds and only nodes on *no* such path — which no
+/// satisfying assignment is forced to use — are pruned. Recomputing
+/// termination ports from the filtered slots also drops `(port, unit)`
+/// pairs whose unit can no longer host the consumer, so constraints (5)
+/// and (6) never reference placement variables that were never created.
+///
+/// Returns the number of rounds run (at least 1), or the infeasibility
+/// uncovered along the way.
+fn refine_reachability(
+    dfg: &Dfg,
+    mrrg: &Mrrg,
+    options: &MapperOptions,
+    slots: &mut BTreeMap<OpId, Vec<NodeId>>,
+    cand_edge: &mut BTreeMap<EdgeId, Vec<bool>>,
+    term_ports: &mut BTreeMap<EdgeId, Vec<(NodeId, NodeId, u8)>>,
+) -> Result<usize, BuildInfeasible> {
+    const MAX_ROUNDS: usize = 8;
+    let n_nodes = mrrg.node_count();
+    let mut rounds = 0;
+    loop {
+        rounds += 1;
+        let mut changed = false;
+
+        for j in dfg.value_producers().collect::<Vec<_>>() {
+            for &e in dfg.fanout(j) {
+                let edge = dfg.edges()[e.index()];
+                let dst_kind = dfg.ops()[edge.dst.index()].kind;
+                let prev = &cand_edge[&e];
+
+                // Termination ports against the current destination slots.
+                let mut terms: Vec<(NodeId, NodeId, u8)> = Vec::new();
+                for &p in &slots[&edge.dst] {
+                    for &i in mrrg.fanins(p) {
+                        if let NodeKind::Route { operand: Some(t) } = mrrg.nodes()[i.index()].kind {
+                            let matches = t == edge.operand
+                                || (options.commutativity
+                                    && dst_kind.is_commutative()
+                                    && dst_kind.arity() == 2);
+                            if matches {
+                                terms.push((i, p, t));
+                            }
+                        }
+                    }
+                }
+
+                // Forward within the previous candidates, seeded from the
+                // surviving source slots' fanouts.
+                let mut forward = vec![false; n_nodes];
+                let mut queue = VecDeque::new();
+                for &p in &slots[&edge.src] {
+                    for &i in mrrg.fanouts(p) {
+                        if prev[i.index()] && !forward[i.index()] {
+                            forward[i.index()] = true;
+                            queue.push_back(i);
+                        }
+                    }
+                }
+                while let Some(i) = queue.pop_front() {
+                    for &m in mrrg.fanouts(i) {
+                        if prev[m.index()] && !forward[m.index()] {
+                            forward[m.index()] = true;
+                            queue.push_back(m);
+                        }
+                    }
+                }
+
+                // Backward within the previous candidates from the
+                // surviving termination ports.
+                let mut backward = vec![false; n_nodes];
+                let mut queue = VecDeque::new();
+                for &(i, _, _) in &terms {
+                    if prev[i.index()] && !backward[i.index()] {
+                        backward[i.index()] = true;
+                        queue.push_back(i);
+                    }
+                }
+                while let Some(i) = queue.pop_front() {
+                    for &m in mrrg.fanins(i) {
+                        if prev[m.index()] && !backward[m.index()] {
+                            backward[m.index()] = true;
+                            queue.push_back(m);
+                        }
+                    }
+                }
+
+                let cand: Vec<bool> = (0..n_nodes).map(|i| forward[i] && backward[i]).collect();
+                if !cand.iter().any(|&b| b) {
+                    return Err(BuildInfeasible::UnroutableSink {
+                        from: dfg.ops()[edge.src.index()].name.clone(),
+                        to: dfg.ops()[edge.dst.index()].name.clone(),
+                    });
+                }
+                if cand != *prev {
+                    changed = true;
+                    cand_edge.insert(e, cand);
+                }
+                term_ports.insert(e, terms);
+            }
+        }
+
+        // Slot filter against the refined candidates (same criterion as the
+        // first round: every fanout must reach every sink).
+        for (q, slot_list) in slots.iter_mut() {
+            let sinks: Vec<EdgeId> = dfg.fanout(*q).to_vec();
+            if sinks.is_empty() {
+                continue;
+            }
+            let before = slot_list.len();
+            slot_list.retain(|&p| {
+                !mrrg.fanouts(p).is_empty()
+                    && mrrg
+                        .fanouts(p)
+                        .iter()
+                        .all(|&i| sinks.iter().all(|e| cand_edge[e][i.index()]))
+            });
+            if slot_list.is_empty() {
+                return Err(BuildInfeasible::UnroutableSink {
+                    from: dfg.ops()[q.index()].name.clone(),
+                    to: "any sink".into(),
+                });
+            }
+            changed |= slot_list.len() != before;
+        }
+
+        if !changed || rounds >= MAX_ROUNDS {
+            return Ok(rounds);
+        }
     }
 }
 

@@ -3,7 +3,7 @@
 use crate::formulation::{BuildInfeasible, Formulation, FormulationStats};
 use crate::mapping::{validate_mapping, Mapping};
 use crate::options::MapperOptions;
-use bilp::{Outcome, Solver, SolverConfig};
+use bilp::{Outcome, SolveStats, Solver, SolverConfig};
 use cgra_dfg::Dfg;
 use cgra_mrrg::Mrrg;
 use std::fmt;
@@ -89,6 +89,10 @@ pub struct MapReport {
     /// Size of the built formulation (zeros when presolve refuted the
     /// instance before the model was built).
     pub formulation: FormulationStats,
+    /// ILP solver statistics — engine counters, portfolio attribution and
+    /// presolve reduction counters (all zero for the annealing mapper and
+    /// for instances refuted before the solver ran).
+    pub solver: SolveStats,
 }
 
 /// The exact, architecture-agnostic ILP mapper (the paper's contribution).
@@ -133,6 +137,20 @@ impl IlpMapper {
     /// Panics if the solver returns a solution that fails validation —
     /// that would be a bug in the formulation, never an input property.
     pub fn map(&self, dfg: &Dfg, mrrg: &Mrrg) -> MapReport {
+        self.map_with_hint(dfg, mrrg, None)
+    }
+
+    /// Maps `dfg` onto `mrrg`, seeding the solver from a known mapping.
+    ///
+    /// The hint is registered as branch hints (a MIP start) exactly like a
+    /// warm-start portfolio result, so the solver reconstructs it first and
+    /// then improves on it; verdicts are unaffected. When a hint is given
+    /// the simulated-annealing portfolio is skipped — the caller already
+    /// has something better than what the portfolio would look for. Hints
+    /// referencing slots or nodes outside this MRRG's candidate sets are
+    /// silently ignored per variable, so a mapping translated from a
+    /// different II is acceptable.
+    pub fn map_with_hint(&self, dfg: &Dfg, mrrg: &Mrrg, hint: Option<&Mapping>) -> MapReport {
         let start = Instant::now();
         let mut formulation = match Formulation::build(dfg, mrrg, self.options) {
             Ok(f) => f,
@@ -143,12 +161,15 @@ impl IlpMapper {
                     },
                     elapsed: start.elapsed(),
                     formulation: FormulationStats::default(),
+                    solver: SolveStats::default(),
                 }
             }
         };
         let stats = formulation.stats();
 
-        if self.options.warm_start {
+        if let Some(mapping) = hint {
+            formulation.warm_start(dfg, mapping);
+        } else if self.options.warm_start {
             if let Some(mapping) = self.run_warm_start_portfolio(dfg, mrrg, start) {
                 formulation.warm_start(dfg, &mapping);
             }
@@ -161,6 +182,7 @@ impl IlpMapper {
             time_limit: remaining,
             threads: self.options.threads,
             seed: self.options.seed,
+            presolve: self.options.presolve,
             ..SolverConfig::default()
         });
         let outcome = match solver.solve(formulation.model()) {
@@ -193,6 +215,7 @@ impl IlpMapper {
             outcome,
             elapsed: start.elapsed(),
             formulation: stats,
+            solver: solver.stats(),
         }
     }
 

@@ -54,4 +54,4 @@ pub use ilp::{IlpMapper, MapOutcome, MapReport};
 pub use mapping::{expected_port, validate_mapping, Mapping, MappingError};
 pub use options::{MapperOptions, Objective, ObjectiveWeights};
 pub use report::{render_mapping, render_route};
-pub use search::{map_min_ii, MinIiReport};
+pub use search::{map_min_ii, MinIiReport, MinIiTotals};

@@ -110,6 +110,21 @@ pub struct MapperOptions {
     /// objective values are identical across thread counts; which
     /// optimal *solution* is returned may differ.
     pub threads: usize,
+    /// Whether the ILP solver runs its presolve pipeline (propagation,
+    /// saturation, equivalence merging, probing, …) before search. The
+    /// default follows the `BILP_PRESOLVE` environment variable and is
+    /// otherwise on; turning it off reproduces the pre-presolve solver
+    /// behaviour bit for bit.
+    pub presolve: bool,
+    /// Whether formulation construction applies the MRRG reachability
+    /// reduction: per value, routing variables are restricted to nodes on
+    /// some producer-FU→consumer-FU path (forward ∩ backward BFS in the
+    /// II-modulated graph), slots whose output cannot reach every sink
+    /// are dropped, and the two prunings iterate to a fixpoint. Off
+    /// emits the textbook all-candidates encoding — every routing node a
+    /// candidate for every value — which is the baseline the reduction
+    /// is benchmarked against (`BENCH_presolve.json`).
+    pub reach_reduction: bool,
 }
 
 impl Default for MapperOptions {
@@ -124,6 +139,8 @@ impl Default for MapperOptions {
             seed: 1,
             warm_start: false,
             threads: 1,
+            presolve: bilp::presolve_from_env().unwrap_or(true),
+            reach_reduction: true,
         }
     }
 }

@@ -5,12 +5,65 @@
 //! fixed II ∈ {1, 2}, but the natural tool a user wants is "what is the
 //! best throughput this architecture can give my kernel?" — which the
 //! exact mapper answers definitively, II by II.
+//!
+//! The loop is incremental rather than from-scratch per II:
+//!
+//! * the operation→functional-unit compatibility analysis is computed
+//!   once (it is context-invariant — contexts replicate components), and
+//!   a component-level capacity matching with multiplicity II rejects
+//!   over-subscribed IIs without building an MRRG or a formulation;
+//! * when optimising, the feasibility question is solved first and the
+//!   found placement is carried into the optimisation solve as a warm
+//!   start, so the branch-and-bound starts from a known incumbent;
+//! * presolve and engine statistics are accumulated across every attempt
+//!   into [`MinIiReport::totals`].
 
+use crate::formulation::BuildInfeasible;
 use crate::ilp::{IlpMapper, MapOutcome, MapReport};
 use crate::options::MapperOptions;
+use bilp::PresolveStats;
 use cgra_arch::Architecture;
-use cgra_dfg::Dfg;
-use cgra_mrrg::build_mrrg;
+use cgra_dfg::{Dfg, OpKind};
+use cgra_mrrg::{build_mrrg, Mrrg, NodeKind};
+use std::time::{Duration, Instant};
+
+/// Statistics accumulated over a whole minimum-II search.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct MinIiTotals {
+    /// Wall-clock for the entire search, including MRRG builds.
+    pub elapsed: Duration,
+    /// IIs rejected by the cached capacity analysis alone — no MRRG, no
+    /// formulation, no solver.
+    pub capacity_shortcuts: usize,
+    /// Solver conflicts summed across every attempt.
+    pub conflicts: u64,
+    /// Solver decisions summed across every attempt.
+    pub decisions: u64,
+    /// Presolve reduction counters summed across every attempt.
+    pub presolve: PresolveStats,
+}
+
+impl MinIiTotals {
+    fn absorb(&mut self, report: &MapReport) {
+        self.conflicts += report.solver.engine.conflicts;
+        self.decisions += report.solver.engine.decisions;
+        let p = &report.solver.presolve;
+        let t = &mut self.presolve;
+        t.vars_before += p.vars_before;
+        t.vars_after += p.vars_after;
+        t.constraints_before += p.constraints_before;
+        t.constraints_after += p.constraints_after;
+        t.fixed_vars += p.fixed_vars;
+        t.aliased_vars += p.aliased_vars;
+        t.removed_constraints += p.removed_constraints;
+        t.strengthened += p.strengthened;
+        t.cliques += p.cliques;
+        t.probed_vars += p.probed_vars;
+        t.failed_literals += p.failed_literals;
+        t.rounds += p.rounds;
+        t.elapsed += p.elapsed;
+    }
+}
 
 /// Result of [`map_min_ii`].
 #[derive(Debug, Clone)]
@@ -19,6 +72,8 @@ pub struct MinIiReport {
     pub attempts: Vec<(u32, MapReport)>,
     /// The smallest II that mapped, if any did.
     pub min_ii: Option<u32>,
+    /// Cumulative statistics across the whole search.
+    pub totals: MinIiTotals,
 }
 
 impl MinIiReport {
@@ -32,6 +87,112 @@ impl MinIiReport {
     }
 }
 
+/// Context-invariant architecture analysis, computed once per search.
+///
+/// An MRRG at II=k replicates each architecture component k times
+/// (context-major nodes, identical operation support), so which
+/// functional units can host which operation never changes with II —
+/// only the *capacity* of each unit (one op per context) does. A maximum
+/// matching of operations onto units with capacity II therefore equals
+/// the per-slot matching [`crate::Formulation::build`] would compute, at
+/// a fraction of the cost and without constructing the II=k MRRG at all.
+#[derive(Debug)]
+struct CapacityAnalysis {
+    /// Per op (in `op_ids` order): name, kind, compatible unit indices.
+    ops: Vec<(String, OpKind, Vec<usize>)>,
+    /// Number of distinct functional units.
+    units: usize,
+}
+
+impl CapacityAnalysis {
+    /// Derives the analysis from the II=1 MRRG, which has exactly one
+    /// function node per unit.
+    fn build(dfg: &Dfg, mrrg1: &Mrrg) -> CapacityAnalysis {
+        let units: Vec<_> = mrrg1.function_nodes().collect();
+        let mut ops = Vec::with_capacity(dfg.op_count());
+        for q in dfg.op_ids() {
+            let op = &dfg.ops()[q.index()];
+            let compatible: Vec<usize> = units
+                .iter()
+                .enumerate()
+                .filter(|(_, &p)| match &mrrg1.nodes()[p.index()].kind {
+                    NodeKind::Function { ops } => ops.contains(op.kind),
+                    _ => false,
+                })
+                .map(|(u, _)| u)
+                .collect();
+            ops.push((op.name.clone(), op.kind, compatible));
+        }
+        CapacityAnalysis {
+            ops,
+            units: units.len(),
+        }
+    }
+
+    /// Returns the infeasibility this II is doomed to, if the analysis can
+    /// prove one: an operation with no compatible unit (any II), or a
+    /// maximum matching smaller than the operation count at unit capacity
+    /// `ii`. `check_capacity` mirrors `MapperOptions::redundant_capacity`.
+    fn reject(&self, ii: u32, check_capacity: bool) -> Option<BuildInfeasible> {
+        for (name, kind, compatible) in &self.ops {
+            if compatible.is_empty() {
+                return Some(BuildInfeasible::NoCompatibleSlot {
+                    op: name.clone(),
+                    kind: *kind,
+                });
+            }
+        }
+        if !check_capacity {
+            return None;
+        }
+        // Kuhn's algorithm with unit capacity `ii` (equivalent to matching
+        // onto the II=ii MRRG's function nodes, which are `ii` copies of
+        // each unit).
+        let cap = ii as usize;
+        let mut load: Vec<Vec<usize>> = vec![Vec::new(); self.units];
+        fn try_assign(
+            q: usize,
+            cap: usize,
+            ops: &[(String, OpKind, Vec<usize>)],
+            load: &mut Vec<Vec<usize>>,
+            visited: &mut [bool],
+        ) -> bool {
+            for &u in &ops[q].2 {
+                if visited[u] {
+                    continue;
+                }
+                visited[u] = true;
+                if load[u].len() < cap {
+                    load[u].push(q);
+                    return true;
+                }
+                for slot in 0..load[u].len() {
+                    let displaced = load[u][slot];
+                    if try_assign(displaced, cap, ops, load, visited) {
+                        load[u][slot] = q;
+                        return true;
+                    }
+                }
+            }
+            false
+        }
+        let mut matched = 0;
+        for q in 0..self.ops.len() {
+            let mut visited = vec![false; self.units];
+            if try_assign(q, cap, &self.ops, &mut load, &mut visited) {
+                matched += 1;
+            }
+        }
+        if matched < self.ops.len() {
+            return Some(BuildInfeasible::CapacityExceeded {
+                matched,
+                ops: self.ops.len(),
+            });
+        }
+        None
+    }
+}
+
 /// Finds the smallest initiation interval (context count) at which `dfg`
 /// maps onto `arch`, trying `1..=max_ii` in order.
 ///
@@ -39,6 +200,11 @@ impl MinIiReport {
 /// that II is impossible — the search never skips a feasible II the way
 /// a heuristic-based loop can. Timeouts are recorded and the search
 /// continues (a larger II is often *easier* to decide).
+///
+/// With [`MapperOptions::optimize`] set, each II is decided as a pure
+/// feasibility question first and the routing-minimisation solve runs
+/// only at the II that mapped, warm-started from the feasibility
+/// placement; `MapperOptions::time_limit` bounds each solve separately.
 ///
 /// # Examples
 ///
@@ -57,11 +223,65 @@ pub fn map_min_ii(
     options: MapperOptions,
     max_ii: u32,
 ) -> MinIiReport {
+    let search_start = Instant::now();
     let mut attempts = Vec::new();
     let mut min_ii = None;
+    let mut totals = MinIiTotals::default();
+
+    // One II=1 MRRG drives the context-invariant analysis and is then
+    // reused for the II=1 attempt itself.
+    let mut mrrg1 = Some(build_mrrg(arch, 1));
+    let analysis = CapacityAnalysis::build(dfg, mrrg1.as_ref().expect("just built"));
+
     for ii in 1..=max_ii {
-        let mrrg = build_mrrg(arch, ii);
-        let report = IlpMapper::new(options).map(dfg, &mrrg);
+        let attempt_start = Instant::now();
+        if let Some(reason) = analysis.reject(ii, options.redundant_capacity) {
+            totals.capacity_shortcuts += 1;
+            attempts.push((
+                ii,
+                MapReport {
+                    outcome: MapOutcome::Infeasible {
+                        reason: Some(reason),
+                    },
+                    elapsed: attempt_start.elapsed(),
+                    formulation: Default::default(),
+                    solver: Default::default(),
+                },
+            ));
+            continue;
+        }
+
+        let mrrg = match (ii, mrrg1.take()) {
+            (1, Some(m)) => m,
+            _ => build_mrrg(arch, ii),
+        };
+
+        // Decide feasibility without the objective — strictly cheaper, and
+        // the verdict is the same.
+        let feasibility = IlpMapper::new(MapperOptions {
+            optimize: false,
+            ..options
+        })
+        .map(dfg, &mrrg);
+        totals.absorb(&feasibility);
+
+        let mut report = feasibility;
+        if options.optimize {
+            if let Some(found) = report.outcome.mapping().cloned() {
+                // Carry the feasibility placement into the optimisation
+                // solve as a warm start: the solver opens with a known
+                // incumbent and spends its budget proving or improving.
+                let optimized = IlpMapper::new(options).map_with_hint(dfg, &mrrg, Some(&found));
+                totals.absorb(&optimized);
+                if optimized.outcome.is_mapped() {
+                    report = MapReport {
+                        elapsed: report.elapsed + optimized.elapsed,
+                        ..optimized
+                    };
+                }
+            }
+        }
+
         let mapped = matches!(report.outcome, MapOutcome::Mapped { .. });
         attempts.push((ii, report));
         if mapped {
@@ -69,7 +289,12 @@ pub fn map_min_ii(
             break;
         }
     }
-    MinIiReport { attempts, min_ii }
+    totals.elapsed = search_start.elapsed();
+    MinIiReport {
+        attempts,
+        min_ii,
+        totals,
+    }
 }
 
 #[cfg(test)]
@@ -97,12 +322,14 @@ mod tests {
         assert_eq!(report.min_ii, Some(2));
         assert_ne!(report.attempts[0].1.outcome.table_symbol(), "1");
         assert!(report.mapping().is_some());
+        assert!(report.totals.elapsed >= report.attempts[1].1.elapsed);
     }
 
     #[test]
     fn capacity_bound_is_never_beaten() {
         // extreme (19 internal ops) cannot map at II=1 (16 ALUs), but two
-        // contexts double the slots.
+        // contexts double the slots. The II=1 rejection must come from the
+        // cached capacity analysis without building a formulation.
         let arch = grid(GridParams::paper(
             FuMix::Homogeneous,
             Interconnect::Diagonal,
@@ -117,6 +344,13 @@ mod tests {
         };
         let report = map_min_ii(&dfg, &arch, options, 2);
         assert_eq!(report.min_ii, Some(2));
+        assert_eq!(report.totals.capacity_shortcuts, 1);
+        assert!(matches!(
+            report.attempts[0].1.outcome,
+            MapOutcome::Infeasible {
+                reason: Some(BuildInfeasible::CapacityExceeded { .. })
+            }
+        ));
     }
 
     #[test]
@@ -138,5 +372,82 @@ mod tests {
         let at_one = map_min_ii(&dfg, &arch, options, 1);
         assert_eq!(at_one.min_ii, None);
         assert_eq!(at_one.attempts.len(), 1);
+        // The multiplier shortage is provable from the cached analysis.
+        assert_eq!(at_one.totals.capacity_shortcuts, 1);
+    }
+
+    #[test]
+    fn capacity_shortcut_matches_formulation_verdict() {
+        // The shortcut's (matched, ops) must agree with what the full
+        // formulation build reports when the shortcut is bypassed.
+        let arch = grid(GridParams::paper(
+            FuMix::Heterogeneous,
+            Interconnect::Orthogonal,
+        ));
+        let dfg = (cgra_dfg::benchmarks::by_name("mult_16")
+            .expect("known")
+            .build)();
+        let mrrg1 = build_mrrg(&arch, 1);
+        let analysis = CapacityAnalysis::build(&dfg, &mrrg1);
+        let short = analysis.reject(1, true).expect("over capacity");
+        let full = crate::Formulation::build(&dfg, &mrrg1, MapperOptions::default()).unwrap_err();
+        assert_eq!(short, full);
+    }
+
+    #[test]
+    fn optimize_mode_still_finds_min_ii_and_optimal_usage() {
+        // Small enough that the optimisation stage proves optimality fast.
+        let arch = grid(GridParams {
+            rows: 2,
+            cols: 2,
+            fu_mix: FuMix::Homogeneous,
+            interconnect: Interconnect::Orthogonal,
+            io_pads: true,
+            memory_ports: false,
+            toroidal: false,
+            alu_latency: 0,
+            bypass_channel: false,
+        });
+        let mut dfg = cgra_dfg::Dfg::new("t");
+        let a = dfg.add_op("a", cgra_dfg::OpKind::Input).unwrap();
+        let b = dfg.add_op("b", cgra_dfg::OpKind::Input).unwrap();
+        let s = dfg.add_op("s", cgra_dfg::OpKind::Add).unwrap();
+        let o = dfg.add_op("o", cgra_dfg::OpKind::Output).unwrap();
+        dfg.connect(a, s, 0).unwrap();
+        dfg.connect(b, s, 1).unwrap();
+        dfg.connect(s, o, 0).unwrap();
+        let options = MapperOptions {
+            optimize: true,
+            time_limit: Some(std::time::Duration::from_secs(60)),
+            ..MapperOptions::default()
+        };
+        let report = map_min_ii(&dfg, &arch, options, 2);
+        assert_eq!(report.min_ii, Some(1));
+        let MapOutcome::Mapped { optimal, .. } = report.attempts[0].1.outcome else {
+            panic!("tiny add maps at II=1");
+        };
+        assert!(optimal, "optimisation stage should prove optimality");
+    }
+
+    #[test]
+    fn translated_mapping_warm_starts_the_next_ii() {
+        // A mapping found at II=1 remains a usable hint at II=2 after
+        // name-based translation (contexts 0..k exist in the II=k+1 graph).
+        let arch = grid(GridParams::paper(
+            FuMix::Homogeneous,
+            Interconnect::Diagonal,
+        ));
+        let dfg = cgra_dfg::benchmarks::accum();
+        let mrrg1 = build_mrrg(&arch, 1);
+        let mrrg2 = build_mrrg(&arch, 2);
+        let first = IlpMapper::new(MapperOptions::default()).map(&dfg, &mrrg1);
+        let mapping = first.outcome.mapping().expect("accum maps at II=1");
+        let hint = mapping
+            .translate_to(&mrrg1, &mrrg2)
+            .expect("II=1 placements exist at II=2");
+        assert_eq!(hint.placement.len(), mapping.placement.len());
+        let report =
+            IlpMapper::new(MapperOptions::default()).map_with_hint(&dfg, &mrrg2, Some(&hint));
+        assert!(report.outcome.is_mapped(), "{}", report.outcome);
     }
 }

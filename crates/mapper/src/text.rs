@@ -86,11 +86,7 @@ pub fn print_mapping(dfg: &Dfg, mrrg: &Mrrg, mapping: &Mapping) -> String {
 /// Fails on syntax errors and on names unknown to the given graphs. The
 /// parsed mapping is *not* validated here — run
 /// [`crate::validate_mapping`] afterwards, as for any untrusted mapping.
-pub fn parse_mapping(
-    dfg: &Dfg,
-    mrrg: &Mrrg,
-    text: &str,
-) -> Result<Mapping, ParseMappingError> {
+pub fn parse_mapping(dfg: &Dfg, mrrg: &Mrrg, text: &str) -> Result<Mapping, ParseMappingError> {
     let mut mapping = Mapping::new();
     let mut saw_header = false;
     let node_by_name = |name: &str| -> Result<NodeId, ParseMappingError> {
@@ -150,7 +146,10 @@ pub fn parse_mapping(
                 .operand_edge(dst_id, operand)
                 .filter(|e| dfg.edges()[e.index()].src == src_id)
                 .ok_or_else(|| {
-                    syntax(format!("no DFG edge {}->{dst} operand {operand}", src.trim()))
+                    syntax(format!(
+                        "no DFG edge {}->{dst} operand {operand}",
+                        src.trim()
+                    ))
                 })?;
             let mut nodes = Vec::new();
             for name in path.split(',') {
@@ -219,11 +218,10 @@ mod tests {
     #[test]
     fn unknown_names_rejected() {
         let (g, mrrg, _) = mapped();
-        let err = parse_mapping(&g, &mrrg, "mapping t onto x\nplace zz -> b0_0.alu.fu@0\n")
-            .unwrap_err();
-        assert!(matches!(err, ParseMappingError::UnknownOp(_)));
         let err =
-            parse_mapping(&g, &mrrg, "mapping t onto x\nplace s -> nowhere@9\n").unwrap_err();
+            parse_mapping(&g, &mrrg, "mapping t onto x\nplace zz -> b0_0.alu.fu@0\n").unwrap_err();
+        assert!(matches!(err, ParseMappingError::UnknownOp(_)));
+        let err = parse_mapping(&g, &mrrg, "mapping t onto x\nplace s -> nowhere@9\n").unwrap_err();
         assert!(matches!(err, ParseMappingError::UnknownNode(_)));
     }
 

@@ -4,7 +4,7 @@
 
 use cgra_arch::families::{grid, FuMix, GridParams, Interconnect};
 use cgra_dfg::{Dfg, OpKind};
-use cgra_mapper::{validate_mapping, IlpMapper, Mapping, MapperOptions, MappingError};
+use cgra_mapper::{validate_mapping, IlpMapper, MapperOptions, Mapping, MappingError};
 use cgra_mrrg::{build_mrrg, Mrrg, NodeKind};
 
 fn setup() -> (Dfg, Mrrg, Mapping) {
@@ -25,7 +25,7 @@ fn setup() -> (Dfg, Mrrg, Mapping) {
         memory_ports: true,
         toroidal: false,
         alu_latency: 0,
-            bypass_channel: false,
+        bypass_channel: false,
     });
     let mrrg = build_mrrg(&arch, 1);
     let report = IlpMapper::new(MapperOptions::default()).map(&g, &mrrg);
@@ -70,9 +70,7 @@ fn incompatible_unit_detected() {
     let mem_slot = mrrg
         .function_nodes()
         .find(|&p| match &mrrg.nodes()[p.index()].kind {
-            NodeKind::Function { ops } => {
-                ops.contains(OpKind::Load) && !ops.contains(OpKind::Sub)
-            }
+            NodeKind::Function { ops } => ops.contains(OpKind::Load) && !ops.contains(OpKind::Sub),
             _ => false,
         })
         .expect("memory slot exists");

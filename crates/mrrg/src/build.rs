@@ -125,7 +125,8 @@ pub fn build_mrrg(arch: &Architecture, contexts: u32) -> Mrrg {
                 let mut result_nodes: Vec<NodeId> = Vec::with_capacity(ii as usize);
                 for c in 0..ii {
                     let mut row = Vec::with_capacity(n_operands);
-                    #[allow(clippy::needless_range_loop)] // i is an operand index across several structures
+                    #[allow(clippy::needless_range_loop)]
+                    // i is an operand index across several structures
                     for i in 0..n_operands {
                         let n = g.add_node(Node {
                             name: format!("{}.op{i}@{c}", comp.name),

@@ -68,7 +68,10 @@ fn pipelined_and_toroidal_variants_are_time_consistent() {
 
 #[test]
 fn every_route_node_context_within_bounds() {
-    let arch = grid(GridParams::paper(FuMix::Homogeneous, Interconnect::Orthogonal));
+    let arch = grid(GridParams::paper(
+        FuMix::Homogeneous,
+        Interconnect::Orthogonal,
+    ));
     for contexts in [1u32, 2, 5] {
         let mrrg = build_mrrg(&arch, contexts);
         for id in mrrg.node_ids() {
@@ -79,7 +82,10 @@ fn every_route_node_context_within_bounds() {
 
 #[test]
 fn function_slot_count_scales_with_contexts_for_ii1_units() {
-    let arch = grid(GridParams::paper(FuMix::Heterogeneous, Interconnect::Orthogonal));
+    let arch = grid(GridParams::paper(
+        FuMix::Heterogeneous,
+        Interconnect::Orthogonal,
+    ));
     let f1 = build_mrrg(&arch, 1).function_nodes().count();
     let f3 = build_mrrg(&arch, 3).function_nodes().count();
     assert_eq!(f3, 3 * f1);

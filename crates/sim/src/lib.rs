@@ -189,8 +189,9 @@ mod tests {
         let report = IlpMapper::new(MapperOptions::default()).map(&dfg, &mrrg);
         let mapping = report.outcome.mapping().expect("axpy maps");
         let config = extract_configuration(&arch, &mrrg, &dfg, mapping).expect("extracts");
-        let inputs: BTreeMap<String, i64> =
-            [("a", 3i64), ("x", 4), ("y", 5)].map(|(k, v)| (k.to_owned(), v)).into();
+        let inputs: BTreeMap<String, i64> = [("a", 3i64), ("x", 4), ("y", 5)]
+            .map(|(k, v)| (k.to_owned(), v))
+            .into();
         let memory = cgra_dfg::Memory::default();
         let (outcome, trace) =
             simulate_traced(&arch, &config, &dfg, &inputs, &memory).expect("simulates");

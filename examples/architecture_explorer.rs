@@ -34,7 +34,7 @@ fn main() {
                         memory_ports: true,
                         toroidal: false,
                         alu_latency: 0,
-            bypass_channel: false,
+                        bypass_channel: false,
                     });
                     let mrrg = build_mrrg(&arch, contexts);
                     let mapper = IlpMapper::new(MapperOptions {

@@ -42,7 +42,11 @@ fn main() {
         ..MapperOptions::default()
     };
     for (label, mix, ic) in [
-        ("hetero-orth", FuMix::Heterogeneous, Interconnect::Orthogonal),
+        (
+            "hetero-orth",
+            FuMix::Heterogeneous,
+            Interconnect::Orthogonal,
+        ),
         ("homo-diag", FuMix::Homogeneous, Interconnect::Diagonal),
     ] {
         let arch = grid(GridParams::paper(mix, ic));

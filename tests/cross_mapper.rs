@@ -59,7 +59,7 @@ fn sa_success_implies_ilp_success() {
         memory_ports: true,
         toroidal: false,
         alu_latency: 0,
-            bypass_channel: false,
+        bypass_channel: false,
     });
     for contexts in [1u32, 2] {
         let mrrg = build_mrrg(&arch, contexts);
@@ -96,7 +96,7 @@ fn warm_started_ilp_agrees_with_cold_ilp() {
         memory_ports: true,
         toroidal: false,
         alu_latency: 0,
-            bypass_channel: false,
+        bypass_channel: false,
     });
     let mrrg = build_mrrg(&arch, 1);
     for dfg in kernels() {

@@ -201,7 +201,9 @@ fn bypass_channel_rescues_single_context_orthogonal_routing() {
     // the architecture-exploration loop the paper's introduction
     // motivates.
     use std::time::Duration;
-    let dfg = (cgra::dfg::benchmarks::by_name("2x2-f").expect("known").build)();
+    let dfg = (cgra::dfg::benchmarks::by_name("2x2-f")
+        .expect("known")
+        .build)();
     let arch = grid(GridParams {
         bypass_channel: true,
         ..GridParams::paper(FuMix::Homogeneous, Interconnect::Orthogonal)

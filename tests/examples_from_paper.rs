@@ -159,7 +159,7 @@ fn example3_subvalues_route_every_sink() {
         memory_ports: false,
         toroidal: false,
         alu_latency: 0,
-            bypass_channel: false,
+        bypass_channel: false,
     });
     let mrrg = build_mrrg(&arch, 2);
 
