@@ -101,10 +101,16 @@ fn main() {
                 }
                 write!(
                     row,
-                    "{{\"threads\": {}, \"wall_seconds\": {:.6}, \"symbol\": \"{}\"}}",
+                    "{{\"threads\": {}, \"wall_seconds\": {:.6}, \"symbol\": \"{}\", \
+                     \"learnt_clauses\": {}, \"mean_lbd\": {:.3}, \
+                     \"imported_clauses\": {}, \"exported_clauses\": {}}}",
                     threads,
                     cell.elapsed.as_secs_f64(),
-                    cell.symbol
+                    cell.symbol,
+                    cell.engine.learnt_clauses,
+                    cell.engine.mean_lbd(),
+                    cell.engine.imported_clauses,
+                    cell.engine.exported_clauses
                 )
                 .unwrap();
             }

@@ -67,6 +67,10 @@ pub struct Cell {
     pub elapsed: Duration,
     /// Routing resources used, for feasible cells.
     pub routing_usage: Option<usize>,
+    /// Solver engine counters for the attempt — conflicts, learnt-clause
+    /// LBD distribution, clause-database tier accounting and portfolio
+    /// clause-sharing traffic (all zero for the annealing mapper).
+    pub engine: bilp::EngineStats,
 }
 
 /// Mapper selection for [`run_matrix`].
@@ -143,6 +147,7 @@ pub fn run_cell(
         symbol: report.outcome.table_symbol(),
         elapsed: report.elapsed,
         routing_usage,
+        engine: report.solver.engine,
     }
 }
 
@@ -358,6 +363,7 @@ mod tests {
             symbol: "1",
             elapsed: Duration::from_millis(1),
             routing_usage: Some(10),
+            engine: bilp::EngineStats::default(),
         };
         let text = render_matrix(&[cell]);
         assert!(text.contains("Total Feasible"));
@@ -373,6 +379,7 @@ mod tests {
             symbol: "0", // paper says 1
             elapsed: Duration::from_millis(1),
             routing_usage: None,
+            engine: bilp::EngineStats::default(),
         };
         let (agree, total, mismatches) = compare_to_paper(&[cell]);
         assert_eq!((agree, total), (0, 1));

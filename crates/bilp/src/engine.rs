@@ -9,13 +9,25 @@
 //! cutting-planes reasoning.
 //!
 //! The engine supports adding constraints between successive `solve` calls
-//! (always at decision level 0), which is what the branch-and-bound
-//! optimisation loop in [`crate::solve`] uses to strengthen the objective
-//! bound while keeping everything learnt so far.
+//! (always at decision level 0) and, more importantly, **solving under
+//! assumptions** ([`Engine::solve_under_assumptions`]): a set of literals
+//! is held true for one search without ever becoming permanent, so the
+//! branch-and-bound loop in [`crate::solve`] probes objective bounds
+//! through activation literals on one persistent engine — every learnt
+//! clause stays valid across the whole descent. When an assumption set is
+//! refuted, [`Engine::unsat_core`] returns the subset of assumptions the
+//! final conflict depends on.
+//!
+//! Learnt-clause management is LBD-based (Audemard & Simon's "glue"
+//! metric): each learnt clause records the number of distinct decision
+//! levels among its literals at learning time. Reduction protects glue
+//! clauses (`lbd <= glue_lbd`) unconditionally and deletes the worst half
+//! of the rest, ranked by LBD then activity, with the mid/local tier split
+//! tracked in [`EngineStats`].
 
 use crate::model::{Lit, Var};
 use crate::normalize::NormConstraint;
-use crate::portfolio::UnitExchange;
+use crate::portfolio::ClauseExchange;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::Instant;
@@ -58,6 +70,22 @@ pub struct EngineFeatures {
     /// Base conflict interval of the Luby restart schedule (the classic
     /// MiniSat value 256 by default; portfolio workers vary it).
     pub restart_base: u64,
+    /// Initial learnt-clause cap: database reduction triggers when the
+    /// number of live learnt clauses exceeds it (the cap then grows
+    /// geometrically). Historically hardcoded to 20 000.
+    pub learnt_cap: usize,
+    /// Learnt clauses with LBD at or below this are *glue* (core tier):
+    /// they are never deleted by database reduction.
+    pub glue_lbd: u32,
+    /// Upper LBD bound of the *mid* tier; clauses above it are *local*.
+    /// The tier only affects reduction bookkeeping and deletion order —
+    /// local clauses are deleted before mid ones at equal activity.
+    pub mid_lbd: u32,
+    /// Maximum LBD for a learnt clause to be exported to the portfolio
+    /// clause exchange (units are always exported).
+    pub share_lbd: u32,
+    /// Maximum length for an exported learnt clause.
+    pub share_len: usize,
 }
 
 impl Default for EngineFeatures {
@@ -71,6 +99,11 @@ impl Default for EngineFeatures {
             random_tiebreak: false,
             default_phase: false,
             restart_base: 256,
+            learnt_cap: 20_000,
+            glue_lbd: 2,
+            mid_lbd: 6,
+            share_lbd: 2,
+            share_len: 8,
         }
     }
 }
@@ -116,6 +149,55 @@ pub struct EngineStats {
     pub restarts: u64,
     /// Number of learnt clauses deleted by database reduction.
     pub deleted_clauses: u64,
+    /// Number of clauses learnt from conflicts (including units).
+    pub learnt_clauses: u64,
+    /// Sum of learnt-clause LBD values (mean = `lbd_total / learnt_clauses`).
+    pub lbd_total: u64,
+    /// Mid-tier clauses (`glue_lbd < lbd <= mid_lbd`) deleted by reduction.
+    pub deleted_mid: u64,
+    /// Local-tier clauses (`lbd > mid_lbd`) deleted by reduction.
+    pub deleted_local: u64,
+    /// Core-tier (glue) clauses alive at the most recent reduction.
+    pub kept_core: u64,
+    /// Mid-tier clauses surviving the most recent reduction.
+    pub kept_mid: u64,
+    /// Local-tier clauses surviving the most recent reduction.
+    pub kept_local: u64,
+    /// Clauses imported from the portfolio clause exchange.
+    pub imported_clauses: u64,
+    /// Clauses exported to the portfolio clause exchange.
+    pub exported_clauses: u64,
+}
+
+impl EngineStats {
+    /// Mean LBD over every clause learnt so far (0 when none were).
+    pub fn mean_lbd(&self) -> f64 {
+        if self.learnt_clauses == 0 {
+            0.0
+        } else {
+            self.lbd_total as f64 / self.learnt_clauses as f64
+        }
+    }
+
+    /// Adds `other`'s additive counters into `self`, so the stats of a
+    /// multi-solver run (e.g. a feasibility solve followed by a separate
+    /// optimisation solve) can be reported as one total. The
+    /// database-occupancy snapshots (`kept_core`/`kept_mid`/`kept_local`
+    /// describe the *most recent* reduction, not a running sum) keep
+    /// `self`'s values.
+    pub fn absorb(&mut self, other: &EngineStats) {
+        self.conflicts += other.conflicts;
+        self.decisions += other.decisions;
+        self.propagations += other.propagations;
+        self.restarts += other.restarts;
+        self.deleted_clauses += other.deleted_clauses;
+        self.learnt_clauses += other.learnt_clauses;
+        self.lbd_total += other.lbd_total;
+        self.deleted_mid += other.deleted_mid;
+        self.deleted_local += other.deleted_local;
+        self.imported_clauses += other.imported_clauses;
+        self.exported_clauses += other.exported_clauses;
+    }
 }
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -131,6 +213,9 @@ struct Clause {
     learnt: bool,
     activity: f64,
     deleted: bool,
+    /// Literal-block distance at learning/import time (0 for problem
+    /// clauses, which are never reduction candidates anyway).
+    lbd: u32,
 }
 
 #[derive(Debug, Clone, Copy)]
@@ -313,9 +398,21 @@ pub struct Engine {
     features: EngineFeatures,
     rng_state: u64,
     interrupt: Option<Arc<AtomicBool>>,
-    exchange: Option<Arc<UnitExchange>>,
+    exchange: Option<Arc<ClauseExchange>>,
     exchange_cursor: usize,
     bound_tag: i64,
+    worker_id: usize,
+    /// Clauses mentioning a variable at or above this index are never
+    /// exported (activation variables are engine-local).
+    share_var_limit: usize,
+    /// Assumption literals for the current `solve_under_assumptions` call.
+    assumptions: Vec<Lit>,
+    /// Subset of the assumptions responsible for the last assumption
+    /// failure (empty when the database itself is unsatisfiable).
+    last_core: Vec<Lit>,
+    /// Level-stamp scratch for LBD computation.
+    lbd_stamp: Vec<u64>,
+    lbd_counter: u64,
 }
 
 impl Engine {
@@ -352,7 +449,35 @@ impl Engine {
             exchange: None,
             exchange_cursor: 0,
             bound_tag: i64::MAX,
+            worker_id: 0,
+            share_var_limit: usize::MAX,
+            assumptions: Vec::new(),
+            last_core: Vec::new(),
+            lbd_stamp: vec![0; num_vars + 1],
+            lbd_counter: 0,
         }
+    }
+
+    /// Adds a fresh variable and returns it. Used by the incremental
+    /// optimisation loop to mint activation literals for reified
+    /// objective-bound constraints; such variables live beyond the
+    /// original model's index space.
+    pub fn add_var(&mut self) -> Var {
+        let v = self.num_vars as u32;
+        self.num_vars += 1;
+        self.assign.push(UNASSIGNED);
+        self.level.push(0);
+        self.reason.push(Reason::None);
+        self.trail_pos.push(0);
+        self.watches.push(Vec::new());
+        self.watches.push(Vec::new());
+        self.lin_occ.push(Vec::new());
+        self.lin_occ.push(Vec::new());
+        self.phase.push(self.features.default_phase);
+        self.seen.push(false);
+        self.lbd_stamp.push(0);
+        self.order.grow_to(self.num_vars);
+        Var(v)
     }
 
     /// Configures the engine's feature toggles and diversification knobs.
@@ -365,6 +490,7 @@ impl Engine {
         if self.rng_state == 0 {
             self.rng_state = 1;
         }
+        self.learnt_cap = features.learnt_cap.max(16);
         self.phase.fill(features.default_phase);
     }
 
@@ -374,12 +500,22 @@ impl Engine {
         self.interrupt = Some(flag);
     }
 
-    /// Connects this engine to a portfolio unit-clause exchange. Learnt
-    /// unit literals are published with the engine's current objective
-    /// bound tag; foreign units are imported at restart boundaries.
-    pub fn set_exchange(&mut self, exchange: Arc<UnitExchange>) {
+    /// Connects this engine to a portfolio clause exchange as worker
+    /// `worker_id`. Learnt units and low-LBD clauses over variables below
+    /// `share_var_limit` are published with the engine's current
+    /// objective-bound tag; foreign clauses are imported at solve start
+    /// and at restart boundaries. `share_var_limit` keeps engine-local
+    /// activation variables (see [`Engine::add_var`]) out of the pool.
+    pub fn set_exchange(
+        &mut self,
+        exchange: Arc<ClauseExchange>,
+        worker_id: usize,
+        share_var_limit: usize,
+    ) {
         self.exchange_cursor = exchange.len();
         self.exchange = Some(exchange);
+        self.worker_id = worker_id;
+        self.share_var_limit = share_var_limit;
     }
 
     /// Records the objective bound under which subsequently learnt units
@@ -492,7 +628,7 @@ impl Engine {
                         self.enqueue(lits[0], Reason::None);
                     }
                     _ => {
-                        self.attach_clause(lits, false);
+                        self.attach_clause(lits, false, 0);
                     }
                 }
             }
@@ -534,7 +670,7 @@ impl Engine {
         self.ok
     }
 
-    fn attach_clause(&mut self, lits: Vec<Lit>, learnt: bool) -> u32 {
+    fn attach_clause(&mut self, lits: Vec<Lit>, learnt: bool, lbd: u32) -> u32 {
         debug_assert!(lits.len() >= 2);
         let idx = self.clauses.len() as u32;
         let w0 = lits[0];
@@ -544,6 +680,7 @@ impl Engine {
             learnt,
             activity: 0.0,
             deleted: false,
+            lbd,
         });
         if learnt {
             self.n_learnt += 1;
@@ -949,30 +1086,85 @@ impl Engine {
         self.stats.decisions += 1;
     }
 
+    /// Literal-block distance: the number of distinct decision levels
+    /// among the clause's literals. Computed with a stamp array so the
+    /// cost is one pass, no allocation.
+    fn compute_lbd(&mut self, lits: &[Lit]) -> u32 {
+        self.lbd_counter += 1;
+        let stamp = self.lbd_counter;
+        let mut lbd = 0u32;
+        for &l in lits {
+            let lev = self.level[l.var().index()] as usize;
+            if self.lbd_stamp[lev] != stamp {
+                self.lbd_stamp[lev] = stamp;
+                lbd += 1;
+            }
+        }
+        lbd
+    }
+
+    /// LBD-tiered database reduction. Glue clauses (`lbd <= glue_lbd`,
+    /// the core tier) are never deleted; of the remaining learnt clauses
+    /// the worst half is dropped, ranked by LBD (higher first) then
+    /// activity (lower first) — so local-tier clauses go before mid-tier
+    /// ones of equal activity.
     fn reduce_db(&mut self) {
         debug_assert_eq!(self.decision_level(), 0);
-        let mut acts: Vec<f64> = self
-            .clauses
-            .iter()
-            .filter(|c| c.learnt && !c.deleted)
-            .map(|c| c.activity)
-            .collect();
-        if acts.len() < 2 {
+        let glue = self.features.glue_lbd;
+        let mid = self.features.mid_lbd.max(glue);
+        let mut kept_core = 0u64;
+        let mut candidates: Vec<u32> = Vec::new();
+        for (i, c) in self.clauses.iter().enumerate() {
+            if !c.learnt || c.deleted {
+                continue;
+            }
+            if c.lbd <= glue {
+                kept_core += 1;
+            } else {
+                candidates.push(i as u32);
+            }
+        }
+        if candidates.len() < 2 {
             return;
         }
-        acts.sort_by(|a, b| a.partial_cmp(b).expect("activities are finite"));
-        let median = acts[acts.len() / 2];
-        let mut deleted = 0;
-        for c in &mut self.clauses {
-            if c.learnt && !c.deleted && c.activity < median {
-                c.deleted = true;
-                c.lits.clear();
-                c.lits.shrink_to_fit();
-                deleted += 1;
+        candidates.sort_by(|&a, &b| {
+            let (ca, cb) = (&self.clauses[a as usize], &self.clauses[b as usize]);
+            cb.lbd.cmp(&ca.lbd).then(
+                ca.activity
+                    .partial_cmp(&cb.activity)
+                    .expect("activities are finite"),
+            )
+        });
+        let doomed = candidates.len() / 2;
+        let mut deleted = 0usize;
+        let (mut deleted_mid, mut deleted_local) = (0u64, 0u64);
+        for &i in &candidates[..doomed] {
+            let c = &mut self.clauses[i as usize];
+            if c.lbd <= mid {
+                deleted_mid += 1;
+            } else {
+                deleted_local += 1;
+            }
+            c.deleted = true;
+            c.lits.clear();
+            c.lits.shrink_to_fit();
+            deleted += 1;
+        }
+        let (mut kept_mid, mut kept_local) = (0u64, 0u64);
+        for &i in &candidates[doomed..] {
+            if self.clauses[i as usize].lbd <= mid {
+                kept_mid += 1;
+            } else {
+                kept_local += 1;
             }
         }
         self.n_learnt -= deleted;
         self.stats.deleted_clauses += deleted as u64;
+        self.stats.deleted_mid += deleted_mid;
+        self.stats.deleted_local += deleted_local;
+        self.stats.kept_core = kept_core;
+        self.stats.kept_mid = kept_mid;
+        self.stats.kept_local = kept_local;
         // Rebuild watches from scratch (we are at level 0; re-propagation
         // is unnecessary because the assignment did not change).
         for w in &mut self.watches {
@@ -1010,34 +1202,66 @@ impl Engine {
         false
     }
 
-    /// Publishes a freshly learnt level-0 unit to the portfolio exchange.
-    fn publish_unit(&self, lit: Lit) {
-        if let Some(ex) = &self.exchange {
-            ex.publish(lit, self.bound_tag);
+    /// Publishes a freshly learnt clause (or unit) to the portfolio
+    /// exchange if it qualifies: LBD at most `share_lbd` (units always
+    /// qualify), length at most `share_len`, and no variable at or above
+    /// the share limit (activation variables stay local).
+    fn publish_learnt(&mut self, lits: &[Lit], lbd: u32) {
+        let Some(ex) = &self.exchange else {
+            return;
+        };
+        let f = &self.features;
+        if lits.len() > 1 && (lbd > f.share_lbd || lits.len() > f.share_len) {
+            return;
+        }
+        if lits.iter().any(|l| l.var().index() >= self.share_var_limit) {
+            return;
+        }
+        if ex.publish(self.worker_id, lits, lbd, self.bound_tag) {
+            self.stats.exported_clauses += 1;
         }
     }
 
-    /// Imports foreign units learnt by other portfolio workers. Must be
-    /// called at decision level 0. Returns `false` on derived conflict.
-    fn import_units(&mut self) -> bool {
+    /// Imports clauses learnt by other portfolio workers. Must be called
+    /// at decision level 0. Returns `false` on derived conflict.
+    fn import_shared(&mut self) -> bool {
         debug_assert_eq!(self.decision_level(), 0);
         let Some(ex) = self.exchange.clone() else {
             return true;
         };
         let my_bound = self.bound_tag;
+        let my_id = self.worker_id;
         let mut cursor = self.exchange_cursor;
         let mut ok = true;
-        ex.import_since(&mut cursor, my_bound, |lit| {
-            if !ok {
-                return;
-            }
-            if self.is_false(lit) {
-                ok = false;
-            } else if self.is_unassigned(lit) {
-                self.enqueue(lit, Reason::None);
-            }
+        let mut incoming: Vec<(Vec<Lit>, u32)> = Vec::new();
+        ex.import_since(&mut cursor, my_bound, my_id, |lits, lbd| {
+            incoming.push((lits.to_vec(), lbd));
         });
         self.exchange_cursor = cursor;
+        'clauses: for (lits, lbd) in incoming {
+            if !ok {
+                break;
+            }
+            // Simplify against the level-0 assignment.
+            let mut kept = Vec::with_capacity(lits.len());
+            for l in lits {
+                if self.is_true(l) {
+                    continue 'clauses; // already satisfied forever
+                }
+                if !self.is_false(l) {
+                    kept.push(l);
+                }
+            }
+            self.stats.imported_clauses += 1;
+            match kept.len() {
+                0 => ok = false,
+                1 => self.enqueue(kept[0], Reason::None),
+                _ => {
+                    let lbd = lbd.min(kept.len() as u32);
+                    self.attach_clause(kept, true, lbd);
+                }
+            }
+        }
         if ok && self.propagate().is_some() {
             ok = false;
         }
@@ -1047,8 +1271,66 @@ impl Engine {
         ok
     }
 
+    /// The subset of the most recent `solve_under_assumptions` call's
+    /// assumptions that the refutation depends on. Empty when the last
+    /// result was not an assumption failure — in particular, empty when
+    /// the constraint database is unsatisfiable on its own.
+    pub fn unsat_core(&self) -> &[Lit] {
+        &self.last_core
+    }
+
+    /// Computes the assumption subset responsible for `p` (an assumption
+    /// literal currently falsified) being false: walks the trail above
+    /// level 0 resolving reasons; decisions reached are assumptions.
+    fn analyze_final(&mut self, p: Lit) {
+        self.last_core.clear();
+        self.last_core.push(p);
+        if self.decision_level() == 0 {
+            return;
+        }
+        self.seen[p.var().index()] = true;
+        for i in (self.trail_lim[0]..self.trail.len()).rev() {
+            let q = self.trail[i];
+            let v = q.var().index();
+            if !self.seen[v] {
+                continue;
+            }
+            match self.reason_conflict(v) {
+                // Above level 0 every reason-free trail literal is an
+                // enqueued assumption (real decisions cannot precede full
+                // assumption establishment).
+                None => self.last_core.push(q),
+                Some(r) => {
+                    for a in self.explain(r, Some(q)) {
+                        if self.level[a.var().index()] > 0 {
+                            self.seen[a.var().index()] = true;
+                        }
+                    }
+                }
+            }
+            self.seen[v] = false;
+        }
+        self.seen[p.var().index()] = false;
+    }
+
     /// Runs CDCL search under the given budget.
     pub fn solve(&mut self, budget: Budget) -> SatResult {
+        self.solve_under_assumptions(budget, &[])
+    }
+
+    /// Runs CDCL search with every literal in `assumptions` held true.
+    ///
+    /// Assumptions are enqueued as pseudo-decisions (one per decision
+    /// level, MiniSat style) and vanish when the search ends — nothing is
+    /// added to the constraint database, so the engine stays reusable with
+    /// a different assumption set and every clause learnt under one set
+    /// remains valid under any other. On [`SatResult::Unsat`] caused by
+    /// the assumptions, [`Engine::unsat_core`] names the responsible
+    /// subset and [`Engine::is_ok`] stays `true`; an Unsat with `is_ok()
+    /// == false` means the database itself is unsatisfiable (the core is
+    /// empty then).
+    pub fn solve_under_assumptions(&mut self, budget: Budget, assumptions: &[Lit]) -> SatResult {
+        self.last_core.clear();
         if !self.ok {
             return SatResult::Unsat;
         }
@@ -1057,9 +1339,23 @@ impl Engine {
             self.ok = false;
             return SatResult::Unsat;
         }
-        if !self.import_units() {
+        if !self.import_shared() {
             return SatResult::Unsat;
         }
+        self.assumptions = assumptions.to_vec();
+        let result = self.search(budget);
+        self.assumptions = Vec::new();
+        // Leave no assumption levels behind: the next `add_norm` or solve
+        // would cancel anyway, but callers read models off the trail only
+        // after Sat, and Sat keeps the full trail intact deliberately.
+        if result != SatResult::Sat {
+            self.cancel_until(0);
+        }
+        result
+    }
+
+    /// The CDCL main loop (assumptions, if any, are in `self.assumptions`).
+    fn search(&mut self, budget: Budget) -> SatResult {
         let restart_base = self.features.restart_base.max(1);
         let mut restart_idx = 0u64;
         let mut conflicts_until_restart = luby(restart_idx) * restart_base;
@@ -1084,13 +1380,16 @@ impl Engine {
                     return SatResult::Unsat;
                 }
                 let (learnt, bt) = self.analyze(confl);
+                let lbd = self.compute_lbd(&learnt);
+                self.stats.learnt_clauses += 1;
+                self.stats.lbd_total += u64::from(lbd);
                 self.cancel_until(bt);
+                self.publish_learnt(&learnt, lbd);
                 if learnt.len() == 1 {
-                    self.publish_unit(learnt[0]);
                     self.enqueue(learnt[0], Reason::None);
                 } else {
                     let asserting = learnt[0];
-                    let cidx = self.attach_clause(learnt, true);
+                    let cidx = self.attach_clause(learnt, true, lbd);
                     self.enqueue(asserting, Reason::Clause(cidx));
                 }
                 conflicts_until_restart = conflicts_until_restart.saturating_sub(1);
@@ -1105,12 +1404,31 @@ impl Engine {
                     conflicts_until_restart = luby(restart_idx) * restart_base;
                     self.stats.restarts += 1;
                     self.cancel_until(0);
-                    if !self.import_units() {
+                    if !self.import_shared() {
                         return SatResult::Unsat;
                     }
                     if self.n_learnt > self.learnt_cap {
                         self.reduce_db();
                         self.learnt_cap += self.learnt_cap / 2;
+                    }
+                    continue;
+                }
+                // Establish pending assumptions before any real decision:
+                // one per level, so the trail structure records exactly
+                // which assumptions are in force.
+                if (self.decision_level() as usize) < self.assumptions.len() {
+                    let a = self.assumptions[self.decision_level() as usize];
+                    if self.is_true(a) {
+                        // Already implied: dedicate a dummy level to it so
+                        // the level↔assumption correspondence holds.
+                        self.trail_lim.push(self.trail.len());
+                    } else if self.is_false(a) {
+                        self.analyze_final(a);
+                        return SatResult::Unsat;
+                    } else {
+                        self.trail_lim.push(self.trail.len());
+                        self.enqueue(a, Reason::None);
+                        self.stats.decisions += 1;
                     }
                     continue;
                 }

@@ -50,8 +50,11 @@ mod solve;
 pub use engine::{Budget, Engine, EngineFeatures, EngineStats, SatResult};
 pub use model::{to_lp_format, Cmp, Constraint, LinExpr, Lit, Model, Var};
 pub use normalize::{normalize, NormConstraint};
-pub use portfolio::UnitExchange;
-pub use presolve::{presolve, PresolveConfig, PresolveStats, Presolved, Reconstruction};
+pub use portfolio::ClauseExchange;
+pub use presolve::{
+    presolve, LitDisposition, PresolveConfig, PresolveStats, Presolved, Reconstruction,
+};
 pub use solve::{
-    presolve_from_env, threads_from_env, Assignment, Outcome, SolveStats, Solver, SolverConfig,
+    presolve_from_env, threads_from_env, Assignment, IncrementalSolver, Outcome, SolveStats,
+    Solver, SolverConfig,
 };

@@ -365,6 +365,40 @@ impl Model {
         self.add_le(LinExpr::sum(vars), 1);
     }
 
+    /// Adds the reified constraint `act -> (expr cmp rhs)`.
+    ///
+    /// Uses a big-M relaxation that is exact over 0/1 variables: when
+    /// `act` is false every assignment satisfies the posted rows, and
+    /// when `act` is true they are equivalent to the original
+    /// constraint. Directions that hold for every assignment are
+    /// skipped, so reifying a tautology adds nothing. The infeasibility
+    /// explainer reifies each constraint group under a fresh activation
+    /// literal and asks for an unsat core over those literals.
+    pub fn add_reified(&mut self, constraint: &Constraint, act: Lit) {
+        let expr = &constraint.expr;
+        let terms = expr.terms();
+        let max: i64 = expr.constant() + terms.iter().map(|&(c, _)| c.max(0)).sum::<i64>();
+        let min: i64 = expr.constant() + terms.iter().map(|&(c, _)| c.min(0)).sum::<i64>();
+        if matches!(constraint.cmp, Cmp::Le | Cmp::Eq) {
+            let slack = max - constraint.rhs;
+            if slack > 0 {
+                // act -> expr <= rhs, as expr + slack*act <= rhs + slack.
+                let mut e = expr.clone();
+                add_indicator_term(&mut e, slack, act);
+                self.add_le(e, constraint.rhs + slack);
+            }
+        }
+        if matches!(constraint.cmp, Cmp::Ge | Cmp::Eq) {
+            let slack = constraint.rhs - min;
+            if slack > 0 {
+                // act -> expr >= rhs, as expr - slack*act >= rhs - slack.
+                let mut e = expr.clone();
+                add_indicator_term(&mut e, -slack, act);
+                self.add_ge(e, constraint.rhs - slack);
+            }
+        }
+    }
+
     /// Sets the objective to *minimize*.
     pub fn minimize(&mut self, expr: LinExpr) {
         self.objective = Some(expr);
@@ -394,6 +428,17 @@ impl Model {
             }
         }
         Ok(())
+    }
+}
+
+/// Appends `coef * lit` to `expr`, where a negative literal stands for
+/// `1 - var`.
+fn add_indicator_term(expr: &mut LinExpr, coef: i64, lit: Lit) {
+    if lit.is_negative() {
+        expr.add_term(-coef, lit.var());
+        expr.add_constant(coef);
+    } else {
+        expr.add_term(coef, lit.var());
     }
 }
 
@@ -453,6 +498,36 @@ mod tests {
         assert!(m.constraints()[0].is_satisfied(|v| v == vs[1]));
         assert!(!m.constraints()[0].is_satisfied(|_| true));
         assert!(!m.constraints()[0].is_satisfied(|_| false));
+    }
+
+    /// Exhaustively compare `act -> (expr cmp rhs)` with its reified
+    /// encoding over every 0/1 assignment, for all three comparisons.
+    #[test]
+    fn reified_matches_implication_semantics() {
+        for cmp in [Cmp::Le, Cmp::Ge, Cmp::Eq] {
+            for rhs in -3..=4 {
+                let mut m = Model::new();
+                let x = m.new_var();
+                let y = m.new_var();
+                let act = m.new_var();
+                let expr = LinExpr::new() + (2, x) + (-3, y) + 1;
+                let original = Constraint {
+                    expr: expr.clone(),
+                    cmp,
+                    rhs,
+                };
+                m.add_reified(&original, act.lit());
+                for bits in 0..8u32 {
+                    let value = |v: Var| bits & (1 << v.0) != 0;
+                    let expected = !value(act) || original.is_satisfied(value);
+                    assert_eq!(
+                        m.check(value).is_ok(),
+                        expected,
+                        "cmp={cmp:?} rhs={rhs} bits={bits:03b}"
+                    );
+                }
+            }
+        }
     }
 }
 

@@ -17,13 +17,18 @@
 //!   unsatisfiability *under the globally best bound* proves optimality
 //!   for the whole portfolio.
 //!
-//! Workers additionally share learnt **unit clauses** through a
-//! [`UnitExchange`], drained at restart boundaries. Units are tagged with
-//! the objective bound under which they were derived: a unit learnt under
-//! `obj <= k` is sound for any worker whose own bound is at least as
-//! tight (`<= k`), because that worker's constraint set entails the
-//! publisher's. Untagged units (learnt before any bound) are sound for
-//! everyone.
+//! Workers additionally share learnt clauses through a bounded
+//! [`ClauseExchange`], drained at solve start and at restart boundaries.
+//! Only *glue* clauses travel — LBD at most `share_lbd`, length at most
+//! `share_len` (units always qualify) — so the pool stays small and every
+//! import is likely to prune. Entries are tagged with the objective bound
+//! under which they were derived: a clause learnt under `obj <= k` is
+//! sound for any worker whose own bound is at least as tight (`<= k`),
+//! because that worker's constraint set entails the publisher's. Untagged
+//! clauses (learnt before any bound) are sound for everyone. The pool is
+//! a fixed-capacity ring: old entries are evicted, publication uses
+//! `try_lock` so the hot path never blocks on a contended mutex, and a
+//! worker never re-imports its own clauses.
 //!
 //! # Determinism
 //!
@@ -39,58 +44,126 @@ use crate::model::{Cmp, Constraint, LinExpr, Lit, Model, Var};
 use crate::normalize::normalize;
 use crate::solve::{Assignment, Outcome, SolveStats};
 use crate::SolverConfig;
+use std::collections::VecDeque;
 use std::sync::atomic::{AtomicBool, AtomicI64, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
-/// A lock-protected pool of learnt unit literals, shared between
-/// portfolio workers and drained at restart boundaries.
-///
-/// Entries are `(literal, bound_tag)`: the literal was derived while the
-/// publisher's objective-bound constraint was `obj <= bound_tag`
-/// (`i64::MAX` when no bound had been added). An importer with current
-/// bound `b` may soundly assume the literal iff `b <= bound_tag`.
-#[derive(Debug, Default)]
-pub struct UnitExchange {
-    units: Mutex<Vec<(Lit, i64)>>,
+/// One clause in the exchange pool.
+#[derive(Debug, Clone)]
+struct SharedClause {
+    lits: Vec<Lit>,
+    lbd: u32,
+    bound_tag: i64,
+    worker: usize,
 }
 
-impl UnitExchange {
-    /// An empty exchange.
+/// Ring storage behind the exchange mutex: `base` is the global index of
+/// `entries[0]`, so cursors are monotone counters that survive eviction.
+#[derive(Debug, Default)]
+struct ExchangePool {
+    base: usize,
+    entries: VecDeque<SharedClause>,
+}
+
+/// A bounded, lock-light pool of learnt clauses shared between portfolio
+/// workers and drained at solve start and restart boundaries.
+///
+/// Each entry carries the clause, its LBD, the publishing worker's id
+/// (workers skip their own clauses on import) and a `bound_tag`: the
+/// clause was learnt while the publisher's objective-bound constraint was
+/// `obj <= bound_tag` (`i64::MAX` when no bound had been added). An
+/// importer whose current bound `b` satisfies `b <= bound_tag` may
+/// soundly attach the clause, because its constraint set entails the
+/// publisher's.
+///
+/// The pool holds at most `capacity` clauses; publishing past capacity
+/// evicts the oldest entry, and an importer whose cursor has fallen
+/// behind the ring's base simply misses the evicted clauses — sharing is
+/// best-effort, never load-bearing. Publication uses `try_lock` and drops
+/// the clause on contention for the same reason.
+#[derive(Debug)]
+pub struct ClauseExchange {
+    pool: Mutex<ExchangePool>,
+    capacity: usize,
+}
+
+impl Default for ClauseExchange {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl ClauseExchange {
+    /// Default pool capacity: ample for glue-only sharing, small enough
+    /// that a stalled importer never faces an unbounded backlog.
+    pub const DEFAULT_CAPACITY: usize = 4096;
+
+    /// An empty exchange with the default capacity.
     pub fn new() -> Self {
-        Self::default()
+        Self::with_capacity(Self::DEFAULT_CAPACITY)
     }
 
-    /// Number of units published so far.
+    /// An empty exchange holding at most `capacity` clauses at once.
+    pub fn with_capacity(capacity: usize) -> Self {
+        ClauseExchange {
+            pool: Mutex::new(ExchangePool::default()),
+            capacity: capacity.max(1),
+        }
+    }
+
+    /// Total number of clauses ever published (monotone; evicted entries
+    /// still count). New engines start their import cursor here.
     pub fn len(&self) -> usize {
-        self.units.lock().expect("exchange poisoned").len()
+        let pool = self.pool.lock().expect("exchange poisoned");
+        pool.base + pool.entries.len()
     }
 
-    /// Whether no units have been published.
+    /// Whether no clauses have ever been published.
     pub fn is_empty(&self) -> bool {
         self.len() == 0
     }
 
-    /// Publishes a learnt unit valid under objective bound `bound_tag`.
-    pub fn publish(&self, lit: Lit, bound_tag: i64) {
-        self.units
-            .lock()
-            .expect("exchange poisoned")
-            .push((lit, bound_tag));
+    /// Publishes a clause learnt by `worker`, valid under objective bound
+    /// `bound_tag`. Best-effort: returns `false` (dropping the clause)
+    /// when the pool mutex is contended.
+    pub fn publish(&self, worker: usize, lits: &[Lit], lbd: u32, bound_tag: i64) -> bool {
+        let Ok(mut pool) = self.pool.try_lock() else {
+            return false;
+        };
+        if pool.entries.len() == self.capacity {
+            pool.entries.pop_front();
+            pool.base += 1;
+        }
+        pool.entries.push_back(SharedClause {
+            lits: lits.to_vec(),
+            lbd,
+            bound_tag,
+            worker,
+        });
+        true
     }
 
-    /// Visits every unit published since `*cursor` whose bound tag is
-    /// compatible with `my_bound`, advancing the cursor past everything
-    /// seen (compatible or not — incompatible units can never become
-    /// compatible, because bounds only tighten).
-    pub fn import_since(&self, cursor: &mut usize, my_bound: i64, mut f: impl FnMut(Lit)) {
-        let units = self.units.lock().expect("exchange poisoned");
-        for &(lit, tag) in units.iter().skip(*cursor) {
-            if my_bound <= tag {
-                f(lit);
+    /// Visits every clause published since `*cursor` that did not come
+    /// from `my_id` and whose bound tag is compatible with `my_bound`,
+    /// advancing the cursor past everything seen (incompatible clauses
+    /// can never become compatible, because bounds only tighten; clauses
+    /// evicted before the cursor caught up are silently missed).
+    pub fn import_since(
+        &self,
+        cursor: &mut usize,
+        my_bound: i64,
+        my_id: usize,
+        mut f: impl FnMut(&[Lit], u32),
+    ) {
+        let pool = self.pool.lock().expect("exchange poisoned");
+        let start = (*cursor).max(pool.base) - pool.base;
+        for c in pool.entries.iter().skip(start) {
+            if c.worker != my_id && my_bound <= c.bound_tag {
+                f(&c.lits, c.lbd);
             }
         }
-        *cursor = units.len();
+        *cursor = pool.base + pool.entries.len();
     }
 }
 
@@ -120,8 +193,8 @@ struct Shared {
     /// Best incumbent assignment, guarded separately from the atomic so
     /// readers of `best_objective` never block.
     incumbent: Mutex<Option<(Assignment, i64)>>,
-    /// Learnt-unit pool.
-    exchange: Arc<UnitExchange>,
+    /// Learnt-clause pool.
+    exchange: Arc<ClauseExchange>,
 }
 
 impl Shared {
@@ -191,12 +264,13 @@ fn run_worker(
     budget: Budget,
     shared: &Shared,
     incumbents_found: &AtomicI64,
+    worker_id: usize,
 ) -> (WorkerVerdict, EngineStats) {
     let Some(mut engine) = build_engine(model, features) else {
         return (WorkerVerdict::Infeasible, EngineStats::default());
     };
     engine.set_interrupt(Arc::clone(&shared.stop));
-    engine.set_exchange(Arc::clone(&shared.exchange));
+    engine.set_exchange(Arc::clone(&shared.exchange), worker_id, model.num_vars());
 
     // The bound this worker has constrained the objective to (i64::MAX =
     // no bound constraint added yet). Only ever tightens.
@@ -285,7 +359,7 @@ pub(crate) fn solve_portfolio(
         stop: Arc::new(AtomicBool::new(false)),
         best_objective: AtomicI64::new(i64::MAX),
         incumbent: Mutex::new(None),
-        exchange: Arc::new(UnitExchange::new()),
+        exchange: Arc::new(ClauseExchange::new()),
     };
     let incumbents_found = AtomicI64::new(0);
 
@@ -297,8 +371,15 @@ pub(crate) fn solve_portfolio(
                 let objective = objective.as_ref();
                 let incumbents_found = &incumbents_found;
                 scope.spawn(move || {
-                    let out =
-                        run_worker(model, objective, features, budget, shared, incumbents_found);
+                    let out = run_worker(
+                        model,
+                        objective,
+                        features,
+                        budget,
+                        shared,
+                        incumbents_found,
+                        w,
+                    );
                     // A decisive verdict ends the race for everyone.
                     if out.0 != WorkerVerdict::Inconclusive {
                         shared.stop.store(true, Ordering::SeqCst);
@@ -322,6 +403,15 @@ pub(crate) fn solve_portfolio(
         engine.propagations += s.propagations;
         engine.restarts += s.restarts;
         engine.deleted_clauses += s.deleted_clauses;
+        engine.learnt_clauses += s.learnt_clauses;
+        engine.lbd_total += s.lbd_total;
+        engine.deleted_mid += s.deleted_mid;
+        engine.deleted_local += s.deleted_local;
+        engine.kept_core += s.kept_core;
+        engine.kept_mid += s.kept_mid;
+        engine.kept_local += s.kept_local;
+        engine.imported_clauses += s.imported_clauses;
+        engine.exported_clauses += s.exported_clauses;
         if winner.is_none() && *verdict != WorkerVerdict::Inconclusive {
             winner = Some(w as u32);
         }

@@ -130,8 +130,11 @@ impl PresolveStats {
 /// How one original variable is recovered from a reduced-model assignment.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum Disposition {
-    /// The variable is fixed in every solution of the reduced model.
-    Fixed(bool),
+    /// The variable is fixed. `entailed` distinguishes fixings the model
+    /// forces (root units, probing) from don't-care eliminations of
+    /// unconstrained variables, where presolve merely *picked* a value
+    /// and the model admits either.
+    Fixed { value: bool, entailed: bool },
     /// The variable maps to a reduced-model variable (possibly negated).
     Mapped { var: Var, negated: bool },
 }
@@ -149,7 +152,7 @@ impl Reconstruction {
             self.dispositions
                 .iter()
                 .map(|d| match *d {
-                    Disposition::Fixed(b) => b,
+                    Disposition::Fixed { value, .. } => value,
                     Disposition::Mapped { var, negated } => reduced.value(var) ^ negated,
                 })
                 .collect(),
@@ -160,6 +163,50 @@ impl Reconstruction {
     pub fn num_original_vars(&self) -> usize {
         self.dispositions.len()
     }
+
+    /// Where an original-model literal lives in the reduced model. Used
+    /// to translate assumption literals into the reduced space (and unsat
+    /// cores back): equivalences ([`LitDisposition::Mapped`]) and entailed
+    /// fixings ([`LitDisposition::Fixed`]) transfer exactly — in
+    /// particular a fixed-`false` literal is its own refutation — while
+    /// [`LitDisposition::Free`] marks a don't-care elimination the caller
+    /// must handle conservatively (the model does *not* entail the picked
+    /// value, so a disagreeing assumption is not thereby refuted).
+    pub fn map_lit(&self, lit: Lit) -> LitDisposition {
+        match self.dispositions[lit.var().index()] {
+            Disposition::Fixed { value, entailed } => {
+                let as_seen = value != lit.is_negative();
+                if entailed {
+                    LitDisposition::Fixed(as_seen)
+                } else {
+                    LitDisposition::Free(as_seen)
+                }
+            }
+            Disposition::Mapped { var, negated } => {
+                LitDisposition::Mapped(if negated != lit.is_negative() {
+                    Lit::negative(var)
+                } else {
+                    Lit::positive(var)
+                })
+            }
+        }
+    }
+}
+
+/// Where an original-model literal lives after presolve (see
+/// [`Reconstruction::map_lit`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LitDisposition {
+    /// The literal's variable was fixed by an entailed deduction; the
+    /// literal evaluates to this constant in every solution of the
+    /// original model.
+    Fixed(bool),
+    /// The literal's variable was eliminated as unconstrained and presolve
+    /// picked a value under which the literal evaluates to this constant —
+    /// but the model admits the opposite value too.
+    Free(bool),
+    /// The literal is equivalent to this reduced-model literal.
+    Mapped(Lit),
 }
 
 /// Result of [`presolve`].
@@ -1107,7 +1154,7 @@ pub fn presolve(model: &Model, config: &PresolveConfig) -> Presolved {
             stats.fixed_vars = reconstruction
                 .dispositions
                 .iter()
-                .filter(|d| matches!(d, Disposition::Fixed(_)))
+                .filter(|d| matches!(d, Disposition::Fixed { .. }))
                 .count() as u64;
             stats.elapsed = start.elapsed();
             Presolved::Reduced {
@@ -1173,11 +1220,15 @@ fn emit(model: &Model, work: &mut Work) -> Result<(Model, Reconstruction), Confl
     }
     // A representative constrained by nothing is free: fix it to its
     // objective-preferred polarity (false when indifferent). This is sound
-    // for feasibility and preserves the optimum.
+    // for feasibility and preserves the optimum — but unlike unit/probing
+    // fixings it is a *choice*, not an entailment, which `Reconstruction`
+    // must remember for assumption mapping.
+    let mut free_fixed = vec![false; n];
     for (v, &occ) in occurs.iter().enumerate() {
         let var = Var(v as u32);
         let is_rep = work.find(var.lit()) == var.lit();
         if is_rep && work.value[v] == UNASSIGNED && !occ {
+            free_fixed[v] = true;
             let coeff = obj_terms.get(&var).copied().unwrap_or(0);
             work.value[v] = i8::from(coeff < 0);
             if coeff != 0 && coeff < 0 {
@@ -1254,7 +1305,10 @@ fn emit(model: &Model, work: &mut Work) -> Result<(Model, Reconstruction), Confl
                 var: new_var[r.var().index()].expect("unassigned rep survives"),
                 negated: r.is_negative(),
             },
-            val => Disposition::Fixed((val == 1) != r.is_negative()),
+            val => Disposition::Fixed {
+                value: (val == 1) != r.is_negative(),
+                entailed: !free_fixed[r.var().index()],
+            },
         };
         dispositions.push(d);
     }

@@ -1,10 +1,23 @@
 //! The public solving interface: feasibility and branch-and-bound
 //! optimisation on top of the CDCL engine.
+//!
+//! Optimisation is an **incremental assumption-based descent**: one
+//! persistent engine holds the model; each incumbent's strengthened bound
+//! `obj <= val - 1` is added *reified* under a fresh activation literal
+//! and probed by assuming the activation chain, never as a permanent
+//! constraint. Every clause the engine learns therefore remains valid for
+//! the whole descent (and for later queries with different assumption
+//! sets), which is the main solver-side lever on the repeated,
+//! nearly-identical queries of the CGRA min-II ladder.
+//! [`IncrementalSolver`] exposes the persistent engine directly;
+//! [`Solver`] keeps the one-shot interface on top of it.
 
 use crate::engine::{Budget, Engine, EngineFeatures, EngineStats, SatResult};
-use crate::model::{Cmp, Constraint, LinExpr, Model, Var};
-use crate::normalize::normalize;
-use crate::presolve::{presolve, PresolveConfig, PresolveStats, Presolved, Reconstruction};
+use crate::model::{Cmp, Constraint, LinExpr, Lit, Model, Var};
+use crate::normalize::{normalize, NormConstraint};
+use crate::presolve::{
+    presolve, LitDisposition, PresolveConfig, PresolveStats, Presolved, Reconstruction,
+};
 use std::time::{Duration, Instant};
 
 /// Solver configuration.
@@ -14,6 +27,13 @@ pub struct SolverConfig {
     pub time_limit: Option<Duration>,
     /// Conflict limit per engine search (mainly for tests).
     pub conflict_limit: Option<u64>,
+    /// Target objective value: the optimising descent stops as soon as it
+    /// holds an incumbent with objective `<= objective_stop`, reporting it
+    /// as [`Outcome::Feasible`] best-found instead of descending to the
+    /// proven optimum — the "best-objective stop" criterion of MIP
+    /// solvers. Useful for time-to-reference-quality measurements.
+    /// `None` (the default) descends until optimality is proven.
+    pub objective_stop: Option<i64>,
     /// Engine feature toggles (ablation studies; default all enabled).
     pub features: EngineFeatures,
     /// Number of portfolio workers: `1` (the default) solves on the
@@ -39,6 +59,7 @@ impl Default for SolverConfig {
         SolverConfig {
             time_limit: None,
             conflict_limit: None,
+            objective_stop: None,
             features: EngineFeatures::default(),
             threads: 1,
             seed: 0,
@@ -205,6 +226,7 @@ pub struct SolveStats {
 pub struct Solver {
     config: SolverConfig,
     stats: SolveStats,
+    last_core: Vec<Lit>,
 }
 
 impl Solver {
@@ -218,12 +240,140 @@ impl Solver {
         Solver {
             config,
             stats: SolveStats::default(),
+            last_core: Vec::new(),
         }
     }
 
     /// Statistics of the most recent [`Solver::solve`] call.
     pub fn stats(&self) -> SolveStats {
         self.stats
+    }
+
+    /// After [`Solver::solve_under_assumptions`] returned
+    /// [`Outcome::Infeasible`], the subset of the assumptions (in the
+    /// original model's literals) that the refutation depends on. Empty
+    /// when the model is infeasible on its own.
+    pub fn unsat_core(&self) -> &[Lit] {
+        &self.last_core
+    }
+
+    /// Solves the model with every literal in `assumptions` held true,
+    /// without making them part of the model: the verdict and objective
+    /// are exactly those of solving `model` with each assumption added as
+    /// a unit constraint, but on [`Outcome::Infeasible`] caused by the
+    /// assumptions, [`Solver::unsat_core`] names a responsible subset.
+    ///
+    /// Assumption solving runs on the sequential engine regardless of
+    /// `config.threads` (the portfolio races independent engines and has
+    /// no shared assumption trail).
+    pub fn solve_under_assumptions(&mut self, model: &Model, assumptions: &[Lit]) -> Outcome {
+        self.stats = SolveStats::default();
+        self.last_core.clear();
+        let start = Instant::now();
+        let deadline = self.config.time_limit.map(|d| start + d);
+        self.stats.workers = 1;
+        if !self.config.presolve {
+            let assoc: Vec<(Lit, Lit)> = assumptions.iter().map(|&a| (a, a)).collect();
+            return self.solve_assumed_reduced(model, assumptions, &assoc, start, deadline);
+        }
+        let pcfg = PresolveConfig {
+            probe_budget: self.config.presolve_probe_budget,
+            deadline,
+        };
+        match presolve(model, &pcfg) {
+            Presolved::Infeasible { stats } => {
+                self.stats.presolve = stats;
+                self.stats.elapsed = start.elapsed();
+                // The model is infeasible without any assumption's help.
+                Outcome::Infeasible
+            }
+            Presolved::Reduced {
+                model: red,
+                reconstruction,
+                stats,
+            } => {
+                self.stats.presolve = stats;
+                let mut mapped = Vec::with_capacity(assumptions.len());
+                let mut assoc = Vec::with_capacity(assumptions.len());
+                for &a in assumptions {
+                    match reconstruction.map_lit(a) {
+                        // Already implied by the model — or a don't-care
+                        // elimination whose picked value agrees with the
+                        // assumption (the expansion witnesses it): drop.
+                        LitDisposition::Fixed(true) | LitDisposition::Free(true) => {}
+                        // Refuted by the model alone: a one-literal core.
+                        LitDisposition::Fixed(false) => {
+                            self.last_core = vec![a];
+                            self.stats.elapsed = start.elapsed();
+                            return Outcome::Infeasible;
+                        }
+                        // The assumption contradicts a value presolve
+                        // merely *chose* for an eliminated variable; the
+                        // reduced model cannot answer for it. Solve the
+                        // original model without presolve instead.
+                        LitDisposition::Free(false) => {
+                            let identity: Vec<(Lit, Lit)> =
+                                assumptions.iter().map(|&l| (l, l)).collect();
+                            return self.solve_assumed_reduced(
+                                model,
+                                assumptions,
+                                &identity,
+                                start,
+                                deadline,
+                            );
+                        }
+                        LitDisposition::Mapped(rl) => {
+                            mapped.push(rl);
+                            assoc.push((rl, a));
+                        }
+                    }
+                }
+                let out = self.solve_assumed_reduced(&red, &mapped, &assoc, start, deadline);
+                self.stats.elapsed = start.elapsed();
+                Self::expand_outcome(out, &reconstruction, model)
+            }
+        }
+    }
+
+    /// Assumption solve on an already-reduced model. `assoc` maps reduced
+    /// assumption literals back to the caller's originals for the core.
+    fn solve_assumed_reduced(
+        &mut self,
+        model: &Model,
+        assumptions: &[Lit],
+        assoc: &[(Lit, Lit)],
+        start: Instant,
+        deadline: Option<Instant>,
+    ) -> Outcome {
+        self.stats.workers = 1;
+        let mut descent = match Descent::build(model, self.config.features) {
+            Ok(d) => d,
+            Err(stats) => {
+                self.stats.engine = stats;
+                self.stats.elapsed = start.elapsed();
+                return Outcome::Infeasible;
+            }
+        };
+        let budget = Budget {
+            deadline,
+            conflict_limit: self.config.conflict_limit,
+        };
+        let mut core = Vec::new();
+        let out = descent.optimize(
+            model,
+            budget,
+            assumptions,
+            self.config.objective_stop,
+            &mut self.stats.incumbents,
+            &mut core,
+        );
+        self.stats.engine = descent.engine.stats();
+        self.stats.elapsed = start.elapsed();
+        self.last_core = core
+            .iter()
+            .filter_map(|rl| assoc.iter().find(|(r, _)| r == rl).map(|&(_, a)| a))
+            .collect();
+        out
     }
 
     /// Solves the model: pure feasibility when no objective is set,
@@ -312,99 +462,568 @@ impl Solver {
         }
         self.stats.workers = 1;
 
-        let mut engine = Engine::new(model.num_vars());
-        engine.set_features(self.config.features);
-        for &(var, priority, phase) in model.branch_hints() {
-            engine.set_branch_hint(var, priority, phase);
-        }
-        let mut root_infeasible = false;
-        'add: for c in model.constraints() {
-            for nc in normalize(c) {
-                if !engine.add_norm(nc) {
-                    root_infeasible = true;
-                    break 'add;
-                }
+        let mut descent = match Descent::build(model, self.config.features) {
+            Ok(d) => d,
+            Err(stats) => {
+                self.stats.elapsed = start.elapsed();
+                self.stats.engine = stats;
+                return Outcome::Infeasible;
             }
-        }
-        if root_infeasible {
-            self.stats.elapsed = start.elapsed();
-            self.stats.engine = engine.stats();
-            return Outcome::Infeasible;
-        }
-
+        };
         let budget = Budget {
             deadline,
             conflict_limit: self.config.conflict_limit,
         };
+        let mut core = Vec::new();
+        let out = descent.optimize(
+            model,
+            budget,
+            &[],
+            self.config.objective_stop,
+            &mut self.stats.incumbents,
+            &mut core,
+        );
+        self.stats.engine = descent.engine.stats();
+        self.stats.elapsed = start.elapsed();
+        out
+    }
+}
 
-        let objective = model.objective().map(LinExpr::normalized);
-        let mut best: Option<(Assignment, i64)> = None;
+/// A persistent engine holding one model, descended towards the optimum by
+/// assumption-probed reified objective bounds.
+///
+/// Every incumbent's strengthened bound `obj <= val - 1` is added under a
+/// fresh activation literal and enforced by *assuming* that literal, never
+/// as a permanent constraint. The engine's clause database therefore stays
+/// valid for the unbounded model, so learnt clauses survive across
+/// feasibility probes, the whole objective descent, and later queries with
+/// different assumption sets.
+#[derive(Debug)]
+struct Descent {
+    engine: Engine,
+    /// Normalised objective, if the model has one.
+    objective: Option<LinExpr>,
+    /// Number of *model* variables; the engine may hold more (activation
+    /// variables for reified bounds), which never leak into solutions.
+    num_vars: usize,
+    /// Activation literal of the tightest objective bound posted so far.
+    /// Older (weaker) bounds stay in the database unactivated — sound, and
+    /// implied by the newest bound anyway.
+    bound_act: Option<Lit>,
+    /// Right-hand side enforced when `bound_act` is assumed.
+    bounded: Option<i64>,
+    /// Best global incumbent (found without external assumptions), kept
+    /// across calls so a feasibility solution seeds the later descent.
+    best: Option<(Assignment, i64)>,
+}
 
+impl Descent {
+    /// Loads the model into a fresh engine. `Err` carries the engine stats
+    /// when a constraint is already refuted at the root.
+    fn build(model: &Model, features: EngineFeatures) -> Result<Descent, EngineStats> {
+        let mut engine = Engine::new(model.num_vars());
+        engine.set_features(features);
+        for &(var, priority, phase) in model.branch_hints() {
+            engine.set_branch_hint(var, priority, phase);
+        }
+        for c in model.constraints() {
+            for nc in normalize(c) {
+                if !engine.add_norm(nc) {
+                    return Err(engine.stats());
+                }
+            }
+        }
+        Ok(Descent {
+            engine,
+            objective: model.objective().map(LinExpr::normalized),
+            num_vars: model.num_vars(),
+            bound_act: None,
+            bounded: None,
+            best: None,
+        })
+    }
+
+    /// Posts `objective <= rhs` reified under a fresh activation literal
+    /// `act` (the constraint bites only while `act` is assumed) and
+    /// returns `act`.
+    fn post_bound(&mut self, rhs: i64) -> Lit {
+        let act = self.engine.add_var().lit();
+        let obj = self
+            .objective
+            .as_ref()
+            .expect("bound requires an objective");
+        let bound = Constraint {
+            expr: obj.clone(),
+            cmp: Cmp::Le,
+            rhs,
+        };
+        for nc in normalize(&bound) {
+            let reified = match nc {
+                NormConstraint::Unit(l) => NormConstraint::Clause(vec![l, !act]),
+                NormConstraint::Clause(mut c) => {
+                    c.push(!act);
+                    NormConstraint::Clause(c)
+                }
+                NormConstraint::False => NormConstraint::Clause(vec![!act]),
+                NormConstraint::AtMost { mut terms, bound } => {
+                    // act -> (sum <= bound) as sum + slack·act <= bound + slack
+                    // with slack = total - bound: act true restores the
+                    // original bound, act false relaxes it to `total`.
+                    let total: u128 = terms.iter().map(|&(a, _)| u128::from(a)).sum();
+                    let slack = u64::try_from(total - u128::from(bound))
+                        .expect("normalised at-most slack fits u64");
+                    terms.push((slack, act));
+                    NormConstraint::AtMost {
+                        terms,
+                        bound: bound + slack,
+                    }
+                }
+            };
+            // Reified constraints cannot be refuted at the root: `act` is
+            // fresh, so every emitted clause has an unassigned literal and
+            // every at-most keeps slack `total - bound > 0` with act free.
+            let ok = self.engine.add_norm(reified);
+            debug_assert!(ok, "reified bound refuted at root");
+        }
+        act
+    }
+
+    /// Snapshot of the engine's current satisfying assignment, restricted
+    /// to model variables.
+    fn solution(&self, model: &Model) -> Assignment {
+        let solution = Assignment {
+            values: (0..self.num_vars)
+                .map(|i| self.engine.model_value(Var(i as u32)))
+                .collect(),
+        };
+        debug_assert_eq!(model.check(|v| solution.value(v)), Ok(()));
+        solution
+    }
+
+    /// One feasibility solve under `assumptions` (the objective-bound
+    /// chain is deliberately *not* assumed: the probe answers for the
+    /// unbounded model). On `Unsat`, `core` receives the engine's final
+    /// conflict. Incumbents are recorded only when `assumptions` is empty,
+    /// keeping the seeded descent's first bound an unassumed discovery.
+    fn feasible(
+        &mut self,
+        model: &Model,
+        budget: Budget,
+        assumptions: &[Lit],
+        core: &mut Vec<Lit>,
+    ) -> Outcome {
+        core.clear();
+        match self.engine.solve_under_assumptions(budget, assumptions) {
+            SatResult::Unsat => {
+                core.extend_from_slice(self.engine.unsat_core());
+                Outcome::Infeasible
+            }
+            SatResult::Unknown => Outcome::Unknown,
+            SatResult::Sat => {
+                let solution = self.solution(model);
+                let Some(obj) = &self.objective else {
+                    if assumptions.is_empty() {
+                        self.best = Some((solution.clone(), 0));
+                    }
+                    return Outcome::Optimal {
+                        solution,
+                        objective: 0,
+                    };
+                };
+                let val = obj.evaluate(|v| solution.value(v));
+                if assumptions.is_empty() && self.best.as_ref().is_none_or(|&(_, b)| val < b) {
+                    self.best = Some((solution.clone(), val));
+                }
+                Outcome::Feasible {
+                    solution,
+                    objective: val,
+                }
+            }
+        }
+    }
+
+    /// Branch-and-bound descent to the optimum under `assumptions`,
+    /// assuming the objective-bound chain throughout. On an undecided
+    /// first probe (`Unknown` with no incumbent yet), `core` stays empty;
+    /// on `Infeasible` it receives the engine's final conflict. A `stop`
+    /// target ends the descent early (`Feasible`) as soon as an incumbent
+    /// reaches it ([`SolverConfig::objective_stop`]).
+    ///
+    /// Incumbents found under assumptions are still model solutions (the
+    /// assumptions only restrict), so recording them and bounding below
+    /// them stays sound for later unassumed calls; only the `Optimal`
+    /// verdict itself is relative to the given assumptions.
+    fn optimize(
+        &mut self,
+        model: &Model,
+        budget: Budget,
+        assumptions: &[Lit],
+        stop: Option<i64>,
+        incumbents: &mut u64,
+        core: &mut Vec<Lit>,
+    ) -> Outcome {
+        core.clear();
+        // Target-objective stop: an incumbent already at or below `stop`
+        // is good enough — report it without descending further.
+        if let (Some(s), Some((solution, val))) = (stop, self.best.clone()) {
+            if self.objective.is_some() && val <= s {
+                return Outcome::Feasible {
+                    solution,
+                    objective: val,
+                };
+            }
+        }
+        // Feasibility-to-optimisation handoff: an incumbent recorded by an
+        // earlier `feasible` call seeds the first bound, so the descent
+        // starts strictly below it instead of rediscovering it.
+        if let Some(&(_, val)) = self.best.as_ref() {
+            if self.objective.is_some() && self.bounded.is_none_or(|b| b > val - 1) {
+                let act = self.post_bound(val - 1);
+                self.bound_act = Some(act);
+                self.bounded = Some(val - 1);
+            }
+        }
         loop {
-            let result = engine.solve(budget);
-            self.stats.engine = engine.stats();
-            match result {
+            let mut assumed = assumptions.to_vec();
+            assumed.extend(self.bound_act);
+            match self.engine.solve_under_assumptions(budget, &assumed) {
                 SatResult::Unsat => {
-                    self.stats.elapsed = start.elapsed();
-                    return match best {
+                    return match &self.best {
+                        // The bound below the incumbent is refuted: the
+                        // incumbent is optimal.
                         Some((solution, objective)) => Outcome::Optimal {
-                            solution,
-                            objective,
+                            solution: solution.clone(),
+                            objective: *objective,
                         },
-                        None => Outcome::Infeasible,
+                        None => {
+                            core.extend_from_slice(self.engine.unsat_core());
+                            Outcome::Infeasible
+                        }
                     };
                 }
                 SatResult::Unknown => {
-                    self.stats.elapsed = start.elapsed();
-                    return match best {
+                    return match &self.best {
                         Some((solution, objective)) => Outcome::Feasible {
-                            solution,
-                            objective,
+                            solution: solution.clone(),
+                            objective: *objective,
                         },
                         None => Outcome::Unknown,
                     };
                 }
                 SatResult::Sat => {
-                    let solution = Assignment {
-                        values: (0..model.num_vars())
-                            .map(|i| engine.model_value(Var(i as u32)))
-                            .collect(),
-                    };
-                    debug_assert_eq!(model.check(|v| solution.value(v)), Ok(()));
-                    let Some(obj) = &objective else {
-                        self.stats.elapsed = start.elapsed();
+                    let solution = self.solution(model);
+                    let Some(obj) = self.objective.clone() else {
+                        self.best = Some((solution.clone(), 0));
                         return Outcome::Optimal {
                             solution,
                             objective: 0,
                         };
                     };
                     let val = obj.evaluate(|v| solution.value(v));
-                    self.stats.incumbents += 1;
-                    best = Some((solution, val));
-                    // Strengthen: objective <= val - 1.
-                    let bound = Constraint {
-                        expr: obj.clone(),
-                        cmp: Cmp::Le,
-                        rhs: val - 1,
-                    };
-                    let mut closed = false;
-                    for nc in normalize(&bound) {
-                        if !engine.add_norm(nc) {
-                            closed = true;
-                            break;
-                        }
-                    }
-                    if closed {
-                        let (solution, objective) = best.take().expect("incumbent recorded above");
-                        self.stats.elapsed = start.elapsed();
-                        return Outcome::Optimal {
+                    *incumbents += 1;
+                    self.best = Some((solution, val));
+                    if stop.is_some_and(|s| val <= s) {
+                        let (solution, objective) = self.best.clone().expect("just recorded");
+                        return Outcome::Feasible {
                             solution,
                             objective,
                         };
                     }
+                    let act = self.post_bound(val - 1);
+                    self.bound_act = Some(act);
+                    self.bounded = Some(val - 1);
                 }
             }
         }
+    }
+}
+
+/// A persistent solver for repeated queries against **one** model.
+///
+/// Where [`Solver`] rebuilds the engine (and re-runs presolve) on every
+/// call, an `IncrementalSolver` presolves and loads the model once at
+/// construction and then answers any number of queries on the same
+/// engine, so conflict clauses learnt by one query prune the next:
+///
+/// * [`solve_feasible`](IncrementalSolver::solve_feasible) — one
+///   feasibility solve; with an objective set, the solution it finds seeds
+///   the later descent (the feasibility-to-optimisation handoff).
+/// * [`optimize`](IncrementalSolver::optimize) — branch-and-bound descent
+///   to the proven optimum, probing each strengthened objective bound via
+///   assumptions on a reified constraint instead of permanent posting.
+/// * [`solve_under_assumptions`](IncrementalSolver::solve_under_assumptions)
+///   — feasibility with extra literals held true for this call only; on
+///   `Infeasible`, [`unsat_core`](IncrementalSolver::unsat_core) names a
+///   subset of the assumptions the refutation depends on.
+///
+/// All queries run on the sequential engine: `config.threads` is ignored
+/// (the portfolio races independent engines and has no shared clause
+/// database to keep warm). `config.time_limit` applies per query, not to
+/// the solver's lifetime; [`stats`](IncrementalSolver::stats) accumulate
+/// across queries.
+///
+/// # Examples
+///
+/// ```
+/// use bilp::{IncrementalSolver, LinExpr, Model, Outcome, SolverConfig};
+/// let mut m = Model::new();
+/// let vs = m.new_vars(4);
+/// m.add_ge(LinExpr::sum(vs.clone()), 2);
+/// m.minimize(LinExpr::sum(vs.clone()));
+/// let mut s = IncrementalSolver::new(&m, SolverConfig::default());
+/// assert!(s.solve_feasible().solution().is_some());
+/// assert_eq!(s.optimize().objective(), Some(2));
+/// // A third "what if" probe reuses everything learnt above:
+/// let probe = s.solve_under_assumptions(&[!vs[0].lit(), !vs[1].lit(), !vs[2].lit()]);
+/// assert_eq!(probe, Outcome::Infeasible);
+/// assert!(!s.unsat_core().is_empty());
+/// ```
+#[derive(Debug)]
+pub struct IncrementalSolver {
+    config: SolverConfig,
+    /// `None` when the model was refuted at construction (by presolve or
+    /// at the engine root): every query is then trivially `Infeasible`.
+    inner: Option<Inner>,
+    stats: SolveStats,
+    last_core: Vec<Lit>,
+}
+
+/// The live state of a feasible-so-far [`IncrementalSolver`].
+#[derive(Debug)]
+struct Inner {
+    descent: Descent,
+    /// The (possibly presolve-reduced) model the engine holds.
+    reduced: Model,
+    /// Maps reduced-space solutions and assumption literals back to the
+    /// original model; `None` when presolve was disabled.
+    reconstruction: Option<Reconstruction>,
+    /// The unreduced model, kept only when presolve ran: the fallback
+    /// target for assumptions that contradict a don't-care elimination.
+    original: Option<Model>,
+}
+
+impl IncrementalSolver {
+    /// Presolves (per `config.presolve`) and loads `model` into a
+    /// persistent engine. Root infeasibility is detected here; queries on
+    /// an infeasible solver return [`Outcome::Infeasible`] immediately
+    /// with an empty core.
+    pub fn new(model: &Model, config: SolverConfig) -> Self {
+        let start = Instant::now();
+        let mut stats = SolveStats {
+            workers: 1,
+            ..SolveStats::default()
+        };
+        let built = if config.presolve {
+            let pcfg = PresolveConfig {
+                probe_budget: config.presolve_probe_budget,
+                deadline: config.time_limit.map(|d| start + d),
+            };
+            match presolve(model, &pcfg) {
+                Presolved::Infeasible { stats: ps } => {
+                    stats.presolve = ps;
+                    None
+                }
+                Presolved::Reduced {
+                    model: red,
+                    reconstruction,
+                    stats: ps,
+                } => {
+                    stats.presolve = ps;
+                    Some((red, Some(reconstruction)))
+                }
+            }
+        } else {
+            Some((model.clone(), None))
+        };
+        let inner = built.and_then(|(reduced, reconstruction)| {
+            match Descent::build(&reduced, config.features) {
+                Ok(descent) => Some(Inner {
+                    descent,
+                    original: reconstruction.is_some().then(|| model.clone()),
+                    reduced,
+                    reconstruction,
+                }),
+                Err(es) => {
+                    stats.engine = es;
+                    None
+                }
+            }
+        });
+        stats.elapsed = start.elapsed();
+        IncrementalSolver {
+            config,
+            inner,
+            stats,
+            last_core: Vec::new(),
+        }
+    }
+
+    /// Cumulative statistics over construction and every query so far.
+    pub fn stats(&self) -> SolveStats {
+        self.stats
+    }
+
+    /// After a query returned [`Outcome::Infeasible`]: the subset of that
+    /// query's assumptions (in original-model literals) the refutation
+    /// depends on. Empty when the model is infeasible without assumptions.
+    pub fn unsat_core(&self) -> &[Lit] {
+        &self.last_core
+    }
+
+    /// The per-query search budget from this solver's configuration.
+    fn budget(&self, start: Instant) -> Budget {
+        Budget {
+            deadline: self.config.time_limit.map(|d| start + d),
+            conflict_limit: self.config.conflict_limit,
+        }
+    }
+
+    /// Folds one query's outcome back into original-model space and the
+    /// cumulative statistics.
+    fn finish(&mut self, out: Outcome, start: Instant) -> Outcome {
+        let inner = self.inner.as_ref().expect("finish requires live state");
+        self.stats.engine = inner.descent.engine.stats();
+        self.stats.elapsed += start.elapsed();
+        match &inner.reconstruction {
+            None => out,
+            Some(recon) => match out {
+                Outcome::Optimal {
+                    solution,
+                    objective,
+                } => Outcome::Optimal {
+                    solution: recon.expand(&solution),
+                    objective,
+                },
+                Outcome::Feasible {
+                    solution,
+                    objective,
+                } => Outcome::Feasible {
+                    solution: recon.expand(&solution),
+                    objective,
+                },
+                other => other,
+            },
+        }
+    }
+
+    /// One feasibility solve. With an objective set the result is
+    /// [`Outcome::Feasible`] (optimality unproven — its solution seeds a
+    /// later [`optimize`](IncrementalSolver::optimize)); without one it is
+    /// [`Outcome::Optimal`] with objective `0`, as for [`Solver::solve`].
+    pub fn solve_feasible(&mut self) -> Outcome {
+        self.last_core.clear();
+        let start = Instant::now();
+        let budget = self.budget(start);
+        let Some(inner) = self.inner.as_mut() else {
+            return Outcome::Infeasible;
+        };
+        let mut core = Vec::new();
+        let out = inner
+            .descent
+            .feasible(&inner.reduced, budget, &[], &mut core);
+        self.finish(out, start)
+    }
+
+    /// Branch-and-bound descent to the proven optimum, reusing everything
+    /// already learnt (and any incumbent from
+    /// [`solve_feasible`](IncrementalSolver::solve_feasible)). Calling it
+    /// again after an [`Outcome::Optimal`] verdict just re-proves the
+    /// bound cheaply and returns the same solution.
+    pub fn optimize(&mut self) -> Outcome {
+        self.last_core.clear();
+        let start = Instant::now();
+        let budget = self.budget(start);
+        let Some(inner) = self.inner.as_mut() else {
+            return Outcome::Infeasible;
+        };
+        let mut core = Vec::new();
+        let mut incumbents = 0;
+        let out = inner.descent.optimize(
+            &inner.reduced,
+            budget,
+            &[],
+            self.config.objective_stop,
+            &mut incumbents,
+            &mut core,
+        );
+        self.stats.incumbents += incumbents;
+        self.finish(out, start)
+    }
+
+    /// Feasibility with every literal in `assumptions` (original-model
+    /// literals) held true for this call only. On [`Outcome::Infeasible`],
+    /// [`unsat_core`](IncrementalSolver::unsat_core) reports a responsible
+    /// subset of the assumptions. The objective is evaluated on the
+    /// solution but not optimised.
+    pub fn solve_under_assumptions(&mut self, assumptions: &[Lit]) -> Outcome {
+        self.last_core.clear();
+        let start = Instant::now();
+        let budget = self.budget(start);
+        let Some(inner) = self.inner.as_mut() else {
+            return Outcome::Infeasible;
+        };
+        // Map assumptions into the reduced space, remembering which
+        // original literal each reduced one stands for.
+        let mut mapped = Vec::with_capacity(assumptions.len());
+        let mut assoc: Vec<(Lit, Lit)> = Vec::with_capacity(assumptions.len());
+        for &a in assumptions {
+            match &inner.reconstruction {
+                None => {
+                    mapped.push(a);
+                    assoc.push((a, a));
+                }
+                Some(recon) => match recon.map_lit(a) {
+                    LitDisposition::Fixed(true) | LitDisposition::Free(true) => {}
+                    LitDisposition::Fixed(false) => {
+                        self.last_core = vec![a];
+                        self.stats.elapsed += start.elapsed();
+                        return Outcome::Infeasible;
+                    }
+                    // Contradicts a don't-care elimination: the persistent
+                    // reduced engine cannot answer this probe. Fall back to
+                    // a one-shot presolve-free solve of the original model.
+                    LitDisposition::Free(false) => {
+                        let original = inner
+                            .original
+                            .as_ref()
+                            .expect("presolved state keeps the original model");
+                        let mut fallback = Solver::with_config(SolverConfig {
+                            presolve: false,
+                            ..self.config
+                        });
+                        let out = fallback.solve_under_assumptions(original, assumptions);
+                        self.last_core = fallback.last_core.clone();
+                        self.stats.elapsed += start.elapsed();
+                        // The probe contract is feasibility, not proven
+                        // optimality — downgrade the optimising fallback's
+                        // verdict when an objective exists.
+                        return match out {
+                            Outcome::Optimal {
+                                solution,
+                                objective,
+                            } if original.objective().is_some() => Outcome::Feasible {
+                                solution,
+                                objective,
+                            },
+                            other => other,
+                        };
+                    }
+                    LitDisposition::Mapped(rl) => {
+                        mapped.push(rl);
+                        assoc.push((rl, a));
+                    }
+                },
+            }
+        }
+        let mut core = Vec::new();
+        let out = inner
+            .descent
+            .feasible(&inner.reduced, budget, &mapped, &mut core);
+        self.last_core = core
+            .iter()
+            .filter_map(|rl| assoc.iter().find(|(r, _)| r == rl).map(|&(_, a)| a))
+            .collect();
+        self.finish(out, start)
     }
 }
 
@@ -516,6 +1135,58 @@ mod tests {
             ..SolverConfig::default()
         });
         assert_eq!(s.solve(&m), Outcome::Unknown);
+    }
+
+    #[test]
+    fn objective_stop_reports_feasible_at_target() {
+        // Chain clauses with optimum 4; a reachable target ends the
+        // descent with an unproven incumbent at or below it.
+        let mut m = Model::new();
+        let vs = m.new_vars(8);
+        for w in vs.windows(2) {
+            m.add_clause([w[0].lit(), w[1].lit()]);
+        }
+        m.minimize(LinExpr::sum(vs.clone()));
+        let mut s = Solver::with_config(SolverConfig {
+            objective_stop: Some(5),
+            ..SolverConfig::default()
+        });
+        match s.solve(&m) {
+            Outcome::Feasible { objective, .. } => assert!(objective <= 5),
+            Outcome::Optimal { objective, .. } => assert_eq!(objective, 4),
+            other => panic!("unexpected outcome {other:?}"),
+        }
+        // A target below the optimum never triggers: the full descent
+        // runs and proves the true optimum.
+        let mut s = Solver::with_config(SolverConfig {
+            objective_stop: Some(0),
+            ..SolverConfig::default()
+        });
+        assert_eq!(s.solve(&m).objective(), Some(4));
+    }
+
+    #[test]
+    fn objective_stop_applies_to_incremental_descent() {
+        let mut m = Model::new();
+        let vs = m.new_vars(8);
+        for w in vs.windows(2) {
+            m.add_clause([w[0].lit(), w[1].lit()]);
+        }
+        m.minimize(LinExpr::sum(vs.clone()));
+        let mut s = IncrementalSolver::new(
+            &m,
+            SolverConfig {
+                objective_stop: Some(6),
+                ..SolverConfig::default()
+            },
+        );
+        let feas = s.solve_feasible();
+        assert!(feas.solution().is_some());
+        match s.optimize() {
+            Outcome::Feasible { objective, .. } => assert!(objective <= 6),
+            Outcome::Optimal { objective, .. } => assert_eq!(objective, 4),
+            other => panic!("unexpected outcome {other:?}"),
+        }
     }
 
     #[test]

@@ -5,7 +5,7 @@
 // Column-index loops over 2-D incidence structures read clearest as-is.
 #![allow(clippy::needless_range_loop)]
 
-use bilp::{LinExpr, Model, Outcome, Solver, SolverConfig, UnitExchange};
+use bilp::{ClauseExchange, LinExpr, Lit, Model, Outcome, Solver, SolverConfig};
 use std::time::{Duration, Instant};
 
 /// n+1 pigeons into n holes: UNSAT, with proof cost growing steeply in n.
@@ -122,34 +122,69 @@ fn unsat_race_cancels_and_attributes_winner() {
     assert!(stats.engine.conflicts > 0);
 }
 
-/// Unit sharing respects objective-bound tags: a unit learnt under a
+/// Clause sharing respects objective-bound tags: a clause learnt under a
 /// tighter bound is only imported by workers whose own bound is at
 /// least as tight.
 #[test]
-fn unit_exchange_bound_tags() {
+fn clause_exchange_bound_tags() {
     let mut source = Model::new();
-    let v = source.new_vars(3);
-    let exchange = UnitExchange::new();
-    exchange.publish(v[0].lit(), i64::MAX); // bound-free fact
-    exchange.publish(v[1].lit(), 5); // learnt under obj <= 5
-    exchange.publish(v[2].lit(), -3); // learnt under obj <= -3
+    let v = source.new_vars(4);
+    let exchange = ClauseExchange::new();
+    let free = [v[0].lit()];
+    let bounded = [v[1].lit(), v[2].lit()];
+    let tight = [v[2].lit(), v[3].lit()];
+    assert!(exchange.publish(0, &free, 1, i64::MAX)); // bound-free fact
+    assert!(exchange.publish(0, &bounded, 2, 5)); // learnt under obj <= 5
+    assert!(exchange.publish(0, &tight, 2, -3)); // learnt under obj <= -3
+    assert_eq!(exchange.len(), 3);
 
     // A worker at bound 5 (or tighter) may import tags >= its bound.
     let mut cursor = 0;
-    let mut seen = Vec::new();
-    exchange.import_since(&mut cursor, 5, |lit| seen.push(lit));
-    assert_eq!(seen, vec![v[0].lit(), v[1].lit()]);
+    let mut seen: Vec<Vec<Lit>> = Vec::new();
+    exchange.import_since(&mut cursor, 5, 1, |lits, _| seen.push(lits.to_vec()));
+    assert_eq!(seen, vec![free.to_vec(), bounded.to_vec()]);
     assert_eq!(cursor, 3);
 
     // A bound-free worker only gets bound-free facts.
     let mut cursor = 0;
     let mut seen = Vec::new();
-    exchange.import_since(&mut cursor, i64::MAX, |lit| seen.push(lit));
-    assert_eq!(seen, vec![v[0].lit()]);
+    exchange.import_since(&mut cursor, i64::MAX, 1, |lits, _| seen.push(lits.to_vec()));
+    assert_eq!(seen, vec![free.to_vec()]);
 
     // A very tight bound entails everything published.
     let mut cursor = 0;
     let mut seen = Vec::new();
-    exchange.import_since(&mut cursor, -10, |lit| seen.push(lit));
+    exchange.import_since(&mut cursor, -10, 1, |lits, _| seen.push(lits.to_vec()));
     assert_eq!(seen.len(), 3);
+}
+
+/// A worker never re-imports its own clauses, and the bounded pool
+/// evicts oldest-first while cursors stay consistent.
+#[test]
+fn clause_exchange_self_skip_and_eviction() {
+    let mut source = Model::new();
+    let v = source.new_vars(8);
+    let exchange = ClauseExchange::with_capacity(4);
+    for (i, var) in v.iter().enumerate() {
+        let worker = i % 2;
+        assert!(exchange.publish(worker, &[var.lit()], 1, i64::MAX));
+    }
+    // 8 published into capacity 4: the first 4 were evicted, but len()
+    // stays monotone so late-started cursors are well-defined.
+    assert_eq!(exchange.len(), 8);
+
+    // Worker 0 sees only worker 1's surviving clauses (odd indices >= 4).
+    let mut cursor = 0;
+    let mut seen = Vec::new();
+    exchange.import_since(&mut cursor, i64::MAX, 0, |lits, _| seen.push(lits[0]));
+    assert_eq!(seen, vec![v[5].lit(), v[7].lit()]);
+    assert_eq!(cursor, 8);
+
+    // The caught-up cursor imports nothing further until new publishes.
+    let mut count = 0;
+    exchange.import_since(&mut cursor, i64::MAX, 0, |_, _| count += 1);
+    assert_eq!(count, 0);
+    assert!(exchange.publish(1, &[v[0].lit(), v[1].lit()], 2, i64::MAX));
+    exchange.import_since(&mut cursor, i64::MAX, 0, |lits, _| count += lits.len());
+    assert_eq!(count, 2);
 }

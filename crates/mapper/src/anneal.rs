@@ -345,6 +345,7 @@ impl AnnealingMapper {
                     elapsed: start.elapsed(),
                     formulation: Default::default(),
                     solver: Default::default(),
+                    infeasible_core: None,
                 };
             }
             slots.push(compatible);
@@ -357,6 +358,7 @@ impl AnnealingMapper {
                 elapsed: start.elapsed(),
                 formulation: Default::default(),
                 solver: Default::default(),
+                infeasible_core: None,
             };
         };
 
@@ -397,6 +399,7 @@ impl AnnealingMapper {
                             elapsed: start.elapsed(),
                             formulation: Default::default(),
                             solver: Default::default(),
+                            infeasible_core: None,
                         };
                     }
                 }
@@ -484,6 +487,7 @@ impl AnnealingMapper {
             elapsed: start.elapsed(),
             formulation: Default::default(),
             solver: Default::default(),
+            infeasible_core: None,
         }
     }
 
@@ -515,6 +519,7 @@ impl AnnealingMapper {
             elapsed,
             formulation: Default::default(),
             solver: Default::default(),
+            infeasible_core: None,
         })
     }
 }

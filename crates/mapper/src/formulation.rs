@@ -30,11 +30,12 @@
 
 use crate::mapping::{expected_port, Mapping};
 use crate::options::MapperOptions;
-use bilp::{Assignment, LinExpr, Model, Var};
+use bilp::{Assignment, LinExpr, Lit, Model, Outcome, Solver, SolverConfig, Var};
 use cgra_dfg::{Dfg, EdgeId, OpId, OpKind};
 use cgra_mrrg::{Mrrg, NodeId, NodeKind};
 use std::collections::{BTreeMap, HashMap, VecDeque};
 use std::fmt;
+use std::time::Duration;
 
 /// Reasons a formulation cannot be built (each implies the instance is
 /// infeasible before search).
@@ -146,8 +147,23 @@ pub struct Formulation {
     rs: HashMap<(EdgeId, NodeId), Var>,
     /// Swap variable per commutative destination op.
     swap: HashMap<OpId, Var>,
+    /// Named constraint groups as `(end_index, name)`: group `g` covers
+    /// model constraints `groups[g-1].0 .. groups[g].0`. Used by the
+    /// infeasibility explainer to attribute an unsat core to the paper's
+    /// constraint families (per operation / per edge where that is
+    /// meaningful).
+    groups: Vec<(usize, String)>,
     options: MapperOptions,
     reach_rounds: usize,
+}
+
+/// Closes the current constraint group at the model's present length.
+/// A group that added no constraints is not recorded.
+fn mark_group(groups: &mut Vec<(usize, String)>, model: &Model, name: impl Into<String>) {
+    let end = model.constraints().len();
+    if groups.last().map_or(0, |g| g.0) < end {
+        groups.push((end, name.into()));
+    }
 }
 
 impl Formulation {
@@ -358,7 +374,10 @@ impl Formulation {
             }
         }
         let mut rs: HashMap<(EdgeId, NodeId), Var> = HashMap::new();
-        let mut cand_value: HashMap<OpId, Vec<bool>> = HashMap::new();
+        // BTreeMap keeps every iteration over values deterministic, so the
+        // emitted model is bit-for-bit identical across runs (the engine
+        // at `threads = 1` is deterministic given a fixed model).
+        let mut cand_value: BTreeMap<OpId, Vec<bool>> = BTreeMap::new();
         for (e, cand) in &cand_edge {
             let j = dfg.edges()[e.index()].src;
             let mask = cand_value.entry(j).or_insert_with(|| vec![false; n_nodes]);
@@ -388,16 +407,25 @@ impl Formulation {
             }
         }
 
+        let mut groups: Vec<(usize, String)> = Vec::new();
+
         // ---- (1) Operation Placement ------------------------------------
         for (q, ps) in &slots {
             model.add_exactly_one(ps.iter().map(|&p| f[&(p, *q)]));
+            mark_group(
+                &mut groups,
+                &model,
+                format!("placement of `{}`", dfg.ops()[q.index()].name),
+            );
         }
 
         // ---- (2) Functional Unit Exclusivity ----------------------------
         {
-            let mut by_slot: HashMap<NodeId, Vec<Var>> = HashMap::new();
-            for ((p, _q), v) in &f {
-                by_slot.entry(*p).or_default().push(*v);
+            let mut by_slot: BTreeMap<NodeId, Vec<Var>> = BTreeMap::new();
+            for (q, ps) in &slots {
+                for &p in ps {
+                    by_slot.entry(p).or_default().push(f[&(p, *q)]);
+                }
             }
             for (_p, vars) in by_slot {
                 if vars.len() > 1 {
@@ -405,12 +433,18 @@ impl Formulation {
                 }
             }
         }
+        mark_group(&mut groups, &model, "functional-unit exclusivity");
 
         // ---- (4) Route Exclusivity --------------------------------------
         {
-            let mut by_node: HashMap<NodeId, Vec<Var>> = HashMap::new();
-            for ((i, _j), v) in &r {
-                by_node.entry(*i).or_default().push(*v);
+            let mut by_node: BTreeMap<NodeId, Vec<Var>> = BTreeMap::new();
+            for (j, mask) in &cand_value {
+                for (idx, &c) in mask.iter().enumerate() {
+                    if c {
+                        let i = NodeId(idx as u32);
+                        by_node.entry(i).or_default().push(r[&(i, *j)]);
+                    }
+                }
             }
             for (_i, vars) in by_node {
                 if vars.len() > 1 {
@@ -418,6 +452,7 @@ impl Formulation {
                 }
             }
         }
+        mark_group(&mut groups, &model, "route exclusivity");
 
         // ---- (5) Fanout Routing & (6) Implied Placement ------------------
         for (e, cand) in &cand_edge {
@@ -462,6 +497,15 @@ impl Formulation {
                     }
                 }
             }
+            mark_group(
+                &mut groups,
+                &model,
+                format!(
+                    "routing of `{}`->`{}`",
+                    dfg.ops()[edge.src.index()].name,
+                    dfg.ops()[edge.dst.index()].name
+                ),
+            );
         }
 
         // ---- (7) Initial Fanout ------------------------------------------
@@ -476,13 +520,24 @@ impl Formulation {
                     }
                 }
             }
+            mark_group(
+                &mut groups,
+                &model,
+                format!("initial fanout of `{}`", dfg.ops()[q.index()].name),
+            );
         }
 
         // ---- (8) Routing Resource Usage ----------------------------------
-        for ((e, i), &rs_v) in &rs {
+        for (e, cand) in &cand_edge {
             let j = dfg.edges()[e.index()].src;
-            model.add_implies(rs_v.lit(), r[&(*i, j)].lit());
+            for (idx, &c) in cand.iter().enumerate() {
+                if c {
+                    let i = NodeId(idx as u32);
+                    model.add_implies(rs[&(*e, i)].lit(), r[&(i, j)].lit());
+                }
+            }
         }
+        mark_group(&mut groups, &model, "routing-resource usage");
 
         // ---- (9) Multiplexer Input Exclusivity ---------------------------
         for (j, mask) in cand_value.iter().filter(|_| options.mux_exclusivity) {
@@ -513,14 +568,21 @@ impl Formulation {
                 model.add_eq(expr, 0);
             }
         }
+        mark_group(&mut groups, &model, "multiplexer input exclusivity");
 
         // ---- (10) Objective ----------------------------------------------
         if options.optimize {
             let mut obj = LinExpr::new();
-            for ((i, _j), &v) in &r {
-                let cost = options.objective.cost_of(mrrg.nodes()[i.index()].role);
-                if cost != 0 {
-                    obj.add_term(cost, v);
+            for (j, mask) in &cand_value {
+                for (idx, &c) in mask.iter().enumerate() {
+                    if !c {
+                        continue;
+                    }
+                    let i = NodeId(idx as u32);
+                    let cost = options.objective.cost_of(mrrg.nodes()[i.index()].role);
+                    if cost != 0 {
+                        obj.add_term(cost, r[&(i, *j)]);
+                    }
                 }
             }
             model.minimize(obj);
@@ -533,6 +595,7 @@ impl Formulation {
             r,
             rs,
             swap,
+            groups,
             options,
             reach_rounds,
         })
@@ -543,20 +606,86 @@ impl Formulation {
         &self.model
     }
 
+    /// Named constraint groups as `(end_index, name)`: group `g` spans
+    /// model constraints `groups[g-1].0 .. groups[g].0` (from 0 for the
+    /// first group). Groups follow the paper's constraint families, at
+    /// per-operation granularity for placement/initial-fanout and
+    /// per-edge granularity for fanout routing.
+    pub fn constraint_groups(&self) -> &[(usize, String)] {
+        &self.groups
+    }
+
+    /// Explains an infeasible formulation as constraint-group names.
+    ///
+    /// Rebuilds the model with every constraint group reified under a
+    /// fresh activation literal, solves under the assumption that all
+    /// groups are active, and maps the resulting assumption core back to
+    /// group names — a minimal-ish answer to "which constraint families
+    /// conflict?". Returns an empty list when the solve does not finish
+    /// within `time_limit` (the full model is infeasible, so the grouped
+    /// model cannot be satisfiable with every group active).
+    pub fn explain_infeasibility(&self, time_limit: Option<Duration>) -> Vec<String> {
+        let mut grouped = Model::new();
+        grouped.new_vars(self.model.num_vars());
+        let mut acts: Vec<(Lit, &str)> = Vec::new();
+        let mut start = 0usize;
+        for (end, name) in &self.groups {
+            let act = grouped.new_var().lit();
+            for c in &self.model.constraints()[start..*end] {
+                grouped.add_reified(c, act);
+            }
+            acts.push((act, name));
+            start = *end;
+        }
+        // Presolve stays off: the activation literals must survive to the
+        // engine verbatim so the final-conflict analysis can return them.
+        let mut solver = Solver::with_config(SolverConfig {
+            time_limit,
+            presolve: false,
+            ..SolverConfig::default()
+        });
+        let assumptions: Vec<Lit> = acts.iter().map(|&(a, _)| a).collect();
+        if solver.solve_under_assumptions(&grouped, &assumptions) != Outcome::Infeasible {
+            return Vec::new();
+        }
+        let core = solver.unsat_core();
+        acts.iter()
+            .filter(|(a, _)| core.contains(a))
+            .map(|&(_, name)| name.to_string())
+            .collect()
+    }
+
     /// Registers a known-good mapping as solver branch hints (a MIP
     /// start): the variables the mapping sets are decided first and
     /// positively, so the solver reconstructs the solution immediately and
     /// then, when optimising, improves on it. Hints never change verdicts.
     pub fn warm_start(&mut self, dfg: &Dfg, mapping: &Mapping) {
-        for (q, p) in &mapping.placement {
-            if let Some(&v) = self.f.get(&(*p, *q)) {
+        // Hints are applied in sorted order: each one bumps a VSIDS
+        // activity, and the decision heap arranges *equal* activities by
+        // bump order, so iterating the mapping's hash maps directly would
+        // leak run-to-run nondeterminism into the search trajectory.
+        let mut placements: Vec<(OpId, NodeId)> =
+            mapping.placement.iter().map(|(q, p)| (*q, *p)).collect();
+        placements.sort_unstable();
+        for (q, p) in placements {
+            if let Some(&v) = self.f.get(&(p, q)) {
                 self.model.suggest_branch(v, 3.0, true);
             }
         }
-        for (e, path) in &mapping.routes {
+        let mut routes: Vec<(EdgeId, Vec<NodeId>)> = mapping
+            .routes
+            .iter()
+            .map(|(e, path)| {
+                let mut path = path.clone();
+                path.sort_unstable();
+                (*e, path)
+            })
+            .collect();
+        routes.sort_unstable_by_key(|&(e, _)| e);
+        for (e, path) in routes {
             let j = dfg.edges()[e.index()].src;
-            for &i in path {
-                if let Some(&v) = self.rs.get(&(*e, i)) {
+            for i in path {
+                if let Some(&v) = self.rs.get(&(e, i)) {
                     self.model.suggest_branch(v, 2.0, true);
                 }
                 if let Some(&v) = self.r.get(&(i, j)) {
@@ -564,9 +693,11 @@ impl Formulation {
                 }
             }
         }
-        for (q, s) in &self.swap {
-            let swapped = mapping.swapped.contains(q);
-            self.model.suggest_branch(*s, 2.0, swapped);
+        let mut swaps: Vec<(OpId, Var)> = self.swap.iter().map(|(q, s)| (*q, *s)).collect();
+        swaps.sort_unstable_by_key(|&(q, _)| q);
+        for (q, s) in swaps {
+            let swapped = mapping.swapped.contains(&q);
+            self.model.suggest_branch(s, 2.0, swapped);
         }
     }
 

@@ -3,7 +3,7 @@
 use crate::formulation::{BuildInfeasible, Formulation, FormulationStats};
 use crate::mapping::{validate_mapping, Mapping};
 use crate::options::MapperOptions;
-use bilp::{Outcome, SolveStats, Solver, SolverConfig};
+use bilp::{Assignment, IncrementalSolver, Outcome, SolveStats, Solver, SolverConfig};
 use cgra_dfg::Dfg;
 use cgra_mrrg::Mrrg;
 use std::fmt;
@@ -93,6 +93,13 @@ pub struct MapReport {
     /// presolve reduction counters (all zero for the annealing mapper and
     /// for instances refuted before the solver ran).
     pub solver: SolveStats,
+    /// Constraint-group names whose conjunction already proves the
+    /// instance unmappable: an unsat core over the formulation's named
+    /// groups (placement per operation, routing per edge, the exclusivity
+    /// families, …). `Some` only for search-derived infeasibility with
+    /// [`MapperOptions::explain_infeasible`] set; empty when the
+    /// explaining solve itself timed out.
+    pub infeasible_core: Option<Vec<String>>,
 }
 
 /// The exact, architecture-agnostic ILP mapper (the paper's contribution).
@@ -162,6 +169,7 @@ impl IlpMapper {
                     elapsed: start.elapsed(),
                     formulation: FormulationStats::default(),
                     solver: SolveStats::default(),
+                    infeasible_core: None,
                 }
             }
         };
@@ -178,44 +186,105 @@ impl IlpMapper {
             .options
             .time_limit
             .map(|l| l.saturating_sub(start.elapsed()));
-        let mut solver = Solver::with_config(SolverConfig {
+        let config = SolverConfig {
             time_limit: remaining,
             threads: self.options.threads,
             seed: self.options.seed,
             presolve: self.options.presolve,
+            conflict_limit: self.options.conflict_limit,
+            objective_stop: self.options.objective_stop,
             ..SolverConfig::default()
-        });
-        let outcome = match solver.solve(formulation.model()) {
-            Outcome::Optimal { solution, .. } => {
-                let mapping = formulation.decode(dfg, mrrg, &solution);
-                validate_mapping(dfg, mrrg, &mapping)
-                    .unwrap_or_else(|e| panic!("ILP mapping failed validation: {e}"));
-                let routing_usage = mapping.routing_resource_usage(dfg);
-                MapOutcome::Mapped {
-                    mapping,
-                    routing_usage,
-                    optimal: self.options.optimize,
-                }
-            }
-            Outcome::Feasible { solution, .. } => {
-                let mapping = formulation.decode(dfg, mrrg, &solution);
-                validate_mapping(dfg, mrrg, &mapping)
-                    .unwrap_or_else(|e| panic!("ILP mapping failed validation: {e}"));
-                let routing_usage = mapping.routing_resource_usage(dfg);
-                MapOutcome::Mapped {
-                    mapping,
-                    routing_usage,
-                    optimal: false,
-                }
-            }
-            Outcome::Infeasible => MapOutcome::Infeasible { reason: None },
-            Outcome::Unknown => MapOutcome::Timeout,
+        };
+        // The incremental path keeps one engine across the feasibility
+        // probe and the optimising descent; a portfolio races independent
+        // engines, so `threads != 1` falls back to the one-shot solve.
+        let (outcome, solver_stats) = if self.options.incremental && self.options.threads == 1 {
+            self.solve_incremental(dfg, mrrg, &formulation, config)
+        } else {
+            let mut solver = Solver::with_config(config);
+            let out = solver.solve(formulation.model());
+            let outcome = self.decode_outcome(dfg, mrrg, &formulation, out);
+            (outcome, solver.stats())
+        };
+        let infeasible_core = if self.options.explain_infeasible
+            && matches!(outcome, MapOutcome::Infeasible { .. })
+        {
+            let explain_budget = self
+                .options
+                .time_limit
+                .map(|l| l.saturating_sub(start.elapsed()));
+            Some(formulation.explain_infeasibility(explain_budget))
+        } else {
+            None
         };
         MapReport {
             outcome,
             elapsed: start.elapsed(),
             formulation: stats,
-            solver: solver.stats(),
+            solver: solver_stats,
+            infeasible_core,
+        }
+    }
+
+    /// Solves the formulation on one persistent [`IncrementalSolver`]:
+    /// the feasibility probe runs first, and when optimising, the descent
+    /// continues on the same engine — learnt clauses and variable
+    /// activities from the probe carry over, and the probe's incumbent
+    /// seeds the first objective bound.
+    fn solve_incremental(
+        &self,
+        dfg: &Dfg,
+        mrrg: &Mrrg,
+        formulation: &Formulation,
+        config: SolverConfig,
+    ) -> (MapOutcome, SolveStats) {
+        let mut inc = IncrementalSolver::new(formulation.model(), config);
+        let first = inc.solve_feasible();
+        let outcome = if self.options.optimize && first.solution().is_some() {
+            self.decode_outcome(dfg, mrrg, formulation, inc.optimize())
+        } else {
+            self.decode_outcome(dfg, mrrg, formulation, first)
+        };
+        (outcome, inc.stats())
+    }
+
+    /// Translates a solver outcome into a [`MapOutcome`], decoding and
+    /// re-validating any solution.
+    fn decode_outcome(
+        &self,
+        dfg: &Dfg,
+        mrrg: &Mrrg,
+        formulation: &Formulation,
+        out: Outcome,
+    ) -> MapOutcome {
+        match out {
+            Outcome::Optimal { solution, .. } => {
+                self.decoded(dfg, mrrg, formulation, &solution, self.options.optimize)
+            }
+            Outcome::Feasible { solution, .. } => {
+                self.decoded(dfg, mrrg, formulation, &solution, false)
+            }
+            Outcome::Infeasible => MapOutcome::Infeasible { reason: None },
+            Outcome::Unknown => MapOutcome::Timeout,
+        }
+    }
+
+    fn decoded(
+        &self,
+        dfg: &Dfg,
+        mrrg: &Mrrg,
+        formulation: &Formulation,
+        solution: &Assignment,
+        optimal: bool,
+    ) -> MapOutcome {
+        let mapping = formulation.decode(dfg, mrrg, solution);
+        validate_mapping(dfg, mrrg, &mapping)
+            .unwrap_or_else(|e| panic!("ILP mapping failed validation: {e}"));
+        let routing_usage = mapping.routing_resource_usage(dfg);
+        MapOutcome::Mapped {
+            mapping,
+            routing_usage,
+            optimal,
         }
     }
 
@@ -381,6 +450,57 @@ mod tests {
             report.outcome,
             MapOutcome::Infeasible { reason: None }
         ));
+        // Explanation was not requested.
+        assert!(report.infeasible_core.is_none());
+    }
+
+    #[test]
+    fn infeasible_explanation_names_constraint_groups() {
+        // 5 adds onto 4 ALUs with the matching presolve off: the search
+        // derives the infeasibility, and the requested explanation must
+        // blame a set of constraint groups that genuinely conflict. Any
+        // such set contains a placement group — every other family is
+        // satisfied by the all-zero assignment.
+        let mut g = Dfg::new("big");
+        let a = g.add_op("a", OpKind::Input).unwrap();
+        let mut prev = a;
+        for k in 0..5 {
+            let s = g.add_op(format!("s{k}"), OpKind::Add).unwrap();
+            g.connect(prev, s, 0).unwrap();
+            g.connect(a, s, 1).unwrap();
+            prev = s;
+        }
+        let o = g.add_op("o", OpKind::Output).unwrap();
+        g.connect(prev, o, 0).unwrap();
+        let mrrg = small_mrrg(1);
+        let opts = MapperOptions {
+            redundant_capacity: false,
+            explain_infeasible: true,
+            ..MapperOptions::default()
+        };
+        let report = IlpMapper::new(opts).map(&g, &mrrg);
+        assert!(matches!(
+            report.outcome,
+            MapOutcome::Infeasible { reason: None }
+        ));
+        let core = report
+            .infeasible_core
+            .as_ref()
+            .expect("explanation requested");
+        assert!(!core.is_empty(), "explanation solve should finish");
+        assert!(
+            core.iter().any(|n| n.starts_with("placement of")),
+            "no placement group in {core:?}"
+        );
+        // Every reported name is a real group of the formulation.
+        let f = Formulation::build(&g, &mrrg, opts).expect("builds without matching presolve");
+        let names: Vec<_> = f.constraint_groups().iter().map(|(_, n)| n).collect();
+        for n in core {
+            assert!(names.contains(&n), "unknown group `{n}` in {core:?}");
+        }
+        // And the renderer surfaces them.
+        let text = crate::render_infeasibility(&report).expect("infeasible outcome");
+        assert!(text.contains("conflicting constraint groups"), "{text}");
     }
 
     #[test]

@@ -53,5 +53,5 @@ pub use formulation::{BuildInfeasible, DecodeError, Formulation, FormulationStat
 pub use ilp::{IlpMapper, MapOutcome, MapReport};
 pub use mapping::{expected_port, validate_mapping, Mapping, MappingError};
 pub use options::{MapperOptions, Objective, ObjectiveWeights};
-pub use report::{render_mapping, render_route};
+pub use report::{render_infeasibility, render_mapping, render_route};
 pub use search::{map_min_ii, MinIiReport, MinIiTotals};

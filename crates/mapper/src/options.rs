@@ -125,6 +125,38 @@ pub struct MapperOptions {
     /// candidate for every value — which is the baseline the reduction
     /// is benchmarked against (`BENCH_presolve.json`).
     pub reach_reduction: bool,
+    /// Whether the ILP mapper drives one persistent incremental solver
+    /// per formulation: the feasibility probe and the optimising descent
+    /// run on the same engine, so learnt clauses and variable activities
+    /// from the feasibility phase carry into optimisation, and objective
+    /// bounds are probed as solver assumptions instead of re-posted
+    /// constraints. Off rebuilds a fresh solver per phase — the
+    /// from-scratch baseline `BENCH_incremental.json` measures against.
+    /// Incremental solving implies a single engine; when `threads > 1`
+    /// the mapper falls back to the from-scratch portfolio path.
+    pub incremental: bool,
+    /// Conflict budget per solver query (each feasibility solve and each
+    /// objective-bound probe of the optimising descent counts its own
+    /// conflicts against this limit). `None` = unlimited. A conflict
+    /// budget makes optimisation runs terminate after a bounded amount of
+    /// *search* work regardless of wall-clock, which is how
+    /// `BENCH_incremental.json` equalises the descent effort of its two
+    /// arms; a query that exhausts the budget reports timeout/best-found.
+    pub conflict_limit: Option<u64>,
+    /// Target objective value: when [`MapperOptions::optimize`] is set,
+    /// the routing-minimisation descent stops at the first mapping whose
+    /// objective is at or below this value instead of descending to the
+    /// proven optimum (MIP "best-objective stop"). `None` = descend
+    /// until optimal. `BENCH_incremental.json` uses it to measure
+    /// time-to-reference-quality symmetrically in both of its arms.
+    pub objective_stop: Option<i64>,
+    /// Whether an infeasible verdict is accompanied by an explanation:
+    /// the mapper re-solves with every constraint group (placement,
+    /// exclusivity, routing, …) reified under an activation literal and
+    /// reports the unsat core's group names in
+    /// [`MapReport::infeasible_core`](crate::MapReport::infeasible_core).
+    /// Costs one extra (usually fast) solve on infeasible instances.
+    pub explain_infeasible: bool,
 }
 
 impl Default for MapperOptions {
@@ -141,6 +173,10 @@ impl Default for MapperOptions {
             threads: 1,
             presolve: bilp::presolve_from_env().unwrap_or(true),
             reach_reduction: true,
+            incremental: true,
+            conflict_limit: None,
+            objective_stop: None,
+            explain_infeasible: false,
         }
     }
 }

@@ -1,6 +1,8 @@
 //! Human-readable rendering of mappings: the per-context placement and
-//! routing tables a CGRA engineer reads, and per-value routing summaries.
+//! routing tables a CGRA engineer reads, per-value routing summaries,
+//! and infeasibility explanations.
 
+use crate::ilp::{MapOutcome, MapReport};
 use crate::mapping::Mapping;
 use cgra_dfg::Dfg;
 use cgra_mrrg::{Mrrg, NodeRole};
@@ -82,6 +84,41 @@ pub fn render_mapping(dfg: &Dfg, mrrg: &Mrrg, mapping: &Mapping) -> String {
         );
     }
     out
+}
+
+/// Renders an infeasible mapping attempt's explanation: the presolve
+/// reason when one exists, and the constraint-group unsat core when the
+/// mapper computed one ([`crate::MapperOptions::explain_infeasible`]).
+/// Returns `None` for outcomes other than [`MapOutcome::Infeasible`].
+pub fn render_infeasibility(report: &MapReport) -> Option<String> {
+    let MapOutcome::Infeasible { reason } = &report.outcome else {
+        return None;
+    };
+    let mut out = String::new();
+    match reason {
+        Some(r) => {
+            let _ = writeln!(out, "infeasible before search: {r}");
+        }
+        None => {
+            let _ = writeln!(out, "infeasible (proven by search)");
+        }
+    }
+    match &report.infeasible_core {
+        Some(core) if core.is_empty() => {
+            let _ = writeln!(
+                out,
+                "  conflicting constraint groups: (explanation timed out)"
+            );
+        }
+        Some(core) => {
+            let _ = writeln!(out, "  conflicting constraint groups:");
+            for name in core {
+                let _ = writeln!(out, "    - {name}");
+            }
+        }
+        None => {}
+    }
+    Some(out)
 }
 
 /// Renders one sub-value's route as an arrow chain of node names.

@@ -12,9 +12,13 @@
 //!   once (it is context-invariant — contexts replicate components), and
 //!   a component-level capacity matching with multiplicity II rejects
 //!   over-subscribed IIs without building an MRRG or a formulation;
-//! * when optimising, the feasibility question is solved first and the
-//!   found placement is carried into the optimisation solve as a warm
-//!   start, so the branch-and-bound starts from a known incumbent;
+//! * when optimising with [`MapperOptions::incremental`] (the default),
+//!   the feasibility question and the routing-minimisation descent run
+//!   on one persistent solver engine per II: learnt clauses and variable
+//!   activities from the feasibility probe carry into optimisation, and
+//!   the probe's incumbent seeds the first objective bound. With
+//!   `incremental` off the two phases are separate solves, bridged only
+//!   by a warm-start hint — the from-scratch baseline;
 //! * presolve and engine statistics are accumulated across every attempt
 //!   into [`MinIiReport::totals`].
 
@@ -202,9 +206,12 @@ impl CapacityAnalysis {
 /// continues (a larger II is often *easier* to decide).
 ///
 /// With [`MapperOptions::optimize`] set, each II is decided as a pure
-/// feasibility question first and the routing-minimisation solve runs
-/// only at the II that mapped, warm-started from the feasibility
-/// placement; `MapperOptions::time_limit` bounds each solve separately.
+/// feasibility question first and the routing-minimisation descent runs
+/// only at the II that mapped. Under the default
+/// [`MapperOptions::incremental`] both phases share one solver engine
+/// per II (the feasibility incumbent seeds the descent's first bound);
+/// otherwise they are separate solves bridged by a warm-start hint.
+/// `MapperOptions::time_limit` bounds each mapping attempt.
 ///
 /// # Examples
 ///
@@ -246,6 +253,7 @@ pub fn map_min_ii(
                     elapsed: attempt_start.elapsed(),
                     formulation: Default::default(),
                     solver: Default::default(),
+                    infeasible_core: None,
                 },
             ));
             continue;
@@ -256,31 +264,49 @@ pub fn map_min_ii(
             _ => build_mrrg(arch, ii),
         };
 
-        // Decide feasibility without the objective — strictly cheaper, and
-        // the verdict is the same.
-        let feasibility = IlpMapper::new(MapperOptions {
-            optimize: false,
-            ..options
-        })
-        .map(dfg, &mrrg);
-        totals.absorb(&feasibility);
+        let report = if options.optimize && options.incremental && options.threads == 1 {
+            // One formulation, one engine: the mapper's incremental path
+            // runs the feasibility probe and the optimising descent on
+            // the same solver, so learnt clauses carry over and the
+            // probe's incumbent seeds the first objective bound.
+            let report = IlpMapper::new(options).map(dfg, &mrrg);
+            totals.absorb(&report);
+            report
+        } else {
+            // From-scratch: decide feasibility without the objective —
+            // strictly cheaper, and the verdict is the same — then bridge
+            // to a separate optimisation solve via a warm-start hint.
+            let feasibility = IlpMapper::new(MapperOptions {
+                optimize: false,
+                ..options
+            })
+            .map(dfg, &mrrg);
+            totals.absorb(&feasibility);
 
-        let mut report = feasibility;
-        if options.optimize {
-            if let Some(found) = report.outcome.mapping().cloned() {
-                // Carry the feasibility placement into the optimisation
-                // solve as a warm start: the solver opens with a known
-                // incumbent and spends its budget proving or improving.
-                let optimized = IlpMapper::new(options).map_with_hint(dfg, &mrrg, Some(&found));
-                totals.absorb(&optimized);
-                if optimized.outcome.is_mapped() {
-                    report = MapReport {
-                        elapsed: report.elapsed + optimized.elapsed,
-                        ..optimized
-                    };
+            let mut report = feasibility;
+            if options.optimize {
+                if let Some(found) = report.outcome.mapping().cloned() {
+                    // Carry the feasibility placement into the optimisation
+                    // solve as a warm start: the solver opens with a known
+                    // incumbent and spends its budget proving or improving.
+                    let mut optimized =
+                        IlpMapper::new(options).map_with_hint(dfg, &mrrg, Some(&found));
+                    totals.absorb(&optimized);
+                    if optimized.outcome.is_mapped() {
+                        // The attempt's report covers both phases: merge the
+                        // feasibility solve's engine counters so per-attempt
+                        // stats mean "what this II cost", not "what the last
+                        // solver cost".
+                        optimized.solver.engine.absorb(&report.solver.engine);
+                        report = MapReport {
+                            elapsed: report.elapsed + optimized.elapsed,
+                            ..optimized
+                        };
+                    }
                 }
             }
-        }
+            report
+        };
 
         let mapped = matches!(report.outcome, MapOutcome::Mapped { .. });
         attempts.push((ii, report));
