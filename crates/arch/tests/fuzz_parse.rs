@@ -1,0 +1,98 @@
+//! "Garbage in, error out": the architecture text parser must never
+//! panic.
+//!
+//! Seeded random byte mutations over the serialized paper grid presets
+//! (all four FU-mix x interconnect families) plus pure random garbage
+//! exercise the parser's failure paths: every input must come back as
+//! `Ok` or a descriptive `Err`, never a panic. Deterministic seeds keep
+//! any failure reproducible.
+
+use cgra_arch::families::{grid, FuMix, GridParams, Interconnect};
+use cgra_arch::text;
+use cgra_rng::Rng;
+
+fn presets() -> Vec<String> {
+    let mut out = Vec::new();
+    for mix in [FuMix::Homogeneous, FuMix::Heterogeneous] {
+        for ic in [Interconnect::Orthogonal, Interconnect::Diagonal] {
+            out.push(text::print(&grid(GridParams::paper(mix, ic))));
+        }
+    }
+    out
+}
+
+/// Applies 1..=8 random byte-level edits: flips, insertions, deletions,
+/// chunk splices from elsewhere in the input, and truncations.
+fn mutate(bytes: &mut Vec<u8>, rng: &mut Rng) {
+    for _ in 0..=rng.below(7) {
+        if bytes.is_empty() {
+            bytes.push(rng.below(256) as u8);
+            continue;
+        }
+        match rng.below(5) {
+            0 => {
+                let i = rng.gen_range(0..bytes.len());
+                bytes[i] = rng.below(256) as u8;
+            }
+            1 => {
+                let i = rng.gen_range(0..bytes.len() + 1);
+                bytes.insert(i, rng.below(256) as u8);
+            }
+            2 => {
+                let i = rng.gen_range(0..bytes.len());
+                bytes.remove(i);
+            }
+            3 => {
+                let src = rng.gen_range(0..bytes.len());
+                let len = rng.gen_range(1..(bytes.len() - src).min(16) + 1);
+                let chunk: Vec<u8> = bytes[src..src + len].to_vec();
+                let dst = rng.gen_range(0..bytes.len() + 1);
+                for (k, b) in chunk.into_iter().enumerate() {
+                    bytes.insert(dst + k, b);
+                }
+            }
+            _ => {
+                let keep = rng.gen_range(0..bytes.len());
+                bytes.truncate(keep);
+            }
+        }
+    }
+}
+
+#[test]
+fn mutated_grid_presets_never_panic() {
+    let corpus = presets();
+    for seed in 0..48u64 {
+        let mut rng = Rng::seed_from_u64(0xA2C4_F022 + seed);
+        for original in &corpus {
+            let mut bytes = original.clone().into_bytes();
+            mutate(&mut bytes, &mut rng);
+            let garbled = String::from_utf8_lossy(&bytes);
+            // The only acceptable outcomes are an architecture or an
+            // error; a panic fails the test (seed identifies the input).
+            let _ = text::parse(&garbled);
+        }
+    }
+}
+
+#[test]
+fn pure_garbage_never_panics() {
+    let mut rng = Rng::seed_from_u64(0xA2C4_6A5B);
+    for _ in 0..512 {
+        let len = rng.gen_range(0..256);
+        let bytes: Vec<u8> = (0..len).map(|_| rng.below(256) as u8).collect();
+        let garbled = String::from_utf8_lossy(&bytes);
+        assert!(
+            text::parse(&garbled).is_err(),
+            "random bytes parsed as an architecture: {garbled:?}"
+        );
+    }
+}
+
+#[test]
+fn unmutated_presets_still_roundtrip() {
+    for original in presets() {
+        let a = text::parse(&original).expect("preset parses");
+        assert_eq!(text::print(&a), original);
+    }
+}

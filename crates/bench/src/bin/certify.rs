@@ -1,0 +1,203 @@
+//! Measures what verdict certification costs on the paper's Table 2
+//! instances, and writes `BENCH_certify.json`:
+//!
+//! * **wall-clock** — each cell solved with `--certify` off (the default
+//!   solver path) and on (proof-logged solve plus the independent
+//!   checker replay for infeasible verdicts);
+//! * **provenance** — how every certified run's verdict audited:
+//!   `certified`, `unchecked` (budget ran out before the replay
+//!   finished, or the claim has no checkable certificate) or
+//!   `check-failed` (the audit *contradicted* the verdict — always a
+//!   bug, and always a nonzero exit).
+//!
+//! Usage:
+//!
+//! ```text
+//! certify [--time-limit <seconds>] [--output <path>] [benchmark ...]
+//! ```
+//!
+//! The summary reports the geomean wall-clock ratio (certify-on /
+//! certify-off) — the PR's headline <= 1.25x overhead criterion — and
+//! the provenance census. Both runs must agree on every decided
+//! verdict; the binary exits nonzero on any disagreement or check
+//! failure.
+
+use cgra_arch::families::paper_configs;
+use cgra_bench::{run_cell, WhichMapper};
+use cgra_dfg::benchmarks;
+use std::fmt::Write as _;
+use std::time::Duration;
+
+struct Row {
+    benchmark: &'static str,
+    arch: &'static str,
+    contexts: u32,
+    off_wall: f64,
+    off_symbol: &'static str,
+    on_wall: f64,
+    on_symbol: &'static str,
+    check: &'static str,
+}
+
+fn main() {
+    let mut time_limit = Duration::from_secs(10);
+    let mut output = String::from("BENCH_certify.json");
+    let mut filter: Vec<String> = Vec::new();
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--time-limit" => {
+                let secs: u64 = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--time-limit takes seconds");
+                time_limit = Duration::from_secs(secs);
+            }
+            "--output" => {
+                output = args.next().expect("--output takes a path");
+            }
+            name => filter.push(name.to_owned()),
+        }
+    }
+
+    let mapper = |certify| WhichMapper::Ilp {
+        warm_start: true,
+        threads: 1,
+        presolve: true,
+        certify,
+        mem_limit: None,
+    };
+    let configs = paper_configs();
+    let mut rows: Vec<Row> = Vec::new();
+    for entry in benchmarks::all() {
+        if !filter.is_empty() && !filter.iter().any(|f| f == entry.name) {
+            continue;
+        }
+        for config in &configs {
+            let off = run_cell(entry, config, mapper(false), time_limit);
+            let on = run_cell(entry, config, mapper(true), time_limit);
+            let check = on.check.unwrap_or("unchecked");
+            eprintln!(
+                "  {:<14} {:>12}/{}  off {} ({:.2?})  on {} ({:.2?}) [{}]",
+                entry.name,
+                config.label,
+                config.contexts,
+                off.symbol,
+                off.elapsed,
+                on.symbol,
+                on.elapsed,
+                check
+            );
+            rows.push(Row {
+                benchmark: entry.name,
+                arch: config.label,
+                contexts: config.contexts,
+                off_wall: off.elapsed.as_secs_f64(),
+                off_symbol: off.symbol,
+                on_wall: on.elapsed.as_secs_f64(),
+                on_symbol: on.symbol,
+                check,
+            });
+        }
+    }
+
+    // Geomean wall ratio; sub-millisecond cells are all noise.
+    let ratios: Vec<f64> = rows
+        .iter()
+        .filter(|r| r.on_wall.max(r.off_wall) > 1e-3)
+        .map(|r| r.on_wall.max(1e-3) / r.off_wall.max(1e-3))
+        .collect();
+    let geo_wall = geomean(&ratios);
+    let census = |label| rows.iter().filter(|r| r.check == label).count();
+    let (certified, unchecked, check_failed) = (
+        census("certified"),
+        census("unchecked"),
+        census("check-failed"),
+    );
+    let infeasible_uncertified: Vec<&Row> = rows
+        .iter()
+        .filter(|r| r.on_symbol == "0" && r.check != "certified")
+        .collect();
+    let mismatches: Vec<&Row> = rows
+        .iter()
+        .filter(|r| r.on_symbol != r.off_symbol && r.on_symbol != "T" && r.off_symbol != "T")
+        .collect();
+
+    let mut json = String::new();
+    let _ = writeln!(json, "{{");
+    let _ = writeln!(
+        json,
+        "  \"host_cores\": {},\n  \"time_limit_secs\": {},",
+        std::thread::available_parallelism().map_or(1, |n| n.get()),
+        time_limit.as_secs()
+    );
+    let _ = writeln!(json, "  \"instances\": [");
+    for (i, r) in rows.iter().enumerate() {
+        let _ = writeln!(
+            json,
+            "    {{\"benchmark\": \"{}\", \"arch\": \"{}\", \"contexts\": {}, \
+             \"off\": {{\"wall_seconds\": {:.6}, \"symbol\": \"{}\"}}, \
+             \"on\": {{\"wall_seconds\": {:.6}, \"symbol\": \"{}\", \"check\": \"{}\"}}}}{}",
+            r.benchmark,
+            r.arch,
+            r.contexts,
+            r.off_wall,
+            r.off_symbol,
+            r.on_wall,
+            r.on_symbol,
+            r.check,
+            if i + 1 == rows.len() { "" } else { "," }
+        );
+    }
+    let _ = writeln!(json, "  ],");
+    let _ = writeln!(
+        json,
+        "  \"geomean_wall_ratio_on_over_off\": {geo_wall:.4},\n  \
+           \"certified\": {certified},\n  \
+           \"unchecked\": {unchecked},\n  \
+           \"check_failed\": {check_failed},\n  \
+           \"infeasible_uncertified\": {},\n  \
+           \"verdict_mismatches\": {}\n}}",
+        infeasible_uncertified.len(),
+        mismatches.len()
+    );
+    std::fs::write(&output, &json).expect("write bench json");
+
+    println!("geomean wall-clock ratio (certify on / off): {geo_wall:.3}");
+    println!(
+        "provenance: {certified} certified, {unchecked} unchecked, {check_failed} check-failed \
+         (of {} cells)",
+        rows.len()
+    );
+    println!(
+        "infeasible cells without a certificate:      {}",
+        infeasible_uncertified.len()
+    );
+    println!(
+        "decided-verdict mismatches:                  {}",
+        mismatches.len()
+    );
+    println!("wrote {output}");
+    for r in &infeasible_uncertified {
+        println!(
+            "  UNCERTIFIED INFEASIBLE {}/{}/{}: {}",
+            r.benchmark, r.arch, r.contexts, r.check
+        );
+    }
+    for r in &mismatches {
+        println!(
+            "  MISMATCH {}/{}/{}: on {} vs off {}",
+            r.benchmark, r.arch, r.contexts, r.on_symbol, r.off_symbol
+        );
+    }
+    if check_failed > 0 || !mismatches.is_empty() {
+        std::process::exit(1);
+    }
+}
+
+fn geomean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return 1.0;
+    }
+    (xs.iter().map(|x| x.ln()).sum::<f64>() / xs.len() as f64).exp()
+}

@@ -281,7 +281,7 @@ fn run_arm(
 /// The routing usage of a ladder's minimum-II mapping, if it mapped.
 fn final_routing_usage(report: &MinIiReport) -> Option<i64> {
     let ii = report.min_ii?;
-    let (_, r) = report.attempts.iter().find(|(i, _)| *i == ii)?;
+    let r = &report.attempts.iter().find(|a| a.ii == ii)?.report;
     match &r.outcome {
         MapOutcome::Mapped { routing_usage, .. } => Some(*routing_usage as i64),
         _ => None,
@@ -292,11 +292,14 @@ fn final_routing_usage(report: &MinIiReport) -> Option<i64> {
 /// cells are excluded — they depend only on the budget), including the
 /// minimum II itself when both ladders decided it.
 fn decided_verdicts_match(a: &MinIiReport, b: &MinIiReport) -> bool {
-    for (ii, ra) in &a.attempts {
-        let Some((_, rb)) = b.attempts.iter().find(|(i, _)| i == ii) else {
+    for at in &a.attempts {
+        let Some(bt) = b.attempts.iter().find(|x| x.ii == at.ii) else {
             continue;
         };
-        let (sa, sb) = (ra.outcome.table_symbol(), rb.outcome.table_symbol());
+        let (sa, sb) = (
+            at.report.outcome.table_symbol(),
+            bt.report.outcome.table_symbol(),
+        );
         if sa != "T" && sb != "T" && sa != sb {
             return false;
         }
@@ -304,11 +307,11 @@ fn decided_verdicts_match(a: &MinIiReport, b: &MinIiReport) -> bool {
     let a_decided = a
         .attempts
         .iter()
-        .all(|(_, r)| r.outcome.table_symbol() != "T");
+        .all(|x| x.report.outcome.table_symbol() != "T");
     let b_decided = b
         .attempts
         .iter()
-        .all(|(_, r)| r.outcome.table_symbol() != "T");
+        .all(|x| x.report.outcome.table_symbol() != "T");
     if a_decided && b_decided && a.min_ii != b.min_ii {
         return false;
     }
@@ -321,7 +324,8 @@ fn decided_verdicts_match(a: &MinIiReport, b: &MinIiReport) -> bool {
 fn arm_json(report: &MinIiReport) -> String {
     let mut symbols: Vec<String> = Vec::new();
     let mut engine = bilp::EngineStats::default();
-    for (_, r) in &report.attempts {
+    for attempt in &report.attempts {
+        let r = &attempt.report;
         symbols.push(format!("\"{}\"", r.outcome.table_symbol()));
         let e = &r.solver.engine;
         engine.conflicts += e.conflicts;
@@ -337,8 +341,8 @@ fn arm_json(report: &MinIiReport) -> String {
     }
     let (routing, optimal) = report
         .min_ii
-        .and_then(|ii| report.attempts.iter().find(|(i, _)| *i == ii))
-        .map_or((String::from("null"), false), |(_, r)| match &r.outcome {
+        .and_then(|ii| report.attempts.iter().find(|a| a.ii == ii))
+        .map_or((String::from("null"), false), |a| match &a.report.outcome {
             MapOutcome::Mapped {
                 routing_usage,
                 optimal,

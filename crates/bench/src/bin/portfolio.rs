@@ -71,6 +71,8 @@ fn main() {
                         warm_start: false,
                         threads,
                         presolve: true,
+                        certify: false,
+                        mem_limit: None,
                     },
                     time_limit,
                 );

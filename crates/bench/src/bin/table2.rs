@@ -7,7 +7,8 @@
 //!
 //! ```text
 //! table2 [--time-limit <seconds>] [--no-warm-start] [--no-presolve]
-//!        [--jobs <n>] [--threads <n>] [--smoke] [benchmark ...]
+//!        [--jobs <n>] [--threads <n>] [--certify] [--mem-limit <MiB>]
+//!        [--smoke] [benchmark ...]
 //! ```
 //!
 //! `--jobs n` sweeps n matrix cells concurrently (0 = all cores);
@@ -23,6 +24,12 @@
 //! `BILP_PRESOLVE=0` does the same for any binary). `--smoke` runs a
 //! 2-benchmark x 1-architecture subset and exits nonzero if any cell
 //! disagrees with the paper — a fast CI gate, not an experiment.
+//!
+//! `--certify` audits every verdict: infeasible cells must carry a
+//! checker-replayed UNSAT certificate (or an independently verified
+//! build-stage refutation), and the run exits nonzero if any cell's
+//! audit comes back `check-failed`. `--mem-limit <MiB>` bounds each
+//! solve's learnt-clause database plus proof log.
 
 use cgra_bench::{compare_to_paper, render_matrix, run_matrix_parallel, time_summary, WhichMapper};
 use std::time::Duration;
@@ -32,6 +39,8 @@ fn main() {
     let mut warm_start = true;
     let mut presolve = true;
     let mut smoke = false;
+    let mut certify = false;
+    let mut mem_limit: Option<usize> = None;
     let mut jobs = 1usize;
     let mut threads = bilp::threads_from_env().unwrap_or(1);
     let mut filter: Vec<String> = Vec::new();
@@ -48,6 +57,14 @@ fn main() {
             "--no-warm-start" => warm_start = false,
             "--no-presolve" => presolve = false,
             "--smoke" => smoke = true,
+            "--certify" => certify = true,
+            "--mem-limit" => {
+                let mib: usize = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--mem-limit takes MiB");
+                mem_limit = Some(mib << 20);
+            }
             "--jobs" => {
                 jobs = args
                     .next()
@@ -72,6 +89,8 @@ fn main() {
         warm_start,
         threads,
         presolve,
+        certify,
+        mem_limit,
     };
 
     if smoke {
@@ -85,8 +104,16 @@ fn main() {
     );
     let cells = run_matrix_parallel(mapper, time_limit, &filter, jobs, |cell| {
         eprintln!(
-            "  {:<14} {:>12}/{}  ->  {}  ({:.2?})",
-            cell.benchmark, cell.arch, cell.contexts, cell.symbol, cell.elapsed
+            "  {:<14} {:>12}/{}  ->  {}  ({:.2?}){}",
+            cell.benchmark,
+            cell.arch,
+            cell.contexts,
+            cell.symbol,
+            cell.elapsed,
+            match cell.check {
+                Some(label) => format!("  [{label}]"),
+                None => String::new(),
+            }
         );
     });
 
@@ -99,12 +126,38 @@ fn main() {
         println!("  mismatch: {bench} @ {col}: paper {paper}, measured {ours}");
     }
     println!("\nRuntime (paper E6): {}", time_summary(&cells, time_limit));
+
+    if certify {
+        let audited = cells.iter().filter(|c| c.check.is_some()).count();
+        let bad: Vec<&cgra_bench::Cell> = cells
+            .iter()
+            .filter(|c| c.check == Some("check-failed"))
+            .collect();
+        println!(
+            "\nCertification: {}/{} cells audited, {} check failures",
+            audited,
+            cells.len(),
+            bad.len()
+        );
+        for c in &bad {
+            println!(
+                "  CHECK FAILED: {} @ {}/{} ({})",
+                c.benchmark, c.arch, c.contexts, c.symbol
+            );
+        }
+        if !bad.is_empty() {
+            std::process::exit(1);
+        }
+    }
 }
 
 /// The CI smoke gate: two cheap benchmarks on one architecture — one
 /// feasible, one provably infeasible — checked against the paper's
-/// published verdicts. Exits nonzero on any disagreement or timeout.
+/// published verdicts. Exits nonzero on any disagreement or timeout;
+/// with `--certify`, additionally requires every decided verdict to
+/// audit as `certified` (the certified-smoke CI gate).
 fn run_smoke(mapper: WhichMapper, time_limit: Duration) {
+    let certify = matches!(mapper, WhichMapper::Ilp { certify: true, .. });
     let configs = cgra_arch::families::paper_configs();
     let config = configs
         .iter()
@@ -114,15 +167,22 @@ fn run_smoke(mapper: WhichMapper, time_limit: Duration) {
     for (bench, expected) in [("accum", "1"), ("mult_10", "0")] {
         let entry = cgra_dfg::benchmarks::by_name(bench).expect("known benchmark");
         let cell = cgra_bench::run_cell(entry, config, mapper, time_limit);
-        let ok = cell.symbol == expected;
+        let mut ok = cell.symbol == expected;
+        if certify && cell.check != Some("certified") {
+            ok = false;
+        }
         println!(
-            "smoke {:<10} {}/{}: {} (expected {}, {:.2?}) {}",
+            "smoke {:<10} {}/{}: {} (expected {}, {:.2?}){} {}",
             cell.benchmark,
             cell.arch,
             cell.contexts,
             cell.symbol,
             expected,
             cell.elapsed,
+            match cell.check {
+                Some(label) => format!(" [{label}]"),
+                None => String::new(),
+            },
             if ok { "ok" } else { "FAIL" }
         );
         failed |= !ok;

@@ -20,7 +20,9 @@ pub mod timing;
 
 use cgra_arch::families::{paper_configs, PaperConfig};
 use cgra_dfg::benchmarks::{self, BenchmarkEntry};
-use cgra_mapper::{AnnealParams, AnnealingMapper, IlpMapper, MapOutcome, MapperOptions};
+use cgra_mapper::{
+    verdict_provenance, AnnealParams, AnnealingMapper, IlpMapper, MapOutcome, MapperOptions,
+};
 use cgra_mrrg::build_mrrg;
 use std::time::Duration;
 
@@ -67,6 +69,10 @@ pub struct Cell {
     pub elapsed: Duration,
     /// Routing resources used, for feasible cells.
     pub routing_usage: Option<usize>,
+    /// Verdict provenance label (`"certified"`, `"unchecked"` or
+    /// `"check-failed"`) when the cell ran with certification enabled;
+    /// `None` otherwise. See [`cgra_mapper::VerdictProvenance`].
+    pub check: Option<&'static str>,
     /// Solver engine counters for the attempt — conflicts, learnt-clause
     /// LBD distribution, clause-database tier accounting and portfolio
     /// clause-sharing traffic (all zero for the annealing mapper).
@@ -85,6 +91,12 @@ pub enum WhichMapper {
         threads: usize,
         /// Run the `bilp` presolve pipeline before search.
         presolve: bool,
+        /// Certify infeasible verdicts: proof-log the solver and replay
+        /// the proof through the independent `bilp` checker.
+        certify: bool,
+        /// Solver memory ceiling in bytes (learnt clauses + proof log);
+        /// `None` leaves the solver unbounded.
+        mem_limit: Option<usize>,
     },
     /// The simulated-annealing baseline with "moderate parameters".
     Annealing,
@@ -98,6 +110,8 @@ impl WhichMapper {
             warm_start: true,
             threads: 1,
             presolve: true,
+            certify: false,
+            mem_limit: None,
         }
     }
 }
@@ -128,6 +142,11 @@ pub fn run_cell(
             WhichMapper::Ilp { presolve, .. } => presolve,
             WhichMapper::Annealing => false,
         },
+        certify: matches!(mapper, WhichMapper::Ilp { certify: true, .. }),
+        mem_limit: match mapper {
+            WhichMapper::Ilp { mem_limit, .. } => mem_limit,
+            WhichMapper::Annealing => None,
+        },
         ..MapperOptions::default()
     };
     let report = match mapper {
@@ -140,6 +159,16 @@ pub fn run_cell(
         MapOutcome::Mapped { routing_usage, .. } => Some(*routing_usage),
         _ => None,
     };
+    let check = if options.certify {
+        let mrrg1 = if config.contexts == 1 {
+            mrrg
+        } else {
+            build_mrrg(&config.arch, 1)
+        };
+        Some(verdict_provenance(&dfg, &mrrg1, config.contexts, &report, &options).label())
+    } else {
+        None
+    };
     Cell {
         benchmark: entry.name,
         arch: config.label,
@@ -147,6 +176,7 @@ pub fn run_cell(
         symbol: report.outcome.table_symbol(),
         elapsed: report.elapsed,
         routing_usage,
+        check,
         engine: report.solver.engine,
     }
 }
@@ -347,11 +377,14 @@ mod tests {
                 warm_start: false,
                 threads: 1,
                 presolve: true,
+                certify: true,
+                mem_limit: None,
             },
             Duration::from_secs(120),
         );
         assert_eq!(cell.symbol, "1");
         assert!(cell.routing_usage.is_some());
+        assert_eq!(cell.check, Some("certified"));
     }
 
     #[test]
@@ -363,6 +396,7 @@ mod tests {
             symbol: "1",
             elapsed: Duration::from_millis(1),
             routing_usage: Some(10),
+            check: None,
             engine: bilp::EngineStats::default(),
         };
         let text = render_matrix(&[cell]);
@@ -379,6 +413,7 @@ mod tests {
             symbol: "0", // paper says 1
             elapsed: Duration::from_millis(1),
             routing_usage: None,
+            check: None,
             engine: bilp::EngineStats::default(),
         };
         let (agree, total, mismatches) = compare_to_paper(&[cell]);

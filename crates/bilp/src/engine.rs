@@ -28,6 +28,7 @@
 use crate::model::{Lit, Var};
 use crate::normalize::NormConstraint;
 use crate::portfolio::ClauseExchange;
+use crate::proof::{ProofLog, ProofOrigin};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::Instant;
@@ -413,6 +414,20 @@ pub struct Engine {
     /// Level-stamp scratch for LBD computation.
     lbd_stamp: Vec<u64>,
     lbd_counter: u64,
+    /// When present, every clause added to or deleted from the database
+    /// beyond the input constraints is recorded here (certification).
+    proof: Option<ProofLog>,
+    /// Soft cap on learnt-DB + proof bytes; exceeding it triggers an
+    /// emergency reduction and, failing that, a clean `Unknown` exit.
+    mem_limit: Option<usize>,
+    /// Approximate bytes held by learnt clauses.
+    learnt_bytes: usize,
+}
+
+/// Approximate heap footprint of a clause holding `n` literals.
+fn clause_bytes(n: usize) -> usize {
+    // Clause struct + Vec header + 4 bytes per literal + two watches.
+    64 + 4 * n
 }
 
 impl Engine {
@@ -455,6 +470,9 @@ impl Engine {
             last_core: Vec::new(),
             lbd_stamp: vec![0; num_vars + 1],
             lbd_counter: 0,
+            proof: None,
+            mem_limit: None,
+            learnt_bytes: 0,
         }
     }
 
@@ -523,6 +541,36 @@ impl Engine {
     /// branch-and-bound only ever tighten, so the tag is monotone.
     pub fn set_bound_tag(&mut self, bound: i64) {
         self.bound_tag = bound;
+    }
+
+    /// Installs a proof log: from now on every learnt, imported or
+    /// deleted clause is recorded so an `Unsat` verdict can be replayed
+    /// by the independent checker. Install *after* the input constraints
+    /// have been added — the checker derives those from the model itself.
+    pub fn set_proof(&mut self, proof: ProofLog) {
+        self.proof = Some(proof);
+    }
+
+    /// Removes and returns the proof log, if one was installed.
+    pub fn take_proof(&mut self) -> Option<ProofLog> {
+        self.proof.take()
+    }
+
+    /// Caps the approximate bytes held by the learnt database plus the
+    /// proof log. When the cap is exceeded the engine first attempts an
+    /// emergency database reduction and otherwise returns
+    /// [`SatResult::Unknown`] instead of growing without bound.
+    pub fn set_mem_limit(&mut self, bytes: usize) {
+        self.mem_limit = Some(bytes);
+    }
+
+    /// Whether the memory cap is currently exceeded.
+    fn over_mem_limit(&self) -> bool {
+        let Some(limit) = self.mem_limit else {
+            return false;
+        };
+        let proof_bytes = self.proof.as_ref().map_or(0, |p| p.bytes());
+        self.learnt_bytes + proof_bytes > limit
     }
 
     fn next_rand(&mut self) -> u64 {
@@ -684,6 +732,7 @@ impl Engine {
         });
         if learnt {
             self.n_learnt += 1;
+            self.learnt_bytes += clause_bytes(self.clauses[idx as usize].lits.len());
         }
         self.watches[(!w0).code()].push(Watch {
             clause: idx,
@@ -1146,8 +1195,11 @@ impl Engine {
                 deleted_local += 1;
             }
             c.deleted = true;
-            c.lits.clear();
-            c.lits.shrink_to_fit();
+            let lits = std::mem::take(&mut c.lits);
+            self.learnt_bytes = self.learnt_bytes.saturating_sub(clause_bytes(lits.len()));
+            if let Some(p) = self.proof.as_mut() {
+                p.delete(&lits);
+            }
             deleted += 1;
         }
         let (mut kept_mid, mut kept_local) = (0u64, 0u64);
@@ -1253,6 +1305,11 @@ impl Engine {
                 }
             }
             self.stats.imported_clauses += 1;
+            // Imported clauses join the database, so a certifying replay
+            // must re-derive them like any learnt clause.
+            if let Some(p) = self.proof.as_mut() {
+                p.add(&kept, ProofOrigin::Imported);
+            }
             match kept.len() {
                 0 => ok = false,
                 1 => self.enqueue(kept[0], Reason::None),
@@ -1372,6 +1429,18 @@ impl Engine {
                 if self.budget_exhausted(&budget) {
                     return SatResult::Unknown;
                 }
+                if self.over_mem_limit() {
+                    // Memory watchdog: shed learnt clauses before giving
+                    // up, then exit cleanly rather than grow unbounded.
+                    self.cancel_until(0);
+                    if self.n_learnt > 16 {
+                        self.reduce_db();
+                    }
+                    if self.over_mem_limit() {
+                        return SatResult::Unknown;
+                    }
+                    continue;
+                }
             }
             if let Some(confl) = self.propagate() {
                 self.stats.conflicts += 1;
@@ -1383,6 +1452,9 @@ impl Engine {
                 let lbd = self.compute_lbd(&learnt);
                 self.stats.learnt_clauses += 1;
                 self.stats.lbd_total += u64::from(lbd);
+                if let Some(p) = self.proof.as_mut() {
+                    p.add(&learnt, ProofOrigin::Learnt);
+                }
                 self.cancel_until(bt);
                 self.publish_learnt(&learnt, lbd);
                 if learnt.len() == 1 {

@@ -40,13 +40,16 @@
 #![warn(missing_debug_implementations)]
 
 pub mod brute;
+pub mod checker;
 mod engine;
 mod model;
 mod normalize;
 pub mod portfolio;
 pub mod presolve;
+mod proof;
 mod solve;
 
+pub use checker::CheckOutcome;
 pub use engine::{Budget, Engine, EngineFeatures, EngineStats, SatResult};
 pub use model::{to_lp_format, Cmp, Constraint, LinExpr, Lit, Model, Var};
 pub use normalize::{normalize, NormConstraint};
@@ -54,7 +57,8 @@ pub use portfolio::ClauseExchange;
 pub use presolve::{
     presolve, LitDisposition, PresolveConfig, PresolveStats, Presolved, Reconstruction,
 };
+pub use proof::{Certificate, ProofLog, ProofOrigin, ProofStep, StepKind};
 pub use solve::{
-    presolve_from_env, threads_from_env, Assignment, IncrementalSolver, Outcome, SolveStats,
-    Solver, SolverConfig,
+    certify_infeasibility, presolve_from_env, threads_from_env, Assignment, IncrementalSolver,
+    Outcome, SolveStats, Solver, SolverConfig,
 };

@@ -38,16 +38,51 @@
 //! equally good ones) and which worker wins the race may vary from run to
 //! run. `threads = 1` bypasses the portfolio entirely and is bit-for-bit
 //! identical to the sequential solver.
+//!
+//! # Fault isolation
+//!
+//! Each worker runs under [`std::panic::catch_unwind`]: a panicking
+//! worker is quarantined — its partial state is dropped, the panic is
+//! counted in [`SolveStats::worker_panics`], and the race continues on
+//! the survivors. Shared state is panic-tolerant by construction: every
+//! mutex acquisition recovers from poisoning (the guarded data — a
+//! clause pool and an incumbent slot — is always in a consistent state
+//! between mutations, so a poison flag carries no information here), and
+//! an incumbent is only accepted after re-validation against the
+//! original [`Model`], so a corrupted worker cannot smuggle a bogus
+//! solution past the race. If *every* worker dies, the portfolio
+//! degrades to a fresh single-threaded solve on the calling thread with
+//! whatever budget remains rather than returning garbage.
 
 use crate::engine::{Budget, Engine, EngineFeatures, EngineStats, SatResult};
 use crate::model::{Cmp, Constraint, LinExpr, Lit, Model, Var};
 use crate::normalize::normalize;
-use crate::solve::{Assignment, Outcome, SolveStats};
+use crate::solve::{Assignment, Outcome, SolveStats, Solver};
 use crate::SolverConfig;
 use std::collections::VecDeque;
-use std::sync::atomic::{AtomicBool, AtomicI64, Ordering};
-use std::sync::{Arc, Mutex};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicI64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard, TryLockError};
 use std::time::Instant;
+
+/// Chaos-testing hook: when set to a worker index, that worker panics on
+/// entry; when set to [`CHAOS_PANIC_ALL`], every worker panics (forcing
+/// the all-dead degradation path). `usize::MAX` (the default) disables
+/// injection. Test-only — never set in production code.
+#[doc(hidden)]
+pub static CHAOS_PANIC_WORKER: AtomicUsize = AtomicUsize::new(usize::MAX);
+
+/// Sentinel for [`CHAOS_PANIC_WORKER`]: panic *every* worker.
+#[doc(hidden)]
+pub const CHAOS_PANIC_ALL: usize = usize::MAX - 1;
+
+/// Locks a mutex, recovering the guard if a panicking worker poisoned
+/// it. Sound for the portfolio's shared state because both guarded
+/// structures are consistent between mutations (no multi-step critical
+/// sections that a mid-flight panic could tear).
+fn lock_recover<T>(mutex: &Mutex<T>) -> MutexGuard<'_, T> {
+    mutex.lock().unwrap_or_else(|e| e.into_inner())
+}
 
 /// One clause in the exchange pool.
 #[derive(Debug, Clone)]
@@ -115,7 +150,7 @@ impl ClauseExchange {
     /// Total number of clauses ever published (monotone; evicted entries
     /// still count). New engines start their import cursor here.
     pub fn len(&self) -> usize {
-        let pool = self.pool.lock().expect("exchange poisoned");
+        let pool = lock_recover(&self.pool);
         pool.base + pool.entries.len()
     }
 
@@ -128,8 +163,10 @@ impl ClauseExchange {
     /// `bound_tag`. Best-effort: returns `false` (dropping the clause)
     /// when the pool mutex is contended.
     pub fn publish(&self, worker: usize, lits: &[Lit], lbd: u32, bound_tag: i64) -> bool {
-        let Ok(mut pool) = self.pool.try_lock() else {
-            return false;
+        let mut pool = match self.pool.try_lock() {
+            Ok(pool) => pool,
+            Err(TryLockError::Poisoned(e)) => e.into_inner(),
+            Err(TryLockError::WouldBlock) => return false,
         };
         if pool.entries.len() == self.capacity {
             pool.entries.pop_front();
@@ -156,7 +193,7 @@ impl ClauseExchange {
         my_id: usize,
         mut f: impl FnMut(&[Lit], u32),
     ) {
-        let pool = self.pool.lock().expect("exchange poisoned");
+        let pool = lock_recover(&self.pool);
         let start = (*cursor).max(pool.base) - pool.base;
         for c in pool.entries.iter().skip(start) {
             if c.worker != my_id && my_bound <= c.bound_tag {
@@ -200,7 +237,7 @@ struct Shared {
 impl Shared {
     /// Records an incumbent if it improves on the global best.
     fn offer_incumbent(&self, solution: Assignment, objective: i64) {
-        let mut slot = self.incumbent.lock().expect("incumbent poisoned");
+        let mut slot = lock_recover(&self.incumbent);
         let improves = slot.as_ref().map(|&(_, b)| objective < b).unwrap_or(true);
         if improves {
             *slot = Some((solution, objective));
@@ -239,9 +276,16 @@ fn worker_features(base: EngineFeatures, seed: u64, w: usize, n: usize) -> Engin
 
 /// Builds a fresh engine over `model` with the given features. Returns
 /// `None` if root-level propagation already refutes the model.
-fn build_engine(model: &Model, features: EngineFeatures) -> Option<Engine> {
+fn build_engine(
+    model: &Model,
+    features: EngineFeatures,
+    mem_limit: Option<usize>,
+) -> Option<Engine> {
     let mut engine = Engine::new(model.num_vars());
     engine.set_features(features);
+    if let Some(bytes) = mem_limit {
+        engine.set_mem_limit(bytes);
+    }
     for &(var, priority, phase) in model.branch_hints() {
         engine.set_branch_hint(var, priority, phase);
     }
@@ -265,8 +309,13 @@ fn run_worker(
     shared: &Shared,
     incumbents_found: &AtomicI64,
     worker_id: usize,
+    mem_limit: Option<usize>,
 ) -> (WorkerVerdict, EngineStats) {
-    let Some(mut engine) = build_engine(model, features) else {
+    let chaos = CHAOS_PANIC_WORKER.load(Ordering::Relaxed);
+    if chaos == worker_id || chaos == CHAOS_PANIC_ALL {
+        panic!("chaos injection: worker {worker_id} deliberately panicked");
+    }
+    let Some(mut engine) = build_engine(model, features, mem_limit) else {
         return (WorkerVerdict::Infeasible, EngineStats::default());
     };
     engine.set_interrupt(Arc::clone(&shared.stop));
@@ -322,7 +371,12 @@ fn run_worker(
                         .map(|i| engine.model_value(Var(i as u32)))
                         .collect(),
                 );
-                debug_assert_eq!(model.check(|v| solution.value(v)), Ok(()));
+                // Hard validation gate: a worker whose engine produced a
+                // witness violating the original model is faulty — treat
+                // it as dead rather than poisoning the shared incumbent.
+                if model.check(|v| solution.value(v)).is_err() {
+                    return (WorkerVerdict::Inconclusive, engine.stats());
+                }
                 let Some(obj) = objective else {
                     shared.offer_incumbent(solution, 0);
                     return (WorkerVerdict::FoundSat, engine.stats());
@@ -362,8 +416,12 @@ pub(crate) fn solve_portfolio(
         exchange: Arc::new(ClauseExchange::new()),
     };
     let incumbents_found = AtomicI64::new(0);
+    // Split the memory budget evenly; keep a sane per-worker floor so a
+    // huge portfolio under a tiny cap does not strangle every engine.
+    let worker_mem = config.mem_limit.map(|m| (m / threads.max(1)).max(1 << 16));
 
-    let results: Vec<(WorkerVerdict, EngineStats)> = std::thread::scope(|scope| {
+    // `None` = the worker panicked and was quarantined.
+    let results: Vec<Option<(WorkerVerdict, EngineStats)>> = std::thread::scope(|scope| {
         let handles: Vec<_> = (0..threads)
             .map(|w| {
                 let features = worker_features(config.features, config.seed, w, threads);
@@ -371,17 +429,23 @@ pub(crate) fn solve_portfolio(
                 let objective = objective.as_ref();
                 let incumbents_found = &incumbents_found;
                 scope.spawn(move || {
-                    let out = run_worker(
-                        model,
-                        objective,
-                        features,
-                        budget,
-                        shared,
-                        incumbents_found,
-                        w,
-                    );
+                    // Quarantine panics: the worker's state is dropped,
+                    // the race continues on the survivors.
+                    let out = catch_unwind(AssertUnwindSafe(|| {
+                        run_worker(
+                            model,
+                            objective,
+                            features,
+                            budget,
+                            shared,
+                            incumbents_found,
+                            w,
+                            worker_mem,
+                        )
+                    }))
+                    .ok();
                     // A decisive verdict ends the race for everyone.
-                    if out.0 != WorkerVerdict::Inconclusive {
+                    if matches!(&out, Some((v, _)) if *v != WorkerVerdict::Inconclusive) {
                         shared.stop.store(true, Ordering::SeqCst);
                     }
                     out
@@ -390,14 +454,19 @@ pub(crate) fn solve_portfolio(
             .collect();
         handles
             .into_iter()
-            .map(|h| h.join().expect("portfolio worker panicked"))
+            .map(|h| h.join().unwrap_or(None))
             .collect()
     });
 
     // Aggregate statistics across workers.
+    let panics = results.iter().filter(|r| r.is_none()).count() as u32;
     let mut engine = EngineStats::default();
     let mut winner = None;
-    for (w, (verdict, s)) in results.iter().enumerate() {
+    for (w, (verdict, s)) in results
+        .iter()
+        .enumerate()
+        .filter_map(|(w, r)| r.as_ref().map(|pair| (w, pair)))
+    {
         engine.conflicts += s.conflicts;
         engine.decisions += s.decisions;
         engine.propagations += s.propagations;
@@ -420,13 +489,43 @@ pub(crate) fn solve_portfolio(
     stats.incumbents = incumbents_found.load(Ordering::Relaxed).max(0) as u64;
     stats.workers = threads as u32;
     stats.winner = winner;
+    stats.worker_panics = panics;
     stats.elapsed = start.elapsed();
 
-    let incumbent = shared.incumbent.lock().expect("incumbent poisoned").take();
-    let infeasible = results.iter().any(|(v, _)| *v == WorkerVerdict::Infeasible);
-    let exhausted = results
-        .iter()
-        .filter_map(|(v, _)| match v {
+    // Graceful degradation: every worker died before reaching any
+    // conclusion. Rather than reporting Unknown on a healthy model, run
+    // a fresh single-threaded solve on the calling thread with whatever
+    // wall-clock budget remains.
+    if results.iter().all(Option::is_none) {
+        let fallback = SolverConfig {
+            threads: 1,
+            presolve: false,
+            // The outer caller certifies Infeasible answers itself.
+            certify: false,
+            time_limit: deadline.map(|d| d.saturating_duration_since(Instant::now())),
+            ..*config
+        };
+        let mut solver = Solver::with_config(fallback);
+        let out = solver.solve(model);
+        let fb = solver.stats();
+        stats.engine = fb.engine;
+        stats.incumbents = fb.incumbents;
+        stats.winner = None;
+        stats.elapsed = start.elapsed();
+        return out;
+    }
+
+    // Re-validate the final incumbent against the original model: the
+    // per-worker gate already filtered engine-level corruption, but the
+    // slot itself could have been written by a worker that later
+    // panicked, so trust nothing that does not check out.
+    let incumbent = lock_recover(&shared.incumbent)
+        .take()
+        .filter(|(sol, _)| model.check(|v| sol.value(v)) == Ok(()));
+    let verdicts = || results.iter().filter_map(|r| r.as_ref().map(|(v, _)| v));
+    let infeasible = verdicts().any(|v| *v == WorkerVerdict::Infeasible);
+    let exhausted = verdicts()
+        .filter_map(|v| match v {
             WorkerVerdict::ExhaustedBelow(b) => Some(*b),
             _ => None,
         })

@@ -1,0 +1,251 @@
+//! In-memory DRAT-style proof logging.
+//!
+//! When certification is requested ([`crate::SolverConfig::certify`]),
+//! the CDCL engine records every clause it *adds* to its database beyond
+//! the input constraints — learnt clauses (including learnt units),
+//! clauses imported from the portfolio exchange, and presolve-derived
+//! fixings — plus every learnt clause it *deletes* during database
+//! reduction. The resulting step list is a clausal proof in the DRAT
+//! tradition: replaying the additions by reverse unit propagation (RUP)
+//! against the original model, in order and honouring the deletions,
+//! re-derives the engine's unsatisfiability verdict without trusting a
+//! single line of the search code (see [`crate::checker`]).
+//!
+//! The log is **bounded**: it accounts its own bytes against a cap and,
+//! once the cap is exceeded, discards everything and stops recording
+//! (`truncated`). A truncated proof is never checked — the verdict is
+//! reported [`Certificate::Unchecked`] rather than risking an
+//! out-of-memory abort on an adversarial instance.
+
+use crate::model::Lit;
+
+/// Where a proof step's clause came from. Every addition is tagged so a
+/// failed check can be attributed to the subsystem that produced the
+/// offending clause.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ProofOrigin {
+    /// Learnt by the engine's own 1UIP conflict analysis.
+    Learnt,
+    /// Imported from the portfolio clause exchange (derived by a
+    /// different worker).
+    Imported,
+    /// A variable fixing derived by the presolve pipeline and seeded
+    /// into the certifying replay.
+    Presolve,
+}
+
+/// Whether a step adds a clause to the database or deletes one.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StepKind {
+    /// The clause joins the database (must be RUP at this point).
+    Add,
+    /// The clause leaves the database (learnt-DB reduction).
+    Delete,
+}
+
+/// One step of a clausal proof.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ProofStep {
+    /// Add or delete.
+    pub kind: StepKind,
+    /// Provenance tag (meaningful for additions; deletions reuse
+    /// [`ProofOrigin::Learnt`]).
+    pub origin: ProofOrigin,
+    /// The clause's literals. Empty on an addition means the empty
+    /// clause — an explicit contradiction.
+    pub lits: Vec<Lit>,
+}
+
+/// Approximate heap footprint of one step holding `n` literals.
+fn step_bytes(n: usize) -> usize {
+    // ProofStep struct + Vec header + 4 bytes per literal, rounded up.
+    48 + 4 * n
+}
+
+/// A bounded, append-only clausal proof.
+#[derive(Debug, Clone, Default)]
+pub struct ProofLog {
+    steps: Vec<ProofStep>,
+    bytes: usize,
+    cap: usize,
+    truncated: bool,
+}
+
+impl ProofLog {
+    /// Default byte cap when the solver has no explicit memory limit.
+    pub const DEFAULT_CAP: usize = 64 << 20;
+
+    /// An empty proof holding at most `cap` bytes of steps.
+    pub fn new(cap: usize) -> Self {
+        ProofLog {
+            steps: Vec::new(),
+            bytes: 0,
+            cap: cap.max(1024),
+            truncated: false,
+        }
+    }
+
+    fn push(&mut self, step: ProofStep) {
+        if self.truncated {
+            return;
+        }
+        let cost = step_bytes(step.lits.len());
+        if self.bytes + cost > self.cap {
+            // Over budget: a partial proof is worthless to the checker,
+            // so free everything and record the truncation.
+            self.steps = Vec::new();
+            self.bytes = 0;
+            self.truncated = true;
+            return;
+        }
+        self.bytes += cost;
+        self.steps.push(step);
+    }
+
+    /// Records the addition of a clause (empty = explicit contradiction).
+    pub fn add(&mut self, lits: &[Lit], origin: ProofOrigin) {
+        self.push(ProofStep {
+            kind: StepKind::Add,
+            origin,
+            lits: lits.to_vec(),
+        });
+    }
+
+    /// Records the deletion of a clause.
+    pub fn delete(&mut self, lits: &[Lit]) {
+        self.push(ProofStep {
+            kind: StepKind::Delete,
+            origin: ProofOrigin::Learnt,
+            lits: lits.to_vec(),
+        });
+    }
+
+    /// The recorded steps (empty if the log was truncated).
+    pub fn steps(&self) -> &[ProofStep] {
+        &self.steps
+    }
+
+    /// Approximate bytes currently held by the log.
+    pub fn bytes(&self) -> usize {
+        self.bytes
+    }
+
+    /// Whether the byte cap was hit: the steps were discarded and the
+    /// proof cannot be checked.
+    pub fn truncated(&self) -> bool {
+        self.truncated
+    }
+
+    /// Number of recorded steps.
+    pub fn len(&self) -> usize {
+        self.steps.len()
+    }
+
+    /// Whether no steps were recorded.
+    pub fn is_empty(&self) -> bool {
+        self.steps.is_empty()
+    }
+}
+
+/// The trust status of one `Infeasible` verdict.
+///
+/// Produced when [`crate::SolverConfig::certify`] is set: the solve is
+/// replayed by a fresh proof-logging engine and the proof is re-derived
+/// by the independent RUP checker ([`crate::checker`]), which shares no
+/// code with the search engine.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Certificate {
+    /// The independent checker re-derived the contradiction from the
+    /// model and the logged proof: the verdict is machine-checked.
+    Certified {
+        /// Number of proof steps replayed.
+        steps: usize,
+        /// Approximate proof size in bytes.
+        bytes: usize,
+    },
+    /// The verdict could not be checked within budget (replay or check
+    /// ran out of time, or the proof was truncated by the memory cap).
+    /// The verdict itself still stands on the search engine's word.
+    Unchecked {
+        /// Why the check did not complete.
+        reason: String,
+    },
+    /// The check ran and **failed**: either the proof does not derive a
+    /// contradiction or the replay found a satisfying assignment. The
+    /// verdict must not be trusted.
+    CheckFailed {
+        /// What went wrong.
+        detail: String,
+    },
+}
+
+impl Certificate {
+    /// Whether the verdict was machine-checked successfully.
+    pub fn is_certified(&self) -> bool {
+        matches!(self, Certificate::Certified { .. })
+    }
+
+    /// Whether the check ran and contradicted the verdict.
+    pub fn is_check_failed(&self) -> bool {
+        matches!(self, Certificate::CheckFailed { .. })
+    }
+
+    /// A short, stable label: `"certified"`, `"unchecked"` or
+    /// `"check-failed"`.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Certificate::Certified { .. } => "certified",
+            Certificate::Unchecked { .. } => "unchecked",
+            Certificate::CheckFailed { .. } => "check-failed",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::{Lit, Var};
+
+    #[test]
+    fn log_records_adds_and_deletes() {
+        let mut log = ProofLog::new(1 << 20);
+        let l = Lit::positive(Var(0));
+        log.add(&[l], ProofOrigin::Learnt);
+        log.delete(&[l, !l]);
+        assert_eq!(log.len(), 2);
+        assert_eq!(log.steps()[0].kind, StepKind::Add);
+        assert_eq!(log.steps()[1].kind, StepKind::Delete);
+        assert!(!log.truncated());
+        assert!(log.bytes() > 0);
+    }
+
+    #[test]
+    fn cap_truncates_and_frees() {
+        let mut log = ProofLog::new(1024);
+        let lits: Vec<Lit> = (0..64).map(|i| Lit::positive(Var(i))).collect();
+        for _ in 0..100 {
+            log.add(&lits, ProofOrigin::Learnt);
+        }
+        assert!(log.truncated());
+        assert!(log.is_empty());
+        assert_eq!(log.bytes(), 0);
+        // Further adds are no-ops.
+        log.add(&lits, ProofOrigin::Learnt);
+        assert!(log.is_empty());
+    }
+
+    #[test]
+    fn certificate_labels() {
+        assert_eq!(
+            Certificate::Certified { steps: 1, bytes: 2 }.label(),
+            "certified"
+        );
+        assert!(Certificate::Certified { steps: 0, bytes: 0 }.is_certified());
+        let u = Certificate::Unchecked { reason: "x".into() };
+        assert_eq!(u.label(), "unchecked");
+        assert!(!u.is_certified());
+        let f = Certificate::CheckFailed { detail: "y".into() };
+        assert_eq!(f.label(), "check-failed");
+        assert!(f.is_check_failed());
+    }
+}

@@ -12,12 +12,14 @@
 //! [`IncrementalSolver`] exposes the persistent engine directly;
 //! [`Solver`] keeps the one-shot interface on top of it.
 
+use crate::checker::{self, CheckOutcome};
 use crate::engine::{Budget, Engine, EngineFeatures, EngineStats, SatResult};
 use crate::model::{Cmp, Constraint, LinExpr, Lit, Model, Var};
 use crate::normalize::{normalize, NormConstraint};
 use crate::presolve::{
     presolve, LitDisposition, PresolveConfig, PresolveStats, Presolved, Reconstruction,
 };
+use crate::proof::{Certificate, ProofLog, ProofOrigin};
 use std::time::{Duration, Instant};
 
 /// Solver configuration.
@@ -52,6 +54,20 @@ pub struct SolverConfig {
     /// Propagation-step budget for failed-literal probing inside presolve;
     /// `0` disables probing (the cheap passes still run).
     pub presolve_probe_budget: u64,
+    /// Certify `Infeasible` verdicts: replay the solve with proof logging
+    /// and have the independent RUP checker ([`crate::checker`]) re-derive
+    /// the contradiction. The resulting [`Certificate`] is available from
+    /// [`Solver::certificate`] / [`IncrementalSolver::certificate`]. The
+    /// replay gets a fresh `time_limit` budget of its own, so certified
+    /// infeasible solves can take up to twice the configured limit.
+    pub certify: bool,
+    /// Approximate byte cap on each engine's learnt database plus proof
+    /// log. Exceeding it triggers an emergency clause-database reduction
+    /// and, failing that, a clean best-found/`Unknown` exit instead of
+    /// unbounded growth. `None` (the default) disables the watchdog
+    /// (proof logs still default to [`ProofLog::DEFAULT_CAP`]). Portfolio
+    /// workers split the cap evenly.
+    pub mem_limit: Option<usize>,
 }
 
 impl Default for SolverConfig {
@@ -65,6 +81,8 @@ impl Default for SolverConfig {
             seed: 0,
             presolve: presolve_from_env().unwrap_or(true),
             presolve_probe_budget: PresolveConfig::default().probe_budget,
+            certify: false,
+            mem_limit: None,
         }
     }
 }
@@ -207,6 +225,9 @@ pub struct SolveStats {
     pub winner: Option<u32>,
     /// Presolve reduction counters (all zero when presolve is disabled).
     pub presolve: PresolveStats,
+    /// Number of portfolio workers that panicked and were quarantined
+    /// (their partial state dropped; the race continued without them).
+    pub worker_panics: u32,
 }
 
 /// The 0-1 ILP solver.
@@ -227,6 +248,7 @@ pub struct Solver {
     config: SolverConfig,
     stats: SolveStats,
     last_core: Vec<Lit>,
+    certificate: Option<Certificate>,
 }
 
 impl Solver {
@@ -241,12 +263,20 @@ impl Solver {
             config,
             stats: SolveStats::default(),
             last_core: Vec::new(),
+            certificate: None,
         }
     }
 
     /// Statistics of the most recent [`Solver::solve`] call.
     pub fn stats(&self) -> SolveStats {
         self.stats
+    }
+
+    /// The trust status of the most recent `Infeasible` verdict. Present
+    /// only when [`SolverConfig::certify`] is set and the last solve
+    /// returned [`Outcome::Infeasible`].
+    pub fn certificate(&self) -> Option<&Certificate> {
+        self.certificate.as_ref()
     }
 
     /// After [`Solver::solve_under_assumptions`] returned
@@ -267,6 +297,28 @@ impl Solver {
     /// `config.threads` (the portfolio races independent engines and has
     /// no shared assumption trail).
     pub fn solve_under_assumptions(&mut self, model: &Model, assumptions: &[Lit]) -> Outcome {
+        self.certificate = None;
+        let start = Instant::now();
+        let mut facts = Vec::new();
+        let out = self.solve_under_assumptions_inner(model, assumptions, &mut facts);
+        if self.config.certify && out == Outcome::Infeasible {
+            self.certificate = Some(certify_infeasibility(
+                model,
+                assumptions,
+                &facts,
+                &self.config,
+            ));
+            self.stats.elapsed = start.elapsed();
+        }
+        out
+    }
+
+    fn solve_under_assumptions_inner(
+        &mut self,
+        model: &Model,
+        assumptions: &[Lit],
+        facts: &mut Vec<Lit>,
+    ) -> Outcome {
         self.stats = SolveStats::default();
         self.last_core.clear();
         let start = Instant::now();
@@ -293,6 +345,9 @@ impl Solver {
                 stats,
             } => {
                 self.stats.presolve = stats;
+                if self.config.certify {
+                    *facts = presolve_fixed_lits(&reconstruction, model.num_vars());
+                }
                 let mut mapped = Vec::with_capacity(assumptions.len());
                 let mut assoc = Vec::with_capacity(assumptions.len());
                 for &a in assumptions {
@@ -346,7 +401,7 @@ impl Solver {
         deadline: Option<Instant>,
     ) -> Outcome {
         self.stats.workers = 1;
-        let mut descent = match Descent::build(model, self.config.features) {
+        let mut descent = match Descent::build(model, self.config.features, self.config.mem_limit) {
             Ok(d) => d,
             Err(stats) => {
                 self.stats.engine = stats;
@@ -382,6 +437,18 @@ impl Solver {
     /// Returned solutions always satisfy every model constraint (this is
     /// re-checked internally; see [`Model::check`]).
     pub fn solve(&mut self, model: &Model) -> Outcome {
+        self.certificate = None;
+        let start = Instant::now();
+        let mut facts = Vec::new();
+        let out = self.solve_inner(model, &mut facts);
+        if self.config.certify && out == Outcome::Infeasible {
+            self.certificate = Some(certify_infeasibility(model, &[], &facts, &self.config));
+            self.stats.elapsed = start.elapsed();
+        }
+        out
+    }
+
+    fn solve_inner(&mut self, model: &Model, facts: &mut Vec<Lit>) -> Outcome {
         self.stats = SolveStats::default();
         let start = Instant::now();
         // One absolute deadline covers presolve *and* search, so a long
@@ -407,6 +474,9 @@ impl Solver {
                 stats,
             } => {
                 self.stats.presolve = stats;
+                if self.config.certify {
+                    *facts = presolve_fixed_lits(&reconstruction, model.num_vars());
+                }
                 let out = self.solve_reduced(&red, start, deadline);
                 self.stats.elapsed = start.elapsed();
                 Self::expand_outcome(out, &reconstruction, model)
@@ -462,7 +532,7 @@ impl Solver {
         }
         self.stats.workers = 1;
 
-        let mut descent = match Descent::build(model, self.config.features) {
+        let mut descent = match Descent::build(model, self.config.features, self.config.mem_limit) {
             Ok(d) => d,
             Err(stats) => {
                 self.stats.elapsed = start.elapsed();
@@ -520,9 +590,16 @@ struct Descent {
 impl Descent {
     /// Loads the model into a fresh engine. `Err` carries the engine stats
     /// when a constraint is already refuted at the root.
-    fn build(model: &Model, features: EngineFeatures) -> Result<Descent, EngineStats> {
+    fn build(
+        model: &Model,
+        features: EngineFeatures,
+        mem_limit: Option<usize>,
+    ) -> Result<Descent, EngineStats> {
         let mut engine = Engine::new(model.num_vars());
         engine.set_features(features);
+        if let Some(bytes) = mem_limit {
+            engine.set_mem_limit(bytes);
+        }
         for &(var, priority, phase) in model.branch_hints() {
             engine.set_branch_hint(var, priority, phase);
         }
@@ -738,6 +815,144 @@ impl Descent {
     }
 }
 
+/// Extracts the entailed fixings presolve derived, as literals over the
+/// original model's variables. Don't-care eliminations
+/// ([`LitDisposition::Free`]) are *choices* presolve made, not
+/// consequences of the model, and are deliberately excluded — seeding one
+/// into a certifying replay could mask genuine satisfiability.
+fn presolve_fixed_lits(recon: &Reconstruction, num_original_vars: usize) -> Vec<Lit> {
+    let mut out = Vec::new();
+    for i in 0..num_original_vars {
+        let l = Lit::positive(Var(i as u32));
+        match recon.map_lit(l) {
+            LitDisposition::Fixed(true) => out.push(l),
+            LitDisposition::Fixed(false) => out.push(!l),
+            _ => {}
+        }
+    }
+    out
+}
+
+/// Produces a machine-checked certificate for an `Infeasible` verdict on
+/// `model` (optionally under `assumptions`, which are added as unit
+/// clauses for the replay — infeasibility never involves the objective).
+///
+/// The original solve's artefacts are **not** trusted: a fresh sequential
+/// proof-logging engine re-solves the *original* model from scratch
+/// (no presolve rewriting, no portfolio exchange), and the resulting
+/// proof is replayed by the independent checker. `presolve_facts` — unit
+/// fixings the presolve pipeline claims — are first re-validated by the
+/// checker's own propagation ([`checker`]) and only the provable ones are
+/// seeded, so a presolve bug cannot plant an unsound fact.
+///
+/// Outcomes: replay `Unsat` + checker success ⇒
+/// [`Certificate::Certified`]; replay `Sat` with a solution that passes
+/// [`Model::check`] ⇒ [`Certificate::CheckFailed`] (the verdict is
+/// wrong); anything running out of budget ⇒ [`Certificate::Unchecked`].
+/// The replay is given a fresh `config.time_limit` budget.
+pub fn certify_infeasibility(
+    model: &Model,
+    assumptions: &[Lit],
+    presolve_facts: &[Lit],
+    config: &SolverConfig,
+) -> Certificate {
+    let start = Instant::now();
+    let deadline = config.time_limit.map(|d| start + d);
+
+    // Assumption infeasibility is infeasibility of the augmented model.
+    let augmented;
+    let model = if assumptions.is_empty() {
+        model
+    } else {
+        let mut m = model.clone();
+        for &a in assumptions {
+            m.add_clause([a]);
+        }
+        augmented = m;
+        &augmented
+    };
+
+    // Only checker-provable presolve facts may seed the replay.
+    let facts = checker::entailed_units(model, presolve_facts, deadline);
+
+    let mut proof = ProofLog::new(config.mem_limit.unwrap_or(ProofLog::DEFAULT_CAP));
+    for &f in &facts {
+        proof.add(&[f], ProofOrigin::Presolve);
+    }
+
+    let mut engine = Engine::new(model.num_vars());
+    engine.set_features(config.features);
+    if let Some(bytes) = config.mem_limit {
+        engine.set_mem_limit(bytes);
+    }
+    let mut root_refuted = false;
+    'constraints: for c in model.constraints() {
+        for nc in normalize(c) {
+            if !engine.add_norm(nc) {
+                root_refuted = true;
+                break 'constraints;
+            }
+        }
+    }
+    if !root_refuted {
+        for &f in &facts {
+            if !engine.add_norm(NormConstraint::Unit(f)) {
+                root_refuted = true;
+                break;
+            }
+        }
+    }
+    engine.set_proof(proof);
+    let res = if root_refuted {
+        SatResult::Unsat
+    } else {
+        engine.solve(Budget {
+            deadline,
+            conflict_limit: None,
+        })
+    };
+    match res {
+        SatResult::Unknown => Certificate::Unchecked {
+            reason: "replay budget exhausted before an independent proof was found".to_owned(),
+        },
+        SatResult::Sat => {
+            // Disagreement — but only trust the replay's word after its
+            // witness survives the model's own constraint check.
+            match model.check(|v| engine.model_value(v)) {
+                Ok(()) => Certificate::CheckFailed {
+                    detail: "replay found a satisfying assignment: the Infeasible verdict is wrong"
+                        .to_owned(),
+                },
+                Err(c) => Certificate::Unchecked {
+                    reason: format!(
+                        "replay returned a witness violating constraint {c} (replay fault)"
+                    ),
+                },
+            }
+        }
+        SatResult::Unsat => {
+            let proof = engine.take_proof().expect("proof was installed");
+            if proof.truncated() {
+                return Certificate::Unchecked {
+                    reason: "proof exceeded the memory cap and was truncated".to_owned(),
+                };
+            }
+            match checker::check_proof(model, &proof, deadline) {
+                CheckOutcome::Valid { steps } => Certificate::Certified {
+                    steps,
+                    bytes: proof.bytes(),
+                },
+                CheckOutcome::Invalid { step, detail } => Certificate::CheckFailed {
+                    detail: format!("proof step {step}: {detail}"),
+                },
+                CheckOutcome::OutOfTime => Certificate::Unchecked {
+                    reason: "proof check exceeded the time budget".to_owned(),
+                },
+            }
+        }
+    }
+}
+
 /// A persistent solver for repeated queries against **one** model.
 ///
 /// Where [`Solver`] rebuilds the engine (and re-runs presolve) on every
@@ -786,6 +1001,13 @@ pub struct IncrementalSolver {
     inner: Option<Inner>,
     stats: SolveStats,
     last_core: Vec<Lit>,
+    /// Entailed presolve fixings (original-model literals), kept for
+    /// certification seeding. Empty unless `config.certify` and presolve
+    /// ran.
+    facts: Vec<Lit>,
+    /// Certificate for the most recent `Infeasible` answer (or for the
+    /// construction-time refutation when `inner` is `None`).
+    certificate: Option<Certificate>,
 }
 
 /// The live state of a feasible-so-far [`IncrementalSolver`].
@@ -813,6 +1035,7 @@ impl IncrementalSolver {
             workers: 1,
             ..SolveStats::default()
         };
+        let mut facts = Vec::new();
         let built = if config.presolve {
             let pcfg = PresolveConfig {
                 probe_budget: config.presolve_probe_budget,
@@ -829,6 +1052,9 @@ impl IncrementalSolver {
                     stats: ps,
                 } => {
                     stats.presolve = ps;
+                    if config.certify {
+                        facts = presolve_fixed_lits(&reconstruction, model.num_vars());
+                    }
                     Some((red, Some(reconstruction)))
                 }
             }
@@ -836,7 +1062,7 @@ impl IncrementalSolver {
             Some((model.clone(), None))
         };
         let inner = built.and_then(|(reduced, reconstruction)| {
-            match Descent::build(&reduced, config.features) {
+            match Descent::build(&reduced, config.features, config.mem_limit) {
                 Ok(descent) => Some(Inner {
                     descent,
                     original: reconstruction.is_some().then(|| model.clone()),
@@ -849,13 +1075,44 @@ impl IncrementalSolver {
                 }
             }
         });
+        // A construction-time refutation is the only Infeasible this
+        // solver can ever justify without live state — certify it now,
+        // while the original model is still in reach.
+        let certificate = (config.certify && inner.is_none())
+            .then(|| certify_infeasibility(model, &[], &facts, &config));
         stats.elapsed = start.elapsed();
         IncrementalSolver {
             config,
             inner,
             stats,
             last_core: Vec::new(),
+            facts,
+            certificate,
         }
+    }
+
+    /// The trust status of the most recent `Infeasible` answer (or of the
+    /// construction-time refutation). Present only when
+    /// [`SolverConfig::certify`] is set.
+    pub fn certificate(&self) -> Option<&Certificate> {
+        self.certificate.as_ref()
+    }
+
+    /// Certifies the current `Infeasible` answer against the original
+    /// model. No-op when certification is off or the refutation happened
+    /// at construction (already certified then).
+    fn certify_current(&mut self, assumptions: &[Lit]) {
+        if !self.config.certify {
+            return;
+        }
+        let cert = match &self.inner {
+            None => return, // construction-time certificate stands
+            Some(inner) => {
+                let target = inner.original.as_ref().unwrap_or(&inner.reduced);
+                certify_infeasibility(target, assumptions, &self.facts, &self.config)
+            }
+        };
+        self.certificate = Some(cert);
     }
 
     /// Cumulative statistics over construction and every query so far.
@@ -911,6 +1168,17 @@ impl IncrementalSolver {
     /// later [`optimize`](IncrementalSolver::optimize)); without one it is
     /// [`Outcome::Optimal`] with objective `0`, as for [`Solver::solve`].
     pub fn solve_feasible(&mut self) -> Outcome {
+        if self.inner.is_some() {
+            self.certificate = None;
+        }
+        let out = self.solve_feasible_inner();
+        if out == Outcome::Infeasible {
+            self.certify_current(&[]);
+        }
+        out
+    }
+
+    fn solve_feasible_inner(&mut self) -> Outcome {
         self.last_core.clear();
         let start = Instant::now();
         let budget = self.budget(start);
@@ -930,6 +1198,17 @@ impl IncrementalSolver {
     /// again after an [`Outcome::Optimal`] verdict just re-proves the
     /// bound cheaply and returns the same solution.
     pub fn optimize(&mut self) -> Outcome {
+        if self.inner.is_some() {
+            self.certificate = None;
+        }
+        let out = self.optimize_inner();
+        if out == Outcome::Infeasible {
+            self.certify_current(&[]);
+        }
+        out
+    }
+
+    fn optimize_inner(&mut self) -> Outcome {
         self.last_core.clear();
         let start = Instant::now();
         let budget = self.budget(start);
@@ -956,6 +1235,17 @@ impl IncrementalSolver {
     /// subset of the assumptions. The objective is evaluated on the
     /// solution but not optimised.
     pub fn solve_under_assumptions(&mut self, assumptions: &[Lit]) -> Outcome {
+        if self.inner.is_some() {
+            self.certificate = None;
+        }
+        let out = self.solve_under_assumptions_inner(assumptions);
+        if out == Outcome::Infeasible {
+            self.certify_current(assumptions);
+        }
+        out
+    }
+
+    fn solve_under_assumptions_inner(&mut self, assumptions: &[Lit]) -> Outcome {
         self.last_core.clear();
         let start = Instant::now();
         let budget = self.budget(start);
@@ -989,6 +1279,9 @@ impl IncrementalSolver {
                             .expect("presolved state keeps the original model");
                         let mut fallback = Solver::with_config(SolverConfig {
                             presolve: false,
+                            // The outer wrapper certifies Infeasible
+                            // answers itself; avoid a double replay.
+                            certify: false,
                             ..self.config
                         });
                         let out = fallback.solve_under_assumptions(original, assumptions);

@@ -1,0 +1,148 @@
+//! End-to-end certification tests: solve with `certify` enabled and
+//! confirm every `Infeasible` verdict carries a machine-checked
+//! certificate, that satisfiable and resource-starved solves behave
+//! sensibly, and that certificates survive the incremental front-end.
+
+use bilp::{Certificate, IncrementalSolver, LinExpr, Model, Outcome, Solver, SolverConfig};
+use std::time::Duration;
+
+/// The pigeonhole principle PHP(n+1, n): n+1 pigeons into n holes, every
+/// pigeon placed, at most one pigeon per hole. Unsatisfiable, and hard
+/// enough for resolution that the proof is non-trivial.
+fn pigeonhole(pigeons: usize, holes: usize) -> Model {
+    let mut m = Model::new();
+    let mut slot = vec![vec![]; pigeons];
+    for p in slot.iter_mut() {
+        *p = m.new_vars(holes);
+    }
+    for row in &slot {
+        m.add_ge(LinExpr::sum(row.clone()), 1);
+    }
+    for h in 0..holes {
+        let col: Vec<_> = slot.iter().map(|row| row[h]).collect();
+        m.add_le(LinExpr::sum(col), 1);
+    }
+    m
+}
+
+fn certifying(threads: usize) -> Solver {
+    Solver::with_config(SolverConfig {
+        certify: true,
+        threads,
+        ..SolverConfig::default()
+    })
+}
+
+#[test]
+fn infeasible_verdict_is_certified() {
+    let m = pigeonhole(5, 4);
+    let mut solver = certifying(1);
+    assert_eq!(solver.solve(&m), Outcome::Infeasible);
+    let cert = solver.certificate().expect("certificate present");
+    match cert {
+        Certificate::Certified { steps, .. } => assert!(*steps > 0),
+        other => panic!("expected certified verdict, got {other:?}"),
+    }
+}
+
+#[test]
+fn portfolio_infeasible_verdict_is_certified() {
+    let m = pigeonhole(6, 5);
+    let mut solver = certifying(4);
+    assert_eq!(solver.solve(&m), Outcome::Infeasible);
+    assert!(
+        solver.certificate().is_some_and(Certificate::is_certified),
+        "portfolio certificate: {:?}",
+        solver.certificate()
+    );
+}
+
+#[test]
+fn satisfiable_solve_has_no_certificate() {
+    let m = pigeonhole(4, 4);
+    let mut solver = certifying(1);
+    assert!(matches!(solver.solve(&m), Outcome::Optimal { .. }));
+    assert!(solver.certificate().is_none());
+}
+
+#[test]
+fn presolve_on_and_off_both_certify() {
+    for presolve in [false, true] {
+        let m = pigeonhole(5, 4);
+        let mut solver = Solver::with_config(SolverConfig {
+            certify: true,
+            presolve,
+            ..SolverConfig::default()
+        });
+        assert_eq!(solver.solve(&m), Outcome::Infeasible);
+        assert!(
+            solver.certificate().is_some_and(Certificate::is_certified),
+            "presolve={presolve}: {:?}",
+            solver.certificate()
+        );
+    }
+}
+
+#[test]
+fn incremental_assumption_infeasibility_is_certified() {
+    // x + y >= 1 is satisfiable; assuming ¬x and ¬y makes it infeasible.
+    let mut m = Model::new();
+    let x = m.new_var();
+    let y = m.new_var();
+    m.add_ge(LinExpr::sum([x, y]), 1);
+    let config = SolverConfig {
+        certify: true,
+        ..SolverConfig::default()
+    };
+    let mut inc = IncrementalSolver::new(&m, config);
+    assert_eq!(
+        inc.solve_under_assumptions(&[!x.lit(), !y.lit()]),
+        Outcome::Infeasible
+    );
+    assert!(
+        inc.certificate().is_some_and(Certificate::is_certified),
+        "incremental certificate: {:?}",
+        inc.certificate()
+    );
+    // A later feasible query clears the stale certificate.
+    assert!(matches!(
+        inc.solve_under_assumptions(&[x.lit()]),
+        Outcome::Feasible { .. } | Outcome::Optimal { .. }
+    ));
+    assert!(inc.certificate().is_none());
+}
+
+#[test]
+fn mem_limit_terminates_cleanly() {
+    // A tight memory cap must produce a clean Unknown/best-found exit,
+    // never an abort. PHP(8,7) generates plenty of learnt clauses.
+    let m = pigeonhole(8, 7);
+    let mut solver = Solver::with_config(SolverConfig {
+        mem_limit: Some(64 << 10),
+        time_limit: Some(Duration::from_secs(10)),
+        ..SolverConfig::default()
+    });
+    let out = solver.solve(&m);
+    assert!(
+        matches!(out, Outcome::Infeasible | Outcome::Unknown),
+        "unexpected outcome {out:?}"
+    );
+}
+
+#[test]
+fn zero_time_budget_yields_unchecked_certificate() {
+    // A replay whose budget expires before the proof is found must
+    // degrade to Unchecked, never hang or panic. PHP(8,7) is far too
+    // hard to refute before the first deadline poll.
+    let m = pigeonhole(8, 7);
+    let cfg = SolverConfig {
+        certify: true,
+        time_limit: Some(Duration::ZERO),
+        ..SolverConfig::default()
+    };
+    let cert = bilp::certify_infeasibility(&m, &[], &[], &cfg);
+    assert!(
+        matches!(cert, Certificate::Unchecked { .. }),
+        "expected unchecked under zero budget, got {cert:?}"
+    );
+}

@@ -1,0 +1,118 @@
+//! Chaos tests: deliberately panic portfolio workers and assert the
+//! race still reaches the correct — and certified — verdict, or
+//! degrades to the single-threaded fallback when every worker dies.
+//!
+//! The injection hook is process-global, so all tests that touch it run
+//! inside one `#[test]` body, restoring the hook between scenarios.
+
+use bilp::portfolio::{CHAOS_PANIC_ALL, CHAOS_PANIC_WORKER};
+use bilp::{Certificate, LinExpr, Model, Outcome, Solver, SolverConfig};
+use std::sync::atomic::Ordering;
+
+fn pigeonhole(pigeons: usize, holes: usize) -> Model {
+    let mut m = Model::new();
+    let mut slot = vec![vec![]; pigeons];
+    for p in slot.iter_mut() {
+        *p = m.new_vars(holes);
+    }
+    for row in &slot {
+        m.add_ge(LinExpr::sum(row.clone()), 1);
+    }
+    for h in 0..holes {
+        let col: Vec<_> = slot.iter().map(|row| row[h]).collect();
+        m.add_le(LinExpr::sum(col), 1);
+    }
+    m
+}
+
+fn set_cover() -> (Model, i64) {
+    // Minimum set cover with optimum 2: sets {a,b}, {c,d}, {a,c}, {b,d}.
+    let mut m = Model::new();
+    let s = m.new_vars(4);
+    m.add_ge(LinExpr::sum([s[0], s[2]]), 1); // element a
+    m.add_ge(LinExpr::sum([s[0], s[3]]), 1); // element b
+    m.add_ge(LinExpr::sum([s[1], s[2]]), 1); // element c
+    m.add_ge(LinExpr::sum([s[1], s[3]]), 1); // element d
+    m.minimize(LinExpr::sum(s));
+    (m, 2)
+}
+
+fn solver(threads: usize) -> Solver {
+    Solver::with_config(SolverConfig {
+        threads,
+        certify: true,
+        ..SolverConfig::default()
+    })
+}
+
+/// Quiet panic hook that swallows the expected chaos-injection messages
+/// but forwards anything else to the default hook.
+fn install_quiet_hook() {
+    let default = std::panic::take_hook();
+    std::panic::set_hook(Box::new(move |info| {
+        let payload = info
+            .payload()
+            .downcast_ref::<String>()
+            .map(String::as_str)
+            .or_else(|| info.payload().downcast_ref::<&str>().copied())
+            .unwrap_or("");
+        if !payload.contains("chaos injection") {
+            default(info);
+        }
+    }));
+}
+
+#[test]
+fn chaos_panics_do_not_change_verdicts() {
+    install_quiet_hook();
+
+    // --- One worker dies: infeasibility still proven and certified. ---
+    CHAOS_PANIC_WORKER.store(1, Ordering::SeqCst);
+    let m = pigeonhole(5, 4);
+    let mut s = solver(4);
+    assert_eq!(s.solve(&m), Outcome::Infeasible);
+    assert!(
+        s.certificate().is_some_and(Certificate::is_certified),
+        "certificate after worker panic: {:?}",
+        s.certificate()
+    );
+    assert_eq!(s.stats().worker_panics, 1);
+
+    // --- One worker dies mid-optimisation: optimum unchanged. ---
+    CHAOS_PANIC_WORKER.store(2, Ordering::SeqCst);
+    let (m, best) = set_cover();
+    let mut s = solver(4);
+    match s.solve(&m) {
+        Outcome::Optimal { objective, .. } => assert_eq!(objective, best),
+        other => panic!("unexpected {other:?}"),
+    }
+
+    // --- Every worker dies: degrade to the single-thread fallback. ---
+    CHAOS_PANIC_WORKER.store(CHAOS_PANIC_ALL, Ordering::SeqCst);
+    let m = pigeonhole(5, 4);
+    let mut s = solver(3);
+    assert_eq!(s.solve(&m), Outcome::Infeasible);
+    assert!(
+        s.certificate().is_some_and(Certificate::is_certified),
+        "certificate after all-dead fallback: {:?}",
+        s.certificate()
+    );
+    assert_eq!(s.stats().worker_panics, 3);
+
+    // --- All dead on a satisfiable model: fallback still solves it. ---
+    let (m, best) = set_cover();
+    let mut s = solver(3);
+    match s.solve(&m) {
+        Outcome::Optimal { objective, .. } => assert_eq!(objective, best),
+        other => panic!("unexpected {other:?}"),
+    }
+
+    // Restore: later tests in this process must not inherit injection.
+    CHAOS_PANIC_WORKER.store(usize::MAX, Ordering::SeqCst);
+
+    // --- Injection off: clean portfolio run, zero panics recorded. ---
+    let m = pigeonhole(5, 4);
+    let mut s = solver(4);
+    assert_eq!(s.solve(&m), Outcome::Infeasible);
+    assert_eq!(s.stats().worker_panics, 0);
+}

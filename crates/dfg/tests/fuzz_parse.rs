@@ -1,0 +1,94 @@
+//! "Garbage in, error out": the DFG text parser must never panic.
+//!
+//! Seeded random byte mutations over the serialized 19-benchmark corpus
+//! (plus pure random garbage) exercise the parser's failure paths: every
+//! input must come back as `Ok` or a descriptive `Err`, never a panic or
+//! an out-of-bounds index. Deterministic seeds keep failures
+//! reproducible — a crashing input can be recovered by replaying the
+//! seed printed in the assertion message.
+
+use cgra_dfg::{benchmarks, text};
+use cgra_rng::Rng;
+
+/// Applies 1..=8 random byte-level edits: flips, insertions, deletions,
+/// chunk splices from elsewhere in the input, and truncations.
+fn mutate(bytes: &mut Vec<u8>, rng: &mut Rng) {
+    for _ in 0..=rng.below(7) {
+        if bytes.is_empty() {
+            bytes.push(rng.below(256) as u8);
+            continue;
+        }
+        match rng.below(5) {
+            0 => {
+                let i = rng.gen_range(0..bytes.len());
+                bytes[i] = rng.below(256) as u8;
+            }
+            1 => {
+                let i = rng.gen_range(0..bytes.len() + 1);
+                bytes.insert(i, rng.below(256) as u8);
+            }
+            2 => {
+                let i = rng.gen_range(0..bytes.len());
+                bytes.remove(i);
+            }
+            3 => {
+                // Splice a chunk of the input over another position —
+                // produces structurally plausible but wrong documents.
+                let src = rng.gen_range(0..bytes.len());
+                let len = rng.gen_range(1..(bytes.len() - src).min(16) + 1);
+                let chunk: Vec<u8> = bytes[src..src + len].to_vec();
+                let dst = rng.gen_range(0..bytes.len() + 1);
+                for (k, b) in chunk.into_iter().enumerate() {
+                    bytes.insert(dst + k, b);
+                }
+            }
+            _ => {
+                let keep = rng.gen_range(0..bytes.len());
+                bytes.truncate(keep);
+            }
+        }
+    }
+}
+
+#[test]
+fn mutated_benchmark_corpus_never_panics() {
+    let corpus: Vec<String> = benchmarks::all()
+        .iter()
+        .map(|e| text::print(&(e.build)()))
+        .collect();
+    for seed in 0..64u64 {
+        let mut rng = Rng::seed_from_u64(0xDF6_F022 + seed);
+        for original in &corpus {
+            let mut bytes = original.clone().into_bytes();
+            mutate(&mut bytes, &mut rng);
+            let garbled = String::from_utf8_lossy(&bytes);
+            // The only acceptable outcomes are a graph or an error; a
+            // panic fails the test (seed identifies the input).
+            let _ = text::parse(&garbled);
+        }
+    }
+}
+
+#[test]
+fn pure_garbage_never_panics() {
+    let mut rng = Rng::seed_from_u64(0xDF6_6A5B);
+    for _ in 0..512 {
+        let len = rng.gen_range(0..256);
+        let bytes: Vec<u8> = (0..len).map(|_| rng.below(256) as u8).collect();
+        let garbled = String::from_utf8_lossy(&bytes);
+        assert!(
+            text::parse(&garbled).is_err(),
+            "random bytes parsed as a DFG: {garbled:?}"
+        );
+    }
+}
+
+#[test]
+fn unmutated_corpus_still_roundtrips() {
+    // The fuzz corpus is only meaningful if the unmutated texts parse.
+    for entry in benchmarks::all() {
+        let g = (entry.build)();
+        let g2 = text::parse(&text::print(&g)).expect("corpus entry parses");
+        assert_eq!(g, g2, "roundtrip mismatch for {}", entry.name);
+    }
+}

@@ -346,6 +346,7 @@ impl AnnealingMapper {
                     formulation: Default::default(),
                     solver: Default::default(),
                     infeasible_core: None,
+                    certificate: None,
                 };
             }
             slots.push(compatible);
@@ -359,6 +360,7 @@ impl AnnealingMapper {
                 formulation: Default::default(),
                 solver: Default::default(),
                 infeasible_core: None,
+                certificate: None,
             };
         };
 
@@ -400,6 +402,7 @@ impl AnnealingMapper {
                             formulation: Default::default(),
                             solver: Default::default(),
                             infeasible_core: None,
+                            certificate: None,
                         };
                     }
                 }
@@ -488,6 +491,7 @@ impl AnnealingMapper {
             formulation: Default::default(),
             solver: Default::default(),
             infeasible_core: None,
+            certificate: None,
         }
     }
 
@@ -520,6 +524,7 @@ impl AnnealingMapper {
             formulation: Default::default(),
             solver: Default::default(),
             infeasible_core: None,
+            certificate: None,
         })
     }
 }

@@ -3,7 +3,7 @@
 use crate::formulation::{BuildInfeasible, Formulation, FormulationStats};
 use crate::mapping::{validate_mapping, Mapping};
 use crate::options::MapperOptions;
-use bilp::{Assignment, IncrementalSolver, Outcome, SolveStats, Solver, SolverConfig};
+use bilp::{Assignment, Certificate, IncrementalSolver, Outcome, SolveStats, Solver, SolverConfig};
 use cgra_dfg::Dfg;
 use cgra_mrrg::Mrrg;
 use std::fmt;
@@ -100,6 +100,15 @@ pub struct MapReport {
     /// [`MapperOptions::explain_infeasible`] set; empty when the
     /// explaining solve itself timed out.
     pub infeasible_core: Option<Vec<String>>,
+    /// Trust status of an `Infeasible` outcome when
+    /// [`MapperOptions::certify`] is set: the solver's independent RUP
+    /// checker either re-derived the contradiction (`Certified`), could
+    /// not finish within budget (`Unchecked`), or contradicted the
+    /// engine (`CheckFailed` — the verdict must not be trusted). `None`
+    /// for non-infeasible outcomes, for instances refuted by the
+    /// formulation builder before the solver ran, and when certification
+    /// was not requested.
+    pub certificate: Option<Certificate>,
 }
 
 /// The exact, architecture-agnostic ILP mapper (the paper's contribution).
@@ -170,6 +179,7 @@ impl IlpMapper {
                     formulation: FormulationStats::default(),
                     solver: SolveStats::default(),
                     infeasible_core: None,
+                    certificate: None,
                 }
             }
         };
@@ -193,19 +203,23 @@ impl IlpMapper {
             presolve: self.options.presolve,
             conflict_limit: self.options.conflict_limit,
             objective_stop: self.options.objective_stop,
+            certify: self.options.certify,
+            mem_limit: self.options.mem_limit,
             ..SolverConfig::default()
         };
         // The incremental path keeps one engine across the feasibility
         // probe and the optimising descent; a portfolio races independent
         // engines, so `threads != 1` falls back to the one-shot solve.
-        let (outcome, solver_stats) = if self.options.incremental && self.options.threads == 1 {
-            self.solve_incremental(dfg, mrrg, &formulation, config)
-        } else {
-            let mut solver = Solver::with_config(config);
-            let out = solver.solve(formulation.model());
-            let outcome = self.decode_outcome(dfg, mrrg, &formulation, out);
-            (outcome, solver.stats())
-        };
+        let (outcome, solver_stats, certificate) =
+            if self.options.incremental && self.options.threads == 1 {
+                self.solve_incremental(dfg, mrrg, &formulation, config)
+            } else {
+                let mut solver = Solver::with_config(config);
+                let out = solver.solve(formulation.model());
+                let outcome = self.decode_outcome(dfg, mrrg, &formulation, out);
+                let certificate = solver.certificate().cloned();
+                (outcome, solver.stats(), certificate)
+            };
         let infeasible_core = if self.options.explain_infeasible
             && matches!(outcome, MapOutcome::Infeasible { .. })
         {
@@ -223,6 +237,7 @@ impl IlpMapper {
             formulation: stats,
             solver: solver_stats,
             infeasible_core,
+            certificate,
         }
     }
 
@@ -237,7 +252,7 @@ impl IlpMapper {
         mrrg: &Mrrg,
         formulation: &Formulation,
         config: SolverConfig,
-    ) -> (MapOutcome, SolveStats) {
+    ) -> (MapOutcome, SolveStats, Option<Certificate>) {
         let mut inc = IncrementalSolver::new(formulation.model(), config);
         let first = inc.solve_feasible();
         let outcome = if self.options.optimize && first.solution().is_some() {
@@ -245,7 +260,8 @@ impl IlpMapper {
         } else {
             self.decode_outcome(dfg, mrrg, formulation, first)
         };
-        (outcome, inc.stats())
+        let certificate = inc.certificate().cloned();
+        (outcome, inc.stats(), certificate)
     }
 
     /// Translates a solver outcome into a [`MapOutcome`], decoding and

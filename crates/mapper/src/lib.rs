@@ -47,6 +47,7 @@ mod options;
 mod report;
 mod search;
 pub mod text;
+mod trust;
 
 pub use anneal::{AnnealParams, AnnealingMapper};
 pub use formulation::{BuildInfeasible, DecodeError, Formulation, FormulationStats};
@@ -54,4 +55,6 @@ pub use ilp::{IlpMapper, MapOutcome, MapReport};
 pub use mapping::{expected_port, validate_mapping, Mapping, MappingError};
 pub use options::{MapperOptions, Objective, ObjectiveWeights};
 pub use report::{render_infeasibility, render_mapping, render_route};
-pub use search::{map_min_ii, MinIiReport, MinIiTotals};
+pub use search::{
+    map_min_ii, verdict_provenance, IiAttempt, MinIiReport, MinIiTotals, VerdictProvenance,
+};

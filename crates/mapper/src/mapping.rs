@@ -37,11 +37,17 @@ impl Mapping {
     }
 
     /// The set of distinct routing nodes used, per value-producing op.
+    /// Routes keyed by edge ids not in `dfg` are ignored (the validator
+    /// rejects such mappings; accounting must not panic on them).
     pub fn nodes_by_value(&self, dfg: &Dfg) -> BTreeMap<OpId, BTreeSet<NodeId>> {
         let mut map: BTreeMap<OpId, BTreeSet<NodeId>> = BTreeMap::new();
         for (e, path) in &self.routes {
-            let src = dfg.edges()[e.index()].src;
-            map.entry(src).or_default().extend(path.iter().copied());
+            let Some(edge) = dfg.edges().get(e.index()) else {
+                continue;
+            };
+            map.entry(edge.src)
+                .or_default()
+                .extend(path.iter().copied());
         }
         map
     }
@@ -177,6 +183,12 @@ pub enum MappingError {
         /// The operation name.
         op: String,
     },
+    /// A route is keyed by an edge id that does not exist in the DFG —
+    /// the mapping was built against a different graph.
+    UnknownEdge {
+        /// The dangling edge index.
+        index: usize,
+    },
 }
 
 impl fmt::Display for MappingError {
@@ -213,8 +225,19 @@ impl fmt::Display for MappingError {
             MappingError::IllegalSwap { op } => {
                 write!(f, "non-commutative operation `{op}` has swapped operands")
             }
+            MappingError::UnknownEdge { index } => {
+                write!(f, "route references edge #{index}, which is not in the DFG")
+            }
         }
     }
+}
+
+/// The MRRG node's name, or a descriptive placeholder when the id does
+/// not resolve — error construction must never panic on dangling ids.
+fn node_name(mrrg: &Mrrg, n: NodeId) -> String {
+    mrrg.node(n)
+        .map(|node| node.name.clone())
+        .unwrap_or_else(|_| format!("<unknown node #{}>", n.index()))
 }
 
 impl std::error::Error for MappingError {}
@@ -327,12 +350,17 @@ pub fn validate_mapping(dfg: &Dfg, mrrg: &Mrrg, mapping: &Mapping) -> Result<(),
     // exclusivity: one entering input per (mux, value).
     let mut value_on_node: BTreeMap<NodeId, OpId> = BTreeMap::new();
     for (e, path) in &mapping.routes {
-        let value = dfg.edges()[e.index()].src;
+        // Routes are caller-supplied: an edge id from a different DFG
+        // must surface as an error, not an index panic.
+        let Some(edge) = dfg.edges().get(e.index()) else {
+            return Err(MappingError::UnknownEdge { index: e.index() });
+        };
+        let value = edge.src;
         for &n in path {
             match value_on_node.get(&n) {
                 Some(&v) if v != value => {
                     return Err(MappingError::RouteOveruse {
-                        node: mrrg.node(n).expect("validated").name.clone(),
+                        node: node_name(mrrg, n),
                     });
                 }
                 _ => {
@@ -350,7 +378,7 @@ pub fn validate_mapping(dfg: &Dfg, mrrg: &Mrrg, mapping: &Mapping) -> Result<(),
             if let Some(&existing) = entry.get(&cur) {
                 if existing != prev {
                     return Err(MappingError::MuxConflict {
-                        node: mrrg.node(cur).expect("validated").name.clone(),
+                        node: node_name(mrrg, cur),
                     });
                 }
             } else {
@@ -392,5 +420,62 @@ mod tests {
         let mrrg = Mrrg::new("m", 1);
         let err = validate_mapping(&dfg, &mrrg, &Mapping::new()).unwrap_err();
         assert!(matches!(err, MappingError::Unplaced(_)));
+    }
+
+    #[test]
+    fn foreign_edge_id_reports_unknown_edge() {
+        use cgra_arch::families::{grid, FuMix, GridParams, Interconnect};
+        use cgra_mrrg::build_mrrg;
+        // A route keyed by an edge id minted by a *different* DFG must
+        // produce a descriptive error, never an index panic.
+        let mut donor = Dfg::new("donor");
+        let a = donor.add_op("a", OpKind::Input).unwrap();
+        let o = donor.add_op("o", OpKind::Output).unwrap();
+        donor.connect(a, o, 0).unwrap();
+        let foreign = donor.edge_ids().next().unwrap();
+
+        let mut dfg = Dfg::new("t");
+        let i = dfg.add_op("i", OpKind::Input).unwrap();
+        let arch = grid(GridParams::paper(
+            FuMix::Homogeneous,
+            Interconnect::Orthogonal,
+        ));
+        let mrrg = build_mrrg(&arch, 1);
+        let slot = mrrg
+            .function_nodes()
+            .find(|&p| {
+                matches!(&mrrg.nodes()[p.index()].kind,
+                         NodeKind::Function { ops } if ops.contains(OpKind::Input))
+            })
+            .expect("input-capable unit");
+        let mut mapping = Mapping::new();
+        mapping.placement.insert(i, slot);
+        mapping.routes.insert(foreign, vec![slot]);
+        // Resource accounting skips the foreign edge instead of panicking.
+        assert_eq!(mapping.routing_resource_usage(&dfg), 0);
+        let err = validate_mapping(&dfg, &mrrg, &mapping).unwrap_err();
+        assert!(
+            matches!(err, MappingError::UnknownEdge { index: 0 }),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn dangling_node_id_renders_placeholder() {
+        use cgra_arch::families::{grid, FuMix, GridParams, Interconnect};
+        use cgra_mrrg::build_mrrg;
+        let arch = grid(GridParams::paper(
+            FuMix::Homogeneous,
+            Interconnect::Orthogonal,
+        ));
+        let small = build_mrrg(&arch, 1);
+        // An id one past the end of the node table.
+        let dangling = NodeId(small.nodes().len() as u32);
+        assert!(small.node(dangling).is_err(), "test premise");
+        let name = node_name(&small, dangling);
+        assert!(name.starts_with("<unknown node #"), "{name}");
+        // And a real id still renders its actual name.
+        let real = small.function_nodes().next().expect("nonempty");
+        assert_eq!(node_name(&small, real), small.node(real).unwrap().name);
     }
 }

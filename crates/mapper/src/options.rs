@@ -157,6 +157,27 @@ pub struct MapperOptions {
     /// [`MapReport::infeasible_core`](crate::MapReport::infeasible_core).
     /// Costs one extra (usually fast) solve on infeasible instances.
     pub explain_infeasible: bool,
+    /// Whether `Infeasible` solver verdicts are certified: the solve is
+    /// replayed with proof logging and the proof is re-derived by the
+    /// solver's independent RUP checker. The resulting
+    /// [`Certificate`](bilp::Certificate) is attached to
+    /// [`MapReport::certificate`](crate::MapReport::certificate), and the
+    /// min-II search records per-II verdict provenance. Certification
+    /// costs up to one extra `time_limit` on infeasible instances.
+    pub certify: bool,
+    /// Approximate per-attempt byte cap for the solver's learnt-clause
+    /// database and proof log; exceeding it degrades to a clean
+    /// best-found/timeout outcome instead of unbounded memory growth.
+    /// `None` (the default) disables the watchdog.
+    pub mem_limit: Option<usize>,
+    /// Whether the min-II search may fall back to the simulated-annealing
+    /// mapper when the ILP attempt at an II times out: a validated
+    /// annealer mapping upgrades the `T` cell to a (non-optimal, but
+    /// certified-by-validation) mapped result, flagged as a fallback in
+    /// [`IiAttempt::fallback`](crate::IiAttempt::fallback). Verdicts are
+    /// never downgraded — infeasibility proofs still come only from the
+    /// exact solver.
+    pub anneal_fallback: bool,
 }
 
 impl Default for MapperOptions {
@@ -177,6 +198,9 @@ impl Default for MapperOptions {
             conflict_limit: None,
             objective_stop: None,
             explain_infeasible: false,
+            certify: false,
+            mem_limit: None,
+            anneal_fallback: false,
         }
     }
 }

@@ -22,14 +22,68 @@
 //! * presolve and engine statistics are accumulated across every attempt
 //!   into [`MinIiReport::totals`].
 
+use crate::anneal::{AnnealParams, AnnealingMapper};
 use crate::formulation::BuildInfeasible;
 use crate::ilp::{IlpMapper, MapOutcome, MapReport};
 use crate::options::MapperOptions;
+use crate::trust;
 use bilp::PresolveStats;
 use cgra_arch::Architecture;
 use cgra_dfg::{Dfg, OpKind};
 use cgra_mrrg::{build_mrrg, Mrrg, NodeKind};
 use std::time::{Duration, Instant};
+
+/// How much an II verdict in a [`MinIiReport`] can be trusted.
+///
+/// Positive verdicts (a mapping) are always structurally validated
+/// against the DFG and MRRG, so they are `Certified` by construction.
+/// Negative verdicts (`Infeasible`) are only `Certified` when an
+/// independent checker re-derived them: the solver's RUP proof checker
+/// for search-derived infeasibility (see [`bilp::checker`]), or the
+/// Hall-witness auditor (see this crate's trust module) for
+/// capacity-analysis shortcuts. Timeouts decide nothing and are always
+/// `Unchecked`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum VerdictProvenance {
+    /// The verdict was re-derived by an independent checker (or, for a
+    /// mapping, validated structurally).
+    Certified,
+    /// No independent check ran (certification off, the verdict was a
+    /// timeout, or the check exhausted its budget). The verdict stands
+    /// on the search engine's word.
+    Unchecked,
+    /// An independent check ran and **contradicted** the verdict. Do
+    /// not trust this cell.
+    CheckFailed,
+}
+
+impl VerdictProvenance {
+    /// A short, stable label: `"certified"`, `"unchecked"` or
+    /// `"check-failed"`.
+    pub fn label(&self) -> &'static str {
+        match self {
+            VerdictProvenance::Certified => "certified",
+            VerdictProvenance::Unchecked => "unchecked",
+            VerdictProvenance::CheckFailed => "check-failed",
+        }
+    }
+}
+
+/// One II attempt of a minimum-II search.
+#[derive(Debug, Clone)]
+pub struct IiAttempt {
+    /// The initiation interval attempted.
+    pub ii: u32,
+    /// The mapping attempt's full report.
+    pub report: MapReport,
+    /// Trust status of the verdict (see [`VerdictProvenance`]).
+    pub provenance: VerdictProvenance,
+    /// Whether the mapping came from the simulated-annealing fallback
+    /// after the exact solver timed out
+    /// ([`MapperOptions::anneal_fallback`]). Fallback mappings are
+    /// validated like any other but carry no optimality information.
+    pub fallback: bool,
+}
 
 /// Statistics accumulated over a whole minimum-II search.
 #[derive(Debug, Clone, Copy, Default)]
@@ -72,8 +126,9 @@ impl MinIiTotals {
 /// Result of [`map_min_ii`].
 #[derive(Debug, Clone)]
 pub struct MinIiReport {
-    /// Every attempted II with its mapping report, in increasing order.
-    pub attempts: Vec<(u32, MapReport)>,
+    /// Every attempted II with its report and verdict provenance, in
+    /// increasing II order.
+    pub attempts: Vec<IiAttempt>,
     /// The smallest II that mapped, if any did.
     pub min_ii: Option<u32>,
     /// Cumulative statistics across the whole search.
@@ -86,8 +141,15 @@ impl MinIiReport {
         let ii = self.min_ii?;
         self.attempts
             .iter()
-            .find(|(i, _)| *i == ii)
-            .and_then(|(_, r)| r.outcome.mapping())
+            .find(|a| a.ii == ii)
+            .and_then(|a| a.report.outcome.mapping())
+    }
+
+    /// Whether any attempt's verdict failed its independent check.
+    pub fn any_check_failed(&self) -> bool {
+        self.attempts
+            .iter()
+            .any(|a| a.provenance == VerdictProvenance::CheckFailed)
     }
 }
 
@@ -197,6 +259,65 @@ impl CapacityAnalysis {
     }
 }
 
+/// Audits a single mapper verdict, returning how much it can be trusted.
+///
+/// This is the same audit [`map_min_ii`] applies to every II attempt,
+/// exposed for harnesses that drive [`crate::IlpMapper`] directly:
+/// mapped outcomes are certified by structural re-validation, solver
+/// infeasibility by the attached proof [`bilp::Certificate`], and
+/// build-stage infeasibility (when `options.certify` is set) by the
+/// independent re-derivation in this crate's trust module. `mrrg1` must
+/// be the II=1 MRRG for the same architecture the report was solved on.
+pub fn verdict_provenance(
+    dfg: &Dfg,
+    mrrg1: &Mrrg,
+    ii: u32,
+    report: &MapReport,
+    options: &MapperOptions,
+) -> VerdictProvenance {
+    provenance_of(dfg, mrrg1, ii, report, options)
+}
+
+/// Derives the trust status of one attempt's verdict.
+///
+/// * A mapping was structurally validated inside the mapper — always
+///   `Certified`, fallback or not.
+/// * A timeout decides nothing — always `Unchecked`.
+/// * Search-derived infeasibility carries the solver's own
+///   [`Certificate`](bilp::Certificate) when
+///   [`MapperOptions::certify`] is set.
+/// * Build-stage infeasibility (capacity shortcut or formulation
+///   presolve) is audited by the trust module's independent
+///   re-derivation — Hall witness for capacity claims, direct MRRG scan
+///   for missing-unit claims — again only under `certify`.
+fn provenance_of(
+    dfg: &Dfg,
+    mrrg1: &Mrrg,
+    ii: u32,
+    report: &MapReport,
+    options: &MapperOptions,
+) -> VerdictProvenance {
+    match &report.outcome {
+        MapOutcome::Mapped { .. } => VerdictProvenance::Certified,
+        MapOutcome::Timeout => VerdictProvenance::Unchecked,
+        MapOutcome::Infeasible { reason: Some(r) } => {
+            if !options.certify {
+                return VerdictProvenance::Unchecked;
+            }
+            match trust::verify_build_infeasible(dfg, mrrg1, ii, r) {
+                Some(true) => VerdictProvenance::Certified,
+                Some(false) => VerdictProvenance::CheckFailed,
+                None => VerdictProvenance::Unchecked,
+            }
+        }
+        MapOutcome::Infeasible { reason: None } => match &report.certificate {
+            Some(c) if c.is_certified() => VerdictProvenance::Certified,
+            Some(c) if c.is_check_failed() => VerdictProvenance::CheckFailed,
+            _ => VerdictProvenance::Unchecked,
+        },
+    }
+}
+
 /// Finds the smallest initiation interval (context count) at which `dfg`
 /// maps onto `arch`, trying `1..=max_ii` in order.
 ///
@@ -235,41 +356,50 @@ pub fn map_min_ii(
     let mut min_ii = None;
     let mut totals = MinIiTotals::default();
 
-    // One II=1 MRRG drives the context-invariant analysis and is then
-    // reused for the II=1 attempt itself.
-    let mut mrrg1 = Some(build_mrrg(arch, 1));
-    let analysis = CapacityAnalysis::build(dfg, mrrg1.as_ref().expect("just built"));
+    // One II=1 MRRG drives the context-invariant analysis, is reused for
+    // the II=1 attempt, and stays alive for the trust auditor (it checks
+    // capacity claims at any II against the II=1 graph).
+    let mrrg1 = build_mrrg(arch, 1);
+    let analysis = CapacityAnalysis::build(dfg, &mrrg1);
 
     for ii in 1..=max_ii {
         let attempt_start = Instant::now();
         if let Some(reason) = analysis.reject(ii, options.redundant_capacity) {
             totals.capacity_shortcuts += 1;
-            attempts.push((
-                ii,
-                MapReport {
-                    outcome: MapOutcome::Infeasible {
-                        reason: Some(reason),
-                    },
-                    elapsed: attempt_start.elapsed(),
-                    formulation: Default::default(),
-                    solver: Default::default(),
-                    infeasible_core: None,
+            let report = MapReport {
+                outcome: MapOutcome::Infeasible {
+                    reason: Some(reason),
                 },
-            ));
+                elapsed: attempt_start.elapsed(),
+                formulation: Default::default(),
+                solver: Default::default(),
+                infeasible_core: None,
+                certificate: None,
+            };
+            let provenance = provenance_of(dfg, &mrrg1, ii, &report, &options);
+            attempts.push(IiAttempt {
+                ii,
+                report,
+                provenance,
+                fallback: false,
+            });
             continue;
         }
 
-        let mrrg = match (ii, mrrg1.take()) {
-            (1, Some(m)) => m,
-            _ => build_mrrg(arch, ii),
+        let built;
+        let mrrg: &Mrrg = if ii == 1 {
+            &mrrg1
+        } else {
+            built = build_mrrg(arch, ii);
+            &built
         };
 
-        let report = if options.optimize && options.incremental && options.threads == 1 {
+        let mut report = if options.optimize && options.incremental && options.threads == 1 {
             // One formulation, one engine: the mapper's incremental path
             // runs the feasibility probe and the optimising descent on
             // the same solver, so learnt clauses carry over and the
             // probe's incumbent seeds the first objective bound.
-            let report = IlpMapper::new(options).map(dfg, &mrrg);
+            let report = IlpMapper::new(options).map(dfg, mrrg);
             totals.absorb(&report);
             report
         } else {
@@ -280,7 +410,7 @@ pub fn map_min_ii(
                 optimize: false,
                 ..options
             })
-            .map(dfg, &mrrg);
+            .map(dfg, mrrg);
             totals.absorb(&feasibility);
 
             let mut report = feasibility;
@@ -290,7 +420,7 @@ pub fn map_min_ii(
                     // solve as a warm start: the solver opens with a known
                     // incumbent and spends its budget proving or improving.
                     let mut optimized =
-                        IlpMapper::new(options).map_with_hint(dfg, &mrrg, Some(&found));
+                        IlpMapper::new(options).map_with_hint(dfg, mrrg, Some(&found));
                     totals.absorb(&optimized);
                     if optimized.outcome.is_mapped() {
                         // The attempt's report covers both phases: merge the
@@ -308,8 +438,37 @@ pub fn map_min_ii(
             report
         };
 
+        // Graceful degradation: a timeout decides nothing, but a
+        // heuristic mapping — validated like any other — still upgrades
+        // the cell from `T` to a usable (non-optimal) result.
+        let mut fallback = false;
+        if options.anneal_fallback && matches!(report.outcome, MapOutcome::Timeout) {
+            let heuristic = AnnealingMapper::new(
+                MapperOptions {
+                    warm_start: false,
+                    ..options
+                },
+                AnnealParams::default(),
+            )
+            .map(dfg, mrrg);
+            if heuristic.outcome.is_mapped() {
+                report = MapReport {
+                    outcome: heuristic.outcome,
+                    elapsed: report.elapsed + heuristic.elapsed,
+                    ..report
+                };
+                fallback = true;
+            }
+        }
+
         let mapped = matches!(report.outcome, MapOutcome::Mapped { .. });
-        attempts.push((ii, report));
+        let provenance = provenance_of(dfg, &mrrg1, ii, &report, &options);
+        attempts.push(IiAttempt {
+            ii,
+            report,
+            provenance,
+            fallback,
+        });
         if mapped {
             min_ii = Some(ii);
             break;
@@ -346,9 +505,12 @@ mod tests {
         };
         let report = map_min_ii(&dfg, &arch, options, 2);
         assert_eq!(report.min_ii, Some(2));
-        assert_ne!(report.attempts[0].1.outcome.table_symbol(), "1");
+        assert_ne!(report.attempts[0].report.outcome.table_symbol(), "1");
         assert!(report.mapping().is_some());
-        assert!(report.totals.elapsed >= report.attempts[1].1.elapsed);
+        assert!(report.totals.elapsed >= report.attempts[1].report.elapsed);
+        // The II=2 mapping is validated, so its verdict is certified.
+        assert_eq!(report.attempts[1].provenance, VerdictProvenance::Certified);
+        assert!(!report.attempts[1].fallback);
     }
 
     #[test]
@@ -372,7 +534,7 @@ mod tests {
         assert_eq!(report.min_ii, Some(2));
         assert_eq!(report.totals.capacity_shortcuts, 1);
         assert!(matches!(
-            report.attempts[0].1.outcome,
+            report.attempts[0].report.outcome,
             MapOutcome::Infeasible {
                 reason: Some(BuildInfeasible::CapacityExceeded { .. })
             }
@@ -400,6 +562,32 @@ mod tests {
         assert_eq!(at_one.attempts.len(), 1);
         // The multiplier shortage is provable from the cached analysis.
         assert_eq!(at_one.totals.capacity_shortcuts, 1);
+        // Certification was not requested, so the shortcut verdict is
+        // unchecked.
+        assert_eq!(at_one.attempts[0].provenance, VerdictProvenance::Unchecked);
+    }
+
+    #[test]
+    fn certified_capacity_shortcut_provenance() {
+        // With certification on, a capacity-shortcut rejection is audited
+        // by the independent Hall-witness verifier and comes back
+        // certified.
+        let arch = grid(GridParams::paper(
+            FuMix::Heterogeneous,
+            Interconnect::Orthogonal,
+        ));
+        let dfg = (cgra_dfg::benchmarks::by_name("mult_16")
+            .expect("known")
+            .build)();
+        let options = MapperOptions {
+            certify: true,
+            ..MapperOptions::default()
+        };
+        let report = map_min_ii(&dfg, &arch, options, 1);
+        assert_eq!(report.min_ii, None);
+        assert_eq!(report.totals.capacity_shortcuts, 1);
+        assert_eq!(report.attempts[0].provenance, VerdictProvenance::Certified);
+        assert!(!report.any_check_failed());
     }
 
     #[test]
@@ -449,7 +637,7 @@ mod tests {
         };
         let report = map_min_ii(&dfg, &arch, options, 2);
         assert_eq!(report.min_ii, Some(1));
-        let MapOutcome::Mapped { optimal, .. } = report.attempts[0].1.outcome else {
+        let MapOutcome::Mapped { optimal, .. } = report.attempts[0].report.outcome else {
             panic!("tiny add maps at II=1");
         };
         assert!(optimal, "optimisation stage should prove optimality");

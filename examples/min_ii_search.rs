@@ -52,8 +52,13 @@ fn main() {
         let arch = grid(GridParams::paper(mix, ic));
         let report = map_min_ii(&dfg, &arch, options, 4);
         print!("{label:<14}");
-        for (ii, attempt) in &report.attempts {
-            print!("  II={ii}: {}", attempt.outcome.table_symbol());
+        for attempt in &report.attempts {
+            print!(
+                "  II={}: {} [{}]",
+                attempt.ii,
+                attempt.report.outcome.table_symbol(),
+                attempt.provenance.label()
+            );
         }
         match report.min_ii {
             Some(ii) => println!("  => best throughput 1/{ii}"),
