@@ -1,0 +1,190 @@
+//! Stable content hashing of architectures for cache keys.
+//!
+//! Mirrors [`cgra_dfg::hash`]: FNV-1a per-item digests combined with an
+//! order-independent reduction, so two architectures built by adding
+//! components or connections in different orders hash identically while
+//! any real edit (op set, latency, II, mux width, rewired connection)
+//! changes the digest. Components and ports are identified by *name*,
+//! never by `CompId`, so the hash survives serialisation round-trips
+//! through the text format.
+
+use crate::arch::Architecture;
+use crate::component::{ComponentKind, Port, PortRef};
+use cgra_dfg::{ContentHasher, UnorderedDigest};
+
+fn write_port(h: &mut ContentHasher, port: Port) {
+    match port {
+        Port::Out => h.write_u64(u64::MAX),
+        Port::In(i) => h.write_u64(u64::from(i)),
+    }
+}
+
+fn write_port_ref(h: &mut ContentHasher, arch: &Architecture, p: PortRef) {
+    h.write_str(&arch.components()[p.comp.index()].name);
+    write_port(h, p.port);
+}
+
+impl Architecture {
+    /// A stable, order-independent content hash of the netlist.
+    ///
+    /// Two architectures hash equal iff they have the same name and the
+    /// same multiset of components (name, kind with all parameters) and
+    /// connections (endpoint component names and ports) — regardless of
+    /// construction order. Stable across processes and releases, so the
+    /// mapping service can persist cache entries keyed by it.
+    pub fn content_hash(&self) -> u64 {
+        let mut comps = UnorderedDigest::new();
+        for c in self.components() {
+            let mut h = ContentHasher::new("arch-comp");
+            h.write_str(&c.name);
+            match &c.kind {
+                ComponentKind::FuncUnit { ops, latency, ii } => {
+                    h.write_str("fu");
+                    h.write_u64(ops.len() as u64);
+                    for k in ops.iter() {
+                        h.write_str(k.mnemonic());
+                    }
+                    h.write_u64(u64::from(*latency));
+                    h.write_u64(u64::from(*ii));
+                }
+                ComponentKind::Mux { inputs } => {
+                    h.write_str("mux");
+                    h.write_u64(u64::from(*inputs));
+                }
+                ComponentKind::Register => h.write_str("reg"),
+            }
+            comps.absorb(h.finish());
+        }
+        let mut conns = UnorderedDigest::new();
+        for c in self.connections() {
+            let mut h = ContentHasher::new("arch-conn");
+            write_port_ref(&mut h, self, c.from);
+            write_port_ref(&mut h, self, c.to);
+            conns.absorb(h.finish());
+        }
+        let mut h = ContentHasher::new("arch");
+        h.write_str(self.name());
+        h.write_u64(self.components().len() as u64);
+        h.write_u64(self.connections().len() as u64);
+        h.write_u64(comps.finish());
+        h.write_u64(conns.finish());
+        h.finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::component::alu_ops;
+
+    fn fu(with_mul: bool) -> ComponentKind {
+        ComponentKind::FuncUnit {
+            ops: alu_ops(with_mul),
+            latency: 0,
+            ii: 1,
+        }
+    }
+
+    /// fu -> reg -> mux(fu, reg) in the natural order.
+    fn trio_forward() -> Architecture {
+        let mut a = Architecture::new("trio");
+        let f = a.add_component("f", fu(true)).unwrap();
+        let r = a.add_component("r", ComponentKind::Register).unwrap();
+        let m = a
+            .add_component("m", ComponentKind::Mux { inputs: 2 })
+            .unwrap();
+        a.connect(PortRef::out(f), PortRef::input(r, 0)).unwrap();
+        a.connect(PortRef::out(f), PortRef::input(m, 0)).unwrap();
+        a.connect(PortRef::out(r), PortRef::input(m, 1)).unwrap();
+        a
+    }
+
+    /// The same netlist with components and connections added in a
+    /// scrambled order.
+    fn trio_scrambled() -> Architecture {
+        let mut a = Architecture::new("trio");
+        let m = a
+            .add_component("m", ComponentKind::Mux { inputs: 2 })
+            .unwrap();
+        let f = a.add_component("f", fu(true)).unwrap();
+        let r = a.add_component("r", ComponentKind::Register).unwrap();
+        a.connect(PortRef::out(r), PortRef::input(m, 1)).unwrap();
+        a.connect(PortRef::out(f), PortRef::input(m, 0)).unwrap();
+        a.connect(PortRef::out(f), PortRef::input(r, 0)).unwrap();
+        a
+    }
+
+    #[test]
+    fn invariant_under_insertion_order() {
+        assert_eq!(
+            trio_forward().content_hash(),
+            trio_scrambled().content_hash()
+        );
+    }
+
+    #[test]
+    fn text_round_trip_preserves_hash() {
+        let a = trio_forward();
+        let printed = crate::text::print(&a);
+        let parsed = crate::text::parse(&printed).unwrap();
+        assert_eq!(a.content_hash(), parsed.content_hash());
+    }
+
+    #[test]
+    fn sensitive_to_op_set() {
+        let mut a = Architecture::new("trio");
+        a.add_component("f", fu(true)).unwrap();
+        let mut b = Architecture::new("trio");
+        b.add_component("f", fu(false)).unwrap();
+        assert_ne!(a.content_hash(), b.content_hash());
+    }
+
+    #[test]
+    fn sensitive_to_latency_and_ii() {
+        let mk = |latency, ii| {
+            let mut a = Architecture::new("t");
+            a.add_component(
+                "f",
+                ComponentKind::FuncUnit {
+                    ops: alu_ops(true),
+                    latency,
+                    ii,
+                },
+            )
+            .unwrap();
+            a.content_hash()
+        };
+        assert_ne!(mk(0, 1), mk(1, 1));
+        assert_ne!(mk(0, 1), mk(0, 2));
+    }
+
+    #[test]
+    fn sensitive_to_rewired_connection() {
+        let a = trio_forward();
+        let mut b = Architecture::new("trio");
+        let f = b.add_component("f", fu(true)).unwrap();
+        let r = b.add_component("r", ComponentKind::Register).unwrap();
+        let m = b
+            .add_component("m", ComponentKind::Mux { inputs: 2 })
+            .unwrap();
+        // Swap which component drives each mux input.
+        b.connect(PortRef::out(f), PortRef::input(r, 0)).unwrap();
+        b.connect(PortRef::out(r), PortRef::input(m, 0)).unwrap();
+        b.connect(PortRef::out(f), PortRef::input(m, 1)).unwrap();
+        assert_ne!(a.content_hash(), b.content_hash());
+    }
+
+    #[test]
+    fn paper_family_hashes_distinct() {
+        use crate::families::{grid, FuMix, GridParams, Interconnect};
+        let mut seen = std::collections::HashMap::new();
+        for mix in [FuMix::Homogeneous, FuMix::Heterogeneous] {
+            for ic in [Interconnect::Orthogonal, Interconnect::Diagonal] {
+                let arch = grid(GridParams::paper(mix, ic));
+                if let Some(prev) = seen.insert(arch.content_hash(), arch.name().to_string()) {
+                    panic!("hash collision between {} and {}", prev, arch.name());
+                }
+            }
+        }
+    }
+}

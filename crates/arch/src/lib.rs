@@ -34,6 +34,7 @@
 mod arch;
 mod component;
 pub mod families;
+mod hash;
 pub mod text;
 
 pub use arch::{ArchError, Architecture};

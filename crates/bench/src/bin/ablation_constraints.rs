@@ -65,6 +65,10 @@ fn probe(
 }
 
 fn main() {
+    let mut cli = cgra_bench::cli::Cli::new("ablation_constraints");
+    if let Some(arg) = cli.next_arg() {
+        cli.fail(&format!("unexpected argument {arg}"));
+    }
     println!("Part 1: the Example 2 fragment (loop cloud + shared mux)\n");
     let dfg = two_in_two_out();
     let mrrg = build_mrrg(&example2_fragment(), 1);

@@ -43,20 +43,14 @@ fn main() {
     let mut time_limit = Duration::from_secs(10);
     let mut output = String::from("BENCH_certify.json");
     let mut filter: Vec<String> = Vec::new();
-    let mut args = std::env::args().skip(1);
-    while let Some(a) = args.next() {
+    let mut cli = cgra_bench::cli::Cli::new(
+        "certify [--time-limit <seconds>] [--output <path>] [benchmark ...]",
+    );
+    while let Some(a) = cli.next_arg() {
         match a.as_str() {
-            "--time-limit" => {
-                let secs: u64 = args
-                    .next()
-                    .and_then(|v| v.parse().ok())
-                    .expect("--time-limit takes seconds");
-                time_limit = Duration::from_secs(secs);
-            }
-            "--output" => {
-                output = args.next().expect("--output takes a path");
-            }
-            name => filter.push(name.to_owned()),
+            "--time-limit" => time_limit = cli.seconds("--time-limit"),
+            "--output" => output = cli.value("--output", "a path"),
+            name => filter.push(cli.benchmark_name(name)),
         }
     }
 
@@ -161,7 +155,7 @@ fn main() {
         infeasible_uncertified.len(),
         mismatches.len()
     );
-    std::fs::write(&output, &json).expect("write bench json");
+    cgra_bench::cli::write_output(&output, &json);
 
     println!("geomean wall-clock ratio (certify on / off): {geo_wall:.3}");
     println!(
@@ -177,7 +171,6 @@ fn main() {
         "decided-verdict mismatches:                  {}",
         mismatches.len()
     );
-    println!("wrote {output}");
     for r in &infeasible_uncertified {
         println!(
             "  UNCERTIFIED INFEASIBLE {}/{}/{}: {}",

@@ -21,23 +21,13 @@ fn main() {
     let mut time_limit = Duration::from_secs(60);
     let mut jobs = 1usize;
     let mut filter: Vec<String> = Vec::new();
-    let mut args = std::env::args().skip(1);
-    while let Some(a) = args.next() {
+    let mut cli =
+        cgra_bench::cli::Cli::new("fig8 [--time-limit <seconds>] [--jobs <n>] [benchmark ...]");
+    while let Some(a) = cli.next_arg() {
         match a.as_str() {
-            "--time-limit" => {
-                let secs: u64 = args
-                    .next()
-                    .and_then(|v| v.parse().ok())
-                    .expect("--time-limit takes seconds");
-                time_limit = Duration::from_secs(secs);
-            }
-            "--jobs" => {
-                jobs = args
-                    .next()
-                    .and_then(|v| v.parse().ok())
-                    .expect("--jobs takes a count");
-            }
-            name => filter.push(name.to_owned()),
+            "--time-limit" => time_limit = cli.seconds("--time-limit"),
+            "--jobs" => jobs = cli.value("--jobs", "a job count"),
+            name => filter.push(cli.benchmark_name(name)),
         }
     }
     let jobs = if jobs == 0 {

@@ -90,33 +90,25 @@ fn main() {
     let mut out_path = String::from("BENCH_incremental.json");
     let mut smoke = false;
     let mut filter: Vec<String> = Vec::new();
-    let mut args = std::env::args().skip(1);
-    while let Some(a) = args.next() {
+    let mut cli = cgra_bench::cli::Cli::new(
+        "incremental_bench [--time-limit <seconds>] [--conflict-limit <n>] [--reps <n>] \
+         [--out <path>] [--smoke] [config/kernel ...]",
+    );
+    while let Some(a) = cli.next_arg() {
         match a.as_str() {
-            "--time-limit" => {
-                let secs: u64 = args
-                    .next()
-                    .and_then(|v| v.parse().ok())
-                    .expect("--time-limit takes seconds");
-                time_limit = Duration::from_secs(secs);
-            }
+            "--time-limit" => time_limit = cli.seconds("--time-limit"),
             "--conflict-limit" => {
-                conflict_limit = args
-                    .next()
-                    .and_then(|v| v.parse().ok())
-                    .expect("--conflict-limit takes a conflict count");
+                conflict_limit = cli.value("--conflict-limit", "a conflict count");
             }
             "--reps" => {
-                reps = args
-                    .next()
-                    .and_then(|v| v.parse().ok())
-                    .filter(|&r| r > 0)
-                    .expect("--reps takes a positive repetition count");
+                reps = cli.value("--reps", "a positive repetition count");
+                if reps == 0 {
+                    cli.fail("--reps requires a positive repetition count");
+                }
             }
-            "--out" => {
-                out_path = args.next().expect("--out takes a path");
-            }
+            "--out" => out_path = cli.value("--out", "a path"),
             "--smoke" => smoke = true,
+            name if name.starts_with('-') => cli.fail(&format!("unknown option {name}")),
             name => filter.push(name.to_owned()),
         }
     }
@@ -136,9 +128,9 @@ fn main() {
         filter
             .iter()
             .map(|s| {
-                let (a, k) = s
-                    .split_once('/')
-                    .unwrap_or_else(|| panic!("instance `{s}` is not config/kernel"));
+                let Some((a, k)) = s.split_once('/') else {
+                    cli.fail(&format!("instance `{s}` is not config/kernel"));
+                };
                 (a.to_string(), k.to_string())
             })
             .collect()
@@ -150,13 +142,13 @@ fn main() {
     let mut speedups: Vec<f64> = Vec::new();
     let mut mismatches = 0usize;
     for (arch_label, name) in &pairs {
-        let arch = &configs
-            .iter()
-            .find(|c| c.label == *arch_label)
-            .unwrap_or_else(|| panic!("unknown paper config `{arch_label}`"))
-            .arch;
-        let entry =
-            benchmarks::by_name(name).unwrap_or_else(|| panic!("unknown benchmark `{name}`"));
+        let Some(config) = configs.iter().find(|c| c.label == *arch_label) else {
+            cli.fail(&format!("unknown paper config `{arch_label}`"));
+        };
+        let arch = &config.arch;
+        let Some(entry) = benchmarks::by_name(name) else {
+            cli.fail(&format!("unknown benchmark `{name}`"));
+        };
         let dfg = (entry.build)();
 
         // Phase 1 — ladder wall-clock: identical first-incumbent task,
@@ -230,9 +222,9 @@ fn main() {
         time_limit.as_secs(),
         rows.join(",\n"),
     );
-    std::fs::write(&out_path, &json).unwrap_or_else(|e| panic!("write {out_path}: {e}"));
+    cgra_bench::cli::write_output(&out_path, &json);
     println!(
-        "wrote {out_path} ({} instances, geomean ladder speedup {geomean:.2}x, {mismatches} decided-verdict mismatches)",
+        "({} instances, geomean ladder speedup {geomean:.2}x, {mismatches} decided-verdict mismatches)",
         rows.len()
     );
     if mismatches > 0 {

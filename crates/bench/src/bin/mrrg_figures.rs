@@ -56,6 +56,10 @@ fn closed_test_arch(latency: u32, unit_ii: u32) -> Architecture {
 }
 
 fn main() {
+    let mut cli = cgra_bench::cli::Cli::new("mrrg_figures");
+    if let Some(arg) = cli.next_arg() {
+        cli.fail(&format!("unexpected argument {arg}"));
+    }
     // Fig 1: multiplexer and register over two contexts.
     let g = build_mrrg(&closed_test_arch(0, 1), 2);
     dump("Fig 1 (left): 2:1 multiplexer, two contexts", &g, &["mux."]);

@@ -28,23 +28,17 @@ const THREAD_COUNTS: [usize; 4] = [1, 2, 4, 8];
 const HARD_SUBSET: [&str; 6] = ["exp_4", "exp_5", "sinh_4", "tay_4", "cos_4", "extreme"];
 
 fn main() {
+    let mut cli = cgra_bench::cli::Cli::new(
+        "portfolio [--time-limit <seconds>] [--out <path>] [benchmark ...]",
+    );
     let mut time_limit = Duration::from_secs(20);
     let mut out_path = String::from("BENCH_portfolio.json");
     let mut filter: Vec<String> = Vec::new();
-    let mut args = std::env::args().skip(1);
-    while let Some(a) = args.next() {
+    while let Some(a) = cli.next_arg() {
         match a.as_str() {
-            "--time-limit" => {
-                let secs: u64 = args
-                    .next()
-                    .and_then(|v| v.parse().ok())
-                    .expect("--time-limit takes seconds");
-                time_limit = Duration::from_secs(secs);
-            }
-            "--out" => {
-                out_path = args.next().expect("--out takes a path");
-            }
-            name => filter.push(name.to_owned()),
+            "--time-limit" => time_limit = cli.seconds("--time-limit"),
+            "--out" => out_path = cli.value("--out", "a path"),
+            name => filter.push(cli.benchmark_name(name)),
         }
     }
     if filter.is_empty() {
@@ -146,9 +140,9 @@ fn main() {
         instance_rows.join(",\n"),
         sweep_rows.join(",\n"),
     );
-    std::fs::write(&out_path, &json).unwrap_or_else(|e| panic!("write {out_path}: {e}"));
+    cgra_bench::cli::write_output(&out_path, &json);
     println!(
-        "wrote {out_path} ({} instances, sweep speedup at 4 jobs: {speedup:.2}x on {cores} cores)",
+        "({} instances, sweep speedup at 4 jobs: {speedup:.2}x on {cores} cores)",
         instance_rows.len()
     );
 }

@@ -5,6 +5,10 @@
 use cgra_dfg::benchmarks;
 
 fn main() {
+    let mut cli = cgra_bench::cli::Cli::new("table1");
+    if let Some(arg) = cli.next_arg() {
+        cli.fail(&format!("unexpected argument {arg}"));
+    }
     println!(
         "{:<14} {:>6} {:>12} {:>12}   (paper: ios/ops/muls)",
         "Benchmark", "I/Os", "Operations", "#Multiplies"

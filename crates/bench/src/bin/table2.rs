@@ -35,6 +35,10 @@ use cgra_bench::{compare_to_paper, render_matrix, run_matrix_parallel, time_summ
 use std::time::Duration;
 
 fn main() {
+    let mut cli = cgra_bench::cli::Cli::new(
+        "table2 [--time-limit <seconds>] [--no-warm-start] [--no-presolve] [--jobs <n>] \
+         [--threads <n>] [--certify] [--mem-limit <MiB>] [--smoke] [benchmark ...]",
+    );
     let mut time_limit = Duration::from_secs(60);
     let mut warm_start = true;
     let mut presolve = true;
@@ -44,40 +48,19 @@ fn main() {
     let mut jobs = 1usize;
     let mut threads = bilp::threads_from_env().unwrap_or(1);
     let mut filter: Vec<String> = Vec::new();
-    let mut args = std::env::args().skip(1);
-    while let Some(a) = args.next() {
+    while let Some(a) = cli.next_arg() {
         match a.as_str() {
-            "--time-limit" => {
-                let secs: u64 = args
-                    .next()
-                    .and_then(|v| v.parse().ok())
-                    .expect("--time-limit takes seconds");
-                time_limit = Duration::from_secs(secs);
-            }
+            "--time-limit" => time_limit = cli.seconds("--time-limit"),
             "--no-warm-start" => warm_start = false,
             "--no-presolve" => presolve = false,
             "--smoke" => smoke = true,
             "--certify" => certify = true,
             "--mem-limit" => {
-                let mib: usize = args
-                    .next()
-                    .and_then(|v| v.parse().ok())
-                    .expect("--mem-limit takes MiB");
-                mem_limit = Some(mib << 20);
+                mem_limit = Some(cli.value::<usize>("--mem-limit", "a MiB count") << 20)
             }
-            "--jobs" => {
-                jobs = args
-                    .next()
-                    .and_then(|v| v.parse().ok())
-                    .expect("--jobs takes a count");
-            }
-            "--threads" => {
-                threads = args
-                    .next()
-                    .and_then(|v| v.parse().ok())
-                    .expect("--threads takes a count");
-            }
-            name => filter.push(name.to_owned()),
+            "--jobs" => jobs = cli.value("--jobs", "a job count"),
+            "--threads" => threads = cli.value("--threads", "a thread count"),
+            name => filter.push(cli.benchmark_name(name)),
         }
     }
     let jobs = if jobs == 0 {

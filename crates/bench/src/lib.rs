@@ -16,6 +16,7 @@
 
 #![warn(missing_docs)]
 
+pub mod cli;
 pub mod timing;
 
 use cgra_arch::families::{paper_configs, PaperConfig};

@@ -63,7 +63,7 @@ use std::collections::VecDeque;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicI64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex, MutexGuard, TryLockError};
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 /// Chaos-testing hook: when set to a worker index, that worker panics on
 /// entry; when set to [`CHAOS_PANIC_ALL`], every worker panics (forcing
@@ -401,6 +401,7 @@ pub(crate) fn solve_portfolio(
     threads: usize,
     stats: &mut SolveStats,
     deadline: Option<Instant>,
+    interrupt: Option<&Arc<AtomicBool>>,
 ) -> Outcome {
     let start = Instant::now();
     let budget = Budget {
@@ -422,6 +423,24 @@ pub(crate) fn solve_portfolio(
 
     // `None` = the worker panicked and was quarantined.
     let results: Vec<Option<(WorkerVerdict, EngineStats)>> = std::thread::scope(|scope| {
+        // Relay an external cancellation flag (e.g. a serving layer's
+        // shutdown signal) into the portfolio's own stop flag. The relay
+        // must not *be* the stop flag: the race sets `stop` on every
+        // decisive verdict, and that must never leak back into the
+        // caller's flag.
+        if let Some(external) = interrupt {
+            let stop = Arc::clone(&shared.stop);
+            let external = Arc::clone(external);
+            scope.spawn(move || {
+                while !stop.load(Ordering::Relaxed) {
+                    if external.load(Ordering::Relaxed) {
+                        stop.store(true, Ordering::SeqCst);
+                        break;
+                    }
+                    std::thread::sleep(Duration::from_millis(2));
+                }
+            });
+        }
         let handles: Vec<_> = (0..threads)
             .map(|w| {
                 let features = worker_features(config.features, config.seed, w, threads);
@@ -452,10 +471,14 @@ pub(crate) fn solve_portfolio(
                 })
             })
             .collect();
-        handles
+        let results: Vec<_> = handles
             .into_iter()
             .map(|h| h.join().unwrap_or(None))
-            .collect()
+            .collect();
+        // Every worker is done: release the relay thread (if any) so the
+        // scope can join it even when no verdict set the flag.
+        shared.stop.store(true, Ordering::SeqCst);
+        results
     });
 
     // Aggregate statistics across workers.
@@ -506,6 +529,9 @@ pub(crate) fn solve_portfolio(
             ..*config
         };
         let mut solver = Solver::with_config(fallback);
+        if let Some(flag) = interrupt {
+            solver.set_interrupt(Arc::clone(flag));
+        }
         let out = solver.solve(model);
         let fb = solver.stats();
         stats.engine = fb.engine;

@@ -20,6 +20,8 @@ use crate::presolve::{
     presolve, LitDisposition, PresolveConfig, PresolveStats, Presolved, Reconstruction,
 };
 use crate::proof::{Certificate, ProofLog, ProofOrigin};
+use std::sync::atomic::AtomicBool;
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 /// Solver configuration.
@@ -249,6 +251,10 @@ pub struct Solver {
     stats: SolveStats,
     last_core: Vec<Lit>,
     certificate: Option<Certificate>,
+    /// External cooperative-cancellation flag (see
+    /// [`Solver::set_interrupt`]). Kept out of [`SolverConfig`] so the
+    /// config stays `Copy`.
+    interrupt: Option<Arc<AtomicBool>>,
 }
 
 impl Solver {
@@ -264,7 +270,19 @@ impl Solver {
             stats: SolveStats::default(),
             last_core: Vec::new(),
             certificate: None,
+            interrupt: None,
         }
+    }
+
+    /// Installs an external cooperative-cancellation flag. When another
+    /// thread sets it, every engine this solver runs — sequential or
+    /// portfolio — returns [`Outcome::Unknown`] at its next budget poll
+    /// (or [`Outcome::Feasible`] best-found if the descent already holds
+    /// an incumbent). This is how a serving layer implements graceful
+    /// shutdown and admission-control rejection of in-flight work
+    /// without killing threads.
+    pub fn set_interrupt(&mut self, flag: Arc<AtomicBool>) {
+        self.interrupt = Some(flag);
     }
 
     /// Statistics of the most recent [`Solver::solve`] call.
@@ -409,6 +427,9 @@ impl Solver {
                 return Outcome::Infeasible;
             }
         };
+        if let Some(flag) = &self.interrupt {
+            descent.engine.set_interrupt(Arc::clone(flag));
+        }
         let budget = Budget {
             deadline,
             conflict_limit: self.config.conflict_limit,
@@ -526,6 +547,7 @@ impl Solver {
                 threads,
                 &mut self.stats,
                 deadline,
+                self.interrupt.as_ref(),
             );
             self.stats.elapsed = start.elapsed();
             return out;
@@ -540,6 +562,9 @@ impl Solver {
                 return Outcome::Infeasible;
             }
         };
+        if let Some(flag) = &self.interrupt {
+            descent.engine.set_interrupt(Arc::clone(flag));
+        }
         let budget = Budget {
             deadline,
             conflict_limit: self.config.conflict_limit,
@@ -1008,6 +1033,9 @@ pub struct IncrementalSolver {
     /// Certificate for the most recent `Infeasible` answer (or for the
     /// construction-time refutation when `inner` is `None`).
     certificate: Option<Certificate>,
+    /// External cooperative-cancellation flag (see
+    /// [`IncrementalSolver::set_interrupt`]).
+    interrupt: Option<Arc<AtomicBool>>,
 }
 
 /// The live state of a feasible-so-far [`IncrementalSolver`].
@@ -1088,7 +1116,20 @@ impl IncrementalSolver {
             last_core: Vec::new(),
             facts,
             certificate,
+            interrupt: None,
         }
+    }
+
+    /// Installs an external cooperative-cancellation flag on the
+    /// persistent engine: when another thread sets it, the in-flight
+    /// query (and every later one, until the flag is cleared) returns at
+    /// its next budget poll exactly as if its deadline had expired. See
+    /// [`Solver::set_interrupt`].
+    pub fn set_interrupt(&mut self, flag: Arc<AtomicBool>) {
+        if let Some(inner) = self.inner.as_mut() {
+            inner.descent.engine.set_interrupt(Arc::clone(&flag));
+        }
+        self.interrupt = Some(flag);
     }
 
     /// The trust status of the most recent `Infeasible` answer (or of the
@@ -1284,6 +1325,9 @@ impl IncrementalSolver {
                             certify: false,
                             ..self.config
                         });
+                        if let Some(flag) = &self.interrupt {
+                            fallback.set_interrupt(Arc::clone(flag));
+                        }
                         let out = fallback.solve_under_assumptions(original, assumptions);
                         self.last_core = fallback.last_core.clone();
                         self.stats.elapsed += start.elapsed();

@@ -1,0 +1,360 @@
+//! Stable content hashing for cache keys.
+//!
+//! The mapping service caches results by the *content* of a query — the
+//! DFG, the architecture and the options — rather than by object
+//! identity or serialised byte order. Two requirements follow:
+//!
+//! 1. **Stability.** The hash must not depend on `std`'s `Hasher`
+//!    (whose algorithm is unspecified and may change between releases)
+//!    or on process-specific state, because cache entries can be
+//!    persisted to disk and reloaded by a later daemon run. We use
+//!    FNV-1a, implemented here in a dozen lines.
+//! 2. **Order independence.** Logically identical graphs built by
+//!    inserting nodes in different orders must hash identically. Each
+//!    item (operation, edge, component, connection) is hashed on its
+//!    own and the per-item digests are combined with a commutative
+//!    reduction (wrapping add of avalanche-mixed digests), so the
+//!    combination is insensitive to iteration order while single-bit
+//!    differences in any item still avalanche into the result.
+//!
+//! Identifiers (`OpId`, port indices) are never hashed directly —
+//! items are described by *names*, which are the stable identity the
+//! text formats round-trip through.
+
+use crate::graph::Dfg;
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// An incremental FNV-1a hasher over bytes, with helpers for the field
+/// shapes the content hashes need. Deliberately tiny and dependency-free
+/// so `cgra-arch` can reuse it without pulling anything else in.
+#[derive(Debug, Clone)]
+pub struct ContentHasher {
+    state: u64,
+}
+
+impl ContentHasher {
+    /// A fresh hasher seeded with a domain-separation tag so that, e.g.,
+    /// a DFG and an architecture with coincidentally identical field
+    /// bytes still hash differently.
+    pub fn new(domain: &str) -> Self {
+        let mut h = ContentHasher { state: FNV_OFFSET };
+        h.write_str(domain);
+        h
+    }
+
+    /// Feeds raw bytes.
+    pub fn write_bytes(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.state ^= u64::from(b);
+            self.state = self.state.wrapping_mul(FNV_PRIME);
+        }
+    }
+
+    /// Feeds a length-prefixed string (prefixing prevents `"ab","c"`
+    /// colliding with `"a","bc"`).
+    pub fn write_str(&mut self, s: &str) {
+        self.write_u64(s.len() as u64);
+        self.write_bytes(s.as_bytes());
+    }
+
+    /// Feeds a `u64` as little-endian bytes.
+    pub fn write_u64(&mut self, v: u64) {
+        self.write_bytes(&v.to_le_bytes());
+    }
+
+    /// Feeds an `i64` as little-endian bytes.
+    pub fn write_i64(&mut self, v: i64) {
+        self.write_bytes(&v.to_le_bytes());
+    }
+
+    /// Feeds an optional `i64`, distinguishing `None` from any value.
+    pub fn write_opt_i64(&mut self, v: Option<i64>) {
+        match v {
+            None => self.write_u64(0),
+            Some(x) => {
+                self.write_u64(1);
+                self.write_i64(x);
+            }
+        }
+    }
+
+    /// The digest so far.
+    pub fn finish(&self) -> u64 {
+        self.state
+    }
+}
+
+/// A strong avalanche mix (splitmix64 finaliser). Applied to per-item
+/// digests before the commutative reduction so that low-entropy FNV
+/// outputs do not cancel under addition.
+pub fn mix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+/// Order-independent accumulator: wrapping sum of mixed item digests.
+/// Commutative and associative, so iteration order never matters.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct UnorderedDigest {
+    sum: u64,
+    count: u64,
+}
+
+impl UnorderedDigest {
+    /// An empty accumulator.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Absorbs one item digest.
+    pub fn absorb(&mut self, item: u64) {
+        self.sum = self.sum.wrapping_add(mix64(item));
+        self.count += 1;
+    }
+
+    /// Final digest over the multiset of absorbed items.
+    pub fn finish(&self) -> u64 {
+        let mut h = ContentHasher::new("unordered");
+        h.write_u64(self.count);
+        h.write_u64(self.sum);
+        h.finish()
+    }
+}
+
+impl Dfg {
+    /// A stable, order-independent content hash of the graph.
+    ///
+    /// Two graphs hash equal iff they have the same name and the same
+    /// multiset of operations (name, kind, constant payload) and edges
+    /// (source name, sink name, operand index) — regardless of the
+    /// order in which `add_op`/`connect` were called. The algorithm is
+    /// FNV-1a with a commutative per-item reduction and is guaranteed
+    /// stable across processes and releases, making it safe to use in
+    /// persisted cache keys.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use cgra_dfg::{Dfg, OpKind};
+    /// # fn main() -> Result<(), cgra_dfg::DfgError> {
+    /// let mut a = Dfg::new("g");
+    /// let x = a.add_op("x", OpKind::Input)?;
+    /// let y = a.add_op("y", OpKind::Output)?;
+    /// a.connect(x, y, 0)?;
+    ///
+    /// let mut b = Dfg::new("g");
+    /// let y = b.add_op("y", OpKind::Output)?; // reversed insertion order
+    /// let x = b.add_op("x", OpKind::Input)?;
+    /// b.connect(x, y, 0)?;
+    ///
+    /// assert_eq!(a.content_hash(), b.content_hash());
+    /// # Ok(())
+    /// # }
+    /// ```
+    pub fn content_hash(&self) -> u64 {
+        let mut ops = UnorderedDigest::new();
+        for op in self.ops() {
+            let mut h = ContentHasher::new("dfg-op");
+            h.write_str(&op.name);
+            h.write_str(op.kind.mnemonic());
+            h.write_opt_i64(op.constant);
+            ops.absorb(h.finish());
+        }
+        let mut edges = UnorderedDigest::new();
+        for e in self.edges() {
+            let mut h = ContentHasher::new("dfg-edge");
+            h.write_str(&self.ops()[e.src.index()].name);
+            h.write_str(&self.ops()[e.dst.index()].name);
+            h.write_u64(u64::from(e.operand));
+            edges.absorb(h.finish());
+        }
+        let mut h = ContentHasher::new("dfg");
+        h.write_str(self.name());
+        h.write_u64(self.op_count() as u64);
+        h.write_u64(self.edge_count() as u64);
+        h.write_u64(ops.finish());
+        h.write_u64(edges.finish());
+        h.finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::op::OpKind;
+
+    /// `a*x + y` built in the natural order.
+    fn axpy_forward() -> Dfg {
+        let mut g = Dfg::new("axpy");
+        let a = g.add_op("a", OpKind::Input).unwrap();
+        let x = g.add_op("x", OpKind::Input).unwrap();
+        let y = g.add_op("y", OpKind::Input).unwrap();
+        let m = g.add_op("m", OpKind::Mul).unwrap();
+        let s = g.add_op("s", OpKind::Add).unwrap();
+        let o = g.add_op("o", OpKind::Output).unwrap();
+        g.connect(a, m, 0).unwrap();
+        g.connect(x, m, 1).unwrap();
+        g.connect(m, s, 0).unwrap();
+        g.connect(y, s, 1).unwrap();
+        g.connect(s, o, 0).unwrap();
+        g
+    }
+
+    /// The same graph with ops inserted and edges connected in a
+    /// scrambled order.
+    fn axpy_scrambled() -> Dfg {
+        let mut g = Dfg::new("axpy");
+        let o = g.add_op("o", OpKind::Output).unwrap();
+        let s = g.add_op("s", OpKind::Add).unwrap();
+        let m = g.add_op("m", OpKind::Mul).unwrap();
+        let y = g.add_op("y", OpKind::Input).unwrap();
+        let x = g.add_op("x", OpKind::Input).unwrap();
+        let a = g.add_op("a", OpKind::Input).unwrap();
+        g.connect(s, o, 0).unwrap();
+        g.connect(y, s, 1).unwrap();
+        g.connect(m, s, 0).unwrap();
+        g.connect(x, m, 1).unwrap();
+        g.connect(a, m, 0).unwrap();
+        g
+    }
+
+    #[test]
+    fn invariant_under_insertion_order() {
+        assert_eq!(
+            axpy_forward().content_hash(),
+            axpy_scrambled().content_hash()
+        );
+    }
+
+    #[test]
+    fn stable_across_clones() {
+        let g = axpy_forward();
+        assert_eq!(g.content_hash(), g.clone().content_hash());
+    }
+
+    #[test]
+    fn sensitive_to_name_change() {
+        let mut g = Dfg::new("axpy2");
+        let a = g.add_op("a", OpKind::Input).unwrap();
+        let o = g.add_op("o", OpKind::Output).unwrap();
+        g.connect(a, o, 0).unwrap();
+        let mut h = Dfg::new("axpy3");
+        let a2 = h.add_op("a", OpKind::Input).unwrap();
+        let o2 = h.add_op("o", OpKind::Output).unwrap();
+        h.connect(a2, o2, 0).unwrap();
+        assert_ne!(g.content_hash(), h.content_hash());
+    }
+
+    #[test]
+    fn sensitive_to_op_kind() {
+        let base = axpy_forward();
+        let mut g = Dfg::new("axpy");
+        let a = g.add_op("a", OpKind::Input).unwrap();
+        let x = g.add_op("x", OpKind::Input).unwrap();
+        let y = g.add_op("y", OpKind::Input).unwrap();
+        let m = g.add_op("m", OpKind::Add).unwrap(); // mul -> add
+        let s = g.add_op("s", OpKind::Add).unwrap();
+        let o = g.add_op("o", OpKind::Output).unwrap();
+        g.connect(a, m, 0).unwrap();
+        g.connect(x, m, 1).unwrap();
+        g.connect(m, s, 0).unwrap();
+        g.connect(y, s, 1).unwrap();
+        g.connect(s, o, 0).unwrap();
+        assert_ne!(base.content_hash(), g.content_hash());
+    }
+
+    #[test]
+    fn sensitive_to_operand_swap() {
+        let mut g = Dfg::new("sub");
+        let a = g.add_op("a", OpKind::Input).unwrap();
+        let b = g.add_op("b", OpKind::Input).unwrap();
+        let d = g.add_op("d", OpKind::Sub).unwrap();
+        let o = g.add_op("o", OpKind::Output).unwrap();
+        g.connect(a, d, 0).unwrap();
+        g.connect(b, d, 1).unwrap();
+        g.connect(d, o, 0).unwrap();
+
+        let mut h = Dfg::new("sub");
+        let a = h.add_op("a", OpKind::Input).unwrap();
+        let b = h.add_op("b", OpKind::Input).unwrap();
+        let d = h.add_op("d", OpKind::Sub).unwrap();
+        let o = h.add_op("o", OpKind::Output).unwrap();
+        h.connect(b, d, 0).unwrap(); // operands swapped: a-b vs b-a
+        h.connect(a, d, 1).unwrap();
+        h.connect(d, o, 0).unwrap();
+        assert_ne!(g.content_hash(), h.content_hash());
+    }
+
+    #[test]
+    fn sensitive_to_const_payload() {
+        let mut g = Dfg::new("c");
+        let c = g.add_const("k", 1).unwrap();
+        let o = g.add_op("o", OpKind::Output).unwrap();
+        g.connect(c, o, 0).unwrap();
+        let mut h = Dfg::new("c");
+        let c2 = h.add_const("k", 2).unwrap();
+        let o2 = h.add_op("o", OpKind::Output).unwrap();
+        h.connect(c2, o2, 0).unwrap();
+        assert_ne!(g.content_hash(), h.content_hash());
+    }
+
+    #[test]
+    fn sensitive_to_extra_edge() {
+        let mut g = Dfg::new("fan");
+        let a = g.add_op("a", OpKind::Input).unwrap();
+        let s = g.add_op("s", OpKind::Add).unwrap();
+        let o = g.add_op("o", OpKind::Output).unwrap();
+        g.connect(a, s, 0).unwrap();
+        g.connect(a, s, 1).unwrap();
+        g.connect(s, o, 0).unwrap();
+        let mut h = Dfg::new("fan");
+        let a2 = h.add_op("a", OpKind::Input).unwrap();
+        let s2 = h.add_op("s", OpKind::Add).unwrap();
+        let o2 = h.add_op("o", OpKind::Output).unwrap();
+        h.connect(a2, s2, 0).unwrap();
+        h.connect(a2, s2, 1).unwrap();
+        h.connect(s2, o2, 0).unwrap();
+        assert_eq!(g.content_hash(), h.content_hash());
+        // Dropping one edge changes the hash even though op set matches.
+        let mut j = Dfg::new("fan");
+        let a3 = j.add_op("a", OpKind::Input).unwrap();
+        let s3 = j.add_op("s", OpKind::Add).unwrap();
+        let o3 = j.add_op("o", OpKind::Output).unwrap();
+        j.connect(a3, s3, 0).unwrap();
+        j.connect(s3, o3, 0).unwrap();
+        assert_ne!(g.content_hash(), j.content_hash());
+    }
+
+    #[test]
+    fn benchmark_hashes_are_distinct() {
+        let suite = crate::benchmarks::all();
+        let mut seen = std::collections::HashMap::new();
+        for entry in suite {
+            let g = (entry.build)();
+            if let Some(prev) = seen.insert(g.content_hash(), entry.name) {
+                panic!("hash collision between {} and {}", prev, entry.name);
+            }
+        }
+    }
+
+    #[test]
+    fn unordered_digest_commutes() {
+        let mut a = UnorderedDigest::new();
+        a.absorb(1);
+        a.absorb(2);
+        a.absorb(3);
+        let mut b = UnorderedDigest::new();
+        b.absorb(3);
+        b.absorb(1);
+        b.absorb(2);
+        assert_eq!(a.finish(), b.finish());
+        let mut c = UnorderedDigest::new();
+        c.absorb(1);
+        c.absorb(2);
+        assert_ne!(a.finish(), c.finish());
+    }
+}

@@ -31,10 +31,12 @@ pub mod benchmarks;
 pub mod dot;
 mod eval;
 mod graph;
+pub mod hash;
 mod op;
 pub mod random;
 pub mod text;
 
 pub use eval::{evaluate, evaluate_ordered, EvalError, Evaluation, Memory};
 pub use graph::{Dfg, DfgError, DfgStats, Edge, EdgeId, Op, OpId};
+pub use hash::{ContentHasher, UnorderedDigest};
 pub use op::{OpKind, OpSet, ParseOpKindError, ALL_OP_KINDS};

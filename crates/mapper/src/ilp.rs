@@ -7,6 +7,8 @@ use bilp::{Assignment, Certificate, IncrementalSolver, Outcome, SolveStats, Solv
 use cgra_dfg::Dfg;
 use cgra_mrrg::Mrrg;
 use std::fmt;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 /// Result of a mapping attempt.
@@ -129,12 +131,30 @@ pub struct MapReport {
 #[derive(Debug, Clone, Default)]
 pub struct IlpMapper {
     options: MapperOptions,
+    /// External cooperative-cancellation flag, forwarded to every solver
+    /// this mapper runs. Kept out of [`MapperOptions`] so the options
+    /// stay `Copy`.
+    interrupt: Option<Arc<AtomicBool>>,
 }
 
 impl IlpMapper {
     /// Creates a mapper with the given options.
     pub fn new(options: MapperOptions) -> Self {
-        IlpMapper { options }
+        IlpMapper {
+            options,
+            interrupt: None,
+        }
+    }
+
+    /// Returns this mapper with an external cooperative-cancellation
+    /// flag installed: when another thread sets it, the in-flight solve
+    /// returns promptly with [`MapOutcome::Timeout`] (or a best-found
+    /// mapping if the optimising descent already holds an incumbent).
+    /// This is the mechanism a serving layer uses for graceful shutdown
+    /// of in-flight mapping requests.
+    pub fn with_interrupt(mut self, flag: Arc<AtomicBool>) -> Self {
+        self.interrupt = Some(flag);
+        self
     }
 
     /// The mapper's options.
@@ -215,6 +235,9 @@ impl IlpMapper {
                 self.solve_incremental(dfg, mrrg, &formulation, config)
             } else {
                 let mut solver = Solver::with_config(config);
+                if let Some(flag) = &self.interrupt {
+                    solver.set_interrupt(Arc::clone(flag));
+                }
                 let out = solver.solve(formulation.model());
                 let outcome = self.decode_outcome(dfg, mrrg, &formulation, out);
                 let certificate = solver.certificate().cloned();
@@ -254,6 +277,9 @@ impl IlpMapper {
         config: SolverConfig,
     ) -> (MapOutcome, SolveStats, Option<Certificate>) {
         let mut inc = IncrementalSolver::new(formulation.model(), config);
+        if let Some(flag) = &self.interrupt {
+            inc.set_interrupt(Arc::clone(flag));
+        }
         let first = inc.solve_feasible();
         let outcome = if self.options.optimize && first.solution().is_some() {
             self.decode_outcome(dfg, mrrg, formulation, inc.optimize())
@@ -325,6 +351,16 @@ impl IlpMapper {
         let portfolio_start = Instant::now();
         for k in 0.. {
             if portfolio_start.elapsed() >= total {
+                break;
+            }
+            // Cancellation check: skip the seeding portfolio entirely
+            // when a shutdown is in progress (the annealer itself is
+            // time-bounded but not interruptible).
+            if self
+                .interrupt
+                .as_ref()
+                .is_some_and(|f| f.load(Ordering::Relaxed))
+            {
                 break;
             }
             let mapper = AnnealingMapper::new(

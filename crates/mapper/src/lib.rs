@@ -46,6 +46,7 @@ mod mapping;
 mod options;
 mod report;
 mod search;
+mod session;
 pub mod text;
 mod trust;
 
@@ -58,3 +59,4 @@ pub use report::{render_infeasibility, render_mapping, render_route};
 pub use search::{
     map_min_ii, verdict_provenance, IiAttempt, MinIiReport, MinIiTotals, VerdictProvenance,
 };
+pub use session::{Session, SessionStats};

@@ -26,11 +26,14 @@ use crate::anneal::{AnnealParams, AnnealingMapper};
 use crate::formulation::BuildInfeasible;
 use crate::ilp::{IlpMapper, MapOutcome, MapReport};
 use crate::options::MapperOptions;
+use crate::session::Session;
 use crate::trust;
 use bilp::PresolveStats;
 use cgra_arch::Architecture;
 use cgra_dfg::{Dfg, OpKind};
-use cgra_mrrg::{build_mrrg, Mrrg, NodeKind};
+use cgra_mrrg::{Mrrg, NodeKind};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 /// How much an II verdict in a [`MinIiReport`] can be trusted.
@@ -351,18 +354,47 @@ pub fn map_min_ii(
     options: MapperOptions,
     max_ii: u32,
 ) -> MinIiReport {
+    let session = Session::new(arch.clone(), options);
+    min_ii_ladder(&session, dfg, options, max_ii, None)
+}
+
+/// The ladder behind [`map_min_ii`] and [`Session::min_ii_with`]: MRRGs
+/// come from the session's warm cache, and an optional cooperative
+/// cancellation flag cuts the search between (and within) II attempts.
+pub(crate) fn min_ii_ladder(
+    session: &Session,
+    dfg: &Dfg,
+    options: MapperOptions,
+    max_ii: u32,
+    interrupt: Option<Arc<AtomicBool>>,
+) -> MinIiReport {
     let search_start = Instant::now();
     let mut attempts = Vec::new();
     let mut min_ii = None;
     let mut totals = MinIiTotals::default();
+    let fired = || {
+        interrupt
+            .as_ref()
+            .is_some_and(|f| f.load(Ordering::Relaxed))
+    };
+    let mapper_for = |opts: MapperOptions| {
+        let mut m = IlpMapper::new(opts);
+        if let Some(flag) = &interrupt {
+            m = m.with_interrupt(Arc::clone(flag));
+        }
+        m
+    };
 
     // One II=1 MRRG drives the context-invariant analysis, is reused for
     // the II=1 attempt, and stays alive for the trust auditor (it checks
     // capacity claims at any II against the II=1 graph).
-    let mrrg1 = build_mrrg(arch, 1);
+    let mrrg1 = session.mrrg(1);
     let analysis = CapacityAnalysis::build(dfg, &mrrg1);
 
     for ii in 1..=max_ii {
+        if fired() {
+            break;
+        }
         let attempt_start = Instant::now();
         if let Some(reason) = analysis.reject(ii, options.redundant_capacity) {
             totals.capacity_shortcuts += 1;
@@ -386,27 +418,26 @@ pub fn map_min_ii(
             continue;
         }
 
-        let built;
-        let mrrg: &Mrrg = if ii == 1 {
-            &mrrg1
+        let mrrg = if ii == 1 {
+            Arc::clone(&mrrg1)
         } else {
-            built = build_mrrg(arch, ii);
-            &built
+            session.mrrg(ii)
         };
+        let mrrg: &Mrrg = &mrrg;
 
         let mut report = if options.optimize && options.incremental && options.threads == 1 {
             // One formulation, one engine: the mapper's incremental path
             // runs the feasibility probe and the optimising descent on
             // the same solver, so learnt clauses carry over and the
             // probe's incumbent seeds the first objective bound.
-            let report = IlpMapper::new(options).map(dfg, mrrg);
+            let report = mapper_for(options).map(dfg, mrrg);
             totals.absorb(&report);
             report
         } else {
             // From-scratch: decide feasibility without the objective —
             // strictly cheaper, and the verdict is the same — then bridge
             // to a separate optimisation solve via a warm-start hint.
-            let feasibility = IlpMapper::new(MapperOptions {
+            let feasibility = mapper_for(MapperOptions {
                 optimize: false,
                 ..options
             })
@@ -419,8 +450,7 @@ pub fn map_min_ii(
                     // Carry the feasibility placement into the optimisation
                     // solve as a warm start: the solver opens with a known
                     // incumbent and spends its budget proving or improving.
-                    let mut optimized =
-                        IlpMapper::new(options).map_with_hint(dfg, mrrg, Some(&found));
+                    let mut optimized = mapper_for(options).map_with_hint(dfg, mrrg, Some(&found));
                     totals.absorb(&optimized);
                     if optimized.outcome.is_mapped() {
                         // The attempt's report covers both phases: merge the
@@ -440,9 +470,12 @@ pub fn map_min_ii(
 
         // Graceful degradation: a timeout decides nothing, but a
         // heuristic mapping — validated like any other — still upgrades
-        // the cell from `T` to a usable (non-optimal) result.
+        // the cell from `T` to a usable (non-optimal) result. Skipped
+        // when the timeout came from an external cancellation — the
+        // caller wants the search to end, and the annealer has no
+        // cancellation hook.
         let mut fallback = false;
-        if options.anneal_fallback && matches!(report.outcome, MapOutcome::Timeout) {
+        if options.anneal_fallback && !fired() && matches!(report.outcome, MapOutcome::Timeout) {
             let heuristic = AnnealingMapper::new(
                 MapperOptions {
                     warm_start: false,
@@ -486,6 +519,7 @@ pub fn map_min_ii(
 mod tests {
     use super::*;
     use cgra_arch::families::{grid, FuMix, GridParams, Interconnect};
+    use cgra_mrrg::build_mrrg;
 
     #[test]
     fn cos4_needs_two_contexts() {

@@ -1,0 +1,268 @@
+//! A reusable mapping session: one architecture, many queries.
+//!
+//! Design-space exploration and the mapping service both issue many
+//! queries against the *same* architecture — different kernels,
+//! different IIs, different option sets. A [`Session`] amortises the
+//! per-call setup those flows used to repeat: it holds the architecture
+//! and a warm cache of built MRRGs keyed by II, so the second query at
+//! any II skips MRRG construction entirely. The session is `Sync` —
+//! worker threads share one session per architecture behind an `Arc`
+//! and call [`Session::map`] concurrently (the MRRG cache is a mutex,
+//! held only during lookup/insert, never across a solve).
+//!
+//! [`crate::map_min_ii`] is itself implemented on a session, so the
+//! min-II ladder and the service reuse exactly the same machinery.
+
+use crate::ilp::{IlpMapper, MapReport};
+use crate::options::MapperOptions;
+use crate::search::{min_ii_ladder, MinIiReport};
+use cgra_arch::Architecture;
+use cgra_dfg::Dfg;
+use cgra_mrrg::{build_mrrg, Mrrg};
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// MRRG-cache counters of a [`Session`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct SessionStats {
+    /// MRRGs built from scratch (cache misses).
+    pub mrrg_builds: u64,
+    /// Queries answered from an already-built MRRG (cache hits).
+    pub mrrg_hits: u64,
+}
+
+/// A persistent mapping context for one architecture.
+///
+/// # Examples
+///
+/// ```
+/// use cgra_arch::families::{grid, FuMix, GridParams, Interconnect};
+/// use cgra_mapper::{MapperOptions, Session};
+///
+/// let arch = grid(GridParams::paper(FuMix::Homogeneous, Interconnect::Diagonal));
+/// let session = Session::new(arch, MapperOptions::default());
+/// let dfg = cgra_dfg::benchmarks::accum();
+/// let first = session.map(&dfg, 1);
+/// let second = session.map(&dfg, 1); // reuses the II=1 MRRG
+/// assert!(first.outcome.is_mapped() && second.outcome.is_mapped());
+/// assert_eq!(session.stats().mrrg_builds, 1);
+/// assert_eq!(session.stats().mrrg_hits, 1);
+/// ```
+#[derive(Debug)]
+pub struct Session {
+    arch: Arc<Architecture>,
+    options: MapperOptions,
+    /// Built MRRGs by II. `Arc` so a solve can keep using a graph after
+    /// the lock is released (and after any future eviction).
+    mrrgs: Mutex<BTreeMap<u32, Arc<Mrrg>>>,
+    builds: AtomicU64,
+    hits: AtomicU64,
+}
+
+impl Session {
+    /// Creates a session for `arch` with default per-query options.
+    pub fn new(arch: Architecture, options: MapperOptions) -> Self {
+        Session::from_arc(Arc::new(arch), options)
+    }
+
+    /// Creates a session sharing an already-`Arc`ed architecture.
+    pub fn from_arc(arch: Arc<Architecture>, options: MapperOptions) -> Self {
+        Session {
+            arch,
+            options,
+            mrrgs: Mutex::new(BTreeMap::new()),
+            builds: AtomicU64::new(0),
+            hits: AtomicU64::new(0),
+        }
+    }
+
+    /// The session's architecture.
+    pub fn arch(&self) -> &Architecture {
+        &self.arch
+    }
+
+    /// The session's default per-query options.
+    pub fn options(&self) -> MapperOptions {
+        self.options
+    }
+
+    /// MRRG-cache counters accumulated over the session's lifetime.
+    pub fn stats(&self) -> SessionStats {
+        SessionStats {
+            mrrg_builds: self.builds.load(Ordering::Relaxed),
+            mrrg_hits: self.hits.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Whether the MRRG for `ii` is already built (a "warm" query).
+    pub fn is_warm(&self, ii: u32) -> bool {
+        self.mrrgs
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .contains_key(&ii)
+    }
+
+    /// The MRRG for `ii`, built on first use and cached for every later
+    /// query. Concurrent first requests for the same II may both build
+    /// (the lock is not held during construction — a solve on another II
+    /// must not stall behind it); exactly one result wins the cache slot.
+    pub fn mrrg(&self, ii: u32) -> Arc<Mrrg> {
+        if let Some(m) = self
+            .mrrgs
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .get(&ii)
+        {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return Arc::clone(m);
+        }
+        let built = Arc::new(build_mrrg(&self.arch, ii));
+        self.builds.fetch_add(1, Ordering::Relaxed);
+        let mut cache = self.mrrgs.lock().unwrap_or_else(|e| e.into_inner());
+        Arc::clone(cache.entry(ii).or_insert(built))
+    }
+
+    /// Maps `dfg` at initiation interval `ii` with the session's default
+    /// options.
+    pub fn map(&self, dfg: &Dfg, ii: u32) -> MapReport {
+        self.map_with(dfg, ii, self.options, None)
+    }
+
+    /// Maps `dfg` at `ii` with per-call options and an optional
+    /// cooperative-cancellation flag (see [`IlpMapper::with_interrupt`]).
+    pub fn map_with(
+        &self,
+        dfg: &Dfg,
+        ii: u32,
+        options: MapperOptions,
+        interrupt: Option<Arc<AtomicBool>>,
+    ) -> MapReport {
+        let mrrg = self.mrrg(ii);
+        let mut mapper = IlpMapper::new(options);
+        if let Some(flag) = interrupt {
+            mapper = mapper.with_interrupt(flag);
+        }
+        mapper.map(dfg, &mrrg)
+    }
+
+    /// Minimum-II search over `1..=max_ii` with the session's default
+    /// options, reusing cached MRRGs (see [`crate::map_min_ii`]).
+    pub fn min_ii(&self, dfg: &Dfg, max_ii: u32) -> MinIiReport {
+        self.min_ii_with(dfg, max_ii, self.options, None)
+    }
+
+    /// Minimum-II search with per-call options and an optional
+    /// cooperative-cancellation flag. When the flag fires mid-search the
+    /// in-flight attempt returns `T` (timeout) and the ladder stops —
+    /// the report covers only the IIs actually attempted.
+    pub fn min_ii_with(
+        &self,
+        dfg: &Dfg,
+        max_ii: u32,
+        options: MapperOptions,
+        interrupt: Option<Arc<AtomicBool>>,
+    ) -> MinIiReport {
+        min_ii_ladder(self, dfg, options, max_ii, interrupt)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cgra_arch::families::{grid, FuMix, GridParams, Interconnect};
+    use cgra_dfg::OpKind;
+
+    fn small_arch() -> Architecture {
+        grid(GridParams {
+            rows: 2,
+            cols: 2,
+            fu_mix: FuMix::Homogeneous,
+            interconnect: Interconnect::Orthogonal,
+            io_pads: true,
+            memory_ports: true,
+            toroidal: false,
+            alu_latency: 0,
+            bypass_channel: false,
+        })
+    }
+
+    fn tiny_dfg() -> Dfg {
+        let mut g = Dfg::new("t");
+        let a = g.add_op("a", OpKind::Input).unwrap();
+        let b = g.add_op("b", OpKind::Input).unwrap();
+        let s = g.add_op("s", OpKind::Add).unwrap();
+        let o = g.add_op("o", OpKind::Output).unwrap();
+        g.connect(a, s, 0).unwrap();
+        g.connect(b, s, 1).unwrap();
+        g.connect(s, o, 0).unwrap();
+        g
+    }
+
+    #[test]
+    fn mrrg_cache_hits_on_repeat() {
+        let session = Session::new(small_arch(), MapperOptions::default());
+        assert!(!session.is_warm(1));
+        let r1 = session.map(&tiny_dfg(), 1);
+        assert!(session.is_warm(1));
+        let r2 = session.map(&tiny_dfg(), 1);
+        assert!(r1.outcome.is_mapped() && r2.outcome.is_mapped());
+        let stats = session.stats();
+        assert_eq!(stats.mrrg_builds, 1);
+        assert_eq!(stats.mrrg_hits, 1);
+    }
+
+    #[test]
+    fn session_reports_match_direct_mapper() {
+        let arch = small_arch();
+        let session = Session::new(arch.clone(), MapperOptions::default());
+        let dfg = tiny_dfg();
+        let direct =
+            IlpMapper::new(MapperOptions::default()).map(&dfg, &cgra_mrrg::build_mrrg(&arch, 1));
+        let via_session = session.map(&dfg, 1);
+        assert_eq!(direct.outcome, via_session.outcome);
+    }
+
+    #[test]
+    fn min_ii_reuses_session_mrrgs() {
+        let session = Session::new(small_arch(), MapperOptions::default());
+        let report = session.min_ii(&tiny_dfg(), 2);
+        assert_eq!(report.min_ii, Some(1));
+        // A later direct map at II=1 hits the ladder's cached graph.
+        let before = session.stats().mrrg_builds;
+        session.map(&tiny_dfg(), 1);
+        assert_eq!(session.stats().mrrg_builds, before);
+    }
+
+    #[test]
+    fn concurrent_queries_share_one_session() {
+        let session = Arc::new(Session::new(small_arch(), MapperOptions::default()));
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                let s = Arc::clone(&session);
+                std::thread::spawn(move || s.map(&tiny_dfg(), 1).outcome.is_mapped())
+            })
+            .collect();
+        for h in handles {
+            assert!(h.join().unwrap());
+        }
+        let stats = session.stats();
+        assert_eq!(stats.mrrg_builds + stats.mrrg_hits, 4);
+    }
+
+    #[test]
+    fn preset_interrupt_times_out_cleanly() {
+        let session = Session::new(small_arch(), MapperOptions::default());
+        let flag = Arc::new(AtomicBool::new(true));
+        let report = session.map_with(
+            &tiny_dfg(),
+            1,
+            MapperOptions {
+                warm_start: false,
+                ..MapperOptions::default()
+            },
+            Some(flag),
+        );
+        assert_eq!(report.outcome.table_symbol(), "T");
+    }
+}

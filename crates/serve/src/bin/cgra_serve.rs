@@ -1,0 +1,117 @@
+//! The `cgra-serve` daemon: a long-running mapping service.
+//!
+//! ```text
+//! cgra-serve [--addr HOST:PORT | --stdio] [--workers N] [--queue N]
+//!            [--cache N] [--cache-dir DIR] [--sessions N]
+//!            [--deadline-secs N]
+//! ```
+//!
+//! TCP mode (the default, `127.0.0.1:9115`) prints the bound address on
+//! a `listening on …` line to stderr once ready — with `--addr
+//! 127.0.0.1:0` that is how a harness learns the ephemeral port. The
+//! daemon exits after a `shutdown` command has been served and every
+//! in-flight request has completed. Stdio mode serves newline-delimited
+//! requests from stdin until EOF or `shutdown`.
+
+use cgra_serve::server;
+use cgra_serve::service::{Service, ServiceConfig};
+use std::path::PathBuf;
+use std::sync::Arc;
+use std::time::Duration;
+
+const USAGE: &str = "\
+usage: cgra-serve [options]
+  --addr HOST:PORT    TCP listen address (default 127.0.0.1:9115; port 0 = ephemeral)
+  --stdio             serve stdin/stdout instead of TCP
+  --workers N         solver worker threads (default 2, 0 = all cores)
+  --queue N           admission queue bound (default 8 * workers)
+  --cache N           in-memory result-cache entries (default 256)
+  --cache-dir DIR     persist results under DIR (e.g. results/cache)
+  --sessions N        warm per-architecture sessions kept (default 8)
+  --deadline-secs N   server-side per-request time ceiling (default 300, 0 = none)
+  --help              print this help";
+
+fn fail(message: &str) -> ! {
+    eprintln!("cgra-serve: {message}");
+    eprintln!("{USAGE}");
+    std::process::exit(2);
+}
+
+fn parse_value<T: std::str::FromStr>(flag: &str, value: Option<String>) -> T {
+    let text = value.unwrap_or_else(|| fail(&format!("{flag} needs a value")));
+    text.parse()
+        .unwrap_or_else(|_| fail(&format!("{flag}: cannot parse `{text}`")))
+}
+
+fn main() {
+    let mut addr = String::from("127.0.0.1:9115");
+    let mut stdio = false;
+    let mut workers = 2usize;
+    let mut queue: Option<usize> = None;
+    let mut cache = 256usize;
+    let mut cache_dir: Option<PathBuf> = None;
+    let mut sessions = 8usize;
+    let mut deadline_secs = 300u64;
+
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--addr" => addr = parse_value("--addr", args.next()),
+            "--stdio" => stdio = true,
+            "--workers" => workers = parse_value("--workers", args.next()),
+            "--queue" => queue = Some(parse_value("--queue", args.next())),
+            "--cache" => cache = parse_value("--cache", args.next()),
+            "--cache-dir" => cache_dir = Some(parse_value("--cache-dir", args.next())),
+            "--sessions" => sessions = parse_value("--sessions", args.next()),
+            "--deadline-secs" => deadline_secs = parse_value("--deadline-secs", args.next()),
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                return;
+            }
+            other => fail(&format!("unknown argument `{other}`")),
+        }
+    }
+
+    if workers == 0 {
+        workers = cgra_par::default_jobs(2);
+    }
+    let config = ServiceConfig {
+        workers,
+        queue_capacity: queue.unwrap_or(workers.saturating_mul(8).max(8)),
+        result_capacity: cache,
+        session_capacity: sessions,
+        cache_dir,
+        deadline: (deadline_secs > 0).then(|| Duration::from_secs(deadline_secs)),
+    };
+    eprintln!(
+        "cgra-serve: {} workers, queue {}, cache {} entries{}",
+        config.workers,
+        config.queue_capacity,
+        config.result_capacity,
+        match &config.cache_dir {
+            Some(dir) => format!(" (persistent: {})", dir.display()),
+            None => String::new(),
+        }
+    );
+    let service = Service::start(config);
+
+    if stdio {
+        server::serve_stdio(&service);
+        service.initiate_shutdown();
+    } else {
+        let (local, accept) = match server::spawn_tcp(Arc::clone(&service), &addr) {
+            Ok(bound) => bound,
+            Err(e) => {
+                eprintln!("cgra-serve: cannot bind {addr}: {e}");
+                std::process::exit(1);
+            }
+        };
+        eprintln!("listening on {local}");
+        // The accept loop exits once a `shutdown` command flips the flag.
+        if accept.join().is_err() {
+            eprintln!("cgra-serve: accept loop panicked");
+        }
+    }
+    service.join_workers();
+    eprintln!("cgra-serve: shut down cleanly");
+}

@@ -1,0 +1,514 @@
+//! Load generator and CI smoke test for the `cgra-serve` daemon.
+//!
+//! Full mode (the default) measures the service end-to-end over TCP on
+//! a matrix of Table-2 arch × kernel cells: for each worker count in
+//! {1, 2, 4, 8} it starts a fresh in-process service, submits every
+//! cell concurrently against a cold cache, repeats the identical
+//! requests against the now-warm cache, and records throughput and
+//! p50/p99 latency for both passes plus a verdict check against direct
+//! (in-process) mapper calls. Results are written as JSON (hand-rendered
+//! — no serde in this build environment) to `BENCH_serve.json`.
+//!
+//! The verdict check distinguishes two disagreement classes. A decided
+//! verdict that flips (`1` vs `0`) is a soundness violation and fails
+//! the run. A timeout on one side only (`T` vs decided) is recorded as
+//! `timeout_boundary` but tolerated: the solver's time limit is
+//! wall-clock, so on a host with fewer cores than workers, concurrent
+//! solves are time-sliced and a cell near the budget boundary can
+//! exceed it under load while deciding when run alone.
+//!
+//! ```text
+//! serve_bench [--time-limit <seconds>] [--out <path>]
+//! serve_bench --smoke [--connect HOST:PORT]
+//! ```
+//!
+//! `--smoke` is the CI path: submit the same Table-1 kernel twice,
+//! assert the second response is a byte-identical cache hit, check the
+//! counters, and exercise graceful shutdown. With `--connect` it drives
+//! an externally started daemon; otherwise it spins one up in-process.
+
+use cgra_arch::families::paper_configs;
+use cgra_dfg::benchmarks;
+use cgra_mapper::{IlpMapper, MapperOptions};
+use cgra_serve::client::Client;
+use cgra_serve::json::{obj, s, Json};
+use cgra_serve::server;
+use cgra_serve::service::{Service, ServiceConfig};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+const WORKER_COUNTS: [usize; 4] = [1, 2, 4, 8];
+
+/// Small kernels that decide quickly on every paper configuration —
+/// the bench measures the service, not the solver.
+const KERNELS: [&str; 4] = ["accum", "mac", "add_10", "mult_10"];
+
+const USAGE: &str = "\
+usage: serve_bench [--time-limit <seconds>] [--out <path>]
+       serve_bench --smoke [--connect HOST:PORT]";
+
+fn fail(message: &str) -> ! {
+    eprintln!("serve_bench: {message}");
+    eprintln!("{USAGE}");
+    std::process::exit(2);
+}
+
+struct Cell {
+    label: String,
+    dfg_text: String,
+    arch_text: String,
+    ii: u32,
+}
+
+fn options_json(time_limit: Duration) -> Json {
+    obj(vec![
+        ("time_limit_us", Json::Int(time_limit.as_micros() as i64)),
+        ("threads", Json::Int(1)),
+    ])
+}
+
+fn main() {
+    let mut smoke = false;
+    let mut connect: Option<String> = None;
+    let mut time_limit = Duration::from_secs(10);
+    let mut out_path = String::from("BENCH_serve.json");
+
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--smoke" => smoke = true,
+            "--connect" => {
+                connect = Some(
+                    args.next()
+                        .unwrap_or_else(|| fail("--connect needs HOST:PORT")),
+                )
+            }
+            "--time-limit" => {
+                let secs: u64 = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| fail("--time-limit takes seconds"));
+                time_limit = Duration::from_secs(secs);
+            }
+            "--out" => out_path = args.next().unwrap_or_else(|| fail("--out takes a path")),
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                return;
+            }
+            other => fail(&format!("unknown argument `{other}`")),
+        }
+    }
+
+    if smoke {
+        run_smoke(connect.as_deref(), time_limit);
+    } else {
+        run_full(&out_path, time_limit);
+    }
+}
+
+// ---------------------------------------------------------------------
+// Smoke mode (CI)
+// ---------------------------------------------------------------------
+
+fn run_smoke(connect: Option<&str>, time_limit: Duration) {
+    // An in-process daemon unless CI started one for us.
+    let local = connect.is_none();
+    let (addr, service, accept) = if let Some(addr) = connect {
+        (addr.to_owned(), None, None)
+    } else {
+        let service = Service::start(ServiceConfig {
+            workers: 2,
+            ..ServiceConfig::default()
+        });
+        let (addr, accept) =
+            server::spawn_tcp(Arc::clone(&service), "127.0.0.1:0").unwrap_or_else(|e| {
+                eprintln!("serve_bench: cannot start in-process server: {e}");
+                std::process::exit(1);
+            });
+        (addr.to_string(), Some(service), Some(accept))
+    };
+
+    let dfg = cgra_dfg::text::print(&benchmarks::accum());
+    let config = &paper_configs()[3]; // homo-diag, II=1
+    let arch = cgra_arch::text::print(&config.arch);
+
+    let mut client = Client::connect(&addr).unwrap_or_else(|e| {
+        eprintln!("serve_bench: cannot connect to {addr}: {e}");
+        std::process::exit(1);
+    });
+
+    let first = client
+        .map(&dfg, &arch, 1, Some(options_json(time_limit)))
+        .unwrap_or_else(|e| {
+            eprintln!("serve_bench: first request failed: {e}");
+            std::process::exit(1);
+        });
+    let second = client
+        .map(&dfg, &arch, 1, Some(options_json(time_limit)))
+        .unwrap_or_else(|e| {
+            eprintln!("serve_bench: second request failed: {e}");
+            std::process::exit(1);
+        });
+
+    let mut failures = Vec::new();
+    let first_served = first.served.expect("map responses carry served stats");
+    let second_served = second.served.expect("map responses carry served stats");
+    if first_served.cache_hit {
+        failures.push("first request must be a cache miss".to_owned());
+    }
+    if !second_served.cache_hit {
+        failures.push("second identical request must be a cache hit".to_owned());
+    }
+    if first.result_text != second.result_text {
+        failures.push("cache hit must replay a byte-identical report".to_owned());
+    }
+    if first
+        .result
+        .get("outcome")
+        .and_then(|o| o.get("kind"))
+        .and_then(Json::as_str)
+        != Some("mapped")
+    {
+        failures.push("accum on homo-diag at II=1 must map".to_owned());
+    }
+    match client.stats() {
+        Ok(stats) => {
+            let hits = stats.result.get("cache_hits").and_then(Json::as_u64);
+            if hits != Some(1) {
+                failures.push(format!("expected exactly 1 cache hit, stats say {hits:?}"));
+            }
+        }
+        Err(e) => failures.push(format!("stats request failed: {e}")),
+    }
+    if let Err(e) = client.shutdown() {
+        failures.push(format!("shutdown request failed: {e}"));
+    }
+    // Post-shutdown, a solve request must be rejected with the typed
+    // error — or the daemon may already have closed the connection,
+    // which is an equally clean refusal.
+    match client.map(&dfg, &arch, 1, None) {
+        Ok(_) => failures.push("request after shutdown must not succeed".to_owned()),
+        Err(e) => {
+            let disconnect = e.kind == cgra_serve::ErrorKind::Internal;
+            if e.kind != cgra_serve::ErrorKind::ShuttingDown && !disconnect {
+                failures.push(format!("post-shutdown rejection had wrong kind: {e}"));
+            }
+        }
+    }
+    if local {
+        if let Some(accept) = accept {
+            let _ = accept.join();
+        }
+        if let Some(service) = service {
+            service.join_workers();
+        }
+    }
+
+    if failures.is_empty() {
+        println!(
+            "serve-smoke OK: miss -> hit, identical {}-byte report, graceful shutdown",
+            first.result_text.len()
+        );
+    } else {
+        for f in &failures {
+            eprintln!("serve-smoke FAIL: {f}");
+        }
+        std::process::exit(1);
+    }
+}
+
+// ---------------------------------------------------------------------
+// Full mode
+// ---------------------------------------------------------------------
+
+fn build_cells() -> Vec<Cell> {
+    let configs = paper_configs();
+    let mut cells = Vec::new();
+    for entry in KERNELS
+        .iter()
+        .map(|n| benchmarks::by_name(n).unwrap_or_else(|| panic!("unknown benchmark `{n}`")))
+    {
+        let dfg_text = cgra_dfg::text::print(&(entry.build)());
+        // The II=1 column of Table 2: four architectures per kernel.
+        for config in configs.iter().filter(|c| c.contexts == 1) {
+            cells.push(Cell {
+                label: format!("{}/{}@{}", entry.name, config.label, config.contexts),
+                dfg_text: dfg_text.clone(),
+                arch_text: cgra_arch::text::print(&config.arch),
+                ii: config.contexts,
+            });
+        }
+    }
+    cells
+}
+
+/// Direct in-process reference verdicts (threads=1, same options the
+/// service receives) — the ground truth the service must reproduce.
+fn reference_symbols(cells: &[Cell], time_limit: Duration) -> Vec<&'static str> {
+    cells
+        .iter()
+        .map(|cell| {
+            let dfg = cgra_dfg::text::parse(&cell.dfg_text).expect("cell DFG parses");
+            let arch = cgra_arch::text::parse(&cell.arch_text).expect("cell arch parses");
+            let mrrg = cgra_mrrg::build_mrrg(&arch, cell.ii);
+            let options = MapperOptions {
+                time_limit: Some(time_limit),
+                ..MapperOptions::default()
+            };
+            IlpMapper::new(options)
+                .map(&dfg, &mrrg)
+                .outcome
+                .table_symbol()
+        })
+        .collect()
+}
+
+fn outcome_symbol(result: &Json) -> &'static str {
+    match result
+        .get("outcome")
+        .and_then(|o| o.get("kind"))
+        .and_then(Json::as_str)
+    {
+        Some("mapped") => "1",
+        Some("infeasible") => "0",
+        _ => "T",
+    }
+}
+
+struct PassStats {
+    latencies: Vec<Duration>,
+    wall: Duration,
+    hits: usize,
+    symbols: Vec<(usize, &'static str)>,
+}
+
+/// (cell index, latency, cache hit, verdict symbol) per response.
+type PassRow = (usize, Duration, bool, &'static str);
+
+/// Submits every cell once, concurrently, over `clients` connections.
+fn run_pass(addr: &str, cells: &[Cell], clients: usize, time_limit: Duration) -> PassStats {
+    let next = Arc::new(Mutex::new(0usize));
+    let results: Arc<Mutex<Vec<PassRow>>> = Arc::new(Mutex::new(Vec::with_capacity(cells.len())));
+    let wall_start = Instant::now();
+    std::thread::scope(|scope| {
+        for _ in 0..clients.max(1) {
+            let next = Arc::clone(&next);
+            let results = Arc::clone(&results);
+            scope.spawn(move || {
+                let mut client = match Client::connect(addr) {
+                    Ok(c) => c,
+                    Err(e) => {
+                        eprintln!("serve_bench: connect failed: {e}");
+                        return;
+                    }
+                };
+                loop {
+                    let index = {
+                        let mut cursor = next.lock().unwrap();
+                        if *cursor >= cells.len() {
+                            break;
+                        }
+                        let i = *cursor;
+                        *cursor += 1;
+                        i
+                    };
+                    let cell = &cells[index];
+                    let start = Instant::now();
+                    match client.map(
+                        &cell.dfg_text,
+                        &cell.arch_text,
+                        cell.ii,
+                        Some(options_json(time_limit)),
+                    ) {
+                        Ok(response) => {
+                            let served = response.served.expect("map responses carry served");
+                            results.lock().unwrap().push((
+                                index,
+                                start.elapsed(),
+                                served.cache_hit,
+                                outcome_symbol(&response.result),
+                            ));
+                        }
+                        Err(e) => {
+                            eprintln!("serve_bench: {} failed: {e}", cell.label);
+                        }
+                    }
+                }
+            });
+        }
+    });
+    let wall = wall_start.elapsed();
+    let mut rows = Arc::try_unwrap(results)
+        .expect("pass threads joined")
+        .into_inner()
+        .unwrap();
+    rows.sort_by_key(|(i, ..)| *i);
+    PassStats {
+        latencies: rows.iter().map(|(_, d, ..)| *d).collect(),
+        wall,
+        hits: rows.iter().filter(|(_, _, hit, _)| *hit).count(),
+        symbols: rows.iter().map(|(i, _, _, sym)| (*i, *sym)).collect(),
+    }
+}
+
+fn percentile(sorted: &[Duration], q: f64) -> Duration {
+    if sorted.is_empty() {
+        return Duration::ZERO;
+    }
+    let rank = ((sorted.len() - 1) as f64 * q).round() as usize;
+    sorted[rank.min(sorted.len() - 1)]
+}
+
+fn pass_json(stats: &PassStats, cells: usize) -> Json {
+    let mut sorted = stats.latencies.clone();
+    sorted.sort();
+    let throughput = if stats.wall.as_secs_f64() > 0.0 {
+        stats.latencies.len() as f64 / stats.wall.as_secs_f64()
+    } else {
+        0.0
+    };
+    obj(vec![
+        ("completed", Json::Int(stats.latencies.len() as i64)),
+        ("expected", Json::Int(cells as i64)),
+        ("cache_hits", Json::Int(stats.hits as i64)),
+        (
+            "p50_ms",
+            Json::Float(percentile(&sorted, 0.50).as_secs_f64() * 1e3),
+        ),
+        (
+            "p99_ms",
+            Json::Float(percentile(&sorted, 0.99).as_secs_f64() * 1e3),
+        ),
+        ("wall_s", Json::Float(stats.wall.as_secs_f64())),
+        ("throughput_rps", Json::Float(throughput)),
+    ])
+}
+
+fn run_full(out_path: &str, time_limit: Duration) {
+    let cells = build_cells();
+    eprintln!(
+        "serve_bench: {} cells ({} kernels x 4 architectures), time limit {:?}",
+        cells.len(),
+        KERNELS.len(),
+        time_limit
+    );
+    eprintln!("serve_bench: computing direct-mapper reference verdicts...");
+    let reference = reference_symbols(&cells, time_limit);
+
+    let mut runs = Vec::new();
+    let mut total_mismatches = 0usize;
+    let mut total_boundary = 0usize;
+    for workers in WORKER_COUNTS {
+        // No per-request deadline here: the whole matrix is enqueued at
+        // once, so queue wait would eat into solver budget and cancel
+        // tail requests. Admission deadlines are exercised by the
+        // service test suite, not the throughput benchmark.
+        let service = Service::start(ServiceConfig {
+            workers,
+            queue_capacity: cells.len().max(16),
+            deadline: None,
+            ..ServiceConfig::default()
+        });
+        let (addr, accept) =
+            server::spawn_tcp(Arc::clone(&service), "127.0.0.1:0").expect("bind ephemeral port");
+        let addr = addr.to_string();
+        let clients = (workers * 2).min(cells.len());
+
+        let cold = run_pass(&addr, &cells, clients, time_limit);
+        let warm = run_pass(&addr, &cells, clients, time_limit);
+
+        // Every decided response — cold or warm — must agree with the
+        // direct mapper's verdict for the same inputs and options. A
+        // `T` on exactly one side is timeout-boundary drift (see the
+        // module docs), tallied separately and tolerated.
+        let mut mismatches = Vec::new();
+        let mut boundary = 0usize;
+        for pass in [&cold, &warm] {
+            for &(index, symbol) in &pass.symbols {
+                if symbol == reference[index] {
+                    continue;
+                }
+                if symbol == "T" || reference[index] == "T" {
+                    boundary += 1;
+                    eprintln!(
+                        "serve_bench: timeout boundary {}: service={} direct={}",
+                        cells[index].label, symbol, reference[index]
+                    );
+                } else {
+                    mismatches.push(format!(
+                        "{}: service={} direct={}",
+                        cells[index].label, symbol, reference[index]
+                    ));
+                }
+            }
+        }
+        total_mismatches += mismatches.len();
+        total_boundary += boundary;
+        for m in &mismatches {
+            eprintln!("serve_bench: VERDICT MISMATCH {m}");
+        }
+
+        let warm_all_hits = warm.hits == warm.latencies.len();
+        eprintln!(
+            "serve_bench: workers={workers} cold {:>6.1} req/s  warm {:>6.1} req/s (hits {}/{}){}",
+            cells.len() as f64 / cold.wall.as_secs_f64(),
+            cells.len() as f64 / warm.wall.as_secs_f64(),
+            warm.hits,
+            warm.latencies.len(),
+            if mismatches.is_empty() {
+                ""
+            } else {
+                "  MISMATCHES"
+            },
+        );
+
+        let mut client = Client::connect(&addr).expect("stats connection");
+        let counters = client.stats().map(|r| r.result).unwrap_or(Json::Null);
+        let _ = client.shutdown();
+        let _ = accept.join();
+        service.join_workers();
+
+        runs.push(obj(vec![
+            ("workers", Json::Int(workers as i64)),
+            ("clients", Json::Int(clients as i64)),
+            ("cold", pass_json(&cold, cells.len())),
+            ("warm", pass_json(&warm, cells.len())),
+            ("warm_all_cache_hits", Json::Bool(warm_all_hits)),
+            ("verdict_mismatches", Json::Int(mismatches.len() as i64)),
+            ("timeout_boundary", Json::Int(boundary as i64)),
+            ("counters", counters),
+        ]));
+    }
+
+    let doc = obj(vec![
+        ("benchmark", s("serve")),
+        (
+            "description",
+            s("cgra-serve end-to-end over TCP: cold vs warm cache, 1/2/4/8 workers"),
+        ),
+        ("host_cores", Json::Int(cgra_par::default_jobs(1) as i64)),
+        ("time_limit_s", Json::Int(time_limit.as_secs() as i64)),
+        (
+            "cells",
+            Json::Array(cells.iter().map(|c| s(c.label.clone())).collect()),
+        ),
+        (
+            "reference_verdicts",
+            Json::Array(reference.iter().map(|v| s(*v)).collect()),
+        ),
+        ("runs", Json::Array(runs)),
+        (
+            "total_verdict_mismatches",
+            Json::Int(total_mismatches as i64),
+        ),
+        ("total_timeout_boundary", Json::Int(total_boundary as i64)),
+    ]);
+    std::fs::write(out_path, format!("{doc}\n")).unwrap_or_else(|e| {
+        eprintln!("serve_bench: cannot write {out_path}: {e}");
+        std::process::exit(1);
+    });
+    eprintln!("serve_bench: wrote {out_path}");
+    if total_mismatches > 0 {
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,330 @@
+//! Content-addressed result caching and warm session reuse.
+//!
+//! The cache key is a digest of everything that determines a mapping
+//! answer: the command, the DFG's and architecture's stable
+//! [`content_hash`](cgra_dfg::Dfg::content_hash)es (order-independent,
+//! so a reformatted or reordered graph text still hits), the II bound,
+//! and a fingerprint of *every* [`MapperOptions`] field — two requests
+//! differing only in, say, `seed` or `time_limit` are different keys.
+//!
+//! The stored value is the rendered `result` JSON text, not the typed
+//! report: a hit replays the first response byte-for-byte, which is the
+//! property the differential test pins (N identical requests must all
+//! carry identical reports).
+//!
+//! Eviction is least-recently-used over a bounded entry count, with an
+//! optional write-through/read-back directory (`results/cache/` by
+//! convention) so a restarted daemon starts warm.
+
+use cgra_dfg::ContentHasher;
+use cgra_mapper::{MapperOptions, Objective};
+use std::collections::HashMap;
+use std::io::Write;
+use std::path::PathBuf;
+
+/// Computes the content-addressed cache key for a request.
+///
+/// `cmd` is the wire command tag (`"map"` / `"min_ii"`); `ii` is the
+/// fixed II or the `max_ii` bound respectively.
+pub fn request_key(
+    cmd: &str,
+    dfg_hash: u64,
+    arch_hash: u64,
+    ii: u32,
+    options: &MapperOptions,
+) -> u64 {
+    let mut h = ContentHasher::new("cgra-serve-request");
+    h.write_str(cmd);
+    h.write_u64(dfg_hash);
+    h.write_u64(arch_hash);
+    h.write_u64(ii as u64);
+    h.write_u64(options_fingerprint(options));
+    h.finish()
+}
+
+/// A stable digest over every [`MapperOptions`] field. Any option that
+/// can change the report — verdict, statistics, or even just the time
+/// limit recorded in a timeout — must feed this digest.
+pub fn options_fingerprint(o: &MapperOptions) -> u64 {
+    let mut h = ContentHasher::new("cgra-serve-options");
+    h.write_opt_i64(o.time_limit.map(|d| d.as_micros() as i64));
+    h.write_u64(o.optimize as u64);
+    match o.objective {
+        Objective::RoutingResources => h.write_str("routing"),
+        Objective::Weighted(w) => {
+            h.write_str("weighted");
+            h.write_i64(w.wire);
+            h.write_i64(w.mux);
+            h.write_i64(w.register);
+        }
+    }
+    h.write_u64(o.commutativity as u64);
+    h.write_u64(o.mux_exclusivity as u64);
+    h.write_u64(o.redundant_capacity as u64);
+    h.write_u64(o.seed);
+    h.write_u64(o.warm_start as u64);
+    h.write_u64(o.threads as u64);
+    h.write_u64(o.presolve as u64);
+    h.write_u64(o.reach_reduction as u64);
+    h.write_u64(o.incremental as u64);
+    h.write_opt_i64(o.conflict_limit.map(|n| n as i64));
+    h.write_opt_i64(o.objective_stop);
+    h.write_u64(o.explain_infeasible as u64);
+    h.write_u64(o.certify as u64);
+    h.write_opt_i64(o.mem_limit.map(|n| n as i64));
+    h.write_u64(o.anneal_fallback as u64);
+    h.finish()
+}
+
+struct Entry {
+    text: String,
+    last_used: u64,
+}
+
+/// A bounded LRU cache of rendered result texts, keyed by
+/// [`request_key`], with optional disk persistence.
+pub struct ResultCache {
+    entries: HashMap<u64, Entry>,
+    capacity: usize,
+    tick: u64,
+    disk: Option<PathBuf>,
+}
+
+impl std::fmt::Debug for ResultCache {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ResultCache")
+            .field("len", &self.entries.len())
+            .field("capacity", &self.capacity)
+            .field("disk", &self.disk)
+            .finish()
+    }
+}
+
+impl ResultCache {
+    /// Creates a cache bounded to `capacity` in-memory entries. With a
+    /// `disk` directory, inserts are written through to
+    /// `<dir>/<key:016x>.json` and in-memory misses fall back to a disk
+    /// read (so a restarted daemon reuses earlier results). The
+    /// directory is created on first write; I/O failures degrade to
+    /// cache misses, never errors.
+    pub fn new(capacity: usize, disk: Option<PathBuf>) -> Self {
+        ResultCache {
+            entries: HashMap::new(),
+            capacity: capacity.max(1),
+            tick: 0,
+            disk,
+        }
+    }
+
+    /// Number of in-memory entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the in-memory cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Looks up a stored result text, consulting disk on a memory miss.
+    pub fn get(&mut self, key: u64) -> Option<String> {
+        self.tick += 1;
+        if let Some(e) = self.entries.get_mut(&key) {
+            e.last_used = self.tick;
+            return Some(e.text.clone());
+        }
+        let path = self.disk.as_ref()?.join(format!("{key:016x}.json"));
+        let text = std::fs::read_to_string(path).ok()?;
+        // A truncated or hand-edited file must not be replayed as a
+        // result; a quick structural check keeps the cache honest.
+        if crate::json::Json::parse(&text).is_err() {
+            return None;
+        }
+        self.insert_memory(key, text.clone());
+        Some(text)
+    }
+
+    /// Stores a rendered result text (write-through when persistent).
+    pub fn insert(&mut self, key: u64, text: String) {
+        if let Some(dir) = &self.disk {
+            let path = dir.join(format!("{key:016x}.json"));
+            let write = || -> std::io::Result<()> {
+                std::fs::create_dir_all(dir)?;
+                // Write-then-rename so a crashed daemon never leaves a
+                // half-written file a later `get` could replay.
+                let tmp = dir.join(format!("{key:016x}.json.tmp"));
+                let mut f = std::fs::File::create(&tmp)?;
+                f.write_all(text.as_bytes())?;
+                f.sync_all()?;
+                std::fs::rename(&tmp, &path)
+            };
+            if let Err(e) = write() {
+                eprintln!("cgra-serve: cache write failed for {key:016x}: {e}");
+            }
+        }
+        self.insert_memory(key, text);
+    }
+
+    fn insert_memory(&mut self, key: u64, text: String) {
+        self.tick += 1;
+        if self.entries.len() >= self.capacity && !self.entries.contains_key(&key) {
+            // O(n) victim scan: capacities are small (hundreds), and the
+            // scan only runs at the bound.
+            if let Some(&victim) = self
+                .entries
+                .iter()
+                .min_by_key(|(_, e)| e.last_used)
+                .map(|(k, _)| k)
+            {
+                self.entries.remove(&victim);
+            }
+        }
+        self.entries.insert(
+            key,
+            Entry {
+                text,
+                last_used: self.tick,
+            },
+        );
+    }
+}
+
+/// A bounded LRU of values keyed by `u64` content hashes — used for the
+/// per-architecture [`Session`](cgra_mapper::Session) pool.
+#[derive(Debug)]
+pub struct LruMap<V> {
+    entries: HashMap<u64, (V, u64)>,
+    capacity: usize,
+    tick: u64,
+}
+
+impl<V: Clone> LruMap<V> {
+    /// Creates a map bounded to `capacity` entries (minimum 1).
+    pub fn new(capacity: usize) -> Self {
+        LruMap {
+            entries: HashMap::new(),
+            capacity: capacity.max(1),
+            tick: 0,
+        }
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the map is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Looks up and touches an entry.
+    pub fn get(&mut self, key: u64) -> Option<V> {
+        self.tick += 1;
+        let tick = self.tick;
+        self.entries.get_mut(&key).map(|(v, used)| {
+            *used = tick;
+            v.clone()
+        })
+    }
+
+    /// Iterates over the stored values (no touch, arbitrary order).
+    pub fn values(&self) -> impl Iterator<Item = &V> {
+        self.entries.values().map(|(v, _)| v)
+    }
+
+    /// Inserts an entry, evicting the least recently used at capacity.
+    pub fn insert(&mut self, key: u64, value: V) {
+        self.tick += 1;
+        if self.entries.len() >= self.capacity && !self.entries.contains_key(&key) {
+            if let Some(&victim) = self
+                .entries
+                .iter()
+                .min_by_key(|(_, (_, used))| *used)
+                .map(|(k, _)| k)
+            {
+                self.entries.remove(&victim);
+            }
+        }
+        self.entries.insert(key, (value, self.tick));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    #[test]
+    fn key_separates_every_dimension() {
+        let base = MapperOptions::default();
+        let k =
+            |cmd: &str, d: u64, a: u64, ii: u32, o: &MapperOptions| request_key(cmd, d, a, ii, o);
+        let reference = k("map", 1, 2, 1, &base);
+        assert_ne!(reference, k("min_ii", 1, 2, 1, &base));
+        assert_ne!(reference, k("map", 3, 2, 1, &base));
+        assert_ne!(reference, k("map", 1, 3, 1, &base));
+        assert_ne!(reference, k("map", 1, 2, 2, &base));
+        let mut o = base;
+        o.seed = 99;
+        assert_ne!(reference, k("map", 1, 2, 1, &o));
+        let mut o = base;
+        o.time_limit = Some(Duration::from_secs(1));
+        assert_ne!(reference, k("map", 1, 2, 1, &o));
+        let mut o = base;
+        o.threads = 4;
+        assert_ne!(reference, k("map", 1, 2, 1, &o));
+        assert_eq!(reference, k("map", 1, 2, 1, &base));
+    }
+
+    #[test]
+    fn lru_evicts_least_recently_used() {
+        let mut c = ResultCache::new(2, None);
+        c.insert(1, "a".into());
+        c.insert(2, "b".into());
+        assert_eq!(c.get(1).as_deref(), Some("a")); // touch 1
+        c.insert(3, "c".into()); // evicts 2
+        assert_eq!(c.len(), 2);
+        assert!(c.get(2).is_none());
+        assert_eq!(c.get(1).as_deref(), Some("a"));
+        assert_eq!(c.get(3).as_deref(), Some("c"));
+    }
+
+    #[test]
+    fn reinserting_existing_key_does_not_evict() {
+        let mut c = ResultCache::new(2, None);
+        c.insert(1, "a".into());
+        c.insert(2, "b".into());
+        c.insert(2, "b2".into());
+        assert_eq!(c.get(1).as_deref(), Some("a"));
+        assert_eq!(c.get(2).as_deref(), Some("b2"));
+    }
+
+    #[test]
+    fn disk_persistence_survives_a_new_cache() {
+        let dir = std::env::temp_dir().join(format!("cgra-serve-test-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        {
+            let mut c = ResultCache::new(4, Some(dir.clone()));
+            c.insert(7, "{\"x\":1}".into());
+        }
+        let mut fresh = ResultCache::new(4, Some(dir.clone()));
+        assert_eq!(fresh.get(7).as_deref(), Some("{\"x\":1}"));
+        // Corrupt entries are ignored, not replayed.
+        std::fs::write(dir.join(format!("{:016x}.json", 8u64)), "{oops").unwrap();
+        assert!(fresh.get(8).is_none());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn lru_map_bounds_sessions() {
+        let mut m: LruMap<u32> = LruMap::new(2);
+        m.insert(1, 10);
+        m.insert(2, 20);
+        assert_eq!(m.get(1), Some(10));
+        m.insert(3, 30);
+        assert_eq!(m.len(), 2);
+        assert_eq!(m.get(2), None);
+        assert_eq!(m.get(3), Some(30));
+    }
+}

@@ -1,0 +1,187 @@
+//! A minimal blocking client for the service's wire protocol.
+//!
+//! Used by the integration tests, the `serve_bench` load generator and
+//! the CI smoke job; also a reference for writing clients in other
+//! languages (the protocol is one JSON object per line in each
+//! direction).
+
+use crate::json::{obj, s, Json};
+use crate::wire::{ErrorKind, Served, WireError};
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+
+/// A blocking connection to a running service.
+#[derive(Debug)]
+pub struct Client {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+    next_id: u64,
+}
+
+/// A decoded success response.
+#[derive(Debug, Clone)]
+pub struct OkResponse {
+    /// The echoed request id.
+    pub id: String,
+    /// The raw `result` value.
+    pub result: Json,
+    /// The `result` value re-rendered as text (byte-identical to what
+    /// the server sent, since objects preserve key order).
+    pub result_text: String,
+    /// Serving diagnostics; `None` on administrative commands.
+    pub served: Option<Served>,
+}
+
+impl Client {
+    /// Connects to `addr` (e.g. `"127.0.0.1:9115"`).
+    pub fn connect(addr: &str) -> std::io::Result<Client> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        let writer = stream.try_clone()?;
+        Ok(Client {
+            reader: BufReader::new(stream),
+            writer,
+            next_id: 0,
+        })
+    }
+
+    /// Sends one raw line and reads one response line.
+    pub fn roundtrip_line(&mut self, line: &str) -> std::io::Result<String> {
+        self.writer.write_all(line.as_bytes())?;
+        self.writer.write_all(b"\n")?;
+        self.writer.flush()?;
+        let mut response = String::new();
+        let n = self.reader.read_line(&mut response)?;
+        if n == 0 {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::UnexpectedEof,
+                "server closed the connection",
+            ));
+        }
+        Ok(response.trim_end().to_owned())
+    }
+
+    /// Sends a request document and decodes the response: `Ok` carries
+    /// the result, `Err` the server's typed error. I/O failures map to
+    /// an [`ErrorKind::Internal`] error.
+    pub fn request(&mut self, request: &Json) -> Result<OkResponse, WireError> {
+        let line = self
+            .roundtrip_line(&request.to_string())
+            .map_err(|e| WireError::new(ErrorKind::Internal, e.to_string()))?;
+        decode_response(&line)
+    }
+
+    /// Builds and sends a `map` request.
+    pub fn map(
+        &mut self,
+        dfg_text: &str,
+        arch_text: &str,
+        ii: u32,
+        options: Option<Json>,
+    ) -> Result<OkResponse, WireError> {
+        let id = self.fresh_id();
+        let mut fields = vec![
+            ("id", s(id)),
+            ("cmd", s("map")),
+            ("dfg", s(dfg_text)),
+            ("arch", s(arch_text)),
+            ("ii", Json::Int(ii as i64)),
+        ];
+        if let Some(o) = options {
+            fields.push(("options", o));
+        }
+        self.request(&obj(fields))
+    }
+
+    /// Builds and sends a `min_ii` request.
+    pub fn min_ii(
+        &mut self,
+        dfg_text: &str,
+        arch_text: &str,
+        max_ii: u32,
+        options: Option<Json>,
+    ) -> Result<OkResponse, WireError> {
+        let id = self.fresh_id();
+        let mut fields = vec![
+            ("id", s(id)),
+            ("cmd", s("min_ii")),
+            ("dfg", s(dfg_text)),
+            ("arch", s(arch_text)),
+            ("max_ii", Json::Int(max_ii as i64)),
+        ];
+        if let Some(o) = options {
+            fields.push(("options", o));
+        }
+        self.request(&obj(fields))
+    }
+
+    /// Requests the service counters.
+    pub fn stats(&mut self) -> Result<OkResponse, WireError> {
+        let id = self.fresh_id();
+        self.request(&obj(vec![("id", s(id)), ("cmd", s("stats"))]))
+    }
+
+    /// Requests graceful shutdown.
+    pub fn shutdown(&mut self) -> Result<OkResponse, WireError> {
+        let id = self.fresh_id();
+        self.request(&obj(vec![("id", s(id)), ("cmd", s("shutdown"))]))
+    }
+
+    fn fresh_id(&mut self) -> String {
+        self.next_id += 1;
+        format!("c{}", self.next_id)
+    }
+}
+
+/// Decodes one response line into `Ok(result)` / `Err(typed error)`.
+pub fn decode_response(line: &str) -> Result<OkResponse, WireError> {
+    let doc = Json::parse(line)
+        .map_err(|e| WireError::new(ErrorKind::Internal, format!("bad response JSON: {e}")))?;
+    let id = doc
+        .get("id")
+        .and_then(Json::as_str)
+        .unwrap_or_default()
+        .to_owned();
+    match doc.get("ok").and_then(Json::as_bool) {
+        Some(true) => {
+            let result = doc
+                .get("result")
+                .cloned()
+                .ok_or_else(|| WireError::new(ErrorKind::Internal, "response missing `result`"))?;
+            let served = match doc.get("served") {
+                Some(block) => Some(Served::decode(block)?),
+                None => None,
+            };
+            Ok(OkResponse {
+                id,
+                result_text: result.to_string(),
+                result,
+                served,
+            })
+        }
+        Some(false) => {
+            let error = doc
+                .get("error")
+                .ok_or_else(|| WireError::new(ErrorKind::Internal, "response missing `error`"))?;
+            let kind = match error.get("kind").and_then(Json::as_str) {
+                Some("parse") => ErrorKind::Parse,
+                Some("request") => ErrorKind::Request,
+                Some("dfg") => ErrorKind::Dfg,
+                Some("arch") => ErrorKind::Arch,
+                Some("overloaded") => ErrorKind::Overloaded,
+                Some("shutting_down") => ErrorKind::ShuttingDown,
+                _ => ErrorKind::Internal,
+            };
+            let detail = error
+                .get("detail")
+                .and_then(Json::as_str)
+                .unwrap_or_default()
+                .to_owned();
+            Err(WireError::new(kind, detail))
+        }
+        None => Err(WireError::new(
+            ErrorKind::Internal,
+            "response missing `ok` field",
+        )),
+    }
+}

@@ -1,0 +1,460 @@
+//! The service core: a bounded worker pool over shared caches.
+//!
+//! Transport-independent — [`Service::handle`] maps one request line to
+//! one response line, and the TCP/stdio front-ends in
+//! [`server`](crate::server) just shuttle lines. Concurrency model:
+//!
+//! * connection threads call `handle`, which parses, enqueues, and
+//!   blocks on a per-request channel;
+//! * a fixed pool of worker threads drains the queue and solves;
+//! * admission control is a hard queue bound — a full queue rejects
+//!   immediately with a typed `overloaded` error rather than building
+//!   unbounded backlog;
+//! * graceful shutdown flips a flag, fails queued-but-unstarted work
+//!   with `shutting_down`, and fires the cooperative-cancellation flag
+//!   of every in-flight solve so workers come back promptly with a
+//!   clean timeout report instead of being killed mid-solve.
+//!
+//! Results are cached content-addressed (see [`crate::cache`]); MRRGs
+//! stay warm in per-architecture [`Session`]s so repeated work against
+//! the same fabric skips graph construction.
+
+use crate::cache::{request_key, LruMap, ResultCache};
+use crate::json::{obj, Json};
+use crate::wire::{
+    self, encode_map_report, encode_min_ii_report, ErrorKind, Request, RequestBody, Served,
+    WireError,
+};
+use cgra_mapper::{MapperOptions, Session};
+use std::collections::{HashMap, VecDeque};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::mpsc;
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+/// Tuning knobs for a [`Service`].
+#[derive(Debug, Clone)]
+pub struct ServiceConfig {
+    /// Solver worker threads (the pool's parallelism).
+    pub workers: usize,
+    /// Admission bound: requests queued beyond in-flight capacity before
+    /// new work is rejected with `overloaded`.
+    pub queue_capacity: usize,
+    /// In-memory result-cache entries.
+    pub result_capacity: usize,
+    /// Warm sessions kept (one per distinct architecture).
+    pub session_capacity: usize,
+    /// Optional persistent cache directory (write-through + read-back).
+    pub cache_dir: Option<PathBuf>,
+    /// Server-side ceiling applied to every request's `time_limit` (a
+    /// request may ask for less, never more). `None` = no ceiling.
+    pub deadline: Option<Duration>,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        ServiceConfig {
+            workers: 2,
+            queue_capacity: 16,
+            result_capacity: 256,
+            session_capacity: 8,
+            cache_dir: None,
+            deadline: Some(Duration::from_secs(300)),
+        }
+    }
+}
+
+struct Job {
+    request: Request,
+    enqueued: Instant,
+    tx: mpsc::Sender<String>,
+}
+
+struct Inner {
+    config: ServiceConfig,
+    queue: Mutex<VecDeque<Job>>,
+    available: Condvar,
+    shutdown: AtomicBool,
+    in_flight: Mutex<HashMap<u64, Arc<AtomicBool>>>,
+    next_job: AtomicU64,
+    sessions: Mutex<LruMap<Arc<Session>>>,
+    results: Mutex<ResultCache>,
+    requests: AtomicU64,
+    cache_hits: AtomicU64,
+    cache_misses: AtomicU64,
+    rejected: AtomicU64,
+}
+
+/// The mapping service: shared state plus its worker pool.
+pub struct Service {
+    inner: Arc<Inner>,
+    workers: Mutex<Vec<std::thread::JoinHandle<()>>>,
+}
+
+impl std::fmt::Debug for Service {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Service")
+            .field("config", &self.inner.config)
+            .field("shutting_down", &self.is_shutting_down())
+            .finish()
+    }
+}
+
+impl Service {
+    /// Starts a service: spawns `config.workers` solver threads.
+    pub fn start(config: ServiceConfig) -> Arc<Service> {
+        let workers = config.workers.max(1);
+        let inner = Arc::new(Inner {
+            results: Mutex::new(ResultCache::new(
+                config.result_capacity,
+                config.cache_dir.clone(),
+            )),
+            sessions: Mutex::new(LruMap::new(config.session_capacity)),
+            config,
+            queue: Mutex::new(VecDeque::new()),
+            available: Condvar::new(),
+            shutdown: AtomicBool::new(false),
+            in_flight: Mutex::new(HashMap::new()),
+            next_job: AtomicU64::new(0),
+            requests: AtomicU64::new(0),
+            cache_hits: AtomicU64::new(0),
+            cache_misses: AtomicU64::new(0),
+            rejected: AtomicU64::new(0),
+        });
+        let handles = (0..workers)
+            .map(|i| {
+                let inner = Arc::clone(&inner);
+                std::thread::Builder::new()
+                    .name(format!("cgra-serve-worker-{i}"))
+                    .spawn(move || worker_loop(&inner))
+                    .expect("spawn worker thread")
+            })
+            .collect();
+        Arc::new(Service {
+            inner,
+            workers: Mutex::new(handles),
+        })
+    }
+
+    /// Whether graceful shutdown has been initiated.
+    pub fn is_shutting_down(&self) -> bool {
+        self.inner.shutdown.load(Ordering::SeqCst)
+    }
+
+    /// Handles one request line, returning the response line (without a
+    /// trailing newline). Never panics on malformed input.
+    pub fn handle(&self, line: &str) -> String {
+        let request = match wire::parse_request(line) {
+            Ok(r) => r,
+            Err(e) => {
+                // Salvage the id for the error reply when the line was
+                // valid JSON but schema-invalid.
+                let id = Json::parse(line)
+                    .ok()
+                    .and_then(|d| d.get("id").and_then(Json::as_str).map(str::to_owned));
+                return wire::error_response(id.as_deref(), &e);
+            }
+        };
+        match &request.body {
+            RequestBody::Stats => {
+                let text = self.stats_json().to_string();
+                wire::ok_response(&request.id, &text, None)
+            }
+            RequestBody::Shutdown => {
+                self.initiate_shutdown();
+                wire::ok_response(&request.id, "{\"shutting_down\":true}", None)
+            }
+            RequestBody::Map { .. } | RequestBody::MinIi { .. } => self.submit(request),
+        }
+    }
+
+    /// Enqueues a solve request and waits for its response.
+    fn submit(&self, request: Request) -> String {
+        let id = request.id.clone();
+        let (tx, rx) = mpsc::channel();
+        {
+            let mut queue = lock(&self.inner.queue);
+            if self.is_shutting_down() {
+                return wire::error_response(
+                    Some(&id),
+                    &WireError::new(ErrorKind::ShuttingDown, "service is shutting down"),
+                );
+            }
+            if queue.len() >= self.inner.config.queue_capacity {
+                self.inner.rejected.fetch_add(1, Ordering::Relaxed);
+                return wire::error_response(
+                    Some(&id),
+                    &WireError::new(
+                        ErrorKind::Overloaded,
+                        format!(
+                            "queue full ({} pending); retry later",
+                            self.inner.config.queue_capacity
+                        ),
+                    ),
+                );
+            }
+            queue.push_back(Job {
+                request,
+                enqueued: Instant::now(),
+                tx,
+            });
+        }
+        self.inner.available.notify_one();
+        rx.recv().unwrap_or_else(|_| {
+            wire::error_response(
+                Some(&id),
+                &WireError::new(ErrorKind::Internal, "worker dropped the request"),
+            )
+        })
+    }
+
+    /// Initiates graceful shutdown: queued-but-unstarted requests are
+    /// failed with `shutting_down`, in-flight solves are cooperatively
+    /// cancelled (they respond with a clean timeout report), and workers
+    /// exit once drained. Idempotent.
+    pub fn initiate_shutdown(&self) {
+        if self.inner.shutdown.swap(true, Ordering::SeqCst) {
+            return;
+        }
+        let drained: Vec<Job> = lock(&self.inner.queue).drain(..).collect();
+        for job in drained {
+            let _ = job.tx.send(wire::error_response(
+                Some(&job.request.id),
+                &WireError::new(ErrorKind::ShuttingDown, "service is shutting down"),
+            ));
+        }
+        for flag in lock(&self.inner.in_flight).values() {
+            flag.store(true, Ordering::SeqCst);
+        }
+        self.inner.available.notify_all();
+    }
+
+    /// Blocks until every worker has exited. Call after
+    /// [`Service::initiate_shutdown`].
+    pub fn join_workers(&self) {
+        let handles: Vec<_> = lock(&self.workers).drain(..).collect();
+        for h in handles {
+            let _ = h.join();
+        }
+    }
+
+    /// The service counters as a JSON object (the `stats` command's
+    /// result).
+    pub fn stats_json(&self) -> Json {
+        let (mrrg_builds, mrrg_hits, sessions) = {
+            let sessions = lock(&self.inner.sessions);
+            let mut builds = 0;
+            let mut hits = 0;
+            for s in sessions.values() {
+                let st = s.stats();
+                builds += st.mrrg_builds;
+                hits += st.mrrg_hits;
+            }
+            (builds, hits, sessions.len())
+        };
+        obj(vec![
+            (
+                "requests",
+                Json::Int(self.inner.requests.load(Ordering::Relaxed) as i64),
+            ),
+            (
+                "cache_hits",
+                Json::Int(self.inner.cache_hits.load(Ordering::Relaxed) as i64),
+            ),
+            (
+                "cache_misses",
+                Json::Int(self.inner.cache_misses.load(Ordering::Relaxed) as i64),
+            ),
+            (
+                "rejected",
+                Json::Int(self.inner.rejected.load(Ordering::Relaxed) as i64),
+            ),
+            (
+                "result_entries",
+                Json::Int(lock(&self.inner.results).len() as i64),
+            ),
+            ("sessions", Json::Int(sessions as i64)),
+            ("mrrg_builds", Json::Int(mrrg_builds as i64)),
+            ("mrrg_hits", Json::Int(mrrg_hits as i64)),
+            (
+                "workers",
+                Json::Int(self.inner.config.workers.max(1) as i64),
+            ),
+            ("queued", Json::Int(lock(&self.inner.queue).len() as i64)),
+            (
+                "in_flight",
+                Json::Int(lock(&self.inner.in_flight).len() as i64),
+            ),
+            ("shutting_down", Json::Bool(self.is_shutting_down())),
+        ])
+    }
+}
+
+/// Mutex lock that survives a poisoned worker (a panicked solve must
+/// not wedge the whole service).
+fn lock<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+fn worker_loop(inner: &Arc<Inner>) {
+    loop {
+        let job = {
+            let mut queue = lock(&inner.queue);
+            loop {
+                if let Some(job) = queue.pop_front() {
+                    break job;
+                }
+                if inner.shutdown.load(Ordering::SeqCst) {
+                    return;
+                }
+                queue = inner
+                    .available
+                    .wait(queue)
+                    .unwrap_or_else(|e| e.into_inner());
+            }
+        };
+        let id = job.request.id.clone();
+        let tx = job.tx.clone();
+        // Fault isolation: a panicking solve answers `internal` and the
+        // worker lives on to serve the next request.
+        let outcome =
+            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| execute(inner, job)));
+        if let Err(panic) = outcome {
+            let detail = panic
+                .downcast_ref::<&str>()
+                .map(|s| s.to_string())
+                .or_else(|| panic.downcast_ref::<String>().cloned())
+                .unwrap_or_else(|| "worker panicked".to_owned());
+            let _ = tx.send(wire::error_response(
+                Some(&id),
+                &WireError::new(ErrorKind::Internal, detail),
+            ));
+        }
+    }
+}
+
+/// Unregisters an in-flight interrupt flag even if the solve panics.
+struct InFlightGuard<'a> {
+    inner: &'a Inner,
+    serial: u64,
+}
+
+impl Drop for InFlightGuard<'_> {
+    fn drop(&mut self) {
+        lock(&self.inner.in_flight).remove(&self.serial);
+    }
+}
+
+fn execute(inner: &Arc<Inner>, job: Job) {
+    let wait = job.enqueued.elapsed();
+    let id = job.request.id;
+    let response = match run(inner, &job.request.body, wait) {
+        Ok((result, served)) => wire::ok_response(&id, &result, Some(&served)),
+        Err(e) => wire::error_response(Some(&id), &e),
+    };
+    let _ = job.tx.send(response);
+}
+
+fn run(
+    inner: &Arc<Inner>,
+    body: &RequestBody,
+    wait: Duration,
+) -> Result<(String, Served), WireError> {
+    inner.requests.fetch_add(1, Ordering::Relaxed);
+    let (cmd, dfg_text, arch_text, ii, mut options) = match body {
+        RequestBody::Map {
+            dfg,
+            arch,
+            ii,
+            options,
+        } => ("map", dfg, arch, *ii, *options),
+        RequestBody::MinIi {
+            dfg,
+            arch,
+            max_ii,
+            options,
+        } => ("min_ii", dfg, arch, *max_ii, *options),
+        _ => unreachable!("stats/shutdown are handled inline"),
+    };
+    let dfg = cgra_dfg::text::parse(dfg_text)
+        .map_err(|e| WireError::new(ErrorKind::Dfg, e.to_string()))?;
+    let arch = cgra_arch::text::parse(arch_text)
+        .map_err(|e| WireError::new(ErrorKind::Arch, e.to_string()))?;
+
+    // Server-side deadline: a request may ask for less time, never more.
+    if let Some(ceiling) = inner.config.deadline {
+        options.time_limit = Some(options.time_limit.map_or(ceiling, |t| t.min(ceiling)));
+    }
+
+    let dfg_hash = dfg.content_hash();
+    let arch_hash = arch.content_hash();
+    let key = request_key(cmd, dfg_hash, arch_hash, ii, &options);
+
+    let lookup_start = Instant::now();
+    if let Some(text) = lock(&inner.results).get(key) {
+        inner.cache_hits.fetch_add(1, Ordering::Relaxed);
+        return Ok((
+            text,
+            Served {
+                cache_hit: true,
+                mrrg_warm: false,
+                wait,
+                solve: lookup_start.elapsed(),
+            },
+        ));
+    }
+    inner.cache_misses.fetch_add(1, Ordering::Relaxed);
+
+    let session = {
+        let mut sessions = lock(&inner.sessions);
+        match sessions.get(arch_hash) {
+            Some(s) => s,
+            None => {
+                let s = Arc::new(Session::new(arch, MapperOptions::default()));
+                sessions.insert(arch_hash, Arc::clone(&s));
+                s
+            }
+        }
+    };
+    let mrrg_warm = session.is_warm(if cmd == "map" { ii } else { 1 });
+
+    // Register the cancellation flag so graceful shutdown reaches this
+    // solve; the guard unregisters even on panic.
+    let interrupt = Arc::new(AtomicBool::new(false));
+    let serial = inner.next_job.fetch_add(1, Ordering::Relaxed);
+    lock(&inner.in_flight).insert(serial, Arc::clone(&interrupt));
+    let _guard = InFlightGuard { inner, serial };
+    if inner.shutdown.load(Ordering::SeqCst) {
+        interrupt.store(true, Ordering::SeqCst);
+    }
+
+    let solve_start = Instant::now();
+    let result = match cmd {
+        "map" => {
+            let report = session.map_with(&dfg, ii, options, Some(Arc::clone(&interrupt)));
+            encode_map_report(&dfg, &session.mrrg(ii), &report)
+        }
+        _ => {
+            let report = session.min_ii_with(&dfg, ii, options, Some(Arc::clone(&interrupt)));
+            encode_min_ii_report(&dfg, &report, |ii| session.mrrg(ii))
+        }
+    };
+    let solve = solve_start.elapsed();
+    let text = result.to_string();
+
+    // A cancelled solve's timeout says "the service was told to stop",
+    // not "this instance needs this long" — never cache it.
+    if !interrupt.load(Ordering::SeqCst) {
+        lock(&inner.results).insert(key, text.clone());
+    }
+    Ok((
+        text,
+        Served {
+            cache_hit: false,
+            mrrg_warm,
+            wait,
+            solve,
+        },
+    ))
+}

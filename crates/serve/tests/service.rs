@@ -1,0 +1,356 @@
+//! End-to-end service behaviour: the differential correctness test,
+//! cache-hit semantics, admission control and graceful shutdown.
+
+use cgra_arch::families::{grid, FuMix, GridParams, Interconnect};
+use cgra_mapper::{IlpMapper, MapperOptions};
+use cgra_serve::client::Client;
+use cgra_serve::json::{obj, Json};
+use cgra_serve::server;
+use cgra_serve::service::{Service, ServiceConfig};
+use cgra_serve::wire::encode_map_report;
+use cgra_serve::ErrorKind;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+fn homo_diag_arch_text() -> String {
+    cgra_arch::text::print(&grid(GridParams::paper(
+        FuMix::Homogeneous,
+        Interconnect::Diagonal,
+    )))
+}
+
+fn kernel_text(name: &str) -> String {
+    cgra_dfg::text::print(&(cgra_dfg::benchmarks::by_name(name)
+        .expect("known kernel")
+        .build)())
+}
+
+fn options_json() -> Json {
+    obj(vec![
+        ("time_limit_us", Json::Int(60_000_000)),
+        ("threads", Json::Int(1)),
+    ])
+}
+
+/// Zeroes every wall-clock field, recursively: two runs of the same
+/// deterministic solve differ only in timing.
+fn normalize_times(doc: &mut Json) {
+    match doc {
+        Json::Object(pairs) => {
+            for (key, value) in pairs {
+                if key.ends_with("_us") {
+                    *value = Json::Int(0);
+                } else {
+                    normalize_times(value);
+                }
+            }
+        }
+        Json::Array(items) => items.iter_mut().for_each(normalize_times),
+        _ => {}
+    }
+}
+
+/// The differential test: N identical + M distinct concurrent requests
+/// through the full TCP stack must produce reports identical to direct
+/// in-process mapper calls, and the identical requests must collapse
+/// onto one cache entry replayed byte-for-byte.
+#[test]
+fn differential_against_direct_mapper() {
+    let service = Service::start(ServiceConfig {
+        workers: 4,
+        queue_capacity: 32,
+        ..ServiceConfig::default()
+    });
+    let (addr, accept) = server::spawn_tcp(Arc::clone(&service), "127.0.0.1:0").unwrap();
+    let addr = addr.to_string();
+
+    let arch_text = homo_diag_arch_text();
+    // Seed the cache with one solve of the kernel the identical batch
+    // will repeat, so the batch exercises concurrent cache *replay*
+    // (concurrent first-time misses each solve independently and agree
+    // only modulo timing — the byte-identical guarantee is the cache's).
+    let warmup = {
+        let mut client = Client::connect(&addr).expect("connect");
+        let response = client
+            .map(&kernel_text("accum"), &arch_text, 1, Some(options_json()))
+            .expect("warm-up map succeeds");
+        assert!(!response.served.as_ref().unwrap().cache_hit);
+        response.result_text
+    };
+
+    // 4 identical + 3 distinct, interleaved, all submitted concurrently.
+    let identical = ["accum"; 4];
+    let distinct = ["mac", "add_10", "2x2-f"];
+    let submissions: Vec<&str> = identical.iter().chain(distinct.iter()).copied().collect();
+
+    let responses: Vec<(String, String, bool)> = std::thread::scope(|scope| {
+        let handles: Vec<_> = submissions
+            .iter()
+            .map(|name| {
+                let addr = addr.clone();
+                let arch_text = arch_text.clone();
+                scope.spawn(move || {
+                    let mut client = Client::connect(&addr).expect("connect");
+                    let response = client
+                        .map(&kernel_text(name), &arch_text, 1, Some(options_json()))
+                        .expect("map request succeeds");
+                    (
+                        name.to_string(),
+                        response.result_text,
+                        response.served.expect("served stats").cache_hit,
+                    )
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+
+    // Identical requests: all cache hits, every report byte-identical
+    // to the seeded solve.
+    let accum_responses: Vec<_> = responses
+        .iter()
+        .filter(|(name, ..)| name == "accum")
+        .collect();
+    assert_eq!(accum_responses.len(), 4);
+    for (_, text, hit) in &accum_responses {
+        assert!(*hit, "repeat of a cached request must be a cache hit");
+        assert_eq!(
+            text, &warmup,
+            "cached replay must be byte-identical to the original report"
+        );
+    }
+
+    // Every distinct response must match a direct mapper call modulo
+    // wall-clock fields (the sequential solver is deterministic).
+    let arch = cgra_arch::text::parse(&arch_text).unwrap();
+    let options = MapperOptions {
+        time_limit: Some(Duration::from_secs(60)),
+        ..MapperOptions::default()
+    };
+    let mrrg = cgra_mrrg::build_mrrg(&arch, 1);
+    for name in submissions
+        .iter()
+        .collect::<std::collections::BTreeSet<_>>()
+    {
+        let dfg = cgra_dfg::text::parse(&kernel_text(name)).unwrap();
+        let direct = IlpMapper::new(options).map(&dfg, &mrrg);
+        let mut expected = encode_map_report(&dfg, &mrrg, &direct);
+        normalize_times(&mut expected);
+        let (_, served_text, _) = responses
+            .iter()
+            .find(|(n, ..)| n == *name)
+            .expect("every submission answered");
+        let mut served_doc = Json::parse(served_text).unwrap();
+        normalize_times(&mut served_doc);
+        assert_eq!(
+            served_doc.to_string(),
+            expected.to_string(),
+            "service and direct mapper disagree on `{name}`"
+        );
+    }
+
+    let mut client = Client::connect(&addr).unwrap();
+    client.shutdown().unwrap();
+    accept.join().unwrap();
+    service.join_workers();
+}
+
+#[test]
+fn repeat_hits_cache_with_near_zero_solve_time() {
+    let service = Service::start(ServiceConfig::default());
+    let dfg = kernel_text("accum");
+    let arch = homo_diag_arch_text();
+    let line = |id: &str| {
+        format!(
+            "{{\"id\":\"{id}\",\"cmd\":\"map\",\"dfg\":{},\"arch\":{},\"ii\":1}}",
+            cgra_serve::json::s(&dfg),
+            cgra_serve::json::s(&arch),
+        )
+    };
+    let first = cgra_serve::client::decode_response(&service.handle(&line("a"))).unwrap();
+    let second = cgra_serve::client::decode_response(&service.handle(&line("b"))).unwrap();
+    let first_served = first.served.unwrap();
+    let second_served = second.served.unwrap();
+    assert!(!first_served.cache_hit);
+    assert!(second_served.cache_hit);
+    assert_eq!(first.result_text, second.result_text);
+    assert!(
+        second_served.solve < Duration::from_millis(50),
+        "cache hit should have near-zero solve time, got {:?}",
+        second_served.solve
+    );
+    assert!(second_served.solve < first_served.solve);
+
+    // Third request with *different options* must not hit the first
+    // entry — content addressing covers the options fingerprint.
+    let third = cgra_serve::client::decode_response(&service.handle(&format!(
+        "{{\"id\":\"c\",\"cmd\":\"map\",\"dfg\":{},\"arch\":{},\"ii\":1,\"options\":{{\"seed\":7}}}}",
+        cgra_serve::json::s(&dfg),
+        cgra_serve::json::s(&arch),
+    )))
+    .unwrap();
+    assert!(!third.served.unwrap().cache_hit);
+
+    service.initiate_shutdown();
+    service.join_workers();
+}
+
+#[test]
+fn warm_mrrg_is_reported_for_new_kernel_on_known_arch() {
+    let service = Service::start(ServiceConfig::default());
+    let arch = homo_diag_arch_text();
+    let submit = |id: &str, kernel: &str| {
+        let line = format!(
+            "{{\"id\":\"{id}\",\"cmd\":\"map\",\"dfg\":{},\"arch\":{},\"ii\":1}}",
+            cgra_serve::json::s(&kernel_text(kernel)),
+            cgra_serve::json::s(&arch),
+        );
+        cgra_serve::client::decode_response(&service.handle(&line)).unwrap()
+    };
+    let first = submit("a", "accum");
+    // Different kernel, same fabric: a cache miss, but the session's
+    // II=1 MRRG is already built.
+    let second = submit("b", "mac");
+    assert!(!first.served.unwrap().mrrg_warm);
+    let second_served = second.served.unwrap();
+    assert!(!second_served.cache_hit);
+    assert!(second_served.mrrg_warm);
+    service.initiate_shutdown();
+    service.join_workers();
+}
+
+#[test]
+fn malformed_inputs_get_typed_errors_not_panics() {
+    let service = Service::start(ServiceConfig {
+        workers: 1,
+        ..ServiceConfig::default()
+    });
+    let cases: Vec<(String, ErrorKind)> = vec![
+        ("not json at all".into(), ErrorKind::Parse),
+        ("{\"cmd\":\"map\"}".into(), ErrorKind::Request),
+        (
+            "{\"id\":\"x\",\"cmd\":\"teleport\"}".into(),
+            ErrorKind::Request,
+        ),
+        (
+            "{\"id\":\"x\",\"cmd\":\"map\",\"dfg\":\"bogus\",\"arch\":\"bogus\",\"ii\":0}".into(),
+            ErrorKind::Request,
+        ),
+        (
+            format!(
+                "{{\"id\":\"x\",\"cmd\":\"map\",\"dfg\":\"bogus\",\"arch\":{},\"ii\":1}}",
+                cgra_serve::json::s(&homo_diag_arch_text())
+            ),
+            ErrorKind::Dfg,
+        ),
+        (
+            format!(
+                "{{\"id\":\"x\",\"cmd\":\"map\",\"dfg\":{},\"arch\":\"bogus\",\"ii\":1}}",
+                cgra_serve::json::s(&kernel_text("accum"))
+            ),
+            ErrorKind::Arch,
+        ),
+    ];
+    for (line, expected) in cases {
+        let error = cgra_serve::client::decode_response(&service.handle(&line))
+            .expect_err("malformed input must fail");
+        assert_eq!(error.kind, expected, "for line {line:?}");
+    }
+    service.initiate_shutdown();
+    service.join_workers();
+}
+
+/// Admission control + graceful shutdown, against a deliberately tiny
+/// pool: one worker, queue bound 1. A slow solve occupies the worker, a
+/// second request queues, a third is rejected `overloaded`; shutdown
+/// then fails the queued request with `shutting_down` and cancels the
+/// in-flight solve, which still answers with a clean timeout report.
+#[test]
+fn admission_control_and_graceful_shutdown() {
+    let service = Service::start(ServiceConfig {
+        workers: 1,
+        queue_capacity: 1,
+        deadline: Some(Duration::from_secs(120)),
+        ..ServiceConfig::default()
+    });
+    // cos_4 at II=1 on homo-diag takes many seconds to refute — plenty
+    // of time to stack requests behind it.
+    let slow_line = |id: &str| {
+        format!(
+            "{{\"id\":\"{id}\",\"cmd\":\"map\",\"dfg\":{},\"arch\":{},\"ii\":1,\"options\":{{\"time_limit_us\":120000000}}}}",
+            cgra_serve::json::s(&kernel_text("cos_4")),
+            cgra_serve::json::s(&homo_diag_arch_text()),
+        )
+    };
+
+    let started = Instant::now();
+    let (in_flight, queued) = std::thread::scope(|scope| {
+        let svc = &service;
+        let in_flight = scope.spawn(move || svc.handle(&slow_line("in-flight")));
+        std::thread::sleep(Duration::from_millis(300)); // worker picks it up
+        let queued = scope.spawn(move || svc.handle(&slow_line("queued")));
+        std::thread::sleep(Duration::from_millis(300)); // sits in the queue
+
+        // Queue full: typed rejection, immediately.
+        let rejected = cgra_serve::client::decode_response(&service.handle(&slow_line("extra")))
+            .expect_err("over-capacity request must be rejected");
+        assert_eq!(rejected.kind, ErrorKind::Overloaded);
+
+        service.initiate_shutdown();
+        (in_flight.join().unwrap(), queued.join().unwrap())
+    });
+
+    // The queued request never started: typed shutting_down error.
+    let queued_err =
+        cgra_serve::client::decode_response(&queued).expect_err("queued request fails on shutdown");
+    assert_eq!(queued_err.kind, ErrorKind::ShuttingDown);
+
+    // The in-flight request was cooperatively cancelled: a clean *ok*
+    // response whose outcome is a timeout, long before its 120 s budget.
+    let in_flight_ok = cgra_serve::client::decode_response(&in_flight)
+        .expect("in-flight request still answers cleanly");
+    assert_eq!(
+        in_flight_ok
+            .result
+            .get("outcome")
+            .and_then(|o| o.get("kind"))
+            .and_then(Json::as_str),
+        Some("timeout"),
+    );
+    assert!(
+        started.elapsed() < Duration::from_secs(60),
+        "cancellation must cut the solve well before its budget"
+    );
+
+    // After shutdown: new requests get the typed error.
+    let late = cgra_serve::client::decode_response(&service.handle(&slow_line("late")))
+        .expect_err("post-shutdown request must fail");
+    assert_eq!(late.kind, ErrorKind::ShuttingDown);
+
+    service.join_workers();
+}
+
+#[test]
+fn min_ii_requests_answer_and_cache() {
+    let service = Service::start(ServiceConfig::default());
+    // extreme (19 internal ops) cannot fit 16 single-context ALUs, so
+    // II=1 is a fast capacity shortcut and II=2 maps.
+    let line = format!(
+        "{{\"id\":\"m\",\"cmd\":\"min_ii\",\"dfg\":{},\"arch\":{},\"max_ii\":2,\"options\":{{\"time_limit_us\":60000000,\"warm_start\":true}}}}",
+        cgra_serve::json::s(&kernel_text("extreme")),
+        cgra_serve::json::s(&homo_diag_arch_text()),
+    );
+    let response = cgra_serve::client::decode_response(&service.handle(&line)).unwrap();
+    assert_eq!(
+        response.result.get("min_ii").and_then(Json::as_u64),
+        Some(2)
+    );
+    let attempts = response.result.get("attempts").unwrap().as_array().unwrap();
+    assert_eq!(attempts.len(), 2);
+    // Re-asking is a pure cache hit.
+    let again = cgra_serve::client::decode_response(&service.handle(&line)).unwrap();
+    assert!(again.served.unwrap().cache_hit);
+    assert_eq!(again.result_text, response.result_text);
+    service.initiate_shutdown();
+    service.join_workers();
+}

@@ -20,16 +20,24 @@ fn main() {
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--threads" => {
-                threads = args
-                    .next()
-                    .and_then(|v| v.parse().ok())
-                    .expect("--threads needs a number");
+                threads = match args.next().map(|v| v.parse()) {
+                    Some(Ok(n)) => n,
+                    _ => fail("--threads needs a number"),
+                };
             }
             other => name = other.to_owned(),
         }
     }
-    let entry = cgra::dfg::benchmarks::by_name(&name)
-        .unwrap_or_else(|| panic!("unknown benchmark `{name}`"));
+    let Some(entry) = cgra::dfg::benchmarks::by_name(&name) else {
+        let known: Vec<&str> = cgra::dfg::benchmarks::all()
+            .iter()
+            .map(|e| e.name)
+            .collect();
+        fail(&format!(
+            "unknown benchmark `{name}`; known: {}",
+            known.join(", ")
+        ));
+    };
     let dfg = (entry.build)();
     let s = dfg.stats();
     println!(
@@ -66,4 +74,12 @@ fn main() {
         );
     }
     println!("\nlegend: 1 = mapped, 0 = proven infeasible (ILP only), T = gave up/timed out");
+}
+
+/// Prints a usage error and exits — an invocation typo should read as a
+/// message, not a panic backtrace.
+fn fail(message: &str) -> ! {
+    eprintln!("error: {message}");
+    eprintln!("usage: cargo run --release --example mapper_shootout -- [benchmark] [--threads N]");
+    std::process::exit(2);
 }

@@ -19,16 +19,24 @@ fn main() {
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--threads" => {
-                threads = args
-                    .next()
-                    .and_then(|v| v.parse().ok())
-                    .expect("--threads needs a number");
+                threads = match args.next().map(|v| v.parse()) {
+                    Some(Ok(n)) => n,
+                    _ => fail("--threads needs a number"),
+                };
             }
             other => name = other.to_owned(),
         }
     }
-    let entry = cgra::dfg::benchmarks::by_name(&name)
-        .unwrap_or_else(|| panic!("unknown benchmark `{name}`"));
+    let Some(entry) = cgra::dfg::benchmarks::by_name(&name) else {
+        let known: Vec<&str> = cgra::dfg::benchmarks::all()
+            .iter()
+            .map(|e| e.name)
+            .collect();
+        fail(&format!(
+            "unknown benchmark `{name}`; known: {}",
+            known.join(", ")
+        ));
+    };
     let dfg = (entry.build)();
     println!("kernel {name}: {}\n", dfg);
     if threads != 1 {
@@ -69,4 +77,12 @@ fn main() {
         "\n(an exact verdict at each II: a 0 means that throughput is *provably*\n\
          unachievable, which no heuristic mapper can tell you)"
     );
+}
+
+/// Prints a usage error and exits — an invocation typo should read as a
+/// message, not a panic backtrace.
+fn fail(message: &str) -> ! {
+    eprintln!("error: {message}");
+    eprintln!("usage: cargo run --release --example min_ii_search -- [benchmark] [--threads N]");
+    std::process::exit(2);
 }
