@@ -101,7 +101,7 @@ fn main() {
         .filter(|r| r.on_wall.max(r.off_wall) > 1e-3)
         .map(|r| r.on_wall.max(1e-3) / r.off_wall.max(1e-3))
         .collect();
-    let geo_wall = geomean(&ratios);
+    let geo_wall = cgra_bench::cli::geomean(&ratios);
     let census = |label| rows.iter().filter(|r| r.check == label).count();
     let (certified, unchecked, check_failed) = (
         census("certified"),
@@ -186,11 +186,4 @@ fn main() {
     if check_failed > 0 || !mismatches.is_empty() {
         std::process::exit(1);
     }
-}
-
-fn geomean(xs: &[f64]) -> f64 {
-    if xs.is_empty() {
-        return 1.0;
-    }
-    (xs.iter().map(|x| x.ln()).sum::<f64>() / xs.len() as f64).exp()
 }

@@ -1,0 +1,171 @@
+//! Formulation-emission benchmark: sequential vs parallel model build.
+//!
+//! Usage:
+//!
+//! ```text
+//! formulation_bench [--jobs <n>] [--reps <n>] [--ii <n>] [--top <n>]
+//!                   [--out <path>]
+//! ```
+//!
+//! Builds the ILP formulation for the largest Table-2 kernels (by
+//! operation count; `--top` controls how many) on the two diagonal
+//! paper configs at `--ii`, once with `build_jobs = 1` and once with
+//! `build_jobs = <n>`, and reports the wall-time ratio per instance and
+//! as a geomean. The parallel build must be **bit-identical** to the
+//! sequential one — same variables, constraints, objective, branch
+//! hints, group boundaries and stats — and any divergence fails the run
+//! with a nonzero exit; the speedup is reported but never gates (it is
+//! hardware-dependent), so this binary doubles as a determinism check
+//! that is cheap enough for CI.
+
+use cgra_arch::families::paper_configs;
+use cgra_dfg::benchmarks;
+use cgra_mapper::{Formulation, MapperOptions};
+use cgra_mrrg::build_mrrg;
+use std::fmt::Write as _;
+use std::time::Instant;
+
+fn main() {
+    let mut jobs: usize = 4;
+    let mut reps: usize = 5;
+    let mut ii: u32 = 2;
+    let mut top: usize = 4;
+    let mut out_path = String::from("BENCH_formulation.json");
+    let mut cli = cgra_bench::cli::Cli::new(
+        "formulation_bench [--jobs <n>] [--reps <n>] [--ii <n>] [--top <n>] [--out <path>]",
+    );
+    while let Some(a) = cli.next_arg() {
+        match a.as_str() {
+            "--jobs" => {
+                jobs = cli.value("--jobs", "a positive thread count");
+                if jobs == 0 {
+                    cli.fail("--jobs requires a positive thread count");
+                }
+            }
+            "--reps" => {
+                reps = cli.value("--reps", "a positive repetition count");
+                if reps == 0 {
+                    cli.fail("--reps requires a positive repetition count");
+                }
+            }
+            "--ii" => ii = cli.value("--ii", "an initiation interval"),
+            "--top" => top = cli.value("--top", "a number of kernels"),
+            "--out" => out_path = cli.value("--out", "a path"),
+            name => cli.fail(&format!("unknown option {name}")),
+        }
+    }
+
+    // The largest kernels by operation count — formulation size (and so
+    // build time) scales with ops x routable edges, so these are where
+    // emission cost actually shows up in end-to-end mapping.
+    let mut entries: Vec<_> = benchmarks::all().iter().collect();
+    entries.sort_by_key(|e| {
+        let d = (e.build)();
+        std::cmp::Reverse((d.op_count(), e.name))
+    });
+    entries.truncate(top);
+
+    let configs = paper_configs();
+    let arch_labels = ["homo-diag", "hetero-diag"];
+    let mut rows: Vec<String> = Vec::new();
+    let mut ratios: Vec<f64> = Vec::new();
+    let mut divergences = 0usize;
+    for label in arch_labels {
+        let config = configs
+            .iter()
+            .find(|c| c.label == label)
+            .expect("paper config");
+        let mrrg = build_mrrg(&config.arch, ii);
+        for entry in &entries {
+            let dfg = (entry.build)();
+            let key = cgra_bench::cli::instance_key(label, entry.name);
+            let opts = |build_jobs| MapperOptions {
+                optimize: true,
+                build_jobs,
+                ..MapperOptions::default()
+            };
+
+            let mut best_seq = f64::INFINITY;
+            let mut best_par = f64::INFINITY;
+            let mut seq = None;
+            let mut par = None;
+            for _ in 0..reps {
+                let t = Instant::now();
+                let f = Formulation::build(&dfg, &mrrg, opts(1));
+                best_seq = best_seq.min(t.elapsed().as_secs_f64());
+                let t = Instant::now();
+                let p = Formulation::build(&dfg, &mrrg, opts(jobs));
+                best_par = best_par.min(t.elapsed().as_secs_f64());
+                seq = Some(f);
+                par = Some(p);
+            }
+            let (seq, par) = (seq.expect("reps >= 1"), par.expect("reps >= 1"));
+            let identical = match (&seq, &par) {
+                (Ok(s), Ok(p)) => {
+                    s.model().num_vars() == p.model().num_vars()
+                        && s.model().constraints() == p.model().constraints()
+                        && s.model().objective() == p.model().objective()
+                        && s.model().branch_hints() == p.model().branch_hints()
+                        && s.constraint_groups() == p.constraint_groups()
+                        && s.stats() == p.stats()
+                }
+                (Err(a), Err(b)) => a == b,
+                _ => false,
+            };
+            if !identical {
+                divergences += 1;
+                eprintln!("  DIVERGENCE: {key} parallel build differs from sequential");
+            }
+            let ratio = best_seq / best_par.max(1e-9);
+            ratios.push(ratio);
+            let (vars, constraints) = match &seq {
+                Ok(f) => (f.model().num_vars(), f.model().constraints().len()),
+                Err(_) => (0, 0),
+            };
+            eprintln!(
+                "  {key:<22} {vars:>6} vars {constraints:>6} rows  \
+                 seq {:>7.1}ms  par {:>7.1}ms  {ratio:.2}x",
+                best_seq * 1e3,
+                best_par * 1e3,
+            );
+            let mut row = String::new();
+            write!(
+                row,
+                "    {{\"benchmark\": \"{}\", \"arch\": \"{label}\", \"ii\": {ii}, \
+                 \"num_vars\": {vars}, \"num_constraints\": {constraints}, \
+                 \"seq_seconds\": {best_seq:.6}, \"par_seconds\": {best_par:.6}, \
+                 \"jobs\": {jobs}, \"speedup\": {ratio:.3}, \"bit_identical\": {identical}}}",
+                entry.name,
+            )
+            .unwrap();
+            rows.push(row);
+        }
+    }
+
+    let geomean = cgra_bench::cli::geomean(&ratios);
+    // Speedup only means anything relative to the cores actually
+    // available — record them so a 4-job run on a 1-core container is
+    // not misread as a parallelisation failure.
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let json = format!(
+        "{{\n  \"jobs\": {jobs},\n  \"cores\": {cores},\n  \"ii\": {ii},\n  \
+         \"instances\": [\n{}\n  ],\n  \
+         \"geomean_build_speedup\": {geomean:.3},\n  \"divergences\": {divergences}\n}}\n",
+        rows.join(",\n"),
+    );
+    cgra_bench::cli::write_output(&out_path, &json);
+    println!(
+        "({} instances, geomean build speedup {geomean:.2}x at {jobs} jobs on \
+         {cores} cores, {divergences} divergences)",
+        rows.len(),
+    );
+    if jobs > cores {
+        eprintln!(
+            "note: {jobs} jobs oversubscribe {cores} available cores; \
+             the speedup above measures overhead, not scaling"
+        );
+    }
+    if divergences > 0 {
+        std::process::exit(1);
+    }
+}

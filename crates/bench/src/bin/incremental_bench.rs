@@ -214,7 +214,7 @@ fn main() {
         ));
     }
 
-    let geomean = (speedups.iter().map(|s| s.ln()).sum::<f64>() / speedups.len() as f64).exp();
+    let geomean = cgra_bench::cli::geomean(&speedups);
     let json = format!(
         "{{\n  \"time_limit_secs\": {},\n  \"conflict_limit\": {conflict_limit},\n  \
          \"smoke\": {smoke},\n  \"instances\": [\n{}\n  ],\n  \

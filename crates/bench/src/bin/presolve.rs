@@ -141,14 +141,14 @@ fn main() {
         .filter(|s| s[2] != (0, 0))
         .map(|s| (s[2].0 + s[2].1) as f64 / (s[0].0 + s[0].1) as f64)
         .collect();
-    let geo_kept = geomean(&kept);
+    let geo_kept = cgra_bench::cli::geomean(&kept);
     // Geomean wall ratio; sub-millisecond cells are all noise.
     let ratios: Vec<f64> = rows
         .iter()
         .filter(|r| r.on_wall.max(r.off_wall) > 1e-3)
         .map(|r| r.on_wall.max(1e-3) / r.off_wall.max(1e-3))
         .collect();
-    let geo_wall = geomean(&ratios);
+    let geo_wall = cgra_bench::cli::geomean(&ratios);
     let mismatches: Vec<&Row> = rows
         .iter()
         .filter(|r| r.on_symbol != r.off_symbol && r.on_symbol != "T" && r.off_symbol != "T")
@@ -219,11 +219,4 @@ fn main() {
     if !mismatches.is_empty() {
         std::process::exit(1);
     }
-}
-
-fn geomean(xs: &[f64]) -> f64 {
-    if xs.is_empty() {
-        return 1.0;
-    }
-    (xs.iter().map(|x| x.ln()).sum::<f64>() / xs.len() as f64).exp()
 }

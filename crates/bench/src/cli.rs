@@ -119,3 +119,53 @@ pub fn write_output(path: &str, contents: &str) {
     }
     eprintln!("wrote {path}");
 }
+
+/// Geometric mean of a sample of positive ratios; `1.0` for an empty
+/// slice. Every `BENCH_*.json` summary ratio (speedups, wall ratios,
+/// size reductions) goes through this one definition so the files stay
+/// mutually comparable.
+pub fn geomean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return 1.0;
+    }
+    (xs.iter().map(|x| x.ln()).sum::<f64>() / xs.len() as f64).exp()
+}
+
+/// The shared `config/kernel` instance key (e.g. `homo-diag/mult_10`)
+/// used to join rows across the `BENCH_*.json` files.
+pub fn instance_key(arch: &str, kernel: &str) -> String {
+    format!("{arch}/{kernel}")
+}
+
+/// Peak resident set size of this process in bytes (Linux `VmHWM`), or
+/// `None` where the kernel does not expose it.
+pub fn peak_rss_bytes() -> Option<u64> {
+    let status = std::fs::read_to_string("/proc/self/status").ok()?;
+    let line = status.lines().find(|l| l.starts_with("VmHWM:"))?;
+    let kb: u64 = line.split_whitespace().nth(1)?.parse().ok()?;
+    Some(kb * 1024)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn geomean_of_ratios() {
+        assert_eq!(geomean(&[]), 1.0);
+        assert!((geomean(&[2.0, 8.0]) - 4.0).abs() < 1e-12);
+        assert!((geomean(&[1.5]) - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn instance_keys_join_bench_files() {
+        assert_eq!(instance_key("homo-diag", "mult_10"), "homo-diag/mult_10");
+    }
+
+    #[test]
+    fn peak_rss_is_positive_when_available() {
+        if let Some(b) = peak_rss_bytes() {
+            assert!(b > 0);
+        }
+    }
+}

@@ -1,12 +1,46 @@
 //! The CDCL search engine with native pseudo-Boolean propagation.
 //!
 //! This is a conflict-driven clause-learning SAT core in the MiniSat
-//! lineage (two-watched-literal clause propagation, 1UIP learning, VSIDS
-//! decision ordering with phase saving, Luby restarts, learnt-clause
-//! database reduction) extended with a counting propagator for
-//! pseudo-Boolean *at-most* constraints. PB propagations and conflicts are
-//! explained with clauses, which keeps CDCL learning sound without
-//! cutting-planes reasoning.
+//! lineage (two-watched-literal clause propagation with blocking
+//! literals, 1UIP learning, VSIDS decision ordering with phase saving,
+//! Luby restarts, learnt-clause database reduction) extended with a
+//! counting propagator for pseudo-Boolean *at-most* constraints. PB
+//! propagations and conflicts are explained with clauses, which keeps
+//! CDCL learning sound without cutting-planes reasoning.
+//!
+//! # Memory layout
+//!
+//! The hot data structures are laid out for cache locality rather than
+//! pointer convenience:
+//!
+//! * **Arena clause store** ([`ClauseArena`]): every clause lives in one
+//!   flat `u32` buffer — a three-word header (length + flags, LBD + age,
+//!   activity) followed by the literal codes — addressed by a 32-bit
+//!   [`CRef`]. There is no per-clause heap allocation, and a watch visit
+//!   that must touch clause memory reads one contiguous cache line run.
+//! * **Bit-packed assignments**: variable values are 2-bit codes packed
+//!   into `u64` words ([`PackedVals`]); saved phases and the conflict
+//!   analysis `seen` marks are 1-bit arrays ([`BitVec`]). The whole
+//!   assignment of a 100k-variable model fits in L2.
+//! * **Compacting GC** ([`Engine::garbage_collect`]): learnt-DB
+//!   reduction rebuilds the arena *in watch order* — clauses are copied
+//!   to a fresh buffer in the order the propagator visits them, so the
+//!   most-traversed clauses end up adjacent. Forwarding references in
+//!   the old headers keep the watch lists consistent mid-move. GC runs
+//!   only at decision level 0, where no clause is a reason (level-0
+//!   enqueues drop their reasons), so no reason pointers need fixing.
+//!
+//! # Inprocessing
+//!
+//! Between restarts the engine periodically simplifies its own database
+//! ([`Engine::inprocess`]): root-level satisfied clauses are dropped and
+//! root-falsified literals stripped, bounded learnt-clause
+//! **vivification** shortens clauses by propagating their negated
+//! prefixes, and a bounded **subsumption / self-subsuming resolution**
+//! pass removes or strengthens learnt clauses against each other. Every
+//! rewrite is proof-logged (add the strengthened clause, then delete the
+//! original — RUP-valid because the original is still present), so
+//! certified UNSAT verdicts survive inprocessing unchanged.
 //!
 //! The engine supports adding constraints between successive `solve` calls
 //! (always at decision level 0) and, more importantly, **solving under
@@ -19,11 +53,13 @@
 //! final conflict depends on.
 //!
 //! Learnt-clause management is LBD-based (Audemard & Simon's "glue"
-//! metric): each learnt clause records the number of distinct decision
-//! levels among its literals at learning time. Reduction protects glue
-//! clauses (`lbd <= glue_lbd`) unconditionally and deletes the worst half
-//! of the rest, ranked by LBD then activity, with the mid/local tier split
-//! tracked in [`EngineStats`].
+//! metric) with an age-based demotion rule: each learnt clause records
+//! its LBD and the number of consecutive reductions it survived without
+//! being used in conflict analysis. Reduction protects glue clauses
+//! (`lbd <= glue_lbd`) unconditionally, ranks the rest by age-penalised
+//! LBD then activity, deletes the worst half, and additionally evicts
+//! any clause — mid tier included — that has gone unused for
+//! [`MAX_CLAUSE_AGE`] consecutive reductions.
 
 use crate::model::{Lit, Var};
 use crate::normalize::NormConstraint;
@@ -42,6 +78,299 @@ const UNASSIGNED: i8 = 2;
 /// keeps the overhead unmeasurable while bounding the poll latency to a
 /// few microseconds of solver work.
 const POLL_INTERVAL: u64 = 1024;
+
+/// A learnt clause that survives this many consecutive reductions
+/// without being bumped by conflict analysis is evicted regardless of
+/// its tier rank — the demotion rule that keeps the mid tier from
+/// growing monotonically.
+const MAX_CLAUSE_AGE: u32 = 4;
+
+/// Vivification runs on every `VIVIFY_CADENCE`-th inprocessing pass
+/// (subsumption and root simplification run on every pass), and only
+/// once the search has accumulated [`VIVIFY_ONSET`] conflicts — probing
+/// rewrites perturb the descent trajectory enough that they only pay
+/// off on searches long enough to amortise the disruption.
+const VIVIFY_CADENCE: u64 = 4;
+
+/// Conflicts before the first vivification round may run.
+const VIVIFY_ONSET: u64 = 100_000;
+
+/// Reference to a clause in the arena: the word offset of its header.
+type CRef = u32;
+
+/// Sentinel "no clause" reference (also used for the vivification guard).
+const CREF_NONE: CRef = u32::MAX;
+
+/// Words of clause header preceding the literals in the arena.
+const HEADER_WORDS: u32 = 4;
+
+// Header word 0 layout: bits 0..=28 length, bit 29 relocated (GC
+// forwarding marker), bit 30 learnt, bit 31 deleted.
+const LEN_MASK: u32 = (1 << 29) - 1;
+const FLAG_RELOCATED: u32 = 1 << 29;
+const FLAG_LEARNT: u32 = 1 << 30;
+const FLAG_DELETED: u32 = 1 << 31;
+
+/// Approximate byte footprint of an arena clause holding `n` literals.
+fn clause_bytes(n: usize) -> usize {
+    4 * (HEADER_WORDS as usize + n)
+}
+
+/// Flat clause storage: all clauses in one `u32` buffer.
+///
+/// Layout per clause at offset `r`:
+///
+/// | word    | contents                                   |
+/// |---------|--------------------------------------------|
+/// | `r`     | length, relocated / learnt / deleted flags |
+/// | `r + 1` | LBD (low 16 bits) and age (high 16 bits)   |
+/// | `r + 2` | activity (`f64` bits, low word)            |
+/// | `r + 3` | activity (`f64` bits, high word)           |
+/// | `r + 4…`| literal codes                              |
+///
+/// During garbage collection word `r + 1` of a relocated clause is
+/// repurposed as the forwarding reference into the new arena.
+#[derive(Debug, Default)]
+struct ClauseArena {
+    data: Vec<u32>,
+    /// Words occupied by deleted clauses (headers included); reclaimed
+    /// by [`Engine::garbage_collect`].
+    wasted: usize,
+}
+
+impl ClauseArena {
+    fn with_capacity(words: usize) -> Self {
+        ClauseArena {
+            data: Vec::with_capacity(words),
+            wasted: 0,
+        }
+    }
+
+    /// Appends a clause and returns its reference.
+    fn alloc(&mut self, lits: &[Lit], learnt: bool, lbd: u32) -> CRef {
+        debug_assert!(lits.len() >= 2);
+        debug_assert!(lits.len() as u32 <= LEN_MASK);
+        let r = self.data.len() as u32;
+        debug_assert!(
+            (self.data.len() + HEADER_WORDS as usize + lits.len()) < u32::MAX as usize,
+            "arena exceeds 32-bit addressing"
+        );
+        let mut header = lits.len() as u32;
+        if learnt {
+            header |= FLAG_LEARNT;
+        }
+        self.data.push(header);
+        self.data.push(lbd.min(u16::MAX as u32)); // age starts at 0
+        self.data.push(0); // activity low word
+        self.data.push(0); // activity high word
+        self.data.extend(lits.iter().map(|l| l.code() as u32));
+        r
+    }
+
+    #[inline]
+    fn len(&self, r: CRef) -> usize {
+        (self.data[r as usize] & LEN_MASK) as usize
+    }
+
+    #[inline]
+    fn is_learnt(&self, r: CRef) -> bool {
+        self.data[r as usize] & FLAG_LEARNT != 0
+    }
+
+    #[inline]
+    fn is_deleted(&self, r: CRef) -> bool {
+        self.data[r as usize] & FLAG_DELETED != 0
+    }
+
+    fn mark_deleted(&mut self, r: CRef) {
+        debug_assert!(!self.is_deleted(r));
+        self.data[r as usize] |= FLAG_DELETED;
+        self.wasted += HEADER_WORDS as usize + self.len(r);
+    }
+
+    #[inline]
+    fn lbd(&self, r: CRef) -> u32 {
+        self.data[r as usize + 1] & 0xffff
+    }
+
+    #[inline]
+    fn age(&self, r: CRef) -> u32 {
+        self.data[r as usize + 1] >> 16
+    }
+
+    fn set_age(&mut self, r: CRef, age: u32) {
+        let w = &mut self.data[r as usize + 1];
+        *w = (*w & 0xffff) | (age.min(u16::MAX as u32) << 16);
+    }
+
+    #[inline]
+    fn activity(&self, r: CRef) -> f64 {
+        let lo = u64::from(self.data[r as usize + 2]);
+        let hi = u64::from(self.data[r as usize + 3]);
+        f64::from_bits(lo | (hi << 32))
+    }
+
+    fn set_activity(&mut self, r: CRef, a: f64) {
+        let bits = a.to_bits();
+        self.data[r as usize + 2] = bits as u32;
+        self.data[r as usize + 3] = (bits >> 32) as u32;
+    }
+
+    #[inline]
+    fn lit(&self, r: CRef, i: usize) -> Lit {
+        Lit(self.data[r as usize + HEADER_WORDS as usize + i])
+    }
+
+    #[inline]
+    fn swap_lits(&mut self, r: CRef, i: usize, j: usize) {
+        let base = r as usize + HEADER_WORDS as usize;
+        self.data.swap(base + i, base + j);
+    }
+
+    fn collect_lits(&self, r: CRef) -> Vec<Lit> {
+        let base = r as usize + HEADER_WORDS as usize;
+        self.data[base..base + self.len(r)]
+            .iter()
+            .map(|&c| Lit(c))
+            .collect()
+    }
+
+    /// All clause references, in arena order (deleted ones included).
+    fn crefs(&self) -> Vec<CRef> {
+        let mut out = Vec::new();
+        let mut r = 0u32;
+        while (r as usize) < self.data.len() {
+            out.push(r);
+            r += HEADER_WORDS + self.len(r) as u32;
+        }
+        out
+    }
+
+    /// Multiplies every learnt clause's activity by `factor`.
+    fn rescale_activities(&mut self, factor: f64) {
+        let mut r = 0u32;
+        while (r as usize) < self.data.len() {
+            if self.data[r as usize] & FLAG_LEARNT != 0 {
+                let a = self.activity(r) * factor;
+                self.set_activity(r, a);
+            }
+            r += HEADER_WORDS + self.len(r) as u32;
+        }
+    }
+
+    #[inline]
+    fn is_relocated(&self, r: CRef) -> bool {
+        self.data[r as usize] & FLAG_RELOCATED != 0
+    }
+
+    /// Copies the clause into `to` (once — later calls return the
+    /// forwarding reference left in the old header).
+    fn reloc(&mut self, r: CRef, to: &mut ClauseArena) -> CRef {
+        if self.is_relocated(r) {
+            return self.data[r as usize + 1];
+        }
+        debug_assert!(!self.is_deleted(r));
+        let total = HEADER_WORDS as usize + self.len(r);
+        let new_r = to.data.len() as u32;
+        to.data
+            .extend_from_slice(&self.data[r as usize..r as usize + total]);
+        self.data[r as usize] |= FLAG_RELOCATED;
+        self.data[r as usize + 1] = new_r;
+        new_r
+    }
+}
+
+/// 2-bit variable values (0 = false, 1 = true, 2 = unassigned) packed
+/// 32 to a `u64` word.
+#[derive(Debug, Default)]
+struct PackedVals {
+    words: Vec<u64>,
+    len: usize,
+}
+
+/// A `u64` word of 32 unassigned codes (`0b10` repeated).
+const UNASSIGNED_WORD: u64 = 0xAAAA_AAAA_AAAA_AAAA;
+
+impl PackedVals {
+    fn new(n: usize) -> Self {
+        PackedVals {
+            words: vec![UNASSIGNED_WORD; n.div_ceil(32)],
+            len: n,
+        }
+    }
+
+    #[inline]
+    fn get(&self, v: usize) -> u8 {
+        debug_assert!(v < self.len);
+        ((self.words[v >> 5] >> ((v & 31) * 2)) & 3) as u8
+    }
+
+    #[inline]
+    fn set(&mut self, v: usize, code: u8) {
+        debug_assert!(v < self.len);
+        let sh = (v & 31) * 2;
+        let w = &mut self.words[v >> 5];
+        *w = (*w & !(3u64 << sh)) | (u64::from(code) << sh);
+    }
+
+    fn push_unassigned(&mut self) {
+        if self.len & 31 == 0 {
+            self.words.push(UNASSIGNED_WORD);
+        }
+        self.len += 1;
+        let v = self.len - 1;
+        let sh = (v & 31) * 2;
+        let w = &mut self.words[v >> 5];
+        *w = (*w & !(3u64 << sh)) | (2u64 << sh);
+    }
+}
+
+/// A plain 1-bit-per-entry array (saved phases, analysis marks).
+#[derive(Debug, Default)]
+struct BitVec {
+    words: Vec<u64>,
+    len: usize,
+}
+
+impl BitVec {
+    fn new(n: usize, value: bool) -> Self {
+        BitVec {
+            words: vec![if value { !0 } else { 0 }; n.div_ceil(64)],
+            len: n,
+        }
+    }
+
+    #[inline]
+    fn get(&self, i: usize) -> bool {
+        debug_assert!(i < self.len);
+        self.words[i >> 6] >> (i & 63) & 1 != 0
+    }
+
+    #[inline]
+    fn set(&mut self, i: usize, value: bool) {
+        debug_assert!(i < self.len);
+        let mask = 1u64 << (i & 63);
+        if value {
+            self.words[i >> 6] |= mask;
+        } else {
+            self.words[i >> 6] &= !mask;
+        }
+    }
+
+    fn fill(&mut self, value: bool) {
+        let w = if value { !0 } else { 0 };
+        self.words.iter_mut().for_each(|x| *x = w);
+    }
+
+    fn push(&mut self, value: bool) {
+        if self.len & 63 == 0 {
+            self.words.push(0);
+        }
+        self.len += 1;
+        let i = self.len - 1;
+        self.set(i, value);
+    }
+}
 
 /// Feature toggles and diversification knobs for the search engine.
 ///
@@ -80,13 +409,25 @@ pub struct EngineFeatures {
     pub glue_lbd: u32,
     /// Upper LBD bound of the *mid* tier; clauses above it are *local*.
     /// The tier only affects reduction bookkeeping and deletion order —
-    /// local clauses are deleted before mid ones at equal activity.
+    /// local clauses are deleted before mid ones of the same age and
+    /// activity, but any non-glue clause unused for [`MAX_CLAUSE_AGE`]
+    /// reductions is evicted.
     pub mid_lbd: u32,
     /// Maximum LBD for a learnt clause to be exported to the portfolio
     /// clause exchange (units are always exported).
     pub share_lbd: u32,
     /// Maximum length for an exported learnt clause.
     pub share_len: usize,
+    /// Inprocessing between restarts: root-level clause simplification,
+    /// learnt-clause vivification and bounded subsumption /
+    /// self-subsuming resolution. Off reproduces the pre-inprocessing
+    /// engine search bit for bit.
+    pub inprocessing: bool,
+    /// Conflicts between two inprocessing passes.
+    pub inprocess_interval: u64,
+    /// Propagation budget of one vivification pass (0 disables
+    /// vivification while keeping the other inprocessing steps).
+    pub vivify_budget: u64,
 }
 
 impl Default for EngineFeatures {
@@ -105,6 +446,9 @@ impl Default for EngineFeatures {
             mid_lbd: 6,
             share_lbd: 2,
             share_len: 8,
+            inprocessing: true,
+            inprocess_interval: 4096,
+            vivify_budget: 100_000,
         }
     }
 }
@@ -168,6 +512,16 @@ pub struct EngineStats {
     pub imported_clauses: u64,
     /// Clauses exported to the portfolio clause exchange.
     pub exported_clauses: u64,
+    /// Inprocessing passes run between restarts.
+    pub inprocessings: u64,
+    /// Literals removed from learnt clauses by vivification.
+    pub vivified_lits: u64,
+    /// Learnt clauses deleted because another learnt clause subsumes them.
+    pub subsumed_clauses: u64,
+    /// Literals removed by self-subsuming resolution (strengthening).
+    pub strengthened_lits: u64,
+    /// Arena compactions performed.
+    pub gc_runs: u64,
 }
 
 impl EngineStats {
@@ -198,30 +552,24 @@ impl EngineStats {
         self.deleted_local += other.deleted_local;
         self.imported_clauses += other.imported_clauses;
         self.exported_clauses += other.exported_clauses;
+        self.inprocessings += other.inprocessings;
+        self.vivified_lits += other.vivified_lits;
+        self.subsumed_clauses += other.subsumed_clauses;
+        self.strengthened_lits += other.strengthened_lits;
+        self.gc_runs += other.gc_runs;
     }
 }
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum Reason {
     None,
-    Clause(u32),
+    Clause(CRef),
     Linear(u32),
-}
-
-#[derive(Debug)]
-struct Clause {
-    lits: Vec<Lit>,
-    learnt: bool,
-    activity: f64,
-    deleted: bool,
-    /// Literal-block distance at learning/import time (0 for problem
-    /// clauses, which are never reduction candidates anyway).
-    lbd: u32,
 }
 
 #[derive(Debug, Clone, Copy)]
 struct Watch {
-    clause: u32,
+    cref: CRef,
     blocker: Lit,
 }
 
@@ -235,7 +583,7 @@ struct Linear {
 
 #[derive(Debug, Clone, Copy)]
 enum Conflict {
-    Clause(u32),
+    Clause(CRef),
     Linear(u32),
 }
 
@@ -375,19 +723,19 @@ impl VarOrder {
 #[derive(Debug)]
 pub struct Engine {
     num_vars: usize,
-    assign: Vec<i8>,
+    assign: PackedVals,
     level: Vec<u32>,
     reason: Vec<Reason>,
     trail_pos: Vec<u32>,
     trail: Vec<Lit>,
     trail_lim: Vec<usize>,
     qhead: usize,
-    clauses: Vec<Clause>,
+    arena: ClauseArena,
     watches: Vec<Vec<Watch>>,
     linears: Vec<Linear>,
     lin_occ: Vec<Vec<(u32, u32)>>,
     order: VarOrder,
-    phase: Vec<bool>,
+    phase: BitVec,
     var_inc: f64,
     var_decay: f64,
     cla_inc: f64,
@@ -395,7 +743,7 @@ pub struct Engine {
     n_learnt: usize,
     learnt_cap: usize,
     stats: EngineStats,
-    seen: Vec<bool>,
+    seen: BitVec,
     features: EngineFeatures,
     rng_state: u64,
     interrupt: Option<Arc<AtomicBool>>,
@@ -422,12 +770,14 @@ pub struct Engine {
     mem_limit: Option<usize>,
     /// Approximate bytes held by learnt clauses.
     learnt_bytes: usize,
-}
-
-/// Approximate heap footprint of a clause holding `n` literals.
-fn clause_bytes(n: usize) -> usize {
-    // Clause struct + Vec header + 4 bytes per literal + two watches.
-    64 + 4 * n
+    /// The clause being vivified: the propagator skips it so the clause
+    /// never serves as its own entailment witness (without removing its
+    /// watches, which stay valid).
+    viv_guard: CRef,
+    /// Conflict count at which the next inprocessing pass fires.
+    next_inprocess: u64,
+    /// Root-trail length after the last root simplification pass.
+    simplified_trail: usize,
 }
 
 impl Engine {
@@ -437,19 +787,19 @@ impl Engine {
         order.grow_to(num_vars);
         Engine {
             num_vars,
-            assign: vec![UNASSIGNED; num_vars],
+            assign: PackedVals::new(num_vars),
             level: vec![0; num_vars],
             reason: vec![Reason::None; num_vars],
             trail_pos: vec![0; num_vars],
             trail: Vec::with_capacity(num_vars),
             trail_lim: Vec::new(),
             qhead: 0,
-            clauses: Vec::new(),
+            arena: ClauseArena::default(),
             watches: vec![Vec::new(); num_vars * 2],
             linears: Vec::new(),
             lin_occ: vec![Vec::new(); num_vars * 2],
             order,
-            phase: vec![false; num_vars],
+            phase: BitVec::new(num_vars, false),
             var_inc: 1.0,
             var_decay: 0.95,
             cla_inc: 1.0,
@@ -457,7 +807,7 @@ impl Engine {
             n_learnt: 0,
             learnt_cap: 20_000,
             stats: EngineStats::default(),
-            seen: vec![false; num_vars],
+            seen: BitVec::new(num_vars, false),
             features: EngineFeatures::default(),
             rng_state: 0x9e37_79b9_7f4a_7c15,
             interrupt: None,
@@ -473,6 +823,9 @@ impl Engine {
             proof: None,
             mem_limit: None,
             learnt_bytes: 0,
+            viv_guard: CREF_NONE,
+            next_inprocess: 0,
+            simplified_trail: 0,
         }
     }
 
@@ -483,7 +836,7 @@ impl Engine {
     pub fn add_var(&mut self) -> Var {
         let v = self.num_vars as u32;
         self.num_vars += 1;
-        self.assign.push(UNASSIGNED);
+        self.assign.push_unassigned();
         self.level.push(0);
         self.reason.push(Reason::None);
         self.trail_pos.push(0);
@@ -600,29 +953,31 @@ impl Engine {
 
     /// Applies a branching hint: initial activity and preferred polarity.
     pub fn set_branch_hint(&mut self, var: Var, priority: f64, phase: bool) {
-        self.phase[var.index()] = phase;
+        self.phase.set(var.index(), phase);
         self.order.bump(var.0, priority);
     }
 
+    #[inline]
     fn value_lit(&self, l: Lit) -> i8 {
-        let a = self.assign[l.var().index()];
-        if a == UNASSIGNED {
+        let c = self.assign.get(l.var().index());
+        if c == 2 {
             UNASSIGNED
-        } else if l.is_negative() {
-            1 - a
         } else {
-            a
+            (c ^ (l.code() as u8 & 1)) as i8
         }
     }
 
+    #[inline]
     fn is_true(&self, l: Lit) -> bool {
         self.value_lit(l) == 1
     }
 
+    #[inline]
     fn is_false(&self, l: Lit) -> bool {
         self.value_lit(l) == 0
     }
 
+    #[inline]
     fn is_unassigned(&self, l: Lit) -> bool {
         self.value_lit(l) == UNASSIGNED
     }
@@ -632,7 +987,7 @@ impl Engine {
     /// Only meaningful immediately after [`Engine::solve`] returned
     /// [`SatResult::Sat`] (the full trail is the model then).
     pub fn model_value(&self, var: Var) -> bool {
-        self.assign[var.index()] == 1
+        self.assign.get(var.index()) == 1
     }
 
     fn decision_level(&self) -> u32 {
@@ -676,7 +1031,7 @@ impl Engine {
                         self.enqueue(lits[0], Reason::None);
                     }
                     _ => {
-                        self.attach_clause(lits, false, 0);
+                        self.attach_clause(&lits, false, 0);
                     }
                 }
             }
@@ -718,31 +1073,43 @@ impl Engine {
         self.ok
     }
 
-    fn attach_clause(&mut self, lits: Vec<Lit>, learnt: bool, lbd: u32) -> u32 {
+    fn attach_clause(&mut self, lits: &[Lit], learnt: bool, lbd: u32) -> CRef {
         debug_assert!(lits.len() >= 2);
-        let idx = self.clauses.len() as u32;
-        let w0 = lits[0];
-        let w1 = lits[1];
-        self.clauses.push(Clause {
-            lits,
-            learnt,
-            activity: 0.0,
-            deleted: false,
-            lbd,
-        });
+        let r = self.arena.alloc(lits, learnt, lbd);
         if learnt {
             self.n_learnt += 1;
-            self.learnt_bytes += clause_bytes(self.clauses[idx as usize].lits.len());
+            self.learnt_bytes += clause_bytes(lits.len());
         }
-        self.watches[(!w0).code()].push(Watch {
-            clause: idx,
-            blocker: w1,
+        self.watches[(!lits[0]).code()].push(Watch {
+            cref: r,
+            blocker: lits[1],
         });
-        self.watches[(!w1).code()].push(Watch {
-            clause: idx,
-            blocker: w0,
+        self.watches[(!lits[1]).code()].push(Watch {
+            cref: r,
+            blocker: lits[0],
         });
-        idx
+        r
+    }
+
+    /// Marks a clause deleted, releasing its accounting and (for learnt
+    /// clauses) recording the deletion in the proof. Its watches are
+    /// removed lazily by the propagator and dropped at the next GC; its
+    /// literals stay readable until then.
+    fn delete_clause(&mut self, r: CRef) {
+        debug_assert!(!self.arena.is_deleted(r));
+        if self.arena.is_learnt(r) {
+            if self.proof.is_some() {
+                let lits = self.arena.collect_lits(r);
+                if let Some(p) = self.proof.as_mut() {
+                    p.delete(&lits);
+                }
+            }
+            self.n_learnt -= 1;
+            self.learnt_bytes = self
+                .learnt_bytes
+                .saturating_sub(clause_bytes(self.arena.len(r)));
+        }
+        self.arena.mark_deleted(r);
     }
 
     fn enqueue(&mut self, l: Lit, reason: Reason) {
@@ -756,7 +1123,7 @@ impl Engine {
             self.linears[lin as usize].sum_true += c;
         }
         let v = l.var().index();
-        self.assign[v] = if l.is_negative() { 0 } else { 1 };
+        self.assign.set(v, (l.code() as u8 & 1) ^ 1);
         self.level[v] = self.decision_level();
         self.reason[v] = if self.decision_level() == 0 {
             // Level-0 assignments never participate in conflict analysis,
@@ -788,34 +1155,37 @@ impl Engine {
                     i += 1;
                     continue;
                 }
-                let cidx = w.clause as usize;
-                // Deleted clauses may linger in watch lists until rebuild.
-                if self.clauses[cidx].deleted {
+                let r = w.cref;
+                // The clause under vivification must not witness its own
+                // entailment; skip it, keeping the watch.
+                if r == self.viv_guard {
+                    i += 1;
+                    continue;
+                }
+                // Deleted clauses may linger in watch lists until GC.
+                if self.arena.is_deleted(r) {
                     watches.swap(i, keep - 1);
                     keep -= 1;
                     continue;
                 }
                 let false_lit = !p;
-                {
-                    let lits = &mut self.clauses[cidx].lits;
-                    if lits[0] == false_lit {
-                        lits.swap(0, 1);
-                    }
+                if self.arena.lit(r, 0) == false_lit {
+                    self.arena.swap_lits(r, 0, 1);
                 }
-                let first = self.clauses[cidx].lits[0];
+                let first = self.arena.lit(r, 0);
                 if first != w.blocker && self.is_true(first) {
                     watches[i].blocker = first;
                     i += 1;
                     continue;
                 }
                 // Look for a new literal to watch.
-                let len = self.clauses[cidx].lits.len();
+                let len = self.arena.len(r);
                 for k in 2..len {
-                    let cand = self.clauses[cidx].lits[k];
+                    let cand = self.arena.lit(r, k);
                     if !self.is_false(cand) {
-                        self.clauses[cidx].lits.swap(1, k);
+                        self.arena.swap_lits(r, 1, k);
                         self.watches[(!cand).code()].push(Watch {
-                            clause: w.clause,
+                            cref: r,
                             blocker: first,
                         });
                         watches.swap(i, keep - 1);
@@ -825,10 +1195,10 @@ impl Engine {
                 }
                 // No new watch: unit or conflict on lits[0].
                 if self.is_false(first) {
-                    conflict = Some(Conflict::Clause(w.clause));
+                    conflict = Some(Conflict::Clause(r));
                     break;
                 }
-                self.enqueue(first, Reason::Clause(w.clause));
+                self.enqueue(first, Reason::Clause(r));
                 i += 1;
             }
             watches.truncate(keep);
@@ -893,10 +1263,8 @@ impl Engine {
     /// under the given reason; `implied = None` explains a conflict.
     fn explain(&self, conflict: Conflict, implied: Option<Lit>) -> Vec<Lit> {
         match conflict {
-            Conflict::Clause(c) => self.clauses[c as usize]
-                .lits
-                .iter()
-                .copied()
+            Conflict::Clause(c) => (0..self.arena.len(c))
+                .map(|i| self.arena.lit(c, i))
                 .filter(|&l| Some(l) != implied)
                 .collect(),
             Conflict::Linear(lin) => {
@@ -966,8 +1334,8 @@ impl Engine {
         loop {
             for &q in &antecedent {
                 let v = q.var().index();
-                if !self.seen[v] && self.level[v] > 0 {
-                    self.seen[v] = true;
+                if !self.seen.get(v) && self.level[v] > 0 {
+                    self.seen.set(v, true);
                     if self.features.vsids {
                         rescale |= self.order.bump(q.var().0, self.var_inc);
                     }
@@ -981,12 +1349,12 @@ impl Engine {
             // Walk the trail backwards to the next marked literal.
             loop {
                 idx -= 1;
-                if self.seen[self.trail[idx].var().index()] {
+                if self.seen.get(self.trail[idx].var().index()) {
                     break;
                 }
             }
             let p = self.trail[idx];
-            self.seen[p.var().index()] = false;
+            self.seen.set(p.var().index(), false);
             path -= 1;
             if path == 0 {
                 learnt[0] = !p;
@@ -1002,7 +1370,7 @@ impl Engine {
         }
         if !self.features.minimization {
             for &l in &learnt[1..] {
-                self.seen[l.var().index()] = false;
+                self.seen.set(l.var().index(), false);
             }
             return self.finish_analysis(learnt, rescale);
         }
@@ -1010,7 +1378,7 @@ impl Engine {
         // reason's antecedents are all already in the clause (or at level
         // 0). One non-recursive pass catches most redundancies.
         for &l in &learnt[1..] {
-            self.seen[l.var().index()] = true;
+            self.seen.set(l.var().index(), true);
         }
         let mut minimized = vec![learnt[0]];
         for &l in &learnt[1..] {
@@ -1020,17 +1388,17 @@ impl Engine {
                     let ante = self.explain(r, Some(!l));
                     !ante
                         .iter()
-                        .all(|a| self.seen[a.var().index()] || self.level[a.var().index()] == 0)
+                        .all(|a| self.seen.get(a.var().index()) || self.level[a.var().index()] == 0)
                 }
             };
             if keep {
                 minimized.push(l);
             } else {
-                self.seen[l.var().index()] = false;
+                self.seen.set(l.var().index(), false);
             }
         }
         for &l in &minimized[1..] {
-            self.seen[l.var().index()] = false;
+            self.seen.set(l.var().index(), false);
         }
         self.finish_analysis(minimized, rescale)
     }
@@ -1057,16 +1425,16 @@ impl Engine {
         (learnt, bt)
     }
 
-    fn bump_clause(&mut self, c: u32) {
-        let cl = &mut self.clauses[c as usize];
-        if !cl.learnt {
+    fn bump_clause(&mut self, c: CRef) {
+        if !self.arena.is_learnt(c) {
             return;
         }
-        cl.activity += self.cla_inc;
-        if cl.activity > 1e20 {
-            for cl in &mut self.clauses {
-                cl.activity *= 1e-20;
-            }
+        let a = self.arena.activity(c) + self.cla_inc;
+        self.arena.set_activity(c, a);
+        // A bumped clause proved useful: reset its idle-reduction count.
+        self.arena.set_age(c, 0);
+        if a > 1e20 {
+            self.arena.rescale_activities(1e-20);
             self.cla_inc *= 1e-20;
         }
         self.cla_inc /= 0.999;
@@ -1081,9 +1449,10 @@ impl Engine {
             let p = self.trail[i];
             let v = p.var().index();
             if self.features.phase_saving {
-                self.phase[v] = self.assign[v] == 1;
+                let ph = self.assign.get(v) == 1;
+                self.phase.set(v, ph);
             }
-            self.assign[v] = UNASSIGNED;
+            self.assign.set(v, 2);
             self.reason[v] = Reason::None;
             self.order.insert(p.var().0);
             for &(lin, term) in &self.lin_occ[p.code()] {
@@ -1107,7 +1476,7 @@ impl Engine {
                 }
                 let i = (self.next_rand() % self.order.len() as u64) as usize;
                 let v = self.order.peek_at(i);
-                if self.assign[v as usize] == UNASSIGNED {
+                if self.assign.get(v as usize) == 2 {
                     self.order.remove_at(i);
                     self.make_decision(v);
                     return true;
@@ -1115,7 +1484,7 @@ impl Engine {
             }
         }
         while let Some(v) = self.order.pop_max() {
-            if self.assign[v as usize] == UNASSIGNED {
+            if self.assign.get(v as usize) == 2 {
                 self.make_decision(v);
                 return true;
             }
@@ -1126,7 +1495,7 @@ impl Engine {
     fn make_decision(&mut self, v: u32) {
         self.trail_lim.push(self.trail.len());
         let var = Var(v);
-        let lit = if self.phase[v as usize] {
+        let lit = if self.phase.get(v as usize) {
             Lit::positive(var)
         } else {
             Lit::negative(var)
@@ -1152,90 +1521,487 @@ impl Engine {
         lbd
     }
 
-    /// LBD-tiered database reduction. Glue clauses (`lbd <= glue_lbd`,
-    /// the core tier) are never deleted; of the remaining learnt clauses
-    /// the worst half is dropped, ranked by LBD (higher first) then
-    /// activity (lower first) — so local-tier clauses go before mid-tier
-    /// ones of equal activity.
+    /// LBD-tiered database reduction with age-based demotion. Glue
+    /// clauses (`lbd <= glue_lbd`, the core tier) are never deleted; the
+    /// remaining learnt clauses are ranked by age-penalised LBD (higher
+    /// first) then activity (lower first) and the worst half is dropped.
+    /// Independently of the ranking, any candidate that has survived
+    /// [`MAX_CLAUSE_AGE`] reductions without being bumped is evicted —
+    /// this is what ages out mid-tier clauses that stopped being useful.
+    /// Ends with a compacting GC that rebuilds the arena in watch order.
     fn reduce_db(&mut self) {
         debug_assert_eq!(self.decision_level(), 0);
         let glue = self.features.glue_lbd;
         let mid = self.features.mid_lbd.max(glue);
         let mut kept_core = 0u64;
-        let mut candidates: Vec<u32> = Vec::new();
-        for (i, c) in self.clauses.iter().enumerate() {
-            if !c.learnt || c.deleted {
+        let mut candidates: Vec<(u32, CRef)> = Vec::new();
+        for r in self.arena.crefs() {
+            if !self.arena.is_learnt(r) || self.arena.is_deleted(r) {
                 continue;
             }
-            if c.lbd <= glue {
+            let lbd = self.arena.lbd(r);
+            if lbd <= glue {
                 kept_core += 1;
             } else {
-                candidates.push(i as u32);
+                candidates.push((lbd, r));
             }
         }
         if candidates.len() < 2 {
+            self.rebuild_watches();
+            self.garbage_collect();
             return;
         }
-        candidates.sort_by(|&a, &b| {
-            let (ca, cb) = (&self.clauses[a as usize], &self.clauses[b as usize]);
-            cb.lbd.cmp(&ca.lbd).then(
-                ca.activity
-                    .partial_cmp(&cb.activity)
+        // Rank by LBD (worst first), then activity (coldest first); the
+        // sort is stable, so ties keep arena (creation) order.
+        candidates.sort_by(|&(ka, a), &(kb, b)| {
+            kb.cmp(&ka).then(
+                self.arena
+                    .activity(a)
+                    .partial_cmp(&self.arena.activity(b))
                     .expect("activities are finite"),
             )
         });
         let doomed = candidates.len() / 2;
-        let mut deleted = 0usize;
+        let mut deleted = 0u64;
         let (mut deleted_mid, mut deleted_local) = (0u64, 0u64);
-        for &i in &candidates[..doomed] {
-            let c = &mut self.clauses[i as usize];
-            if c.lbd <= mid {
-                deleted_mid += 1;
-            } else {
-                deleted_local += 1;
-            }
-            c.deleted = true;
-            let lits = std::mem::take(&mut c.lits);
-            self.learnt_bytes = self.learnt_bytes.saturating_sub(clause_bytes(lits.len()));
-            if let Some(p) = self.proof.as_mut() {
-                p.delete(&lits);
-            }
-            deleted += 1;
-        }
         let (mut kept_mid, mut kept_local) = (0u64, 0u64);
-        for &i in &candidates[doomed..] {
-            if self.clauses[i as usize].lbd <= mid {
-                kept_mid += 1;
+        for (rank, &(_, r)) in candidates.iter().enumerate() {
+            let lbd = self.arena.lbd(r);
+            // Rank-based deletion handles the local tier (high LBD sorts
+            // first); the age cutoff is what retires mid-tier clauses,
+            // which outrank every local and would otherwise live forever.
+            let aged_out = lbd <= mid && self.arena.age(r) >= MAX_CLAUSE_AGE;
+            if rank < doomed || aged_out {
+                if lbd <= mid {
+                    deleted_mid += 1;
+                } else {
+                    deleted_local += 1;
+                }
+                self.delete_clause(r);
+                deleted += 1;
             } else {
-                kept_local += 1;
+                if lbd <= mid {
+                    kept_mid += 1;
+                } else {
+                    kept_local += 1;
+                }
+                let age = self.arena.age(r);
+                self.arena.set_age(r, age + 1);
             }
         }
-        self.n_learnt -= deleted;
-        self.stats.deleted_clauses += deleted as u64;
+        self.stats.deleted_clauses += deleted;
         self.stats.deleted_mid += deleted_mid;
         self.stats.deleted_local += deleted_local;
         self.stats.kept_core = kept_core;
         self.stats.kept_mid = kept_mid;
         self.stats.kept_local = kept_local;
-        // Rebuild watches from scratch (we are at level 0; re-propagation
-        // is unnecessary because the assignment did not change).
+        // Re-canonicalise watch lists (creation order) before compacting:
+        // the GC then lays clauses out in exactly the order propagation
+        // scans them.
+        self.rebuild_watches();
+        self.garbage_collect();
+    }
+
+    /// Rebuilds every watch list from scratch, visiting live clauses in
+    /// arena (creation) order — the blocker of each watch is the other
+    /// watched literal. Only legal at decision level 0.
+    fn rebuild_watches(&mut self) {
+        debug_assert_eq!(self.decision_level(), 0);
         for w in &mut self.watches {
             w.clear();
         }
-        for (idx, c) in self.clauses.iter().enumerate() {
-            if c.deleted {
+        for r in self.arena.crefs() {
+            if self.arena.is_deleted(r) {
                 continue;
             }
-            let (w0, w1) = (c.lits[0], c.lits[1]);
+            let (w0, w1) = (self.arena.lit(r, 0), self.arena.lit(r, 1));
             self.watches[(!w0).code()].push(Watch {
-                clause: idx as u32,
+                cref: r,
                 blocker: w1,
             });
             self.watches[(!w1).code()].push(Watch {
-                clause: idx as u32,
+                cref: r,
                 blocker: w0,
             });
         }
+    }
+
+    /// Compacting arena GC: copies live clauses into a fresh buffer in
+    /// arena (creation) order, drops stale watches of deleted clauses,
+    /// and rewrites the surviving watches through the forwarding
+    /// references. After the watch rebuild that precedes it in
+    /// `reduce_db`, creation order *is* the order watch lists scan
+    /// clauses, so propagation visits adjacent memory. Preserving
+    /// creation order (rather than first-watch-visit order) also keeps
+    /// the reduction ranking's stable-sort tie-break independent of how
+    /// many compactions have run. Only legal at decision level 0, where
+    /// no clause is a reason.
+    fn garbage_collect(&mut self) {
+        debug_assert_eq!(self.decision_level(), 0);
+        debug_assert_eq!(self.viv_guard, CREF_NONE);
+        let live_words = self.arena.data.len() - self.arena.wasted;
+        let mut to = ClauseArena::with_capacity(live_words);
+        for r in self.arena.crefs() {
+            if !self.arena.is_deleted(r) {
+                self.arena.reloc(r, &mut to);
+            }
+        }
+        for code in 0..self.watches.len() {
+            let mut ws = std::mem::take(&mut self.watches[code]);
+            ws.retain(|w| !self.arena.is_deleted(w.cref));
+            for w in &mut ws {
+                w.cref = self.arena.reloc(w.cref, &mut to);
+            }
+            self.watches[code] = ws;
+        }
+        self.arena = to;
+        self.stats.gc_runs += 1;
+    }
+
+    /// Replaces clause `r` with `kept` (a subset of its literals),
+    /// logging add-then-delete so a certifying replay stays RUP-valid
+    /// (the strengthened clause is derived while the original is still
+    /// present). Preserves the learnt flag and activity. Returns `false`
+    /// if the database became unsatisfiable.
+    fn replace_clause(&mut self, r: CRef, kept: &[Lit], origin: ProofOrigin) -> bool {
+        debug_assert!(kept.len() < self.arena.len(r));
+        let learnt = self.arena.is_learnt(r);
+        if let Some(p) = self.proof.as_mut() {
+            p.add(kept, origin);
+        }
+        match kept.len() {
+            0 => {
+                self.delete_clause(r);
+                self.ok = false;
+                false
+            }
+            1 => {
+                self.delete_clause(r);
+                if self.is_false(kept[0]) {
+                    self.ok = false;
+                    false
+                } else {
+                    if self.is_unassigned(kept[0]) {
+                        self.enqueue(kept[0], Reason::None);
+                    }
+                    true
+                }
+            }
+            _ => {
+                let lbd = self.arena.lbd(r).min(kept.len() as u32);
+                let act = self.arena.activity(r);
+                self.delete_clause(r);
+                let nr = self.attach_clause(kept, learnt, lbd);
+                self.arena.set_activity(nr, act);
+                true
+            }
+        }
+    }
+
+    /// One inprocessing pass (at a restart boundary, decision level 0):
+    /// root simplification, vivification, subsumption, then a final
+    /// propagation to settle derived units, and an arena compaction when
+    /// the rewrites left a meaningful fraction of the buffer dead.
+    /// Returns `false` when the database was proven unsatisfiable.
+    fn inprocess(&mut self) -> bool {
+        // Vivification churns the database hardest (every shortened
+        // clause re-attaches and re-seeds subsumption), so it runs on a
+        // slower cadence than the cheap passes, and only on long
+        // searches.
+        let vivify = (self.stats.inprocessings + 1) % VIVIFY_CADENCE == 1
+            && self.stats.conflicts >= VIVIFY_ONSET;
+        self.inprocess_with(vivify)
+    }
+
+    /// [`Engine::inprocess`] with the vivification cadence decision made
+    /// by the caller (the test hooks force it on).
+    fn inprocess_with(&mut self, vivify: bool) -> bool {
+        debug_assert_eq!(self.decision_level(), 0);
+        self.stats.inprocessings += 1;
+        if !self.simplify_roots() {
+            return false;
+        }
+        if vivify && !self.vivify_round() {
+            return false;
+        }
+        if !self.subsume_round() {
+            return false;
+        }
+        if self.propagate().is_some() {
+            self.ok = false;
+            return false;
+        }
+        if self.arena.wasted > 0 && self.arena.wasted * 8 >= self.arena.data.len() {
+            self.garbage_collect();
+        }
+        true
+    }
+
+    /// Root-level database simplification: deletes clauses satisfied at
+    /// level 0 and strips root-falsified literals — the re-presolve over
+    /// root units accumulated since the previous pass. Skipped entirely
+    /// when the root trail has not grown.
+    fn simplify_roots(&mut self) -> bool {
+        debug_assert_eq!(self.decision_level(), 0);
+        if self.trail.len() == self.simplified_trail {
+            return true;
+        }
+        self.simplified_trail = self.trail.len();
+        for r in self.arena.crefs() {
+            if self.arena.is_deleted(r) {
+                continue;
+            }
+            let len = self.arena.len(r);
+            let mut satisfied = false;
+            let mut n_false = 0usize;
+            for i in 0..len {
+                let l = self.arena.lit(r, i);
+                if self.is_true(l) {
+                    satisfied = true;
+                    break;
+                }
+                if self.is_false(l) {
+                    n_false += 1;
+                }
+            }
+            if satisfied {
+                self.delete_clause(r);
+                continue;
+            }
+            if n_false == 0 {
+                continue;
+            }
+            let kept: Vec<Lit> = self
+                .arena
+                .collect_lits(r)
+                .into_iter()
+                .filter(|&l| !self.is_false(l))
+                .collect();
+            if !self.replace_clause(r, &kept, ProofOrigin::Inprocess) {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// One bounded vivification pass over low-LBD learnt clauses,
+    /// shortest-glue first, stopping when the propagation budget runs
+    /// out. Returns `false` on root unsatisfiability.
+    fn vivify_round(&mut self) -> bool {
+        debug_assert_eq!(self.decision_level(), 0);
+        let budget = self.features.vivify_budget;
+        if budget == 0 {
+            return true;
+        }
+        let mid = self.features.mid_lbd.max(self.features.glue_lbd);
+        let mut cands: Vec<(u32, CRef)> = Vec::new();
+        for r in self.arena.crefs() {
+            if !self.arena.is_learnt(r) || self.arena.is_deleted(r) {
+                continue;
+            }
+            let len = self.arena.len(r);
+            if !(3..=12).contains(&len) {
+                continue;
+            }
+            let lbd = self.arena.lbd(r);
+            if lbd <= mid {
+                cands.push((lbd, r));
+            }
+        }
+        // Most valuable first: low-LBD clauses steer the most propagation.
+        cands.sort_unstable();
+        let start = self.stats.propagations;
+        for (_, r) in cands {
+            if self.stats.propagations - start >= budget {
+                break;
+            }
+            if self.arena.is_deleted(r) {
+                continue;
+            }
+            if !self.vivify_one(r) {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// Vivifies one clause: asserts the negation of each literal in turn
+    /// (each on its own decision level) and propagates with the clause
+    /// guarded out of the propagator. A conflict or an implied-true
+    /// literal proves the prefix entails the clause (shorten to the
+    /// prefix); an implied-false literal is redundant (drop it). The
+    /// propagations recorded here are ordinary engine propagations and
+    /// count against the pass budget. Returns `false` on root
+    /// unsatisfiability.
+    fn vivify_one(&mut self, r: CRef) -> bool {
+        debug_assert_eq!(self.decision_level(), 0);
+        let lits = self.arena.collect_lits(r);
+        if lits.iter().any(|&l| self.is_true(l)) {
+            // Became satisfied at the root since candidate collection.
+            self.delete_clause(r);
+            return true;
+        }
+        self.viv_guard = r;
+        // Probe assignments are not search: they must not overwrite the
+        // saved phases the next descent restart will resume from.
+        let saved_phase_saving = self.features.phase_saving;
+        self.features.phase_saving = false;
+        let mut kept: Vec<Lit> = Vec::with_capacity(lits.len());
+        for &l in &lits {
+            match self.value_lit(l) {
+                1 => {
+                    // Earlier negations imply l: the prefix plus l is
+                    // entailed, the remaining literals are redundant.
+                    kept.push(l);
+                    break;
+                }
+                0 => continue, // ¬l already follows: l is redundant
+                _ => {
+                    self.trail_lim.push(self.trail.len());
+                    self.enqueue(!l, Reason::None);
+                    kept.push(l);
+                    if self.propagate().is_some() {
+                        // Negated prefix is contradictory: prefix entailed.
+                        break;
+                    }
+                }
+            }
+        }
+        self.cancel_until(0);
+        self.features.phase_saving = saved_phase_saving;
+        self.viv_guard = CREF_NONE;
+        if kept.len() >= lits.len() {
+            return true;
+        }
+        self.stats.vivified_lits += (lits.len() - kept.len()) as u64;
+        self.replace_clause(r, &kept, ProofOrigin::Inprocess)
+    }
+
+    /// One bounded backward-subsumption / self-subsuming-resolution pass
+    /// over the learnt database. Clauses carry a 64-bit variable
+    /// signature; for each short clause C the occurrence list of its
+    /// least-frequent literal is scanned for clauses D with C ⊆ D
+    /// (delete D) or C ⊆ D with exactly one literal flipped (resolve:
+    /// strengthen D by dropping the flipped literal's negation).
+    /// Returns `false` on root unsatisfiability.
+    fn subsume_round(&mut self) -> bool {
+        debug_assert_eq!(self.decision_level(), 0);
+        const MAX_CLAUSE_LEN: usize = 30;
+        const SUBSUMER_LEN: usize = 16;
+        const CHECK_BUDGET: usize = 400_000;
+
+        let mut clauses: Vec<CRef> = Vec::new();
+        for r in self.arena.crefs() {
+            if self.arena.is_learnt(r)
+                && !self.arena.is_deleted(r)
+                && self.arena.len(r) <= MAX_CLAUSE_LEN
+            {
+                clauses.push(r);
+            }
+        }
+        if clauses.len() < 2 {
+            return true;
+        }
+        // Occurrence lists are keyed by *variable*, not literal: a
+        // strengthening partner contains the negation of one subsumer
+        // literal, so a literal-keyed list would never surface it.
+        let mut sig: std::collections::HashMap<CRef, u64> = std::collections::HashMap::new();
+        let mut occ: std::collections::HashMap<usize, Vec<CRef>> = std::collections::HashMap::new();
+        for &r in &clauses {
+            let mut s = 0u64;
+            for i in 0..self.arena.len(r) {
+                let l = self.arena.lit(r, i);
+                s |= 1u64 << (l.var().0 & 63);
+                occ.entry(l.var().index()).or_default().push(r);
+            }
+            sig.insert(r, s);
+        }
+        let mut stamp: Vec<u64> = vec![0; self.num_vars * 2];
+        let mut stamp_gen = 0u64;
+        let mut checks = 0usize;
+        'outer: for &c in &clauses {
+            if self.arena.is_deleted(c) {
+                continue;
+            }
+            let c_len = self.arena.len(c);
+            if c_len > SUBSUMER_LEN {
+                continue;
+            }
+            // Scan the occurrence list of C's least-occurring variable:
+            // any D that C subsumes or strengthens mentions it.
+            let mut best: Option<usize> = None;
+            for i in 0..c_len {
+                let v = self.arena.lit(c, i).var().index();
+                let n = occ.get(&v).map_or(0, Vec::len);
+                if best.is_none_or(|b| {
+                    n < occ
+                        .get(&self.arena.lit(c, b).var().index())
+                        .map_or(0, Vec::len)
+                }) {
+                    best = Some(i);
+                }
+            }
+            let cand_list: Vec<CRef> = best
+                .and_then(|i| occ.get(&self.arena.lit(c, i).var().index()))
+                .cloned()
+                .unwrap_or_default();
+            let c_sig = sig[&c];
+            for d in cand_list {
+                if d == c || self.arena.is_deleted(d) || self.arena.is_deleted(c) {
+                    continue;
+                }
+                let d_len = self.arena.len(d);
+                if d_len < c_len || c_sig & !sig[&d] != 0 {
+                    continue;
+                }
+                checks += c_len + d_len;
+                if checks > CHECK_BUDGET {
+                    break 'outer;
+                }
+                stamp_gen += 1;
+                for i in 0..d_len {
+                    stamp[self.arena.lit(d, i).code()] = stamp_gen;
+                }
+                let mut flipped: Option<Lit> = None;
+                let mut fits = true;
+                for i in 0..c_len {
+                    let l = self.arena.lit(c, i);
+                    if stamp[l.code()] == stamp_gen {
+                        continue;
+                    }
+                    if flipped.is_none() && stamp[(!l).code()] == stamp_gen {
+                        flipped = Some(l);
+                        continue;
+                    }
+                    fits = false;
+                    break;
+                }
+                if !fits {
+                    continue;
+                }
+                match flipped {
+                    None => {
+                        // C ⊆ D: D is redundant.
+                        self.delete_clause(d);
+                        self.stats.subsumed_clauses += 1;
+                    }
+                    Some(l) => {
+                        // Self-subsuming resolution of D with C on l.
+                        let kept: Vec<Lit> = self
+                            .arena
+                            .collect_lits(d)
+                            .into_iter()
+                            .filter(|&x| x != !l)
+                            .collect();
+                        self.stats.strengthened_lits += 1;
+                        if !self.replace_clause(d, &kept, ProofOrigin::Inprocess) {
+                            return false;
+                        }
+                    }
+                }
+            }
+        }
+        true
     }
 
     /// Polls the wall-clock deadline and the cooperative interrupt flag.
@@ -1315,7 +2081,7 @@ impl Engine {
                 1 => self.enqueue(kept[0], Reason::None),
                 _ => {
                     let lbd = lbd.min(kept.len() as u32);
-                    self.attach_clause(kept, true, lbd);
+                    self.attach_clause(&kept, true, lbd);
                 }
             }
         }
@@ -1345,11 +2111,11 @@ impl Engine {
         if self.decision_level() == 0 {
             return;
         }
-        self.seen[p.var().index()] = true;
+        self.seen.set(p.var().index(), true);
         for i in (self.trail_lim[0]..self.trail.len()).rev() {
             let q = self.trail[i];
             let v = q.var().index();
-            if !self.seen[v] {
+            if !self.seen.get(v) {
                 continue;
             }
             match self.reason_conflict(v) {
@@ -1360,14 +2126,14 @@ impl Engine {
                 Some(r) => {
                     for a in self.explain(r, Some(q)) {
                         if self.level[a.var().index()] > 0 {
-                            self.seen[a.var().index()] = true;
+                            self.seen.set(a.var().index(), true);
                         }
                     }
                 }
             }
-            self.seen[v] = false;
+            self.seen.set(v, false);
         }
-        self.seen[p.var().index()] = false;
+        self.seen.set(p.var().index(), false);
     }
 
     /// Runs CDCL search under the given budget.
@@ -1461,8 +2227,8 @@ impl Engine {
                     self.enqueue(learnt[0], Reason::None);
                 } else {
                     let asserting = learnt[0];
-                    let cidx = self.attach_clause(learnt, true, lbd);
-                    self.enqueue(asserting, Reason::Clause(cidx));
+                    let cref = self.attach_clause(&learnt, true, lbd);
+                    self.enqueue(asserting, Reason::Clause(cref));
                 }
                 conflicts_until_restart = conflicts_until_restart.saturating_sub(1);
                 if let Some(limit) = budget.conflict_limit {
@@ -1478,6 +2244,13 @@ impl Engine {
                     self.cancel_until(0);
                     if !self.import_shared() {
                         return SatResult::Unsat;
+                    }
+                    if self.features.inprocessing && self.stats.conflicts >= self.next_inprocess {
+                        self.next_inprocess =
+                            self.stats.conflicts + self.features.inprocess_interval.max(1);
+                        if !self.inprocess() {
+                            return SatResult::Unsat;
+                        }
                     }
                     if self.n_learnt > self.learnt_cap {
                         self.reduce_db();
@@ -1509,6 +2282,94 @@ impl Engine {
                 }
             }
         }
+    }
+
+    /// Test-only deep consistency check of the arena, watch lists and
+    /// packed assignment (used by the arena/GC stress suite). Expects a
+    /// propagation fixpoint (not mid-`propagate`).
+    #[doc(hidden)]
+    pub fn debug_check_invariants(&self) -> Result<(), String> {
+        // The arena walk must tile the buffer exactly, with no stray
+        // relocation marks left behind by GC.
+        let mut live: std::collections::HashMap<CRef, usize> = std::collections::HashMap::new();
+        let mut r = 0u32;
+        while (r as usize) < self.arena.data.len() {
+            if self.arena.is_relocated(r) {
+                return Err(format!("clause {r} left relocated outside GC"));
+            }
+            let len = self.arena.len(r);
+            if len < 2 {
+                return Err(format!("clause {r} has {len} literals"));
+            }
+            if !self.arena.is_deleted(r) {
+                live.insert(r, 0);
+            }
+            r += HEADER_WORDS + len as u32;
+        }
+        if (r as usize) != self.arena.data.len() {
+            return Err("arena walk overshoots the buffer".into());
+        }
+        // Every live clause is watched exactly twice, on the negations
+        // of its first two literals, with a blocker from the clause.
+        for (code, ws) in self.watches.iter().enumerate() {
+            for w in ws {
+                if self.arena.is_deleted(w.cref) {
+                    continue; // stale watch, removed lazily
+                }
+                let Some(n) = live.get_mut(&w.cref) else {
+                    return Err(format!("watch on unknown clause {}", w.cref));
+                };
+                *n += 1;
+                let watched = !Lit(code as u32);
+                if self.arena.lit(w.cref, 0) != watched && self.arena.lit(w.cref, 1) != watched {
+                    return Err(format!("clause {} watched on a non-watch literal", w.cref));
+                }
+                if !self.arena.collect_lits(w.cref).contains(&w.blocker) {
+                    return Err(format!("clause {} blocker outside the clause", w.cref));
+                }
+            }
+        }
+        for (r, n) in live {
+            if n != 2 {
+                return Err(format!("clause {r} has {n} watch entries, expected 2"));
+            }
+        }
+        // The packed assignment and the trail must agree.
+        let assigned = (0..self.num_vars)
+            .filter(|&v| self.assign.get(v) != 2)
+            .count();
+        if assigned != self.trail.len() {
+            return Err(format!(
+                "{assigned} assigned vars but {} trail literals",
+                self.trail.len()
+            ));
+        }
+        for &l in &self.trail {
+            if !self.is_true(l) {
+                return Err(format!("trail literal {l:?} is not true"));
+            }
+        }
+        Ok(())
+    }
+
+    /// Test-only: cancels to the root and runs one database reduction
+    /// (including the compacting GC).
+    #[doc(hidden)]
+    pub fn debug_force_reduce(&mut self) {
+        self.cancel_until(0);
+        self.reduce_db();
+    }
+
+    /// Test-only: cancels to the root and runs one inprocessing pass;
+    /// returns `false` if the database was proven unsatisfiable.
+    #[doc(hidden)]
+    pub fn debug_force_inprocess(&mut self) -> bool {
+        self.cancel_until(0);
+        if self.propagate().is_some() {
+            self.ok = false;
+            return false;
+        }
+        self.inprocess_with(true)
     }
 }
 
@@ -1670,5 +2531,199 @@ mod tests {
             }
         }
         assert_eq!(e.solve(Budget::unlimited()), SatResult::Unsat);
+    }
+
+    // ---- arena / packed-array / inprocessing regression tests ----
+
+    #[test]
+    fn packed_vals_roundtrip() {
+        let mut p = PackedVals::default();
+        for _ in 0..100 {
+            p.push_unassigned();
+        }
+        for v in 0..100 {
+            assert_eq!(p.get(v), 2, "fresh var {v} not unassigned");
+        }
+        for v in 0..100 {
+            p.set(v, (v % 2) as u8);
+        }
+        for v in 0..100 {
+            assert_eq!(p.get(v), (v % 2) as u8);
+        }
+        p.set(50, 2);
+        assert_eq!(p.get(50), 2);
+        assert_eq!(p.get(49), 1);
+        assert_eq!(p.get(51), 1);
+    }
+
+    #[test]
+    fn bitvec_roundtrip() {
+        let mut b = BitVec::default();
+        for i in 0..130 {
+            b.push(i % 3 == 0);
+        }
+        for i in 0..130 {
+            assert_eq!(b.get(i), i % 3 == 0);
+        }
+        b.set(64, true);
+        assert!(b.get(64));
+        b.fill(false);
+        assert!((0..130).all(|i| !b.get(i)));
+    }
+
+    #[test]
+    fn arena_alloc_walk_and_delete() {
+        let mut a = ClauseArena::default();
+        let l = |i: u32| Lit::positive(Var(i));
+        let c1 = a.alloc(&[l(0), l(1), l(2)], false, 0);
+        let c2 = a.alloc(&[l(3), l(4)], true, 7);
+        assert_eq!(a.len(c1), 3);
+        assert_eq!(a.len(c2), 2);
+        assert!(!a.is_learnt(c1));
+        assert!(a.is_learnt(c2));
+        assert_eq!(a.lbd(c2), 7);
+        assert_eq!(a.collect_lits(c1), vec![l(0), l(1), l(2)]);
+        assert_eq!(a.crefs(), vec![c1, c2]);
+        a.mark_deleted(c1);
+        assert!(a.is_deleted(c1));
+        assert!(!a.is_deleted(c2));
+        assert_eq!(a.wasted, HEADER_WORDS as usize + 3);
+    }
+
+    #[test]
+    fn gc_preserves_solve_and_invariants() {
+        let mut m = Model::new();
+        let cells: Vec<Vec<_>> = (0..5).map(|_| m.new_vars(5)).collect();
+        for row in &cells {
+            m.add_exactly_one(row.iter().copied());
+        }
+        for c in 0..5 {
+            m.add_at_most_one((0..5).map(|r| cells[r][c]));
+        }
+        let mut e = engine_from(&m);
+        assert_eq!(e.solve(Budget::unlimited()), SatResult::Sat);
+        e.debug_force_reduce();
+        e.debug_check_invariants().unwrap();
+        assert!(e.stats().gc_runs >= 1);
+        assert_eq!(e.solve(Budget::unlimited()), SatResult::Sat);
+        e.debug_check_invariants().unwrap();
+    }
+
+    #[test]
+    fn mid_tier_clauses_age_out_under_pressure() {
+        // Regression for the `deleted_mid: 0` pathology: under a steady
+        // influx of fresh high-LBD locals, pure half-deletion ranked by
+        // (lbd, activity) never reaches the mid tier. The age cutoff
+        // must evict unused mids regardless of rank.
+        let mut e = Engine::new(200);
+        let l = |i: usize| Lit::positive(Var(i as u32));
+        // A pool of mid-tier learnts (LBD 4) that are never bumped again.
+        for i in 0..20 {
+            let lits = [l(i * 3), l(i * 3 + 1), l(i * 3 + 2)];
+            e.attach_clause(&lits, true, 4);
+            e.n_learnt += 1;
+        }
+        // Rounds of fresh local learnts (LBD far above mid) followed by a
+        // reduction — models the descent benches' conflict traffic.
+        for round in 0..6 {
+            for i in 0..30 {
+                let base = 60 + ((round * 30 + i) * 4) % 130;
+                let lits = [l(base), l(base + 1), l(base + 2), l(base + 3)];
+                let c = e.attach_clause(&lits, true, 40);
+                e.n_learnt += 1;
+                e.bump_clause(c); // locals are active, mids are not
+            }
+            e.debug_force_reduce();
+            e.debug_check_invariants().unwrap();
+        }
+        assert!(
+            e.stats().deleted_mid > 0,
+            "mid-tier clauses were never evicted: {:?}",
+            e.stats()
+        );
+    }
+
+    #[test]
+    fn vivification_shortens_entailed_clause() {
+        // x1 ∨ x2 is implied; the learnt (x1 ∨ x2 ∨ x3 ∨ x4) must shrink.
+        let mut m = Model::new();
+        let vs = m.new_vars(6);
+        let x = |i: usize| vs[i].lit();
+        m.add_clause([x(0), x(1), x(4)]);
+        m.add_clause([x(0), x(1), !x(4)]);
+        let mut e = engine_from(&m);
+        let learnt = [x(0), x(1), x(2), x(3)];
+        e.attach_clause(&learnt, true, 3);
+        e.n_learnt += 1;
+        assert!(e.debug_force_inprocess());
+        assert!(
+            e.stats().vivified_lits >= 2,
+            "expected vivification to strip x3/x4: {:?}",
+            e.stats()
+        );
+        e.debug_check_invariants().unwrap();
+        assert_eq!(e.solve(Budget::unlimited()), SatResult::Sat);
+    }
+
+    #[test]
+    fn subsumption_deletes_superset_learnt() {
+        let mut e = Engine::new(10);
+        let l = |i: usize| Lit::positive(Var(i as u32));
+        e.attach_clause(&[l(0), l(1)], true, 2);
+        e.n_learnt += 1;
+        e.attach_clause(&[l(0), l(1), l(2)], true, 3);
+        e.n_learnt += 1;
+        assert!(e.debug_force_inprocess());
+        assert!(
+            e.stats().subsumed_clauses >= 1,
+            "superset clause not subsumed: {:?}",
+            e.stats()
+        );
+        e.debug_check_invariants().unwrap();
+    }
+
+    #[test]
+    fn self_subsumption_strengthens() {
+        // (a ∨ b) and (¬a ∨ b ∨ c): resolving strengthens the second
+        // to (b ∨ c).
+        let mut e = Engine::new(10);
+        let l = |i: usize| Lit::positive(Var(i as u32));
+        e.attach_clause(&[l(0), l(1)], true, 2);
+        e.n_learnt += 1;
+        e.attach_clause(&[!l(0), l(1), l(2)], true, 3);
+        e.n_learnt += 1;
+        assert!(e.debug_force_inprocess());
+        assert!(
+            e.stats().strengthened_lits >= 1,
+            "no self-subsuming strengthening: {:?}",
+            e.stats()
+        );
+        e.debug_check_invariants().unwrap();
+    }
+
+    #[test]
+    fn inprocessing_preserves_verdicts() {
+        // Pigeonhole with aggressive inprocessing stays Unsat; the chain
+        // instance stays Sat.
+        let mut m = Model::new();
+        let p: Vec<Vec<_>> = (0..5).map(|_| m.new_vars(4)).collect();
+        for row in &p {
+            m.add_clause(row.iter().map(|v| v.lit()));
+        }
+        for h in 0..4 {
+            m.add_at_most_one((0..5).map(|i| p[i][h]));
+        }
+        let mut e = engine_from(&m);
+        e.set_features(EngineFeatures {
+            restart_base: 1,
+            inprocess_interval: 1,
+            ..EngineFeatures::default()
+        });
+        assert_eq!(e.solve(Budget::unlimited()), SatResult::Unsat);
+        assert!(
+            e.stats().inprocessings > 0,
+            "no inprocessing despite per-restart interval: {:?}",
+            e.stats()
+        );
     }
 }

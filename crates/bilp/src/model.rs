@@ -236,6 +236,43 @@ pub struct Constraint {
 }
 
 impl Constraint {
+    /// A standalone `expr cmp rhs` constraint, for callers that assemble
+    /// constraint batches away from a [`Model`] (e.g. on worker threads)
+    /// and append them later with [`Model::add_constraints`].
+    pub fn new(expr: LinExpr, cmp: Cmp, rhs: i64) -> Self {
+        Constraint { expr, cmp, rhs }
+    }
+
+    /// The clause `l1 ∨ l2 ∨ ...` as a standalone constraint — the same
+    /// row [`Model::add_clause`] would post.
+    pub fn clause<I: IntoIterator<Item = Lit>>(lits: I) -> Self {
+        let mut e = LinExpr::new();
+        for l in lits {
+            if l.is_negative() {
+                e.add_term(-1, l.var());
+                e.add_constant(1);
+            } else {
+                e.add_term(1, l.var());
+            }
+        }
+        Constraint::new(e, Cmp::Ge, 1)
+    }
+
+    /// The implication `a → b` as a standalone constraint.
+    pub fn implies(a: Lit, b: Lit) -> Self {
+        Constraint::clause([!a, b])
+    }
+
+    /// `Σ vars == 1` as a standalone constraint.
+    pub fn exactly_one<I: IntoIterator<Item = Var>>(vars: I) -> Self {
+        Constraint::new(LinExpr::sum(vars), Cmp::Eq, 1)
+    }
+
+    /// `Σ vars <= 1` as a standalone constraint.
+    pub fn at_most_one<I: IntoIterator<Item = Var>>(vars: I) -> Self {
+        Constraint::new(LinExpr::sum(vars), Cmp::Le, 1)
+    }
+
     /// Whether the constraint holds under a 0/1 assignment.
     pub fn is_satisfied(&self, value: impl Fn(Var) -> bool) -> bool {
         let lhs = self.expr.evaluate(value);
@@ -315,6 +352,14 @@ impl Model {
         self.constraints.push(Constraint { expr, cmp, rhs });
     }
 
+    /// Appends a batch of standalone constraints in order. The result is
+    /// identical to calling [`Model::add`] once per constraint, so
+    /// batches built concurrently (e.g. via `cgra_par::par_map`, which
+    /// preserves input order) can be merged deterministically.
+    pub fn add_constraints<I: IntoIterator<Item = Constraint>>(&mut self, batch: I) {
+        self.constraints.extend(batch);
+    }
+
     /// Adds `expr <= rhs`.
     pub fn add_le(&mut self, expr: LinExpr, rhs: i64) {
         self.add(expr, Cmp::Le, rhs);
@@ -331,18 +376,10 @@ impl Model {
     }
 
     /// Adds the clause `l1 ∨ l2 ∨ ...` (at least one literal true).
+    /// Encoded as Σ lit >= 1, where a negative literal contributes
+    /// `1 - var`.
     pub fn add_clause<I: IntoIterator<Item = Lit>>(&mut self, lits: I) {
-        // Σ lit >= 1, where a negative literal contributes (1 - var).
-        let mut e = LinExpr::new();
-        for l in lits {
-            if l.is_negative() {
-                e.add_term(-1, l.var());
-                e.add_constant(1);
-            } else {
-                e.add_term(1, l.var());
-            }
-        }
-        self.add_ge(e, 1);
+        self.constraints.push(Constraint::clause(lits));
     }
 
     /// Adds `a -> b` (if `a` is true then `b` is true).

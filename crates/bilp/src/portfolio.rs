@@ -504,6 +504,11 @@ pub(crate) fn solve_portfolio(
         engine.kept_local += s.kept_local;
         engine.imported_clauses += s.imported_clauses;
         engine.exported_clauses += s.exported_clauses;
+        engine.inprocessings += s.inprocessings;
+        engine.vivified_lits += s.vivified_lits;
+        engine.subsumed_clauses += s.subsumed_clauses;
+        engine.strengthened_lits += s.strengthened_lits;
+        engine.gc_runs += s.gc_runs;
         if winner.is_none() && *verdict != WorkerVerdict::Inconclusive {
             winner = Some(w as u32);
         }

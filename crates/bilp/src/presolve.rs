@@ -66,6 +66,13 @@ pub struct PresolveConfig {
     /// Propagation-step budget for failed-literal probing; `0` disables
     /// probing entirely.
     pub probe_budget: u64,
+    /// Models with fewer variables than this skip probing outright.
+    /// On easy instances the probe pass costs as much wall time as the
+    /// whole solve (BENCH_presolve: ~100–200 ms of `presolve_ms` against
+    /// comparable totals) while the search finds the same fixings in its
+    /// first few conflicts; small models therefore go straight to the
+    /// engine. Set to `0` to probe regardless of size.
+    pub probe_min_vars: usize,
     /// Absolute deadline shared with the solver: presolve time counts
     /// against the solve budget, and every pass polls this.
     pub deadline: Option<Instant>,
@@ -75,6 +82,7 @@ impl Default for PresolveConfig {
     fn default() -> Self {
         PresolveConfig {
             probe_budget: 200_000,
+            probe_min_vars: 512,
             deadline: None,
         }
     }
@@ -1127,7 +1135,8 @@ pub fn presolve(model: &Model, config: &PresolveConfig) -> Presolved {
             Ok(true) if work.stats.rounds < MAX_ROUNDS && !work.out_of_time => continue,
             Ok(_) => {}
         }
-        if probed || config.probe_budget == 0 || work.out_of_time {
+        let too_small = model.num_vars() < config.probe_min_vars;
+        if probed || config.probe_budget == 0 || too_small || work.out_of_time {
             break;
         }
         probed = true;
@@ -1419,7 +1428,11 @@ mod tests {
         m.add_implies(x.lit(), y.lit());
         m.add_implies(x.lit(), !y.lit());
         m.add_clause([x.lit(), z.lit()]); // then z is forced true
-        let p = presolve(&m, &PresolveConfig::default());
+        let cfg = PresolveConfig {
+            probe_min_vars: 0, // the model is tiny; probe it anyway
+            ..PresolveConfig::default()
+        };
+        let p = presolve(&m, &cfg);
         let (red, recon, stats) = reduced(&p);
         assert!(stats.failed_literals >= 1, "{stats:?}");
         assert_eq!(red.num_vars(), 0, "everything should collapse");
@@ -1437,8 +1450,30 @@ mod tests {
         m.add_implies(x.lit(), !y.lit());
         m.add_implies(!x.lit(), y.lit());
         m.add_implies(!x.lit(), !y.lit());
-        let p = presolve(&m, &PresolveConfig::default());
+        let cfg = PresolveConfig {
+            probe_min_vars: 0,
+            ..PresolveConfig::default()
+        };
+        let p = presolve(&m, &cfg);
         assert!(matches!(p, Presolved::Infeasible { .. }));
+    }
+
+    #[test]
+    fn small_models_skip_probing_by_default() {
+        // Same forced-variable shape as probing_fixes_forced_variable,
+        // but under the default config the model is far below
+        // `probe_min_vars`, so the probe pass must not run at all.
+        let mut m = Model::new();
+        let x = m.new_var();
+        let y = m.new_var();
+        let z = m.new_var();
+        m.add_implies(x.lit(), y.lit());
+        m.add_implies(x.lit(), !y.lit());
+        m.add_clause([x.lit(), z.lit()]);
+        let p = presolve(&m, &PresolveConfig::default());
+        let (_, _, stats) = reduced(&p);
+        assert_eq!(stats.probed_vars, 0, "{stats:?}");
+        assert_eq!(stats.failed_literals, 0, "{stats:?}");
     }
 
     #[test]

@@ -32,6 +32,13 @@ pub enum ProofOrigin {
     /// A variable fixing derived by the presolve pipeline and seeded
     /// into the certifying replay.
     Presolve,
+    /// A rewritten clause produced by inprocessing between restarts
+    /// (vivification shortening, root-literal stripping, or
+    /// self-subsuming strengthening). Always a strict logical
+    /// consequence of the database at emission time, so it checks as an
+    /// ordinary RUP addition; the original clause is deleted in a
+    /// separate step *after* the rewrite is logged.
+    Inprocess,
 }
 
 /// Whether a step adds a clause to the database or deletes one.

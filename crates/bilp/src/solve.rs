@@ -349,6 +349,7 @@ impl Solver {
         let pcfg = PresolveConfig {
             probe_budget: self.config.presolve_probe_budget,
             deadline,
+            ..PresolveConfig::default()
         };
         match presolve(model, &pcfg) {
             Presolved::Infeasible { stats } => {
@@ -422,7 +423,7 @@ impl Solver {
         let mut descent = match Descent::build(model, self.config.features, self.config.mem_limit) {
             Ok(d) => d,
             Err(stats) => {
-                self.stats.engine = stats;
+                self.stats.engine = *stats;
                 self.stats.elapsed = start.elapsed();
                 return Outcome::Infeasible;
             }
@@ -481,6 +482,7 @@ impl Solver {
         let pcfg = PresolveConfig {
             probe_budget: self.config.presolve_probe_budget,
             deadline,
+            ..PresolveConfig::default()
         };
         match presolve(model, &pcfg) {
             Presolved::Infeasible { stats } => {
@@ -558,7 +560,7 @@ impl Solver {
             Ok(d) => d,
             Err(stats) => {
                 self.stats.elapsed = start.elapsed();
-                self.stats.engine = stats;
+                self.stats.engine = *stats;
                 return Outcome::Infeasible;
             }
         };
@@ -619,7 +621,7 @@ impl Descent {
         model: &Model,
         features: EngineFeatures,
         mem_limit: Option<usize>,
-    ) -> Result<Descent, EngineStats> {
+    ) -> Result<Descent, Box<EngineStats>> {
         let mut engine = Engine::new(model.num_vars());
         engine.set_features(features);
         if let Some(bytes) = mem_limit {
@@ -631,7 +633,7 @@ impl Descent {
         for c in model.constraints() {
             for nc in normalize(c) {
                 if !engine.add_norm(nc) {
-                    return Err(engine.stats());
+                    return Err(Box::new(engine.stats()));
                 }
             }
         }
@@ -1068,6 +1070,7 @@ impl IncrementalSolver {
             let pcfg = PresolveConfig {
                 probe_budget: config.presolve_probe_budget,
                 deadline: config.time_limit.map(|d| start + d),
+                ..PresolveConfig::default()
             };
             match presolve(model, &pcfg) {
                 Presolved::Infeasible { stats: ps } => {
@@ -1098,7 +1101,7 @@ impl IncrementalSolver {
                     reconstruction,
                 }),
                 Err(es) => {
-                    stats.engine = es;
+                    stats.engine = *es;
                     None
                 }
             }

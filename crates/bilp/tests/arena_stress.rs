@@ -1,0 +1,200 @@
+//! Arena/GC stress suite: drive the CDCL engine through adversarial
+//! interleavings of bounded search, forced learnt-database reductions
+//! (each one a compacting arena GC) and forced inprocessing passes,
+//! checking the deep structural invariants after every step and the
+//! final verdict against exhaustive enumeration.
+//!
+//! The point is to hit the arena paths a normal solve schedules rarely
+//! and never back-to-back: GC immediately after GC, inprocessing on a
+//! freshly compacted arena, reduction with an empty learnt database,
+//! search resuming on relocated clauses. `Engine::debug_check_invariants`
+//! re-derives the arena tiling, the two-watches-per-live-clause
+//! property, blocker membership and trail/assignment agreement from
+//! scratch, so any corruption those interleavings introduce fails the
+//! step that caused it rather than a distant later solve.
+
+use bilp::brute::{solve_exhaustive, BruteOutcome};
+use bilp::{normalize, Budget, Engine, LinExpr, Model, SatResult};
+
+/// Deterministic xorshift64* generator — the suite must replay
+/// identically from its printed seed.
+struct Rng(u64);
+
+impl Rng {
+    fn next(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.0 = x;
+        x.wrapping_mul(0x2545_f491_4f6c_dd1d)
+    }
+
+    fn below(&mut self, n: u64) -> u64 {
+        self.next() % n
+    }
+}
+
+fn engine_from(m: &Model) -> Engine {
+    let mut e = Engine::new(m.num_vars());
+    for c in m.constraints() {
+        for nc in normalize(c) {
+            e.add_norm(nc);
+        }
+    }
+    e
+}
+
+/// A random mixed model: 3-SAT-style clauses plus a few cardinality
+/// rows, small enough for exhaustive enumeration.
+fn random_model(rng: &mut Rng) -> Model {
+    let num_vars = 8 + rng.below(7) as usize; // 8..=14
+    let mut m = Model::new();
+    let vars = m.new_vars(num_vars);
+    let clauses = num_vars * (2 + rng.below(3) as usize);
+    for _ in 0..clauses {
+        let len = 2 + rng.below(3) as usize;
+        let mut lits = Vec::with_capacity(len);
+        for _ in 0..len {
+            let v = vars[rng.below(num_vars as u64) as usize];
+            lits.push(if rng.below(2) == 0 { v.lit() } else { !v.lit() });
+        }
+        m.add_clause(lits);
+    }
+    // A couple of cardinality rows so normalization emits counting
+    // constraints, not just clauses.
+    for _ in 0..2 {
+        let k = 3 + rng.below(3) as usize;
+        let group: Vec<_> = (0..k)
+            .map(|_| vars[rng.below(num_vars as u64) as usize])
+            .collect();
+        if rng.below(2) == 0 {
+            m.add_le(LinExpr::sum(group), 1);
+        } else {
+            m.add_ge(LinExpr::sum(group), 1);
+        }
+    }
+    m
+}
+
+/// Checks invariants, panicking with the violating seed and step.
+fn check(e: &Engine, seed: u64, step: usize, context: &str) {
+    if let Err(msg) = e.debug_check_invariants() {
+        panic!("seed {seed} step {step} after {context}: {msg}");
+    }
+}
+
+/// Runs one adversarial interleave to a final verdict: bounded search
+/// slices with forced reductions/inprocessing between them, invariants
+/// checked after every operation. Returns `None` when the engine was
+/// already unsatisfiable at load.
+fn interleaved_solve(
+    e: &mut Engine,
+    rng: &mut Rng,
+    seed: u64,
+    slice_conflicts: u64,
+) -> Option<SatResult> {
+    if !e.is_ok() {
+        return None;
+    }
+    for step in 0..10_000 {
+        match rng.below(8) {
+            0 => {
+                e.debug_force_reduce();
+                check(e, seed, step, "forced reduce");
+            }
+            1 => {
+                // Back-to-back GC: the second compaction must cope with
+                // an arena the first one just rewrote.
+                e.debug_force_reduce();
+                e.debug_force_reduce();
+                check(e, seed, step, "double forced reduce");
+            }
+            2 => {
+                if !e.debug_force_inprocess() {
+                    check(e, seed, step, "inprocess proving unsat");
+                    return Some(SatResult::Unsat);
+                }
+                check(e, seed, step, "forced inprocess");
+            }
+            _ => {
+                let budget = Budget {
+                    deadline: None,
+                    conflict_limit: Some(1 + rng.below(slice_conflicts)),
+                };
+                let result = e.solve(budget);
+                check(e, seed, step, "bounded solve");
+                if result != SatResult::Unknown {
+                    return Some(result);
+                }
+            }
+        }
+    }
+    panic!("seed {seed}: interleave did not converge in 10k steps");
+}
+
+#[test]
+fn random_interleaves_match_exhaustive_verdicts() {
+    for seed in 1..=40u64 {
+        let mut rng = Rng(seed.wrapping_mul(0x9e37_79b9_7f4a_7c15));
+        let model = random_model(&mut rng);
+        let expected = matches!(solve_exhaustive(&model), BruteOutcome::Optimal { .. });
+        let mut e = engine_from(&model);
+        let verdict = match interleaved_solve(&mut e, &mut rng, seed, 16) {
+            None => false, // conflicting at load: only correct if UNSAT
+            Some(SatResult::Sat) => {
+                // A SAT claim must come with a genuinely satisfying
+                // assignment, not just a consistent trail.
+                assert_eq!(
+                    model.check(|v| e.model_value(v)),
+                    Ok(()),
+                    "seed {seed}: claimed model violates a constraint"
+                );
+                true
+            }
+            Some(SatResult::Unsat) => false,
+            Some(SatResult::Unknown) => unreachable!(),
+        };
+        assert_eq!(
+            verdict, expected,
+            "seed {seed}: engine said sat={verdict}, enumeration says sat={expected}"
+        );
+    }
+}
+
+/// Pigeonhole: `pigeons` items into `holes` slots, each slot at most
+/// one item — unsatisfiable when `pigeons > holes`, and famously
+/// conflict-dense, so the learnt database grows fast enough for forced
+/// reductions to have real work (and real garbage) every time.
+fn pigeonhole(pigeons: usize, holes: usize) -> Model {
+    let mut m = Model::new();
+    let mut slot = vec![vec![]; pigeons];
+    for p in slot.iter_mut() {
+        *p = m.new_vars(holes);
+    }
+    for row in &slot {
+        m.add_ge(LinExpr::sum(row.clone()), 1);
+    }
+    for h in 0..holes {
+        let col: Vec<_> = slot.iter().map(|row| row[h]).collect();
+        m.add_le(LinExpr::sum(col), 1);
+    }
+    m
+}
+
+#[test]
+fn conflict_dense_churn_survives_repeated_gc() {
+    let seed = 0xc6ca_5eed;
+    let mut rng = Rng(seed);
+    let model = pigeonhole(6, 5);
+    let mut e = engine_from(&model);
+    let verdict = interleaved_solve(&mut e, &mut rng, seed, 128).expect("loads cleanly");
+    assert_eq!(verdict, SatResult::Unsat, "pigeonhole 6/5 is unsat");
+    let stats = e.stats();
+    assert!(
+        stats.gc_runs >= 2,
+        "forced reductions should have compacted the arena (gc_runs = {})",
+        stats.gc_runs
+    );
+    assert!(stats.conflicts > 100, "expected a conflict-dense run");
+}

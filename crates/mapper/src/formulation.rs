@@ -30,9 +30,10 @@
 
 use crate::mapping::{expected_port, Mapping};
 use crate::options::MapperOptions;
-use bilp::{Assignment, LinExpr, Lit, Model, Outcome, Solver, SolverConfig, Var};
+use bilp::{Assignment, Cmp, Constraint, LinExpr, Lit, Model, Outcome, Solver, SolverConfig, Var};
 use cgra_dfg::{Dfg, EdgeId, OpId, OpKind};
 use cgra_mrrg::{Mrrg, NodeId, NodeKind};
+use cgra_par::par_map;
 use std::collections::{BTreeMap, HashMap, VecDeque};
 use std::fmt;
 use std::time::Duration;
@@ -157,12 +158,21 @@ pub struct Formulation {
     reach_rounds: usize,
 }
 
-/// Closes the current constraint group at the model's present length.
-/// A group that added no constraints is not recorded.
-fn mark_group(groups: &mut Vec<(usize, String)>, model: &Model, name: impl Into<String>) {
-    let end = model.constraints().len();
-    if groups.last().map_or(0, |g| g.0) < end {
-        groups.push((end, name.into()));
+/// Appends one constraint family's ordered `(group name, batch)` pairs
+/// to the model, recording each non-empty group's end index. Empty
+/// batches are skipped, matching the historical behaviour of closing a
+/// group only when it actually added constraints.
+fn append_family(
+    model: &mut Model,
+    groups: &mut Vec<(usize, String)>,
+    family: Vec<(String, Vec<Constraint>)>,
+) {
+    for (name, batch) in family {
+        if batch.is_empty() {
+            continue;
+        }
+        model.add_constraints(batch);
+        groups.push((model.constraints().len(), name));
     }
 }
 
@@ -223,89 +233,116 @@ impl Formulation {
         let mut cand_edge: BTreeMap<EdgeId, Vec<bool>> = BTreeMap::new();
         let mut term_ports: BTreeMap<EdgeId, Vec<(NodeId, NodeId, u8)>> = BTreeMap::new();
 
-        for j in dfg.value_producers().collect::<Vec<_>>() {
-            // Sources: route fanouts of every compatible slot of j.
-            let forward = if options.reach_reduction {
-                let mut forward = vec![false; n_nodes];
-                let mut queue = VecDeque::new();
-                for &p in &slots[&j] {
-                    for &i in mrrg.fanouts(p) {
-                        if mrrg.nodes()[i.index()].kind.is_route() && !forward[i.index()] {
-                            forward[i.index()] = true;
-                            queue.push_back(i);
-                        }
-                    }
-                }
-                while let Some(i) = queue.pop_front() {
-                    for &m in mrrg.fanouts(i) {
-                        if mrrg.nodes()[m.index()].kind.is_route() && !forward[m.index()] {
-                            forward[m.index()] = true;
-                            queue.push_back(m);
-                        }
-                    }
-                }
-                forward
-            } else {
-                route_mask.clone()
-            };
+        // Jobs for build-time parallelism. Every fan-out below goes
+        // through `par_map`, which preserves input order and runs inline
+        // at `jobs <= 1`; results are merged in that fixed order, so the
+        // built model is bit-for-bit identical at every job count.
+        let jobs = if options.build_jobs == 0 {
+            cgra_par::default_jobs(1)
+        } else {
+            options.build_jobs
+        };
 
-            for &e in dfg.fanout(j) {
-                let edge = dfg.edges()[e.index()];
-                let dst_kind = dfg.ops()[edge.dst.index()].kind;
-                // Termination ports: operand nodes of compatible units
-                // whose tag matches the operand (or either port for a
-                // commutative op with swapping enabled).
-                let mut terms: Vec<(NodeId, NodeId, u8)> = Vec::new();
-                for &p in &slots[&edge.dst] {
-                    for &i in mrrg.fanins(p) {
-                        if let NodeKind::Route { operand: Some(t) } = mrrg.nodes()[i.index()].kind {
-                            let matches = t == edge.operand
-                                || (options.commutativity
-                                    && dst_kind.is_commutative()
-                                    && dst_kind.arity() == 2);
-                            if matches {
-                                terms.push((i, p, t));
+        // One independent task per value: the forward BFS from the
+        // producer's slots plus, per consuming edge, the termination-port
+        // scan and backward BFS. Values share no mutable state, and the
+        // sequential merge keeps error attribution (first offending edge
+        // in producer order) identical to a plain loop.
+        let producers: Vec<OpId> = dfg.value_producers().collect();
+        type EdgeCand = (EdgeId, Vec<bool>, Vec<(NodeId, NodeId, u8)>);
+        let per_value: Vec<Result<Vec<EdgeCand>, BuildInfeasible>> =
+            par_map(jobs, &producers, |&j| {
+                // Sources: route fanouts of every compatible slot of j.
+                let forward = if options.reach_reduction {
+                    let mut forward = vec![false; n_nodes];
+                    let mut queue = VecDeque::new();
+                    for &p in &slots[&j] {
+                        for &i in mrrg.fanouts(p) {
+                            if mrrg.nodes()[i.index()].kind.is_route() && !forward[i.index()] {
+                                forward[i.index()] = true;
+                                queue.push_back(i);
                             }
                         }
                     }
-                }
-                // No matching operand port at any compatible slot is a
-                // structural impossibility, independent of reachability.
-                if terms.is_empty() {
-                    return Err(BuildInfeasible::UnroutableSink {
-                        from: dfg.ops()[edge.src.index()].name.clone(),
-                        to: dfg.ops()[edge.dst.index()].name.clone(),
-                    });
-                }
-                // Backward reachability from termination ports.
-                let backward = if options.reach_reduction {
-                    let mut backward = vec![false; n_nodes];
-                    let mut queue = VecDeque::new();
-                    for &(i, _, _) in &terms {
-                        if !backward[i.index()] {
-                            backward[i.index()] = true;
-                            queue.push_back(i);
-                        }
-                    }
                     while let Some(i) = queue.pop_front() {
-                        for &m in mrrg.fanins(i) {
-                            if mrrg.nodes()[m.index()].kind.is_route() && !backward[m.index()] {
-                                backward[m.index()] = true;
+                        for &m in mrrg.fanouts(i) {
+                            if mrrg.nodes()[m.index()].kind.is_route() && !forward[m.index()] {
+                                forward[m.index()] = true;
                                 queue.push_back(m);
                             }
                         }
                     }
-                    backward
+                    forward
                 } else {
                     route_mask.clone()
                 };
-                let cand: Vec<bool> = (0..n_nodes).map(|i| forward[i] && backward[i]).collect();
-                if !cand.iter().any(|&b| b) {
-                    return Err(BuildInfeasible::UnroutableSink {
-                        from: dfg.ops()[edge.src.index()].name.clone(),
-                        to: dfg.ops()[edge.dst.index()].name.clone(),
-                    });
+
+                let mut out = Vec::new();
+                for &e in dfg.fanout(j) {
+                    let edge = dfg.edges()[e.index()];
+                    let dst_kind = dfg.ops()[edge.dst.index()].kind;
+                    // Termination ports: operand nodes of compatible units
+                    // whose tag matches the operand (or either port for a
+                    // commutative op with swapping enabled).
+                    let mut terms: Vec<(NodeId, NodeId, u8)> = Vec::new();
+                    for &p in &slots[&edge.dst] {
+                        for &i in mrrg.fanins(p) {
+                            if let NodeKind::Route { operand: Some(t) } =
+                                mrrg.nodes()[i.index()].kind
+                            {
+                                let matches = t == edge.operand
+                                    || (options.commutativity
+                                        && dst_kind.is_commutative()
+                                        && dst_kind.arity() == 2);
+                                if matches {
+                                    terms.push((i, p, t));
+                                }
+                            }
+                        }
+                    }
+                    // No matching operand port at any compatible slot is a
+                    // structural impossibility, independent of reachability.
+                    if terms.is_empty() {
+                        return Err(BuildInfeasible::UnroutableSink {
+                            from: dfg.ops()[edge.src.index()].name.clone(),
+                            to: dfg.ops()[edge.dst.index()].name.clone(),
+                        });
+                    }
+                    // Backward reachability from termination ports.
+                    let backward = if options.reach_reduction {
+                        let mut backward = vec![false; n_nodes];
+                        let mut queue = VecDeque::new();
+                        for &(i, _, _) in &terms {
+                            if !backward[i.index()] {
+                                backward[i.index()] = true;
+                                queue.push_back(i);
+                            }
+                        }
+                        while let Some(i) = queue.pop_front() {
+                            for &m in mrrg.fanins(i) {
+                                if mrrg.nodes()[m.index()].kind.is_route() && !backward[m.index()] {
+                                    backward[m.index()] = true;
+                                    queue.push_back(m);
+                                }
+                            }
+                        }
+                        backward
+                    } else {
+                        route_mask.clone()
+                    };
+                    let cand: Vec<bool> = (0..n_nodes).map(|i| forward[i] && backward[i]).collect();
+                    if !cand.iter().any(|&b| b) {
+                        return Err(BuildInfeasible::UnroutableSink {
+                            from: dfg.ops()[edge.src.index()].name.clone(),
+                            to: dfg.ops()[edge.dst.index()].name.clone(),
+                        });
+                    }
+                    out.push((e, cand, terms));
                 }
+                Ok(out)
+            });
+        for value_result in per_value {
+            for (e, cand, terms) in value_result? {
                 cand_edge.insert(e, cand);
                 term_ports.insert(e, terms);
             }
@@ -352,6 +389,7 @@ impl Formulation {
                 dfg,
                 mrrg,
                 &options,
+                jobs,
                 &mut slots,
                 &mut cand_edge,
                 &mut term_ports,
@@ -407,17 +445,27 @@ impl Formulation {
             }
         }
 
+        // ---- Constraint emission -----------------------------------------
+        // Each family below is assembled as an ordered list of
+        // `(group name, constraint batch)` pairs — the heavy per-edge and
+        // per-operation families on worker threads via `par_map` — and
+        // appended to the model in the paper's fixed family order.
+        // `par_map` preserves input order and the batches are built from
+        // deterministic (BTreeMap) iterations, so the constraint list and
+        // the group table come out bit-identical at every job count.
         let mut groups: Vec<(usize, String)> = Vec::new();
 
         // ---- (1) Operation Placement ------------------------------------
-        for (q, ps) in &slots {
-            model.add_exactly_one(ps.iter().map(|&p| f[&(p, *q)]));
-            mark_group(
-                &mut groups,
-                &model,
-                format!("placement of `{}`", dfg.ops()[q.index()].name),
-            );
-        }
+        let placement: Vec<(String, Vec<Constraint>)> = slots
+            .iter()
+            .map(|(q, ps)| {
+                (
+                    format!("placement of `{}`", dfg.ops()[q.index()].name),
+                    vec![Constraint::exactly_one(ps.iter().map(|&p| f[&(p, *q)]))],
+                )
+            })
+            .collect();
+        append_family(&mut model, &mut groups, placement);
 
         // ---- (2) Functional Unit Exclusivity ----------------------------
         {
@@ -427,13 +475,17 @@ impl Formulation {
                     by_slot.entry(p).or_default().push(f[&(p, *q)]);
                 }
             }
-            for (_p, vars) in by_slot {
-                if vars.len() > 1 {
-                    model.add_at_most_one(vars);
-                }
-            }
+            let rows: Vec<Constraint> = by_slot
+                .into_values()
+                .filter(|vars| vars.len() > 1)
+                .map(Constraint::at_most_one)
+                .collect();
+            append_family(
+                &mut model,
+                &mut groups,
+                vec![("functional-unit exclusivity".into(), rows)],
+            );
         }
-        mark_group(&mut groups, &model, "functional-unit exclusivity");
 
         // ---- (4) Route Exclusivity --------------------------------------
         {
@@ -446,34 +498,41 @@ impl Formulation {
                     }
                 }
             }
-            for (_i, vars) in by_node {
-                if vars.len() > 1 {
-                    model.add_at_most_one(vars);
-                }
-            }
+            let rows: Vec<Constraint> = by_node
+                .into_values()
+                .filter(|vars| vars.len() > 1)
+                .map(Constraint::at_most_one)
+                .collect();
+            append_family(
+                &mut model,
+                &mut groups,
+                vec![("route exclusivity".into(), rows)],
+            );
         }
-        mark_group(&mut groups, &model, "route exclusivity");
 
         // ---- (5) Fanout Routing & (6) Implied Placement ------------------
-        for (e, cand) in &cand_edge {
+        let edge_items: Vec<(EdgeId, &Vec<bool>)> =
+            cand_edge.iter().map(|(&e, cand)| (e, cand)).collect();
+        let routing: Vec<(String, Vec<Constraint>)> = par_map(jobs, &edge_items, |&(e, cand)| {
             let edge = dfg.edges()[e.index()];
             let dst = edge.dst;
             // Termination lookup: operand node -> (unit, tag).
             let mut term_at: HashMap<NodeId, Vec<(NodeId, u8)>> = HashMap::new();
-            for &(i, p, t) in &term_ports[e] {
+            for &(i, p, t) in &term_ports[&e] {
                 term_at.entry(i).or_default().push((p, t));
             }
+            let mut batch = Vec::new();
             for (idx, &c) in cand.iter().enumerate() {
                 if !c {
                     continue;
                 }
                 let i = NodeId(idx as u32);
-                let rs_i = rs[&(*e, i)];
+                let rs_i = rs[&(e, i)];
                 // (5): continue through a used route fanout or terminate.
                 let mut clause = vec![!rs_i.lit()];
                 for &m in mrrg.fanouts(i) {
                     if mrrg.nodes()[m.index()].kind.is_route() && cand[m.index()] {
-                        clause.push(rs[&(*e, m)].lit());
+                        clause.push(rs[&(e, m)].lit());
                     }
                 }
                 if let Some(terms) = term_at.get(&i) {
@@ -481,94 +540,118 @@ impl Formulation {
                         clause.push(f[&(p, dst)].lit());
                     }
                 }
-                model.add_clause(clause);
+                batch.push(Constraint::clause(clause));
                 // (6): terminating at p's operand implies placing dst on p,
                 // with swap consistency on commutative operations.
                 if let Some(terms) = term_at.get(&i) {
                     for &(p, t) in terms {
-                        model.add_implies(rs_i.lit(), f[&(p, dst)].lit());
+                        batch.push(Constraint::implies(rs_i.lit(), f[&(p, dst)].lit()));
                         if let Some(&s) = swap.get(&dst) {
                             if t == edge.operand {
-                                model.add_implies(rs_i.lit(), !s.lit());
+                                batch.push(Constraint::implies(rs_i.lit(), !s.lit()));
                             } else {
-                                model.add_implies(rs_i.lit(), s.lit());
+                                batch.push(Constraint::implies(rs_i.lit(), s.lit()));
                             }
                         }
                     }
                 }
             }
-            mark_group(
-                &mut groups,
-                &model,
+            (
                 format!(
                     "routing of `{}`->`{}`",
                     dfg.ops()[edge.src.index()].name,
                     dfg.ops()[edge.dst.index()].name
                 ),
-            );
-        }
+                batch,
+            )
+        });
+        append_family(&mut model, &mut groups, routing);
 
         // ---- (7) Initial Fanout ------------------------------------------
-        for (q, ps) in &slots {
-            for &e in dfg.fanout(*q) {
+        let slot_items: Vec<(OpId, &Vec<NodeId>)> = slots.iter().map(|(&q, ps)| (q, ps)).collect();
+        let initial: Vec<(String, Vec<Constraint>)> = par_map(jobs, &slot_items, |&(q, ps)| {
+            let mut batch = Vec::new();
+            for &e in dfg.fanout(q) {
                 for &p in ps {
-                    let fv = f[&(p, *q)];
+                    let fv = f[&(p, q)];
                     for &i in mrrg.fanouts(p) {
                         let rv = rs[&(e, i)]; // guaranteed by slot filtering
-                        model.add_implies(fv.lit(), rv.lit());
-                        model.add_implies(rv.lit(), fv.lit());
+                        batch.push(Constraint::implies(fv.lit(), rv.lit()));
+                        batch.push(Constraint::implies(rv.lit(), fv.lit()));
                     }
                 }
             }
-            mark_group(
-                &mut groups,
-                &model,
+            (
                 format!("initial fanout of `{}`", dfg.ops()[q.index()].name),
-            );
-        }
+                batch,
+            )
+        });
+        append_family(&mut model, &mut groups, initial);
 
         // ---- (8) Routing Resource Usage ----------------------------------
-        for (e, cand) in &cand_edge {
+        let usage: Vec<Vec<Constraint>> = par_map(jobs, &edge_items, |&(e, cand)| {
             let j = dfg.edges()[e.index()].src;
+            let mut batch = Vec::new();
             for (idx, &c) in cand.iter().enumerate() {
                 if c {
                     let i = NodeId(idx as u32);
-                    model.add_implies(rs[&(*e, i)].lit(), r[&(i, j)].lit());
+                    batch.push(Constraint::implies(rs[&(e, i)].lit(), r[&(i, j)].lit()));
                 }
             }
-        }
-        mark_group(&mut groups, &model, "routing-resource usage");
+            batch
+        });
+        append_family(
+            &mut model,
+            &mut groups,
+            vec![(
+                "routing-resource usage".into(),
+                usage.into_iter().flatten().collect(),
+            )],
+        );
 
         // ---- (9) Multiplexer Input Exclusivity ---------------------------
-        for (j, mask) in cand_value.iter().filter(|_| options.mux_exclusivity) {
-            for (idx, &c) in mask.iter().enumerate() {
-                if !c {
-                    continue;
-                }
-                let i = NodeId(idx as u32);
-                let fanins = mrrg.fanins(i);
-                if fanins.len() <= 1 {
-                    continue;
-                }
-                debug_assert!(
-                    fanins
-                        .iter()
-                        .all(|&m| mrrg.nodes()[m.index()].kind.is_route()),
-                    "multi-fanin nodes are multiplexing points over routes"
-                );
-                let mut expr = LinExpr::new();
-                expr.add_term(-1, r[&(i, *j)]);
-                for &m in fanins {
-                    if mask[m.index()] {
-                        if let Some(&rv) = r.get(&(m, *j)) {
-                            expr.add_term(1, rv);
+        if options.mux_exclusivity {
+            let value_items: Vec<(OpId, &Vec<bool>)> =
+                cand_value.iter().map(|(&j, mask)| (j, mask)).collect();
+            let mux: Vec<Vec<Constraint>> = par_map(jobs, &value_items, |&(j, mask)| {
+                let mut batch = Vec::new();
+                for (idx, &c) in mask.iter().enumerate() {
+                    if !c {
+                        continue;
+                    }
+                    let i = NodeId(idx as u32);
+                    let fanins = mrrg.fanins(i);
+                    if fanins.len() <= 1 {
+                        continue;
+                    }
+                    debug_assert!(
+                        fanins
+                            .iter()
+                            .all(|&m| mrrg.nodes()[m.index()].kind.is_route()),
+                        "multi-fanin nodes are multiplexing points over routes"
+                    );
+                    let mut expr = LinExpr::new();
+                    expr.add_term(-1, r[&(i, j)]);
+                    for &m in fanins {
+                        if mask[m.index()] {
+                            if let Some(&rv) = r.get(&(m, j)) {
+                                expr.add_term(1, rv);
+                            }
                         }
                     }
+                    batch.push(Constraint::new(expr, Cmp::Eq, 0));
                 }
-                model.add_eq(expr, 0);
-            }
+                batch
+            });
+            append_family(
+                &mut model,
+                &mut groups,
+                vec![(
+                    "multiplexer input exclusivity".into(),
+                    mux.into_iter().flatten().collect(),
+                )],
+            );
         }
-        mark_group(&mut groups, &model, "multiplexer input exclusivity");
 
         // ---- (10) Objective ----------------------------------------------
         if options.optimize {
@@ -844,92 +927,108 @@ fn refine_reachability(
     dfg: &Dfg,
     mrrg: &Mrrg,
     options: &MapperOptions,
+    jobs: usize,
     slots: &mut BTreeMap<OpId, Vec<NodeId>>,
     cand_edge: &mut BTreeMap<EdgeId, Vec<bool>>,
     term_ports: &mut BTreeMap<EdgeId, Vec<(NodeId, NodeId, u8)>>,
 ) -> Result<usize, BuildInfeasible> {
     const MAX_ROUNDS: usize = 8;
     let n_nodes = mrrg.node_count();
+    // Within a round each edge reads only its own previous candidate set
+    // and the (round-constant) slot lists, so the per-edge recomputation
+    // fans out over worker threads; the ordered merge below keeps
+    // `changed` detection and error attribution identical to a
+    // sequential loop over producers and their fanouts.
+    let edge_list: Vec<EdgeId> = dfg
+        .value_producers()
+        .collect::<Vec<_>>()
+        .into_iter()
+        .flat_map(|j| dfg.fanout(j).iter().copied())
+        .collect();
     let mut rounds = 0;
     loop {
         rounds += 1;
-        let mut changed = false;
 
-        for j in dfg.value_producers().collect::<Vec<_>>() {
-            for &e in dfg.fanout(j) {
-                let edge = dfg.edges()[e.index()];
-                let dst_kind = dfg.ops()[edge.dst.index()].kind;
-                let prev = &cand_edge[&e];
+        type EdgeRefined = (Vec<(NodeId, NodeId, u8)>, Vec<bool>);
+        let refined: Vec<Result<EdgeRefined, BuildInfeasible>> = par_map(jobs, &edge_list, |&e| {
+            let edge = dfg.edges()[e.index()];
+            let dst_kind = dfg.ops()[edge.dst.index()].kind;
+            let prev = &cand_edge[&e];
 
-                // Termination ports against the current destination slots.
-                let mut terms: Vec<(NodeId, NodeId, u8)> = Vec::new();
-                for &p in &slots[&edge.dst] {
-                    for &i in mrrg.fanins(p) {
-                        if let NodeKind::Route { operand: Some(t) } = mrrg.nodes()[i.index()].kind {
-                            let matches = t == edge.operand
-                                || (options.commutativity
-                                    && dst_kind.is_commutative()
-                                    && dst_kind.arity() == 2);
-                            if matches {
-                                terms.push((i, p, t));
-                            }
+            // Termination ports against the current destination slots.
+            let mut terms: Vec<(NodeId, NodeId, u8)> = Vec::new();
+            for &p in &slots[&edge.dst] {
+                for &i in mrrg.fanins(p) {
+                    if let NodeKind::Route { operand: Some(t) } = mrrg.nodes()[i.index()].kind {
+                        let matches = t == edge.operand
+                            || (options.commutativity
+                                && dst_kind.is_commutative()
+                                && dst_kind.arity() == 2);
+                        if matches {
+                            terms.push((i, p, t));
                         }
                     }
                 }
+            }
 
-                // Forward within the previous candidates, seeded from the
-                // surviving source slots' fanouts.
-                let mut forward = vec![false; n_nodes];
-                let mut queue = VecDeque::new();
-                for &p in &slots[&edge.src] {
-                    for &i in mrrg.fanouts(p) {
-                        if prev[i.index()] && !forward[i.index()] {
-                            forward[i.index()] = true;
-                            queue.push_back(i);
-                        }
-                    }
-                }
-                while let Some(i) = queue.pop_front() {
-                    for &m in mrrg.fanouts(i) {
-                        if prev[m.index()] && !forward[m.index()] {
-                            forward[m.index()] = true;
-                            queue.push_back(m);
-                        }
-                    }
-                }
-
-                // Backward within the previous candidates from the
-                // surviving termination ports.
-                let mut backward = vec![false; n_nodes];
-                let mut queue = VecDeque::new();
-                for &(i, _, _) in &terms {
-                    if prev[i.index()] && !backward[i.index()] {
-                        backward[i.index()] = true;
+            // Forward within the previous candidates, seeded from the
+            // surviving source slots' fanouts.
+            let mut forward = vec![false; n_nodes];
+            let mut queue = VecDeque::new();
+            for &p in &slots[&edge.src] {
+                for &i in mrrg.fanouts(p) {
+                    if prev[i.index()] && !forward[i.index()] {
+                        forward[i.index()] = true;
                         queue.push_back(i);
                     }
                 }
-                while let Some(i) = queue.pop_front() {
-                    for &m in mrrg.fanins(i) {
-                        if prev[m.index()] && !backward[m.index()] {
-                            backward[m.index()] = true;
-                            queue.push_back(m);
-                        }
+            }
+            while let Some(i) = queue.pop_front() {
+                for &m in mrrg.fanouts(i) {
+                    if prev[m.index()] && !forward[m.index()] {
+                        forward[m.index()] = true;
+                        queue.push_back(m);
                     }
                 }
-
-                let cand: Vec<bool> = (0..n_nodes).map(|i| forward[i] && backward[i]).collect();
-                if !cand.iter().any(|&b| b) {
-                    return Err(BuildInfeasible::UnroutableSink {
-                        from: dfg.ops()[edge.src.index()].name.clone(),
-                        to: dfg.ops()[edge.dst.index()].name.clone(),
-                    });
-                }
-                if cand != *prev {
-                    changed = true;
-                    cand_edge.insert(e, cand);
-                }
-                term_ports.insert(e, terms);
             }
+
+            // Backward within the previous candidates from the
+            // surviving termination ports.
+            let mut backward = vec![false; n_nodes];
+            let mut queue = VecDeque::new();
+            for &(i, _, _) in &terms {
+                if prev[i.index()] && !backward[i.index()] {
+                    backward[i.index()] = true;
+                    queue.push_back(i);
+                }
+            }
+            while let Some(i) = queue.pop_front() {
+                for &m in mrrg.fanins(i) {
+                    if prev[m.index()] && !backward[m.index()] {
+                        backward[m.index()] = true;
+                        queue.push_back(m);
+                    }
+                }
+            }
+
+            let cand: Vec<bool> = (0..n_nodes).map(|i| forward[i] && backward[i]).collect();
+            if !cand.iter().any(|&b| b) {
+                return Err(BuildInfeasible::UnroutableSink {
+                    from: dfg.ops()[edge.src.index()].name.clone(),
+                    to: dfg.ops()[edge.dst.index()].name.clone(),
+                });
+            }
+            Ok((terms, cand))
+        });
+
+        let mut changed = false;
+        for (&e, refined_edge) in edge_list.iter().zip(refined) {
+            let (terms, cand) = refined_edge?;
+            if cand != cand_edge[&e] {
+                changed = true;
+                cand_edge.insert(e, cand);
+            }
+            term_ports.insert(e, terms);
         }
 
         // Slot filter against the refined candidates (same criterion as the
@@ -1132,6 +1231,50 @@ mod tests {
         // Without the presolve the build succeeds; the solver will still
         // prove infeasibility (exercised in the mapper tests).
         assert!(Formulation::build(&g, &mrrg, opts).is_ok());
+    }
+
+    #[test]
+    fn parallel_build_is_bit_identical() {
+        // A multi-value DFG on a 3x3 grid exercises every parallel
+        // family (reachability, routing, initial fanout, usage, mux
+        // exclusivity) with more than one item each.
+        let arch = grid(GridParams {
+            rows: 3,
+            cols: 3,
+            fu_mix: FuMix::Homogeneous,
+            interconnect: Interconnect::Orthogonal,
+            io_pads: true,
+            memory_ports: false,
+            toroidal: false,
+            alu_latency: 0,
+            bypass_channel: false,
+        });
+        let mrrg = build_mrrg(&arch, 2);
+        let mut g = Dfg::new("t");
+        let a = g.add_op("a", OpKind::Input).unwrap();
+        let b = g.add_op("b", OpKind::Input).unwrap();
+        let m = g.add_op("m", OpKind::Mul).unwrap();
+        let s = g.add_op("s", OpKind::Add).unwrap();
+        let o = g.add_op("o", OpKind::Output).unwrap();
+        g.connect(a, m, 0).unwrap();
+        g.connect(b, m, 1).unwrap();
+        g.connect(m, s, 0).unwrap();
+        g.connect(a, s, 1).unwrap();
+        g.connect(s, o, 0).unwrap();
+
+        let opts = |jobs| MapperOptions {
+            optimize: true,
+            build_jobs: jobs,
+            ..MapperOptions::default()
+        };
+        let seq = Formulation::build(&g, &mrrg, opts(1)).expect("builds");
+        let par = Formulation::build(&g, &mrrg, opts(4)).expect("builds");
+        assert_eq!(seq.model().num_vars(), par.model().num_vars());
+        assert_eq!(seq.model().constraints(), par.model().constraints());
+        assert_eq!(seq.model().objective(), par.model().objective());
+        assert_eq!(seq.model().branch_hints(), par.model().branch_hints());
+        assert_eq!(seq.constraint_groups(), par.constraint_groups());
+        assert_eq!(seq.stats(), par.stats());
     }
 
     #[test]

@@ -170,6 +170,15 @@ pub struct MapperOptions {
     /// best-found/timeout outcome instead of unbounded memory growth.
     /// `None` (the default) disables the watchdog.
     pub mem_limit: Option<usize>,
+    /// Worker threads for formulation *construction*: the reachability
+    /// BFS passes and the constraint-family emission fan out over
+    /// `build_jobs` threads and merge in a fixed order, so the built
+    /// model is bit-for-bit identical at every job count. `1` (the
+    /// default) builds inline on the calling thread; `0` uses all
+    /// available cores. Independent of [`MapperOptions::threads`], which
+    /// parallelises the *solve*: at warm-serve rates model build time is
+    /// the cold-path bottleneck, so the two are tuned separately.
+    pub build_jobs: usize,
     /// Whether the min-II search may fall back to the simulated-annealing
     /// mapper when the ILP attempt at an II times out: a validated
     /// annealer mapping upgrades the `T` cell to a (non-optimal, but
@@ -200,6 +209,7 @@ impl Default for MapperOptions {
             explain_infeasible: false,
             certify: false,
             mem_limit: None,
+            build_jobs: 1,
             anneal_fallback: false,
         }
     }

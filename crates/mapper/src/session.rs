@@ -12,6 +12,12 @@
 //!
 //! [`crate::map_min_ii`] is itself implemented on a session, so the
 //! min-II ladder and the service reuse exactly the same machinery.
+//!
+//! Once the MRRG cache is warm, the residual cold cost of a query is
+//! building the ILP formulation itself; sessions serving large models
+//! can set [`MapperOptions::build_jobs`] to fan the build out over
+//! worker threads — the emitted model is bit-identical at any job
+//! count, so cached results and verdicts are unaffected.
 
 use crate::ilp::{IlpMapper, MapReport};
 use crate::options::MapperOptions;

@@ -73,6 +73,9 @@ pub fn options_fingerprint(o: &MapperOptions) -> u64 {
     h.write_u64(o.certify as u64);
     h.write_opt_i64(o.mem_limit.map(|n| n as i64));
     h.write_u64(o.anneal_fallback as u64);
+    // `build_jobs` is deliberately *not* hashed: the built model is
+    // bit-identical at every job count, so requests differing only in
+    // build parallelism share one cache entry.
     h.finish()
 }
 

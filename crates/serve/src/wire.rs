@@ -321,6 +321,7 @@ pub fn encode_options(o: &MapperOptions) -> Json {
             "mem_limit",
             o.mem_limit.map_or(Json::Null, |n| Json::Int(n as i64)),
         ),
+        ("build_jobs", Json::Int(o.build_jobs as i64)),
         ("anneal_fallback", Json::Bool(o.anneal_fallback)),
     ])
 }
@@ -439,6 +440,21 @@ pub fn decode_options(doc: Option<&Json>) -> Result<MapperOptions, WireError> {
                 WireError::new(ErrorKind::Request, "`mem_limit` must be null or an integer")
             })? as usize),
         };
+    }
+    if let Some(v) = doc.get("build_jobs") {
+        let n = v.as_u64().ok_or_else(|| {
+            WireError::new(
+                ErrorKind::Request,
+                "`build_jobs` must be a non-negative integer",
+            )
+        })?;
+        if n > 64 {
+            return Err(WireError::new(
+                ErrorKind::Request,
+                "`build_jobs` must be <= 64",
+            ));
+        }
+        o.build_jobs = n as usize;
     }
     if let Some(v) = doc.get("anneal_fallback") {
         o.anneal_fallback = req_bool(v, "anneal_fallback")?;
@@ -808,6 +824,11 @@ fn encode_solve_stats(st: &SolveStats) -> Json {
                 ("kept_local", Json::Int(e.kept_local as i64)),
                 ("imported_clauses", Json::Int(e.imported_clauses as i64)),
                 ("exported_clauses", Json::Int(e.exported_clauses as i64)),
+                ("inprocessings", Json::Int(e.inprocessings as i64)),
+                ("vivified_lits", Json::Int(e.vivified_lits as i64)),
+                ("subsumed_clauses", Json::Int(e.subsumed_clauses as i64)),
+                ("strengthened_lits", Json::Int(e.strengthened_lits as i64)),
+                ("gc_runs", Json::Int(e.gc_runs as i64)),
             ]),
         ),
         ("incumbents", Json::Int(st.incumbents as i64)),
@@ -839,6 +860,13 @@ fn decode_solve_stats(doc: &Json) -> Result<SolveStats, WireError> {
         kept_local: get_u64(e, "kept_local")?,
         imported_clauses: get_u64(e, "imported_clauses")?,
         exported_clauses: get_u64(e, "exported_clauses")?,
+        // Inprocessing counters arrived with the arena engine; tolerate
+        // their absence so older peers still decode.
+        inprocessings: get_u64(e, "inprocessings").unwrap_or(0),
+        vivified_lits: get_u64(e, "vivified_lits").unwrap_or(0),
+        subsumed_clauses: get_u64(e, "subsumed_clauses").unwrap_or(0),
+        strengthened_lits: get_u64(e, "strengthened_lits").unwrap_or(0),
+        gc_runs: get_u64(e, "gc_runs").unwrap_or(0),
     };
     Ok(SolveStats {
         engine,

@@ -194,6 +194,7 @@ fn options_roundtrip_every_field() {
         explain_infeasible: true,
         certify: true,
         mem_limit: Some(1 << 20),
+        build_jobs: 4,
         anneal_fallback: true,
     };
     for options in [MapperOptions::default(), full] {
