@@ -2,8 +2,8 @@
 //!
 //! ```text
 //! cgra-serve [--addr HOST:PORT | --stdio] [--workers N] [--queue N]
-//!            [--cache N] [--cache-dir DIR] [--sessions N]
-//!            [--deadline-secs N]
+//!            [--cache N] [--cache-dir DIR] [--cache-read-only]
+//!            [--sessions N] [--deadline-secs N] [--shards N --shard I]
 //! ```
 //!
 //! TCP mode (the default, `127.0.0.1:9115`) prints the bound address on
@@ -27,8 +27,11 @@ usage: cgra-serve [options]
   --queue N           admission queue bound (default 8 * workers)
   --cache N           in-memory result-cache entries (default 256)
   --cache-dir DIR     persist results under DIR (e.g. results/cache)
+  --cache-read-only   share DIR's segment without writing to it (replica mode)
   --sessions N        warm per-architecture sessions kept (default 8)
   --deadline-secs N   server-side per-request time ceiling (default 300, 0 = none)
+  --shards N          fleet shard count (default 1 = unsharded)
+  --shard I           this daemon's shard index in 0..N (owns arch_hash % N == I)
   --help              print this help";
 
 fn fail(message: &str) -> ! {
@@ -52,6 +55,9 @@ fn main() {
     let mut cache_dir: Option<PathBuf> = None;
     let mut sessions = 8usize;
     let mut deadline_secs = 300u64;
+    let mut cache_read_only = false;
+    let mut shards = 1u32;
+    let mut shard_index = 0u32;
 
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
@@ -62,8 +68,11 @@ fn main() {
             "--queue" => queue = Some(parse_value("--queue", args.next())),
             "--cache" => cache = parse_value("--cache", args.next()),
             "--cache-dir" => cache_dir = Some(parse_value("--cache-dir", args.next())),
+            "--cache-read-only" => cache_read_only = true,
             "--sessions" => sessions = parse_value("--sessions", args.next()),
             "--deadline-secs" => deadline_secs = parse_value("--deadline-secs", args.next()),
+            "--shards" => shards = parse_value("--shards", args.next()),
+            "--shard" => shard_index = parse_value("--shard", args.next()),
             "--help" | "-h" => {
                 println!("{USAGE}");
                 return;
@@ -75,22 +84,44 @@ fn main() {
     if workers == 0 {
         workers = cgra_par::default_jobs(2);
     }
+    if shards == 0 {
+        fail("--shards must be >= 1");
+    }
+    if shard_index >= shards {
+        fail(&format!("--shard must be in 0..{shards}"));
+    }
     let config = ServiceConfig {
         workers,
         queue_capacity: queue.unwrap_or(workers.saturating_mul(8).max(8)),
         result_capacity: cache,
         session_capacity: sessions,
         cache_dir,
+        cache_read_only,
         deadline: (deadline_secs > 0).then(|| Duration::from_secs(deadline_secs)),
+        shards,
+        shard_index,
     };
     eprintln!(
-        "cgra-serve: {} workers, queue {}, cache {} entries{}",
+        "cgra-serve: {} workers, queue {}, cache {} entries{}{}",
         config.workers,
         config.queue_capacity,
         config.result_capacity,
         match &config.cache_dir {
-            Some(dir) => format!(" (persistent: {})", dir.display()),
+            Some(dir) => format!(
+                " (persistent: {}{})",
+                dir.display(),
+                if config.cache_read_only {
+                    ", read-only"
+                } else {
+                    ""
+                }
+            ),
             None => String::new(),
+        },
+        if config.shards > 1 {
+            format!(", shard {}/{}", config.shard_index, config.shards)
+        } else {
+            String::new()
         }
     );
     let service = Service::start(config);

@@ -12,14 +12,25 @@
 //! property the differential test pins (N identical requests must all
 //! carry identical reports).
 //!
-//! Eviction is least-recently-used over a bounded entry count, with an
-//! optional write-through/read-back directory (`results/cache/` by
-//! convention) so a restarted daemon starts warm.
+//! Storage is **two-tier**:
+//!
+//! * tier 1 — a bounded in-memory LRU (eviction is least-recently-used
+//!   over an entry count);
+//! * tier 2 — an optional on-disk append-only segment
+//!   ([`crate::segment::SegmentStore`], `<dir>/cache.seg` by
+//!   convention), mmap'd for reads, fsync'd before a record is
+//!   published, corrupt-tolerant at load. Tier-2 hits are promoted back
+//!   into tier 1. A read-only tier 2 lets N daemon processes share one
+//!   warm segment (one writer per shard; see DESIGN.md §13).
+//!
+//! Entries persisted by pre-segment daemons (`<dir>/<key:016x>.json`)
+//! are still readable: a miss on both tiers falls back to the legacy
+//! per-key file and, when found, migrates the entry into the segment.
 
+use crate::segment::{SegmentStats, SegmentStore};
 use cgra_dfg::ContentHasher;
 use cgra_mapper::{MapperOptions, Objective};
 use std::collections::HashMap;
-use std::io::Write;
 use std::path::PathBuf;
 
 /// Computes the content-addressed cache key for a request.
@@ -79,18 +90,53 @@ pub fn options_fingerprint(o: &MapperOptions) -> u64 {
     h.finish()
 }
 
+/// The raw-text fast key: a digest over the *unparsed* request texts.
+/// Identical raw texts imply identical content hashes (the content
+/// hash is a pure function of the parsed graph), so a memo from this
+/// key to [`request_key`] lets the hot path skip graph parsing
+/// entirely. The converse does not hold — differently-formatted texts
+/// of the same graph get distinct raw keys and simply take the slow
+/// (parse + content-hash) path once each.
+pub fn raw_request_key(
+    cmd: &str,
+    dfg_text: &str,
+    arch_text: &str,
+    ii: u32,
+    options: &MapperOptions,
+) -> u64 {
+    let mut h = ContentHasher::new("cgra-serve-raw");
+    h.write_str(cmd);
+    h.write_str(dfg_text);
+    h.write_str(arch_text);
+    h.write_u64(ii as u64);
+    h.write_u64(options_fingerprint(options));
+    h.finish()
+}
+
 struct Entry {
     text: String,
     last_used: u64,
 }
 
+/// Which tier answered a [`ResultCache::get`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CacheTier {
+    /// In-memory LRU.
+    Memory,
+    /// On-disk segment (or a legacy per-key file).
+    Disk,
+}
+
 /// A bounded LRU cache of rendered result texts, keyed by
-/// [`request_key`], with optional disk persistence.
+/// [`request_key`], backed by an optional persistent segment tier.
 pub struct ResultCache {
     entries: HashMap<u64, Entry>,
     capacity: usize,
     tick: u64,
-    disk: Option<PathBuf>,
+    dir: Option<PathBuf>,
+    segment: Option<SegmentStore>,
+    read_only: bool,
+    disk_hits: u64,
 }
 
 impl std::fmt::Debug for ResultCache {
@@ -98,24 +144,48 @@ impl std::fmt::Debug for ResultCache {
         f.debug_struct("ResultCache")
             .field("len", &self.entries.len())
             .field("capacity", &self.capacity)
-            .field("disk", &self.disk)
+            .field("dir", &self.dir)
+            .field("read_only", &self.read_only)
             .finish()
     }
 }
 
 impl ResultCache {
-    /// Creates a cache bounded to `capacity` in-memory entries. With a
-    /// `disk` directory, inserts are written through to
-    /// `<dir>/<key:016x>.json` and in-memory misses fall back to a disk
-    /// read (so a restarted daemon reuses earlier results). The
-    /// directory is created on first write; I/O failures degrade to
-    /// cache misses, never errors.
+    /// Creates a cache bounded to `capacity` in-memory entries, with an
+    /// optional persistent tier under `disk` (segment `<disk>/cache.seg`).
+    /// I/O failures degrade to a memory-only cache, never errors.
     pub fn new(capacity: usize, disk: Option<PathBuf>) -> Self {
+        Self::with_mode(capacity, disk, false)
+    }
+
+    /// Like [`ResultCache::new`]; with `read_only` the segment is
+    /// opened for reading only (inserts skip tier 2, and
+    /// [`ResultCache::get`] refreshes against appends made by the
+    /// owning writer process).
+    pub fn with_mode(capacity: usize, disk: Option<PathBuf>, read_only: bool) -> Self {
+        let segment = disk.as_ref().and_then(|dir| {
+            let path = dir.join("cache.seg");
+            match SegmentStore::open(&path, !read_only) {
+                Ok(seg) => Some(seg),
+                Err(e) => {
+                    if !(read_only && e.kind() == std::io::ErrorKind::NotFound) {
+                        eprintln!(
+                            "cgra-serve: cannot open cache segment {}: {e}; persistence disabled",
+                            path.display()
+                        );
+                    }
+                    None
+                }
+            }
+        });
         ResultCache {
             entries: HashMap::new(),
             capacity: capacity.max(1),
             tick: 0,
-            disk,
+            dir: disk,
+            segment,
+            read_only,
+            disk_hits: 0,
         }
     }
 
@@ -129,40 +199,77 @@ impl ResultCache {
         self.entries.is_empty()
     }
 
-    /// Looks up a stored result text, consulting disk on a memory miss.
-    pub fn get(&mut self, key: u64) -> Option<String> {
+    /// Hits served from the persistent tier since start.
+    pub fn disk_hits(&self) -> u64 {
+        self.disk_hits
+    }
+
+    /// Persistent-tier counters, if a segment is attached.
+    pub fn segment_stats(&self) -> Option<SegmentStats> {
+        self.segment.as_ref().map(SegmentStore::stats)
+    }
+
+    /// Looks up a stored result text, consulting the segment (and the
+    /// legacy per-key files) on a memory miss. Reports which tier hit.
+    pub fn get(&mut self, key: u64) -> Option<(String, CacheTier)> {
         self.tick += 1;
         if let Some(e) = self.entries.get_mut(&key) {
             e.last_used = self.tick;
-            return Some(e.text.clone());
+            return Some((e.text.clone(), CacheTier::Memory));
         }
-        let path = self.disk.as_ref()?.join(format!("{key:016x}.json"));
+        let text = self.disk_get(key)?;
+        self.disk_hits += 1;
+        self.insert_memory(key, text.clone());
+        Some((text, CacheTier::Disk))
+    }
+
+    fn disk_get(&mut self, key: u64) -> Option<String> {
+        if let Some(seg) = &mut self.segment {
+            if let Some(text) = seg.get(key) {
+                return Some(text);
+            }
+            // A read-only sharer may simply not have seen the owning
+            // writer's append yet.
+            if self.read_only && seg.refresh().unwrap_or(0) > 0 {
+                if let Some(text) = seg.get(key) {
+                    return Some(text);
+                }
+            }
+        } else if self.read_only {
+            // The writer may not have created the segment until after
+            // this reader started.
+            if let Some(dir) = &self.dir {
+                let path = dir.join("cache.seg");
+                if let Ok(seg) = SegmentStore::open(&path, false) {
+                    self.segment = Some(seg);
+                    return self.disk_get(key);
+                }
+            }
+        }
+        // Legacy pre-segment layout: one file per key.
+        let path = self.dir.as_ref()?.join(format!("{key:016x}.json"));
         let text = std::fs::read_to_string(path).ok()?;
         // A truncated or hand-edited file must not be replayed as a
         // result; a quick structural check keeps the cache honest.
         if crate::json::Json::parse(&text).is_err() {
             return None;
         }
-        self.insert_memory(key, text.clone());
+        // Migrate into the segment so the next daemon generation warms
+        // without the per-file layout.
+        if let Some(seg) = &mut self.segment {
+            let _ = seg.append(key, &text);
+        }
         Some(text)
     }
 
-    /// Stores a rendered result text (write-through when persistent).
+    /// Stores a rendered result text (written through to the segment —
+    /// fsync before publish — unless the cache is read-only).
     pub fn insert(&mut self, key: u64, text: String) {
-        if let Some(dir) = &self.disk {
-            let path = dir.join(format!("{key:016x}.json"));
-            let write = || -> std::io::Result<()> {
-                std::fs::create_dir_all(dir)?;
-                // Write-then-rename so a crashed daemon never leaves a
-                // half-written file a later `get` could replay.
-                let tmp = dir.join(format!("{key:016x}.json.tmp"));
-                let mut f = std::fs::File::create(&tmp)?;
-                f.write_all(text.as_bytes())?;
-                f.sync_all()?;
-                std::fs::rename(&tmp, &path)
-            };
-            if let Err(e) = write() {
-                eprintln!("cgra-serve: cache write failed for {key:016x}: {e}");
+        if !self.read_only {
+            if let Some(seg) = &mut self.segment {
+                if let Err(e) = seg.append(key, &text) {
+                    eprintln!("cgra-serve: cache segment append failed for {key:016x}: {e}");
+                }
             }
         }
         self.insert_memory(key, text);
@@ -193,7 +300,8 @@ impl ResultCache {
 }
 
 /// A bounded LRU of values keyed by `u64` content hashes — used for the
-/// per-architecture [`Session`](cgra_mapper::Session) pool.
+/// per-architecture [`Session`](cgra_mapper::Session) pool and the
+/// raw-text key memo.
 #[derive(Debug)]
 pub struct LruMap<V> {
     entries: HashMap<u64, (V, u64)>,
@@ -258,6 +366,10 @@ mod tests {
     use super::*;
     use std::time::Duration;
 
+    fn text_of(got: Option<(String, CacheTier)>) -> Option<String> {
+        got.map(|(t, _)| t)
+    }
+
     #[test]
     fn key_separates_every_dimension() {
         let base = MapperOptions::default();
@@ -281,16 +393,45 @@ mod tests {
     }
 
     #[test]
+    fn raw_key_separates_texts_and_options() {
+        let base = MapperOptions::default();
+        let reference = raw_request_key("map", "dfg-a", "arch-a", 1, &base);
+        assert_eq!(
+            reference,
+            raw_request_key("map", "dfg-a", "arch-a", 1, &base)
+        );
+        assert_ne!(
+            reference,
+            raw_request_key("min_ii", "dfg-a", "arch-a", 1, &base)
+        );
+        assert_ne!(
+            reference,
+            raw_request_key("map", "dfg-b", "arch-a", 1, &base)
+        );
+        assert_ne!(
+            reference,
+            raw_request_key("map", "dfg-a", "arch-b", 1, &base)
+        );
+        assert_ne!(
+            reference,
+            raw_request_key("map", "dfg-a", "arch-a", 2, &base)
+        );
+        let mut o = base;
+        o.seed = 3;
+        assert_ne!(reference, raw_request_key("map", "dfg-a", "arch-a", 1, &o));
+    }
+
+    #[test]
     fn lru_evicts_least_recently_used() {
         let mut c = ResultCache::new(2, None);
         c.insert(1, "a".into());
         c.insert(2, "b".into());
-        assert_eq!(c.get(1).as_deref(), Some("a")); // touch 1
+        assert_eq!(text_of(c.get(1)).as_deref(), Some("a")); // touch 1
         c.insert(3, "c".into()); // evicts 2
         assert_eq!(c.len(), 2);
         assert!(c.get(2).is_none());
-        assert_eq!(c.get(1).as_deref(), Some("a"));
-        assert_eq!(c.get(3).as_deref(), Some("c"));
+        assert_eq!(text_of(c.get(1)).as_deref(), Some("a"));
+        assert_eq!(text_of(c.get(3)).as_deref(), Some("c"));
     }
 
     #[test]
@@ -299,12 +440,12 @@ mod tests {
         c.insert(1, "a".into());
         c.insert(2, "b".into());
         c.insert(2, "b2".into());
-        assert_eq!(c.get(1).as_deref(), Some("a"));
-        assert_eq!(c.get(2).as_deref(), Some("b2"));
+        assert_eq!(text_of(c.get(1)).as_deref(), Some("a"));
+        assert_eq!(text_of(c.get(2)).as_deref(), Some("b2"));
     }
 
     #[test]
-    fn disk_persistence_survives_a_new_cache() {
+    fn segment_persistence_survives_a_new_cache() {
         let dir = std::env::temp_dir().join(format!("cgra-serve-test-{}", std::process::id()));
         let _ = std::fs::remove_dir_all(&dir);
         {
@@ -312,10 +453,44 @@ mod tests {
             c.insert(7, "{\"x\":1}".into());
         }
         let mut fresh = ResultCache::new(4, Some(dir.clone()));
-        assert_eq!(fresh.get(7).as_deref(), Some("{\"x\":1}"));
-        // Corrupt entries are ignored, not replayed.
+        assert_eq!(fresh.disk_hits(), 0);
+        let (text, tier) = fresh.get(7).expect("persisted entry survives restart");
+        assert_eq!(text, "{\"x\":1}");
+        assert_eq!(tier, CacheTier::Disk);
+        assert_eq!(fresh.disk_hits(), 1);
+        // Promoted to tier 1: the second read is a memory hit.
+        assert_eq!(fresh.get(7).unwrap().1, CacheTier::Memory);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn legacy_per_key_files_still_load_and_corrupt_ones_do_not() {
+        let dir = std::env::temp_dir().join(format!("cgra-serve-legacy-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        std::fs::write(dir.join(format!("{:016x}.json", 5u64)), "{\"y\":2}").unwrap();
         std::fs::write(dir.join(format!("{:016x}.json", 8u64)), "{oops").unwrap();
-        assert!(fresh.get(8).is_none());
+        let mut c = ResultCache::new(4, Some(dir.clone()));
+        assert_eq!(text_of(c.get(5)).as_deref(), Some("{\"y\":2}"));
+        // Corrupt entries are ignored, not replayed.
+        assert!(c.get(8).is_none());
+        // The legacy entry was migrated into the segment.
+        assert_eq!(c.segment_stats().unwrap().entries, 1);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn read_only_cache_sees_writer_appends() {
+        let dir = std::env::temp_dir().join(format!("cgra-serve-ro-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let mut writer = ResultCache::new(4, Some(dir.clone()));
+        let mut reader = ResultCache::with_mode(4, Some(dir.clone()), true);
+        writer.insert(11, "{\"z\":3}".into());
+        assert_eq!(text_of(reader.get(11)).as_deref(), Some("{\"z\":3}"));
+        // Inserts on the read-only side stay in memory only.
+        reader.insert(12, "{\"w\":4}".into());
+        let mut third = ResultCache::new(4, Some(dir.clone()));
+        assert!(third.get(12).is_none());
         let _ = std::fs::remove_dir_all(&dir);
     }
 

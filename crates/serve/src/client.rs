@@ -47,9 +47,23 @@ impl Client {
 
     /// Sends one raw line and reads one response line.
     pub fn roundtrip_line(&mut self, line: &str) -> std::io::Result<String> {
+        self.send_line(line)?;
+        self.recv_line()
+    }
+
+    /// Sends one raw request line without waiting for the response —
+    /// responses arrive in request order on this connection, so a
+    /// pipelining caller issues N [`Client::send_line`]s and then N
+    /// [`Client::recv_line`]s, keeping the server's queue full instead
+    /// of paying one round-trip of latency per request.
+    pub fn send_line(&mut self, line: &str) -> std::io::Result<()> {
         self.writer.write_all(line.as_bytes())?;
         self.writer.write_all(b"\n")?;
-        self.writer.flush()?;
+        self.writer.flush()
+    }
+
+    /// Reads the next response line (pair of [`Client::send_line`]).
+    pub fn recv_line(&mut self) -> std::io::Result<String> {
         let mut response = String::new();
         let n = self.reader.read_line(&mut response)?;
         if n == 0 {
@@ -59,6 +73,15 @@ impl Client {
             ));
         }
         Ok(response.trim_end().to_owned())
+    }
+
+    /// Reads and decodes the next response (pipelining counterpart of
+    /// [`Client::request`]).
+    pub fn recv_response(&mut self) -> Result<OkResponse, WireError> {
+        let line = self
+            .recv_line()
+            .map_err(|e| WireError::new(ErrorKind::Internal, e.to_string()))?;
+        decode_response(&line)
     }
 
     /// Sends a request document and decodes the response: `Ok` carries
@@ -169,6 +192,7 @@ pub fn decode_response(line: &str) -> Result<OkResponse, WireError> {
                 Some("dfg") => ErrorKind::Dfg,
                 Some("arch") => ErrorKind::Arch,
                 Some("overloaded") => ErrorKind::Overloaded,
+                Some("wrong_shard") => ErrorKind::WrongShard,
                 Some("shutting_down") => ErrorKind::ShuttingDown,
                 _ => ErrorKind::Internal,
             };

@@ -59,6 +59,8 @@
 pub mod cache;
 pub mod client;
 pub mod json;
+pub mod reactor;
+pub mod segment;
 pub mod server;
 pub mod service;
 pub mod wire;

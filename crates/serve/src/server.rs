@@ -1,10 +1,16 @@
 //! Transport front-ends: newline-delimited JSON over TCP or stdio.
 //!
-//! Both are thin shuttles around [`Service::handle`] — the TCP listener
-//! accepts with a non-blocking poll so it can notice shutdown, and each
-//! connection gets its own thread (per-connection requests are served
-//! in order; concurrency comes from concurrent connections, bounded
-//! downstream by the service's worker pool and admission queue).
+//! On unix the TCP front-end is the event-driven reactor in
+//! [`crate::reactor`]: one thread multiplexes every connection through
+//! OS readiness polling, with no sleep loops anywhere on the path. On
+//! platforms without readiness polling (and as a runtime fallback if
+//! the poller cannot be created) each connection gets its own thread —
+//! the original transport, kept because it needs nothing from the OS
+//! beyond blocking sockets.
+//!
+//! Both are thin shuttles: the reactor dispatches through
+//! [`Service::handle_async`], the threaded paths through the blocking
+//! [`Service::handle`].
 
 use crate::service::Service;
 use std::io::{BufRead, BufReader, Write};
@@ -12,13 +18,10 @@ use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::Arc;
 use std::time::Duration;
 
-/// How often the accept loop re-checks the shutdown flag.
-const ACCEPT_POLL: Duration = Duration::from_millis(10);
-
 /// Binds `addr` and serves until [`Service::initiate_shutdown`] fires.
-/// Returns the bound address (useful with port 0) and the accept-loop
+/// Returns the bound address (useful with port 0) and the transport
 /// thread handle; joining it guarantees no further connections are
-/// accepted.
+/// accepted and every accepted connection has drained.
 pub fn spawn_tcp(
     service: Arc<Service>,
     addr: &str,
@@ -27,12 +30,27 @@ pub fn spawn_tcp(
     let local = listener.local_addr()?;
     listener.set_nonblocking(true)?;
     let handle = std::thread::Builder::new()
-        .name("cgra-serve-accept".to_owned())
-        .spawn(move || accept_loop(&service, &listener))?;
+        .name("cgra-serve-reactor".to_owned())
+        .spawn(move || serve_transport(service, listener))?;
     Ok((local, handle))
 }
 
-fn accept_loop(service: &Arc<Service>, listener: &TcpListener) {
+#[cfg(unix)]
+fn serve_transport(service: Arc<Service>, listener: TcpListener) {
+    crate::reactor::serve(service, listener);
+}
+
+#[cfg(not(unix))]
+fn serve_transport(service: Arc<Service>, listener: TcpListener) {
+    accept_loop(&service, &listener);
+}
+
+/// How often the threaded accept loop re-checks the shutdown flag.
+const ACCEPT_POLL: Duration = Duration::from_millis(10);
+
+/// The thread-per-connection fallback transport (non-unix platforms,
+/// or a unix where creating the poller failed at runtime).
+pub(crate) fn accept_loop(service: &Arc<Service>, listener: &TcpListener) {
     let mut connections: Vec<std::thread::JoinHandle<()>> = Vec::new();
     while !service.is_shutting_down() {
         match listener.accept() {
@@ -62,8 +80,9 @@ fn accept_loop(service: &Arc<Service>, listener: &TcpListener) {
     }
 }
 
-/// How long a connection read blocks before re-checking for shutdown.
-/// Bounds how long a dormant client can delay the daemon's exit.
+/// How long a fallback connection read blocks before re-checking for
+/// shutdown. Bounds how long a dormant client can delay the daemon's
+/// exit.
 const READ_POLL: Duration = Duration::from_millis(100);
 
 fn serve_connection(service: &Arc<Service>, stream: TcpStream) {

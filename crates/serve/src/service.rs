@@ -1,25 +1,39 @@
-//! The service core: a bounded worker pool over shared caches.
+//! The service core: coalesced admission over a bounded worker pool.
 //!
-//! Transport-independent — [`Service::handle`] maps one request line to
-//! one response line, and the TCP/stdio front-ends in
-//! [`server`](crate::server) just shuttle lines. Concurrency model:
+//! Transport-independent — the reactor front-end calls
+//! [`Service::handle_async`] with a completion callback, and the stdio
+//! front-end (plus every test) uses the blocking [`Service::handle`]
+//! wrapper. Concurrency model:
 //!
-//! * connection threads call `handle`, which parses, enqueues, and
-//!   blocks on a per-request channel;
+//! * submission runs on the *calling* thread: the raw request text is
+//!   fingerprinted ([`crate::cache::raw_request_key`]) and looked up in
+//!   a memo of previously-validated requests, so a repeated request is
+//!   answered straight from the result cache without re-parsing either
+//!   graph — the warm hot path does no graph work at all;
+//! * **coalescing**: a miss whose content key already has a solve in
+//!   flight *attaches* to it instead of enqueueing — K identical
+//!   concurrent cold requests cost exactly one solve, and attachees
+//!   consume no queue slots (a coalesced storm cannot trip admission
+//!   control). Every waiter gets the same rendered `result` bytes,
+//!   wrapped in its own response envelope with `coalesced: true` for
+//!   the attachees;
 //! * a fixed pool of worker threads drains the queue and solves;
-//! * admission control is a hard queue bound — a full queue rejects
-//!   immediately with a typed `overloaded` error rather than building
-//!   unbounded backlog;
+//!   admission control is a hard bound on *distinct* queued solves — a
+//!   full queue rejects leaders immediately with a typed `overloaded`
+//!   error rather than building unbounded backlog;
 //! * graceful shutdown flips a flag, fails queued-but-unstarted work
-//!   with `shutting_down`, and fires the cooperative-cancellation flag
-//!   of every in-flight solve so workers come back promptly with a
-//!   clean timeout report instead of being killed mid-solve.
+//!   with `shutting_down`, fires the cooperative-cancellation flag of
+//!   every in-flight solve, and runs registered
+//!   [`Service::on_shutdown`] hooks (the reactor uses one to wake its
+//!   poller).
 //!
-//! Results are cached content-addressed (see [`crate::cache`]); MRRGs
-//! stay warm in per-architecture [`Session`]s so repeated work against
-//! the same fabric skips graph construction.
+//! Results are cached content-addressed in two tiers (see
+//! [`crate::cache`]); MRRGs stay warm in per-architecture [`Session`]s.
+//! With `shards > 1` the daemon owns the key range
+//! `arch_hash % shards == shard_index` and answers anything else with a
+//! typed `wrong_shard` error so a fleet router can re-aim the request.
 
-use crate::cache::{request_key, LruMap, ResultCache};
+use crate::cache::{raw_request_key, request_key, LruMap, ResultCache};
 use crate::json::{obj, Json};
 use crate::wire::{
     self, encode_map_report, encode_min_ii_report, ErrorKind, Request, RequestBody, Served,
@@ -33,23 +47,38 @@ use std::sync::mpsc;
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
 
+/// Completion callback for one request: receives the full response line
+/// (without a trailing newline). Called exactly once, possibly from a
+/// worker thread.
+pub type Responder = Box<dyn FnOnce(String) + Send>;
+
 /// Tuning knobs for a [`Service`].
 #[derive(Debug, Clone)]
 pub struct ServiceConfig {
     /// Solver worker threads (the pool's parallelism).
     pub workers: usize,
-    /// Admission bound: requests queued beyond in-flight capacity before
-    /// new work is rejected with `overloaded`.
+    /// Admission bound: distinct solves queued beyond in-flight capacity
+    /// before new leaders are rejected with `overloaded` (coalesced
+    /// attachees are always admitted).
     pub queue_capacity: usize,
     /// In-memory result-cache entries.
     pub result_capacity: usize,
     /// Warm sessions kept (one per distinct architecture).
     pub session_capacity: usize,
-    /// Optional persistent cache directory (write-through + read-back).
+    /// Optional persistent cache directory (segment write-through +
+    /// read-back; see [`crate::segment`]).
     pub cache_dir: Option<PathBuf>,
+    /// Open the persistent tier read-only: serve hits from a segment
+    /// another daemon owns, never write to it.
+    pub cache_read_only: bool,
     /// Server-side ceiling applied to every request's `time_limit` (a
     /// request may ask for less, never more). `None` = no ceiling.
     pub deadline: Option<Duration>,
+    /// Fleet shard count (1 = unsharded).
+    pub shards: u32,
+    /// This daemon's shard index in `0..shards`: it owns architectures
+    /// with `content_hash % shards == shard_index`.
+    pub shard_index: u32,
 }
 
 impl Default for ServiceConfig {
@@ -60,30 +89,73 @@ impl Default for ServiceConfig {
             result_capacity: 256,
             session_capacity: 8,
             cache_dir: None,
+            cache_read_only: false,
             deadline: Some(Duration::from_secs(300)),
+            shards: 1,
+            shard_index: 0,
         }
     }
 }
 
-struct Job {
-    request: Request,
-    enqueued: Instant,
-    tx: mpsc::Sender<String>,
+/// One party waiting on a solve: the leader that enqueued it plus any
+/// requests that coalesced onto it.
+struct Waiter {
+    id: String,
+    arrival: Instant,
+    coalesced: bool,
+    respond: Responder,
+}
+
+/// A fully-validated solve owned by the worker pool. Parsing and
+/// session lookup happened at submission, so workers only solve.
+struct Solve {
+    key: u64,
+    cmd: &'static str,
+    dfg: cgra_dfg::Dfg,
+    ii: u32,
+    options: MapperOptions,
+    session: Arc<Session>,
+    mrrg_warm: bool,
+}
+
+/// Front-end health counters, shared with the TCP reactor (all zeros
+/// when the service only serves stdio). Exposed through `stats`.
+#[derive(Debug, Default)]
+pub struct ReactorStats {
+    /// Connections currently open.
+    pub connections_open: AtomicU64,
+    /// Connections accepted since start.
+    pub connections_accepted: AtomicU64,
+    /// Request frames reassembled from the byte stream.
+    pub frames: AtomicU64,
+    /// Times a connection's write buffer crossed the high watermark and
+    /// paused read interest (backpressure engaged).
+    pub backpressure_events: AtomicU64,
 }
 
 struct Inner {
     config: ServiceConfig,
-    queue: Mutex<VecDeque<Job>>,
+    queue: Mutex<VecDeque<Solve>>,
     available: Condvar,
     shutdown: AtomicBool,
+    /// key -> waiters of the one in-flight (queued or solving) solve for
+    /// that key. Lock order: `pending` before `queue`.
+    pending: Mutex<HashMap<u64, Vec<Waiter>>>,
     in_flight: Mutex<HashMap<u64, Arc<AtomicBool>>>,
     next_job: AtomicU64,
     sessions: Mutex<LruMap<Arc<Session>>>,
     results: Mutex<ResultCache>,
+    /// raw-text fingerprint -> content key, populated only after a full
+    /// parse + shard validation — a memo hit is pre-validated.
+    memo: Mutex<LruMap<u64>>,
+    hooks: Mutex<Vec<Box<dyn Fn() + Send>>>,
+    reactor: Arc<ReactorStats>,
     requests: AtomicU64,
     cache_hits: AtomicU64,
     cache_misses: AtomicU64,
     rejected: AtomicU64,
+    coalesced: AtomicU64,
+    solves: AtomicU64,
 }
 
 /// The mapping service: shared state plus its worker pool.
@@ -106,21 +178,28 @@ impl Service {
     pub fn start(config: ServiceConfig) -> Arc<Service> {
         let workers = config.workers.max(1);
         let inner = Arc::new(Inner {
-            results: Mutex::new(ResultCache::new(
+            results: Mutex::new(ResultCache::with_mode(
                 config.result_capacity,
                 config.cache_dir.clone(),
+                config.cache_read_only,
             )),
             sessions: Mutex::new(LruMap::new(config.session_capacity)),
+            memo: Mutex::new(LruMap::new(config.result_capacity.max(64))),
             config,
             queue: Mutex::new(VecDeque::new()),
             available: Condvar::new(),
             shutdown: AtomicBool::new(false),
+            pending: Mutex::new(HashMap::new()),
             in_flight: Mutex::new(HashMap::new()),
             next_job: AtomicU64::new(0),
+            hooks: Mutex::new(Vec::new()),
+            reactor: Arc::new(ReactorStats::default()),
             requests: AtomicU64::new(0),
             cache_hits: AtomicU64::new(0),
             cache_misses: AtomicU64::new(0),
             rejected: AtomicU64::new(0),
+            coalesced: AtomicU64::new(0),
+            solves: AtomicU64::new(0),
         });
         let handles = (0..workers)
             .map(|i| {
@@ -142,9 +221,43 @@ impl Service {
         self.inner.shutdown.load(Ordering::SeqCst)
     }
 
-    /// Handles one request line, returning the response line (without a
-    /// trailing newline). Never panics on malformed input.
+    /// The front-end health counters (shared with the TCP reactor).
+    pub fn reactor_stats(&self) -> Arc<ReactorStats> {
+        Arc::clone(&self.inner.reactor)
+    }
+
+    /// Registers a hook run once when graceful shutdown is initiated
+    /// (after queued work is failed and in-flight solves are
+    /// cancelled). The reactor registers its poller waker here so a
+    /// `shutdown` arriving on connection A also stops the event loop.
+    pub fn on_shutdown(&self, hook: impl Fn() + Send + 'static) {
+        lock(&self.inner.hooks).push(Box::new(hook));
+    }
+
+    /// Handles one request line, blocking until the response line is
+    /// ready (no trailing newline). Never panics on malformed input.
     pub fn handle(&self, line: &str) -> String {
+        let (tx, rx) = mpsc::channel();
+        self.handle_async(
+            line,
+            Box::new(move |response| {
+                let _ = tx.send(response);
+            }),
+        );
+        rx.recv().unwrap_or_else(|_| {
+            wire::error_response(
+                None,
+                &WireError::new(ErrorKind::Internal, "service dropped the request"),
+            )
+        })
+    }
+
+    /// Handles one request line, delivering the response line through
+    /// `respond` — immediately on the calling thread for parse errors,
+    /// `stats`, `shutdown`, cache hits and rejections; from a worker
+    /// thread once the solve finishes otherwise. `respond` is called
+    /// exactly once.
+    pub fn handle_async(&self, line: &str, respond: Responder) {
         let request = match wire::parse_request(line) {
             Ok(r) => r,
             Err(e) => {
@@ -153,74 +266,48 @@ impl Service {
                 let id = Json::parse(line)
                     .ok()
                     .and_then(|d| d.get("id").and_then(Json::as_str).map(str::to_owned));
-                return wire::error_response(id.as_deref(), &e);
+                respond(wire::error_response(id.as_deref(), &e));
+                return;
             }
         };
-        match &request.body {
+        match request.body {
             RequestBody::Stats => {
                 let text = self.stats_json().to_string();
-                wire::ok_response(&request.id, &text, None)
+                respond(wire::ok_response(&request.id, &text, None));
             }
             RequestBody::Shutdown => {
                 self.initiate_shutdown();
-                wire::ok_response(&request.id, "{\"shutting_down\":true}", None)
+                respond(wire::ok_response(
+                    &request.id,
+                    "{\"shutting_down\":true}",
+                    None,
+                ));
             }
-            RequestBody::Map { .. } | RequestBody::MinIi { .. } => self.submit(request),
+            RequestBody::Map { .. } | RequestBody::MinIi { .. } => {
+                submit(&self.inner, request, respond);
+            }
         }
-    }
-
-    /// Enqueues a solve request and waits for its response.
-    fn submit(&self, request: Request) -> String {
-        let id = request.id.clone();
-        let (tx, rx) = mpsc::channel();
-        {
-            let mut queue = lock(&self.inner.queue);
-            if self.is_shutting_down() {
-                return wire::error_response(
-                    Some(&id),
-                    &WireError::new(ErrorKind::ShuttingDown, "service is shutting down"),
-                );
-            }
-            if queue.len() >= self.inner.config.queue_capacity {
-                self.inner.rejected.fetch_add(1, Ordering::Relaxed);
-                return wire::error_response(
-                    Some(&id),
-                    &WireError::new(
-                        ErrorKind::Overloaded,
-                        format!(
-                            "queue full ({} pending); retry later",
-                            self.inner.config.queue_capacity
-                        ),
-                    ),
-                );
-            }
-            queue.push_back(Job {
-                request,
-                enqueued: Instant::now(),
-                tx,
-            });
-        }
-        self.inner.available.notify_one();
-        rx.recv().unwrap_or_else(|_| {
-            wire::error_response(
-                Some(&id),
-                &WireError::new(ErrorKind::Internal, "worker dropped the request"),
-            )
-        })
     }
 
     /// Initiates graceful shutdown: queued-but-unstarted requests are
     /// failed with `shutting_down`, in-flight solves are cooperatively
-    /// cancelled (they respond with a clean timeout report), and workers
-    /// exit once drained. Idempotent.
+    /// cancelled (they respond with a clean timeout report), workers
+    /// exit once drained, and shutdown hooks run. Idempotent.
     pub fn initiate_shutdown(&self) {
         if self.inner.shutdown.swap(true, Ordering::SeqCst) {
             return;
         }
-        let drained: Vec<Job> = lock(&self.inner.queue).drain(..).collect();
-        for job in drained {
-            let _ = job.tx.send(wire::error_response(
-                Some(&job.request.id),
+        let mut orphans: Vec<Waiter> = Vec::new();
+        {
+            let mut pending = lock(&self.inner.pending);
+            let mut queue = lock(&self.inner.queue);
+            for solve in queue.drain(..) {
+                orphans.extend(pending.remove(&solve.key).unwrap_or_default());
+            }
+        }
+        for w in orphans {
+            (w.respond)(wire::error_response(
+                Some(&w.id),
                 &WireError::new(ErrorKind::ShuttingDown, "service is shutting down"),
             ));
         }
@@ -228,6 +315,9 @@ impl Service {
             flag.store(true, Ordering::SeqCst);
         }
         self.inner.available.notify_all();
+        for hook in lock(&self.inner.hooks).iter() {
+            hook();
+        }
     }
 
     /// Blocks until every worker has exited. Call after
@@ -253,27 +343,25 @@ impl Service {
             }
             (builds, hits, sessions.len())
         };
+        let (result_entries, disk_hits, segment_entries) = {
+            let results = lock(&self.inner.results);
+            (
+                results.len(),
+                results.disk_hits(),
+                results.segment_stats().map_or(0, |s| s.entries),
+            )
+        };
+        let counter = |c: &AtomicU64| Json::Int(c.load(Ordering::Relaxed) as i64);
         obj(vec![
-            (
-                "requests",
-                Json::Int(self.inner.requests.load(Ordering::Relaxed) as i64),
-            ),
-            (
-                "cache_hits",
-                Json::Int(self.inner.cache_hits.load(Ordering::Relaxed) as i64),
-            ),
-            (
-                "cache_misses",
-                Json::Int(self.inner.cache_misses.load(Ordering::Relaxed) as i64),
-            ),
-            (
-                "rejected",
-                Json::Int(self.inner.rejected.load(Ordering::Relaxed) as i64),
-            ),
-            (
-                "result_entries",
-                Json::Int(lock(&self.inner.results).len() as i64),
-            ),
+            ("requests", counter(&self.inner.requests)),
+            ("cache_hits", counter(&self.inner.cache_hits)),
+            ("cache_misses", counter(&self.inner.cache_misses)),
+            ("cache_disk_hits", Json::Int(disk_hits as i64)),
+            ("segment_entries", Json::Int(segment_entries as i64)),
+            ("rejected", counter(&self.inner.rejected)),
+            ("coalesced", counter(&self.inner.coalesced)),
+            ("solves", counter(&self.inner.solves)),
+            ("result_entries", Json::Int(result_entries as i64)),
             ("sessions", Json::Int(sessions as i64)),
             ("mrrg_builds", Json::Int(mrrg_builds as i64)),
             ("mrrg_hits", Json::Int(mrrg_hits as i64)),
@@ -286,6 +374,25 @@ impl Service {
                 "in_flight",
                 Json::Int(lock(&self.inner.in_flight).len() as i64),
             ),
+            (
+                "pending_keys",
+                Json::Int(lock(&self.inner.pending).len() as i64),
+            ),
+            ("shards", Json::Int(self.inner.config.shards.max(1) as i64)),
+            ("shard", Json::Int(self.inner.config.shard_index as i64)),
+            (
+                "connections_open",
+                counter(&self.inner.reactor.connections_open),
+            ),
+            (
+                "connections_accepted",
+                counter(&self.inner.reactor.connections_accepted),
+            ),
+            ("frames", counter(&self.inner.reactor.frames)),
+            (
+                "backpressure_events",
+                counter(&self.inner.reactor.backpressure_events),
+            ),
             ("shutting_down", Json::Bool(self.is_shutting_down())),
         ])
     }
@@ -297,13 +404,212 @@ fn lock<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
     m.lock().unwrap_or_else(|e| e.into_inner())
 }
 
+/// Tries to answer from the result cache, else to attach to an
+/// in-flight solve for `key`. Returns the responder untouched when
+/// neither applies (the caller continues toward becoming a leader).
+fn try_fast_path(inner: &Inner, key: u64, id: &str, respond: Responder) -> Option<Responder> {
+    let lookup = Instant::now();
+    let hit = lock(&inner.results).get(key);
+    if let Some((text, _tier)) = hit {
+        inner.cache_hits.fetch_add(1, Ordering::Relaxed);
+        let served = Served {
+            cache_hit: true,
+            mrrg_warm: false,
+            coalesced: false,
+            wait: Duration::ZERO,
+            solve: lookup.elapsed(),
+        };
+        respond(wire::ok_response(id, &text, Some(&served)));
+        return None;
+    }
+    let mut pending = lock(&inner.pending);
+    if let Some(waiters) = pending.get_mut(&key) {
+        inner.coalesced.fetch_add(1, Ordering::Relaxed);
+        waiters.push(Waiter {
+            id: id.to_owned(),
+            arrival: Instant::now(),
+            coalesced: true,
+            respond,
+        });
+        return None;
+    }
+    Some(respond)
+}
+
+/// Submission: runs on the calling thread (reactor or stdio). Parses at
+/// most once per distinct raw request text, answers cache hits inline,
+/// coalesces onto in-flight solves, and enqueues a leader otherwise.
+fn submit(inner: &Arc<Inner>, request: Request, respond: Responder) {
+    inner.requests.fetch_add(1, Ordering::Relaxed);
+    let id = request.id;
+    if inner.shutdown.load(Ordering::SeqCst) {
+        respond(wire::error_response(
+            Some(&id),
+            &WireError::new(ErrorKind::ShuttingDown, "service is shutting down"),
+        ));
+        return;
+    }
+    let (cmd, dfg_text, arch_text, ii, mut options): (&'static str, _, _, _, _) = match request.body
+    {
+        RequestBody::Map {
+            dfg,
+            arch,
+            ii,
+            options,
+        } => ("map", dfg, arch, ii, options),
+        RequestBody::MinIi {
+            dfg,
+            arch,
+            max_ii,
+            options,
+        } => ("min_ii", dfg, arch, max_ii, options),
+        _ => unreachable!("stats/shutdown are handled inline"),
+    };
+
+    // Server-side deadline: a request may ask for less time, never
+    // more. Applied before any fingerprinting so the ceiled options are
+    // what every cache key sees.
+    if let Some(ceiling) = inner.config.deadline {
+        options.time_limit = Some(options.time_limit.map_or(ceiling, |t| t.min(ceiling)));
+    }
+
+    // Hot path: a previously-validated raw text skips parsing entirely.
+    let raw = raw_request_key(cmd, &dfg_text, &arch_text, ii, &options);
+    let memo_key = lock(&inner.memo).get(raw);
+    let mut respond = respond;
+    if let Some(key) = memo_key {
+        respond = match try_fast_path(inner, key, &id, respond) {
+            Some(r) => r,
+            None => return,
+        };
+    }
+
+    let dfg = match cgra_dfg::text::parse(&dfg_text) {
+        Ok(d) => d,
+        Err(e) => {
+            respond(wire::error_response(
+                Some(&id),
+                &WireError::new(ErrorKind::Dfg, e.to_string()),
+            ));
+            return;
+        }
+    };
+    let arch = match cgra_arch::text::parse(&arch_text) {
+        Ok(a) => a,
+        Err(e) => {
+            respond(wire::error_response(
+                Some(&id),
+                &WireError::new(ErrorKind::Arch, e.to_string()),
+            ));
+            return;
+        }
+    };
+    let dfg_hash = dfg.content_hash();
+    let arch_hash = arch.content_hash();
+
+    let shards = inner.config.shards.max(1) as u64;
+    let owned = arch_hash % shards;
+    if owned != inner.config.shard_index as u64 {
+        respond(wire::error_response(
+            Some(&id),
+            &WireError::new(
+                ErrorKind::WrongShard,
+                format!(
+                    "architecture belongs to shard {owned} of {shards}, this daemon is shard {}",
+                    inner.config.shard_index
+                ),
+            ),
+        ));
+        return;
+    }
+
+    let key = request_key(cmd, dfg_hash, arch_hash, ii, &options);
+    // Only a validated, correctly-sharded request earns a memo entry.
+    lock(&inner.memo).insert(raw, key);
+    if memo_key != Some(key) {
+        // The memo did not cover this text: the cache/attach check has
+        // not happened yet for this request.
+        respond = match try_fast_path(inner, key, &id, respond) {
+            Some(r) => r,
+            None => return,
+        };
+    }
+
+    let session = {
+        let mut sessions = lock(&inner.sessions);
+        match sessions.get(arch_hash) {
+            Some(s) => s,
+            None => {
+                let s = Arc::new(Session::new(arch, MapperOptions::default()));
+                sessions.insert(arch_hash, Arc::clone(&s));
+                s
+            }
+        }
+    };
+    let mrrg_warm = session.is_warm(if cmd == "map" { ii } else { 1 });
+
+    let waiter = Waiter {
+        id,
+        arrival: Instant::now(),
+        coalesced: false,
+        respond,
+    };
+    {
+        let mut pending = lock(&inner.pending);
+        // Another leader may have appeared since the fast-path check.
+        if let Some(waiters) = pending.get_mut(&key) {
+            inner.coalesced.fetch_add(1, Ordering::Relaxed);
+            waiters.push(waiter);
+            return;
+        }
+        let mut queue = lock(&inner.queue);
+        if inner.shutdown.load(Ordering::SeqCst) {
+            drop(queue);
+            drop(pending);
+            (waiter.respond)(wire::error_response(
+                Some(&waiter.id),
+                &WireError::new(ErrorKind::ShuttingDown, "service is shutting down"),
+            ));
+            return;
+        }
+        if queue.len() >= inner.config.queue_capacity {
+            inner.rejected.fetch_add(1, Ordering::Relaxed);
+            drop(queue);
+            drop(pending);
+            (waiter.respond)(wire::error_response(
+                Some(&waiter.id),
+                &WireError::new(
+                    ErrorKind::Overloaded,
+                    format!(
+                        "queue full ({} pending); retry later",
+                        inner.config.queue_capacity
+                    ),
+                ),
+            ));
+            return;
+        }
+        inner.cache_misses.fetch_add(1, Ordering::Relaxed);
+        pending.insert(key, vec![waiter]);
+        queue.push_back(Solve {
+            key,
+            cmd,
+            dfg,
+            ii,
+            options,
+            session,
+            mrrg_warm,
+        });
+    }
+    inner.available.notify_one();
+}
+
 fn worker_loop(inner: &Arc<Inner>) {
     loop {
-        let job = {
+        let solve = {
             let mut queue = lock(&inner.queue);
             loop {
-                if let Some(job) = queue.pop_front() {
-                    break job;
+                if let Some(solve) = queue.pop_front() {
+                    break solve;
                 }
                 if inner.shutdown.load(Ordering::SeqCst) {
                     return;
@@ -314,22 +620,24 @@ fn worker_loop(inner: &Arc<Inner>) {
                     .unwrap_or_else(|e| e.into_inner());
             }
         };
-        let id = job.request.id.clone();
-        let tx = job.tx.clone();
-        // Fault isolation: a panicking solve answers `internal` and the
-        // worker lives on to serve the next request.
+        let key = solve.key;
+        // Fault isolation: a panicking solve answers `internal` to every
+        // waiter and the worker lives on to serve the next request.
         let outcome =
-            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| execute(inner, job)));
+            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| execute(inner, solve)));
         if let Err(panic) = outcome {
             let detail = panic
                 .downcast_ref::<&str>()
                 .map(|s| s.to_string())
                 .or_else(|| panic.downcast_ref::<String>().cloned())
                 .unwrap_or_else(|| "worker panicked".to_owned());
-            let _ = tx.send(wire::error_response(
-                Some(&id),
-                &WireError::new(ErrorKind::Internal, detail),
-            ));
+            let waiters = lock(&inner.pending).remove(&key).unwrap_or_default();
+            for w in waiters {
+                (w.respond)(wire::error_response(
+                    Some(&w.id),
+                    &WireError::new(ErrorKind::Internal, detail.clone()),
+                ));
+            }
         }
     }
 }
@@ -346,79 +654,7 @@ impl Drop for InFlightGuard<'_> {
     }
 }
 
-fn execute(inner: &Arc<Inner>, job: Job) {
-    let wait = job.enqueued.elapsed();
-    let id = job.request.id;
-    let response = match run(inner, &job.request.body, wait) {
-        Ok((result, served)) => wire::ok_response(&id, &result, Some(&served)),
-        Err(e) => wire::error_response(Some(&id), &e),
-    };
-    let _ = job.tx.send(response);
-}
-
-fn run(
-    inner: &Arc<Inner>,
-    body: &RequestBody,
-    wait: Duration,
-) -> Result<(String, Served), WireError> {
-    inner.requests.fetch_add(1, Ordering::Relaxed);
-    let (cmd, dfg_text, arch_text, ii, mut options) = match body {
-        RequestBody::Map {
-            dfg,
-            arch,
-            ii,
-            options,
-        } => ("map", dfg, arch, *ii, *options),
-        RequestBody::MinIi {
-            dfg,
-            arch,
-            max_ii,
-            options,
-        } => ("min_ii", dfg, arch, *max_ii, *options),
-        _ => unreachable!("stats/shutdown are handled inline"),
-    };
-    let dfg = cgra_dfg::text::parse(dfg_text)
-        .map_err(|e| WireError::new(ErrorKind::Dfg, e.to_string()))?;
-    let arch = cgra_arch::text::parse(arch_text)
-        .map_err(|e| WireError::new(ErrorKind::Arch, e.to_string()))?;
-
-    // Server-side deadline: a request may ask for less time, never more.
-    if let Some(ceiling) = inner.config.deadline {
-        options.time_limit = Some(options.time_limit.map_or(ceiling, |t| t.min(ceiling)));
-    }
-
-    let dfg_hash = dfg.content_hash();
-    let arch_hash = arch.content_hash();
-    let key = request_key(cmd, dfg_hash, arch_hash, ii, &options);
-
-    let lookup_start = Instant::now();
-    if let Some(text) = lock(&inner.results).get(key) {
-        inner.cache_hits.fetch_add(1, Ordering::Relaxed);
-        return Ok((
-            text,
-            Served {
-                cache_hit: true,
-                mrrg_warm: false,
-                wait,
-                solve: lookup_start.elapsed(),
-            },
-        ));
-    }
-    inner.cache_misses.fetch_add(1, Ordering::Relaxed);
-
-    let session = {
-        let mut sessions = lock(&inner.sessions);
-        match sessions.get(arch_hash) {
-            Some(s) => s,
-            None => {
-                let s = Arc::new(Session::new(arch, MapperOptions::default()));
-                sessions.insert(arch_hash, Arc::clone(&s));
-                s
-            }
-        }
-    };
-    let mrrg_warm = session.is_warm(if cmd == "map" { ii } else { 1 });
-
+fn execute(inner: &Arc<Inner>, solve: Solve) {
     // Register the cancellation flag so graceful shutdown reaches this
     // solve; the guard unregisters even on panic.
     let interrupt = Arc::new(AtomicBool::new(false));
@@ -429,32 +665,49 @@ fn run(
         interrupt.store(true, Ordering::SeqCst);
     }
 
-    let solve_start = Instant::now();
-    let result = match cmd {
+    let solve_started = Instant::now();
+    let result = match solve.cmd {
         "map" => {
-            let report = session.map_with(&dfg, ii, options, Some(Arc::clone(&interrupt)));
-            encode_map_report(&dfg, &session.mrrg(ii), &report)
+            let report = solve.session.map_with(
+                &solve.dfg,
+                solve.ii,
+                solve.options,
+                Some(Arc::clone(&interrupt)),
+            );
+            encode_map_report(&solve.dfg, &solve.session.mrrg(solve.ii), &report)
         }
         _ => {
-            let report = session.min_ii_with(&dfg, ii, options, Some(Arc::clone(&interrupt)));
-            encode_min_ii_report(&dfg, &report, |ii| session.mrrg(ii))
+            let report = solve.session.min_ii_with(
+                &solve.dfg,
+                solve.ii,
+                solve.options,
+                Some(Arc::clone(&interrupt)),
+            );
+            encode_min_ii_report(&solve.dfg, &report, |ii| solve.session.mrrg(ii))
         }
     };
-    let solve = solve_start.elapsed();
+    let solve_time = solve_started.elapsed();
     let text = result.to_string();
+    inner.solves.fetch_add(1, Ordering::Relaxed);
 
     // A cancelled solve's timeout says "the service was told to stop",
     // not "this instance needs this long" — never cache it.
     if !interrupt.load(Ordering::SeqCst) {
-        lock(&inner.results).insert(key, text.clone());
+        lock(&inner.results).insert(solve.key, text.clone());
     }
-    Ok((
-        text,
-        Served {
+
+    // Fan out: every waiter gets the same result bytes in its own
+    // envelope. Taking the pending entry ends the coalescing window —
+    // later identical requests hit the cache instead.
+    let waiters = lock(&inner.pending).remove(&solve.key).unwrap_or_default();
+    for w in waiters {
+        let served = Served {
             cache_hit: false,
-            mrrg_warm,
-            wait,
-            solve,
-        },
-    ))
+            mrrg_warm: solve.mrrg_warm,
+            coalesced: w.coalesced,
+            wait: solve_started.saturating_duration_since(w.arrival),
+            solve: solve_time,
+        };
+        (w.respond)(wire::ok_response(&w.id, &text, Some(&served)));
+    }
 }

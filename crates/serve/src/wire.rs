@@ -53,6 +53,10 @@ pub enum ErrorKind {
     Arch,
     /// Admission control: the work queue is full. Retry later.
     Overloaded,
+    /// Sharded fleets: the requested architecture belongs to a
+    /// different daemon (`arch_hash % shards != shard_index`). The
+    /// client should re-aim at the owning shard.
+    WrongShard,
     /// The service is shutting down and accepts no new work.
     ShuttingDown,
     /// An unexpected internal failure (a worker panic, an I/O error on
@@ -69,6 +73,7 @@ impl ErrorKind {
             ErrorKind::Dfg => "dfg",
             ErrorKind::Arch => "arch",
             ErrorKind::Overloaded => "overloaded",
+            ErrorKind::WrongShard => "wrong_shard",
             ErrorKind::ShuttingDown => "shutting_down",
             ErrorKind::Internal => "internal",
         }
@@ -247,6 +252,9 @@ pub struct Served {
     /// Whether the MRRG for the request was already built ("warm").
     /// Meaningless (reported `false`) on cache hits — no MRRG is touched.
     pub mrrg_warm: bool,
+    /// Whether this response was coalesced onto another identical
+    /// in-flight request's solve (it shares that solve's result bytes).
+    pub coalesced: bool,
     /// Time the request waited in the admission queue.
     pub wait: Duration,
     /// Time spent solving (near zero on cache hits).
@@ -258,16 +266,19 @@ impl Served {
         obj(vec![
             ("cache", s(if self.cache_hit { "hit" } else { "miss" })),
             ("mrrg", s(if self.mrrg_warm { "warm" } else { "cold" })),
+            ("coalesced", Json::Bool(self.coalesced)),
             ("wait_us", Json::Int(self.wait.as_micros() as i64)),
             ("solve_us", Json::Int(self.solve.as_micros() as i64)),
         ])
     }
 
-    /// Reads a `served` block back from a response document.
+    /// Reads a `served` block back from a response document. A missing
+    /// `coalesced` field (pre-coalescing peers) decodes as `false`.
     pub fn decode(doc: &Json) -> Result<Served, WireError> {
         Ok(Served {
             cache_hit: doc.get("cache").and_then(Json::as_str) == Some("hit"),
             mrrg_warm: doc.get("mrrg").and_then(Json::as_str) == Some("warm"),
+            coalesced: doc.get("coalesced").and_then(Json::as_bool) == Some(true),
             wait: get_duration(doc, "wait_us")?,
             solve: get_duration(doc, "solve_us")?,
         })

@@ -202,7 +202,7 @@ fn warm_mrrg_is_reported_for_new_kernel_on_known_arch() {
     let submit = |id: &str, kernel: &str| {
         let line = format!(
             "{{\"id\":\"{id}\",\"cmd\":\"map\",\"dfg\":{},\"arch\":{},\"ii\":1}}",
-            cgra_serve::json::s(&kernel_text(kernel)),
+            cgra_serve::json::s(kernel_text(kernel)),
             cgra_serve::json::s(&arch),
         );
         cgra_serve::client::decode_response(&service.handle(&line)).unwrap()
@@ -239,14 +239,14 @@ fn malformed_inputs_get_typed_errors_not_panics() {
         (
             format!(
                 "{{\"id\":\"x\",\"cmd\":\"map\",\"dfg\":\"bogus\",\"arch\":{},\"ii\":1}}",
-                cgra_serve::json::s(&homo_diag_arch_text())
+                cgra_serve::json::s(homo_diag_arch_text())
             ),
             ErrorKind::Dfg,
         ),
         (
             format!(
                 "{{\"id\":\"x\",\"cmd\":\"map\",\"dfg\":{},\"arch\":\"bogus\",\"ii\":1}}",
-                cgra_serve::json::s(&kernel_text("accum"))
+                cgra_serve::json::s(kernel_text("accum"))
             ),
             ErrorKind::Arch,
         ),
@@ -274,25 +274,27 @@ fn admission_control_and_graceful_shutdown() {
         ..ServiceConfig::default()
     });
     // cos_4 at II=1 on homo-diag takes many seconds to refute — plenty
-    // of time to stack requests behind it.
-    let slow_line = |id: &str| {
+    // of time to stack requests behind it. Each request gets a distinct
+    // seed: identical requests would *coalesce* onto the in-flight
+    // solve instead of exercising the queue bound.
+    let slow_line = |id: &str, seed: u64| {
         format!(
-            "{{\"id\":\"{id}\",\"cmd\":\"map\",\"dfg\":{},\"arch\":{},\"ii\":1,\"options\":{{\"time_limit_us\":120000000}}}}",
-            cgra_serve::json::s(&kernel_text("cos_4")),
-            cgra_serve::json::s(&homo_diag_arch_text()),
+            "{{\"id\":\"{id}\",\"cmd\":\"map\",\"dfg\":{},\"arch\":{},\"ii\":1,\"options\":{{\"time_limit_us\":120000000,\"seed\":{seed}}}}}",
+            cgra_serve::json::s(kernel_text("cos_4")),
+            cgra_serve::json::s(homo_diag_arch_text()),
         )
     };
 
     let started = Instant::now();
     let (in_flight, queued) = std::thread::scope(|scope| {
         let svc = &service;
-        let in_flight = scope.spawn(move || svc.handle(&slow_line("in-flight")));
+        let in_flight = scope.spawn(move || svc.handle(&slow_line("in-flight", 1)));
         std::thread::sleep(Duration::from_millis(300)); // worker picks it up
-        let queued = scope.spawn(move || svc.handle(&slow_line("queued")));
+        let queued = scope.spawn(move || svc.handle(&slow_line("queued", 2)));
         std::thread::sleep(Duration::from_millis(300)); // sits in the queue
 
         // Queue full: typed rejection, immediately.
-        let rejected = cgra_serve::client::decode_response(&service.handle(&slow_line("extra")))
+        let rejected = cgra_serve::client::decode_response(&service.handle(&slow_line("extra", 3)))
             .expect_err("over-capacity request must be rejected");
         assert_eq!(rejected.kind, ErrorKind::Overloaded);
 
@@ -323,11 +325,167 @@ fn admission_control_and_graceful_shutdown() {
     );
 
     // After shutdown: new requests get the typed error.
-    let late = cgra_serve::client::decode_response(&service.handle(&slow_line("late")))
+    let late = cgra_serve::client::decode_response(&service.handle(&slow_line("late", 4)))
         .expect_err("post-shutdown request must fail");
     assert_eq!(late.kind, ErrorKind::ShuttingDown);
 
     service.join_workers();
+}
+
+/// Request coalescing: K identical concurrent cold requests trigger
+/// exactly one solve; every waiter receives the same result bytes, and
+/// the attachees are marked `coalesced` without consuming queue slots.
+#[test]
+fn identical_concurrent_requests_coalesce_onto_one_solve() {
+    let service = Service::start(ServiceConfig {
+        workers: 1,
+        queue_capacity: 1, // attachees must not need queue capacity
+        deadline: Some(Duration::from_secs(120)),
+        ..ServiceConfig::default()
+    });
+    // A deliberately slow solve so the attach window stays open.
+    let line = |id: &str| {
+        format!(
+            "{{\"id\":\"{id}\",\"cmd\":\"map\",\"dfg\":{},\"arch\":{},\"ii\":1,\"options\":{{\"time_limit_us\":120000000}}}}",
+            cgra_serve::json::s(kernel_text("cos_4")),
+            cgra_serve::json::s(homo_diag_arch_text()),
+        )
+    };
+    const ATTACHEES: usize = 3;
+    let responses: Vec<String> = std::thread::scope(|scope| {
+        let svc = &service;
+        let leader = scope.spawn(move || svc.handle(&line("leader")));
+        std::thread::sleep(Duration::from_millis(300)); // solve starts
+        let followers: Vec<_> = (0..ATTACHEES)
+            .map(|i| {
+                let id = format!("follower-{i}");
+                scope.spawn(move || svc.handle(&line(&id)))
+            })
+            .collect();
+        std::thread::sleep(Duration::from_millis(300)); // all attached
+        let stats = service.stats_json();
+        assert_eq!(
+            stats.get("coalesced").and_then(Json::as_u64),
+            Some(ATTACHEES as u64),
+            "every follower must attach, not queue"
+        );
+        assert_eq!(stats.get("solves").and_then(Json::as_u64), Some(0));
+        assert_eq!(stats.get("queued").and_then(Json::as_u64), Some(0));
+        // End the solve early; the cancelled solve still fans out a
+        // clean timeout report to every waiter.
+        service.initiate_shutdown();
+        let mut all = vec![leader.join().unwrap()];
+        all.extend(followers.into_iter().map(|h| h.join().unwrap()));
+        all
+    });
+
+    assert_eq!(
+        service.stats_json().get("solves").and_then(Json::as_u64),
+        Some(1),
+        "K identical requests must cost exactly one solve"
+    );
+    let mut texts = std::collections::BTreeSet::new();
+    let mut coalesced_count = 0;
+    for raw in &responses {
+        let decoded = cgra_serve::client::decode_response(raw).expect("fan-out answers ok");
+        texts.insert(decoded.result_text.clone());
+        let served = decoded.served.expect("solve responses carry served");
+        assert!(!served.cache_hit);
+        if served.coalesced {
+            coalesced_count += 1;
+        }
+    }
+    assert_eq!(texts.len(), 1, "all waiters share one result byte-for-byte");
+    assert_eq!(coalesced_count, ATTACHEES, "exactly the followers coalesce");
+    service.join_workers();
+}
+
+/// Sharding: a daemon that does not own an architecture's hash range
+/// answers `wrong_shard` without parsing-cost side effects; the owning
+/// shard serves it normally.
+#[test]
+fn sharded_service_rejects_foreign_architectures() {
+    let arch_text = homo_diag_arch_text();
+    let arch_hash = cgra_arch::text::parse(&arch_text).unwrap().content_hash();
+    let owner = (arch_hash % 2) as u32;
+    let line = format!(
+        "{{\"id\":\"s\",\"cmd\":\"map\",\"dfg\":{},\"arch\":{},\"ii\":1}}",
+        cgra_serve::json::s(kernel_text("accum")),
+        cgra_serve::json::s(&arch_text),
+    );
+
+    let wrong = Service::start(ServiceConfig {
+        shards: 2,
+        shard_index: 1 - owner,
+        ..ServiceConfig::default()
+    });
+    let err = cgra_serve::client::decode_response(&wrong.handle(&line))
+        .expect_err("foreign shard must reject");
+    assert_eq!(err.kind, ErrorKind::WrongShard);
+    wrong.initiate_shutdown();
+    wrong.join_workers();
+
+    let owning = Service::start(ServiceConfig {
+        shards: 2,
+        shard_index: owner,
+        ..ServiceConfig::default()
+    });
+    let ok = cgra_serve::client::decode_response(&owning.handle(&line))
+        .expect("owning shard serves normally");
+    assert!(!ok.served.unwrap().cache_hit);
+    owning.initiate_shutdown();
+    owning.join_workers();
+}
+
+/// Two-tier persistence: a result solved by one service generation is
+/// replayed byte-identically by a fresh service sharing the same cache
+/// directory — the hit comes off the mmap'd segment, not memory.
+#[test]
+fn persistent_tier_survives_service_restart() {
+    let dir = std::env::temp_dir().join(format!("cgra-serve-restart-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let line = format!(
+        "{{\"id\":\"p\",\"cmd\":\"map\",\"dfg\":{},\"arch\":{},\"ii\":1}}",
+        cgra_serve::json::s(kernel_text("accum")),
+        cgra_serve::json::s(homo_diag_arch_text()),
+    );
+
+    let first_text = {
+        let service = Service::start(ServiceConfig {
+            cache_dir: Some(dir.clone()),
+            ..ServiceConfig::default()
+        });
+        let response = cgra_serve::client::decode_response(&service.handle(&line)).unwrap();
+        assert!(!response.served.unwrap().cache_hit);
+        service.initiate_shutdown();
+        service.join_workers();
+        response.result_text
+    };
+
+    let service = Service::start(ServiceConfig {
+        cache_dir: Some(dir.clone()),
+        ..ServiceConfig::default()
+    });
+    let replay = cgra_serve::client::decode_response(&service.handle(&line)).unwrap();
+    assert!(
+        replay.served.unwrap().cache_hit,
+        "restart must not re-solve"
+    );
+    assert_eq!(
+        replay.result_text, first_text,
+        "byte-identical across tiers"
+    );
+    assert_eq!(
+        service
+            .stats_json()
+            .get("cache_disk_hits")
+            .and_then(Json::as_u64),
+        Some(1),
+        "the hit must come from the persistent tier"
+    );
+    service.initiate_shutdown();
+    service.join_workers();
+    let _ = std::fs::remove_dir_all(&dir);
 }
 
 #[test]
@@ -337,8 +495,8 @@ fn min_ii_requests_answer_and_cache() {
     // II=1 is a fast capacity shortcut and II=2 maps.
     let line = format!(
         "{{\"id\":\"m\",\"cmd\":\"min_ii\",\"dfg\":{},\"arch\":{},\"max_ii\":2,\"options\":{{\"time_limit_us\":60000000,\"warm_start\":true}}}}",
-        cgra_serve::json::s(&kernel_text("extreme")),
-        cgra_serve::json::s(&homo_diag_arch_text()),
+        cgra_serve::json::s(kernel_text("extreme")),
+        cgra_serve::json::s(homo_diag_arch_text()),
     );
     let response = cgra_serve::client::decode_response(&service.handle(&line)).unwrap();
     assert_eq!(

@@ -300,6 +300,7 @@ fn mutated_responses_never_panic() {
     let served = Served {
         cache_hit: false,
         mrrg_warm: true,
+        coalesced: false,
         wait: Duration::from_micros(12),
         solve: Duration::from_micros(3400),
     };
