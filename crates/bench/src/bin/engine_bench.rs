@@ -215,10 +215,13 @@ fn main() {
     let geomean = cgra_bench::cli::geomean(&speedups);
     let peak_rss = cgra_bench::cli::peak_rss_bytes();
     let json = format!(
-        "{{\n  \"time_limit_secs\": {},\n  \"smoke\": {smoke},\n  \"baseline\": {},\n  \
+        "{{\n  \"host_cores\": {},\n  \"thread_counts\": {},\n  \
+         \"time_limit_secs\": {},\n  \"smoke\": {smoke},\n  \"baseline\": {},\n  \
          \"instances\": [\n{}\n  ],\n  \"geomean_wall_speedup\": {},\n  \
          \"peak_rss_bytes\": {},\n  \"verdict_mismatches\": {mismatches},\n  \
          \"certificate_check_failures\": {check_failures}\n}}\n",
+        cgra_bench::cli::host_cores_checked(&[1]),
+        cgra_bench::cli::thread_counts_json(&[1]),
         time_limit.as_secs(),
         baseline_path
             .as_ref()

@@ -146,7 +146,7 @@ fn main() {
     // Speedup only means anything relative to the cores actually
     // available — record them so a 4-job run on a 1-core container is
     // not misread as a parallelisation failure.
-    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let cores = cgra_bench::cli::host_cores_checked(&[jobs]);
     let json = format!(
         "{{\n  \"jobs\": {jobs},\n  \"cores\": {cores},\n  \"ii\": {ii},\n  \
          \"instances\": [\n{}\n  ],\n  \
@@ -159,12 +159,6 @@ fn main() {
          {cores} cores, {divergences} divergences)",
         rows.len(),
     );
-    if jobs > cores {
-        eprintln!(
-            "note: {jobs} jobs oversubscribe {cores} available cores; \
-             the speedup above measures overhead, not scaling"
-        );
-    }
     if divergences > 0 {
         std::process::exit(1);
     }

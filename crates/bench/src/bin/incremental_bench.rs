@@ -216,9 +216,12 @@ fn main() {
 
     let geomean = cgra_bench::cli::geomean(&speedups);
     let json = format!(
-        "{{\n  \"time_limit_secs\": {},\n  \"conflict_limit\": {conflict_limit},\n  \
+        "{{\n  \"host_cores\": {},\n  \"thread_counts\": {},\n  \
+         \"time_limit_secs\": {},\n  \"conflict_limit\": {conflict_limit},\n  \
          \"smoke\": {smoke},\n  \"instances\": [\n{}\n  ],\n  \
          \"geomean_speedup\": {geomean:.3},\n  \"verdict_mismatches\": {mismatches}\n}}\n",
+        cgra_bench::cli::host_cores_checked(&[1]),
+        cgra_bench::cli::thread_counts_json(&[1]),
         time_limit.as_secs(),
         rows.join(",\n"),
     );

@@ -45,7 +45,7 @@ fn main() {
         filter = HARD_SUBSET.iter().map(|s| s.to_string()).collect();
     }
 
-    let cores = cgra_par::default_jobs(1);
+    let cores = cgra_bench::cli::host_cores_checked(&THREAD_COUNTS);
     let configs = paper_configs();
     let subset: Vec<_> = configs.iter().filter(|c| c.label == "homo-diag").collect();
 
@@ -134,9 +134,10 @@ fn main() {
 
     let json = format!(
         "{{\n  \"host_cores\": {cores},\n  \"time_limit_secs\": {},\n  \
-         \"thread_counts\": [1, 2, 4, 8],\n  \"instances\": [\n{}\n  ],\n  \
+         \"thread_counts\": {},\n  \"instances\": [\n{}\n  ],\n  \
          \"sweep\": [\n{}\n  ],\n  \"sweep_speedup_4jobs\": {speedup:.3}\n}}\n",
         time_limit.as_secs(),
+        cgra_bench::cli::thread_counts_json(&THREAD_COUNTS),
         instance_rows.join(",\n"),
         sweep_rows.join(",\n"),
     );

@@ -158,8 +158,9 @@ fn main() {
     let _ = writeln!(json, "{{");
     let _ = writeln!(
         json,
-        "  \"host_cores\": {},\n  \"time_limit_secs\": {},",
-        std::thread::available_parallelism().map_or(1, |n| n.get()),
+        "  \"host_cores\": {},\n  \"thread_counts\": {},\n  \"time_limit_secs\": {},",
+        cgra_bench::cli::host_cores_checked(&[1]),
+        cgra_bench::cli::thread_counts_json(&[1]),
         time_limit.as_secs()
     );
     let _ = writeln!(json, "  \"instances\": [");

@@ -1,0 +1,281 @@
+//! Heuristic incumbent seeding benchmark (`BENCH_seeding.json`).
+//!
+//! Measures what racing annealer probes inside the exact solver's
+//! portfolio buys on the paper's Table 2 cells: every instance is
+//! mapped twice — once with `seed_probes = 0` (the unseeded baseline)
+//! and once with probes enabled — in two phases:
+//!
+//! * **time-to-first-feasible** (`optimize = false`): the wall clock
+//!   until *some* valid mapping exists, which is the quantity the
+//!   feasibility race targets (a validated probe mapping ends the solve
+//!   immediately);
+//! * **time-to-optimal** (`optimize = true`, full runs only): the wall
+//!   clock until the routing-minimal mapping is *proven*, where the
+//!   probe's mapping seeds the descent's first upper bound.
+//!
+//! Seeding must never change what is provable: any cell where both
+//! arms decide but disagree — on the verdict, or on the proven optimal
+//! routing usage — counts as a `verdict_mismatch` and fails the run.
+//! Cells the unseeded arm leaves `T` but the seeded arm decides are
+//! `rescued` (that is the headline win, not a mismatch); their
+//! time-to-first-feasible speedup is censored at the time limit.
+//!
+//! `--smoke` runs a three-benchmark subset with a short limit and
+//! additionally fails unless at least one heuristic incumbent was
+//! actually published (the CI guard that the probe plumbing is alive).
+
+use cgra_arch::families::paper_configs;
+use cgra_bench::cli::{self, Cli};
+use cgra_dfg::benchmarks;
+use cgra_mapper::{IlpMapper, MapOutcome, MapReport, MapperOptions};
+use cgra_mrrg::build_mrrg;
+use std::fmt::Write as _;
+use std::time::Duration;
+
+const SMOKE_SUBSET: [&str; 3] = ["accum", "mac", "add_10"];
+
+struct Arm {
+    symbol: &'static str,
+    ttff: Duration,
+    tto: Option<Duration>,
+    routing_usage: Option<usize>,
+    optimal: bool,
+    probe_incumbents: u64,
+    bound_tightenings: u64,
+    incumbent_source: &'static str,
+}
+
+fn run_arm(
+    dfg: &cgra_dfg::Dfg,
+    mrrg: &cgra_mrrg::Mrrg,
+    options: MapperOptions,
+    optimize: bool,
+) -> Arm {
+    let ttff_report = IlpMapper::new(options).map(dfg, mrrg);
+    let symbol = ttff_report.outcome.table_symbol();
+    let (tto, routing_usage, optimal, opt_report) = if optimize && symbol == "1" {
+        let report = IlpMapper::new(MapperOptions {
+            optimize: true,
+            ..options
+        })
+        .map(dfg, mrrg);
+        match &report.outcome {
+            MapOutcome::Mapped {
+                routing_usage,
+                optimal,
+                ..
+            } => (
+                Some(report.elapsed),
+                Some(*routing_usage),
+                *optimal,
+                Some(report),
+            ),
+            _ => (None, None, false, Some(report)),
+        }
+    } else {
+        let usage = match &ttff_report.outcome {
+            MapOutcome::Mapped { routing_usage, .. } => Some(*routing_usage),
+            _ => None,
+        };
+        (None, usage, false, None)
+    };
+    // Probe counters are summed over both phases: an incumbent
+    // published in either solve proves the plumbing worked.
+    let count = |f: fn(&MapReport) -> u64| f(&ttff_report) + opt_report.as_ref().map_or(0, f);
+    let source = opt_report
+        .as_ref()
+        .unwrap_or(&ttff_report)
+        .solver
+        .incumbent_source;
+    Arm {
+        symbol,
+        ttff: ttff_report.elapsed,
+        tto,
+        routing_usage,
+        optimal,
+        probe_incumbents: count(|r| r.solver.probe_incumbents),
+        bound_tightenings: count(|r| r.solver.bound_tightenings),
+        incumbent_source: match source {
+            Some(bilp::IncumbentSource::Heuristic) => "heuristic",
+            Some(bilp::IncumbentSource::Solver) => "solver",
+            None => "none",
+        },
+    }
+}
+
+fn arm_json(a: &Arm) -> String {
+    format!(
+        "{{\"symbol\": \"{}\", \"ttff_seconds\": {:.6}, \"tto_seconds\": {}, \
+         \"routing_usage\": {}, \"optimal\": {}, \"probe_incumbents\": {}, \
+         \"bound_tightenings\": {}, \"incumbent_source\": \"{}\"}}",
+        a.symbol,
+        a.ttff.as_secs_f64(),
+        a.tto
+            .map_or(String::from("null"), |d| format!("{:.6}", d.as_secs_f64())),
+        a.routing_usage
+            .map_or(String::from("null"), |u| u.to_string()),
+        a.optimal,
+        a.probe_incumbents,
+        a.bound_tightenings,
+        a.incumbent_source,
+    )
+}
+
+fn main() {
+    let mut cli = Cli::new(
+        "seeding_bench [--smoke] [--time-limit <seconds>] [--threads <n>] \
+         [--probes <n>] [--out <path>] [benchmark ...]",
+    );
+    let mut smoke = false;
+    let mut time_limit = Duration::from_secs(10);
+    let mut threads = 2usize;
+    let mut probes = 4usize;
+    let mut out_path = String::from("BENCH_seeding.json");
+    let mut filter: Vec<String> = Vec::new();
+    while let Some(arg) = cli.next_arg() {
+        match arg.as_str() {
+            "--smoke" => smoke = true,
+            "--time-limit" => time_limit = cli.seconds("--time-limit"),
+            "--threads" => threads = cli.value("--threads", "a thread count"),
+            "--probes" => probes = cli.value("--probes", "a probe count"),
+            "--out" => out_path = cli.value("--out", "a path"),
+            name => filter.push(cli.benchmark_name(name)),
+        }
+    }
+    if smoke {
+        time_limit = time_limit.min(Duration::from_secs(5));
+        if filter.is_empty() {
+            filter = SMOKE_SUBSET.iter().map(|s| s.to_string()).collect();
+        }
+    }
+    let cores = cli::host_cores_checked(&[threads.max(1)]);
+    let configs = paper_configs();
+    let subset: Vec<_> = configs.iter().filter(|c| c.label == "homo-diag").collect();
+
+    let mut rows: Vec<String> = Vec::new();
+    let mut speedups: Vec<f64> = Vec::new();
+    let mut mismatches = 0usize;
+    let mut rescued = 0usize;
+    let mut heuristic_incumbents = 0u64;
+    for entry in benchmarks::all() {
+        if !filter.is_empty() && !filter.iter().any(|f| f == entry.name) {
+            continue;
+        }
+        for config in &subset {
+            let dfg = (entry.build)();
+            let mrrg = build_mrrg(&config.arch, config.contexts);
+            let base = MapperOptions {
+                time_limit: Some(time_limit),
+                threads,
+                ..MapperOptions::default()
+            };
+            let unseeded = run_arm(&dfg, &mrrg, base, !smoke);
+            let seeded = run_arm(
+                &dfg,
+                &mrrg,
+                MapperOptions {
+                    seed_probes: probes,
+                    ..base
+                },
+                !smoke,
+            );
+            heuristic_incumbents +=
+                seeded.probe_incumbents + u64::from(seeded.incumbent_source == "heuristic");
+            // Seeding must not change what is provable: decided
+            // verdicts must agree, and when both arms *prove* an
+            // optimum those optima must be equal.
+            let decided_mismatch =
+                unseeded.symbol != "T" && seeded.symbol != "T" && unseeded.symbol != seeded.symbol;
+            let optimum_mismatch = unseeded.optimal
+                && seeded.optimal
+                && unseeded.routing_usage != seeded.routing_usage;
+            let mismatch = decided_mismatch || optimum_mismatch;
+            if mismatch {
+                mismatches += 1;
+                eprintln!(
+                    "  MISMATCH: {}/{}/{} unseeded {}({:?}) vs seeded {}({:?})",
+                    entry.name,
+                    config.label,
+                    config.contexts,
+                    unseeded.symbol,
+                    unseeded.routing_usage,
+                    seeded.symbol,
+                    seeded.routing_usage,
+                );
+            }
+            if unseeded.symbol == "T" && seeded.symbol != "T" {
+                rescued += 1;
+            }
+            // Time-to-first-feasible speedup on cells the seeded arm
+            // maps; an unseeded timeout is censored at the limit.
+            let speedup = if seeded.symbol == "1" {
+                let baseline = if unseeded.symbol == "T" {
+                    time_limit
+                } else {
+                    unseeded.ttff
+                };
+                let s = baseline.as_secs_f64() / seeded.ttff.as_secs_f64().max(1e-6);
+                speedups.push(s);
+                format!("{s:.3}")
+            } else {
+                String::from("null")
+            };
+            eprintln!(
+                "  {}/{}/{}: unseeded {} in {:.2?}, seeded {} in {:.2?} \
+                 ({} probe incumbents)",
+                entry.name,
+                config.label,
+                config.contexts,
+                unseeded.symbol,
+                unseeded.ttff,
+                seeded.symbol,
+                seeded.ttff,
+                seeded.probe_incumbents,
+            );
+            let mut row = String::new();
+            let _ = write!(
+                row,
+                "    {{\"benchmark\": \"{}\", \"arch\": \"{}\", \"contexts\": {}, \
+                 \"unseeded\": {}, \"seeded\": {}, \"ttff_speedup\": {speedup}, \
+                 \"mismatch\": {mismatch}}}",
+                entry.name,
+                config.label,
+                config.contexts,
+                arm_json(&unseeded),
+                arm_json(&seeded),
+            );
+            rows.push(row);
+        }
+    }
+
+    let geomean = cli::geomean(&speedups);
+    let json = format!(
+        "{{\n  \"host_cores\": {cores},\n  \"thread_counts\": {},\n  \
+         \"time_limit_secs\": {},\n  \"seed_probes\": {probes},\n  \
+         \"smoke\": {smoke},\n  \"instances\": [\n{}\n  ],\n  \
+         \"geomean_ttff_speedup\": {},\n  \"rescued_cells\": {rescued},\n  \
+         \"heuristic_incumbents\": {heuristic_incumbents},\n  \
+         \"verdict_mismatches\": {mismatches}\n}}\n",
+        cli::thread_counts_json(&[threads.max(1)]),
+        time_limit.as_secs(),
+        rows.join(",\n"),
+        if speedups.is_empty() {
+            String::from("null")
+        } else {
+            format!("{geomean:.3}")
+        },
+    );
+    cli::write_output(&out_path, &json);
+    println!(
+        "({} instances, geomean TTFF speedup {geomean:.2}x, {rescued} rescued, \
+         {heuristic_incumbents} heuristic incumbents, {mismatches} mismatches)",
+        rows.len()
+    );
+    if mismatches > 0 {
+        std::process::exit(1);
+    }
+    if smoke && heuristic_incumbents == 0 {
+        eprintln!("error: smoke run published no heuristic incumbent");
+        std::process::exit(1);
+    }
+}

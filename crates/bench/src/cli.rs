@@ -137,6 +137,47 @@ pub fn instance_key(arch: &str, kernel: &str) -> String {
     format!("{arch}/{kernel}")
 }
 
+/// Logical cores available to this process (`1` when the kernel does
+/// not say).
+pub fn host_cores() -> usize {
+    std::thread::available_parallelism().map_or(1, |n| n.get())
+}
+
+/// [`host_cores`], after checking the run's requested thread (or job)
+/// counts against it: any count above the core count gets a stderr
+/// warning — timings measured on an oversubscribed host reflect
+/// scheduler contention, not solver scaling. Every `BENCH_*.json`
+/// header records both sides (`host_cores` next to the requested
+/// counts) so a reader can apply the same judgement after the fact.
+pub fn host_cores_checked(thread_counts: &[usize]) -> usize {
+    let cores = host_cores();
+    let over: Vec<usize> = thread_counts
+        .iter()
+        .copied()
+        .filter(|&t| t > cores)
+        .collect();
+    if !over.is_empty() {
+        eprintln!(
+            "warning: requested thread counts {over:?} oversubscribe {cores} host cores; \
+             wall-clock comparisons at those counts measure contention, not scaling"
+        );
+    }
+    cores
+}
+
+/// Renders thread counts as a JSON array (`[1, 2, 4]`) for a bench
+/// header's `thread_counts` field.
+pub fn thread_counts_json(thread_counts: &[usize]) -> String {
+    format!(
+        "[{}]",
+        thread_counts
+            .iter()
+            .map(|t| t.to_string())
+            .collect::<Vec<_>>()
+            .join(", ")
+    )
+}
+
 /// Peak resident set size of this process in bytes (Linux `VmHWM`), or
 /// `None` where the kernel does not expose it.
 pub fn peak_rss_bytes() -> Option<u64> {

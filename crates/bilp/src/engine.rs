@@ -65,7 +65,7 @@ use crate::model::{Lit, Var};
 use crate::normalize::NormConstraint;
 use crate::portfolio::ClauseExchange;
 use crate::proof::{ProofLog, ProofOrigin};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicI64, Ordering};
 use std::sync::Arc;
 use std::time::Instant;
 
@@ -749,6 +749,15 @@ pub struct Engine {
     interrupt: Option<Arc<AtomicBool>>,
     exchange: Option<Arc<ClauseExchange>>,
     exchange_cursor: usize,
+    /// When false the engine still exports learnt clauses to the
+    /// exchange but never imports foreign ones — the pinned portfolio
+    /// worker stays bit-identical to a sequential run this way.
+    exchange_import: bool,
+    /// Shared best-objective cell watched at every budget poll: when the
+    /// global incumbent drops below this engine's own bound tag, the
+    /// search yields `Unknown` so the caller can post the tighter
+    /// permanent bound and re-enter.
+    bound_watch: Option<Arc<AtomicI64>>,
     bound_tag: i64,
     worker_id: usize,
     /// Clauses mentioning a variable at or above this index are never
@@ -813,6 +822,8 @@ impl Engine {
             interrupt: None,
             exchange: None,
             exchange_cursor: 0,
+            exchange_import: true,
+            bound_watch: None,
             bound_tag: i64::MAX,
             worker_id: 0,
             share_var_limit: usize::MAX,
@@ -894,6 +905,37 @@ impl Engine {
     /// branch-and-bound only ever tighten, so the tag is monotone.
     pub fn set_bound_tag(&mut self, bound: i64) {
         self.bound_tag = bound;
+    }
+
+    /// Watches a shared best-objective cell (`i64::MAX` = no incumbent
+    /// yet). At every amortised budget poll the engine compares the cell
+    /// against its own bound tag; if the global incumbent implies a
+    /// strictly tighter bound than the one this engine already enforces,
+    /// the search returns [`SatResult::Unknown`] so the owner can post
+    /// the tighter permanent bound constraint and re-enter mid-solve.
+    pub fn set_bound_watch(&mut self, cell: Arc<AtomicI64>) {
+        self.bound_watch = Some(cell);
+    }
+
+    /// Enables or disables importing foreign clauses from the exchange.
+    /// Publishing is unaffected. The portfolio pins worker 0 to the
+    /// undiversified sequential configuration; disabling imports keeps
+    /// its search trace bit-identical to `threads = 1` until the race
+    /// is already decided.
+    pub fn set_exchange_import(&mut self, import: bool) {
+        self.exchange_import = import;
+    }
+
+    /// True when the watched global incumbent implies a strictly tighter
+    /// objective bound than this engine currently enforces.
+    fn bound_watch_fired(&self) -> bool {
+        match &self.bound_watch {
+            Some(cell) => {
+                let g = cell.load(Ordering::Relaxed);
+                g != i64::MAX && g.saturating_sub(1) < self.bound_tag
+            }
+            None => false,
+        }
     }
 
     /// Installs a proof log: from now on every learnt, imported or
@@ -2044,6 +2086,9 @@ impl Engine {
     /// at decision level 0. Returns `false` on derived conflict.
     fn import_shared(&mut self) -> bool {
         debug_assert_eq!(self.decision_level(), 0);
+        if !self.exchange_import {
+            return true;
+        }
         let Some(ex) = self.exchange.clone() else {
             return true;
         };
@@ -2193,6 +2238,9 @@ impl Engine {
             if polled_ops >= next_poll {
                 next_poll = polled_ops + POLL_INTERVAL;
                 if self.budget_exhausted(&budget) {
+                    return SatResult::Unknown;
+                }
+                if self.bound_watch_fired() {
                     return SatResult::Unknown;
                 }
                 if self.over_mem_limit() {

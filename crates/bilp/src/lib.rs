@@ -59,6 +59,6 @@ pub use presolve::{
 };
 pub use proof::{Certificate, ProofLog, ProofOrigin, ProofStep, StepKind};
 pub use solve::{
-    certify_infeasibility, presolve_from_env, threads_from_env, Assignment, IncrementalSolver,
-    Outcome, SolveStats, Solver, SolverConfig,
+    certify_infeasibility, presolve_from_env, threads_from_env, Assignment, HeuristicProbe,
+    IncrementalSolver, IncumbentSource, Outcome, SolveStats, Solver, SolverConfig,
 };

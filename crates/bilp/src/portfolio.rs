@@ -57,7 +57,7 @@
 use crate::engine::{Budget, Engine, EngineFeatures, EngineStats, SatResult};
 use crate::model::{Cmp, Constraint, LinExpr, Lit, Model, Var};
 use crate::normalize::normalize;
-use crate::solve::{Assignment, Outcome, SolveStats, Solver};
+use crate::solve::{Assignment, HeuristicProbe, IncumbentSource, Outcome, SolveStats, Solver};
 use crate::SolverConfig;
 use std::collections::VecDeque;
 use std::panic::{catch_unwind, AssertUnwindSafe};
@@ -225,36 +225,53 @@ struct Shared {
     /// that decides the whole solve. Behind an `Arc` so each engine can
     /// hold a clone as its interrupt hook.
     stop: Arc<AtomicBool>,
-    /// Best incumbent objective value (`i64::MAX` = none yet).
-    best_objective: AtomicI64,
-    /// Best incumbent assignment, guarded separately from the atomic so
-    /// readers of `best_objective` never block.
-    incumbent: Mutex<Option<(Assignment, i64)>>,
+    /// Best incumbent objective value (`i64::MAX` = none yet). Behind an
+    /// `Arc` so each engine can watch it from inside its search loop
+    /// (see [`Engine::set_bound_watch`]) and react to a foreign
+    /// incumbent mid-solve instead of at the next solve call.
+    best_objective: Arc<AtomicI64>,
+    /// Best incumbent assignment and where it came from, guarded
+    /// separately from the atomic so readers of `best_objective` never
+    /// block.
+    incumbent: Mutex<Option<(Assignment, i64, IncumbentSource)>>,
     /// Learnt-clause pool.
     exchange: Arc<ClauseExchange>,
 }
 
 impl Shared {
-    /// Records an incumbent if it improves on the global best.
-    fn offer_incumbent(&self, solution: Assignment, objective: i64) {
+    /// Records an incumbent if it improves on the global best. Returns
+    /// whether it was accepted.
+    fn offer_incumbent(
+        &self,
+        solution: Assignment,
+        objective: i64,
+        source: IncumbentSource,
+    ) -> bool {
         let mut slot = lock_recover(&self.incumbent);
-        let improves = slot.as_ref().map(|&(_, b)| objective < b).unwrap_or(true);
+        let improves = slot
+            .as_ref()
+            .map(|&(_, b, _)| objective < b)
+            .unwrap_or(true);
         if improves {
-            *slot = Some((solution, objective));
+            *slot = Some((solution, objective, source));
             self.best_objective.fetch_min(objective, Ordering::SeqCst);
         }
+        improves
     }
 }
 
 /// The diversified configuration for worker `w` of `n`.
 ///
-/// Worker 0 always runs the solver's baseline configuration, so a
-/// portfolio is never worse-diversified than the sequential solver; the
-/// rest vary seed, tie-breaking, polarity and restart cadence, with one
-/// static-order (VSIDS-off) worker in portfolios of four or more.
+/// Worker 0 is pinned to the solver's baseline configuration *verbatim*
+/// — not even the seed is overridden — so its search trace up to the
+/// first decisive verdict is the sequential solver's and `threads > 1`
+/// can never lose a cell that `threads = 1` decides (it also skips
+/// clause imports and keeps the full memory cap; see [`run_worker`]).
+/// The rest vary seed, tie-breaking, polarity and restart cadence, with
+/// one static-order (VSIDS-off) worker in portfolios of four or more.
 fn worker_features(base: EngineFeatures, seed: u64, w: usize, n: usize) -> EngineFeatures {
     if w == 0 {
-        return EngineFeatures { seed, ..base };
+        return base;
     }
     let restart_bases = [256u64, 64, 512, 128, 1024, 32];
     let mut f = EngineFeatures {
@@ -299,7 +316,8 @@ fn build_engine(
     Some(engine)
 }
 
-/// One worker's branch-and-bound loop. Returns its verdict and stats.
+/// One worker's branch-and-bound loop. Returns its verdict, stats and
+/// the number of times it consumed a globally improved bound mid-solve.
 #[allow(clippy::too_many_arguments)]
 fn run_worker(
     model: &Model,
@@ -310,24 +328,40 @@ fn run_worker(
     incumbents_found: &AtomicI64,
     worker_id: usize,
     mem_limit: Option<usize>,
-) -> (WorkerVerdict, EngineStats) {
+) -> (WorkerVerdict, EngineStats, u64) {
     let chaos = CHAOS_PANIC_WORKER.load(Ordering::Relaxed);
     if chaos == worker_id || chaos == CHAOS_PANIC_ALL {
         panic!("chaos injection: worker {worker_id} deliberately panicked");
     }
     let Some(mut engine) = build_engine(model, features, mem_limit) else {
-        return (WorkerVerdict::Infeasible, EngineStats::default());
+        return (WorkerVerdict::Infeasible, EngineStats::default(), 0);
     };
     engine.set_interrupt(Arc::clone(&shared.stop));
     engine.set_exchange(Arc::clone(&shared.exchange), worker_id, model.num_vars());
+    if worker_id == 0 {
+        // The pinned worker exports clauses but never imports: a foreign
+        // clause would perturb its search away from the sequential trace
+        // it is pinned to reproduce.
+        engine.set_exchange_import(false);
+    }
+    if objective.is_some() {
+        // React to foreign incumbents *inside* the search: when the
+        // global best drops below this worker's own bound, the engine
+        // yields Unknown at its next poll and the loop below re-enters
+        // with the tighter permanent constraint.
+        engine.set_bound_watch(Arc::clone(&shared.best_objective));
+    }
 
     // The bound this worker has constrained the objective to (i64::MAX =
     // no bound constraint added yet). Only ever tightens.
     let mut my_bound = i64::MAX;
+    // Times this worker was woken by the bound watch and re-entered with
+    // a strictly tighter bound.
+    let mut tightenings = 0u64;
 
     loop {
         if shared.stop.load(Ordering::Relaxed) {
-            return (WorkerVerdict::Inconclusive, engine.stats());
+            return (WorkerVerdict::Inconclusive, engine.stats(), tightenings);
         }
         // Prune against the globally best incumbent before searching.
         if let Some(obj) = objective {
@@ -349,7 +383,11 @@ fn run_worker(
                     }
                 }
                 if closed {
-                    return (WorkerVerdict::ExhaustedBelow(my_bound), engine.stats());
+                    return (
+                        WorkerVerdict::ExhaustedBelow(my_bound),
+                        engine.stats(),
+                        tightenings,
+                    );
                 }
             }
         }
@@ -360,10 +398,25 @@ fn run_worker(
                 } else {
                     WorkerVerdict::ExhaustedBelow(my_bound)
                 };
-                return (verdict, engine.stats());
+                return (verdict, engine.stats(), tightenings);
             }
             SatResult::Unknown => {
-                return (WorkerVerdict::Inconclusive, engine.stats());
+                // Distinguish a bound-watch wake-up from budget
+                // exhaustion: woken workers loop back (the top of the
+                // loop posts the strictly tighter bound, so this
+                // terminates — each wake requires a strictly better
+                // global incumbent), exhausted ones retire.
+                let woken = objective.is_some() && {
+                    let global = shared.best_objective.load(Ordering::SeqCst);
+                    global != i64::MAX && my_bound > global.saturating_sub(1)
+                };
+                let live = !shared.stop.load(Ordering::Relaxed)
+                    && budget.deadline.is_none_or(|d| Instant::now() < d);
+                if woken && live {
+                    tightenings += 1;
+                    continue;
+                }
+                return (WorkerVerdict::Inconclusive, engine.stats(), tightenings);
             }
             SatResult::Sat => {
                 let solution = Assignment::from_values(
@@ -375,17 +428,79 @@ fn run_worker(
                 // witness violating the original model is faulty — treat
                 // it as dead rather than poisoning the shared incumbent.
                 if model.check(|v| solution.value(v)).is_err() {
-                    return (WorkerVerdict::Inconclusive, engine.stats());
+                    return (WorkerVerdict::Inconclusive, engine.stats(), tightenings);
                 }
                 let Some(obj) = objective else {
-                    shared.offer_incumbent(solution, 0);
-                    return (WorkerVerdict::FoundSat, engine.stats());
+                    shared.offer_incumbent(solution, 0, IncumbentSource::Solver);
+                    return (WorkerVerdict::FoundSat, engine.stats(), tightenings);
                 };
                 let val = obj.evaluate(|v| solution.value(v));
                 incumbents_found.fetch_add(1, Ordering::Relaxed);
-                shared.offer_incumbent(solution, val);
+                shared.offer_incumbent(solution, val, IncumbentSource::Solver);
                 // Loop: the next iteration tightens to the global best
                 // (which now includes this incumbent) and keeps searching.
+            }
+        }
+    }
+}
+
+/// One heuristic-probe worker: repeatedly runs the probe with
+/// diversified seeds, re-validates every candidate against the model,
+/// and publishes validated solutions as shared incumbents. In a pure
+/// feasibility race a single validated candidate decides the solve; with
+/// an objective the worker keeps racing for improvements until the
+/// budget ends, the race is decided, or the probe source is exhausted
+/// (returns `None`).
+///
+/// Probes never produce verdicts: an invalid candidate is discarded and
+/// the worker simply tries again, so a buggy or adversarial probe can
+/// waste its own thread but cannot flip a verdict or corrupt the race.
+#[allow(clippy::too_many_arguments)]
+fn run_probe_worker(
+    model: &Model,
+    objective: Option<&LinExpr>,
+    probe: &dyn HeuristicProbe,
+    budget: Budget,
+    shared: &Shared,
+    probe_incumbents: &AtomicI64,
+    worker_id: usize,
+    seed: u64,
+) {
+    let mut attempt = 0u64;
+    loop {
+        if shared.stop.load(Ordering::Relaxed) {
+            return;
+        }
+        if budget.deadline.is_some_and(|d| Instant::now() >= d) {
+            return;
+        }
+        attempt += 1;
+        let diversified =
+            seed ^ 0x9e37_79b9_7f4a_7c15u64.wrapping_mul(((worker_id as u64) << 24) | attempt);
+        let Some(values) = probe.probe(diversified, &shared.stop) else {
+            return; // source exhausted — retire this worker
+        };
+        if values.len() != model.num_vars() {
+            continue;
+        }
+        let solution = Assignment::from_values(values);
+        // Validation gate: nothing a probe says is trusted unchecked.
+        if model.check(|v| solution.value(v)).is_err() {
+            continue;
+        }
+        match objective {
+            None => {
+                // A validated assignment decides the feasibility race.
+                shared.offer_incumbent(solution, 0, IncumbentSource::Heuristic);
+                probe_incumbents.fetch_add(1, Ordering::Relaxed);
+                shared.stop.store(true, Ordering::SeqCst);
+                return;
+            }
+            Some(obj) => {
+                let val = obj.evaluate(|v| solution.value(v));
+                if shared.offer_incumbent(solution, val, IncumbentSource::Heuristic) {
+                    probe_incumbents.fetch_add(1, Ordering::Relaxed);
+                }
             }
         }
     }
@@ -399,6 +514,7 @@ pub(crate) fn solve_portfolio(
     model: &Model,
     config: &SolverConfig,
     threads: usize,
+    probe: Option<&dyn HeuristicProbe>,
     stats: &mut SolveStats,
     deadline: Option<Instant>,
     interrupt: Option<&Arc<AtomicBool>>,
@@ -412,17 +528,29 @@ pub(crate) fn solve_portfolio(
 
     let shared = Shared {
         stop: Arc::new(AtomicBool::new(false)),
-        best_objective: AtomicI64::new(i64::MAX),
+        best_objective: Arc::new(AtomicI64::new(i64::MAX)),
         incumbent: Mutex::new(None),
         exchange: Arc::new(ClauseExchange::new()),
     };
     let incumbents_found = AtomicI64::new(0);
+    let probe_incumbents = AtomicI64::new(0);
+    let probe_panics = AtomicUsize::new(0);
+    // Heuristic probes race on their own threads, first-class members of
+    // the portfolio: `probe_workers` scales the count, and supplying a
+    // probe always engages at least one.
+    let probe_threads = if probe.is_some() {
+        config.probe_workers.max(1)
+    } else {
+        0
+    };
     // Split the memory budget evenly; keep a sane per-worker floor so a
     // huge portfolio under a tiny cap does not strangle every engine.
+    // Worker 0 is exempt: it is pinned to reproduce the sequential
+    // solver, which runs under the full cap.
     let worker_mem = config.mem_limit.map(|m| (m / threads.max(1)).max(1 << 16));
 
     // `None` = the worker panicked and was quarantined.
-    let results: Vec<Option<(WorkerVerdict, EngineStats)>> = std::thread::scope(|scope| {
+    let results: Vec<Option<(WorkerVerdict, EngineStats, u64)>> = std::thread::scope(|scope| {
         // Relay an external cancellation flag (e.g. a serving layer's
         // shutdown signal) into the portfolio's own stop flag. The relay
         // must not *be* the stop flag: the race sets `stop` on every
@@ -441,12 +569,41 @@ pub(crate) fn solve_portfolio(
                 }
             });
         }
+        for p in 0..probe_threads {
+            let probe = probe.expect("probe_threads > 0 implies a probe");
+            let shared = &shared;
+            let objective = objective.as_ref();
+            let probe_incumbents = &probe_incumbents;
+            let probe_panics = &probe_panics;
+            let seed = config.seed;
+            scope.spawn(move || {
+                // Quarantined like CDCL workers: a panicking probe is
+                // dropped and the exact race continues without it.
+                if catch_unwind(AssertUnwindSafe(|| {
+                    run_probe_worker(
+                        model,
+                        objective,
+                        probe,
+                        budget,
+                        shared,
+                        probe_incumbents,
+                        p,
+                        seed,
+                    )
+                }))
+                .is_err()
+                {
+                    probe_panics.fetch_add(1, Ordering::Relaxed);
+                }
+            });
+        }
         let handles: Vec<_> = (0..threads)
             .map(|w| {
                 let features = worker_features(config.features, config.seed, w, threads);
                 let shared = &shared;
                 let objective = objective.as_ref();
                 let incumbents_found = &incumbents_found;
+                let mem = if w == 0 { config.mem_limit } else { worker_mem };
                 scope.spawn(move || {
                     // Quarantine panics: the worker's state is dropped,
                     // the race continues on the survivors.
@@ -459,12 +616,12 @@ pub(crate) fn solve_portfolio(
                             shared,
                             incumbents_found,
                             w,
-                            worker_mem,
+                            mem,
                         )
                     }))
                     .ok();
                     // A decisive verdict ends the race for everyone.
-                    if matches!(&out, Some((v, _)) if *v != WorkerVerdict::Inconclusive) {
+                    if matches!(&out, Some((v, _, _)) if *v != WorkerVerdict::Inconclusive) {
                         shared.stop.store(true, Ordering::SeqCst);
                     }
                     out
@@ -482,14 +639,17 @@ pub(crate) fn solve_portfolio(
     });
 
     // Aggregate statistics across workers.
-    let panics = results.iter().filter(|r| r.is_none()).count() as u32;
+    let panics = results.iter().filter(|r| r.is_none()).count() as u32
+        + probe_panics.load(Ordering::Relaxed) as u32;
     let mut engine = EngineStats::default();
     let mut winner = None;
-    for (w, (verdict, s)) in results
+    let mut bound_tightenings = 0u64;
+    for (w, (verdict, s, tightenings)) in results
         .iter()
         .enumerate()
-        .filter_map(|(w, r)| r.as_ref().map(|pair| (w, pair)))
+        .filter_map(|(w, r)| r.as_ref().map(|triple| (w, triple)))
     {
+        bound_tightenings += tightenings;
         engine.conflicts += s.conflicts;
         engine.decisions += s.decisions;
         engine.propagations += s.propagations;
@@ -518,6 +678,9 @@ pub(crate) fn solve_portfolio(
     stats.workers = threads as u32;
     stats.winner = winner;
     stats.worker_panics = panics;
+    stats.probe_workers = probe_threads as u32;
+    stats.probe_incumbents = probe_incumbents.load(Ordering::Relaxed).max(0) as u64;
+    stats.bound_tightenings = bound_tightenings;
     stats.elapsed = start.elapsed();
 
     // Graceful degradation: every worker died before reaching any
@@ -537,10 +700,16 @@ pub(crate) fn solve_portfolio(
         if let Some(flag) = interrupt {
             solver.set_interrupt(Arc::clone(flag));
         }
-        let out = solver.solve(model);
+        let out = match probe {
+            Some(p) => solver.solve_with_probe(model, p),
+            None => solver.solve(model),
+        };
         let fb = solver.stats();
         stats.engine = fb.engine;
         stats.incumbents = fb.incumbents;
+        stats.probe_workers += fb.probe_workers;
+        stats.probe_incumbents += fb.probe_incumbents;
+        stats.incumbent_source = fb.incumbent_source;
         stats.winner = None;
         stats.elapsed = start.elapsed();
         return out;
@@ -552,8 +721,11 @@ pub(crate) fn solve_portfolio(
     // panicked, so trust nothing that does not check out.
     let incumbent = lock_recover(&shared.incumbent)
         .take()
-        .filter(|(sol, _)| model.check(|v| sol.value(v)) == Ok(()));
-    let verdicts = || results.iter().filter_map(|r| r.as_ref().map(|(v, _)| v));
+        .filter(|(sol, _, _)| model.check(|v| sol.value(v)) == Ok(()));
+    if let Some((_, _, source)) = &incumbent {
+        stats.incumbent_source = Some(*source);
+    }
+    let verdicts = || results.iter().filter_map(|r| r.as_ref().map(|(v, _, _)| v));
     let infeasible = verdicts().any(|v| *v == WorkerVerdict::Infeasible);
     let exhausted = verdicts()
         .filter_map(|v| match v {
@@ -563,12 +735,12 @@ pub(crate) fn solve_portfolio(
         .max();
 
     match (incumbent, objective) {
-        // Feasibility race: a worker decided SAT (incumbent, objective 0).
-        (Some((solution, _)), None) => Outcome::Optimal {
+        // Feasibility race: a worker (or a validated probe) decided SAT.
+        (Some((solution, _, _)), None) => Outcome::Optimal {
             solution,
             objective: 0,
         },
-        (Some((solution, objective)), Some(_)) => {
+        (Some((solution, objective, _)), Some(_)) => {
             // Optimal iff some worker exhausted the space below the best
             // incumbent. `exhausted >= objective - 1` can only hold with
             // equality (a strictly better incumbent would contradict the
@@ -588,5 +760,24 @@ pub(crate) fn solve_portfolio(
         }
         (None, _) if infeasible => Outcome::Infeasible,
         (None, _) => Outcome::Unknown,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Worker 0 is pinned to the undiversified sequential configuration:
+    /// whatever the `threads = 1` engine decides, one portfolio member
+    /// is always running that exact search, so raising the thread count
+    /// can never lose a verdict the sequential solver finds in budget.
+    #[test]
+    fn worker_zero_runs_the_sequential_configuration() {
+        let base = EngineFeatures::default();
+        for n in [2usize, 4, 8] {
+            assert_eq!(worker_features(base, 42, 0, n), base, "n = {n}");
+        }
+        // Diversified workers genuinely differ from the base.
+        assert_ne!(worker_features(base, 42, 1, 4), base);
     }
 }

@@ -172,6 +172,42 @@ impl Reconstruction {
         self.dispositions.len()
     }
 
+    /// Projects a complete original-space assignment onto the reduced
+    /// model's variables — the inverse direction of
+    /// [`Reconstruction::expand`], used to translate heuristic incumbents
+    /// into the space the engines search. Returns `None` when the
+    /// assignment contradicts an entailed fixing or values two originals
+    /// merged into one reduced variable inconsistently: such an
+    /// assignment violates the original model, so it has no reduced
+    /// counterpart. Don't-care eliminations accept either value.
+    pub fn restrict(&self, original: &[bool], reduced_vars: usize) -> Option<Vec<bool>> {
+        if original.len() != self.dispositions.len() {
+            return None;
+        }
+        let mut values: Vec<Option<bool>> = vec![None; reduced_vars];
+        for (i, d) in self.dispositions.iter().enumerate() {
+            match *d {
+                Disposition::Fixed { value, entailed } => {
+                    if entailed && original[i] != value {
+                        return None;
+                    }
+                }
+                Disposition::Mapped { var, negated } => {
+                    let v = original[i] ^ negated;
+                    match values.get(var.index()).copied()? {
+                        None => values[var.index()] = Some(v),
+                        Some(prev) if prev != v => return None,
+                        Some(_) => {}
+                    }
+                }
+            }
+        }
+        // Every reduced variable is some surviving original's
+        // representative, so a complete original assignment covers them
+        // all; treat a gap as untranslatable rather than guessing.
+        values.into_iter().collect()
+    }
+
     /// Where an original-model literal lives in the reduced model. Used
     /// to translate assumption literals into the reduced space (and unsat
     /// cores back): equivalences ([`LitDisposition::Mapped`]) and entailed

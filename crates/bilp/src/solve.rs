@@ -24,6 +24,42 @@ use std::sync::atomic::AtomicBool;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
+/// A cheap randomized feasibility heuristic raced against the exact
+/// engines as a first-class incumbent source (see
+/// [`Solver::solve_with_probe`]).
+///
+/// With `threads > 1` the portfolio runs [`SolverConfig::probe_workers`]
+/// dedicated probe threads alongside the CDCL workers; every candidate a
+/// probe publishes is re-validated against the model and, if valid,
+/// becomes a shared incumbent whose objective value bounds every engine
+/// mid-solve. With `threads = 1` a single synchronous probe attempt
+/// seeds the descent before search starts.
+///
+/// Probes are **advisory only**: an invalid candidate is discarded (the
+/// solver never trusts one unchecked), and a probe can never cause an
+/// `Infeasible` or flip any decided verdict — it can only supply
+/// solutions earlier.
+pub trait HeuristicProbe: Send + Sync {
+    /// Runs one probe attempt. `seed` diversifies randomized heuristics
+    /// (each attempt receives a distinct value); implementations should
+    /// poll `stop` and bail out early once it is set.
+    ///
+    /// Returns a *candidate* assignment over the model's variables
+    /// (`values[i]` is the value of variable `i`), or `None` when this
+    /// source has nothing more to offer — a probe worker thread stops
+    /// permanently on `None`.
+    fn probe(&self, seed: u64, stop: &AtomicBool) -> Option<Vec<bool>>;
+}
+
+/// Where the solution backing an outcome was first discovered.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IncumbentSource {
+    /// A CDCL engine found it (sequential descent or a portfolio worker).
+    Solver,
+    /// A [`HeuristicProbe`] published it and validation accepted it.
+    Heuristic,
+}
+
 /// Solver configuration.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct SolverConfig {
@@ -70,6 +106,13 @@ pub struct SolverConfig {
     /// (proof logs still default to [`ProofLog::DEFAULT_CAP`]). Portfolio
     /// workers split the cap evenly.
     pub mem_limit: Option<usize>,
+    /// Number of heuristic-probe threads the portfolio races alongside
+    /// the CDCL workers when a probe is supplied via
+    /// [`Solver::solve_with_probe`] and `threads > 1`. `0` (the default)
+    /// still runs one probe thread when a probe is supplied — the knob
+    /// only scales the count. Ignored when no probe is supplied; with
+    /// `threads = 1` the probe runs once synchronously instead.
+    pub probe_workers: usize,
 }
 
 impl Default for SolverConfig {
@@ -85,6 +128,7 @@ impl Default for SolverConfig {
             presolve_probe_budget: PresolveConfig::default().probe_budget,
             certify: false,
             mem_limit: None,
+            probe_workers: 0,
         }
     }
 }
@@ -230,6 +274,19 @@ pub struct SolveStats {
     /// Number of portfolio workers that panicked and were quarantined
     /// (their partial state dropped; the race continued without them).
     pub worker_panics: u32,
+    /// Number of heuristic-probe workers that ran (0 when no probe was
+    /// supplied; 1 for the sequential synchronous attempt).
+    pub probe_workers: u32,
+    /// Validated heuristic incumbents accepted from probes (each one
+    /// passed the full model check before being recorded).
+    pub probe_incumbents: u64,
+    /// Times a CDCL worker consumed a globally improved incumbent bound
+    /// mid-solve: woken by the engine's bound watch, it re-entered the
+    /// search with a strictly tighter permanent bound constraint.
+    pub bound_tightenings: u64,
+    /// Origin of the solution backing the most recent outcome, when
+    /// there is one.
+    pub incumbent_source: Option<IncumbentSource>,
 }
 
 /// The 0-1 ILP solver.
@@ -444,6 +501,9 @@ impl Solver {
             &mut self.stats.incumbents,
             &mut core,
         );
+        if out.solution().is_some() {
+            self.stats.incumbent_source = Some(descent.best_source);
+        }
         self.stats.engine = descent.engine.stats();
         self.stats.elapsed = start.elapsed();
         self.last_core = core
@@ -459,10 +519,23 @@ impl Solver {
     /// Returned solutions always satisfy every model constraint (this is
     /// re-checked internally; see [`Model::check`]).
     pub fn solve(&mut self, model: &Model) -> Outcome {
+        self.solve_probed(model, None)
+    }
+
+    /// Solves the model with a heuristic incumbent source racing the
+    /// exact engines (see [`HeuristicProbe`]). Verdicts and optima are
+    /// exactly those of [`Solver::solve`] — probes only supply validated
+    /// solutions (and hence objective upper bounds) earlier; they can
+    /// never prove infeasibility or flip a decided verdict.
+    pub fn solve_with_probe(&mut self, model: &Model, probe: &dyn HeuristicProbe) -> Outcome {
+        self.solve_probed(model, Some(probe))
+    }
+
+    fn solve_probed(&mut self, model: &Model, probe: Option<&dyn HeuristicProbe>) -> Outcome {
         self.certificate = None;
         let start = Instant::now();
         let mut facts = Vec::new();
-        let out = self.solve_inner(model, &mut facts);
+        let out = self.solve_inner(model, probe, &mut facts);
         if self.config.certify && out == Outcome::Infeasible {
             self.certificate = Some(certify_infeasibility(model, &[], &facts, &self.config));
             self.stats.elapsed = start.elapsed();
@@ -470,14 +543,19 @@ impl Solver {
         out
     }
 
-    fn solve_inner(&mut self, model: &Model, facts: &mut Vec<Lit>) -> Outcome {
+    fn solve_inner(
+        &mut self,
+        model: &Model,
+        probe: Option<&dyn HeuristicProbe>,
+        facts: &mut Vec<Lit>,
+    ) -> Outcome {
         self.stats = SolveStats::default();
         let start = Instant::now();
         // One absolute deadline covers presolve *and* search, so a long
         // probe pass eats into — never extends — the solve budget.
         let deadline = self.config.time_limit.map(|d| start + d);
         if !self.config.presolve {
-            return self.solve_reduced(model, start, deadline);
+            return self.solve_reduced(model, probe, start, deadline);
         }
         let pcfg = PresolveConfig {
             probe_budget: self.config.presolve_probe_budget,
@@ -500,7 +578,20 @@ impl Solver {
                 if self.config.certify {
                     *facts = presolve_fixed_lits(&reconstruction, model.num_vars());
                 }
-                let out = self.solve_reduced(&red, start, deadline);
+                // Probes speak the original model's variable space; the
+                // engines search the reduced one. The adapter translates
+                // every candidate through the reconstruction.
+                let reduced_probe = probe.map(|p| ReducedProbe {
+                    inner: p,
+                    recon: &reconstruction,
+                    reduced_vars: red.num_vars(),
+                });
+                let out = self.solve_reduced(
+                    &red,
+                    reduced_probe.as_ref().map(|p| p as &dyn HeuristicProbe),
+                    start,
+                    deadline,
+                );
                 self.stats.elapsed = start.elapsed();
                 Self::expand_outcome(out, &reconstruction, model)
             }
@@ -538,6 +629,7 @@ impl Solver {
     fn solve_reduced(
         &mut self,
         model: &Model,
+        probe: Option<&dyn HeuristicProbe>,
         start: Instant,
         deadline: Option<Instant>,
     ) -> Outcome {
@@ -547,6 +639,7 @@ impl Solver {
                 model,
                 &self.config,
                 threads,
+                probe,
                 &mut self.stats,
                 deadline,
                 self.interrupt.as_ref(),
@@ -567,6 +660,28 @@ impl Solver {
         if let Some(flag) = &self.interrupt {
             descent.engine.set_interrupt(Arc::clone(flag));
         }
+        // Sequential flavour of heuristic seeding: one synchronous probe
+        // attempt before the search. A validated candidate decides pure
+        // feasibility outright; with an objective it seeds the descent's
+        // incumbent, so the first bound posted is already below a real
+        // solution instead of being discovered from above.
+        if let Some(p) = probe {
+            self.stats.probe_workers = 1;
+            let stop = AtomicBool::new(false);
+            if let Some((solution, val)) = validated_probe(model, p, self.config.seed, &stop) {
+                self.stats.probe_incumbents += 1;
+                if descent.objective.is_none() {
+                    self.stats.incumbent_source = Some(IncumbentSource::Heuristic);
+                    self.stats.engine = descent.engine.stats();
+                    self.stats.elapsed = start.elapsed();
+                    return Outcome::Optimal {
+                        solution,
+                        objective: 0,
+                    };
+                }
+                descent.seed(solution, val);
+            }
+        }
         let budget = Budget {
             deadline,
             conflict_limit: self.config.conflict_limit,
@@ -580,9 +695,60 @@ impl Solver {
             &mut self.stats.incumbents,
             &mut core,
         );
+        if out.solution().is_some() {
+            self.stats.incumbent_source = Some(descent.best_source);
+        }
         self.stats.engine = descent.engine.stats();
         self.stats.elapsed = start.elapsed();
         out
+    }
+}
+
+/// Runs one probe attempt and validates the candidate against `model`:
+/// exact variable count and every constraint satisfied. Returns the
+/// assignment together with its (normalised) objective value — `0` for
+/// pure feasibility models.
+pub(crate) fn validated_probe(
+    model: &Model,
+    probe: &dyn HeuristicProbe,
+    seed: u64,
+    stop: &AtomicBool,
+) -> Option<(Assignment, i64)> {
+    let values = probe.probe(seed, stop)?;
+    if values.len() != model.num_vars() {
+        return None;
+    }
+    let solution = Assignment::from_values(values);
+    if model.check(|v| solution.value(v)).is_err() {
+        return None;
+    }
+    let val = model
+        .objective()
+        .map(|o| o.normalized().evaluate(|v| solution.value(v)))
+        .unwrap_or(0);
+    Some((solution, val))
+}
+
+/// Adapts an original-model-space [`HeuristicProbe`] to the
+/// presolve-reduced space the engines search: every candidate is
+/// translated through [`Reconstruction::restrict`].
+struct ReducedProbe<'a> {
+    inner: &'a dyn HeuristicProbe,
+    recon: &'a Reconstruction,
+    reduced_vars: usize,
+}
+
+impl HeuristicProbe for ReducedProbe<'_> {
+    fn probe(&self, seed: u64, stop: &AtomicBool) -> Option<Vec<bool>> {
+        let original = self.inner.probe(seed, stop)?;
+        match self.recon.restrict(&original, self.reduced_vars) {
+            Some(reduced) => Some(reduced),
+            // Untranslatable candidates violate the original model. An
+            // empty vector is a well-formed but never-valid candidate:
+            // the consumer's validation discards it and — unlike `None`,
+            // which retires the probe source — keeps probing.
+            None => Some(Vec::new()),
+        }
     }
 }
 
@@ -612,6 +778,8 @@ struct Descent {
     /// Best global incumbent (found without external assumptions), kept
     /// across calls so a feasibility solution seeds the later descent.
     best: Option<(Assignment, i64)>,
+    /// Where `best` came from. Meaningless while `best` is `None`.
+    best_source: IncumbentSource,
 }
 
 impl Descent {
@@ -644,7 +812,23 @@ impl Descent {
             bound_act: None,
             bounded: None,
             best: None,
+            best_source: IncumbentSource::Solver,
         })
+    }
+
+    /// Seeds the incumbent from an externally *validated* solution (a
+    /// heuristic probe's candidate after it passed the model check). The
+    /// descent records it exactly like a solver-found incumbent, so the
+    /// next `optimize` call starts strictly below it. Returns whether
+    /// the seed improved on the current best.
+    fn seed(&mut self, solution: Assignment, objective: i64) -> bool {
+        if self.best.as_ref().is_none_or(|&(_, b)| objective < b) {
+            self.best = Some((solution, objective));
+            self.best_source = IncumbentSource::Heuristic;
+            true
+        } else {
+            false
+        }
     }
 
     /// Posts `objective <= rhs` reified under a fresh activation literal
@@ -728,6 +912,7 @@ impl Descent {
                 let Some(obj) = &self.objective else {
                     if assumptions.is_empty() {
                         self.best = Some((solution.clone(), 0));
+                        self.best_source = IncumbentSource::Solver;
                     }
                     return Outcome::Optimal {
                         solution,
@@ -737,6 +922,7 @@ impl Descent {
                 let val = obj.evaluate(|v| solution.value(v));
                 if assumptions.is_empty() && self.best.as_ref().is_none_or(|&(_, b)| val < b) {
                     self.best = Some((solution.clone(), val));
+                    self.best_source = IncumbentSource::Solver;
                 }
                 Outcome::Feasible {
                     solution,
@@ -818,6 +1004,7 @@ impl Descent {
                     let solution = self.solution(model);
                     let Some(obj) = self.objective.clone() else {
                         self.best = Some((solution.clone(), 0));
+                        self.best_source = IncumbentSource::Solver;
                         return Outcome::Optimal {
                             solution,
                             objective: 0,
@@ -826,6 +1013,7 @@ impl Descent {
                     let val = obj.evaluate(|v| solution.value(v));
                     *incumbents += 1;
                     self.best = Some((solution, val));
+                    self.best_source = IncumbentSource::Solver;
                     if stop.is_some_and(|s| val <= s) {
                         let (solution, objective) = self.best.clone().expect("just recorded");
                         return Outcome::Feasible {
@@ -1185,6 +1373,9 @@ impl IncrementalSolver {
         let inner = self.inner.as_ref().expect("finish requires live state");
         self.stats.engine = inner.descent.engine.stats();
         self.stats.elapsed += start.elapsed();
+        if out.solution().is_some() {
+            self.stats.incumbent_source = Some(inner.descent.best_source);
+        }
         match &inner.reconstruction {
             None => out,
             Some(recon) => match out {
@@ -1234,6 +1425,57 @@ impl IncrementalSolver {
             .descent
             .feasible(&inner.reduced, budget, &[], &mut core);
         self.finish(out, start)
+    }
+
+    /// Seeds the descent's incumbent from a heuristic solution, given as
+    /// a complete assignment over the **original** model's variables
+    /// (`values[i]` is the value of variable `i`).
+    ///
+    /// The assignment is translated through presolve's reconstruction
+    /// and re-validated against the model it must satisfy; candidates
+    /// that are the wrong length, contradict an entailed presolve
+    /// fixing, or violate any constraint are rejected and leave the
+    /// solver untouched. An accepted seed means the next
+    /// [`optimize`](IncrementalSolver::optimize) descends from a real
+    /// incumbent — its first bound probe is already strictly below the
+    /// heuristic solution — and
+    /// [`SolveStats::incumbent_source`] reports
+    /// [`IncumbentSource::Heuristic`] if no solver-found solution
+    /// supersedes it. Verdicts are unaffected either way.
+    ///
+    /// Returns whether the seed was accepted (valid *and* improving on
+    /// the current incumbent, if any).
+    pub fn seed_incumbent(&mut self, values: &[bool]) -> bool {
+        let Some(inner) = self.inner.as_mut() else {
+            return false;
+        };
+        let reduced_values = match &inner.reconstruction {
+            None => {
+                if values.len() != inner.reduced.num_vars() {
+                    return false;
+                }
+                values.to_vec()
+            }
+            Some(recon) => match recon.restrict(values, inner.reduced.num_vars()) {
+                Some(v) => v,
+                None => return false,
+            },
+        };
+        let solution = Assignment::from_values(reduced_values);
+        if inner.reduced.check(|v| solution.value(v)).is_err() {
+            return false;
+        }
+        let objective = inner
+            .reduced
+            .objective()
+            .map(|o| o.normalized().evaluate(|v| solution.value(v)))
+            .unwrap_or(0);
+        if inner.descent.seed(solution, objective) {
+            self.stats.probe_incumbents += 1;
+            true
+        } else {
+            false
+        }
     }
 
     /// Branch-and-bound descent to the proven optimum, reusing everything

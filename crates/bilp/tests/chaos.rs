@@ -6,8 +6,8 @@
 //! inside one `#[test]` body, restoring the hook between scenarios.
 
 use bilp::portfolio::{CHAOS_PANIC_ALL, CHAOS_PANIC_WORKER};
-use bilp::{Certificate, LinExpr, Model, Outcome, Solver, SolverConfig};
-use std::sync::atomic::Ordering;
+use bilp::{Certificate, HeuristicProbe, LinExpr, Model, Outcome, Solver, SolverConfig};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 
 fn pigeonhole(pigeons: usize, holes: usize) -> Model {
     let mut m = Model::new();
@@ -115,4 +115,71 @@ fn chaos_panics_do_not_change_verdicts() {
     let mut s = solver(4);
     assert_eq!(s.solve(&m), Outcome::Infeasible);
     assert_eq!(s.stats().worker_panics, 0);
+}
+
+/// A probe that keeps publishing deterministic garbage — wrong lengths,
+/// empty vectors, constraint-violating assignments — as fast as the
+/// portfolio will take it.
+struct GarbageHose {
+    num_vars: usize,
+    calls: AtomicU64,
+}
+
+impl HeuristicProbe for GarbageHose {
+    fn probe(&self, seed: u64, _stop: &AtomicBool) -> Option<Vec<bool>> {
+        let call = self.calls.fetch_add(1, Ordering::Relaxed);
+        let mut x = seed.wrapping_add(call).wrapping_mul(0x9e37_79b9_7f4a_7c15) | 1;
+        let mut next = || {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            x
+        };
+        Some(match call % 4 {
+            0 => Vec::new(),
+            1 => (0..self.num_vars + 3).map(|_| next() & 1 == 1).collect(),
+            2 => vec![false; self.num_vars],
+            _ => (0..self.num_vars).map(|_| next() & 1 == 1).collect(),
+        })
+    }
+}
+
+/// Probe workers flooding the portfolio with invalid candidates must
+/// never corrupt a verdict, an optimum, or a certificate: validation
+/// sits between the probe and the shared incumbent.
+#[test]
+fn garbage_probe_flood_cannot_corrupt_the_race() {
+    // UNSAT: infeasibility still proven and certified under the flood.
+    let m = pigeonhole(5, 4);
+    let probe = GarbageHose {
+        num_vars: m.num_vars(),
+        calls: AtomicU64::new(0),
+    };
+    let mut s = solver(2);
+    assert_eq!(s.solve_with_probe(&m, &probe), Outcome::Infeasible);
+    assert!(
+        s.certificate().is_some_and(Certificate::is_certified),
+        "certificate under probe flood: {:?}",
+        s.certificate()
+    );
+    assert!(probe.calls.load(Ordering::Relaxed) >= 1, "probe never ran");
+
+    // SAT with an objective: the all-false and random candidates are
+    // rejected or dominated; the proven optimum is unchanged.
+    let (m, best) = set_cover();
+    let probe = GarbageHose {
+        num_vars: m.num_vars(),
+        calls: AtomicU64::new(0),
+    };
+    let mut s = solver(2);
+    match s.solve_with_probe(&m, &probe) {
+        Outcome::Optimal {
+            objective,
+            solution,
+        } => {
+            assert_eq!(objective, best);
+            assert_eq!(m.check(|v| solution.value(v)), Ok(()));
+        }
+        other => panic!("unexpected {other:?}"),
+    }
 }

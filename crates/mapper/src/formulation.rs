@@ -784,6 +784,33 @@ impl Formulation {
         }
     }
 
+    /// Encodes a mapping as a dense assignment over this formulation's
+    /// variables — the inverse of [`Formulation::decode`], used to hand
+    /// heuristic mappings to the solver as candidate *incumbents* (not
+    /// just branch hints). Returns `None` when the mapping uses a
+    /// placement or routing node the (possibly reachability-reduced)
+    /// formulation has no variable for. The returned vector is **not**
+    /// guaranteed to satisfy the model — callers must gate it behind
+    /// [`Model::check`](bilp::Model::check) (the solver's probe
+    /// validation does exactly that).
+    pub fn encode(&self, dfg: &Dfg, mapping: &Mapping) -> Option<Vec<bool>> {
+        let mut values = vec![false; self.model.num_vars()];
+        for (q, p) in &mapping.placement {
+            values[self.f.get(&(*p, *q))?.index()] = true;
+        }
+        for (e, path) in &mapping.routes {
+            let j = dfg.edges()[e.index()].src;
+            for i in path {
+                values[self.rs.get(&(*e, *i))?.index()] = true;
+                values[self.r.get(&(*i, j))?.index()] = true;
+            }
+        }
+        for (q, s) in &self.swap {
+            values[s.index()] = mapping.swapped.contains(q);
+        }
+        Some(values)
+    }
+
     /// Size statistics.
     pub fn stats(&self) -> FormulationStats {
         FormulationStats {

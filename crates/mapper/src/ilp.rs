@@ -3,7 +3,10 @@
 use crate::formulation::{BuildInfeasible, Formulation, FormulationStats};
 use crate::mapping::{validate_mapping, Mapping};
 use crate::options::MapperOptions;
-use bilp::{Assignment, Certificate, IncrementalSolver, Outcome, SolveStats, Solver, SolverConfig};
+use bilp::{
+    Assignment, Certificate, HeuristicProbe, IncrementalSolver, Outcome, SolveStats, Solver,
+    SolverConfig,
+};
 use cgra_dfg::Dfg;
 use cgra_mrrg::Mrrg;
 use std::fmt;
@@ -212,6 +215,19 @@ impl IlpMapper {
                 formulation.warm_start(dfg, &mapping);
             }
         }
+        // Inline heuristic seeding (the `threads == 1` half of
+        // `seed_probes`): run the probes synchronously before search and
+        // carry a successful mapping into the solver twice over — as
+        // warm-start branch hints *and* as a dense assignment the solver
+        // validates into a first incumbent. With `threads != 1` the
+        // probes instead race inside the portfolio (below).
+        let mut seed_values: Option<Vec<bool>> = None;
+        if self.options.seed_probes > 0 && self.options.threads == 1 {
+            if let Some((mapping, values)) = self.run_seed_probes(dfg, mrrg, &formulation, start) {
+                formulation.warm_start(dfg, &mapping);
+                seed_values = Some(values);
+            }
+        }
         let remaining = self
             .options
             .time_limit
@@ -225,6 +241,7 @@ impl IlpMapper {
             objective_stop: self.options.objective_stop,
             certify: self.options.certify,
             mem_limit: self.options.mem_limit,
+            probe_workers: self.options.seed_probes,
             ..SolverConfig::default()
         };
         // The incremental path keeps one engine across the feasibility
@@ -232,13 +249,34 @@ impl IlpMapper {
         // engines, so `threads != 1` falls back to the one-shot solve.
         let (outcome, solver_stats, certificate) =
             if self.options.incremental && self.options.threads == 1 {
-                self.solve_incremental(dfg, mrrg, &formulation, config)
+                self.solve_incremental(dfg, mrrg, &formulation, config, seed_values.as_deref())
             } else {
                 let mut solver = Solver::with_config(config);
                 if let Some(flag) = &self.interrupt {
                     solver.set_interrupt(Arc::clone(flag));
                 }
-                let out = solver.solve(formulation.model());
+                let out = if self.options.seed_probes > 0 && self.options.threads != 1 {
+                    // Racing probes: dedicated portfolio workers run
+                    // cheap annealing attempts concurrently with the
+                    // CDCL engines; validated mappings become shared
+                    // incumbents that bound every engine mid-solve.
+                    let probe = AnnealProbe {
+                        dfg,
+                        mrrg,
+                        formulation: &formulation,
+                        options: self.options,
+                        deadline: Instant::now() + self.probe_budget(start),
+                    };
+                    solver.solve_with_probe(formulation.model(), &probe)
+                } else if let Some(values) = &seed_values {
+                    // Sequential non-incremental solve: hand the inline
+                    // probe's assignment over as a one-shot incumbent
+                    // candidate (the solver still validates it).
+                    let probe = PrecomputedProbe { values };
+                    solver.solve_with_probe(formulation.model(), &probe)
+                } else {
+                    solver.solve(formulation.model())
+                };
                 let outcome = self.decode_outcome(dfg, mrrg, &formulation, out);
                 let certificate = solver.certificate().cloned();
                 (outcome, solver.stats(), certificate)
@@ -275,10 +313,17 @@ impl IlpMapper {
         mrrg: &Mrrg,
         formulation: &Formulation,
         config: SolverConfig,
+        seed: Option<&[bool]>,
     ) -> (MapOutcome, SolveStats, Option<Certificate>) {
         let mut inc = IncrementalSolver::new(formulation.model(), config);
         if let Some(flag) = &self.interrupt {
             inc.set_interrupt(Arc::clone(flag));
+        }
+        // An inline probe's mapping seeds the descent's incumbent: the
+        // optimising phase starts already bounded below a real mapping
+        // instead of spending its first bound probe rediscovering one.
+        if let Some(values) = seed {
+            inc.seed_incumbent(values);
         }
         let first = inc.solve_feasible();
         let outcome = if self.options.optimize && first.solution().is_some() {
@@ -384,6 +429,149 @@ impl IlpMapper {
             }
         }
         None
+    }
+
+    /// The wall-clock budget for heuristic seeding probes:
+    /// [`MapperOptions::probe_budget`] verbatim when set, otherwise 10%
+    /// of the remaining time limit clamped to [100 ms, 2 s] — or 1 s
+    /// when the attempt is unlimited. Deliberately small: probes exist
+    /// to hand the exact solver an early incumbent, not to compete with
+    /// it for the budget.
+    fn probe_budget(&self, start: Instant) -> Duration {
+        if let Some(budget) = self.options.probe_budget {
+            return budget;
+        }
+        match self.options.time_limit {
+            Some(limit) => limit
+                .saturating_sub(start.elapsed())
+                .mul_f64(0.10)
+                .clamp(Duration::from_millis(100), Duration::from_secs(2)),
+            None => Duration::from_secs(1),
+        }
+    }
+
+    /// Runs up to [`MapperOptions::seed_probes`] cheap annealing
+    /// attempts synchronously (the `threads == 1` seeding path) and
+    /// returns the first mapping the formulation can encode, with its
+    /// dense assignment over the formulation's variables.
+    fn run_seed_probes(
+        &self,
+        dfg: &Dfg,
+        mrrg: &Mrrg,
+        formulation: &Formulation,
+        start: Instant,
+    ) -> Option<(Mapping, Vec<bool>)> {
+        use crate::anneal::AnnealingMapper;
+        let budget = self.probe_budget(start);
+        let attempts = u32::try_from(self.options.seed_probes).unwrap_or(u32::MAX);
+        let per_attempt = budget / attempts.max(1);
+        let probe_start = Instant::now();
+        for k in 0..self.options.seed_probes as u64 {
+            let slice = per_attempt.min(budget.saturating_sub(probe_start.elapsed()));
+            if slice < Duration::from_millis(5) {
+                break;
+            }
+            if self
+                .interrupt
+                .as_ref()
+                .is_some_and(|f| f.load(Ordering::Relaxed))
+            {
+                break;
+            }
+            let mapper = AnnealingMapper::new(
+                MapperOptions {
+                    seed: self.options.seed.wrapping_add(k),
+                    time_limit: Some(slice),
+                    warm_start: false,
+                    seed_probes: 0,
+                    ..self.options
+                },
+                probe_anneal_params(),
+            );
+            let report = mapper.map(dfg, mrrg);
+            if let MapOutcome::Mapped { mapping, .. } = report.outcome {
+                if let Some(values) = formulation.encode(dfg, &mapping) {
+                    return Some((mapping, values));
+                }
+            }
+        }
+        None
+    }
+}
+
+/// Annealing schedule for seeding probes — much lighter than the
+/// warm-start portfolio's: probes race the exact solver, so a fast
+/// mediocre mapping beats a slow good one.
+fn probe_anneal_params() -> crate::anneal::AnnealParams {
+    crate::anneal::AnnealParams {
+        outer_iterations: 120,
+        moves_per_temperature: 200,
+        initial_temperature: 5.0,
+        cooling: 0.9,
+        congestion_growth: 0.25,
+    }
+}
+
+/// Hands a precomputed inline-probe assignment to the sequential solver
+/// as a one-shot heuristic incumbent candidate; the solver re-validates
+/// it before trusting it.
+#[derive(Debug)]
+struct PrecomputedProbe<'a> {
+    values: &'a [bool],
+}
+
+impl HeuristicProbe for PrecomputedProbe<'_> {
+    fn probe(&self, _seed: u64, _stop: &AtomicBool) -> Option<Vec<bool>> {
+        Some(self.values.to_vec())
+    }
+}
+
+/// A racing probe source for the portfolio: each `probe` call runs
+/// cheap randomized annealing attempts under the diversified seed until
+/// one produces an encodable mapping or the probe deadline passes
+/// (`None` then retires the probe worker; the CDCL workers keep the
+/// full time budget).
+#[derive(Debug)]
+struct AnnealProbe<'a> {
+    dfg: &'a Dfg,
+    mrrg: &'a Mrrg,
+    formulation: &'a Formulation,
+    options: MapperOptions,
+    deadline: Instant,
+}
+
+impl HeuristicProbe for AnnealProbe<'_> {
+    fn probe(&self, seed: u64, stop: &AtomicBool) -> Option<Vec<bool>> {
+        use crate::anneal::AnnealingMapper;
+        let mut attempt = 0u64;
+        loop {
+            if stop.load(Ordering::Relaxed) {
+                return None;
+            }
+            let now = Instant::now();
+            if now >= self.deadline {
+                return None;
+            }
+            let slice = Duration::from_millis(250).min(self.deadline - now);
+            let mapper = AnnealingMapper::new(
+                MapperOptions {
+                    seed: seed.wrapping_add(attempt.wrapping_mul(0x9e37_79b9_7f4a_7c15)),
+                    time_limit: Some(slice),
+                    warm_start: false,
+                    seed_probes: 0,
+                    threads: 1,
+                    ..self.options
+                },
+                probe_anneal_params(),
+            );
+            let report = mapper.map(self.dfg, self.mrrg);
+            if let MapOutcome::Mapped { mapping, .. } = report.outcome {
+                if let Some(values) = self.formulation.encode(self.dfg, &mapping) {
+                    return Some(values);
+                }
+            }
+            attempt += 1;
+        }
     }
 }
 
@@ -616,5 +804,102 @@ mod tests {
         let report = IlpMapper::new(opts).map(&tiny_dfg(), &mrrg);
         let mapping = report.outcome.mapping().expect("maps");
         assert!(mapping.swapped.is_empty());
+    }
+
+    #[test]
+    fn encode_of_a_valid_mapping_satisfies_the_model() {
+        // `encode` is what lets an annealer mapping enter the exact
+        // solver as a candidate: its output must pass the same model
+        // check the solver applies before accepting an incumbent.
+        let mrrg = small_mrrg(1);
+        let dfg = tiny_dfg();
+        let opts = MapperOptions::default();
+        let mapping = IlpMapper::new(opts)
+            .map(&dfg, &mrrg)
+            .outcome
+            .mapping()
+            .expect("maps")
+            .clone();
+        let f = Formulation::build(&dfg, &mrrg, opts).expect("builds");
+        let values = f.encode(&dfg, &mapping).expect("every atom has a variable");
+        assert_eq!(values.len(), f.model().num_vars());
+        assert_eq!(f.model().check(|v| values[v.index()]), Ok(()));
+    }
+
+    #[test]
+    fn seeding_probes_change_nothing_provable() {
+        // The proven-optimal routing usage must be identical with and
+        // without probes, sequentially and in the portfolio.
+        let mrrg = small_mrrg(1);
+        let dfg = tiny_dfg();
+        let baseline = IlpMapper::new(MapperOptions {
+            optimize: true,
+            ..MapperOptions::default()
+        })
+        .map(&dfg, &mrrg);
+        let MapOutcome::Mapped {
+            routing_usage: optimum,
+            optimal: true,
+            ..
+        } = baseline.outcome
+        else {
+            panic!("unseeded baseline should prove an optimum");
+        };
+        for threads in [1usize, 2] {
+            let report = IlpMapper::new(MapperOptions {
+                optimize: true,
+                threads,
+                seed_probes: 2,
+                probe_budget: Some(Duration::from_millis(200)),
+                ..MapperOptions::default()
+            })
+            .map(&dfg, &mrrg);
+            match &report.outcome {
+                MapOutcome::Mapped {
+                    routing_usage,
+                    optimal,
+                    ..
+                } => {
+                    assert!(*optimal, "threads={threads}");
+                    assert_eq!(*routing_usage, optimum, "threads={threads}");
+                }
+                other => panic!("threads={threads}: unexpected {other}"),
+            }
+        }
+    }
+
+    #[test]
+    fn seeding_probes_cannot_flip_infeasibility() {
+        // 5 adds onto 4 ALUs with the matching presolve off, so the
+        // exact solver itself proves infeasibility — probes hammer away
+        // and must publish nothing.
+        let mut g = Dfg::new("big");
+        let a = g.add_op("a", OpKind::Input).unwrap();
+        let mut prev = a;
+        for k in 0..5 {
+            let s = g.add_op(format!("s{k}"), OpKind::Add).unwrap();
+            g.connect(prev, s, 0).unwrap();
+            g.connect(a, s, 1).unwrap();
+            prev = s;
+        }
+        let o = g.add_op("o", OpKind::Output).unwrap();
+        g.connect(prev, o, 0).unwrap();
+        let mrrg = small_mrrg(1);
+        for threads in [1usize, 2] {
+            let report = IlpMapper::new(MapperOptions {
+                redundant_capacity: false,
+                threads,
+                seed_probes: 4,
+                probe_budget: Some(Duration::from_millis(100)),
+                ..MapperOptions::default()
+            })
+            .map(&g, &mrrg);
+            assert!(
+                matches!(report.outcome, MapOutcome::Infeasible { reason: None }),
+                "threads={threads}: {}",
+                report.outcome
+            );
+            assert_eq!(report.solver.probe_incumbents, 0, "threads={threads}");
+        }
     }
 }

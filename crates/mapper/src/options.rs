@@ -187,6 +187,23 @@ pub struct MapperOptions {
     /// never downgraded — infeasibility proofs still come only from the
     /// exact solver.
     pub anneal_fallback: bool,
+    /// Number of heuristic incumbent-seeding probes: cheap randomized
+    /// annealing attempts whose validated mappings feed the exact solver
+    /// a first incumbent *before* (and, with `threads > 1`,
+    /// *concurrently with*) its own search. With `threads = 1` the
+    /// probes run inline and seed the descent plus the warm-start branch
+    /// hints; with `threads > 1` they race inside the `bilp` portfolio
+    /// as first-class probe workers whose incumbents bound every CDCL
+    /// engine mid-solve. Verdicts, optimal objective values and
+    /// infeasibility certificates are unaffected — probes only supply
+    /// upper bounds earlier. `0` (the default) disables seeding.
+    pub seed_probes: usize,
+    /// Wall-clock budget for heuristic seeding probes per mapping
+    /// attempt (split across `seed_probes` attempts inline, or bounding
+    /// each portfolio probe worker's racing window). `None` derives a
+    /// default from `time_limit`: 10% of the remaining budget, clamped
+    /// to [100 ms, 2 s], or 1 s when unlimited.
+    pub probe_budget: Option<Duration>,
 }
 
 impl Default for MapperOptions {
@@ -211,6 +228,8 @@ impl Default for MapperOptions {
             mem_limit: None,
             build_jobs: 1,
             anneal_fallback: false,
+            seed_probes: 0,
+            probe_budget: None,
         }
     }
 }

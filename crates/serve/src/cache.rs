@@ -84,6 +84,8 @@ pub fn options_fingerprint(o: &MapperOptions) -> u64 {
     h.write_u64(o.certify as u64);
     h.write_opt_i64(o.mem_limit.map(|n| n as i64));
     h.write_u64(o.anneal_fallback as u64);
+    h.write_u64(o.seed_probes as u64);
+    h.write_opt_i64(o.probe_budget.map(|d| d.as_micros() as i64));
     // `build_jobs` is deliberately *not* hashed: the built model is
     // bit-identical at every job count, so requests differing only in
     // build parallelism share one cache entry.

@@ -28,7 +28,7 @@
 //! functions take the DFG and an MRRG supplier.
 
 use crate::json::{obj, s, Json};
-use bilp::{Certificate, EngineStats, PresolveStats, SolveStats};
+use bilp::{Certificate, EngineStats, IncumbentSource, PresolveStats, SolveStats};
 use cgra_dfg::Dfg;
 use cgra_mapper::{
     text as mapper_text, BuildInfeasible, FormulationStats, IiAttempt, MapOutcome, MapReport,
@@ -334,6 +334,14 @@ pub fn encode_options(o: &MapperOptions) -> Json {
         ),
         ("build_jobs", Json::Int(o.build_jobs as i64)),
         ("anneal_fallback", Json::Bool(o.anneal_fallback)),
+        ("seed_probes", Json::Int(o.seed_probes as i64)),
+        (
+            "probe_budget_us",
+            match o.probe_budget {
+                Some(d) => Json::Int(d.as_micros() as i64),
+                None => Json::Null,
+            },
+        ),
     ])
 }
 
@@ -469,6 +477,24 @@ pub fn decode_options(doc: Option<&Json>) -> Result<MapperOptions, WireError> {
     }
     if let Some(v) = doc.get("anneal_fallback") {
         o.anneal_fallback = req_bool(v, "anneal_fallback")?;
+    }
+    if let Some(v) = doc.get("seed_probes") {
+        let n = v.as_u64().ok_or_else(|| {
+            WireError::new(
+                ErrorKind::Request,
+                "`seed_probes` must be a non-negative integer",
+            )
+        })?;
+        if n > 64 {
+            return Err(WireError::new(
+                ErrorKind::Request,
+                "`seed_probes` must be <= 64",
+            ));
+        }
+        o.seed_probes = n as usize;
+    }
+    if let Some(v) = doc.get("probe_budget_us") {
+        o.probe_budget = opt_duration(v, "probe_budget_us")?;
     }
     Ok(o)
 }
@@ -851,6 +877,17 @@ fn encode_solve_stats(st: &SolveStats) -> Json {
         ),
         ("presolve", encode_presolve(&st.presolve)),
         ("worker_panics", Json::Int(st.worker_panics as i64)),
+        ("probe_workers", Json::Int(st.probe_workers as i64)),
+        ("probe_incumbents", Json::Int(st.probe_incumbents as i64)),
+        ("bound_tightenings", Json::Int(st.bound_tightenings as i64)),
+        (
+            "incumbent_source",
+            match st.incumbent_source {
+                Some(IncumbentSource::Solver) => s("solver"),
+                Some(IncumbentSource::Heuristic) => s("heuristic"),
+                None => Json::Null,
+            },
+        ),
     ])
 }
 
@@ -897,6 +934,16 @@ fn decode_solve_stats(doc: &Json) -> Result<SolveStats, WireError> {
                 .ok_or_else(|| bad("missing `presolve`"))?,
         )?,
         worker_panics: get_u64(doc, "worker_panics")? as u32,
+        // Probe counters arrived with heuristic incumbent seeding;
+        // tolerate their absence so older peers still decode.
+        probe_workers: get_u64(doc, "probe_workers").unwrap_or(0) as u32,
+        probe_incumbents: get_u64(doc, "probe_incumbents").unwrap_or(0),
+        bound_tightenings: get_u64(doc, "bound_tightenings").unwrap_or(0),
+        incumbent_source: match doc.get("incumbent_source").and_then(Json::as_str) {
+            Some("solver") => Some(IncumbentSource::Solver),
+            Some("heuristic") => Some(IncumbentSource::Heuristic),
+            _ => None,
+        },
     })
 }
 

@@ -196,6 +196,8 @@ fn options_roundtrip_every_field() {
         mem_limit: Some(1 << 20),
         build_jobs: 4,
         anneal_fallback: true,
+        seed_probes: 6,
+        probe_budget: Some(Duration::from_millis(750)),
     };
     for options in [MapperOptions::default(), full] {
         let doc = encode_options(&options);
