@@ -430,6 +430,53 @@ impl Poller {
     }
 }
 
+/// Blocks until `fd` becomes readable (or its peer hangs up), the
+/// `timeout` elapses, or `stop` is observed set. Returns `Ok(true)`
+/// when the descriptor is ready, `Ok(false)` on timeout or stop.
+///
+/// A one-shot convenience over [`Poller`] for blocking callers that
+/// need a *cancellable* wait without joining a long-lived event loop —
+/// the `cgra-router` uses it while waiting for a shard's response, so a
+/// router shutdown (or a per-request deadline) interrupts the wait at
+/// `tick` granularity instead of pinning the connection thread on a
+/// dead upstream. Fails with [`std::io::ErrorKind::Unsupported`] on
+/// platforms without a readiness facility; callers fall back to plain
+/// timed reads.
+pub fn wait_readable(
+    fd: Fd,
+    timeout: Option<Duration>,
+    stop: &std::sync::atomic::AtomicBool,
+    tick: Duration,
+) -> io::Result<bool> {
+    let mut poller = Poller::new()?;
+    poller.register(fd, 0, Interest::READ)?;
+    let deadline = timeout.map(|t| std::time::Instant::now() + t);
+    let tick = tick.max(Duration::from_millis(1));
+    let mut events = Vec::new();
+    loop {
+        if stop.load(std::sync::atomic::Ordering::SeqCst) {
+            return Ok(false);
+        }
+        let wait = match deadline {
+            Some(d) => {
+                let left = d.saturating_duration_since(std::time::Instant::now());
+                if left.is_zero() {
+                    return Ok(false);
+                }
+                left.min(tick)
+            }
+            None => tick,
+        };
+        poller.wait(&mut events, Some(wait))?;
+        if events
+            .iter()
+            .any(|e| e.token == 0 && (e.readable || e.hangup))
+        {
+            return Ok(true);
+        }
+    }
+}
+
 #[cfg(all(test, unix))]
 mod tests {
     use super::*;
@@ -486,6 +533,38 @@ mod tests {
             .unwrap();
         assert!(!events.iter().any(|e| e.writable && e.token == 1));
         poller.deregister(a.as_raw_fd()).unwrap();
+    }
+
+    #[test]
+    fn wait_readable_sees_data_timeout_and_stop() {
+        use std::sync::atomic::{AtomicBool, Ordering};
+        let (a, mut b) = UnixStream::pair().unwrap();
+        let stop = AtomicBool::new(false);
+        // Nothing pending: a short timeout elapses as not-ready.
+        let ready = wait_readable(
+            a.as_raw_fd(),
+            Some(Duration::from_millis(20)),
+            &stop,
+            Duration::from_millis(5),
+        )
+        .unwrap();
+        assert!(!ready);
+        // A byte makes the wait return ready.
+        b.write_all(&[1]).unwrap();
+        let ready = wait_readable(
+            a.as_raw_fd(),
+            Some(Duration::from_secs(5)),
+            &stop,
+            Duration::from_millis(5),
+        )
+        .unwrap();
+        assert!(ready);
+        // A set stop flag wins over an indefinite wait.
+        let mut drain = [0u8; 1];
+        (&a).read_exact(&mut drain).unwrap();
+        stop.store(true, Ordering::SeqCst);
+        let ready = wait_readable(a.as_raw_fd(), None, &stop, Duration::from_millis(5)).unwrap();
+        assert!(!ready);
     }
 
     #[test]

@@ -119,6 +119,17 @@ impl Rng {
     pub fn gen_f64(&mut self) -> f64 {
         (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
     }
+
+    /// A multiplicative jitter factor, uniform in `[0.5, 1.5)`.
+    ///
+    /// Retry loops scale their backoff delay by this so that a fleet of
+    /// clients knocked over by the same event does not retry in
+    /// lockstep (the thundering-herd failure mode the `cgra-router`
+    /// backoff exists to avoid). Centred on 1.0, so expected backoff is
+    /// unchanged.
+    pub fn jitter(&mut self) -> f64 {
+        0.5 + self.gen_f64()
+    }
 }
 
 #[cfg(test)]
@@ -163,6 +174,19 @@ mod tests {
             seen[r.below(7) as usize] = true;
         }
         assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn jitter_is_centred_and_bounded() {
+        let mut r = Rng::seed_from_u64(5);
+        let mut sum = 0.0;
+        for _ in 0..10_000 {
+            let j = r.jitter();
+            assert!((0.5..1.5).contains(&j));
+            sum += j;
+        }
+        let mean = sum / 10_000.0;
+        assert!((mean - 1.0).abs() < 0.02, "jitter mean drifted: {mean}");
     }
 
     #[test]

@@ -1,0 +1,121 @@
+//! The `cgra-router` front end: routes NDJSON mapping requests across a
+//! sharded `cgra-serve` fleet.
+//!
+//! ```text
+//! cgra-router --shards ADDR,ADDR,... [--addr HOST:PORT] [--parse-arch]
+//!             [--attempts N] [--backoff-ms N] [--backoff-cap-ms N]
+//!             [--breaker N] [--probe-ms N] [--upstream-secs N]
+//!             [--seed N]
+//! ```
+//!
+//! Shard addresses must be listed in shard-index order: the first
+//! address is the daemon started with `--shard 0`, and so on. The
+//! router speaks the daemon protocol on both sides — point any client
+//! at the router instead of a daemon and sharding, retries and failover
+//! become invisible. Prints `listening on …` to stderr once bound
+//! (`--addr 127.0.0.1:0` for an ephemeral port) and exits cleanly after
+//! serving a `shutdown` command; the fleet's daemons are left running.
+
+use cgra_serve::router::{spawn_router, Router, RouterConfig};
+use std::time::Duration;
+
+const USAGE: &str = "\
+usage: cgra-router --shards ADDR,ADDR,... [options]
+  --shards A,B,...     fleet daemon addresses in shard-index order (required)
+  --addr HOST:PORT     listen address (default 127.0.0.1:9120; port 0 = ephemeral)
+  --parse-arch         route by exact architecture content hash (parses each arch)
+  --attempts N         attempts per request across transient failures (default 4)
+  --backoff-ms N       base retry backoff, doubled per attempt (default 50)
+  --backoff-cap-ms N   retry backoff ceiling (default 2000)
+  --breaker N          consecutive failures that open a shard's breaker (default 3)
+  --probe-ms N         open-breaker half-open probe interval (default 500)
+  --upstream-secs N    per-forward response timeout (default 330)
+  --seed N             retry-jitter seed (default 0x90e77)
+  --help               print this help";
+
+fn fail(message: &str) -> ! {
+    eprintln!("cgra-router: {message}");
+    eprintln!("{USAGE}");
+    std::process::exit(2);
+}
+
+fn parse_value<T: std::str::FromStr>(flag: &str, value: Option<String>) -> T {
+    let text = value.unwrap_or_else(|| fail(&format!("{flag} needs a value")));
+    text.parse()
+        .unwrap_or_else(|_| fail(&format!("{flag}: cannot parse `{text}`")))
+}
+
+fn main() {
+    let mut addr = String::from("127.0.0.1:9120");
+    let mut config = RouterConfig::default();
+
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--addr" => addr = parse_value("--addr", args.next()),
+            "--shards" => {
+                let list: String = parse_value("--shards", args.next());
+                config.shards = list
+                    .split(',')
+                    .map(str::trim)
+                    .filter(|s| !s.is_empty())
+                    .map(str::to_owned)
+                    .collect();
+            }
+            "--parse-arch" => config.parse_arch = true,
+            "--attempts" => config.max_attempts = parse_value("--attempts", args.next()),
+            "--backoff-ms" => {
+                config.backoff_base =
+                    Duration::from_millis(parse_value("--backoff-ms", args.next()))
+            }
+            "--backoff-cap-ms" => {
+                config.backoff_cap =
+                    Duration::from_millis(parse_value("--backoff-cap-ms", args.next()))
+            }
+            "--breaker" => config.breaker_threshold = parse_value("--breaker", args.next()),
+            "--probe-ms" => {
+                config.probe_interval =
+                    Duration::from_millis(parse_value::<u64>("--probe-ms", args.next()).max(1))
+            }
+            "--upstream-secs" => {
+                config.upstream_timeout =
+                    Duration::from_secs(parse_value::<u64>("--upstream-secs", args.next()).max(1))
+            }
+            "--seed" => config.seed = parse_value("--seed", args.next()),
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                return;
+            }
+            other => fail(&format!("unknown argument `{other}`")),
+        }
+    }
+
+    if config.shards.is_empty() {
+        fail("--shards is required (comma-separated daemon addresses)");
+    }
+    if config.max_attempts == 0 {
+        fail("--attempts must be >= 1");
+    }
+    eprintln!(
+        "cgra-router: {} shard{} ({}), {} attempts, breaker {} @ {}ms probes",
+        config.shards.len(),
+        if config.shards.len() == 1 { "" } else { "s" },
+        config.shards.join(", "),
+        config.max_attempts,
+        config.breaker_threshold,
+        config.probe_interval.as_millis(),
+    );
+    let router = Router::new(config);
+    let (local, accept) = match spawn_router(router, &addr) {
+        Ok(bound) => bound,
+        Err(e) => {
+            eprintln!("cgra-router: cannot bind {addr}: {e}");
+            std::process::exit(1);
+        }
+    };
+    eprintln!("listening on {local}");
+    if accept.join().is_err() {
+        eprintln!("cgra-router: accept loop panicked");
+    }
+    eprintln!("cgra-router: shut down cleanly");
+}

@@ -4,6 +4,7 @@
 //! cgra-serve [--addr HOST:PORT | --stdio] [--workers N] [--queue N]
 //!            [--cache N] [--cache-dir DIR] [--cache-read-only]
 //!            [--sessions N] [--deadline-secs N] [--shards N --shard I]
+//!            [--brownout-ms N]
 //! ```
 //!
 //! TCP mode (the default, `127.0.0.1:9115`) prints the bound address on
@@ -32,6 +33,7 @@ usage: cgra-serve [options]
   --deadline-secs N   server-side per-request time ceiling (default 300, 0 = none)
   --shards N          fleet shard count (default 1 = unsharded)
   --shard I           this daemon's shard index in 0..N (owns arch_hash % N == I)
+  --brownout-ms N     sustained-load window before cold admission steps down (default 500)
   --help              print this help";
 
 fn fail(message: &str) -> ! {
@@ -58,6 +60,7 @@ fn main() {
     let mut cache_read_only = false;
     let mut shards = 1u32;
     let mut shard_index = 0u32;
+    let mut brownout_ms = 500u64;
 
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
@@ -73,6 +76,7 @@ fn main() {
             "--deadline-secs" => deadline_secs = parse_value("--deadline-secs", args.next()),
             "--shards" => shards = parse_value("--shards", args.next()),
             "--shard" => shard_index = parse_value("--shard", args.next()),
+            "--brownout-ms" => brownout_ms = parse_value("--brownout-ms", args.next()),
             "--help" | "-h" => {
                 println!("{USAGE}");
                 return;
@@ -100,6 +104,7 @@ fn main() {
         deadline: (deadline_secs > 0).then(|| Duration::from_secs(deadline_secs)),
         shards,
         shard_index,
+        brownout_window: Duration::from_millis(brownout_ms.max(1)),
     };
     eprintln!(
         "cgra-serve: {} workers, queue {}, cache {} entries{}{}",

@@ -1,0 +1,575 @@
+//! Resilience benchmark for the `cgra-router` fleet front end.
+//!
+//! Built only with `--features fault-inject`: the interesting phase runs
+//! a seeded [`cgra_serve::fault::FaultPlan`] against an in-process fleet
+//! (two sharded daemons + a router, all in this process so the chaos
+//! hooks reach them) and measures what clients actually experience while
+//! forwards drop mid-frame and a shard dies and comes back:
+//!
+//! * **baseline** — warm requests through the router, no faults:
+//!   the p50/p99 the fault phase is compared against;
+//! * **fault** — the same warm traffic while the seeded plan drops
+//!   forwards mid-frame and shard 0 is shut down mid-burst and later
+//!   restarted on its port. Every successful response must be
+//!   byte-identical to the baseline bytes for its cell (0 verdict
+//!   mismatches, no cross-delivery), every failure must be a *typed*
+//!   error, and warm p99 must stay within 3x the no-fault p99;
+//! * **recovery** — time from the shard restarting to the router
+//!   serving its keys again (bounded by one half-open probe interval);
+//! * **shed** — deadline-shaped cold overload: cold requests with an
+//!   unmeetable `deadline_ms` must be refused with typed `overloaded`
+//!   errors carrying `retry_after_ms`, not queued to time out.
+//!
+//! Results land in `BENCH_router.json`. `--smoke` runs the same phases
+//! at CI scale and writes nothing.
+//!
+//! ```text
+//! router_bench [--out <path>] [--smoke] [--seed N]
+//! ```
+
+use cgra_arch::families::paper_configs;
+use cgra_dfg::benchmarks;
+use cgra_serve::client::Client;
+use cgra_serve::fault::{install, FaultPlan};
+use cgra_serve::json::{obj, s, Json};
+use cgra_serve::router::{spawn_router, Router, RouterConfig};
+use cgra_serve::server;
+use cgra_serve::service::{Service, ServiceConfig};
+use cgra_serve::ErrorKind;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+const SHARDS: usize = 2;
+const PROBE_INTERVAL: Duration = Duration::from_millis(250);
+
+const USAGE: &str = "usage: router_bench [--out <path>] [--smoke] [--seed N]";
+
+fn fail(message: &str) -> ! {
+    eprintln!("router_bench: {message}");
+    eprintln!("{USAGE}");
+    std::process::exit(2);
+}
+
+/// One warm workload cell plus the shard that owns its architecture.
+struct Cell {
+    label: String,
+    dfg_text: String,
+    arch_text: String,
+    owner: usize,
+    /// Baseline response bytes — every later response must equal this.
+    expected: Mutex<Option<String>>,
+}
+
+fn map_line(id: &str, cell: &Cell, time_limit_us: i64, deadline_ms: Option<u64>) -> String {
+    let mut pairs = vec![
+        ("id", s(id)),
+        ("cmd", s("map")),
+        ("dfg", s(cell.dfg_text.clone())),
+        ("arch", s(cell.arch_text.clone())),
+        ("ii", Json::Int(1)),
+        (
+            "options",
+            obj(vec![
+                ("time_limit_us", Json::Int(time_limit_us)),
+                ("threads", Json::Int(1)),
+            ]),
+        ),
+    ];
+    if let Some(ms) = deadline_ms {
+        pairs.push(("deadline_ms", Json::Int(ms as i64)));
+    }
+    obj(pairs).to_string()
+}
+
+/// Workload cells spanning both shards: small kernels on the four II=1
+/// paper architectures, labelled with the shard that owns each arch.
+fn build_cells() -> Vec<Cell> {
+    let mut cells = Vec::new();
+    for config in paper_configs().iter().filter(|c| c.contexts == 1) {
+        let owner = (config.arch.content_hash() % SHARDS as u64) as usize;
+        for kernel in ["accum", "mac"] {
+            let entry = benchmarks::by_name(kernel).expect("bench kernel");
+            cells.push(Cell {
+                label: format!("{kernel}/{}", config.label),
+                dfg_text: cgra_dfg::text::print(&(entry.build)()),
+                arch_text: cgra_arch::text::print(&config.arch),
+                owner,
+                expected: Mutex::new(None),
+            });
+        }
+    }
+    assert!(
+        cells.iter().any(|c| c.owner == 0) && cells.iter().any(|c| c.owner == 1),
+        "workload must span both shards"
+    );
+    cells
+}
+
+struct Shard {
+    addr: String,
+    service: Arc<Service>,
+    accept: std::thread::JoinHandle<()>,
+}
+
+fn shard_config() -> ServiceConfig {
+    ServiceConfig {
+        workers: 1,
+        shards: SHARDS as u32,
+        deadline: None,
+        ..ServiceConfig::default()
+    }
+}
+
+fn start_shard(index: usize, addr: &str, cache_dir: Option<std::path::PathBuf>) -> Shard {
+    let service = Service::start(ServiceConfig {
+        shard_index: index as u32,
+        cache_dir,
+        ..shard_config()
+    });
+    let (local, accept) = server::spawn_tcp(Arc::clone(&service), addr)
+        .unwrap_or_else(|e| fail(&format!("cannot bind shard {index} on {addr}: {e}")));
+    Shard {
+        addr: local.to_string(),
+        service,
+        accept,
+    }
+}
+
+fn stop_shard(shard: Shard) {
+    shard.service.initiate_shutdown();
+    let _ = shard.accept.join();
+    shard.service.join_workers();
+}
+
+fn percentile(sorted: &[Duration], q: f64) -> Duration {
+    if sorted.is_empty() {
+        return Duration::ZERO;
+    }
+    let rank = ((sorted.len() - 1) as f64 * q).round() as usize;
+    sorted[rank.min(sorted.len() - 1)]
+}
+
+struct PhaseOutcome {
+    latencies: Vec<Duration>,
+    wall: Duration,
+    mismatches: u64,
+    unavailable: u64,
+    shutting_down: u64,
+    overloaded: u64,
+    other_errors: u64,
+}
+
+/// Drives `requests` warm requests through the router over `conns`
+/// connections, recording latency for successes, the typed-error mix
+/// for refusals, and byte-level mismatches against each cell's baseline
+/// bytes. A response whose id differs from its request's would count as
+/// a mismatch too — that is the cross-delivery check.
+fn drive_warm(router_addr: &str, cells: &[Cell], conns: usize, requests: usize) -> PhaseOutcome {
+    let latencies: Mutex<Vec<Duration>> = Mutex::new(Vec::with_capacity(requests));
+    let mismatches = AtomicU64::new(0);
+    let unavailable = AtomicU64::new(0);
+    let shutting_down = AtomicU64::new(0);
+    let overloaded = AtomicU64::new(0);
+    let other_errors = AtomicU64::new(0);
+    let per_conn = requests / conns.max(1);
+    let wall_start = Instant::now();
+    std::thread::scope(|scope| {
+        for conn in 0..conns.max(1) {
+            let latencies = &latencies;
+            let mismatches = &mismatches;
+            let unavailable = &unavailable;
+            let shutting_down = &shutting_down;
+            let overloaded = &overloaded;
+            let other_errors = &other_errors;
+            scope.spawn(move || {
+                let mut client = match Client::connect(router_addr) {
+                    Ok(c) => c,
+                    Err(e) => {
+                        eprintln!("router_bench: connect failed: {e}");
+                        other_errors.fetch_add(per_conn as u64, Ordering::Relaxed);
+                        return;
+                    }
+                };
+                for i in 0..per_conn {
+                    let cell = &cells[(conn + i) % cells.len()];
+                    let id = format!("w{conn}-{i}");
+                    let line = map_line(&id, cell, 10_000_000, None);
+                    let start = Instant::now();
+                    if client.send_line(&line).is_err() {
+                        // The router never drops a client connection on
+                        // upstream failure; a broken pipe here is a
+                        // harness bug, not a typed refusal.
+                        other_errors.fetch_add(1, Ordering::Relaxed);
+                        match Client::connect(router_addr) {
+                            Ok(c) => {
+                                client = c;
+                                continue;
+                            }
+                            Err(_) => return,
+                        }
+                    }
+                    match client.recv_response() {
+                        Ok(r) => {
+                            latencies.lock().unwrap().push(start.elapsed());
+                            let expected = cell.expected.lock().unwrap();
+                            let wrong_bytes =
+                                expected.as_deref().is_some_and(|e| e != r.result_text);
+                            if r.id != id || wrong_bytes {
+                                mismatches.fetch_add(1, Ordering::Relaxed);
+                            }
+                        }
+                        Err(e) => match e.kind {
+                            ErrorKind::Unavailable => {
+                                unavailable.fetch_add(1, Ordering::Relaxed);
+                            }
+                            ErrorKind::ShuttingDown => {
+                                shutting_down.fetch_add(1, Ordering::Relaxed);
+                            }
+                            ErrorKind::Overloaded => {
+                                overloaded.fetch_add(1, Ordering::Relaxed);
+                            }
+                            _ => {
+                                other_errors.fetch_add(1, Ordering::Relaxed);
+                            }
+                        },
+                    }
+                }
+            });
+        }
+    });
+    let mut sorted = latencies.into_inner().unwrap();
+    let wall = wall_start.elapsed();
+    sorted.sort();
+    PhaseOutcome {
+        latencies: sorted,
+        wall,
+        mismatches: mismatches.load(Ordering::Relaxed),
+        unavailable: unavailable.load(Ordering::Relaxed),
+        shutting_down: shutting_down.load(Ordering::Relaxed),
+        overloaded: overloaded.load(Ordering::Relaxed),
+        other_errors: other_errors.load(Ordering::Relaxed),
+    }
+}
+
+fn phase_json(p: &PhaseOutcome) -> Json {
+    obj(vec![
+        ("completed", Json::Int(p.latencies.len() as i64)),
+        (
+            "p50_ms",
+            Json::Float(percentile(&p.latencies, 0.50).as_secs_f64() * 1e3),
+        ),
+        (
+            "p99_ms",
+            Json::Float(percentile(&p.latencies, 0.99).as_secs_f64() * 1e3),
+        ),
+        ("wall_s", Json::Float(p.wall.as_secs_f64())),
+        ("verdict_mismatches", Json::Int(p.mismatches as i64)),
+        ("typed_unavailable", Json::Int(p.unavailable as i64)),
+        ("typed_shutting_down", Json::Int(p.shutting_down as i64)),
+        ("typed_overloaded", Json::Int(p.overloaded as i64)),
+        ("other_errors", Json::Int(p.other_errors as i64)),
+    ])
+}
+
+fn main() {
+    let mut out_path = String::from("BENCH_router.json");
+    let mut smoke = false;
+    let mut seed = 0xFA_0175u64;
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--out" => out_path = args.next().unwrap_or_else(|| fail("--out takes a path")),
+            "--smoke" => smoke = true,
+            "--seed" => {
+                seed = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| fail("--seed takes a number"))
+            }
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                return;
+            }
+            other => fail(&format!("unknown argument `{other}`")),
+        }
+    }
+    let (warm_requests, fault_requests, conns) = if smoke {
+        (200, 300, 2)
+    } else {
+        (2_000, 3_000, 4)
+    };
+
+    let cells = build_cells();
+    let mut failures: Vec<String> = Vec::new();
+
+    // Fleet: two sharded daemons + the router, all in-process so the
+    // fault hooks reach the router's forward path. Shard 0 persists its
+    // results so its restarted incarnation replays the exact baseline
+    // bytes from the disk tier instead of re-solving with fresh timing.
+    let cache_dir = std::env::temp_dir().join(format!("router-bench-cache-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&cache_dir);
+    let shard0 = start_shard(0, "127.0.0.1:0", Some(cache_dir.clone()));
+    let shard1 = start_shard(1, "127.0.0.1:0", None);
+    let shard0_addr = shard0.addr.clone();
+    let router = Router::new(RouterConfig {
+        shards: vec![shard0.addr.clone(), shard1.addr.clone()],
+        max_attempts: 4,
+        backoff_base: Duration::from_millis(10),
+        backoff_cap: Duration::from_millis(200),
+        breaker_threshold: 3,
+        probe_interval: PROBE_INTERVAL,
+        seed,
+        ..RouterConfig::default()
+    });
+    let (router_addr, router_accept) = spawn_router(Arc::clone(&router), "127.0.0.1:0")
+        .unwrap_or_else(|e| fail(&format!("cannot bind router: {e}")));
+    let router_addr = router_addr.to_string();
+    eprintln!(
+        "router_bench: fleet up (router {router_addr}, shards {} / {})",
+        shard0.addr, shard1.addr
+    );
+
+    // Prime: solve every cell once through the router and pin the
+    // response bytes as that cell's ground truth.
+    let mut client = Client::connect(&router_addr).unwrap_or_else(|e| fail(&format!("{e}")));
+    for (i, cell) in cells.iter().enumerate() {
+        let line = map_line(&format!("prime-{i}"), cell, 10_000_000, None);
+        client
+            .send_line(&line)
+            .unwrap_or_else(|e| fail(&format!("prime send: {e}")));
+        let r = client
+            .recv_response()
+            .unwrap_or_else(|e| fail(&format!("prime {}: {e}", cell.label)));
+        *cell.expected.lock().unwrap() = Some(r.result_text);
+    }
+    eprintln!(
+        "router_bench: primed {} cells across both shards",
+        cells.len()
+    );
+
+    // Phase 1: baseline (no faults).
+    let baseline = drive_warm(&router_addr, &cells, conns, warm_requests);
+    let baseline_p99 = percentile(&baseline.latencies, 0.99);
+    if baseline.mismatches > 0 {
+        failures.push(format!("baseline saw {} mismatches", baseline.mismatches));
+    }
+    if baseline.latencies.len() < warm_requests * 99 / 100 {
+        failures.push(format!(
+            "baseline completed only {}/{warm_requests}",
+            baseline.latencies.len()
+        ));
+    }
+    eprintln!(
+        "router_bench: baseline {} reqs, p99 {:.2} ms",
+        baseline.latencies.len(),
+        baseline_p99.as_secs_f64() * 1e3
+    );
+
+    // Phase 2: the fault phase. The seeded plan drops ~1% of forwards
+    // mid-frame; concurrently shard 0 is shut down mid-burst and then
+    // restarted on its original port.
+    let plan = FaultPlan::seeded(seed, fault_requests as u64, 0, 0, fault_requests / 100);
+    let planned_drops = plan.drop_forwards.len();
+    let guard = install(plan);
+    let chaos_done = AtomicBool::new(false);
+    let shard0_slot: Mutex<Option<Shard>> = Mutex::new(Some(shard0));
+    let restarted_at: Mutex<Option<Instant>> = Mutex::new(None);
+    let restart_cache_dir = cache_dir.clone();
+    let fault = std::thread::scope(|scope| {
+        let chaos_done = &chaos_done;
+        let shard0_slot = &shard0_slot;
+        let restarted_at = &restarted_at;
+        let shard0_addr = shard0_addr.as_str();
+        scope.spawn(move || {
+            // Kill shard 0 mid-burst...
+            std::thread::sleep(Duration::from_millis(150));
+            if let Some(shard) = shard0_slot.lock().unwrap().take() {
+                stop_shard(shard);
+            }
+            eprintln!("router_bench: chaos: shard 0 down");
+            std::thread::sleep(Duration::from_millis(400));
+            // ...and bring it back on the same port and cache dir.
+            let revived = start_shard(0, shard0_addr, Some(restart_cache_dir));
+            *restarted_at.lock().unwrap() = Some(Instant::now());
+            *shard0_slot.lock().unwrap() = Some(revived);
+            eprintln!("router_bench: chaos: shard 0 restarted");
+            chaos_done.store(true, Ordering::SeqCst);
+        });
+        drive_warm(&router_addr, &cells, conns, fault_requests)
+    });
+    // The chaos thread has joined (scope), so the restart happened.
+    assert!(chaos_done.load(Ordering::SeqCst));
+    let fault_p99 = percentile(&fault.latencies, 0.99);
+    if fault.mismatches > 0 {
+        failures.push(format!(
+            "fault phase saw {} verdict mismatches / cross-deliveries",
+            fault.mismatches
+        ));
+    }
+    if fault.other_errors > 0 {
+        failures.push(format!(
+            "fault phase saw {} untyped errors (every refusal must be typed)",
+            fault.other_errors
+        ));
+    }
+    let p99_ratio = fault_p99.as_secs_f64() / baseline_p99.as_secs_f64().max(1e-9);
+    if p99_ratio > 3.0 {
+        failures.push(format!(
+            "fault-phase warm p99 {:.2} ms exceeds 3x baseline {:.2} ms",
+            fault_p99.as_secs_f64() * 1e3,
+            baseline_p99.as_secs_f64() * 1e3
+        ));
+    }
+    eprintln!(
+        "router_bench: fault phase {} ok / {} unavailable / {} shutting_down, p99 {:.2} ms ({:.2}x baseline)",
+        fault.latencies.len(),
+        fault.unavailable,
+        fault.shutting_down,
+        fault_p99.as_secs_f64() * 1e3,
+        p99_ratio
+    );
+    drop(guard); // faults off before the recovery measurement
+
+    // Phase 3: recovery. The shard is back; the router must serve its
+    // keys again within about one half-open probe interval.
+    let recovery_start = Instant::now();
+    let shard0_cell = cells.iter().find(|c| c.owner == 0).expect("shard-0 cell");
+    let recovery = loop {
+        let mut probe = Client::connect(&router_addr).unwrap_or_else(|e| fail(&format!("{e}")));
+        let line = map_line("recovery", shard0_cell, 10_000_000, None);
+        probe
+            .send_line(&line)
+            .unwrap_or_else(|e| fail(&format!("recovery send: {e}")));
+        match probe.recv_response() {
+            Ok(r) => {
+                let expected = shard0_cell.expected.lock().unwrap();
+                if expected.as_deref() != Some(r.result_text.as_str()) {
+                    failures.push("recovery response bytes differ from baseline".to_owned());
+                }
+                break recovery_start.elapsed();
+            }
+            Err(_) if recovery_start.elapsed() < PROBE_INTERVAL * 12 => {
+                std::thread::sleep(Duration::from_millis(20));
+            }
+            Err(e) => {
+                failures.push(format!("router did not recover shard 0: {e}"));
+                break recovery_start.elapsed();
+            }
+        }
+    };
+    // One open interval until the half-open probe, plus scheduling slack.
+    if recovery > PROBE_INTERVAL * 3 {
+        failures.push(format!(
+            "recovery took {recovery:?}, expected within ~{PROBE_INTERVAL:?} (one probe interval)"
+        ));
+    }
+    eprintln!("router_bench: recovered shard 0 in {recovery:?}");
+
+    // Phase 4: deadline-shaped cold shed. Cold requests (unique option
+    // fingerprints) with a 1 ms deadline cannot be served once the
+    // solve-time EWMA is non-zero — each must be refused typed
+    // `overloaded` with a retry hint, immediately.
+    let mut shed_typed = 0u64;
+    let mut shed_with_hint = 0u64;
+    let shed_total = 20u64;
+    let mut shed_client = Client::connect(&router_addr).unwrap_or_else(|e| fail(&format!("{e}")));
+    for i in 0..shed_total {
+        let cell = &cells[i as usize % cells.len()];
+        let line = map_line(
+            &format!("shed-{i}"),
+            cell,
+            20_000_000 + i as i64, // unique fingerprint: guaranteed cold
+            Some(1),
+        );
+        shed_client
+            .send_line(&line)
+            .unwrap_or_else(|e| fail(&format!("shed send: {e}")));
+        match shed_client.recv_response() {
+            Ok(_) => {}
+            Err(e) if e.kind == ErrorKind::Overloaded => {
+                shed_typed += 1;
+                if e.retry_after_ms.is_some() {
+                    shed_with_hint += 1;
+                }
+            }
+            Err(e) => failures.push(format!("shed-{i}: expected overloaded, got {e}")),
+        }
+    }
+    if shed_typed == 0 {
+        failures.push("no cold request was deadline-shed".to_owned());
+    }
+    if shed_with_hint < shed_typed {
+        failures.push("some overloaded refusals lacked retry_after_ms".to_owned());
+    }
+    eprintln!("router_bench: shed {shed_typed}/{shed_total} cold requests (all with retry hints)");
+
+    // Router's own counters, fetched through the protocol.
+    let router_stats = {
+        let mut c = Client::connect(&router_addr).unwrap_or_else(|e| fail(&format!("{e}")));
+        c.stats().map(|r| r.result).unwrap_or(Json::Null)
+    };
+
+    // Tear down: router first (it owns no state), then the fleet.
+    router.initiate_shutdown();
+    let _ = router_accept.join();
+    if let Some(shard) = shard0_slot.into_inner().unwrap() {
+        stop_shard(shard);
+    }
+    stop_shard(shard1);
+    let _ = std::fs::remove_dir_all(&cache_dir);
+
+    let doc = obj(vec![
+        ("benchmark", s("router")),
+        (
+            "description",
+            s(
+                "cgra-router under a seeded fault plan: mid-frame forward drops plus a \
+               shard kill/restart mid-burst; typed-error and byte-integrity assertions",
+            ),
+        ),
+        ("host_cores", Json::Int(cgra_par::default_jobs(1) as i64)),
+        ("seed", Json::Int(seed as i64)),
+        ("shards", Json::Int(SHARDS as i64)),
+        (
+            "probe_interval_ms",
+            Json::Int(PROBE_INTERVAL.as_millis() as i64),
+        ),
+        ("planned_forward_drops", Json::Int(planned_drops as i64)),
+        ("baseline", phase_json(&baseline)),
+        ("fault", phase_json(&fault)),
+        ("fault_p99_over_baseline", Json::Float(p99_ratio)),
+        ("recovery_ms", Json::Float(recovery.as_secs_f64() * 1e3)),
+        (
+            "shed",
+            obj(vec![
+                ("cold_sent", Json::Int(shed_total as i64)),
+                ("typed_overloaded", Json::Int(shed_typed as i64)),
+                ("with_retry_after", Json::Int(shed_with_hint as i64)),
+            ]),
+        ),
+        ("router_counters", router_stats),
+        ("passed", Json::Bool(failures.is_empty())),
+    ]);
+    if smoke {
+        eprintln!("router_bench: smoke mode, not writing {out_path}");
+    } else {
+        std::fs::write(&out_path, format!("{doc}\n")).unwrap_or_else(|e| {
+            eprintln!("router_bench: cannot write {out_path}: {e}");
+            std::process::exit(1);
+        });
+        eprintln!("router_bench: wrote {out_path}");
+    }
+    if failures.is_empty() {
+        println!(
+            "router-bench OK: 0 mismatches, {} typed refusals under faults, recovery {recovery:?}, \
+             {shed_typed} cold shed",
+            fault.unavailable + fault.shutting_down + fault.overloaded
+        );
+    } else {
+        for f in &failures {
+            eprintln!("router-bench FAIL: {f}");
+        }
+        std::process::exit(1);
+    }
+}

@@ -887,6 +887,98 @@ fn run_restart(time_limit: Duration) -> (Json, Vec<String>) {
     )
 }
 
+/// Sharded-fleet phase: two shard daemons, no router — a shard-aware
+/// client uses `Client::send_routed`, which resolves one `wrong_shard`
+/// redirect per unknown architecture and caches the learned owner, so a
+/// second pass over the same fleet must cost zero further redirects and
+/// replay byte-identically.
+fn run_sharded(time_limit: Duration) -> (Json, Vec<String>) {
+    let mut failures = Vec::new();
+    let start = |index: u32| {
+        let service = Service::start(ServiceConfig {
+            workers: 1,
+            shards: 2,
+            shard_index: index,
+            ..ServiceConfig::default()
+        });
+        let (addr, accept) =
+            server::spawn_tcp(Arc::clone(&service), "127.0.0.1:0").expect("bind ephemeral port");
+        (service, addr.to_string(), accept)
+    };
+    let (svc0, addr0, accept0) = start(0);
+    let (svc1, addr1, accept1) = start(1);
+    let fleet = vec![addr0.clone(), addr1];
+
+    let kernel = cgra_dfg::text::print(&benchmarks::accum());
+    let archs: Vec<String> = paper_configs()
+        .iter()
+        .filter(|c| c.contexts == 1)
+        .map(|c| cgra_arch::text::print(&c.arch))
+        .collect();
+    let request = |i: usize, arch: &str| {
+        obj(vec![
+            ("id", s(format!("sh-{i}"))),
+            ("cmd", s("map")),
+            ("dfg", s(kernel.clone())),
+            ("arch", s(arch)),
+            ("ii", Json::Int(1)),
+            (
+                "options",
+                obj(vec![
+                    ("time_limit_us", Json::Int(time_limit.as_micros() as i64)),
+                    ("threads", Json::Int(1)),
+                ]),
+            ),
+        ])
+    };
+
+    let mut client = Client::connect(&fleet[0]).expect("fleet connection");
+    let mut first_pass = Vec::new();
+    for (i, arch) in archs.iter().enumerate() {
+        match client.send_routed(&fleet, &request(i, arch)) {
+            Ok(r) => first_pass.push(r.result_text),
+            Err(e) => failures.push(format!("sharded cell {i} failed: {e}")),
+        }
+    }
+    let redirects_first = client.routed_redirects();
+
+    // Second pass: learned routes, zero new redirects, identical bytes.
+    for (i, arch) in archs.iter().enumerate() {
+        match client.send_routed(&fleet, &request(i, arch)) {
+            Ok(r) => {
+                if first_pass.get(i).map(String::as_str) != Some(r.result_text.as_str()) {
+                    failures.push(format!("sharded cell {i} replay not byte-identical"));
+                }
+                if !r.served.map(|sv| sv.cache_hit).unwrap_or(false) {
+                    failures.push(format!("sharded cell {i} replay missed the cache"));
+                }
+            }
+            Err(e) => failures.push(format!("sharded cell {i} replay failed: {e}")),
+        }
+    }
+    let redirects_second = client.routed_redirects() - redirects_first;
+    if redirects_second != 0 {
+        failures.push(format!(
+            "second sharded pass should use learned routes, saw {redirects_second} redirects"
+        ));
+    }
+
+    for (svc, addr, accept) in [(svc0, &fleet[0], accept0), (svc1, &addr0, accept1)] {
+        let _ = addr;
+        svc.initiate_shutdown();
+        let _ = accept.join();
+        svc.join_workers();
+    }
+    (
+        obj(vec![
+            ("cells", Json::Int(archs.len() as i64)),
+            ("redirects_first_pass", Json::Int(redirects_first as i64)),
+            ("redirects_second_pass", Json::Int(redirects_second as i64)),
+        ]),
+        failures,
+    )
+}
+
 fn run_full(out_path: &str, time_limit: Duration) {
     let cells = build_cells();
     eprintln!(
@@ -1043,6 +1135,12 @@ fn run_full(out_path: &str, time_limit: Duration) {
         eprintln!("serve_bench: RESTART FAIL: {f}");
     }
 
+    eprintln!("serve_bench: sharded fleet (redirect-learning client)...");
+    let (sharded, sharded_failures) = run_sharded(time_limit);
+    for f in &sharded_failures {
+        eprintln!("serve_bench: SHARDED FAIL: {f}");
+    }
+
     let doc = obj(vec![
         ("benchmark", s("serve")),
         (
@@ -1066,6 +1164,7 @@ fn run_full(out_path: &str, time_limit: Duration) {
         ("mixed", mixed),
         ("coalesce", coalesce),
         ("restart", restart),
+        ("sharded", sharded),
         ("headline_warm_storm_rps", Json::Float(headline_storm)),
         (
             "total_verdict_mismatches",
@@ -1078,7 +1177,11 @@ fn run_full(out_path: &str, time_limit: Duration) {
         std::process::exit(1);
     });
     eprintln!("serve_bench: wrote {out_path}");
-    if total_mismatches > 0 || !coalesce_failures.is_empty() || !restart_failures.is_empty() {
+    if total_mismatches > 0
+        || !coalesce_failures.is_empty()
+        || !restart_failures.is_empty()
+        || !sharded_failures.is_empty()
+    {
         std::process::exit(1);
     }
 }

@@ -7,15 +7,29 @@
 
 use crate::json::{obj, s, Json};
 use crate::wire::{ErrorKind, Served, WireError};
+use cgra_dfg::ContentHasher;
+use std::collections::HashMap;
 use std::io::{BufRead, BufReader, Write};
 use std::net::TcpStream;
 
 /// A blocking connection to a running service.
+///
+/// For sharded fleets without a router in front,
+/// [`Client::send_routed`] aims each request at the owning shard
+/// directly: it guesses from a hash of the raw architecture text,
+/// follows at most one typed `wrong_shard` redirect, and caches the
+/// learned mapping so every later request for that architecture goes
+/// straight to its owner.
 #[derive(Debug)]
 pub struct Client {
     reader: BufReader<TcpStream>,
     writer: TcpStream,
     next_id: u64,
+    /// Learned shard map: raw-arch-text hash → fleet index.
+    routes: HashMap<u64, usize>,
+    /// Lazily-opened connections to fleet members, by address.
+    fleet: HashMap<String, Client>,
+    redirects: u64,
 }
 
 /// A decoded success response.
@@ -42,6 +56,9 @@ impl Client {
             reader: BufReader::new(stream),
             writer,
             next_id: 0,
+            routes: HashMap::new(),
+            fleet: HashMap::new(),
+            redirects: 0,
         })
     }
 
@@ -138,6 +155,77 @@ impl Client {
         self.request(&obj(fields))
     }
 
+    /// Sends `request` to the shard of `fleet` that owns its `arch`,
+    /// resolving at most one typed `wrong_shard` redirect and caching
+    /// the learned mapping for subsequent requests.
+    ///
+    /// `fleet` lists every shard's address in shard-index order (the
+    /// same order the daemons' `--shard I` indices use). The first
+    /// request for an unknown architecture is aimed by a hash of the
+    /// raw architecture text — a guess that the owning daemon corrects
+    /// with a `wrong_shard` error carrying the typed `owner_shard`
+    /// index; the redirect is followed once and the mapping cached, so
+    /// repeats go straight to the owner. Connections to fleet members
+    /// are opened lazily and kept for the client's lifetime. This
+    /// client's own connection (from [`Client::connect`]) is not used.
+    pub fn send_routed(
+        &mut self,
+        fleet: &[String],
+        request: &Json,
+    ) -> Result<OkResponse, WireError> {
+        if fleet.is_empty() {
+            return Err(WireError::new(ErrorKind::Request, "empty fleet"));
+        }
+        let arch_key = {
+            let mut h = ContentHasher::new("cgra-serve-route");
+            h.write_bytes(
+                request
+                    .get("arch")
+                    .and_then(Json::as_str)
+                    .unwrap_or_default()
+                    .as_bytes(),
+            );
+            h.finish()
+        };
+        let guess = self
+            .routes
+            .get(&arch_key)
+            .copied()
+            .unwrap_or((arch_key % fleet.len() as u64) as usize)
+            .min(fleet.len() - 1);
+        match self.fleet_conn(fleet, guess)?.request(request) {
+            Err(e) if e.kind == ErrorKind::WrongShard => {
+                let owner = match e.owner_shard {
+                    Some(o) if (o as usize) < fleet.len() => o as usize,
+                    _ => return Err(e), // untyped redirect: surface it
+                };
+                self.redirects += 1;
+                self.routes.insert(arch_key, owner);
+                self.fleet_conn(fleet, owner)?.request(request)
+            }
+            outcome => {
+                self.routes.insert(arch_key, guess);
+                outcome
+            }
+        }
+    }
+
+    /// How many `wrong_shard` redirects [`Client::send_routed`] has
+    /// resolved (each one teaches the route cache an owner).
+    pub fn routed_redirects(&self) -> u64 {
+        self.redirects
+    }
+
+    fn fleet_conn(&mut self, fleet: &[String], index: usize) -> Result<&mut Client, WireError> {
+        let addr = &fleet[index];
+        if !self.fleet.contains_key(addr) {
+            let conn = Client::connect(addr)
+                .map_err(|e| WireError::new(ErrorKind::Internal, format!("{addr}: {e}")))?;
+            self.fleet.insert(addr.clone(), conn);
+        }
+        Ok(self.fleet.get_mut(addr).expect("just inserted"))
+    }
+
     /// Requests the service counters.
     pub fn stats(&mut self) -> Result<OkResponse, WireError> {
         let id = self.fresh_id();
@@ -194,6 +282,7 @@ pub fn decode_response(line: &str) -> Result<OkResponse, WireError> {
                 Some("overloaded") => ErrorKind::Overloaded,
                 Some("wrong_shard") => ErrorKind::WrongShard,
                 Some("shutting_down") => ErrorKind::ShuttingDown,
+                Some("unavailable") => ErrorKind::Unavailable,
                 _ => ErrorKind::Internal,
             };
             let detail = error
@@ -201,7 +290,15 @@ pub fn decode_response(line: &str) -> Result<OkResponse, WireError> {
                 .and_then(Json::as_str)
                 .unwrap_or_default()
                 .to_owned();
-            Err(WireError::new(kind, detail))
+            // Optional hints: absent on older servers, decoded
+            // tolerantly (same pattern as the solver stats fields).
+            let mut decoded = WireError::new(kind, detail);
+            decoded.retry_after_ms = error.get("retry_after_ms").and_then(Json::as_u64);
+            decoded.owner_shard = error
+                .get("owner_shard")
+                .and_then(Json::as_u64)
+                .map(|v| v as u32);
+            Err(decoded)
         }
         None => Err(WireError::new(
             ErrorKind::Internal,

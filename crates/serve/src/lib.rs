@@ -58,8 +58,10 @@
 
 pub mod cache;
 pub mod client;
+pub mod fault;
 pub mod json;
 pub mod reactor;
+pub mod router;
 pub mod segment;
 pub mod server;
 pub mod service;
@@ -67,5 +69,6 @@ pub mod wire;
 
 pub use client::Client;
 pub use json::Json;
+pub use router::{Router, RouterConfig};
 pub use service::{Service, ServiceConfig};
 pub use wire::{ErrorKind, Request, RequestBody, Served, WireError};

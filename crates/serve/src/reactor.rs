@@ -249,10 +249,16 @@ mod imp {
                         if conn.gen == gen {
                             conn.complete(c.seq, c.response);
                             dirty.push(slot);
+                        } else {
+                            // A stale generation means the original
+                            // client vanished and the slot was reused:
+                            // dropping the response is the only correct
+                            // delivery. Counted so the chaos suites can
+                            // assert no response crossed connections.
+                            stats.stale_completions.fetch_add(1, Ordering::Relaxed);
                         }
-                        // A stale generation means the original client
-                        // vanished and the slot was reused: dropping the
-                        // response is the only correct delivery.
+                    } else {
+                        stats.stale_completions.fetch_add(1, Ordering::Relaxed);
                     }
                 }
             }

@@ -355,6 +355,21 @@ impl SegmentStore {
         record.extend_from_slice(payload);
 
         let offset = self.file.seek(SeekFrom::Start(self.scanned))?;
+        if crate::fault::tear_this_append() {
+            // Chaos hook: simulate a crash mid-record — a durable torn
+            // prefix reaches the disk, the index never publishes, and
+            // `scanned` does not advance, exactly like a writer killed
+            // between `write_all` and the index insert. Readers must
+            // see only whole records; a writable re-open truncates.
+            let keep = if payload.is_empty() {
+                RECORD_HEADER / 2
+            } else {
+                RECORD_HEADER + payload.len() / 2
+            };
+            self.file.write_all(&record[..keep])?;
+            self.file.sync_data()?;
+            return Err(std::io::Error::other("fault-inject: torn append"));
+        }
         self.file.write_all(&record)?;
         self.file.sync_data()?;
         self.index.insert(
@@ -522,6 +537,48 @@ mod tests {
         assert_eq!(reader.get(31).as_deref(), Some("late"));
         // No growth: refresh is a no-op.
         assert_eq!(reader.refresh().unwrap(), 0);
+        let _ = std::fs::remove_dir_all(path.parent().unwrap());
+    }
+
+    /// The ISSUE 9 torn-tail scenario end to end: a writer "killed"
+    /// mid-record (via the fault-injection tear hook) leaves a durable
+    /// partial record; a reader `refresh()`ing concurrently must see
+    /// only whole records, and after the writer restarts (truncating
+    /// the tail) the same reader converges on the clean replacement.
+    #[cfg(feature = "fault-inject")]
+    #[test]
+    fn reader_refresh_never_sees_torn_records_from_killed_writer() {
+        use crate::fault::{install, FaultPlan};
+        let path = temp_seg("fault-torn");
+        let mut writer = SegmentStore::open(&path, true).unwrap();
+        writer.append(40, "before").unwrap();
+        let mut reader = SegmentStore::open(&path, false).unwrap();
+        assert_eq!(reader.get(40).as_deref(), Some("before"));
+
+        let guard = install(FaultPlan {
+            panic_solves: vec![],
+            tear_appends: vec![0],
+            drop_forwards: vec![],
+        });
+        // The kill: the first append tears mid-record and the writer
+        // stops being used, as if SIGKILLed between write and publish.
+        assert!(writer.append(41, "torn victim").is_err());
+        drop(writer);
+        drop(guard);
+
+        // The concurrent reader refreshes against the torn tail: zero
+        // new records, the torn key reads as a miss, old keys survive.
+        assert_eq!(reader.refresh().unwrap(), 0);
+        assert_eq!(reader.get(41), None, "torn record must not surface");
+        assert_eq!(reader.get(40).as_deref(), Some("before"));
+        assert_eq!(reader.stats().torn_records, 1);
+
+        // Writer restart truncates the tail and retries the append;
+        // the same reader picks up exactly the whole replacement.
+        let mut writer = SegmentStore::open(&path, true).unwrap();
+        writer.append(41, "after restart").unwrap();
+        assert_eq!(reader.refresh().unwrap(), 1);
+        assert_eq!(reader.get(41).as_deref(), Some("after restart"));
         let _ = std::fs::remove_dir_all(path.parent().unwrap());
     }
 

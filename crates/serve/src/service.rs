@@ -31,7 +31,32 @@
 //! [`crate::cache`]); MRRGs stay warm in per-architecture [`Session`]s.
 //! With `shards > 1` the daemon owns the key range
 //! `arch_hash % shards == shard_index` and answers anything else with a
-//! typed `wrong_shard` error so a fleet router can re-aim the request.
+//! typed `wrong_shard` error carrying the owning shard index, so a
+//! fleet router can re-aim the request without guessing.
+//!
+//! # Brownout admission (two priority lanes)
+//!
+//! The admission path splits traffic into a **warm lane** — cache hits,
+//! memo hits and coalesce attaches, which cost microseconds and consume
+//! no queue slots — and a **cold lane** of distinct new solves. The
+//! warm lane is *always* admitted; only cold leaders pass the load
+//! gate, which rejects in three escalating ways (every rejection is a
+//! typed `overloaded` error with a `retry_after_ms` hint derived from
+//! the solve-time EWMA and current backlog):
+//!
+//! 1. **deadline shaping** — a cold request carrying `deadline_ms` is
+//!    refused up front when predicted queue wait + one solve (from the
+//!    observed EWMAs) already exceeds its budget. Refusing costs the
+//!    server nothing and saves the client the doomed wait, so this is
+//!    the cheapest-to-refuse work and sheds first;
+//! 2. **brownout scaling** — when the queue has stayed at or above 3/4
+//!    of `queue_capacity` for a full `brownout_window`, the effective
+//!    cold capacity steps down (level 1..=3 shrinks it to 3/4, 1/2,
+//!    1/4), shedding progressively more cold work while the reactor and
+//!    the warm lane keep serving at full speed. The level resets as
+//!    soon as the backlog drains below half capacity;
+//! 3. **hard bound** — the original queue-full rejection, now with the
+//!    same retry hint.
 
 use crate::cache::{raw_request_key, request_key, LruMap, ResultCache};
 use crate::json::{obj, Json};
@@ -79,6 +104,11 @@ pub struct ServiceConfig {
     /// This daemon's shard index in `0..shards`: it owns architectures
     /// with `content_hash % shards == shard_index`.
     pub shard_index: u32,
+    /// How long the queue must stay at or above 3/4 of
+    /// `queue_capacity` before the brownout level increments (each
+    /// further full window steps the level again, up to 3). Shorter =
+    /// twitchier shedding; longer = more tolerance for bursts.
+    pub brownout_window: Duration,
 }
 
 impl Default for ServiceConfig {
@@ -93,7 +123,87 @@ impl Default for ServiceConfig {
             deadline: Some(Duration::from_secs(300)),
             shards: 1,
             shard_index: 0,
+            brownout_window: Duration::from_millis(500),
         }
+    }
+}
+
+/// Observed-load state backing brownout admission: EWMAs of solve time
+/// and queue wait (fixed-point microseconds, alpha 0.2) plus the
+/// sustained-occupancy brownout level.
+#[derive(Debug, Default)]
+struct LoadTracker {
+    solve_ewma_us: AtomicU64,
+    wait_ewma_us: AtomicU64,
+    brownout: Mutex<BrownoutState>,
+    shed_deadline: AtomicU64,
+    shed_brownout: AtomicU64,
+}
+
+#[derive(Debug, Default)]
+struct BrownoutState {
+    /// When occupancy first crossed the 3/4 threshold, if still above.
+    above_since: Option<Instant>,
+    level: u32,
+}
+
+/// EWMA with alpha = 0.2: `new = old + (sample - old) / 5`. Seeded
+/// directly by the first sample so early hints are not dragged toward
+/// zero.
+fn ewma_update(cell: &AtomicU64, sample_us: u64) {
+    let _ = cell.fetch_update(Ordering::Relaxed, Ordering::Relaxed, |old| {
+        Some(if old == 0 {
+            sample_us.max(1)
+        } else {
+            let delta = (sample_us as i64 - old as i64) / 5;
+            (old as i64 + delta).max(1) as u64
+        })
+    });
+}
+
+impl LoadTracker {
+    /// Re-evaluates the brownout level for the current queue depth and
+    /// returns it. Level `L` is how many full `window`s occupancy has
+    /// stayed at or above 3/4 capacity (capped at 3); it resets to 0
+    /// once the backlog drains below half capacity.
+    fn update_level(&self, queued: usize, capacity: usize, window: Duration) -> u32 {
+        let mut st = lock(&self.brownout);
+        let threshold = (capacity * 3 / 4).max(1);
+        if queued >= threshold {
+            let now = Instant::now();
+            let since = *st.above_since.get_or_insert(now);
+            let windows = now
+                .saturating_duration_since(since)
+                .as_nanos()
+                .checked_div(window.as_nanos().max(1))
+                .unwrap_or(0);
+            st.level = st.level.max((windows as u32).min(3));
+        } else if queued <= capacity / 2 {
+            st.above_since = None;
+            st.level = 0;
+        }
+        // Between half and 3/4 capacity: hold the current level
+        // (hysteresis), but the clock toward the next level keeps
+        // running only while actually above the threshold.
+        st.level
+    }
+
+    /// How long a client should wait before retrying, from the solve
+    /// EWMA and the backlog it would sit behind. Clamped to keep hints
+    /// useful even before any solve has been observed.
+    fn retry_hint_ms(&self, queued: usize, workers: usize) -> u64 {
+        let per_solve = self.solve_ewma_us.load(Ordering::Relaxed).max(10_000);
+        let rounds = (queued as u64) / workers.max(1) as u64 + 1;
+        (per_solve.saturating_mul(rounds) / 1_000).clamp(25, 30_000)
+    }
+
+    /// Predicted microseconds until a newly-enqueued solve completes:
+    /// queue wait (whole rounds of the pool ahead of it) plus its own
+    /// solve. Zero until the first solve lands (no data, no shaping).
+    fn predicted_completion_us(&self, queued: usize, workers: usize) -> u64 {
+        let per_solve = self.solve_ewma_us.load(Ordering::Relaxed);
+        let rounds = (queued as u64) / workers.max(1) as u64 + 1;
+        per_solve.saturating_mul(rounds)
     }
 }
 
@@ -131,6 +241,12 @@ pub struct ReactorStats {
     /// Times a connection's write buffer crossed the high watermark and
     /// paused read interest (backpressure engaged).
     pub backpressure_events: AtomicU64,
+    /// Completions dropped because their connection slot was reused (or
+    /// freed) before the solve finished. Each one is a response that
+    /// would have been cross-delivered to the wrong client without the
+    /// generation check — the chaos suites assert the check by watching
+    /// this stay consistent with the kills they inject.
+    pub stale_completions: AtomicU64,
 }
 
 struct Inner {
@@ -150,6 +266,7 @@ struct Inner {
     memo: Mutex<LruMap<u64>>,
     hooks: Mutex<Vec<Box<dyn Fn() + Send>>>,
     reactor: Arc<ReactorStats>,
+    load: LoadTracker,
     requests: AtomicU64,
     cache_hits: AtomicU64,
     cache_misses: AtomicU64,
@@ -194,6 +311,7 @@ impl Service {
             next_job: AtomicU64::new(0),
             hooks: Mutex::new(Vec::new()),
             reactor: Arc::new(ReactorStats::default()),
+            load: LoadTracker::default(),
             requests: AtomicU64::new(0),
             cache_hits: AtomicU64::new(0),
             cache_misses: AtomicU64::new(0),
@@ -308,7 +426,8 @@ impl Service {
         for w in orphans {
             (w.respond)(wire::error_response(
                 Some(&w.id),
-                &WireError::new(ErrorKind::ShuttingDown, "service is shutting down"),
+                &WireError::new(ErrorKind::ShuttingDown, "service is shutting down")
+                    .with_retry_after(SHUTDOWN_RETRY_MS),
             ));
         }
         for flag in lock(&self.inner.in_flight).values() {
@@ -359,6 +478,14 @@ impl Service {
             ("cache_disk_hits", Json::Int(disk_hits as i64)),
             ("segment_entries", Json::Int(segment_entries as i64)),
             ("rejected", counter(&self.inner.rejected)),
+            ("shed_deadline", counter(&self.inner.load.shed_deadline)),
+            ("shed_brownout", counter(&self.inner.load.shed_brownout)),
+            (
+                "brownout_level",
+                Json::Int(lock(&self.inner.load.brownout).level as i64),
+            ),
+            ("solve_ewma_us", counter(&self.inner.load.solve_ewma_us)),
+            ("wait_ewma_us", counter(&self.inner.load.wait_ewma_us)),
             ("coalesced", counter(&self.inner.coalesced)),
             ("solves", counter(&self.inner.solves)),
             ("result_entries", Json::Int(result_entries as i64)),
@@ -392,6 +519,10 @@ impl Service {
             (
                 "backpressure_events",
                 counter(&self.inner.reactor.backpressure_events),
+            ),
+            (
+                "stale_completions",
+                counter(&self.inner.reactor.stale_completions),
             ),
             ("shutting_down", Json::Bool(self.is_shutting_down())),
         ])
@@ -436,16 +567,81 @@ fn try_fast_path(inner: &Inner, key: u64, id: &str, respond: Responder) -> Optio
     Some(respond)
 }
 
+/// Fixed retry hint attached to `shutting_down` rejections: long enough
+/// for a supervisor restart to land, short enough that clients re-probe
+/// promptly.
+const SHUTDOWN_RETRY_MS: u64 = 1_000;
+
+/// The cold-lane load gate: decides whether a new leader may take a
+/// queue slot given the current backlog, returning the typed refusal
+/// when it may not. Called with `pending` and `queue` held, so it must
+/// stay cheap — EWMA loads and one short brownout-state lock.
+fn admit_cold(inner: &Inner, queued: usize, deadline: Option<Duration>) -> Option<WireError> {
+    let config = &inner.config;
+    let workers = config.workers.max(1);
+    let load = &inner.load;
+
+    // Deadline shaping: refuse work that is already doomed. Predicted
+    // completion is queue wait plus one solve from the observed EWMA;
+    // until a first solve lands there is no data and no shaping.
+    if let Some(budget) = deadline {
+        let predicted_us = load.predicted_completion_us(queued, workers);
+        if predicted_us > 0 && u128::from(predicted_us) > budget.as_micros() {
+            load.shed_deadline.fetch_add(1, Ordering::Relaxed);
+            inner.rejected.fetch_add(1, Ordering::Relaxed);
+            return Some(
+                WireError::new(
+                    ErrorKind::Overloaded,
+                    format!(
+                        "deadline_ms {} cannot be met (predicted ~{} ms queue wait + solve)",
+                        budget.as_millis(),
+                        predicted_us / 1_000
+                    ),
+                )
+                .with_retry_after(load.retry_hint_ms(queued, workers)),
+            );
+        }
+    }
+
+    // Brownout-scaled capacity bound (level 0 is the plain hard bound).
+    let level = load.update_level(queued, config.queue_capacity, config.brownout_window);
+    let effective = (config.queue_capacity * (4 - level as usize) / 4).max(1);
+    if queued >= effective {
+        if level > 0 {
+            load.shed_brownout.fetch_add(1, Ordering::Relaxed);
+        }
+        inner.rejected.fetch_add(1, Ordering::Relaxed);
+        let detail = if level > 0 {
+            format!(
+                "brownout level {level}: cold admission reduced to {effective} of {} slots",
+                config.queue_capacity
+            )
+        } else {
+            format!(
+                "queue full ({} pending); retry later",
+                config.queue_capacity
+            )
+        };
+        return Some(
+            WireError::new(ErrorKind::Overloaded, detail)
+                .with_retry_after(load.retry_hint_ms(queued, workers)),
+        );
+    }
+    None
+}
+
 /// Submission: runs on the calling thread (reactor or stdio). Parses at
 /// most once per distinct raw request text, answers cache hits inline,
 /// coalesces onto in-flight solves, and enqueues a leader otherwise.
 fn submit(inner: &Arc<Inner>, request: Request, respond: Responder) {
     inner.requests.fetch_add(1, Ordering::Relaxed);
     let id = request.id;
+    let deadline = request.deadline;
     if inner.shutdown.load(Ordering::SeqCst) {
         respond(wire::error_response(
             Some(&id),
-            &WireError::new(ErrorKind::ShuttingDown, "service is shutting down"),
+            &WireError::new(ErrorKind::ShuttingDown, "service is shutting down")
+                .with_retry_after(SHUTDOWN_RETRY_MS),
         ));
         return;
     }
@@ -518,7 +714,8 @@ fn submit(inner: &Arc<Inner>, request: Request, respond: Responder) {
                     "architecture belongs to shard {owned} of {shards}, this daemon is shard {}",
                     inner.config.shard_index
                 ),
-            ),
+            )
+            .with_owner_shard(owned as u32),
         ));
         return;
     }
@@ -568,24 +765,17 @@ fn submit(inner: &Arc<Inner>, request: Request, respond: Responder) {
             drop(pending);
             (waiter.respond)(wire::error_response(
                 Some(&waiter.id),
-                &WireError::new(ErrorKind::ShuttingDown, "service is shutting down"),
+                &WireError::new(ErrorKind::ShuttingDown, "service is shutting down")
+                    .with_retry_after(SHUTDOWN_RETRY_MS),
             ));
             return;
         }
-        if queue.len() >= inner.config.queue_capacity {
-            inner.rejected.fetch_add(1, Ordering::Relaxed);
+        // Cold-lane load gate (warm traffic never reaches this point —
+        // hits and attaches were answered above without a queue slot).
+        if let Some(refusal) = admit_cold(inner, queue.len(), deadline) {
             drop(queue);
             drop(pending);
-            (waiter.respond)(wire::error_response(
-                Some(&waiter.id),
-                &WireError::new(
-                    ErrorKind::Overloaded,
-                    format!(
-                        "queue full ({} pending); retry later",
-                        inner.config.queue_capacity
-                    ),
-                ),
-            ));
+            (waiter.respond)(wire::error_response(Some(&waiter.id), &refusal));
             return;
         }
         inner.cache_misses.fetch_add(1, Ordering::Relaxed);
@@ -665,6 +855,11 @@ fn execute(inner: &Arc<Inner>, solve: Solve) {
         interrupt.store(true, Ordering::SeqCst);
     }
 
+    // Chaos hook: under an installed fault plan this solve may panic
+    // here, exercising the worker-pool isolation path (compiles to
+    // nothing without the `fault-inject` feature).
+    crate::fault::on_solve();
+
     let solve_started = Instant::now();
     let result = match solve.cmd {
         "map" => {
@@ -689,6 +884,7 @@ fn execute(inner: &Arc<Inner>, solve: Solve) {
     let solve_time = solve_started.elapsed();
     let text = result.to_string();
     inner.solves.fetch_add(1, Ordering::Relaxed);
+    ewma_update(&inner.load.solve_ewma_us, solve_time.as_micros() as u64);
 
     // A cancelled solve's timeout says "the service was told to stop",
     // not "this instance needs this long" — never cache it.
@@ -701,11 +897,17 @@ fn execute(inner: &Arc<Inner>, solve: Solve) {
     // later identical requests hit the cache instead.
     let waiters = lock(&inner.pending).remove(&solve.key).unwrap_or_default();
     for w in waiters {
+        let wait = solve_started.saturating_duration_since(w.arrival);
+        if !w.coalesced {
+            // Only the leader's wait measures queue delay (an attachee
+            // may have arrived long after the solve started).
+            ewma_update(&inner.load.wait_ewma_us, wait.as_micros() as u64);
+        }
         let served = Served {
             cache_hit: false,
             mrrg_warm: solve.mrrg_warm,
             coalesced: w.coalesced,
-            wait: solve_started.saturating_duration_since(w.arrival),
+            wait,
             solve: solve_time,
         };
         (w.respond)(wire::ok_response(&w.id, &text, Some(&served)));

@@ -16,8 +16,15 @@
 //! {"id":"r4","cmd":"shutdown"}
 //! ```
 //!
+//! `map` / `min_ii` requests may carry an optional `deadline_ms` —
+//! the client's total latency budget, used for admission shaping (see
+//! [`Request::deadline`]).
+//!
 //! Responses: `{"id":…,"ok":true,"result":…,"served":{…}}` or
-//! `{"id":…,"ok":false,"error":{"kind":…,"detail":…}}`. The `served`
+//! `{"id":…,"ok":false,"error":{"kind":…,"detail":…}}` — errors may
+//! additionally carry `retry_after_ms` (overloaded / shutting_down /
+//! unavailable) and `owner_shard` (wrong_shard redirects); both decode
+//! tolerantly, so older peers interoperate. The `served`
 //! block reports per-response cache provenance (`"hit"`/`"miss"`),
 //! MRRG warmth (`"warm"`/`"cold"`) and the solve time, which is how a
 //! client observes that a repeated request was answered from the cache
@@ -59,6 +66,10 @@ pub enum ErrorKind {
     WrongShard,
     /// The service is shutting down and accepts no new work.
     ShuttingDown,
+    /// Fleet routing: every route to the owning shard is down or its
+    /// circuit breaker is open. The request was not attempted (or not
+    /// completed); retry after the carried hint.
+    Unavailable,
     /// An unexpected internal failure (a worker panic, an I/O error on
     /// the cache directory, …).
     Internal,
@@ -75,6 +86,7 @@ impl ErrorKind {
             ErrorKind::Overloaded => "overloaded",
             ErrorKind::WrongShard => "wrong_shard",
             ErrorKind::ShuttingDown => "shutting_down",
+            ErrorKind::Unavailable => "unavailable",
             ErrorKind::Internal => "internal",
         }
     }
@@ -86,22 +98,46 @@ impl fmt::Display for ErrorKind {
     }
 }
 
-/// A typed wire error: kind plus human-readable detail.
+/// A typed wire error: kind plus human-readable detail, plus optional
+/// machine-readable hints (both absent for most kinds — peers decode
+/// them tolerantly, so old clients and old servers interoperate).
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct WireError {
     /// The failure category.
     pub kind: ErrorKind,
     /// Human-readable context.
     pub detail: String,
+    /// Load-shedding hint on `overloaded` / `shutting_down` /
+    /// `unavailable`: the server's estimate of when a retry is worth
+    /// attempting, in milliseconds.
+    pub retry_after_ms: Option<u64>,
+    /// Typed redirect on `wrong_shard`: the shard index that owns the
+    /// request's architecture, so a router or [`crate::Client`] can
+    /// re-aim without parsing the human-readable detail.
+    pub owner_shard: Option<u32>,
 }
 
 impl WireError {
-    /// Creates an error of `kind` with `detail`.
+    /// Creates an error of `kind` with `detail` (no hints).
     pub fn new(kind: ErrorKind, detail: impl Into<String>) -> Self {
         WireError {
             kind,
             detail: detail.into(),
+            retry_after_ms: None,
+            owner_shard: None,
         }
+    }
+
+    /// Attaches a retry-after hint (milliseconds).
+    pub fn with_retry_after(mut self, ms: u64) -> Self {
+        self.retry_after_ms = Some(ms);
+        self
+    }
+
+    /// Attaches the owning shard index (for `wrong_shard` redirects).
+    pub fn with_owner_shard(mut self, shard: u32) -> Self {
+        self.owner_shard = Some(shard);
+        self
     }
 }
 
@@ -120,6 +156,13 @@ pub struct Request {
     pub id: String,
     /// The command.
     pub body: RequestBody,
+    /// Optional end-to-end latency budget (`deadline_ms` on the wire):
+    /// the total time the client is willing to wait, queueing included.
+    /// Admission control refuses a cold request whose deadline cannot
+    /// be met given the observed queue wait and solve-time EWMA, rather
+    /// than solving it for a client that has already given up. Does not
+    /// enter any cache key — it shapes admission, never the answer.
+    pub deadline: Option<Duration>,
 }
 
 /// The command part of a [`Request`].
@@ -188,7 +231,16 @@ pub fn parse_request(line: &str) -> Result<Request, WireError> {
             ))
         }
     };
-    Ok(Request { id, body })
+    let deadline = match doc.get("deadline_ms") {
+        None | Some(Json::Null) => None,
+        Some(v) => Some(Duration::from_millis(v.as_u64().ok_or_else(|| {
+            WireError::new(
+                ErrorKind::Request,
+                "`deadline_ms` must be null or a non-negative integer",
+            )
+        })?)),
+    };
+    Ok(Request { id, body, deadline })
 }
 
 fn req_str(doc: &Json, key: &str) -> Result<String, WireError> {
@@ -234,13 +286,20 @@ pub fn error_response(id: Option<&str>, error: &WireError) -> String {
         Some(id) => s(id),
         None => Json::Null,
     };
+    let mut fields = vec![
+        ("kind", s(error.kind.as_str())),
+        ("detail", s(error.detail.clone())),
+    ];
+    if let Some(ms) = error.retry_after_ms {
+        fields.push(("retry_after_ms", Json::Int(ms as i64)));
+    }
+    if let Some(shard) = error.owner_shard {
+        fields.push(("owner_shard", Json::Int(shard as i64)));
+    }
     format!(
         "{{\"id\":{},\"ok\":false,\"error\":{}}}",
         id_json,
-        obj(vec![
-            ("kind", s(error.kind.as_str())),
-            ("detail", s(error.detail.clone())),
-        ])
+        obj(fields)
     )
 }
 

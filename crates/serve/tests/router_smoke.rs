@@ -1,0 +1,251 @@
+//! End-to-end smoke for the fleet front end using *external* processes:
+//! the shipped `cgra-serve` and `cgra-router` binaries wired over real
+//! TCP, with one shard SIGKILLed mid-run and restarted on its port.
+//!
+//! The in-process chaos suites (`router_chaos.rs`, behind the
+//! `fault-inject` feature) cover the seeded fault plans; this suite
+//! proves the binaries themselves survive the same story — responses
+//! are byte-identical to the primed baseline or *typed* errors, a hard
+//! kill never produces junk, and the router re-admits the revived
+//! shard via its half-open probe. Runs under plain `cargo test`
+//! (cargo builds the crate's bins for integration tests and exposes
+//! them via `CARGO_BIN_EXE_*`).
+
+use cgra_arch::families::paper_configs;
+use cgra_serve::client::Client;
+use cgra_serve::json::{obj, s, Json};
+use cgra_serve::ErrorKind;
+use std::io::BufRead;
+use std::process::{Child, Command, Stdio};
+use std::time::{Duration, Instant};
+
+const SHARDS: u32 = 2;
+
+struct Cell {
+    dfg_text: String,
+    arch_text: String,
+    owner: usize,
+}
+
+fn build_cells() -> Vec<Cell> {
+    let accum = cgra_dfg::text::print(&cgra_dfg::benchmarks::accum());
+    let cells: Vec<Cell> = paper_configs()
+        .iter()
+        .filter(|c| c.contexts == 1)
+        .map(|config| Cell {
+            dfg_text: accum.clone(),
+            arch_text: cgra_arch::text::print(&config.arch),
+            owner: (config.arch.content_hash() % SHARDS as u64) as usize,
+        })
+        .collect();
+    assert!(
+        cells.iter().any(|c| c.owner == 0) && cells.iter().any(|c| c.owner == 1),
+        "paper configs must span both shards"
+    );
+    cells
+}
+
+fn map_line(id: &str, cell: &Cell) -> String {
+    obj(vec![
+        ("id", s(id)),
+        ("cmd", s("map")),
+        ("dfg", s(cell.dfg_text.clone())),
+        ("arch", s(cell.arch_text.clone())),
+        ("ii", Json::Int(1)),
+        (
+            "options",
+            obj(vec![
+                ("time_limit_us", Json::Int(30_000_000)),
+                ("threads", Json::Int(1)),
+            ]),
+        ),
+    ])
+    .to_string()
+}
+
+/// A spawned daemon process plus the address it reported on stderr.
+struct Daemon {
+    child: Child,
+    addr: String,
+}
+
+/// Reads the child's stderr until the `listening on …` line, then keeps
+/// draining it on a background thread so the process never blocks on a
+/// full pipe.
+fn wait_listening(child: &mut Child, what: &str) -> String {
+    let stderr = child.stderr.take().expect("stderr piped");
+    let (tx, rx) = std::sync::mpsc::channel();
+    std::thread::spawn(move || {
+        let mut lines = std::io::BufReader::new(stderr).lines();
+        while let Some(Ok(line)) = lines.next() {
+            if let Some(addr) = line.strip_prefix("listening on ") {
+                let _ = tx.send(addr.to_string());
+            }
+        }
+    });
+    rx.recv_timeout(Duration::from_secs(60))
+        .unwrap_or_else(|_| panic!("{what} never reported an address"))
+}
+
+fn spawn_shard(index: u32, addr: &str, cache_dir: Option<&std::path::Path>) -> Daemon {
+    let mut cmd = Command::new(env!("CARGO_BIN_EXE_cgra-serve"));
+    cmd.args(["--addr", addr, "--workers", "1", "--shards"])
+        .arg(SHARDS.to_string())
+        .arg("--shard")
+        .arg(index.to_string())
+        .stdout(Stdio::null())
+        .stderr(Stdio::piped());
+    if let Some(dir) = cache_dir {
+        cmd.arg("--cache-dir").arg(dir);
+    }
+    let mut child = cmd.spawn().expect("spawn cgra-serve");
+    let addr = wait_listening(&mut child, "cgra-serve");
+    Daemon { child, addr }
+}
+
+fn spawn_router(shards: &[String]) -> Daemon {
+    let mut child = Command::new(env!("CARGO_BIN_EXE_cgra-router"))
+        .args(["--addr", "127.0.0.1:0", "--shards"])
+        .arg(shards.join(","))
+        .args(["--attempts", "3", "--backoff-ms", "5", "--probe-ms", "150"])
+        .stdout(Stdio::null())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("spawn cgra-router");
+    let addr = wait_listening(&mut child, "cgra-router");
+    Daemon { child, addr }
+}
+
+/// Requests a protocol shutdown and requires the process to exit
+/// cleanly on its own within the deadline.
+fn shutdown_daemon(mut daemon: Daemon, what: &str) {
+    if let Ok(mut c) = Client::connect(&daemon.addr) {
+        let _ = c.shutdown();
+    }
+    let deadline = Instant::now() + Duration::from_secs(30);
+    loop {
+        match daemon.child.try_wait().expect("wait child") {
+            Some(status) => {
+                assert!(status.success(), "{what} exited with {status}");
+                return;
+            }
+            None if Instant::now() > deadline => {
+                let _ = daemon.child.kill();
+                panic!("{what} did not exit after protocol shutdown");
+            }
+            None => std::thread::sleep(Duration::from_millis(20)),
+        }
+    }
+}
+
+#[test]
+fn sigkilled_shard_recovers_behind_external_router() {
+    let cells = build_cells();
+    // Shard 0 keeps a persistent segment across the kill, like a
+    // supervised fleet daemon restarted with the same --cache-dir:
+    // the revived process must replay the exact baseline bytes.
+    let dir = std::env::temp_dir().join(format!("cgra-router-smoke-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let shard0 = spawn_shard(0, "127.0.0.1:0", Some(&dir));
+    let shard1 = spawn_shard(1, "127.0.0.1:0", None);
+    let shard0_addr = shard0.addr.clone();
+    let router = spawn_router(&[shard0.addr.clone(), shard1.addr.clone()]);
+
+    // Prime every cell through the router and pin the exact bytes.
+    let mut client = Client::connect(&router.addr).expect("connect router");
+    let mut expected = Vec::new();
+    for (i, cell) in cells.iter().enumerate() {
+        let id = format!("prime-{i}");
+        client.send_line(&map_line(&id, cell)).expect("prime send");
+        let r = client.recv_response().expect("prime response");
+        assert_eq!(r.id, id, "router must never cross-deliver");
+        expected.push(r.result_text);
+    }
+    // Warm replay through the router must be byte-identical.
+    for (i, cell) in cells.iter().enumerate() {
+        client
+            .send_line(&map_line("replay", cell))
+            .expect("replay send");
+        let r = client.recv_response().expect("replay response");
+        assert_eq!(r.result_text, expected[i], "warm replay changed bytes");
+    }
+
+    // SIGKILL shard 0 — no drain, no goodbye (Child::kill is SIGKILL
+    // on unix).
+    let mut shard0 = shard0;
+    shard0.child.kill().expect("kill shard 0");
+    let _ = shard0.child.wait();
+
+    let dead = cells.iter().position(|c| c.owner == 0).unwrap();
+    let alive = cells.iter().position(|c| c.owner == 1).unwrap();
+
+    // The healthy shard keeps answering byte-identically; the dead
+    // shard's keys must come back as *typed* refusals (the breaker
+    // fast-fails with a retry hint once it opens), never junk.
+    let mut saw_typed_refusal = false;
+    for round in 0..10 {
+        let mut c = Client::connect(&router.addr).expect("reconnect router");
+        c.send_line(&map_line(&format!("outage-{round}"), &cells[dead]))
+            .expect("outage send");
+        match c.recv_response() {
+            Ok(r) => panic!("dead shard answered: {}", r.result_text),
+            Err(e) => {
+                assert!(
+                    matches!(
+                        e.kind,
+                        ErrorKind::Unavailable | ErrorKind::ShuttingDown | ErrorKind::Internal
+                    ),
+                    "outage error must be typed, got {e}"
+                );
+                if e.kind == ErrorKind::Unavailable {
+                    assert!(
+                        e.retry_after_ms.is_some(),
+                        "unavailable must carry a retry hint"
+                    );
+                    saw_typed_refusal = true;
+                }
+            }
+        }
+        c.send_line(&map_line("alive", &cells[alive]))
+            .expect("alive send");
+        let r = c.recv_response().expect("healthy shard must still answer");
+        assert_eq!(
+            r.result_text, expected[alive],
+            "healthy shard changed bytes"
+        );
+    }
+    assert!(
+        saw_typed_refusal,
+        "breaker never fast-failed with a typed unavailable"
+    );
+
+    // Revive shard 0 on its original port with its original segment.
+    let revived = spawn_shard(0, &shard0_addr, Some(&dir));
+
+    // The router must re-admit it via the half-open probe and serve
+    // the exact baseline bytes again.
+    let deadline = Instant::now() + Duration::from_secs(15);
+    let mut recovered = false;
+    while Instant::now() < deadline {
+        let mut c = Client::connect(&router.addr).expect("reconnect router");
+        c.send_line(&map_line("recover", &cells[dead]))
+            .expect("recover send");
+        if let Ok(r) = c.recv_response() {
+            assert_eq!(
+                r.result_text, expected[dead],
+                "revived shard must replay the baseline bytes"
+            );
+            recovered = true;
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(50));
+    }
+    assert!(recovered, "router never re-admitted the revived shard");
+
+    // Protocol shutdowns all around: router first (it owns no state),
+    // then the shards directly. Every process must exit cleanly.
+    shutdown_daemon(router, "cgra-router");
+    shutdown_daemon(revived, "revived cgra-serve shard 0");
+    shutdown_daemon(shard1, "cgra-serve shard 1");
+    let _ = std::fs::remove_dir_all(&dir);
+}

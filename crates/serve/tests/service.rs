@@ -512,3 +512,153 @@ fn min_ii_requests_answer_and_cache() {
     service.initiate_shutdown();
     service.join_workers();
 }
+
+/// Deadline shaping: once the solve-time EWMA is established, a cold
+/// request whose `deadline_ms` cannot possibly be met is refused
+/// immediately with a typed `overloaded` + `retry_after_ms` — while a
+/// *warm* request with the same hopeless deadline is still served
+/// (deadlines shape admission only; they never enter cache keys).
+#[test]
+fn unmeetable_deadline_sheds_cold_but_not_warm() {
+    let service = Service::start(ServiceConfig {
+        workers: 1,
+        ..ServiceConfig::default()
+    });
+    let line = |id: &str, seed: u64, deadline_ms: Option<u64>| {
+        let deadline = match deadline_ms {
+            Some(ms) => format!(",\"deadline_ms\":{ms}"),
+            None => String::new(),
+        };
+        format!(
+            "{{\"id\":\"{id}\",\"cmd\":\"map\",\"dfg\":{},\"arch\":{},\"ii\":1,\"options\":{{\"seed\":{seed}}}{deadline}}}",
+            cgra_serve::json::s(kernel_text("accum")),
+            cgra_serve::json::s(homo_diag_arch_text()),
+        )
+    };
+    // Establish the solve-time EWMA with one real solve.
+    let first = cgra_serve::client::decode_response(&service.handle(&line("warmup", 1, None)))
+        .expect("warmup solve");
+
+    // Cold request (distinct seed), zero deadline: predicted completion
+    // exceeds the budget, so admission refuses it without queueing.
+    let err = cgra_serve::client::decode_response(&service.handle(&line("cold", 2, Some(0))))
+        .expect_err("unmeetable deadline must be shed");
+    assert_eq!(err.kind, ErrorKind::Overloaded);
+    assert!(
+        err.retry_after_ms.is_some(),
+        "deadline shed must carry a retry hint"
+    );
+    assert!(
+        err.detail.contains("deadline"),
+        "detail should name the deadline, got: {}",
+        err.detail
+    );
+
+    // Warm lane: the same request as the warmup, same hopeless
+    // deadline — served from cache, byte-identical.
+    let warm = cgra_serve::client::decode_response(&service.handle(&line("warm", 1, Some(0))))
+        .expect("warm requests bypass deadline shaping");
+    assert!(warm.served.unwrap().cache_hit);
+    assert_eq!(warm.result_text, first.result_text);
+    assert_eq!(
+        service
+            .stats_json()
+            .get("shed_deadline")
+            .and_then(Json::as_u64),
+        Some(1)
+    );
+    service.initiate_shutdown();
+    service.join_workers();
+}
+
+/// Sustained overload trips the brownout: once the queue has sat at
+/// 3/4 capacity or above for longer than the window, cold admission
+/// steps down and refusals say so — while warm requests keep flowing.
+#[test]
+fn sustained_overload_brownout_sheds_cold_keeps_warm() {
+    let service = Service::start(ServiceConfig {
+        workers: 1,
+        queue_capacity: 4,
+        brownout_window: Duration::from_millis(50),
+        deadline: Some(Duration::from_secs(120)),
+        ..ServiceConfig::default()
+    });
+    // Prime the warm lane while the service is idle.
+    let warm_line = format!(
+        "{{\"id\":\"w\",\"cmd\":\"map\",\"dfg\":{},\"arch\":{},\"ii\":1}}",
+        cgra_serve::json::s(kernel_text("accum")),
+        cgra_serve::json::s(homo_diag_arch_text()),
+    );
+    let warm_text = cgra_serve::client::decode_response(&service.handle(&warm_line))
+        .expect("prime")
+        .result_text;
+
+    // Saturate: 1 in-flight + 4 queued slow solves (distinct seeds so
+    // nothing coalesces), held there past the brownout window.
+    let slow_line = |id: &str, seed: u64| {
+        format!(
+            "{{\"id\":\"{id}\",\"cmd\":\"map\",\"dfg\":{},\"arch\":{},\"ii\":1,\"options\":{{\"time_limit_us\":120000000,\"seed\":{seed}}}}}",
+            cgra_serve::json::s(kernel_text("cos_4")),
+            cgra_serve::json::s(homo_diag_arch_text()),
+        )
+    };
+    std::thread::scope(|scope| {
+        let svc = &service;
+        let slow: Vec<_> = (0..5u64)
+            .map(|i| {
+                let line = slow_line(&format!("slow-{i}"), i + 1);
+                let handle = scope.spawn(move || svc.handle(&line));
+                std::thread::sleep(Duration::from_millis(100));
+                handle
+            })
+            .collect();
+        // The queue has been >= 3/4 full for several windows now: a new
+        // cold request must be refused as a *brownout* shed.
+        std::thread::sleep(Duration::from_millis(200));
+        let err = cgra_serve::client::decode_response(&service.handle(&slow_line("cold", 99)))
+            .expect_err("cold request under brownout must be shed");
+        assert_eq!(err.kind, ErrorKind::Overloaded);
+        assert!(err.retry_after_ms.is_some());
+        assert!(
+            err.detail.contains("brownout"),
+            "sustained overload must shed as brownout, got: {}",
+            err.detail
+        );
+        let stats = service.stats_json();
+        assert!(stats.get("shed_brownout").and_then(Json::as_u64) >= Some(1));
+        assert!(stats.get("brownout_level").and_then(Json::as_u64) >= Some(1));
+
+        // The warm lane is untouched: same bytes, still a cache hit.
+        let warm = cgra_serve::client::decode_response(&service.handle(&warm_line))
+            .expect("warm lane must survive brownout");
+        assert!(warm.served.unwrap().cache_hit);
+        assert_eq!(warm.result_text, warm_text);
+
+        service.initiate_shutdown();
+        for handle in slow {
+            let _ = handle.join().unwrap();
+        }
+    });
+    service.join_workers();
+}
+
+/// Every `shutting_down` refusal carries a `retry_after_ms` hint so a
+/// supervisor-restarted fleet's clients know when to come back.
+#[test]
+fn shutdown_refusals_carry_retry_hint() {
+    let service = Service::start(ServiceConfig {
+        workers: 1,
+        ..ServiceConfig::default()
+    });
+    service.initiate_shutdown();
+    let line = format!(
+        "{{\"id\":\"z\",\"cmd\":\"map\",\"dfg\":{},\"arch\":{},\"ii\":1}}",
+        cgra_serve::json::s(kernel_text("accum")),
+        cgra_serve::json::s(homo_diag_arch_text()),
+    );
+    let err = cgra_serve::client::decode_response(&service.handle(&line))
+        .expect_err("post-shutdown request must fail");
+    assert_eq!(err.kind, ErrorKind::ShuttingDown);
+    assert_eq!(err.retry_after_ms, Some(1_000));
+    service.join_workers();
+}
